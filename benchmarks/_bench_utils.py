@@ -1,0 +1,34 @@
+"""Table formatting and result recording for the benchmark harness."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(experiment_id: str, title: str, lines: list[str]) -> str:
+    """Print an experiment table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join([f"== {experiment_id}: {title} =="] + lines) + "\n"
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text)
+    print()
+    print(text)
+    return text
+
+
+def table(rows: list[dict], columns: list[str]) -> list[str]:
+    """Plain-text table lines from dict rows."""
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in rows:
+        cells = {c: f"{row[c]}" for c in columns}
+        rendered.append(cells)
+        for c in columns:
+            widths[c] = max(widths[c], len(cells[c]))
+    header = "  ".join(f"{c:<{widths[c]}}" for c in columns)
+    sep = "-" * len(header)
+    lines = [header, sep]
+    for cells in rendered:
+        lines.append("  ".join(f"{cells[c]:<{widths[c]}}" for c in columns))
+    return lines

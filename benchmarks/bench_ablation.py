@@ -1,0 +1,182 @@
+"""ABLATION — how much each rewrite family contributes.
+
+DESIGN.md calls out the optimizer's design choices: constraint-driven
+selection pushing (rule 6), pointer join (rule 8), pointer chase (rule 9),
+the join reassociation they need, projection substitution + navigation
+elimination (rules 7/5/3), and repeated-navigation merging (rule 4).
+
+This ablation disables one family at a time and re-plans the Section 7
+queries, reporting the chosen plan's estimated cost.  It also measures the
+cost model's sensitivity to statistics quality: planning with statistics
+estimated from a *bounded* crawl instead of the exact oracle.
+"""
+
+import pytest
+
+from repro.optimizer import CostModel, Planner, PlannerOptions
+from repro.stats.estimator import estimate_statistics
+from repro.views.sql import parse_query
+
+from _bench_utils import record, table
+
+QUERIES = {
+    "Q6 example 7.1": (
+        "SELECT Course.CName, Description FROM Professor, CourseInstructor, "
+        "Course WHERE Professor.PName = CourseInstructor.PName "
+        "AND CourseInstructor.CName = Course.CName "
+        "AND Rank = 'Full' AND Session = 'Fall'"
+    ),
+    "Q7 example 7.2": (
+        "SELECT Professor.PName, email FROM Course, CourseInstructor, "
+        "Professor, ProfDept WHERE Course.CName = CourseInstructor.CName "
+        "AND CourseInstructor.PName = Professor.PName "
+        "AND Professor.PName = ProfDept.PName "
+        "AND ProfDept.DName = 'Computer Science' AND Type = 'Graduate'"
+    ),
+    "Q5 CS members": (
+        "SELECT Professor.PName FROM Professor, ProfDept "
+        "WHERE Professor.PName = ProfDept.PName "
+        "AND ProfDept.DName = 'Computer Science'"
+    ),
+}
+
+VARIANTS = [
+    ("full optimizer", PlannerOptions()),
+    ("no pointer chase (r9)", PlannerOptions(pointer_chase=False)),
+    ("no pointer join (r8)", PlannerOptions(pointer_join=False)),
+    ("no join pushdown", PlannerOptions(join_pushdown=False)),
+    ("no selection pushing (r6)", PlannerOptions(push_selections=False)),
+    (
+        "no projection subst. (r7+r5)",
+        PlannerOptions(
+            substitute_projections=False, eliminate_navigations=False
+        ),
+    ),
+    (
+        "joins only (no r8/r9/pushdown)",
+        PlannerOptions(
+            pointer_join=False, pointer_chase=False, join_pushdown=False
+        ),
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def ablation(uni_env):
+    rows = []
+    costs = {}
+    for label, options in VARIANTS:
+        planner = Planner(uni_env.view, uni_env.cost_model, options)
+        row = {"variant": label}
+        for qlabel, sql in QUERIES.items():
+            planned = planner.plan_query(parse_query(sql, uni_env.view))
+            row[qlabel] = f"{planned.best.cost:.1f}"
+            costs[(label, qlabel)] = planned
+        rows.append(row)
+    record(
+        "ABLATION",
+        "chosen-plan cost with rewrite families disabled",
+        table(rows, ["variant"] + list(QUERIES)),
+    )
+    return costs
+
+
+class TestShape:
+    def test_full_optimizer_is_never_worse(self, ablation):
+        for qlabel in QUERIES:
+            full = ablation[("full optimizer", qlabel)].best.cost
+            for label, _ in VARIANTS[1:]:
+                assert full <= ablation[(label, qlabel)].best.cost + 1e-9, (
+                    label,
+                    qlabel,
+                )
+
+    def test_disabling_chase_hurts_example_7_2(self, ablation):
+        full = ablation[("full optimizer", "Q7 example 7.2")].best.cost
+        crippled = ablation[
+            ("no pointer chase (r9)", "Q7 example 7.2")
+        ].best.cost
+        assert crippled > full
+
+    def test_disabling_join_hurts_example_7_1(self, ablation):
+        full = ablation[("full optimizer", "Q6 example 7.1")].best.cost
+        crippled = ablation[
+            ("no pointer join (r8)", "Q6 example 7.1")
+        ].best.cost
+        assert crippled > full
+
+    def test_selection_pushing_is_the_biggest_lever(self, ablation):
+        """Without rule 6, every plan navigates unrestricted extents."""
+        for qlabel in QUERIES:
+            full = ablation[("full optimizer", qlabel)].best.cost
+            crippled = ablation[
+                ("no selection pushing (r6)", qlabel)
+            ].best.cost
+            assert crippled >= full
+
+    def test_ablated_plans_still_correct(self, uni_env, ablation):
+        reference = {}
+        for qlabel, sql in QUERIES.items():
+            planned = ablation[("full optimizer", qlabel)]
+            reference[qlabel] = uni_env.execute(planned.best.expr).relation
+        for (label, qlabel), planned in ablation.items():
+            answer = uni_env.execute(planned.best.expr).relation
+            assert answer.same_contents(reference[qlabel]), (label, qlabel)
+
+
+@pytest.fixture(scope="module")
+def stats_sensitivity(uni_env):
+    """Plan with bounded-crawl statistics; report chosen plans' TRUE cost
+    (evaluated under exact statistics)."""
+    exact_cm = uni_env.cost_model
+    rows = []
+    for budget in (5, 15, 30, None):
+        stats = estimate_statistics(
+            uni_env.scheme, uni_env.site.server, uni_env.registry,
+            max_pages=budget,
+        )
+        planner = Planner(uni_env.view, CostModel(uni_env.scheme, stats))
+        row = {"crawl budget": budget if budget is not None else "full"}
+        for qlabel, sql in QUERIES.items():
+            try:
+                planned = planner.plan_query(parse_query(sql, uni_env.view))
+                true_cost = exact_cm.cost(planned.best.expr)
+                row[qlabel] = f"{true_cost:.1f}"
+            except Exception as exc:  # missing statistics on tiny crawls
+                row[qlabel] = f"({type(exc).__name__})"
+        rows.append(row)
+    record(
+        "ABLATION-stats",
+        "true cost of plans chosen under sampled statistics",
+        table(rows, ["crawl budget"] + list(QUERIES)),
+    )
+    return rows
+
+
+class TestStatsSensitivity:
+    def test_full_crawl_matches_oracle_choice(self, uni_env, stats_sensitivity):
+        full_row = stats_sensitivity[-1]
+        for qlabel, sql in QUERIES.items():
+            oracle = uni_env.plan(parse_query(sql, uni_env.view))
+            assert float(full_row[qlabel]) == pytest.approx(
+                oracle.best.cost, rel=0.01
+            )
+
+
+def test_bench_full_planner(benchmark, uni_env):
+    query = parse_query(QUERIES["Q7 example 7.2"], uni_env.view)
+    benchmark(lambda: uni_env.planner.plan_query(query))
+
+
+def test_bench_crippled_planner(benchmark, uni_env):
+    """Without the join rules the search space is far smaller; the paper's
+    rules cost planning time to save network pages."""
+    planner = Planner(
+        uni_env.view,
+        uni_env.cost_model,
+        PlannerOptions(
+            pointer_join=False, pointer_chase=False, join_pushdown=False
+        ),
+    )
+    query = parse_query(QUERIES["Q7 example 7.2"], uni_env.view)
+    benchmark(lambda: planner.plan_query(query))

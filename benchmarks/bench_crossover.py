@@ -1,0 +1,106 @@
+"""X-OVER — where pointer join and pointer chase cross over.
+
+Paper (Section 7): "ordinary pointer-join techniques do not transfer
+directly to the Web ... several alternative strategies, based on
+pointer-chasing, need to be evaluated."  Which strategy wins depends on the
+site's shape: the pointer-join plan of Example 7.2 pays |SessionPage| +
+|CoursePage| up front to build its pointer set, while the chase pays only
+for the selected department's professors and their courses.
+
+Regenerated figure (as a table): estimated cost of both Example 7.2
+strategies as the number of departments grows (with professors and courses
+fixed).  More departments make the chase cheaper (fewer professors per
+department) while the join's cost stays flat — the paper's plan 1 can only
+win when departments barely narrow anything.
+"""
+
+import pytest
+
+from repro.sitegen import UniversityConfig
+from repro.sites import university
+from repro.views.sql import parse_query
+
+from _bench_utils import record, table
+
+SQL = (
+    "SELECT Professor.PName, email FROM Course, CourseInstructor, "
+    "Professor, ProfDept WHERE Course.CName = CourseInstructor.CName "
+    "AND CourseInstructor.PName = Professor.PName "
+    "AND Professor.PName = ProfDept.PName "
+    "AND ProfDept.DName = 'Computer Science' AND Type = 'Graduate'"
+)
+
+
+def find_plan(result, include, exclude=()):
+    for candidate in result.candidates:
+        text = candidate.render()
+        if all(m in text for m in include) and not any(
+            m in text for m in exclude
+        ):
+            return candidate
+    return None
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    raw = []
+    for n_depts in (1, 2, 3, 5, 10):
+        env = university(
+            UniversityConfig(n_depts=n_depts, n_profs=20, n_courses=50)
+        )
+        planned = env.plan(parse_query(SQL, env.view))
+        chase = find_plan(
+            planned, ["DeptListPage"], exclude=["⋈", "SessionListPage"]
+        )
+        join = find_plan(planned, ["SessionListPage", "⋈"])
+        winner = "chase" if chase.cost <= join.cost else "join"
+        rows.append(
+            {
+                "departments": n_depts,
+                "C(chase)": f"{chase.cost:.1f}",
+                "C(join)": f"{join.cost:.1f}",
+                "winner": winner,
+                "optimizer picks": (
+                    "chase"
+                    if planned.best.cost == chase.cost
+                    else ("join" if planned.best.cost == join.cost
+                          else "other")
+                ),
+            }
+        )
+        raw.append((n_depts, chase, join, planned))
+    record(
+        "X-OVER",
+        "Example 7.2 strategies vs department count "
+        "(20 professors, 50 courses)",
+        table(rows, ["departments", "C(chase)", "C(join)", "winner",
+                     "optimizer picks"]),
+    )
+    return raw
+
+
+class TestShape:
+    def test_chase_improves_with_selectivity(self, sweep):
+        chase_costs = [chase.cost for _, chase, _, _ in sweep]
+        assert chase_costs[0] > chase_costs[-1]
+
+    def test_join_cost_roughly_flat(self, sweep):
+        join_costs = [join.cost for _, _, join, _ in sweep]
+        assert max(join_costs) - min(join_costs) < 0.2 * max(join_costs)
+
+    def test_chase_wins_at_paper_cardinalities(self, sweep):
+        for n_depts, chase, join, _ in sweep:
+            if n_depts == 3:
+                assert chase.cost < join.cost
+
+    def test_optimizer_always_picks_winner(self, sweep):
+        for _, chase, join, planned in sweep:
+            assert planned.best.cost <= min(chase.cost, join.cost)
+
+
+def test_bench_planning_across_shapes(benchmark):
+    env = university(UniversityConfig(n_depts=5))
+    query = parse_query(SQL, env.view)
+    result = benchmark(lambda: env.planner.plan_query(query))
+    assert result.candidates

@@ -1,0 +1,128 @@
+"""EX-7.1 / FIG-3 — pointer join vs pointer chase, Example 7.1.
+
+Paper: "Name and Description of courses taught by full professors in the
+Fall session".  The pointer-join plan (1d) first intersects the two link
+sets (courses of full professors × fall courses), then navigates only the
+intersection; the pointer-chase plan (2d) navigates every course taught by
+a full professor and selects afterwards.  The paper proves C(1d) ≤ C(2d),
+with equality only when all fall courses are taught by full professors.
+
+Regenerated table: estimated and measured cost of both strategies at the
+paper's cardinalities, plus a sweep over the number of courses showing the
+gap grows with |CoursePage|.
+"""
+
+import pytest
+
+from repro.sitegen import UniversityConfig
+from repro.sites import university
+from repro.views.sql import parse_query
+
+from _bench_utils import record, table
+
+SQL = (
+    "SELECT Course.CName, Description FROM Professor, CourseInstructor, "
+    "Course WHERE Professor.PName = CourseInstructor.PName "
+    "AND CourseInstructor.CName = Course.CName "
+    "AND Rank = 'Full' AND Session = 'Fall'"
+)
+
+
+def find_plan(result, include, exclude=()):
+    for candidate in result.candidates:
+        text = candidate.render()
+        if all(m in text for m in include) and not any(
+            m in text for m in exclude
+        ):
+            return candidate
+    raise AssertionError(f"no plan with {include} minus {exclude}")
+
+
+def strategies(env):
+    planned = env.plan(parse_query(SQL, env.view))
+    plan_1d = find_plan(planned, ["ToCourse=ToCourse"])
+    plan_2d = find_plan(
+        planned, ["ProfListPage", "→ToCourse"],
+        exclude=["⋈", "SessionListPage"],
+    )
+    return planned, plan_1d, plan_2d
+
+
+@pytest.fixture(scope="module")
+def measurements(uni_env):
+    planned, plan_1d, plan_2d = strategies(uni_env)
+    result_1d = uni_env.execute(plan_1d.expr)
+    result_2d = uni_env.execute(plan_2d.expr)
+    assert result_1d.relation.same_contents(result_2d.relation)
+    rows = [
+        {
+            "plan": "1d pointer-join (Fig 3 left)",
+            "estimated": f"{plan_1d.cost:.1f}",
+            "measured": result_1d.pages,
+            "rows": len(result_1d.relation),
+        },
+        {
+            "plan": "2d pointer-chase (Fig 3 right)",
+            "estimated": f"{plan_2d.cost:.1f}",
+            "measured": result_2d.pages,
+            "rows": len(result_2d.relation),
+        },
+    ]
+    lines = table(rows, ["plan", "estimated", "measured", "rows"])
+    lines.append("")
+    lines.append(f"optimizer chose: {planned.best.render(scheme=uni_env.scheme)}")
+    record("EX-7.1", "courses by full professors in the Fall session", lines)
+    return plan_1d, plan_2d, result_1d, result_2d, planned
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """C(1d) vs C(2d) as the site grows (more courses per professor)."""
+    rows = []
+    for n_courses in (20, 50, 100, 200):
+        env = university(UniversityConfig(n_courses=n_courses))
+        _, plan_1d, plan_2d = strategies(env)
+        rows.append(
+            {
+                "courses": n_courses,
+                "C(1d) join": f"{plan_1d.cost:.1f}",
+                "C(2d) chase": f"{plan_2d.cost:.1f}",
+                "gap": f"{plan_2d.cost - plan_1d.cost:.1f}",
+            }
+        )
+    record(
+        "EX-7.1-sweep",
+        "pointer-join advantage grows with |CoursePage|",
+        table(rows, ["courses", "C(1d) join", "C(2d) chase", "gap"]),
+    )
+    return rows
+
+
+class TestShape:
+    def test_pointer_join_estimated_cheaper(self, measurements):
+        plan_1d, plan_2d, *_ = measurements
+        assert plan_1d.cost <= plan_2d.cost
+
+    def test_pointer_join_measured_cheaper(self, measurements):
+        _, _, result_1d, result_2d, _ = measurements
+        assert result_1d.pages < result_2d.pages
+
+    def test_optimizer_chooses_pointer_join(self, measurements):
+        *_, planned = measurements
+        assert "ToCourse=ToCourse" in planned.best.render()
+
+    def test_gap_grows_with_course_count(self, sweep):
+        gaps = [float(row["gap"]) for row in sweep]
+        assert gaps == sorted(gaps)
+        assert gaps[-1] > gaps[0]
+
+
+def test_bench_pointer_join_execution(benchmark, uni_env, measurements):
+    plan_1d, *_ = measurements
+    benchmark(lambda: uni_env.execute(plan_1d.expr))
+
+
+def test_bench_planning_example_7_1(benchmark, uni_env):
+    query = parse_query(SQL, uni_env.view)
+    result = benchmark(lambda: uni_env.planner.plan_query(query))
+    assert len(result.candidates) >= 4

@@ -1,0 +1,102 @@
+"""FIG-2 — the Figure 2 query plan.
+
+Paper (Section 4): "Name and Description of all Courses held by members of
+the Computer Science Department", expressed as a single navigation chain
+DeptListPage ∘ DeptList → DeptPage ∘ ProfList → ProfPage ∘ CourseList →
+CoursePage.  Regenerates the plan tree, verifies computability, and
+measures its execution against the same query answered through the
+optimizer (which pushes the department selection into the anchor list and
+touches a fraction of the site).
+"""
+
+import pytest
+
+from repro.algebra.ast import EntryPointScan
+from repro.algebra.computable import is_computable
+from repro.algebra.printer import render_plan_tree
+
+from _bench_utils import record, table
+
+
+def figure2_plan(selected: bool):
+    """The Figure 2 chain; ``selected=True`` adds the σ DName='CS' pushdown
+    the optimizer would apply."""
+    expr = EntryPointScan("DeptListPage").unnest("DeptListPage.DeptList")
+    if selected:
+        expr = expr.select_eq("DeptListPage.DeptList.DName", "Computer Science")
+    return (
+        expr.follow("DeptListPage.DeptList.ToDept")
+        .unnest("DeptPage.ProfList")
+        .follow("DeptPage.ProfList.ToProf")
+        .unnest("ProfPage.CourseList")
+        .follow("ProfPage.CourseList.ToCourse")
+        .project(
+            ("Name", "CoursePage.CName"),
+            ("Description", "CoursePage.Description"),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def measurements(uni_env):
+    full = figure2_plan(selected=False)
+    pushed = figure2_plan(selected=True)
+    assert is_computable(full, uni_env.scheme)
+    full_result = uni_env.execute(full)
+    pushed_result = uni_env.execute(pushed)
+    rows = [
+        {
+            "plan": "Figure 2 chain, all departments",
+            "estimated": f"{uni_env.cost_model.cost(full):.1f}",
+            "measured": full_result.pages,
+            "rows": len(full_result.relation),
+        },
+        {
+            "plan": "with σ DName='CS' pushed to the anchor list",
+            "estimated": f"{uni_env.cost_model.cost(pushed):.1f}",
+            "measured": pushed_result.pages,
+            "rows": len(pushed_result.relation),
+        },
+    ]
+    lines = table(rows, ["plan", "estimated", "measured", "rows"])
+    lines.append("")
+    lines.append("plan tree (cf. the paper's Figure 2):")
+    lines.extend(render_plan_tree(pushed, uni_env.scheme).splitlines())
+    record("FIG-2", "courses held by CS department members", lines)
+    return full, pushed, full_result, pushed_result
+
+
+class TestShape:
+    def test_full_chain_visits_whole_teaching_site(self, uni_env, measurements):
+        _, _, full_result, _ = measurements
+        # 1 list + 3 depts + 20 profs + 50 courses
+        assert full_result.pages == 74
+
+    def test_selection_pushdown_cuts_cost_by_dept_fraction(
+        self, uni_env, measurements
+    ):
+        _, _, full_result, pushed_result = measurements
+        assert pushed_result.pages < full_result.pages / 2
+
+    def test_answer_matches_oracle(self, uni_env, measurements):
+        _, _, _, pushed_result = measurements
+        expected = {
+            (c.name, c.description)
+            for c in uni_env.site.courses
+            if c.prof.dept.name == "Computer Science"
+        }
+        got = {
+            (r["Name"], r["Description"]) for r in pushed_result.relation
+        }
+        assert got == expected
+
+
+def test_bench_figure2_execution(benchmark, uni_env, measurements):
+    _, pushed, *_ = measurements
+    benchmark(lambda: uni_env.execute(pushed))
+
+
+def test_bench_plan_tree_rendering(benchmark, uni_env, measurements):
+    full, *_ = measurements
+    text = benchmark(lambda: render_plan_tree(full, uni_env.scheme))
+    assert "entry point" in text

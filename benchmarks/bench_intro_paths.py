@@ -1,0 +1,151 @@
+"""EX-INTRO — the Introduction's four access paths.
+
+Paper (Section 1): "find all authors who had papers in the last three VLDB
+conferences" admits four navigation paths; with over 16,000 authors "the
+last access path would retrieve several orders of magnitude more pages than
+the others".
+
+Regenerates the table: per path, pages downloaded, bytes downloaded, and
+answer size.  Shape assertions: paths 1–3 cost a handful of pages, path 2
+downloads fewer bytes than path 1 (smaller list page), path 3 the fewest,
+and path 4 costs ≈|authors| pages — orders of magnitude more.
+"""
+
+import pytest
+
+from repro.algebra.ast import EntryPointScan
+from repro.algebra.predicates import In, Predicate
+
+from _bench_utils import record, table
+
+
+def _editions_tail(expr, years):
+    return (
+        expr.unnest("ConfPage.EditionList")
+        .where(Predicate([In("ConfPage.EditionList.Year", years)]))
+        .follow("ConfPage.EditionList.ToEdition")
+        .unnest("EditionPage.PaperList")
+        .unnest("EditionPage.PaperList.AuthorList")
+        .project(
+            ("AName", "EditionPage.PaperList.AuthorList.AName"),
+            ("Year", "EditionPage.Year"),
+        )
+    )
+
+
+def build_paths(env):
+    years = tuple(str(e.year) for e in env.site.vldb.editions[-3:])
+    path1 = _editions_tail(
+        EntryPointScan("BibHomePage")
+        .follow("BibHomePage.ToConfList")
+        .unnest("ConfListPage.ConfList")
+        .select_eq("ConfListPage.ConfList.ConfName", "VLDB")
+        .follow("ConfListPage.ConfList.ToConf"),
+        years,
+    )
+    path2 = _editions_tail(
+        EntryPointScan("BibHomePage")
+        .follow("BibHomePage.ToDBConfList")
+        .unnest("DBConfListPage.ConfList")
+        .select_eq("DBConfListPage.ConfList.ConfName", "VLDB")
+        .follow("DBConfListPage.ConfList.ToConf"),
+        years,
+    )
+    path3 = _editions_tail(
+        EntryPointScan("BibHomePage").follow("BibHomePage.ToVLDB"), years
+    )
+    path4 = (
+        EntryPointScan("BibHomePage")
+        .follow("BibHomePage.ToAuthorList")
+        .unnest("AuthorListPage.AuthorList")
+        .follow("AuthorListPage.AuthorList.ToAuthor")
+        .unnest("AuthorPage.PubList")
+        .select_eq("AuthorPage.PubList.ConfName", "VLDB")
+        .where(Predicate([In("AuthorPage.PubList.Year", years)]))
+        .project(
+            ("AName", "AuthorPage.AName"),
+            ("Year", "AuthorPage.PubList.Year"),
+        )
+    )
+    return years, {
+        "path 1 (all conferences)": path1,
+        "path 2 (db conferences)": path2,
+        "path 3 (direct VLDB link)": path3,
+        "path 4 (author list)": path4,
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements(bib_env):
+    years, paths = build_paths(bib_env)
+    rows = []
+    answers = []
+    for label, plan in paths.items():
+        result = bib_env.execute(plan)
+        per_year = {y: set() for y in years}
+        for row in result.relation:
+            if row["Year"] in per_year:
+                per_year[row["Year"]].add(row["AName"])
+        answer = set.intersection(*per_year.values())
+        answers.append(answer)
+        rows.append(
+            {
+                "path": label,
+                "pages": result.pages,
+                "bytes": result.log.bytes_downloaded,
+                "estimated": f"{bib_env.cost_model.cost(plan):.1f}",
+                "authors": len(answer),
+            }
+        )
+    assert all(a == answers[0] for a in answers)
+    record(
+        "EX-INTRO",
+        "authors in the last three VLDBs — four access paths",
+        table(rows, ["path", "pages", "bytes", "estimated", "authors"]),
+    )
+    return {row["path"]: row for row in rows}
+
+
+class TestShape:
+    def test_paths_1_to_3_are_cheap(self, measurements):
+        for label in list(measurements)[:3]:
+            assert measurements[label]["pages"] <= 8
+
+    def test_path4_is_orders_of_magnitude_worse(self, bib_env, measurements):
+        path4 = measurements["path 4 (author list)"]["pages"]
+        path1 = measurements["path 1 (all conferences)"]["pages"]
+        assert path4 >= len(bib_env.site.authors)
+        assert path4 / path1 > 100
+
+    def test_path2_downloads_fewer_bytes_than_path1(self, measurements):
+        assert (
+            measurements["path 2 (db conferences)"]["bytes"]
+            < measurements["path 1 (all conferences)"]["bytes"]
+        )
+
+    def test_path3_is_cheapest(self, measurements):
+        pages = {label: row["pages"] for label, row in measurements.items()}
+        assert pages["path 3 (direct VLDB link)"] == min(pages.values())
+
+
+def test_bench_best_path_execution(benchmark, bib_env, measurements):
+    """Time executing the paper's recommended path (pages are served from
+    memory, so this measures wrapping + algebra overhead)."""
+    _, paths = build_paths(bib_env)
+    plan = paths["path 3 (direct VLDB link)"]
+    benchmark(lambda: bib_env.execute(plan))
+
+
+def test_bench_optimizer_on_intro_query(benchmark, bib_env):
+    """Time Algorithm 1 on the triple self-join intersection query."""
+    years = [str(e.year) for e in bib_env.site.vldb.editions[-3:]]
+    sql = (
+        "SELECT A1.AName FROM PaperAuthor A1, PaperAuthor A2, PaperAuthor A3 "
+        "WHERE A1.AName = A2.AName AND A2.AName = A3.AName "
+        f"AND A1.ConfName = 'VLDB' AND A1.Year = '{years[0]}' "
+        f"AND A2.ConfName = 'VLDB' AND A2.Year = '{years[1]}' "
+        f"AND A3.ConfName = 'VLDB' AND A3.Year = '{years[2]}'"
+    )
+    query = bib_env.sql(sql)
+    result = benchmark(lambda: bib_env.planner.plan_query(query))
+    assert result.best.cost < 20

@@ -1,0 +1,127 @@
+"""SEC-8 — materialized views under site updates.
+
+Paper (Section 8): the cost of answering a query over the materialized view
+is "(i) a number of light connections equal to C(E); (ii) as many page
+accesses as the number of pages involved in E that have been updated since
+the last access.  If no (or few) pages have been updated, then the cost is
+quite low."
+
+Regenerated table: sweep the fraction of course pages updated between
+queries and measure light connections + re-downloads per query, against the
+virtual-view cost of the same plan and the full-recrawl baseline the paper
+argues against.
+"""
+
+import pytest
+
+from repro.materialized import MaterializedEngine, MaterializedStore
+from repro.sitegen import SiteMutator, UniversityConfig
+from repro.sites import university
+from repro.views.sql import parse_query
+from repro.web import WebClient
+
+from _bench_utils import record, table
+
+# a query whose plan touches every course page (worst case for maintenance)
+SQL = "SELECT CName, Session, Description, Type FROM Course"
+
+
+def fresh_setup():
+    env = university(UniversityConfig())
+    store = MaterializedStore(
+        env.scheme, WebClient(env.site.server), env.registry
+    )
+    store.populate()
+    store.client.log.reset()
+    engine = MaterializedEngine(store, env.planner)
+    return env, store, engine
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    rows = []
+    raw = []
+    for fraction in (0.0, 0.1, 0.25, 0.5, 1.0):
+        env, store, engine = fresh_setup()
+        mutator = SiteMutator(env.site)
+        query = parse_query(SQL, env.view)
+        planned = env.plan(query)
+        virtual_pages = env.execute(planned.best.expr).pages
+        updated = mutator.revise_courses(fraction)
+        result = engine.execute(planned.best.expr)
+        rows.append(
+            {
+                "updated": f"{fraction:.0%} ({updated} pages)",
+                "light": result.light_connections,
+                "downloads": result.pages,
+                "sim time": f"{result.log.simulated_seconds:.1f}s",
+                "virtual": virtual_pages,
+                "recrawl": len(env.site.server),
+            }
+        )
+        raw.append((fraction, updated, result, virtual_pages))
+    lines = table(
+        rows,
+        ["updated", "light", "downloads", "sim time", "virtual", "recrawl"],
+    )
+    lines.append("")
+    lines.append(
+        "downloads ≈ updated pages; light ≈ C(E); virtual = pages a "
+        "non-materialized execution fetches; recrawl = maintaining the "
+        "store by re-navigating the whole site"
+    )
+    record("SEC-8", "materialized-view query cost vs update rate", lines)
+    return raw
+
+
+class TestShape:
+    def test_no_updates_means_no_downloads(self, sweep_results):
+        fraction, updated, result, _ = sweep_results[0]
+        assert updated == 0
+        assert result.pages == 0
+        assert result.light_connections > 0
+
+    def test_downloads_track_updated_pages(self, sweep_results):
+        for fraction, updated, result, _ in sweep_results:
+            assert result.pages == updated
+
+    def test_materialized_beats_virtual_when_updates_rare(self, sweep_results):
+        _, _, result, virtual = sweep_results[1]  # 10% updates
+        assert result.pages < virtual
+
+    def test_materialized_beats_full_recrawl_always(self, sweep_results):
+        for _, _, result, _ in sweep_results:
+            assert result.pages <= 50  # never more than the plan's pages
+
+    def test_answers_stay_fresh(self):
+        env, store, engine = fresh_setup()
+        mutator = SiteMutator(env.site)
+        mutator.revise_courses(0.25, revision="fresh-check")
+        result = engine.query(parse_query(SQL, env.view))
+        revised = sum(
+            1
+            for row in result.relation
+            if "fresh-check" in row["Description"]
+        )
+        assert revised == round(len(env.site.courses) * 0.25)
+
+
+def test_bench_materialized_query_no_updates(benchmark):
+    env, store, engine = fresh_setup()
+    query = parse_query(SQL, env.view)
+    plan = env.plan(query).best.expr
+    result = benchmark(lambda: engine.execute(plan))
+    assert result.pages == 0
+
+
+def test_bench_populate(benchmark):
+    env = university(UniversityConfig())
+
+    def populate():
+        store = MaterializedStore(
+            env.scheme, WebClient(env.site.server), env.registry
+        )
+        return store.populate()
+
+    pages = benchmark(populate)
+    assert pages == len(env.site.server)

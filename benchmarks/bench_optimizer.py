@@ -1,0 +1,102 @@
+"""ALG-1 — Algorithm 1 across a query workload.
+
+The paper's Section 6.3 algorithm enumerates candidate plans by staged
+rewriting and picks the minimum-cost one.  This benchmark regenerates an
+overview table for a representative workload: plans generated, valid plans,
+chosen cost vs worst cost (the price of *not* optimizing), and the measured
+page downloads of the chosen plan.
+"""
+
+import pytest
+
+from repro.views.sql import parse_query
+
+from _bench_utils import record, table
+
+WORKLOAD = [
+    ("Q1 dept names", "SELECT DName FROM Dept"),
+    ("Q2 full professors",
+     "SELECT PName, email FROM Professor WHERE Rank = 'Full'"),
+    ("Q3 course catalog",
+     "SELECT CName, Session, Type FROM Course"),
+    ("Q4 instructors",
+     "SELECT CName, PName FROM CourseInstructor"),
+    ("Q5 CS members",
+     "SELECT Professor.PName FROM Professor, ProfDept "
+     "WHERE Professor.PName = ProfDept.PName "
+     "AND ProfDept.DName = 'Computer Science'"),
+    ("Q6 example 7.1",
+     "SELECT Course.CName, Description FROM Professor, CourseInstructor, "
+     "Course WHERE Professor.PName = CourseInstructor.PName "
+     "AND CourseInstructor.CName = Course.CName "
+     "AND Rank = 'Full' AND Session = 'Fall'"),
+    ("Q7 example 7.2",
+     "SELECT Professor.PName, email FROM Course, CourseInstructor, "
+     "Professor, ProfDept WHERE Course.CName = CourseInstructor.CName "
+     "AND CourseInstructor.PName = Professor.PName "
+     "AND Professor.PName = ProfDept.PName "
+     "AND ProfDept.DName = 'Computer Science' AND Type = 'Graduate'"),
+]
+
+
+@pytest.fixture(scope="module")
+def workload_results(uni_env):
+    rows = []
+    details = {}
+    for label, sql in WORKLOAD:
+        query = parse_query(sql, uni_env.view)
+        planned = uni_env.planner.plan_query(query)
+        measured = uni_env.execute(planned.best.expr)
+        rows.append(
+            {
+                "query": label,
+                "plans": planned.generated,
+                "valid": len(planned.candidates),
+                "best": f"{planned.best.cost:.1f}",
+                "worst": f"{planned.candidates[-1].cost:.1f}",
+                "measured": measured.pages,
+                "rows": len(measured.relation),
+            }
+        )
+        details[label] = (planned, measured)
+    record(
+        "ALG-1",
+        "Algorithm 1 over the university workload",
+        table(rows, ["query", "plans", "valid", "best", "worst",
+                     "measured", "rows"]),
+    )
+    return details
+
+
+class TestShape:
+    def test_every_query_produces_plans(self, workload_results):
+        for label, (planned, _) in workload_results.items():
+            assert planned.candidates, label
+
+    def test_optimization_matters(self, workload_results):
+        """For the multi-join queries the worst plan costs meaningfully
+        more than the best — the optimizer is not a no-op."""
+        for label, factor in (("Q6 example 7.1", 1.3),
+                              ("Q7 example 7.2", 2.0)):
+            planned, _ = workload_results[label]
+            worst = planned.candidates[-1].cost
+            assert worst >= factor * planned.best.cost, label
+
+    def test_estimates_track_measurements(self, workload_results):
+        for label, (planned, measured) in workload_results.items():
+            assert planned.best.cost <= 2 * measured.pages + 2, label
+            assert measured.pages <= 2 * planned.best.cost + 2, label
+
+
+@pytest.mark.parametrize("label,sql", WORKLOAD[:5])
+def test_bench_planning(benchmark, uni_env, label, sql):
+    query = parse_query(sql, uni_env.view)
+    result = benchmark(lambda: uni_env.planner.plan_query(query))
+    assert result.candidates
+
+
+def test_bench_end_to_end_query(benchmark, uni_env):
+    """SQL text → parse → plan → execute, the full user path."""
+    sql = WORKLOAD[4][1]
+    result = benchmark(lambda: uni_env.query(sql))
+    assert len(result.relation) > 0

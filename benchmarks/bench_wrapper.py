@@ -1,0 +1,104 @@
+"""WRAP — wrapper throughput and statistics-exploration cost.
+
+The paper assumes wrappers (Section 3.1) and a WebSQL-style exploration
+pass for the cost-model parameters (Section 6.2).  This benchmark measures
+what those substrates cost in our reproduction: pages wrapped per second,
+full-crawl statistics estimation, and the fidelity of a bounded crawl's
+estimates against the exact oracle.
+"""
+
+import pytest
+
+from repro.stats.estimator import SiteExplorer, estimate_statistics
+from repro.stats.exact import exact_statistics
+from repro.web import WebClient
+
+from _bench_utils import record, table
+
+
+@pytest.fixture(scope="module")
+def fidelity(uni_env):
+    """Estimate quality vs crawl budget."""
+    exact = uni_env.stats
+    rows = []
+    for budget in (10, 25, 50, None):
+        client = WebClient(uni_env.site.server)
+        explorer = SiteExplorer(uni_env.scheme, client, uni_env.registry)
+        stats = explorer.explore(max_pages=budget)
+        seen_profs = stats.scheme_cards.get("ProfPage", 0)
+        seen_courses = stats.scheme_cards.get("CoursePage", 0)
+        rows.append(
+            {
+                "crawl budget": budget if budget is not None else "full",
+                "pages fetched": client.log.page_downloads,
+                "|ProfPage| est": seen_profs,
+                "|CoursePage| est": seen_courses,
+            }
+        )
+    lines = table(
+        rows,
+        ["crawl budget", "pages fetched", "|ProfPage| est",
+         "|CoursePage| est"],
+    )
+    lines.append("")
+    lines.append(
+        f"exact: |ProfPage| = {exact.card('ProfPage'):.0f}, "
+        f"|CoursePage| = {exact.card('CoursePage'):.0f}"
+    )
+    record("WRAP", "statistics estimation vs crawl budget", lines)
+    return rows
+
+
+class TestShape:
+    def test_full_crawl_is_exact(self, uni_env, fidelity):
+        full = fidelity[-1]
+        assert full["|ProfPage| est"] == 20
+        assert full["|CoursePage| est"] == 50
+
+    def test_bounded_crawls_underestimate_monotonically(self, fidelity):
+        courses = [row["|CoursePage| est"] for row in fidelity]
+        assert courses == sorted(courses)
+
+
+def test_bench_wrap_single_page(benchmark, uni_env):
+    prof = uni_env.site.profs[0]
+    html = uni_env.site.server.resource(prof.url).html
+    row = benchmark(
+        lambda: uni_env.registry.wrap("ProfPage", prof.url, html)
+    )
+    assert row["PName"] == prof.name
+
+
+def test_bench_wrap_whole_site(benchmark, uni_env):
+    server = uni_env.site.server
+    pages = [
+        (server.resource(url).page_scheme, url, server.resource(url).html)
+        for url in server.urls()
+    ]
+
+    def wrap_all():
+        return [
+            uni_env.registry.wrap(scheme, url, html)
+            for scheme, url, html in pages
+        ]
+
+    rows = benchmark(wrap_all)
+    assert len(rows) == len(server)
+
+
+def test_bench_exact_statistics(benchmark, uni_env):
+    stats = benchmark(
+        lambda: exact_statistics(
+            uni_env.scheme, uni_env.site.server, uni_env.registry
+        )
+    )
+    assert stats.card("CoursePage") == 50
+
+
+def test_bench_crawl_statistics(benchmark, uni_env):
+    stats = benchmark(
+        lambda: estimate_statistics(
+            uni_env.scheme, uni_env.site.server, uni_env.registry
+        )
+    )
+    assert stats.card("CoursePage") == 50

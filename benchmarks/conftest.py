@@ -1,0 +1,31 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark module reproduces one experiment from the paper (see
+DESIGN.md's experiment index): it computes the experiment's table, prints
+it, writes it to ``benchmarks/results/<id>.txt``, asserts the paper's
+qualitative claims (who wins, by roughly what factor), and times the
+interesting computational kernel with pytest-benchmark.
+
+Run:  pytest benchmarks/ --benchmark-only
+The tables land in benchmarks/results/ either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sitegen import BibliographyConfig, UniversityConfig
+from repro.sites import bibliography, university
+
+@pytest.fixture(scope="session")
+def uni_env():
+    """The paper's cardinalities: 3 departments, 20 professors, 50 courses."""
+    return university(UniversityConfig())
+
+
+@pytest.fixture(scope="session")
+def bib_env():
+    """A DBLP-like site with a sizeable author list (the real site had
+    16,000+ authors; 800 keeps the run fast while preserving the
+    orders-of-magnitude gap)."""
+    return bibliography(BibliographyConfig(n_authors=800))

@@ -1,0 +1,240 @@
+"""Build your own web view from scratch with the public API.
+
+Everything the bundled university/bibliography environments do, done by
+hand for a small "recipe site": declare the ADM scheme with constraints,
+publish HTML pages, derive wrappers, gather statistics, define an external
+view with two alternative default navigations, and let the optimizer pick
+access paths.
+
+Run:  python examples/custom_site.py
+"""
+
+from repro import (
+    EntryPointScan,
+    SchemeBuilder,
+    SimulatedWebServer,
+    TEXT,
+    WebClient,
+    link,
+    list_of,
+    registry_for_scheme,
+)
+from repro.engine import RemoteExecutor
+from repro.optimizer import CostModel, Planner
+from repro.sitegen.html_writer import render_page
+from repro.stats import exact_statistics
+from repro.views import DefaultNavigation, ExternalRelation, ExternalView
+from repro.views.sql import parse_query
+
+BASE = "http://recipes.example"
+
+
+def build_scheme():
+    b = SchemeBuilder("recipes")
+    b.page("RecipeListPage").attr(
+        "Recipes", list_of(("RName", TEXT), ("ToRecipe", link("RecipePage")))
+    ).entry_point(f"{BASE}/recipes.html")
+    b.page("ChefListPage").attr(
+        "Chefs", list_of(("CName", TEXT), ("ToChef", link("ChefPage")))
+    ).entry_point(f"{BASE}/chefs.html")
+    b.page("RecipePage").attr("RName", TEXT).attr("Cuisine", TEXT).attr(
+        "CName", TEXT
+    ).attr("ToChef", link("ChefPage"))
+    b.page("ChefPage").attr("CName", TEXT).attr("Star", TEXT).attr(
+        "Dishes", list_of(("RName", TEXT), ("ToRecipe", link("RecipePage")))
+    )
+    # redundancies: anchors carry the names; recipe pages carry chef names
+    b.link_constraint(
+        "RecipeListPage.Recipes.ToRecipe",
+        "RecipeListPage.Recipes.RName = RecipePage.RName",
+    )
+    b.link_constraint(
+        "ChefListPage.Chefs.ToChef", "ChefListPage.Chefs.CName = ChefPage.CName"
+    )
+    b.link_constraint("RecipePage.ToChef", "RecipePage.CName = ChefPage.CName")
+    b.link_constraint(
+        "ChefPage.Dishes.ToRecipe", "ChefPage.Dishes.RName = RecipePage.RName"
+    )
+    # every chef's dish is on the global recipe list; every recipe's chef
+    # is on the global chef list
+    b.inclusion(
+        "ChefPage.Dishes.ToRecipe <= RecipeListPage.Recipes.ToRecipe"
+    )
+    b.inclusion("RecipePage.ToChef <= ChefListPage.Chefs.ToChef")
+    return b.build()
+
+
+RECIPES = [
+    ("Carbonara", "Italian", "Ada"),
+    ("Cacio e Pepe", "Italian", "Ada"),
+    ("Mole", "Mexican", "Grace"),
+    ("Pozole", "Mexican", "Grace"),
+    ("Ramen", "Japanese", "Alan"),
+    ("Okonomiyaki", "Japanese", "Alan"),
+]
+CHEFS = {"Ada": "3 stars", "Grace": "2 stars", "Alan": "1 star"}
+
+
+def publish_site(scheme, server):
+    def recipe_url(name):
+        return f"{BASE}/recipe/{name.lower().replace(' ', '-')}.html"
+
+    def chef_url(name):
+        return f"{BASE}/chef/{name.lower()}.html"
+
+    server.publish(
+        f"{BASE}/recipes.html",
+        render_page(
+            scheme.page_scheme("RecipeListPage"),
+            {
+                "Recipes": [
+                    {"RName": r, "ToRecipe": recipe_url(r)}
+                    for r, _, _ in RECIPES
+                ]
+            },
+            "All Recipes",
+        ),
+        page_scheme="RecipeListPage",
+    )
+    server.publish(
+        f"{BASE}/chefs.html",
+        render_page(
+            scheme.page_scheme("ChefListPage"),
+            {
+                "Chefs": [
+                    {"CName": c, "ToChef": chef_url(c)} for c in CHEFS
+                ]
+            },
+            "Our Chefs",
+        ),
+        page_scheme="ChefListPage",
+    )
+    for rname, cuisine, chef in RECIPES:
+        server.publish(
+            recipe_url(rname),
+            render_page(
+                scheme.page_scheme("RecipePage"),
+                {
+                    "RName": rname,
+                    "Cuisine": cuisine,
+                    "CName": chef,
+                    "ToChef": chef_url(chef),
+                },
+                rname,
+            ),
+            page_scheme="RecipePage",
+        )
+    for chef, star in CHEFS.items():
+        server.publish(
+            chef_url(chef),
+            render_page(
+                scheme.page_scheme("ChefPage"),
+                {
+                    "CName": chef,
+                    "Star": star,
+                    "Dishes": [
+                        {"RName": r, "ToRecipe": recipe_url(r)}
+                        for r, _, c in RECIPES
+                        if c == chef
+                    ],
+                },
+                chef,
+            ),
+            page_scheme="ChefPage",
+        )
+
+
+def build_view(scheme):
+    recipes_nav = (
+        EntryPointScan("RecipeListPage")
+        .unnest("RecipeListPage.Recipes")
+        .follow("RecipeListPage.Recipes.ToRecipe")
+    )
+    chefs_nav = (
+        EntryPointScan("ChefListPage")
+        .unnest("ChefListPage.Chefs")
+        .follow("ChefListPage.Chefs.ToChef")
+    )
+    view = ExternalView(scheme)
+    view.add(
+        ExternalRelation(
+            "Recipe",
+            ("RName", "Cuisine", "CName"),
+            (
+                DefaultNavigation.of(
+                    recipes_nav,
+                    {
+                        "RName": "RecipePage.RName",
+                        "Cuisine": "RecipePage.Cuisine",
+                        "CName": "RecipePage.CName",
+                    },
+                ),
+            ),
+        )
+    )
+    view.add(
+        ExternalRelation(
+            "Chef",
+            ("CName", "Star"),
+            (
+                DefaultNavigation.of(
+                    chefs_nav,
+                    {"CName": "ChefPage.CName", "Star": "ChefPage.Star"},
+                ),
+            ),
+        )
+    )
+    view.add(
+        ExternalRelation(
+            "ChefDish",
+            ("CName", "RName"),
+            (
+                DefaultNavigation.of(
+                    chefs_nav.unnest("ChefPage.Dishes"),
+                    {
+                        "CName": "ChefPage.CName",
+                        "RName": "ChefPage.Dishes.RName",
+                    },
+                ),
+                DefaultNavigation.of(
+                    recipes_nav,
+                    {
+                        "CName": "RecipePage.CName",
+                        "RName": "RecipePage.RName",
+                    },
+                ),
+            ),
+        )
+    )
+    return view
+
+
+def main() -> None:
+    scheme = build_scheme()
+    server = SimulatedWebServer()
+    publish_site(scheme, server)
+    print(f"Published {len(server)} pages.")
+
+    registry = registry_for_scheme(scheme)
+    stats = exact_statistics(scheme, server, registry)
+    view = build_view(scheme)
+    planner = Planner(view, CostModel(scheme, stats))
+    client = WebClient(server)
+    executor = RemoteExecutor(scheme, client, registry)
+
+    for sql in [
+        "SELECT RName FROM Recipe WHERE Cuisine = 'Italian'",
+        "SELECT Chef.CName, Star FROM Chef, ChefDish "
+        "WHERE Chef.CName = ChefDish.CName AND ChefDish.RName = 'Mole'",
+    ]:
+        print()
+        print("Query:", sql)
+        planned = planner.plan_query(parse_query(sql, view))
+        print(planned.describe(scheme, limit=4))
+        result = executor.execute(planned.best.expr)
+        print(result.relation.to_table())
+        print(f"{result.pages} pages downloaded")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+where the ``wheel`` package (required by PEP-517 editable builds) is not
+available.  All metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""ADM subset data model (paper, Section 3).
+
+This package implements the slice of the Araneus Data Model the paper uses:
+
+* :mod:`repro.adm.webtypes` — the web type system (``text``, ``image``,
+  ``link to P``, ``list of (...)``);
+* :mod:`repro.adm.page_scheme` — page-schemes and attribute paths;
+* :mod:`repro.adm.constraints` — link constraints and inclusion constraints;
+* :mod:`repro.adm.scheme` — web schemes (page-schemes + entry points +
+  constraints) with validation and reachability helpers;
+* :mod:`repro.adm.builder` — a fluent builder for declaring schemes.
+"""
+
+from repro.adm.webtypes import (
+    WebType,
+    TextType,
+    ImageType,
+    LinkType,
+    ListType,
+    UrlType,
+    TEXT,
+    IMAGE,
+    URL_TYPE,
+    link,
+    list_of,
+)
+from repro.adm.page_scheme import Attribute, AttrPath, PageScheme
+from repro.adm.constraints import LinkConstraint, InclusionConstraint
+from repro.adm.scheme import EntryPoint, WebScheme
+from repro.adm.builder import SchemeBuilder
+
+__all__ = [
+    "WebType",
+    "TextType",
+    "ImageType",
+    "LinkType",
+    "ListType",
+    "UrlType",
+    "TEXT",
+    "IMAGE",
+    "URL_TYPE",
+    "link",
+    "list_of",
+    "Attribute",
+    "AttrPath",
+    "PageScheme",
+    "LinkConstraint",
+    "InclusionConstraint",
+    "EntryPoint",
+    "WebScheme",
+    "SchemeBuilder",
+]

@@ -1,0 +1,110 @@
+"""Fluent builder for web schemes.
+
+Declaring a scheme with raw constructors is verbose; :class:`SchemeBuilder`
+offers a compact declaration style used by the site generators and the
+examples:
+
+>>> from repro.adm import SchemeBuilder, TEXT, link, list_of
+>>> b = SchemeBuilder("university")
+>>> b.page("DeptListPage").attr(
+...     "DeptList", list_of(("DName", TEXT), ("ToDept", link("DeptPage")))
+... ).entry_point("http://univ.example/depts")
+PageBuilder(DeptListPage)
+>>> b.page("DeptPage").attr("DName", TEXT).attr("Address", TEXT)
+PageBuilder(DeptPage)
+>>> b.link_constraint("DeptListPage.DeptList.ToDept",
+...                   "DeptListPage.DeptList.DName = DeptPage.DName")
+>>> scheme = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adm.constraints import InclusionConstraint, LinkConstraint
+from repro.adm.page_scheme import Attribute, PageScheme
+from repro.adm.scheme import EntryPoint, WebScheme
+from repro.adm.webtypes import WebType
+from repro.errors import SchemeError
+
+__all__ = ["SchemeBuilder", "PageBuilder"]
+
+
+class PageBuilder:
+    """Accumulates the attributes of a single page-scheme."""
+
+    def __init__(self, parent: "SchemeBuilder", name: str):
+        self._parent = parent
+        self._name = name
+        self._attributes: list[Attribute] = []
+        self._entry_url: Optional[str] = None
+
+    def attr(self, name: str, wtype: WebType) -> "PageBuilder":
+        """Declare an attribute; returns self for chaining."""
+        self._attributes.append(Attribute(name, wtype))
+        return self
+
+    def entry_point(self, url: str) -> "PageBuilder":
+        """Mark this page-scheme as an entry point with the given URL."""
+        self._entry_url = url
+        return self
+
+    def _build(self) -> PageScheme:
+        return PageScheme(self._name, self._attributes)
+
+    def __repr__(self) -> str:
+        return f"PageBuilder({self._name})"
+
+
+class SchemeBuilder:
+    """Accumulates page-schemes and constraints, then builds a WebScheme."""
+
+    def __init__(self, name: str = "web"):
+        self._name = name
+        self._pages: dict[str, PageBuilder] = {}
+        self._link_constraints: list[LinkConstraint] = []
+        self._inclusion_constraints: list[InclusionConstraint] = []
+
+    def page(self, name: str) -> PageBuilder:
+        """Start (or continue) declaring page-scheme ``name``."""
+        if name in self._pages:
+            return self._pages[name]
+        builder = PageBuilder(self, name)
+        self._pages[name] = builder
+        return builder
+
+    def link_constraint(self, link: str, equality: str) -> None:
+        """Declare a link constraint, e.g.
+        ``link_constraint("ProfPage.ToDept", "ProfPage.DName = DeptPage.DName")``."""
+        self._link_constraints.append(LinkConstraint.parse(link, equality))
+
+    def inclusion(self, text: str) -> None:
+        """Declare an inclusion constraint, e.g.
+        ``inclusion("CoursePage.ToProf <= ProfListPage.ProfList.ToProf")``."""
+        self._inclusion_constraints.append(InclusionConstraint.parse(text))
+
+    def equivalence(self, left: str, right: str) -> None:
+        """Declare ``left ≡ right``: inclusions in both directions (the
+        paper's compact ≡ notation)."""
+        self.inclusion(f"{left} <= {right}")
+        self.inclusion(f"{right} <= {left}")
+
+    def build(self) -> WebScheme:
+        """Validate everything and return the immutable WebScheme."""
+        if not self._pages:
+            raise SchemeError("a web scheme needs at least one page-scheme")
+        page_schemes = [pb._build() for pb in self._pages.values()]
+        entry_points = [
+            EntryPoint(pb._name, pb._entry_url)
+            for pb in self._pages.values()
+            if pb._entry_url is not None
+        ]
+        if not entry_points:
+            raise SchemeError("a web scheme needs at least one entry point")
+        return WebScheme(
+            page_schemes,
+            entry_points,
+            self._link_constraints,
+            self._inclusion_constraints,
+            name=self._name,
+        )

@@ -1,0 +1,196 @@
+"""Link and inclusion constraints (paper, Section 3.2).
+
+*Link constraints* document attribute redundancy across a link:
+``ProfPage.DName = DeptPage.DName`` associated with link ``ProfPage.ToDept``
+says that the source page already carries the value of an attribute of the
+target page.  The optimizer's rules 2, 6, 7, 8 and 9 are all driven by link
+constraints.
+
+*Inclusion constraints* document containment between navigation paths:
+``CoursePage.ToProf ⊆ ProfListPage.ProfList.ToProf`` says every professor
+reachable through a course is also on the global list of professors.  Rule 9
+(pointer chase) is driven by inclusion constraints.
+
+Both constraints reference attributes by page-scheme name plus attribute
+path.  The link a link-constraint is *associated with* is identified the
+same way (the paper attaches the predicate to a specific link attribute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adm.page_scheme import AttrPath, PageScheme, URL_ATTR
+from repro.adm.webtypes import LinkType
+from repro.errors import ConstraintError
+
+__all__ = ["AttrRef", "LinkConstraint", "InclusionConstraint"]
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """A reference to an attribute of a page-scheme: ``scheme.path``."""
+
+    scheme: str
+    path: AttrPath
+
+    @classmethod
+    def parse(cls, text: str) -> "AttrRef":
+        """Parse ``"ProfPage.CourseList.ToCourse"`` (first step is the scheme)."""
+        steps = text.split(".")
+        if len(steps) < 2:
+            raise ConstraintError(
+                f"attribute reference {text!r} needs scheme and attribute"
+            )
+        return cls(steps[0], AttrPath(tuple(steps[1:])))
+
+    def __str__(self) -> str:
+        return f"{self.scheme}.{self.path}"
+
+
+@dataclass(frozen=True)
+class LinkConstraint:
+    """``source_attr = target_attr`` associated with link ``link_path``.
+
+    ``link_path`` is an attribute path in page-scheme ``source`` whose type
+    is ``link to target``.  The constraint states: for tuples ``t1`` of the
+    source and ``t2`` of the target, ``t1.link = t2.URL`` iff
+    ``t1.source_attr = t2.target_attr``.
+
+    The source attribute must live at the same nesting level as the link (or
+    at an enclosing level); the target attribute is a mono-valued attribute
+    of the target page-scheme.
+    """
+
+    source: str
+    link_path: AttrPath
+    source_attr: AttrPath
+    target: str
+    target_attr: AttrPath
+
+    @classmethod
+    def parse(cls, link: str, equality: str) -> "LinkConstraint":
+        """Build from text: ``LinkConstraint.parse("ProfPage.ToDept",
+        "ProfPage.DName = DeptPage.DName")``.
+
+        The link's target scheme is taken from the right-hand side of the
+        equality; it is validated against the scheme later.
+        """
+        link_ref = AttrRef.parse(link)
+        left_text, sep, right_text = equality.partition("=")
+        if not sep:
+            raise ConstraintError(f"link constraint {equality!r} must contain '='")
+        left = AttrRef.parse(left_text.strip())
+        right = AttrRef.parse(right_text.strip())
+        if left.scheme != link_ref.scheme:
+            # allow the user to write the equality in either order
+            left, right = right, left
+        if left.scheme != link_ref.scheme:
+            raise ConstraintError(
+                f"neither side of {equality!r} belongs to link source "
+                f"{link_ref.scheme!r}"
+            )
+        return cls(
+            source=link_ref.scheme,
+            link_path=link_ref.path,
+            source_attr=left.path,
+            target=right.scheme,
+            target_attr=right.path,
+        )
+
+    def validate(self, schemes: dict[str, PageScheme]) -> None:
+        """Check the constraint against the page-schemes; raise on error."""
+        if self.source not in schemes:
+            raise ConstraintError(f"unknown source page-scheme {self.source!r}")
+        if self.target not in schemes:
+            raise ConstraintError(f"unknown target page-scheme {self.target!r}")
+        src = schemes[self.source]
+        tgt = schemes[self.target]
+        link_type = src.attr_type(self.link_path)
+        if not isinstance(link_type, LinkType):
+            raise ConstraintError(
+                f"{self.source}.{self.link_path} is not a link attribute"
+            )
+        if link_type.target != self.target:
+            raise ConstraintError(
+                f"link {self.source}.{self.link_path} targets "
+                f"{link_type.target!r}, not {self.target!r}"
+            )
+        src_type = src.attr_type(self.source_attr)
+        if src_type.is_nested():
+            raise ConstraintError(
+                f"link-constraint source attribute {self.source_attr} is multi-valued"
+            )
+        tgt_type = tgt.attr_type(self.target_attr)
+        if tgt_type.is_nested():
+            raise ConstraintError(
+                f"link-constraint target attribute {self.target_attr} is multi-valued"
+            )
+        # The source attribute must be visible wherever the link is: either a
+        # top-level attribute or a sibling inside the same nested list.
+        link_parent = self.link_path.parent
+        attr_parent = self.source_attr.parent
+        if attr_parent is not None and attr_parent != link_parent:
+            raise ConstraintError(
+                f"source attribute {self.source_attr} is not at the link's "
+                f"nesting level ({self.link_path})"
+            )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source}.{self.source_attr} = {self.target}.{self.target_attr}"
+            f" [on {self.source}.{self.link_path}]"
+        )
+
+
+@dataclass(frozen=True)
+class InclusionConstraint:
+    """``subset ⊆ superset`` between two link-valued attribute paths.
+
+    Both sides must be link attributes targeting the *same* page-scheme.
+    ``P1.L1 ⊆ P2.L2`` holds when every value of ``L1`` (over the instance of
+    ``P1``) appears as a value of ``L2`` (over the instance of ``P2``).
+    """
+
+    subset: AttrRef
+    superset: AttrRef
+
+    @classmethod
+    def parse(cls, text: str) -> "InclusionConstraint":
+        """Parse ``"CoursePage.ToProf <= ProfListPage.ProfList.ToProf"``.
+
+        Accepts ``<=`` or the unicode ``⊆`` as the containment symbol.
+        """
+        for symbol in ("<=", "⊆"):
+            if symbol in text:
+                left_text, _, right_text = text.partition(symbol)
+                return cls(
+                    AttrRef.parse(left_text.strip()),
+                    AttrRef.parse(right_text.strip()),
+                )
+        raise ConstraintError(f"inclusion constraint {text!r} must contain '<=' or '⊆'")
+
+    def validate(self, schemes: dict[str, PageScheme]) -> None:
+        """Check both sides are links to the same target; raise on error."""
+        targets = []
+        for ref in (self.subset, self.superset):
+            if ref.scheme not in schemes:
+                raise ConstraintError(f"unknown page-scheme {ref.scheme!r}")
+            wtype = schemes[ref.scheme].attr_type(ref.path)
+            if not isinstance(wtype, LinkType):
+                raise ConstraintError(f"{ref} is not a link attribute")
+            targets.append(wtype.target)
+        if targets[0] != targets[1]:
+            raise ConstraintError(
+                f"inclusion sides target different page-schemes: "
+                f"{targets[0]!r} vs {targets[1]!r}"
+            )
+
+    def target_scheme(self, schemes: dict[str, PageScheme]) -> str:
+        """The page-scheme both link attributes point to."""
+        wtype = schemes[self.subset.scheme].attr_type(self.subset.path)
+        assert isinstance(wtype, LinkType)
+        return wtype.target
+
+    def __str__(self) -> str:
+        return f"{self.subset} ⊆ {self.superset}"

@@ -1,0 +1,70 @@
+"""Scheme diagrams (the paper's Figure 1 as an artifact).
+
+:func:`scheme_to_dot` renders a web scheme as a Graphviz DOT graph: one
+record node per page-scheme ("stacks" in the paper's notation, here marked
+with their cardinality role), an edge per link attribute, doubled borders
+for entry points, and dashed edges annotating inclusion constraints.  The
+output is plain text; render it with ``dot -Tsvg`` or paste it into any
+Graphviz viewer.
+"""
+
+from __future__ import annotations
+
+from repro.adm.scheme import WebScheme
+from repro.adm.webtypes import ListType
+
+__all__ = ["scheme_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("<", "\\<")
+        .replace(">", "\\>")
+        .replace("{", "\\{")
+        .replace("}", "\\}")
+        .replace("|", "\\|")
+    )
+
+
+def _attr_lines(ps) -> list[str]:
+    lines = []
+    for attr in ps.attributes:
+        if isinstance(attr.wtype, ListType):
+            inner = ", ".join(name for name, _ in attr.wtype.fields)
+            lines.append(f"{attr.name} [{inner}]")
+        else:
+            lines.append(f"{attr.name}: {attr.wtype}")
+    return lines
+
+
+def scheme_to_dot(scheme: WebScheme) -> str:
+    """A Graphviz DOT rendering of the web scheme."""
+    out = [f'digraph "{_escape(scheme.name)}" {{']
+    out.append("  rankdir=LR;")
+    out.append('  node [shape=record, fontname="Helvetica", fontsize=10];')
+    for name in sorted(scheme.page_schemes):
+        ps = scheme.page_schemes[name]
+        body = "\\l".join(_escape(line) for line in _attr_lines(ps))
+        label = f"{{{_escape(name)}|{body}\\l}}" if body else _escape(name)
+        peripheries = 2 if scheme.is_entry_point(name) else 1
+        out.append(
+            f'  "{name}" [label="{label}", peripheries={peripheries}];'
+        )
+    for name in sorted(scheme.page_schemes):
+        for path, target in sorted(
+            scheme.out_links(name), key=lambda item: str(item[0])
+        ):
+            out.append(
+                f'  "{name}" -> "{target}" [label="{_escape(str(path))}"];'
+            )
+    for constraint in scheme.inclusion_constraints:
+        out.append(
+            f'  "{constraint.subset.scheme}" -> '
+            f'"{constraint.superset.scheme}" '
+            f'[style=dashed, color=gray, '
+            f'label="{_escape(f"{constraint.subset.path} ⊆ {constraint.superset.path}")}"];'
+        )
+    out.append("}")
+    return "\n".join(out)

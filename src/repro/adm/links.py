@@ -1,0 +1,43 @@
+"""Walking the link values of a wrapped tuple.
+
+Both the statistics crawler and the materialized store need to enumerate
+the outgoing links of a page tuple — ``outlinks(t)`` in the paper's
+Function 2 — as ``(target page-scheme, URL)`` pairs.  Null links (optional
+attributes) are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.adm.scheme import WebScheme
+from repro.adm.webtypes import LinkType, ListType
+
+__all__ = ["iter_outlinks", "outlink_set"]
+
+
+def iter_outlinks(
+    scheme: WebScheme, page_scheme: str, plain: dict
+) -> Iterator[Tuple[str, str]]:
+    """Yield ``(target_scheme, url)`` for every link value in the tuple."""
+    ps = scheme.page_scheme(page_scheme)
+
+    def walk(fields, row):
+        for fname, ftype in fields:
+            value = row.get(fname)
+            if isinstance(ftype, LinkType):
+                if value is not None:
+                    yield ftype.target, value
+            elif isinstance(ftype, ListType):
+                for sub in value or []:
+                    yield from walk(ftype.fields, sub)
+
+    top_fields = [(a.name, a.wtype) for a in ps.attributes]
+    yield from walk(top_fields, plain)
+
+
+def outlink_set(scheme: WebScheme, page_scheme: str, plain: dict) -> set:
+    """The paper's ``outlinks(t)``: the set of (URL, target scheme) pairs."""
+    return {
+        (url, target) for target, url in iter_outlinks(scheme, page_scheme, plain)
+    }

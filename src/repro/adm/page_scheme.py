@@ -1,0 +1,219 @@
+"""Page-schemes and attribute paths (paper, Section 3.1).
+
+A page-scheme has the form ``P(URL, A1:T1, ..., An:Tn)`` where ``URL`` is the
+implicit key.  Attributes inside ``list of`` types are addressed with dotted
+*attribute paths* such as ``ProfList.PName`` (relative to a page-scheme) or
+``ProfPage.ProfList.PName`` (absolute, i.e. qualified with the page-scheme
+name).  :class:`AttrPath` implements both forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from repro.adm.webtypes import LinkType, ListType, WebType, URL_TYPE
+from repro.errors import SchemeError
+
+__all__ = ["Attribute", "AttrPath", "PageScheme", "URL_ATTR"]
+
+#: Name of the implicit key attribute carried by every page-scheme.
+URL_ATTR = "URL"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a page-scheme or nested list."""
+
+    name: str
+    wtype: WebType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute names must be non-empty")
+        if "." in self.name:
+            raise ValueError(f"attribute name {self.name!r} must not contain '.'")
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.wtype}"
+
+
+@dataclass(frozen=True)
+class AttrPath:
+    """A dotted path to a (possibly nested) attribute.
+
+    ``AttrPath(("ProfList", "PName"))`` addresses field ``PName`` of the
+    nested list ``ProfList``.  Paths are relative to a page-scheme; use
+    :meth:`qualified` to render the absolute form used in constraints
+    (``ProfPage.ProfList.PName``).
+    """
+
+    steps: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("attribute paths must have at least one step")
+        for step in self.steps:
+            if not step or "." in step:
+                raise ValueError(f"bad path step {step!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "AttrPath":
+        """Parse ``"ProfList.PName"`` into an :class:`AttrPath`."""
+        return cls(tuple(text.split(".")))
+
+    @property
+    def leaf(self) -> str:
+        """The final attribute name on the path."""
+        return self.steps[-1]
+
+    @property
+    def parent(self) -> Optional["AttrPath"]:
+        """The path without its leaf, or None for top-level attributes."""
+        if len(self.steps) == 1:
+            return None
+        return AttrPath(self.steps[:-1])
+
+    def child(self, name: str) -> "AttrPath":
+        """Extend the path by one step."""
+        return AttrPath(self.steps + (name,))
+
+    def qualified(self, scheme_name: str) -> str:
+        """Absolute rendering: ``scheme_name.step1.step2``."""
+        return ".".join((scheme_name,) + self.steps)
+
+    def __str__(self) -> str:
+        return ".".join(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class PageScheme:
+    """A page-scheme ``P(URL, A1:T1, ..., An:Tn)``.
+
+    The ``URL`` attribute is implicit: it is always present, has
+    :data:`~repro.adm.webtypes.URL_TYPE`, and forms the key of the
+    page-relation.  ``attributes`` are the declared attributes, in order.
+
+    >>> from repro.adm import TEXT, link, list_of
+    >>> dept = PageScheme("DeptPage", [
+    ...     Attribute("DName", TEXT),
+    ...     Attribute("Address", TEXT),
+    ...     Attribute("ProfList", list_of(("PName", TEXT), ("ToProf", link("ProfPage")))),
+    ... ])
+    >>> dept.attr_type(AttrPath.parse("ProfList.PName"))
+    TextType()
+    """
+
+    def __init__(self, name: str, attributes: list[Attribute]):
+        if not name:
+            raise SchemeError("page-scheme names must be non-empty")
+        if "." in name:
+            raise SchemeError(f"page-scheme name {name!r} must not contain '.'")
+        seen: set[str] = set()
+        for attr in attributes:
+            if attr.name == URL_ATTR:
+                raise SchemeError(
+                    f"{name}: attribute {URL_ATTR!r} is implicit and must not be declared"
+                )
+            if attr.name in seen:
+                raise SchemeError(f"{name}: duplicate attribute {attr.name!r}")
+            seen.add(attr.name)
+        self.name = name
+        self.attributes: Tuple[Attribute, ...] = tuple(attributes)
+
+    # ------------------------------------------------------------------ #
+    # attribute lookup
+    # ------------------------------------------------------------------ #
+
+    def attr(self, name: str) -> Attribute:
+        """Return the top-level attribute ``name``; raise SchemeError if absent."""
+        if name == URL_ATTR:
+            return Attribute(URL_ATTR, URL_TYPE)
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemeError(f"page-scheme {self.name} has no attribute {name!r}")
+
+    def has_attr(self, name: str) -> bool:
+        return name == URL_ATTR or any(a.name == name for a in self.attributes)
+
+    def attr_type(self, path: AttrPath | str) -> WebType:
+        """Resolve a (possibly nested) attribute path to its web type."""
+        if isinstance(path, str):
+            path = AttrPath.parse(path)
+        wtype: WebType = self.attr(path.steps[0]).wtype
+        for step in path.steps[1:]:
+            if not isinstance(wtype, ListType):
+                raise SchemeError(
+                    f"{self.name}: {path} descends into non-list attribute"
+                )
+            try:
+                wtype = wtype.field_type(step)
+            except KeyError:
+                raise SchemeError(
+                    f"{self.name}: list has no field {step!r} (path {path})"
+                ) from None
+        return wtype
+
+    def has_path(self, path: AttrPath | str) -> bool:
+        try:
+            self.attr_type(path)
+            return True
+        except SchemeError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # enumeration helpers
+    # ------------------------------------------------------------------ #
+
+    def iter_paths(self) -> Iterator[Tuple[AttrPath, WebType]]:
+        """Yield every attribute path (including nested ones) with its type.
+
+        The implicit ``URL`` attribute is included first.  List attributes
+        are yielded both as list-valued paths and recursively as their
+        fields, in declaration order.
+        """
+        yield AttrPath((URL_ATTR,)), URL_TYPE
+
+        def walk(prefix: Tuple[str, ...], fields: Tuple[Tuple[str, WebType], ...]):
+            for fname, ftype in fields:
+                path = AttrPath(prefix + (fname,))
+                yield path, ftype
+                if isinstance(ftype, ListType):
+                    yield from walk(path.steps, ftype.fields)
+
+        yield from walk((), tuple((a.name, a.wtype) for a in self.attributes))
+
+    def link_paths(self) -> Iterator[Tuple[AttrPath, LinkType]]:
+        """Yield every link-typed attribute path with its :class:`LinkType`."""
+        for path, wtype in self.iter_paths():
+            if isinstance(wtype, LinkType):
+                yield path, wtype
+
+    def list_paths(self) -> Iterator[Tuple[AttrPath, ListType]]:
+        """Yield every list-typed attribute path with its :class:`ListType`."""
+        for path, wtype in self.iter_paths():
+            if isinstance(wtype, ListType):
+                yield path, wtype
+
+    def links_to(self, target: str) -> list[AttrPath]:
+        """All link paths whose target page-scheme is ``target``."""
+        return [path for path, lt in self.link_paths() if lt.target == target]
+
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PageScheme)
+            and self.name == other.name
+            and self.attributes == other.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(str(a) for a in self.attributes)
+        return f"PageScheme({self.name}: URL, {attrs})"

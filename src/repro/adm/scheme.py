@@ -1,0 +1,228 @@
+"""Web schemes (paper, Section 3.3).
+
+A web scheme describes a portion of the Web:
+
+1. a set of page-schemes connected by links;
+2. a set of entry points (page-schemes whose single instance URL is known);
+3. a set of link constraints and inclusion constraints.
+
+:class:`WebScheme` validates all three parts together, and offers the lookup
+helpers the optimizer needs: finding the link constraint attached to a link,
+finding inclusion relationships between two link paths, and graph-style
+reachability over links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.adm.constraints import AttrRef, InclusionConstraint, LinkConstraint
+from repro.adm.page_scheme import AttrPath, PageScheme
+from repro.adm.webtypes import LinkType
+from repro.errors import SchemeError
+
+__all__ = ["EntryPoint", "WebScheme"]
+
+
+@dataclass(frozen=True)
+class EntryPoint:
+    """An entry point: a page-scheme whose unique instance URL is known."""
+
+    scheme: str
+    url: str
+
+    def __str__(self) -> str:
+        return f"{self.scheme} @ {self.url}"
+
+
+class WebScheme:
+    """A validated web scheme: page-schemes + entry points + constraints."""
+
+    def __init__(
+        self,
+        page_schemes: Iterable[PageScheme],
+        entry_points: Iterable[EntryPoint],
+        link_constraints: Iterable[LinkConstraint] = (),
+        inclusion_constraints: Iterable[InclusionConstraint] = (),
+        name: str = "web",
+    ):
+        self.name = name
+        self.page_schemes: dict[str, PageScheme] = {}
+        for ps in page_schemes:
+            if ps.name in self.page_schemes:
+                raise SchemeError(f"duplicate page-scheme {ps.name!r}")
+            self.page_schemes[ps.name] = ps
+        self.entry_points: dict[str, EntryPoint] = {}
+        for ep in entry_points:
+            if ep.scheme not in self.page_schemes:
+                raise SchemeError(f"entry point for unknown page-scheme {ep.scheme!r}")
+            if ep.scheme in self.entry_points:
+                raise SchemeError(f"duplicate entry point for {ep.scheme!r}")
+            self.entry_points[ep.scheme] = ep
+        self.link_constraints: tuple[LinkConstraint, ...] = tuple(link_constraints)
+        self.inclusion_constraints: tuple[InclusionConstraint, ...] = tuple(
+            inclusion_constraints
+        )
+        self._validate()
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+
+    def _validate(self) -> None:
+        for ps in self.page_schemes.values():
+            for path, lt in ps.link_paths():
+                if lt.target not in self.page_schemes:
+                    raise SchemeError(
+                        f"{ps.name}.{path} links to unknown page-scheme "
+                        f"{lt.target!r}"
+                    )
+        for lc in self.link_constraints:
+            lc.validate(self.page_schemes)
+        for ic in self.inclusion_constraints:
+            ic.validate(self.page_schemes)
+
+    # ------------------------------------------------------------------ #
+    # lookup helpers
+    # ------------------------------------------------------------------ #
+
+    def page_scheme(self, name: str) -> PageScheme:
+        try:
+            return self.page_schemes[name]
+        except KeyError:
+            raise SchemeError(f"unknown page-scheme {name!r}") from None
+
+    def is_entry_point(self, name: str) -> bool:
+        return name in self.entry_points
+
+    def entry_point(self, name: str) -> EntryPoint:
+        try:
+            return self.entry_points[name]
+        except KeyError:
+            raise SchemeError(f"{name!r} is not an entry point") from None
+
+    def link_target(self, scheme: str, link_path: AttrPath | str) -> str:
+        """The page-scheme a link attribute points to."""
+        if isinstance(link_path, str):
+            link_path = AttrPath.parse(link_path)
+        wtype = self.page_scheme(scheme).attr_type(link_path)
+        if not isinstance(wtype, LinkType):
+            raise SchemeError(f"{scheme}.{link_path} is not a link attribute")
+        return wtype.target
+
+    def constraints_on_link(
+        self, scheme: str, link_path: AttrPath | str
+    ) -> list[LinkConstraint]:
+        """All link constraints associated with ``scheme.link_path``."""
+        if isinstance(link_path, str):
+            link_path = AttrPath.parse(link_path)
+        return [
+            lc
+            for lc in self.link_constraints
+            if lc.source == scheme and lc.link_path == link_path
+        ]
+
+    def find_link_constraint(
+        self,
+        scheme: str,
+        link_path: AttrPath | str,
+        target_attr: AttrPath | str,
+    ) -> Optional[LinkConstraint]:
+        """The constraint on ``scheme.link_path`` whose target attribute is
+        ``target_attr``, if any."""
+        if isinstance(target_attr, str):
+            target_attr = AttrPath.parse(target_attr)
+        for lc in self.constraints_on_link(scheme, link_path):
+            if lc.target_attr == target_attr:
+                return lc
+        return None
+
+    def includes(self, subset: AttrRef, superset: AttrRef) -> bool:
+        """True when ``subset ⊆ superset`` is entailed by the declared
+        inclusion constraints (reflexive-transitive closure)."""
+        if subset == superset:
+            return True
+        # breadth-first search over declared inclusions
+        frontier = [subset]
+        seen = {subset}
+        while frontier:
+            current = frontier.pop()
+            for ic in self.inclusion_constraints:
+                if ic.subset == current and ic.superset not in seen:
+                    if ic.superset == superset:
+                        return True
+                    seen.add(ic.superset)
+                    frontier.append(ic.superset)
+        return False
+
+    def inclusions_into(self, superset: AttrRef) -> list[AttrRef]:
+        """All declared link refs known to be contained in ``superset``."""
+        result = []
+        refs = {ic.subset for ic in self.inclusion_constraints} | {
+            ic.superset for ic in self.inclusion_constraints
+        }
+        for ref in refs:
+            if ref != superset and self.includes(ref, superset):
+                result.append(ref)
+        return sorted(result, key=str)
+
+    # ------------------------------------------------------------------ #
+    # graph helpers
+    # ------------------------------------------------------------------ #
+
+    def out_links(self, scheme: str) -> Iterator[tuple[AttrPath, str]]:
+        """Yield ``(link_path, target_scheme)`` for every link in ``scheme``."""
+        for path, lt in self.page_scheme(scheme).link_paths():
+            yield path, lt.target
+
+    def in_links(self, target: str) -> Iterator[tuple[str, AttrPath]]:
+        """Yield ``(source_scheme, link_path)`` for every link into ``target``."""
+        for ps in self.page_schemes.values():
+            for path in ps.links_to(target):
+                yield ps.name, path
+
+    def reachable_from(self, start: str) -> set[str]:
+        """Page-schemes reachable from ``start`` by following links."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for _, target in self.out_links(current):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    def unreachable_page_schemes(self) -> set[str]:
+        """Page-schemes not reachable from any entry point (a design smell:
+        their instances can never be accessed, paper Section 3.1)."""
+        reachable: set[str] = set()
+        for ep in self.entry_points.values():
+            reachable |= self.reachable_from(ep.scheme)
+        return set(self.page_schemes) - reachable
+
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> str:
+        """Human-readable multi-line rendering of the whole scheme."""
+        lines = [f"web scheme {self.name!r}:"]
+        for name in sorted(self.page_schemes):
+            ps = self.page_schemes[name]
+            marker = " (entry point)" if self.is_entry_point(name) else ""
+            lines.append(f"  {ps!r}{marker}")
+        if self.link_constraints:
+            lines.append("  link constraints:")
+            lines.extend(f"    {lc}" for lc in self.link_constraints)
+        if self.inclusion_constraints:
+            lines.append("  inclusion constraints:")
+            lines.extend(f"    {ic}" for ic in self.inclusion_constraints)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"WebScheme({self.name!r}, {len(self.page_schemes)} page-schemes, "
+            f"{len(self.entry_points)} entry points, "
+            f"{len(self.link_constraints)} link constraints, "
+            f"{len(self.inclusion_constraints)} inclusion constraints)"
+        )

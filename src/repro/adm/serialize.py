@@ -1,0 +1,148 @@
+"""Serialization of web schemes to and from plain dicts (JSON-ready).
+
+The reverse-engineering workflow produces schemes and constraints worth
+persisting; this module round-trips a :class:`~repro.adm.scheme.WebScheme`
+through a plain-dict representation::
+
+    {
+      "name": "university",
+      "page_schemes": {
+        "DeptPage": {
+          "DName": "text",
+          "ProfList": {"list": {"PName": "text",
+                                 "ToProf": {"link": "ProfPage"}}}
+        }, ...
+      },
+      "entry_points": {"DeptListPage": "http://..."},
+      "link_constraints": [
+        {"link": "DeptListPage.DeptList.ToDept",
+         "equals": "DeptListPage.DeptList.DName = DeptPage.DName"}, ...
+      ],
+      "inclusion_constraints": ["A.L <= B.L", ...]
+    }
+
+Types: ``"text"``, ``"image"``, ``{"link": target}`` (optionally
+``{"link": target, "optional": true}``), ``{"list": {fields...}}``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.adm.constraints import InclusionConstraint, LinkConstraint
+from repro.adm.page_scheme import Attribute, PageScheme
+from repro.adm.scheme import EntryPoint, WebScheme
+from repro.adm.webtypes import (
+    IMAGE,
+    TEXT,
+    ImageType,
+    LinkType,
+    ListType,
+    TextType,
+    WebType,
+)
+from repro.errors import SchemeError
+
+__all__ = ["scheme_to_dict", "scheme_from_dict"]
+
+
+def _type_to_value(wtype: WebType) -> Any:
+    if isinstance(wtype, TextType):
+        return "text"
+    if isinstance(wtype, ImageType):
+        return "image"
+    if isinstance(wtype, LinkType):
+        value: dict = {"link": wtype.target}
+        if wtype.optional:
+            value["optional"] = True
+        return value
+    if isinstance(wtype, ListType):
+        return {
+            "list": {name: _type_to_value(t) for name, t in wtype.fields}
+        }
+    raise SchemeError(f"cannot serialize web type {wtype!r}")
+
+
+def _type_from_value(value: Any) -> WebType:
+    if value == "text":
+        return TEXT
+    if value == "image":
+        return IMAGE
+    if isinstance(value, dict) and "link" in value:
+        return LinkType(
+            target=value["link"], optional=bool(value.get("optional"))
+        )
+    if isinstance(value, dict) and "list" in value:
+        fields = tuple(
+            (name, _type_from_value(sub))
+            for name, sub in value["list"].items()
+        )
+        return ListType(fields=fields)
+    raise SchemeError(f"cannot parse web type from {value!r}")
+
+
+def scheme_to_dict(scheme: WebScheme) -> dict:
+    """Plain-dict (JSON-serializable) form of a web scheme."""
+    return {
+        "name": scheme.name,
+        "page_schemes": {
+            name: {
+                attr.name: _type_to_value(attr.wtype)
+                for attr in ps.attributes
+            }
+            for name, ps in scheme.page_schemes.items()
+        },
+        "entry_points": {
+            ep.scheme: ep.url for ep in scheme.entry_points.values()
+        },
+        "link_constraints": [
+            {
+                "link": f"{lc.source}.{lc.link_path}",
+                "equals": (
+                    f"{lc.source}.{lc.source_attr} = "
+                    f"{lc.target}.{lc.target_attr}"
+                ),
+            }
+            for lc in scheme.link_constraints
+        ],
+        "inclusion_constraints": [
+            f"{ic.subset} <= {ic.superset}"
+            for ic in scheme.inclusion_constraints
+        ],
+    }
+
+
+def scheme_from_dict(data: dict) -> WebScheme:
+    """Rebuild a validated web scheme from its plain-dict form."""
+    try:
+        page_schemes = [
+            PageScheme(
+                name,
+                [
+                    Attribute(attr_name, _type_from_value(value))
+                    for attr_name, value in attrs.items()
+                ],
+            )
+            for name, attrs in data["page_schemes"].items()
+        ]
+        entry_points = [
+            EntryPoint(name, url)
+            for name, url in data["entry_points"].items()
+        ]
+        link_constraints = [
+            LinkConstraint.parse(item["link"], item["equals"])
+            for item in data.get("link_constraints", ())
+        ]
+        inclusion_constraints = [
+            InclusionConstraint.parse(text)
+            for text in data.get("inclusion_constraints", ())
+        ]
+    except KeyError as exc:
+        raise SchemeError(f"scheme dict is missing key {exc}") from None
+    return WebScheme(
+        page_schemes,
+        entry_points,
+        link_constraints,
+        inclusion_constraints,
+        name=data.get("name", "web"),
+    )

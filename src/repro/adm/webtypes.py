@@ -1,0 +1,161 @@
+"""The web type system of the ADM subset (paper, Section 3.1).
+
+The paper defines web types inductively:
+
+* each base type (``text``, ``image``) is a mono-valued web type;
+* ``link to P`` is a mono-valued web type for each page-scheme name ``P``;
+* ``list of (A1:T1, ..., An:Tn)`` is a multi-valued web type;
+* nothing else is a web type.
+
+We add a ``UrlType`` used only for the implicit ``URL`` key attribute of
+every page-scheme; it never appears as a user-declared attribute type.
+
+Types are immutable and hashable, so they can be compared structurally and
+used in sets/dicts.  :func:`link` and :func:`list_of` are convenience
+constructors used throughout the library and by the fluent scheme builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = [
+    "WebType",
+    "TextType",
+    "ImageType",
+    "UrlType",
+    "LinkType",
+    "ListType",
+    "TEXT",
+    "IMAGE",
+    "URL_TYPE",
+    "link",
+    "list_of",
+]
+
+
+@dataclass(frozen=True)
+class WebType:
+    """Abstract base for all web types."""
+
+    def is_mono_valued(self) -> bool:
+        """True when the type holds a single value per tuple."""
+        return True
+
+    def is_nested(self) -> bool:
+        """True for multi-valued (``list of``) types."""
+        return False
+
+    def is_link(self) -> bool:
+        """True for ``link to P`` types."""
+        return False
+
+
+@dataclass(frozen=True)
+class TextType(WebType):
+    """The base ``text`` type: free text displayed in a page."""
+
+    def __str__(self) -> str:
+        return "text"
+
+
+@dataclass(frozen=True)
+class ImageType(WebType):
+    """The base ``image`` type: an inline image (we store its src URL)."""
+
+    def __str__(self) -> str:
+        return "image"
+
+
+@dataclass(frozen=True)
+class UrlType(WebType):
+    """The type of the implicit ``URL`` key attribute of page-schemes."""
+
+    def __str__(self) -> str:
+        return "url"
+
+
+@dataclass(frozen=True)
+class LinkType(WebType):
+    """``link to P``: a reference to a page of page-scheme ``target``.
+
+    A link is formally a pair *(reference, anchor)*; following the paper we
+    model the reference here and anchors as independent text attributes.
+    ``optional`` marks attributes that may generate null values (the paper
+    allows optional attributes; rule 5 requires non-optional links).
+    """
+
+    target: str = ""
+    optional: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise ValueError("LinkType requires a target page-scheme name")
+
+    def is_link(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        suffix = "?" if self.optional else ""
+        return f"link to {self.target}{suffix}"
+
+
+@dataclass(frozen=True)
+class ListType(WebType):
+    """``list of (A1:T1, ..., An:Tn)``: a multi-valued nested type.
+
+    ``fields`` is an ordered tuple of ``(attribute_name, web_type)`` pairs.
+    Nested lists (lists inside lists) are permitted by the model and
+    supported throughout the library.
+    """
+
+    fields: Tuple[Tuple[str, WebType], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ValueError("ListType requires at least one field")
+        names = [name for name, _ in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in list type: {names}")
+        for name, wtype in self.fields:
+            if not name:
+                raise ValueError("list field names must be non-empty")
+            if not isinstance(wtype, WebType):
+                raise TypeError(f"field {name!r} has non-WebType {wtype!r}")
+
+    def is_mono_valued(self) -> bool:
+        return False
+
+    def is_nested(self) -> bool:
+        return True
+
+    def field_type(self, name: str) -> WebType:
+        """Return the type of field ``name``; raise KeyError if absent."""
+        for fname, wtype in self.fields:
+            if fname == name:
+                return wtype
+        raise KeyError(name)
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name}: {wtype}" for name, wtype in self.fields)
+        return f"list of ({inner})"
+
+
+#: Singleton instances for the base types.
+TEXT = TextType()
+IMAGE = ImageType()
+URL_TYPE = UrlType()
+
+
+def link(target: str, optional: bool = False) -> LinkType:
+    """Convenience constructor for ``link to target``."""
+    return LinkType(target=target, optional=optional)
+
+
+def list_of(*fields: Tuple[str, WebType]) -> ListType:
+    """Convenience constructor: ``list_of(("PName", TEXT), ("ToProf", link("ProfPage")))``."""
+    return ListType(fields=tuple(fields))

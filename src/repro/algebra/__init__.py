@@ -1,0 +1,55 @@
+"""The Navigational Algebra, NALG (paper, Section 4).
+
+NALG is relational algebra over nested page-relations, extended with two
+navigation operators:
+
+* *unnest page* ``R ∘ A`` — navigate *inside* a page's nested structure;
+* *follow link* ``R →L P`` — navigate *between* pages.
+
+This package defines the expression AST (:mod:`repro.algebra.ast`),
+conjunctive predicates (:mod:`repro.algebra.predicates`), the paper-style
+pretty printer and plan-tree renderer (:mod:`repro.algebra.printer`), the
+computability check (:mod:`repro.algebra.computable`) and generic tree
+utilities used by the optimizer (:mod:`repro.algebra.visitors`).
+"""
+
+from repro.algebra.predicates import AttrEq, Comparison, In, Predicate
+from repro.algebra.ast import (
+    Expr,
+    EntryPointScan,
+    ExternalRelScan,
+    Select,
+    Project,
+    Join,
+    Unnest,
+    FollowLink,
+)
+from repro.algebra.parser import parse_navigation
+from repro.algebra.printer import render_expr, render_plan_tree
+from repro.algebra.computable import is_computable, check_computable
+from repro.algebra.visitors import children, replace_child, walk, replace_at, leaves
+
+__all__ = [
+    "Predicate",
+    "Comparison",
+    "AttrEq",
+    "In",
+    "Expr",
+    "EntryPointScan",
+    "ExternalRelScan",
+    "Select",
+    "Project",
+    "Join",
+    "Unnest",
+    "FollowLink",
+    "parse_navigation",
+    "render_expr",
+    "render_plan_tree",
+    "is_computable",
+    "check_computable",
+    "children",
+    "replace_child",
+    "walk",
+    "replace_at",
+    "leaves",
+]

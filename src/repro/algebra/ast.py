@@ -1,0 +1,395 @@
+"""The NALG expression AST.
+
+Nodes are immutable, hashable dataclasses, so the optimizer can generate,
+compare and deduplicate rewritten plans freely.  Every node can compute its
+*output schema* against a web scheme; all runtime attribute names are
+*qualified* — ``alias.Attr`` or ``alias.List.Field`` — so that joins and
+repeated navigations never clash (a page-scheme navigated twice gets two
+aliases).
+
+Node inventory (paper, Section 4):
+
+* :class:`EntryPointScan` — a leaf page-relation whose URL is known;
+* :class:`ExternalRelScan` — a leaf naming an external relation (only valid
+  before rule 1 replaces it by a default navigation; not computable);
+* :class:`Unnest` — the unnest-page operator ``R ∘ A``;
+* :class:`FollowLink` — the follow-link operator ``R →L P``;
+* :class:`Select`, :class:`Project`, :class:`Join` — the relational core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.adm.page_scheme import AttrPath, URL_ATTR
+from repro.adm.scheme import WebScheme
+from repro.adm.webtypes import LinkType, ListType, URL_TYPE, WebType, TEXT
+from repro.algebra.predicates import Predicate
+from repro.errors import AlgebraError
+from repro.nested.schema import Field, Provenance, RelationSchema
+
+__all__ = [
+    "Expr",
+    "EntryPointScan",
+    "ExternalRelScan",
+    "Select",
+    "Project",
+    "Join",
+    "Unnest",
+    "FollowLink",
+    "page_relation_schema",
+]
+
+
+def _qualified_list_field(
+    alias: str, base_scheme: str, path: AttrPath, wtype: ListType
+) -> Field:
+    """Build the schema Field for a list attribute, with fully qualified
+    nested field names (``alias.Path.Field``)."""
+    elem_fields: list[Field] = []
+    for fname, ftype in wtype.fields:
+        fpath = path.child(fname)
+        if isinstance(ftype, ListType):
+            elem_fields.append(
+                _qualified_list_field(alias, base_scheme, fpath, ftype)
+            )
+        else:
+            elem_fields.append(
+                Field(
+                    name=fpath.qualified(alias),
+                    wtype=ftype,
+                    provenance=Provenance(alias, fpath, base_scheme),
+                )
+            )
+    return Field(
+        name=path.qualified(alias),
+        wtype=wtype,
+        elem=RelationSchema(elem_fields),
+        provenance=Provenance(alias, path, base_scheme),
+    )
+
+
+def page_relation_schema(
+    scheme: WebScheme, page_scheme: str, alias: Optional[str] = None
+) -> RelationSchema:
+    """The qualified relation schema of a page-scheme's page-relation."""
+    alias = alias or page_scheme
+    ps = scheme.page_scheme(page_scheme)
+    fields: list[Field] = [
+        Field(
+            name=f"{alias}.{URL_ATTR}",
+            wtype=URL_TYPE,
+            provenance=Provenance(alias, AttrPath((URL_ATTR,)), page_scheme),
+        )
+    ]
+    for attr in ps.attributes:
+        path = AttrPath((attr.name,))
+        if isinstance(attr.wtype, ListType):
+            fields.append(
+                _qualified_list_field(alias, page_scheme, path, attr.wtype)
+            )
+        else:
+            fields.append(
+                Field(
+                    name=path.qualified(alias),
+                    wtype=attr.wtype,
+                    provenance=Provenance(alias, path, page_scheme),
+                )
+            )
+    return RelationSchema(fields)
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Abstract base of all NALG expressions."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def with_children(self, new_children: Tuple["Expr", ...]) -> "Expr":
+        if new_children:
+            raise AlgebraError(f"{type(self).__name__} takes no children")
+        return self
+
+    def output_schema(self, scheme: WebScheme) -> RelationSchema:
+        """The qualified schema of this expression's result."""
+        return _schema_of(self, scheme)
+
+    def _compute_schema(self, scheme: WebScheme) -> RelationSchema:
+        raise NotImplementedError
+
+    # convenience constructors for fluent plan building ----------------- #
+
+    def unnest(self, attr: str) -> "Unnest":
+        return Unnest(self, attr)
+
+    def follow(self, link_attr: str, alias: Optional[str] = None) -> "FollowLink":
+        return FollowLink(self, link_attr, alias)
+
+    def where(self, predicate: Predicate) -> "Select":
+        return Select(self, predicate)
+
+    def select_eq(self, attr: str, value: str) -> "Select":
+        return Select(self, Predicate.eq(attr, value))
+
+    def project(self, *outputs) -> "Project":
+        """``project("PName", ("Name", "ProfPage.PName"))`` — each output is
+        either an attribute name (kept as-is) or ``(out_name, in_name)``."""
+        pairs = tuple(
+            (o, o) if isinstance(o, str) else (o[0], o[1]) for o in outputs
+        )
+        return Project(self, pairs)
+
+    def join(self, other: "Expr", on) -> "Join":
+        """``on`` is a list of ``(left_attr, right_attr)`` pairs."""
+        return Join(self, other, tuple(tuple(pair) for pair in on))
+
+
+# Schemas are cached per expression *on the scheme object itself*, so the
+# cache's lifetime is exactly the scheme's (no id-reuse hazards) and schemes
+# are treated as immutable after construction.
+
+
+def _schema_of(expr: "Expr", scheme: WebScheme) -> RelationSchema:
+    cache = scheme.__dict__.setdefault("_schema_cache", {})
+    cached = cache.get(expr)
+    if cached is None:
+        cached = expr._compute_schema(scheme)
+        if len(cache) > 65536:
+            cache.clear()
+        cache[expr] = cached
+    return cached
+
+
+@dataclass(frozen=True)
+class EntryPointScan(Expr):
+    """Access an entry-point page-relation through its known URL.
+
+    ``alias`` defaults to the page-scheme name; give an explicit alias when
+    the same page-scheme occurs twice in one expression.
+    """
+
+    page_scheme: str
+    alias: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.alias or self.page_scheme
+
+    def _compute_schema(self, scheme: WebScheme) -> RelationSchema:
+        if not scheme.is_entry_point(self.page_scheme):
+            raise AlgebraError(
+                f"{self.page_scheme!r} is not an entry point; page-relations "
+                "can only be accessed by navigation (paper, Section 3.1)"
+            )
+        return page_relation_schema(scheme, self.page_scheme, self.name)
+
+
+@dataclass(frozen=True)
+class ExternalRelScan(Expr):
+    """A leaf naming an external relation of the relational view.
+
+    Not computable: rule 1 must replace it by one of its default
+    navigations before execution.  ``attrs`` are the external relation's
+    attribute names; the output schema qualifies them with the occurrence
+    ``alias`` (default: the relation name), so that a query may mention the
+    same external relation twice.
+    """
+
+    name: str
+    attrs: Tuple[str, ...]
+    alias: Optional[str] = None
+
+    @property
+    def qualifier(self) -> str:
+        return self.alias or self.name
+
+    def qualified(self, attr: str) -> str:
+        if attr not in self.attrs:
+            raise AlgebraError(
+                f"external relation {self.name!r} has no attribute {attr!r}"
+            )
+        return f"{self.qualifier}.{attr}"
+
+    def _compute_schema(self, scheme: WebScheme) -> RelationSchema:
+        return RelationSchema(
+            [Field(f"{self.qualifier}.{a}", TEXT) for a in self.attrs]
+        )
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """``σ_predicate(child)``."""
+
+    child: Expr
+    predicate: Predicate
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.child,)
+
+    def with_children(self, new_children: Tuple[Expr, ...]) -> "Select":
+        (child,) = new_children
+        return Select(child, self.predicate)
+
+    def _compute_schema(self, scheme: WebScheme) -> RelationSchema:
+        schema = self.child.output_schema(scheme)
+        for attr in self.predicate.attrs():
+            if attr not in schema:
+                raise AlgebraError(
+                    f"selection references unknown attribute {attr!r} "
+                    f"(have {sorted(schema.names())})"
+                )
+            if schema.field(attr).is_list:
+                raise AlgebraError(
+                    f"selection on list-valued attribute {attr!r} (unnest first)"
+                )
+        return schema
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    """``π_outputs(child)``: each output is ``(out_name, in_name)``."""
+
+    child: Expr
+    outputs: Tuple[Tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise AlgebraError("projection needs at least one output")
+        out_names = [o for o, _ in self.outputs]
+        if len(set(out_names)) != len(out_names):
+            raise AlgebraError(f"duplicate projection outputs: {out_names}")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.child,)
+
+    def with_children(self, new_children: Tuple[Expr, ...]) -> "Project":
+        (child,) = new_children
+        return Project(child, self.outputs)
+
+    def _compute_schema(self, scheme: WebScheme) -> RelationSchema:
+        schema = self.child.output_schema(scheme)
+        fields = []
+        for out_name, in_name in self.outputs:
+            if in_name not in schema:
+                raise AlgebraError(
+                    f"projection references unknown attribute {in_name!r} "
+                    f"(have {sorted(schema.names())})"
+                )
+            fields.append(schema.field(in_name).renamed(out_name))
+        return RelationSchema(fields)
+
+    def in_names(self) -> Tuple[str, ...]:
+        return tuple(i for _, i in self.outputs)
+
+
+@dataclass(frozen=True)
+class Join(Expr):
+    """``left ⋈_on right`` with ``on`` a tuple of (left_attr, right_attr).
+
+    An empty ``on`` is a cartesian product (a disconnected conjunctive
+    query); the rewrite rules leave such joins alone.
+    """
+
+    left: Expr
+    right: Expr
+    on: Tuple[Tuple[str, str], ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, new_children: Tuple[Expr, ...]) -> "Join":
+        left, right = new_children
+        return Join(left, right, self.on)
+
+    def _compute_schema(self, scheme: WebScheme) -> RelationSchema:
+        left_schema = self.left.output_schema(scheme)
+        right_schema = self.right.output_schema(scheme)
+        for lname, rname in self.on:
+            if lname not in left_schema:
+                raise AlgebraError(
+                    f"join references unknown left attribute {lname!r}"
+                )
+            if rname not in right_schema:
+                raise AlgebraError(
+                    f"join references unknown right attribute {rname!r}"
+                )
+        return left_schema.concat(right_schema)
+
+
+@dataclass(frozen=True)
+class Unnest(Expr):
+    """The unnest-page operator ``child ∘ attr`` (``attr`` qualified)."""
+
+    child: Expr
+    attr: str
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.child,)
+
+    def with_children(self, new_children: Tuple[Expr, ...]) -> "Unnest":
+        (child,) = new_children
+        return Unnest(child, self.attr)
+
+    def _compute_schema(self, scheme: WebScheme) -> RelationSchema:
+        schema = self.child.output_schema(scheme)
+        if self.attr not in schema:
+            raise AlgebraError(
+                f"unnest references unknown attribute {self.attr!r} "
+                f"(have {sorted(schema.names())})"
+            )
+        if not schema.field(self.attr).is_list:
+            raise AlgebraError(f"cannot unnest mono-valued attribute {self.attr!r}")
+        return schema.unnest(self.attr)
+
+
+@dataclass(frozen=True)
+class FollowLink(Expr):
+    """The follow-link operator ``child →link_attr TargetPage``.
+
+    ``link_attr`` is a qualified link attribute of the child's schema; the
+    target page-scheme is determined by the link's type.  The result joins
+    each child row with the page its link references (rows whose link is
+    null are dropped — they have nothing to navigate to).
+    """
+
+    child: Expr
+    link_attr: str
+    alias: Optional[str] = None
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.child,)
+
+    def with_children(self, new_children: Tuple[Expr, ...]) -> "FollowLink":
+        (child,) = new_children
+        return FollowLink(child, self.link_attr, self.alias)
+
+    def link_type(self, scheme: WebScheme) -> LinkType:
+        schema = self.child.output_schema(scheme)
+        if self.link_attr not in schema:
+            raise AlgebraError(
+                f"follow-link references unknown attribute {self.link_attr!r} "
+                f"(have {sorted(schema.names())})"
+            )
+        wtype = schema.field(self.link_attr).wtype
+        if not isinstance(wtype, LinkType):
+            raise AlgebraError(f"{self.link_attr!r} is not a link attribute")
+        return wtype
+
+    def target_scheme(self, scheme: WebScheme) -> str:
+        return self.link_type(scheme).target
+
+    def target_alias(self, scheme: WebScheme) -> str:
+        return self.alias or self.target_scheme(scheme)
+
+    def target_url_attr(self, scheme: WebScheme) -> str:
+        return f"{self.target_alias(scheme)}.{URL_ATTR}"
+
+    def _compute_schema(self, scheme: WebScheme) -> RelationSchema:
+        child_schema = self.child.output_schema(scheme)
+        target = self.target_scheme(scheme)
+        target_schema = page_relation_schema(
+            scheme, target, self.target_alias(scheme)
+        )
+        return child_schema.concat(target_schema)

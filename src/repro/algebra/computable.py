@@ -1,0 +1,44 @@
+"""Computability of NALG expressions (paper, Section 4).
+
+"The only page-relations in a Web scheme that are directly accessible are
+the ones corresponding to entry-points ... we thus define the notion of
+computable expression as a navigational algebra expression such that all
+leaf nodes in the corresponding query plan are entry points."
+"""
+
+from __future__ import annotations
+
+from repro.adm.scheme import WebScheme
+from repro.algebra.ast import EntryPointScan, Expr, ExternalRelScan
+from repro.algebra.visitors import leaves
+from repro.errors import NotComputableError
+
+__all__ = ["is_computable", "check_computable"]
+
+
+def check_computable(expr: Expr, scheme: WebScheme) -> None:
+    """Raise :class:`NotComputableError` unless every leaf is an entry point."""
+    for leaf in leaves(expr):
+        if isinstance(leaf, ExternalRelScan):
+            raise NotComputableError(
+                f"leaf references external relation {leaf.name!r}; apply "
+                "rule 1 (default navigation) first"
+            )
+        if not isinstance(leaf, EntryPointScan):
+            raise NotComputableError(
+                f"leaf {type(leaf).__name__} is not an entry-point scan"
+            )
+        if not scheme.is_entry_point(leaf.page_scheme):
+            raise NotComputableError(
+                f"page-scheme {leaf.page_scheme!r} is not an entry point of "
+                f"scheme {scheme.name!r}"
+            )
+
+
+def is_computable(expr: Expr, scheme: WebScheme) -> bool:
+    """True when every leaf of ``expr`` is an entry point of ``scheme``."""
+    try:
+        check_computable(expr, scheme)
+        return True
+    except NotComputableError:
+        return False

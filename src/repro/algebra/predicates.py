@@ -1,0 +1,158 @@
+"""Conjunctive selection predicates.
+
+The paper works with conjunctive queries (Section 5), so selections are
+conjunctions of simple atoms over attributes:
+
+* :class:`Comparison` — ``attr = constant``;
+* :class:`AttrEq` — ``attr1 = attr2`` (used when translating join
+  conditions into selections over products, and in tests);
+* :class:`In` — ``attr ∈ {v1, ..., vk}``, a disjunction of equalities on a
+  single attribute (needed by the Introduction's "last three VLDBs" query).
+
+A :class:`Predicate` is an ordered conjunction of atoms.  All classes are
+immutable and hashable so that rewritten expressions can be deduplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.errors import PredicateError
+
+__all__ = ["Atom", "Comparison", "AttrEq", "In", "Predicate"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """Abstract base for predicate atoms."""
+
+    def attrs(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def evaluate(self, row: dict) -> bool:
+        raise NotImplementedError
+
+    def rename(self, mapping: dict) -> "Atom":
+        """The same atom with attribute names substituted per ``mapping``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Comparison(Atom):
+    """``attr = value`` (equality with a constant; nulls never match)."""
+
+    attr: str
+    value: str
+
+    def attrs(self) -> Tuple[str, ...]:
+        return (self.attr,)
+
+    def evaluate(self, row: dict) -> bool:
+        return row.get(self.attr) == self.value
+
+    def rename(self, mapping: dict) -> "Comparison":
+        return Comparison(mapping.get(self.attr, self.attr), self.value)
+
+    def __str__(self) -> str:
+        return f"{self.attr}='{self.value}'"
+
+
+@dataclass(frozen=True)
+class AttrEq(Atom):
+    """``attr1 = attr2`` (equality between two attributes of one row)."""
+
+    left: str
+    right: str
+
+    def attrs(self) -> Tuple[str, ...]:
+        return (self.left, self.right)
+
+    def evaluate(self, row: dict) -> bool:
+        lval = row.get(self.left)
+        return lval is not None and lval == row.get(self.right)
+
+    def rename(self, mapping: dict) -> "AttrEq":
+        return AttrEq(
+            mapping.get(self.left, self.left), mapping.get(self.right, self.right)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left}={self.right}"
+
+
+@dataclass(frozen=True)
+class In(Atom):
+    """``attr ∈ values`` (disjunction of equalities on one attribute)."""
+
+    attr: str
+    values: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise PredicateError("In predicate needs at least one value")
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def attrs(self) -> Tuple[str, ...]:
+        return (self.attr,)
+
+    def evaluate(self, row: dict) -> bool:
+        return row.get(self.attr) in self.values
+
+    def rename(self, mapping: dict) -> "In":
+        return In(mapping.get(self.attr, self.attr), self.values)
+
+    def __str__(self) -> str:
+        inner = ",".join(f"'{v}'" for v in self.values)
+        return f"{self.attr} in ({inner})"
+
+
+class Predicate:
+    """An ordered conjunction of atoms.
+
+    >>> p = Predicate([Comparison("Rank", "Full"), Comparison("Session", "Fall")])
+    >>> p.evaluate({"Rank": "Full", "Session": "Fall"})
+    True
+    """
+
+    def __init__(self, atoms: Iterable[Atom]):
+        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+        if not self.atoms:
+            raise PredicateError("a predicate needs at least one atom")
+
+    @classmethod
+    def eq(cls, attr: str, value: str) -> "Predicate":
+        return cls([Comparison(attr, value)])
+
+    def attrs(self) -> Tuple[str, ...]:
+        seen: list[str] = []
+        for atom in self.atoms:
+            for attr in atom.attrs():
+                if attr not in seen:
+                    seen.append(attr)
+        return tuple(seen)
+
+    def evaluate(self, row: dict) -> bool:
+        return all(atom.evaluate(row) for atom in self.atoms)
+
+    def rename(self, mapping: dict) -> "Predicate":
+        return Predicate([atom.rename(mapping) for atom in self.atoms])
+
+    def conjoin(self, other: "Predicate") -> "Predicate":
+        return Predicate(self.atoms + other.atoms)
+
+    def split(self) -> list["Predicate"]:
+        """One single-atom predicate per conjunct (used by pushdown rules)."""
+        return [Predicate([atom]) for atom in self.atoms]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Predicate) and set(self.atoms) == set(other.atoms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.atoms))
+
+    def __str__(self) -> str:
+        return " AND ".join(str(atom) for atom in self.atoms)
+
+    def __repr__(self) -> str:
+        return f"Predicate({self})"

@@ -1,0 +1,55 @@
+"""Deterministic simulated clock.
+
+The paper's materialized-view maintenance (Section 8) compares a locally
+stored ``AccessDate`` against the ``Last-Modified`` date returned by a light
+HTTP connection.  Real wall-clock time would make tests flaky, so the whole
+library shares a logical clock: an integer tick counter that only advances
+when :meth:`SimClock.tick` (or :meth:`SimClock.advance`) is called.
+
+Timestamps are plain integers; larger means later.  The clock starts at 1 so
+that 0 can serve as "never" / "unknown".
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock", "NEVER"]
+
+#: Timestamp value meaning "no date recorded"; earlier than any real tick.
+NEVER = 0
+
+
+class SimClock:
+    """A monotonically increasing logical clock.
+
+    >>> clock = SimClock()
+    >>> clock.now()
+    1
+    >>> clock.tick()
+    2
+    >>> clock.advance(10)
+    12
+    """
+
+    def __init__(self, start: int = 1):
+        if start < 1:
+            raise ValueError("clock must start at 1 or later")
+        self._now = start
+
+    def now(self) -> int:
+        """Return the current logical time without advancing it."""
+        return self._now
+
+    def tick(self) -> int:
+        """Advance the clock by one tick and return the new time."""
+        self._now += 1
+        return self._now
+
+    def advance(self, ticks: int) -> int:
+        """Advance the clock by ``ticks`` (must be non-negative)."""
+        if ticks < 0:
+            raise ValueError("cannot move the clock backwards")
+        self._now += ticks
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now})"

@@ -1,0 +1,37 @@
+"""Constraint verification and discovery by site exploration.
+
+The paper's schemes are "the product of a reverse engineering phase ...
+conducted by a human designer, with the help of a number of tools which
+semi-automatically analyze the Web" (Section 3, footnote 2), and suggests
+using a WebSQL-like tool "to verify different paths leading to the same
+page-scheme and check inclusions between sets of links" (Section 3.2).
+
+This package plays that role:
+
+* :mod:`repro.discovery.snapshot` — crawl a site into an in-memory
+  snapshot of wrapped tuples (the raw material for verification);
+* :mod:`repro.discovery.verify` — check declared link and inclusion
+  constraints against a snapshot, reporting violations;
+* :mod:`repro.discovery.mine` — discover the link and inclusion
+  constraints that *hold* on a snapshot (candidates for the designer).
+"""
+
+from repro.discovery.snapshot import SiteSnapshot, crawl_snapshot
+from repro.discovery.verify import (
+    ConstraintReport,
+    verify_link_constraint,
+    verify_inclusion_constraint,
+    verify_scheme,
+)
+from repro.discovery.mine import discover_inclusions, discover_link_constraints
+
+__all__ = [
+    "SiteSnapshot",
+    "crawl_snapshot",
+    "ConstraintReport",
+    "verify_link_constraint",
+    "verify_inclusion_constraint",
+    "verify_scheme",
+    "discover_inclusions",
+    "discover_link_constraints",
+]

@@ -1,0 +1,120 @@
+"""Constraint mining: find the constraints that hold on a snapshot.
+
+This is the semi-automatic reverse-engineering step of the paper's footnote
+2: propose link constraints (redundant attributes across links) and
+inclusion constraints (containments between navigation paths) for the
+designer to confirm.  Constraints that hold on one snapshot are only
+*candidates* — a later instance may break them — which is exactly how the
+paper treats them (documented knowledge, re-checked as the site evolves).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.adm.constraints import AttrRef, InclusionConstraint, LinkConstraint
+from repro.adm.page_scheme import AttrPath, URL_ATTR
+from repro.adm.webtypes import LinkType, ListType
+from repro.discovery.snapshot import SiteSnapshot
+from repro.discovery.verify import verify_link_constraint
+
+__all__ = ["discover_inclusions", "discover_link_constraints"]
+
+
+def discover_inclusions(
+    snapshot: SiteSnapshot, min_subset_size: int = 1
+) -> list[InclusionConstraint]:
+    """All inclusions ``P1.L1 ⊆ P2.L2`` (distinct link paths, same target)
+    whose subset side has at least ``min_subset_size`` values.
+
+    Trivially-empty subsets are excluded by default: an empty link set is
+    contained in everything and tells the designer nothing.
+    """
+    paths = snapshot.all_link_paths()
+    values = {
+        (scheme, str(path)): snapshot.link_values(scheme, path)
+        for scheme, path, _ in paths
+    }
+    found = []
+    for sub_scheme, sub_path, sub_target in paths:
+        sub_values = values[(sub_scheme, str(sub_path))]
+        if len(sub_values) < min_subset_size:
+            continue
+        for sup_scheme, sup_path, sup_target in paths:
+            if sub_target != sup_target:
+                continue
+            if (sub_scheme, str(sub_path)) == (sup_scheme, str(sup_path)):
+                continue
+            if sub_values <= values[(sup_scheme, str(sup_path))]:
+                found.append(
+                    InclusionConstraint(
+                        AttrRef(sub_scheme, sub_path),
+                        AttrRef(sup_scheme, sup_path),
+                    )
+                )
+    return found
+
+
+def _candidate_source_attrs(
+    snapshot: SiteSnapshot, page_scheme: str, link_path: AttrPath
+) -> Iterator[AttrPath]:
+    """Mono-valued attributes visible at the link's level: siblings inside
+    the same list, or top-level attributes of the page."""
+    ps = snapshot.scheme.page_scheme(page_scheme)
+    parent = link_path.parent
+    if parent is not None:
+        list_type = ps.attr_type(parent)
+        assert isinstance(list_type, ListType)
+        for fname, ftype in list_type.fields:
+            if ftype.is_mono_valued() and not isinstance(ftype, LinkType):
+                yield parent.child(fname)
+    for attr in ps.attributes:
+        if attr.wtype.is_mono_valued() and not isinstance(
+            attr.wtype, LinkType
+        ):
+            yield AttrPath((attr.name,))
+
+
+def discover_link_constraints(
+    snapshot: SiteSnapshot,
+    page_scheme: Optional[str] = None,
+) -> list[LinkConstraint]:
+    """All link constraints that hold on the snapshot (optionally limited
+    to links of one source page-scheme).
+
+    For every link, every visible mono-valued source attribute is paired
+    with every mono-valued target attribute; the pair becomes a candidate
+    when the iff condition holds over the whole snapshot (checked by
+    :func:`~repro.discovery.verify.verify_link_constraint`).  Links with no
+    occurrences yield nothing — there is no evidence.
+    """
+    found = []
+    for src_scheme, link_path, target in snapshot.all_link_paths():
+        if page_scheme is not None and src_scheme != page_scheme:
+            continue
+        occurrences = list(
+            snapshot.link_occurrences(src_scheme, link_path)
+        )
+        if not any(occ.value is not None for occ in occurrences):
+            continue
+        target_ps = snapshot.scheme.page_scheme(target)
+        target_attrs = [
+            AttrPath((a.name,))
+            for a in target_ps.attributes
+            if a.wtype.is_mono_valued() and not isinstance(a.wtype, LinkType)
+        ]
+        for source_attr in _candidate_source_attrs(
+            snapshot, src_scheme, link_path
+        ):
+            for target_attr in target_attrs:
+                candidate = LinkConstraint(
+                    source=src_scheme,
+                    link_path=link_path,
+                    source_attr=source_attr,
+                    target=target,
+                    target_attr=target_attr,
+                )
+                report = verify_link_constraint(snapshot, candidate)
+                if report.holds and report.checked and not report.dangling:
+                    found.append(candidate)
+    return found

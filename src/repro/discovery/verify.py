@@ -1,0 +1,208 @@
+"""Verification of declared constraints against a site snapshot.
+
+A link constraint ``R1.A = R2.B`` on link ``L`` holds when, for every pair
+of tuples, ``t1.L = t2.URL ⟺ t1.A = t2.B`` (paper, Section 3.2).  Both
+directions are checked:
+
+* (⇒) the linked page's B equals the source's A;
+* (⇐) no *other* page of the target scheme has that B value (otherwise a
+  pair with equal A/B but unequal link/URL would exist).
+
+An inclusion constraint holds when every value of the subset link attribute
+appears among the superset's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adm.constraints import InclusionConstraint, LinkConstraint
+from repro.adm.scheme import WebScheme
+from repro.discovery.snapshot import SiteSnapshot
+
+__all__ = [
+    "ConstraintReport",
+    "verify_link_constraint",
+    "verify_inclusion_constraint",
+    "verify_scheme",
+]
+
+
+@dataclass
+class ConstraintReport:
+    """The outcome of checking one constraint on one snapshot."""
+
+    constraint: object
+    checked: int = 0
+    violations: list = field(default_factory=list)
+    dangling: list = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        status = "holds" if self.holds else f"{len(self.violations)} violations"
+        return f"ConstraintReport({self.constraint}: {status}, checked={self.checked})"
+
+
+def verify_link_constraint(
+    snapshot: SiteSnapshot, constraint: LinkConstraint
+) -> ConstraintReport:
+    """Check a link constraint; violations carry (source URL, reason).
+
+    Granularity follows the constraint's shape.  When the source attribute
+    sits at the link's own nesting level (``DeptList.DName`` for
+    ``DeptList.ToDept``), each occurrence is a pair: its link must point at
+    exactly the target pages sharing the attribute value — one per value.
+    When the source attribute encloses a nested link (``Session`` for
+    ``CourseList.ToCourse``), the link is set-valued at page granularity:
+    the page must link exactly the target pages whose B equals its A (the
+    fall session page links all and only the fall courses).
+    """
+    constraint.validate(snapshot.scheme.page_schemes)
+    report = ConstraintReport(constraint)
+    targets = snapshot.tuples(constraint.target)
+
+    # index: B value -> set of target URLs carrying it
+    b_leaf = constraint.target_attr.leaf
+    by_value: dict = {}
+    for url, plain in targets.items():
+        value = plain.get(b_leaf)
+        if value is not None:
+            by_value.setdefault(value, set()).add(url)
+
+    enclosing = (
+        constraint.source_attr.parent is None
+        and constraint.link_path.parent is not None
+    )
+    if enclosing:
+        _verify_page_granularity(
+            snapshot, constraint, targets, by_value, b_leaf, report
+        )
+    else:
+        _verify_occurrence_granularity(
+            snapshot, constraint, targets, by_value, b_leaf, report
+        )
+    return report
+
+
+def _verify_occurrence_granularity(
+    snapshot, constraint, targets, by_value, b_leaf, report
+) -> None:
+    for occ in snapshot.link_occurrences(
+        constraint.source, constraint.link_path
+    ):
+        report.checked += 1
+        source_value = occ.attr(constraint.source_attr)
+        if occ.value is None:
+            # a null link with a non-null source value violates (⇐) when
+            # some target page carries that value
+            if source_value is not None and by_value.get(source_value):
+                report.violations.append(
+                    (occ.page.get("URL"), "null link but matching target exists")
+                )
+            continue
+        target = targets.get(occ.value)
+        if target is None:
+            report.dangling.append((occ.page.get("URL"), occ.value))
+            continue
+        if target.get(b_leaf) != source_value:
+            report.violations.append(
+                (
+                    occ.page.get("URL"),
+                    f"linked page has {b_leaf}={target.get(b_leaf)!r}, "
+                    f"source says {source_value!r}",
+                )
+            )
+            continue
+        matching = by_value.get(source_value, set())
+        if matching != {occ.value}:
+            others = sorted(matching - {occ.value})
+            report.violations.append(
+                (
+                    occ.page.get("URL"),
+                    f"other target pages share {b_leaf}={source_value!r}: "
+                    f"{others}",
+                )
+            )
+
+
+def _verify_page_granularity(
+    snapshot, constraint, targets, by_value, b_leaf, report
+) -> None:
+    # group occurrences by source page
+    links_per_page: dict[str, set] = {}
+    value_per_page: dict[str, object] = {}
+    for occ in snapshot.link_occurrences(
+        constraint.source, constraint.link_path
+    ):
+        url = occ.page.get("URL")
+        value_per_page[url] = occ.attr(constraint.source_attr)
+        if occ.value is not None:
+            links_per_page.setdefault(url, set()).add(occ.value)
+    # pages with empty link lists still participate
+    for plain in snapshot.tuples(constraint.source).values():
+        url = plain.get("URL")
+        value_per_page.setdefault(
+            url, plain.get(constraint.source_attr.leaf)
+        )
+        links_per_page.setdefault(url, set())
+
+    for url, linked in sorted(links_per_page.items()):
+        report.checked += 1
+        source_value = value_per_page.get(url)
+        live = {u for u in linked if u in targets}
+        for dangle in sorted(linked - live):
+            report.dangling.append((url, dangle))
+        expected = by_value.get(source_value, set())
+        if live - expected:
+            extra = sorted(live - expected)
+            report.violations.append(
+                (url, f"links target pages with {b_leaf} ≠ "
+                      f"{source_value!r}: {extra}")
+            )
+        if expected - live:
+            missing = sorted(expected - live)
+            report.violations.append(
+                (url, f"misses target pages with {b_leaf} = "
+                      f"{source_value!r}: {missing}")
+            )
+
+
+def verify_inclusion_constraint(
+    snapshot: SiteSnapshot, constraint: InclusionConstraint
+) -> ConstraintReport:
+    """Check an inclusion constraint; violations list the missing URLs."""
+    constraint.validate(snapshot.scheme.page_schemes)
+    report = ConstraintReport(constraint)
+    subset = snapshot.link_values(
+        constraint.subset.scheme, constraint.subset.path
+    )
+    superset = snapshot.link_values(
+        constraint.superset.scheme, constraint.superset.path
+    )
+    report.checked = len(subset)
+    for url in sorted(subset - superset):
+        report.violations.append((url, "not reachable via the superset path"))
+    return report
+
+
+def verify_scheme(snapshot: SiteSnapshot) -> dict:
+    """Check every declared constraint of the snapshot's scheme.
+
+    Returns ``{"link": [reports...], "inclusion": [reports...]}``; the site
+    designer reads this after a re-crawl to learn whether the documented
+    redundancies still hold.
+    """
+    scheme: WebScheme = snapshot.scheme
+    return {
+        "link": [
+            verify_link_constraint(snapshot, lc)
+            for lc in scheme.link_constraints
+        ],
+        "inclusion": [
+            verify_inclusion_constraint(snapshot, ic)
+            for ic in scheme.inclusion_constraints
+        ],
+    }

@@ -1,0 +1,25 @@
+"""Execution engines for NALG plans.
+
+* :mod:`repro.engine.session` — per-query page cache and accounting (the
+  paper counts *pages downloaded*; an engine never re-fetches a page it
+  already holds for the current query);
+* :mod:`repro.engine.remote` — evaluates computable plans against the live
+  (simulated) web through wrappers: this is the virtual-view path of
+  Sections 5–7;
+* :mod:`repro.engine.local` — evaluates plans against locally stored
+  page-relations through a provider interface; the materialized-view
+  machinery of Section 8 plugs in here.
+"""
+
+from repro.engine.session import QuerySession
+from repro.engine.remote import ExecutionResult, RemoteExecutor
+from repro.engine.local import LocalExecutor, PageRelationProvider, qualify_row
+
+__all__ = [
+    "QuerySession",
+    "ExecutionResult",
+    "RemoteExecutor",
+    "LocalExecutor",
+    "PageRelationProvider",
+    "qualify_row",
+]

@@ -1,0 +1,153 @@
+"""Local evaluation of NALG plans.
+
+:class:`LocalExecutor` evaluates a computable plan against page-relations
+held locally, obtained through a :class:`PageRelationProvider`.  Navigations
+are evaluated as joins over URLs — "expression ``P1 →L P2`` is evaluated as
+``P1 ⋈_{P1.L = P2.URL} P2``" (paper, Section 8) — with the provider deciding
+where the target tuples come from (the materialized store checks freshness
+with light connections before handing tuples over, which is how Algorithm 3
+plugs in).
+
+:func:`qualify_row` converts a plain wrapped tuple (attribute-named, as
+produced by the wrappers) into the qualified-name form the algebra's schemas
+use; both executors share it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+from repro.adm.scheme import WebScheme
+from repro.algebra.ast import (
+    EntryPointScan,
+    Expr,
+    ExternalRelScan,
+    FollowLink,
+    Join,
+    Project,
+    Select,
+    Unnest,
+)
+from repro.algebra.computable import check_computable
+from repro.errors import AlgebraError, NotComputableError
+from repro.nested.relation import Relation
+from repro.nested.schema import RelationSchema
+
+__all__ = ["PageRelationProvider", "LocalExecutor", "qualify_row"]
+
+
+def qualify_row(schema: RelationSchema, plain: dict) -> dict:
+    """Re-key a plain wrapped tuple to the qualified names of ``schema``.
+
+    ``schema`` must be a page-relation schema built by
+    :func:`repro.algebra.ast.page_relation_schema` (every field carries
+    provenance); nested lists are qualified recursively.
+    """
+    row = {}
+    for field in schema:
+        assert field.provenance is not None, "page schemas carry provenance"
+        leaf = field.provenance.path.leaf
+        if field.is_list:
+            assert field.elem is not None
+            row[field.name] = [
+                qualify_row(field.elem, sub) for sub in (plain.get(leaf) or [])
+            ]
+        else:
+            row[field.name] = plain.get(leaf)
+    return row
+
+
+class PageRelationProvider(Protocol):
+    """Source of page tuples for local evaluation."""
+
+    def entry_tuple(self, page_scheme: str) -> Optional[dict]:
+        """The plain tuple of the entry point's single page (or None if the
+        page no longer exists)."""
+
+    def target_tuples(
+        self, page_scheme: str, urls: Sequence[str]
+    ) -> dict[str, dict]:
+        """Plain tuples for the requested target pages, keyed by URL; URLs
+        that no longer resolve are simply absent from the result."""
+
+
+class LocalExecutor:
+    """Evaluates computable NALG plans against a page-relation provider."""
+
+    def __init__(self, scheme: WebScheme, provider: PageRelationProvider):
+        self.scheme = scheme
+        self.provider = provider
+
+    def evaluate(self, expr: Expr) -> Relation:
+        """Evaluate ``expr``; raises NotComputableError for bad plans."""
+        check_computable(expr, self.scheme)
+        return self._eval(expr)
+
+    # ------------------------------------------------------------------ #
+
+    def _eval(self, expr: Expr) -> Relation:
+        if isinstance(expr, EntryPointScan):
+            return self._eval_entry(expr)
+        if isinstance(expr, FollowLink):
+            return self._eval_follow(expr)
+        if isinstance(expr, Unnest):
+            return self._eval(expr.child).unnest(expr.attr)
+        if isinstance(expr, Select):
+            child = self._eval(expr.child)
+            expr.output_schema(self.scheme)  # validates predicate attrs
+            return child.select(expr.predicate.evaluate)
+        if isinstance(expr, Project):
+            child = self._eval(expr.child)
+            renames = {i: o for o, i in expr.outputs if o != i}
+            return child.project(list(expr.in_names()), renames)
+        if isinstance(expr, Join):
+            left = self._eval(expr.left)
+            right = self._eval(expr.right)
+            return left.join(right, expr.on)
+        if isinstance(expr, ExternalRelScan):
+            raise NotComputableError(
+                f"external relation {expr.name!r} reached the executor"
+            )
+        raise AlgebraError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_entry(self, expr: EntryPointScan) -> Relation:
+        schema = expr.output_schema(self.scheme)
+        plain = self.provider.entry_tuple(expr.page_scheme)
+        rows = [] if plain is None else [qualify_row(schema, plain)]
+        return Relation(schema, rows)
+
+    def _eval_follow(self, expr: FollowLink) -> Relation:
+        child = self._eval(expr.child)
+        target = expr.target_scheme(self.scheme)
+        schema = expr.output_schema(self.scheme)
+        url_attr = expr.target_url_attr(self.scheme)
+
+        # distinct link values, preserving first-seen order
+        urls: list[str] = []
+        seen: set[str] = set()
+        for row in child.rows:
+            value = row.get(expr.link_attr)
+            if value is not None and value not in seen:
+                seen.add(value)
+                urls.append(value)
+
+        from repro.algebra.ast import page_relation_schema
+
+        target_schema = page_relation_schema(
+            self.scheme, target, expr.target_alias(self.scheme)
+        )
+        plain_by_url = self.provider.target_tuples(target, urls)
+        qualified = {
+            url: qualify_row(target_schema, plain)
+            for url, plain in plain_by_url.items()
+        }
+        rows = []
+        for row in child.rows:
+            value = row.get(expr.link_attr)
+            if value is None:
+                continue
+            target_row = qualified.get(value)
+            if target_row is None:
+                continue  # dangling link: nothing to navigate to
+            rows.append({**row, **target_row})
+        return Relation(schema, rows)

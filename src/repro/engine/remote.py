@@ -1,0 +1,89 @@
+"""Remote evaluation: NALG plans against the live (simulated) web.
+
+This is the virtual-view execution path of Sections 5–7: entry points are
+downloaded through their known URLs, follow-link operators download the
+distinct link targets, wrappers turn HTML into nested tuples, and all
+relational work happens locally at zero cost.  The per-query
+:class:`~repro.engine.session.QuerySession` guarantees each page is
+downloaded at most once per query, which makes the measured
+``page_downloads`` directly comparable to the paper's cost function C(E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.adm.scheme import WebScheme
+from repro.algebra.ast import Expr
+from repro.engine.local import LocalExecutor
+from repro.engine.session import QuerySession
+from repro.nested.relation import Relation
+from repro.web.client import AccessLog, WebClient
+from repro.wrapper.wrapper import WrapperRegistry
+
+__all__ = ["ExecutionResult", "RemoteExecutor"]
+
+
+@dataclass
+class ExecutionResult:
+    """The answer relation plus the measured network cost of producing it."""
+
+    relation: Relation
+    log: AccessLog
+
+    @property
+    def pages(self) -> int:
+        """Distinct pages downloaded — the paper's cost measure."""
+        return self.log.page_downloads
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionResult({len(self.relation)} rows, "
+            f"{self.pages} pages, {self.log.bytes_downloaded} bytes)"
+        )
+
+
+class _SessionProvider:
+    """PageRelationProvider that downloads pages through a QuerySession."""
+
+    def __init__(self, scheme: WebScheme, session: QuerySession):
+        self.scheme = scheme
+        self.session = session
+
+    def entry_tuple(self, page_scheme: str) -> Optional[dict]:
+        url = self.scheme.entry_point(page_scheme).url
+        return self.session.fetch_tuple(page_scheme, url)
+
+    def target_tuples(
+        self, page_scheme: str, urls: Sequence[str]
+    ) -> dict[str, dict]:
+        result = {}
+        for url in urls:
+            plain = self.session.fetch_tuple(page_scheme, url)
+            if plain is not None:
+                result[url] = plain
+        return result
+
+
+class RemoteExecutor:
+    """Evaluates computable plans by navigating the (simulated) web."""
+
+    def __init__(
+        self,
+        scheme: WebScheme,
+        client: WebClient,
+        registry: WrapperRegistry,
+    ):
+        self.scheme = scheme
+        self.client = client
+        self.registry = registry
+
+    def execute(self, expr: Expr) -> ExecutionResult:
+        """Run one query: fresh session, per-query access accounting."""
+        session = QuerySession(self.client, self.registry)
+        provider = _SessionProvider(self.scheme, session)
+        executor = LocalExecutor(self.scheme, provider)
+        before = self.client.log.snapshot()
+        relation = executor.evaluate(expr)
+        return ExecutionResult(relation, self.client.log.delta(before))

@@ -1,0 +1,60 @@
+"""Per-query page cache.
+
+The paper's cost model counts the number of pages downloaded to answer one
+query; within a query, a page reached through two different paths is fetched
+once.  :class:`QuerySession` provides exactly that: a fetch-through cache on
+top of a :class:`~repro.web.client.WebClient`, plus wrapped-tuple caching so
+a page is also parsed only once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ResourceNotFound
+from repro.web.client import WebClient
+from repro.web.resources import WebResource
+from repro.wrapper.wrapper import WrapperRegistry
+
+__all__ = ["QuerySession"]
+
+
+class QuerySession:
+    """Fetch-and-wrap cache for the duration of one query."""
+
+    def __init__(self, client: WebClient, registry: WrapperRegistry):
+        self.client = client
+        self.registry = registry
+        self._resources: dict[str, Optional[WebResource]] = {}
+        self._tuples: dict[tuple, dict] = {}
+
+    def fetch(self, url: str) -> Optional[WebResource]:
+        """Download ``url`` (at most once per session).  Returns None for
+        missing pages (dangling links are tolerated and skipped)."""
+        if url not in self._resources:
+            try:
+                self._resources[url] = self.client.get(url)
+            except ResourceNotFound:
+                self._resources[url] = None
+        return self._resources[url]
+
+    def fetch_tuple(self, page_scheme: str, url: str) -> Optional[dict]:
+        """Download and wrap the page at ``url`` as ``page_scheme`` (cached).
+
+        Returns the plain nested tuple, or None when the page is missing.
+        """
+        key = (page_scheme, url)
+        if key not in self._tuples:
+            resource = self.fetch(url)
+            if resource is None:
+                self._tuples[key] = None
+            else:
+                self._tuples[key] = self.registry.wrap(
+                    page_scheme, url, resource.html
+                )
+        return self._tuples[key]
+
+    @property
+    def pages_downloaded(self) -> int:
+        """Distinct pages actually downloaded in this session."""
+        return sum(1 for r in self._resources.values() if r is not None)

@@ -1,0 +1,105 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish model errors (bad schemes), algebra errors
+(ill-typed expressions), wrapper errors (unparseable pages) and network
+errors (missing resources).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemeError",
+    "ConstraintError",
+    "SchemaError",
+    "PNFError",
+    "AlgebraError",
+    "NotComputableError",
+    "PredicateError",
+    "WrapperError",
+    "ExtractionError",
+    "WebError",
+    "ResourceNotFound",
+    "StatisticsError",
+    "OptimizerError",
+    "QueryError",
+    "ParseError",
+    "MaterializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemeError(ReproError):
+    """An ADM web scheme is malformed (unknown page-scheme, bad link, ...)."""
+
+
+class ConstraintError(SchemeError):
+    """A link or inclusion constraint references attributes that do not exist
+    or do not have the required types."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or an operation references an unknown
+    attribute."""
+
+
+class PNFError(SchemaError):
+    """A nested relation violates Partitioned Normal Form."""
+
+
+class AlgebraError(ReproError):
+    """A navigational-algebra expression is ill-formed."""
+
+
+class NotComputableError(AlgebraError):
+    """An expression was asked to execute against the web but has leaves that
+    are not entry points (paper, Section 4)."""
+
+
+class PredicateError(AlgebraError):
+    """A predicate references attributes missing from its input schema."""
+
+
+class WrapperError(ReproError):
+    """A page could not be wrapped into a nested tuple."""
+
+
+class ExtractionError(WrapperError):
+    """A specific extraction rule failed against a page's DOM."""
+
+
+class WebError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class ResourceNotFound(WebError):
+    """A GET or HEAD was issued for a URL the server does not serve."""
+
+    def __init__(self, url: str):
+        super().__init__(f"no resource at URL {url!r}")
+        self.url = url
+
+
+class StatisticsError(ReproError):
+    """Site statistics are missing a parameter required by the cost model."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan (e.g. no default navigation)."""
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed with respect to the external view."""
+
+
+class ParseError(QueryError):
+    """The SQL-ish conjunctive query text could not be parsed."""
+
+
+class MaterializationError(ReproError):
+    """The materialized store is inconsistent with the requested operation."""

@@ -1,0 +1,35 @@
+"""Materialized views with lazy incremental maintenance (paper, Section 8).
+
+The ADM representation of the site is materialized locally: the whole site
+is crawled once, pages are wrapped, and tuples are stored per page-scheme
+with their access dates.  Queries are then answered from the store — but
+before a tuple is used, a *light connection* (HEAD) verifies its page has
+not changed; stale pages are re-downloaded on the spot.  Answering queries
+thereby also maintains the view, touching only the minimal set of pages the
+chosen plan needs.
+
+* :mod:`repro.materialized.store` — the store + Function 2 (``URLCheck``);
+* :mod:`repro.materialized.evaluate` — Algorithm 3 (query evaluation with
+  lazy maintenance) via the local executor;
+* :mod:`repro.materialized.maintenance` — deferred ``CheckMissing``
+  processing, full refresh, and consistency reporting.
+"""
+
+from repro.materialized.store import MaterializedStore, StoredPage, Status
+from repro.materialized.evaluate import MaterializedEngine, MaterializedResult
+from repro.materialized.maintenance import (
+    process_check_missing,
+    full_refresh,
+    consistency_report,
+)
+
+__all__ = [
+    "MaterializedStore",
+    "StoredPage",
+    "Status",
+    "MaterializedEngine",
+    "MaterializedResult",
+    "process_check_missing",
+    "full_refresh",
+    "consistency_report",
+]

@@ -1,0 +1,128 @@
+"""Off-line maintenance (paper, Section 8, final paragraphs).
+
+URLs flagged ``missing`` during query evaluation "may correspond to deleted
+pages ... we decide to defer this check, and do it periodically off-line":
+:func:`process_check_missing` drains the deferred queue with light
+connections, dropping tuples whose pages are really gone.
+
+"To guarantee the overall consistency, it is still possible to periodically
+check the whole view and maintain it where necessary":
+:func:`full_refresh` URL-checks every stored page and re-crawls from the
+entry points to pick up pages no stored link reaches yet.
+:func:`consistency_report` measures how inconsistent a store has become
+(dangling stored links, stale pages) without repairing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adm.links import outlink_set
+from repro.materialized.store import MaterializedStore
+
+__all__ = ["process_check_missing", "full_refresh", "consistency_report",
+           "ConsistencyReport"]
+
+
+def process_check_missing(store: MaterializedStore) -> dict:
+    """Drain the CheckMissing queue.  Returns counts:
+    ``{"checked": n, "deleted": n, "still_alive": n}``."""
+    checked = deleted = alive = 0
+    queue = sorted(store.check_missing)
+    store.check_missing.clear()
+    for url in queue:
+        checked += 1
+        head = store.client.head(url)
+        if head.ok:
+            alive += 1
+            continue
+        deleted += 1
+        page = store.stored(url)
+        if page is not None:
+            store._remove(url)
+    return {"checked": checked, "deleted": deleted, "still_alive": alive}
+
+
+def full_refresh(store: MaterializedStore) -> dict:
+    """Check every stored page and re-crawl from the entry points.
+
+    Returns ``{"checked": n, "redownloaded": n, "added": n, "removed": n}``.
+    """
+    store.reset_status()
+    before_downloads = store.client.log.page_downloads
+    before_count = store.page_count()
+
+    # check every stored page (light connection each; downloads when stale)
+    stored_urls = [
+        (page.page_scheme, url)
+        for by_url in store.pages.values()
+        for url, page in list(by_url.items())
+    ]
+    for page_scheme, url in stored_urls:
+        store.url_check(page_scheme, url)
+
+    # discover pages no stored page linked to before the refresh
+    frontier = [
+        (ep.scheme, ep.url) for ep in store.scheme.entry_points.values()
+    ]
+    visited: set[str] = set()
+    while frontier:
+        page_scheme, url = frontier.pop()
+        if url in visited:
+            continue
+        visited.add(url)
+        plain = store.url_check(page_scheme, url)
+        if plain is None:
+            continue
+        for link_url, target in outlink_set(store.scheme, page_scheme, plain):
+            if link_url not in visited:
+                frontier.append((target, link_url))
+
+    result = process_check_missing(store)
+    return {
+        "checked": len(visited),
+        "redownloaded": store.client.log.page_downloads - before_downloads,
+        "added": max(0, store.page_count() - before_count),
+        "removed": result["deleted"],
+    }
+
+
+@dataclass
+class ConsistencyReport:
+    """How far the store has drifted from the live site."""
+
+    stored_pages: int = 0
+    stale_pages: int = 0
+    dangling_links: list = field(default_factory=list)
+    unstored_link_targets: list = field(default_factory=list)
+
+    @property
+    def is_consistent(self) -> bool:
+        return (
+            not self.stale_pages
+            and not self.dangling_links
+            and not self.unstored_link_targets
+        )
+
+
+def consistency_report(store: MaterializedStore) -> ConsistencyReport:
+    """Measure store/site drift using only light connections."""
+    report = ConsistencyReport(stored_pages=store.page_count())
+    stored_urls = set()
+    for by_url in store.pages.values():
+        stored_urls.update(by_url)
+    for scheme_name, by_url in store.pages.items():
+        for url, page in by_url.items():
+            head = store.client.head(url)
+            if not head.ok or page.modified < head.last_modified:
+                report.stale_pages += 1
+            for link_url, _target in outlink_set(
+                store.scheme, scheme_name, page.plain
+            ):
+                if link_url in stored_urls:
+                    continue
+                if store.client.head(link_url).ok:
+                    report.unstored_link_targets.append((url, link_url))
+                else:
+                    report.dangling_links.append((url, link_url))
+    return report

@@ -1,0 +1,263 @@
+"""The materialized ADM store and Function 2 (URLCheck).
+
+Each stored page keeps its wrapped tuple, the logical date it was accessed,
+and the ``Last-Modified`` date observed at that access.  URL status flags
+(``none`` / ``checked`` / ``new`` / ``missing``) are per-query state, reset
+by :meth:`MaterializedStore.reset_status` (the paper: "when a query is
+evaluated, all flags are initialized to none").
+
+``URLCheck`` follows the paper's Function 2:
+
+1. a URL flagged ``new`` is downloaded unconditionally (we have no tuple);
+2. otherwise a light connection compares modification dates; only a stale
+   page is re-downloaded;
+3. after a re-download, outgoing links that appeared are flagged ``new``
+   and links that disappeared are flagged ``missing``;
+4. the URL itself is flagged ``checked`` so later navigations in the same
+   query trust it without another connection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adm.links import outlink_set
+from repro.adm.scheme import WebScheme
+from repro.errors import MaterializationError, ResourceNotFound
+from repro.web.client import WebClient
+from repro.wrapper.wrapper import WrapperRegistry
+
+__all__ = ["Status", "StoredPage", "MaterializedStore"]
+
+
+class Status(enum.Enum):
+    """Per-query URL flags (paper, Section 8)."""
+
+    NONE = "none"
+    CHECKED = "checked"
+    NEW = "new"
+    MISSING = "missing"
+
+
+@dataclass
+class StoredPage:
+    """One materialized page: tuple + freshness metadata."""
+
+    page_scheme: str
+    url: str
+    plain: dict
+    access_date: int
+    modified: int
+
+
+class MaterializedStore:
+    """Locally materialized page-relations over a live site."""
+
+    def __init__(
+        self,
+        scheme: WebScheme,
+        client: WebClient,
+        registry: WrapperRegistry,
+    ):
+        self.scheme = scheme
+        self.client = client
+        self.registry = registry
+        self.pages: dict[str, dict[str, StoredPage]] = {
+            name: {} for name in scheme.page_schemes
+        }
+        self.status: dict[str, Status] = {}
+        self.check_missing: set[str] = set()
+        self._scheme_of_url: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # initial materialization
+    # ------------------------------------------------------------------ #
+
+    def populate(self) -> int:
+        """Crawl the whole site once from the entry points and store every
+        page (the paper: "we navigate the whole site once, wrap pages, and
+        store them locally").  Returns the number of pages stored."""
+        frontier = [
+            (ep.scheme, ep.url) for ep in self.scheme.entry_points.values()
+        ]
+        visited: set[str] = set()
+        while frontier:
+            page_scheme, url = frontier.pop()
+            if url in visited:
+                continue
+            visited.add(url)
+            page = self._download(page_scheme, url)
+            if page is None:
+                continue
+            for target_scheme, target_url in (
+                (t, u) for u, t in outlink_set(self.scheme, page_scheme, page.plain)
+            ):
+                if target_url not in visited:
+                    frontier.append((target_scheme, target_url))
+        self.reset_status()
+        return self.page_count()
+
+    # ------------------------------------------------------------------ #
+    # store access
+    # ------------------------------------------------------------------ #
+
+    def page_count(self) -> int:
+        return sum(len(d) for d in self.pages.values())
+
+    def stored(self, url: str) -> Optional[StoredPage]:
+        scheme_name = self._scheme_of_url.get(url)
+        if scheme_name is None:
+            return None
+        return self.pages[scheme_name].get(url)
+
+    def tuples_of(self, page_scheme: str) -> dict[str, dict]:
+        """All stored tuples of one page-scheme, keyed by URL (no checks)."""
+        if page_scheme not in self.pages:
+            raise MaterializationError(f"unknown page-scheme {page_scheme!r}")
+        return {url: p.plain for url, p in self.pages[page_scheme].items()}
+
+    def as_relation(self, page_scheme: str, alias: Optional[str] = None):
+        """The materialized page-relation of ``page_scheme`` as a qualified
+        nested :class:`~repro.nested.relation.Relation` — "the ADM scheme is
+        itself a view over the site, a complex-object one" (Section 8)."""
+        from repro.algebra.ast import page_relation_schema
+        from repro.engine.local import qualify_row
+        from repro.nested.relation import Relation
+
+        schema = page_relation_schema(self.scheme, page_scheme, alias)
+        rows = [
+            qualify_row(schema, page.plain)
+            for page in self.pages[page_scheme].values()
+        ]
+        return Relation(schema, rows)
+
+    def export_flat(self) -> dict:
+        """Decompose every materialized page-relation into flat relations
+        (Section 8: PNF nested relations "can be easily decomposed in flat
+        relations and stored in a relational DBMS").  Returns
+        ``{flat_name: Relation}`` across all page-schemes."""
+        from repro.nested.decompose import decompose
+
+        result: dict = {}
+        for page_scheme in self.pages:
+            relation = self.as_relation(page_scheme)
+            result.update(decompose(relation, page_scheme))
+        return result
+
+    def reset_status(self) -> None:
+        """Start a new query: all flags back to ``none``."""
+        self.status.clear()
+
+    def status_of(self, url: str) -> Status:
+        return self.status.get(url, Status.NONE)
+
+    # ------------------------------------------------------------------ #
+    # Function 2: URLCheck
+    # ------------------------------------------------------------------ #
+
+    def url_check(
+        self,
+        page_scheme: str,
+        url: str,
+        max_age: Optional[int] = None,
+    ) -> Optional[dict]:
+        """Check (and lazily maintain) one page; returns its fresh tuple,
+        or None when the page no longer exists.
+
+        ``max_age`` enables the paper's "controlled level of obsolescence":
+        a stored tuple accessed within the last ``max_age`` clock ticks is
+        trusted without even a light connection.
+        """
+        status = self.status_of(url)
+        if status is Status.CHECKED:
+            page = self.stored(url)
+            return page.plain if page is not None else None
+
+        page = self.stored(url)
+        if (
+            max_age is not None
+            and page is not None
+            and status is Status.NONE
+            and self.client.server.clock.now() - page.access_date <= max_age
+        ):
+            return page.plain  # tolerated obsolescence: no connection at all
+        if status is Status.NEW or page is None:
+            fresh = self._download(page_scheme, url, previous=page)
+            if fresh is None:
+                self.status[url] = Status.MISSING
+                self.check_missing.add(url)
+                return None
+            self.status[url] = Status.CHECKED
+            return fresh.plain
+
+        head = self.client.head(url)
+        if not head.ok:
+            # the page was deleted behind our back
+            self._remove(url)
+            self.status[url] = Status.MISSING
+            self.check_missing.add(url)
+            return None
+        if page.modified < head.last_modified:
+            fresh = self._download(page_scheme, url, previous=page)
+            self.status[url] = Status.CHECKED
+            return fresh.plain if fresh is not None else None
+        # verified fresh: restart the obsolescence window
+        page.access_date = self.client.server.clock.now()
+        self.status[url] = Status.CHECKED
+        return page.plain
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _download(
+        self,
+        page_scheme: str,
+        url: str,
+        previous: Optional[StoredPage] = None,
+    ) -> Optional[StoredPage]:
+        """Download + wrap + store one page; diffs outlinks against the
+        previous version to flag new/missing link targets."""
+        try:
+            resource = self.client.get(url)
+        except ResourceNotFound:
+            if previous is not None:
+                self._remove(url)
+                self.check_missing.add(url)
+            return None
+        plain = self.registry.wrap(page_scheme, url, resource.html)
+        page = StoredPage(
+            page_scheme=page_scheme,
+            url=url,
+            plain=plain,
+            access_date=self.client.server.clock.now(),
+            modified=resource.last_modified,
+        )
+        self.pages[page_scheme][url] = page
+        self._scheme_of_url[url] = page_scheme
+
+        # Function 2 diffs outlinks only when replacing a stale version:
+        # links that appeared are flagged new, links that vanished missing.
+        if previous is not None:
+            new_links = outlink_set(self.scheme, page_scheme, plain)
+            old_links = outlink_set(self.scheme, page_scheme, previous.plain)
+            for out_url, _target in new_links - old_links:
+                if self.status_of(out_url) is not Status.CHECKED:
+                    self.status[out_url] = Status.NEW
+            for out_url, _target in old_links - new_links:
+                if self.status_of(out_url) is not Status.CHECKED:
+                    self.status[out_url] = Status.MISSING
+        return page
+
+    def _remove(self, url: str) -> None:
+        scheme_name = self._scheme_of_url.pop(url, None)
+        if scheme_name is not None:
+            self.pages[scheme_name].pop(url, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaterializedStore({self.page_count()} pages, "
+            f"{len(self.check_missing)} pending missing-checks)"
+        )

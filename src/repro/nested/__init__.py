@@ -1,0 +1,52 @@
+"""PNF nested-relations engine.
+
+The paper views a set of similar pages as an *instance of a page-scheme*:
+a nested relation in Partitioned Normal Form (PNF, footnote 5).  This
+package provides the generic nested-relation machinery the navigational
+algebra is built on:
+
+* :mod:`repro.nested.schema` — relation schemas with provenance-tracked
+  fields (atoms and nested lists);
+* :mod:`repro.nested.relation` — the :class:`Relation` container;
+* :mod:`repro.nested.operations` — select / project / join / unnest / nest /
+  rename / distinct / union / difference;
+* :mod:`repro.nested.pnf` — Partitioned-Normal-Form validation.
+"""
+
+from repro.nested.schema import Field, Provenance, RelationSchema
+from repro.nested.relation import Relation
+from repro.nested.operations import (
+    select,
+    project,
+    join,
+    product,
+    unnest,
+    nest,
+    rename,
+    distinct,
+    union,
+    difference,
+)
+from repro.nested.pnf import check_pnf, is_pnf
+from repro.nested.decompose import decompose, recompose
+
+__all__ = [
+    "Field",
+    "Provenance",
+    "RelationSchema",
+    "Relation",
+    "select",
+    "project",
+    "join",
+    "product",
+    "unnest",
+    "nest",
+    "rename",
+    "distinct",
+    "union",
+    "difference",
+    "check_pnf",
+    "is_pnf",
+    "decompose",
+    "recompose",
+]

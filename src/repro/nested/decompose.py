@@ -1,0 +1,144 @@
+"""PNF decomposition into flat relations, and recomposition.
+
+Paper, Section 8: "since we assume that nested relations are in PNF, they
+can be easily decomposed in flat relations and stored in a relational
+DBMS."  This module implements that decomposition:
+
+* every nesting level becomes one flat relation;
+* a child relation carries its parent's atomic attributes as a foreign key
+  (PNF guarantees the parent's atoms form a key);
+* :func:`recompose` inverts the process exactly (PNF round-trip), modulo
+  tuples whose nested lists were empty on *inner* levels — an empty list
+  simply produces no child rows, and recomposition restores it as empty.
+
+Flat relation names are ``<base>`` for the root and ``<base>__<list path>``
+for nested levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import PNFError, SchemaError
+from repro.nested.pnf import check_pnf
+from repro.nested.relation import Relation
+from repro.nested.schema import Field, RelationSchema
+
+__all__ = ["decompose", "recompose"]
+
+
+def _flat_schema(schema: RelationSchema, extra_key: list[Field]) -> RelationSchema:
+    atoms = [f for f in schema if not f.is_list]
+    clash = {f.name for f in extra_key} & {f.name for f in atoms}
+    if clash:
+        raise SchemaError(
+            f"cannot decompose: parent key attributes {sorted(clash)} clash "
+            "with child attributes"
+        )
+    return RelationSchema(extra_key + atoms)
+
+
+def decompose(relation: Relation, base_name: str) -> Dict[str, Relation]:
+    """Split a PNF nested relation into flat relations.
+
+    Returns ``{name: flat relation}``; raises
+    :class:`~repro.errors.PNFError` when the input violates PNF (the
+    decomposition would lose information otherwise).
+    """
+    check_pnf(relation)
+    result: Dict[str, Relation] = {}
+
+    def walk(
+        name: str,
+        schema: RelationSchema,
+        rows: list[dict],
+        parent_key: list[Field],
+        parent_values_of: dict,
+    ) -> None:
+        flat = _flat_schema(schema, parent_key)
+        atom_names = [f.name for f in schema if not f.is_list]
+        flat_rows = []
+        for row in rows:
+            flat_row = dict(parent_values_of.get(id(row), {}))
+            for n in atom_names:
+                flat_row[n] = row[n]
+            flat_rows.append(flat_row)
+        result[name] = Relation(flat, flat_rows)
+
+        key_fields = parent_key + [f for f in schema if not f.is_list]
+        for field in schema:
+            if not field.is_list:
+                continue
+            child_rows: list[dict] = []
+            child_parent_values: dict = {}
+            for row in rows:
+                key_values = dict(parent_values_of.get(id(row), {}))
+                for n in atom_names:
+                    key_values[n] = row[n]
+                for sub in row[field.name]:
+                    child_rows.append(sub)
+                    child_parent_values[id(sub)] = key_values
+            assert field.elem is not None
+            walk(
+                f"{name}__{field.name}",
+                field.elem,
+                child_rows,
+                key_fields,
+                child_parent_values,
+            )
+
+    walk(base_name, relation.schema, relation.rows, [], {})
+    return result
+
+
+def recompose(
+    flats: Dict[str, Relation],
+    base_name: str,
+    schema: RelationSchema,
+) -> Relation:
+    """Rebuild the nested relation from its decomposition.
+
+    ``schema`` is the original nested schema (decomposition does not store
+    it).  Raises :class:`~repro.errors.SchemaError` when a required flat
+    relation is missing.
+    """
+
+    def rebuild(
+        name: str,
+        level_schema: RelationSchema,
+        key_names: list[str],
+    ) -> list[dict]:
+        if name not in flats:
+            raise SchemaError(f"missing flat relation {name!r}")
+        flat = flats[name]
+        atom_names = [f.name for f in level_schema if not f.is_list]
+        list_fields = [f for f in level_schema if f.is_list]
+
+        children: dict[str, dict] = {}
+        next_keys = key_names + atom_names
+        for field in list_fields:
+            assert field.elem is not None
+            child_rows = rebuild(
+                f"{name}__{field.name}", field.elem, next_keys
+            )
+            grouped: dict = {}
+            for child in child_rows:
+                key = tuple(child.pop("__parent_key__"))
+                grouped.setdefault(key, []).append(child)
+            children[field.name] = grouped
+
+        rows = []
+        for flat_row in flat.rows:
+            own_key = tuple(flat_row[n] for n in next_keys)
+            row = {n: flat_row[n] for n in atom_names}
+            for field in list_fields:
+                row[field.name] = children[field.name].get(own_key, [])
+            if key_names:
+                # the parent groups its children by the parent's full key,
+                # which is exactly the ancestor columns this level carries
+                row["__parent_key__"] = [flat_row[n] for n in key_names]
+            rows.append(row)
+        return rows
+
+    rows = rebuild(base_name, schema, [])
+    return Relation(schema, rows)

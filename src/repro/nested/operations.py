@@ -1,0 +1,224 @@
+"""Operations over nested relations.
+
+These are the value-level operations the navigational algebra compiles to:
+selection, projection (with optional renaming), equi-join (plus general
+theta-join via a row predicate), cartesian product, unnest (the paper's
+``∘`` on the instance level), nest (its inverse, used by the materialized
+store and by PNF round-trip tests), rename, duplicate elimination, union and
+difference.
+
+All operations are pure: they build new :class:`Relation` objects and never
+mutate their inputs.  Rows may be shared between input and output; callers
+must treat rows as read-only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.nested.relation import Relation, Row, canonical_row, canonical_value
+from repro.nested.schema import Field, RelationSchema
+
+__all__ = [
+    "select",
+    "project",
+    "join",
+    "product",
+    "unnest",
+    "nest",
+    "rename",
+    "distinct",
+    "union",
+    "difference",
+]
+
+
+def select(relation: Relation, predicate: Callable[[Row], bool]) -> Relation:
+    """Rows of ``relation`` satisfying ``predicate``."""
+    return Relation(relation.schema, [r for r in relation.rows if predicate(r)])
+
+
+def project(
+    relation: Relation,
+    names: Sequence[str],
+    renames: Optional[dict[str, str]] = None,
+) -> Relation:
+    """Projection onto ``names`` (with optional old→new renaming applied to
+    the output), eliminating duplicates as in set-based relational algebra."""
+    renames = renames or {}
+    schema = relation.schema.project(names)
+    if renames:
+        schema = schema.rename(renames)
+    out_names = [(n, renames.get(n, n)) for n in names]
+    rows: list[Row] = []
+    seen: set = set()
+    for row in relation.rows:
+        new_row = {new: row[old] for old, new in out_names}
+        key = canonical_row(new_row)
+        if key not in seen:
+            seen.add(key)
+            rows.append(new_row)
+    return Relation(schema, rows)
+
+
+def join(
+    left: Relation,
+    right: Relation,
+    on: Sequence[tuple[str, str]],
+    predicate: Optional[Callable[[Row, Row], bool]] = None,
+) -> Relation:
+    """Equi-join on the ``(left_field, right_field)`` pairs in ``on``, with
+    an optional extra theta predicate.  Field names must be disjoint.
+
+    Null join keys never match (SQL semantics), which matters for optional
+    link attributes.
+    """
+    schema = left.schema.concat(right.schema)
+    for lname, _ in on:
+        left.schema.field(lname)
+    for _, rname in on:
+        right.schema.field(rname)
+    if not on and predicate is None:
+        return product(left, right)
+
+    rows: list[Row] = []
+    if on:
+        # hash join on the first pair, filter on the rest
+        first_left, first_right = on[0]
+        buckets: dict[object, list[Row]] = {}
+        for rrow in right.rows:
+            key = canonical_value(rrow[first_right])
+            if key is not None:
+                buckets.setdefault(key, []).append(rrow)
+        rest = on[1:]
+        for lrow in left.rows:
+            key = canonical_value(lrow[first_left])
+            if key is None:
+                continue
+            for rrow in buckets.get(key, ()):
+                if any(
+                    lrow[ln] is None or lrow[ln] != rrow[rn] for ln, rn in rest
+                ):
+                    continue
+                if predicate is not None and not predicate(lrow, rrow):
+                    continue
+                rows.append({**lrow, **rrow})
+    else:
+        assert predicate is not None
+        for lrow in left.rows:
+            for rrow in right.rows:
+                if predicate(lrow, rrow):
+                    rows.append({**lrow, **rrow})
+    return Relation(schema, rows)
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product; field names must be disjoint."""
+    schema = left.schema.concat(right.schema)
+    rows = [{**lrow, **rrow} for lrow in left.rows for rrow in right.rows]
+    return Relation(schema, rows)
+
+
+def unnest(relation: Relation, name: str) -> Relation:
+    """The paper's unnest-page operator ``R ∘ A`` at the instance level.
+
+    Each row is expanded into one row per element of its ``name`` list; rows
+    whose list is empty disappear (standard nested-relation unnest).
+    """
+    field = relation.schema.field(name)
+    if not field.is_list:
+        raise SchemaError(f"cannot unnest atom field {name!r}")
+    schema = relation.schema.unnest(name)
+    rows: list[Row] = []
+    for row in relation.rows:
+        for sub in row[name]:
+            new_row = {k: v for k, v in row.items() if k != name}
+            new_row.update(sub)
+            rows.append(new_row)
+    return Relation(schema, rows)
+
+
+def nest(relation: Relation, names: Sequence[str], into: str) -> Relation:
+    """Inverse of unnest: group rows by all fields *not* in ``names`` and
+    collect the ``names`` fields into a list field called ``into``.
+
+    The nested field's element schema reuses the grouped fields.  Producing
+    PNF output requires the grouping fields to functionally determine
+    nothing weird — which nest guarantees by construction (one group per
+    distinct outer value).
+    """
+    from repro.adm.webtypes import ListType
+
+    for n in names:
+        field = relation.schema.field(n)
+        if field.is_list:
+            raise SchemaError(f"cannot nest list field {n!r} (flatten first)")
+    if into in set(relation.schema.names()) - set(names):
+        raise SchemaError(f"nest target name {into!r} clashes with a kept field")
+
+    kept_fields = [f for f in relation.schema if f.name not in set(names)]
+    elem_fields = [relation.schema.field(n) for n in names]
+    elem_schema = RelationSchema(elem_fields)
+    list_type = ListType(
+        tuple((f.name, f.wtype) for f in elem_fields)
+    )
+    schema = RelationSchema(kept_fields + [Field(into, list_type, elem=elem_schema)])
+
+    groups: dict[tuple, Row] = {}
+    order: list[tuple] = []
+    for row in relation.rows:
+        outer = {f.name: row[f.name] for f in kept_fields}
+        key = canonical_row(outer)
+        if key not in groups:
+            outer[into] = []
+            groups[key] = outer
+            order.append(key)
+        inner = {n: row[n] for n in names}
+        bucket = groups[key][into]
+        if all(canonical_row(existing) != canonical_row(inner) for existing in bucket):
+            bucket.append(inner)
+    return Relation(schema, [groups[k] for k in order])
+
+
+def rename(relation: Relation, mapping: dict[str, str]) -> Relation:
+    """Rename fields (old → new) in schema and rows."""
+    schema = relation.schema.rename(mapping)
+    rows = [
+        {mapping.get(k, k): v for k, v in row.items()} for row in relation.rows
+    ]
+    return Relation(schema, rows)
+
+
+def distinct(relation: Relation) -> Relation:
+    """Duplicate elimination (by canonical row)."""
+    rows: list[Row] = []
+    seen: set = set()
+    for row in relation.rows:
+        key = canonical_row(row)
+        if key not in seen:
+            seen.add(key)
+            rows.append(row)
+    return Relation(relation.schema, rows)
+
+
+def _require_compatible(left: Relation, right: Relation, op: str) -> None:
+    if set(left.schema.names()) != set(right.schema.names()):
+        raise SchemaError(
+            f"{op} requires identical field names: "
+            f"{sorted(left.schema.names())} vs {sorted(right.schema.names())}"
+        )
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union (duplicates eliminated); schemas must share field names."""
+    _require_compatible(left, right, "union")
+    return distinct(Relation(left.schema, left.rows + list(right.rows)))
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference ``left - right``; schemas must share field names."""
+    _require_compatible(left, right, "difference")
+    right_keys = {canonical_row(row) for row in right.rows}
+    rows = [row for row in left.rows if canonical_row(row) not in right_keys]
+    return Relation(left.schema, rows)

@@ -1,0 +1,52 @@
+"""Partitioned Normal Form validation.
+
+The paper assumes page-relations are nested relations in PNF (footnote 5,
+citing Roth/Korth/Silberschatz).  A nested relation is in PNF when:
+
+1. its atomic (mono-valued) attributes form a key of the relation — no two
+   tuples agree on all atoms; and
+2. every nested sub-relation is recursively in PNF.
+
+PNF is what makes nested relations decomposable into flat relations without
+information loss, which Section 8 relies on to store the materialized ADM
+view in a relational DBMS.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PNFError
+from repro.nested.relation import Relation
+from repro.nested.schema import RelationSchema
+
+__all__ = ["check_pnf", "is_pnf"]
+
+
+def _check_rows(schema: RelationSchema, rows: list[dict], path: str) -> None:
+    atom_names = schema.atom_names()
+    list_fields = [f for f in schema if f.is_list]
+    seen: dict[tuple, int] = {}
+    for i, row in enumerate(rows):
+        key = tuple(row[n] for n in atom_names)
+        if key in seen:
+            raise PNFError(
+                f"{path}: rows {seen[key]} and {i} agree on all atomic "
+                f"attributes {atom_names} = {key!r}"
+            )
+        seen[key] = i
+        for field in list_fields:
+            assert field.elem is not None
+            _check_rows(field.elem, row[field.name], f"{path}.{field.name}")
+
+
+def check_pnf(relation: Relation) -> None:
+    """Raise :class:`~repro.errors.PNFError` if ``relation`` violates PNF."""
+    _check_rows(relation.schema, relation.rows, "<root>")
+
+
+def is_pnf(relation: Relation) -> bool:
+    """True when ``relation`` is in Partitioned Normal Form."""
+    try:
+        check_pnf(relation)
+        return True
+    except PNFError:
+        return False

@@ -1,0 +1,45 @@
+"""Query optimization (paper, Section 6).
+
+* :mod:`repro.optimizer.cost` — cardinality estimation and the cost
+  function C(E) of Section 6.2 (network page accesses only);
+* :mod:`repro.optimizer.rules` — the rewrite rules of Section 6.1 (rules
+  2–9), implemented over qualified-name NALG expressions;
+* :mod:`repro.optimizer.rewriter` — closure/fixpoint drivers that apply
+  rule sets over whole plans with deduplication;
+* :mod:`repro.optimizer.planner` — Algorithm 1: staged enumeration of
+  candidate plans and cost-based selection.
+"""
+
+from repro.optimizer.cost import CostModel
+from repro.optimizer.rules import (
+    JoinPushdown,
+    MergeRepeatedNavigation,
+    PointerJoin,
+    PointerChase,
+    push_selections,
+    ProjectionSubstitution,
+    eliminate_unused_navigation,
+)
+from repro.optimizer.rewriter import closure
+from repro.optimizer.planner import (
+    PlanCandidate,
+    Planner,
+    PlannerOptions,
+    PlannerResult,
+)
+
+__all__ = [
+    "CostModel",
+    "JoinPushdown",
+    "MergeRepeatedNavigation",
+    "PointerJoin",
+    "PointerChase",
+    "push_selections",
+    "ProjectionSubstitution",
+    "eliminate_unused_navigation",
+    "closure",
+    "Planner",
+    "PlannerOptions",
+    "PlanCandidate",
+    "PlannerResult",
+]

@@ -1,0 +1,276 @@
+"""Cardinality estimation and the cost function C(E) (paper, Section 6.2).
+
+Step 1 estimates the cardinality of every intermediate result:
+
+* ``|P1 ∘ L|   = |P1| × |L|``
+* ``|σ_A(P)|   = |P| × s_A``
+* ``|R1 ⋈ R2|  = |R1| × |R2| × σ_join``
+* ``|π_A(P)|   = |P| / r_A``  (equivalently min(card, Π c_A))
+* navigation preserves the source cardinality (each tuple joins with the
+  single page its link references; the paper's ``|R → P| = |P|`` is the
+  default-navigation special case where R covers all of P — both agree on
+  every worked example).
+
+Step 2 sums operator costs: only network operations cost anything —
+an entry-point access costs 1 page, and a navigation ``R →L P`` costs the
+number of *distinct* links followed, ``|π_L(R)| = |R| / r_L`` (capped by
+``|P|``: a navigation can never download more pages than exist).
+
+Statistics are reached through field provenance, so estimates work at any
+depth.  Attributes whose provenance is unknown (e.g. computed columns) fall
+back to :data:`DEFAULT_SELECTIVITY`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adm.scheme import WebScheme
+from repro.algebra.ast import (
+    EntryPointScan,
+    Expr,
+    ExternalRelScan,
+    FollowLink,
+    Join,
+    Project,
+    Select,
+    Unnest,
+)
+from repro.algebra.predicates import AttrEq, Comparison, In
+from repro.errors import OptimizerError, StatisticsError
+from repro.nested.schema import Field, Provenance
+from repro.stats.statistics import SiteStatistics
+
+__all__ = ["CostModel", "DEFAULT_SELECTIVITY"]
+
+#: Selectivity assumed for predicates whose attribute has no usable
+#: statistics (conservative-ish; the paper assumes full knowledge).
+DEFAULT_SELECTIVITY = 0.1
+
+
+@dataclass
+class _Estimate:
+    cardinality: float
+    cost: float
+
+
+class CostModel:
+    """Estimates cardinalities and the page-access cost of NALG plans."""
+
+    def __init__(self, scheme: WebScheme, stats: SiteStatistics):
+        self.scheme = scheme
+        self.stats = stats
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def cardinality(self, expr: Expr) -> float:
+        """Estimated number of tuples in the result of ``expr``."""
+        return self._estimate(expr).cardinality
+
+    def cost(self, expr: Expr) -> float:
+        """C(E): estimated number of pages downloaded to evaluate ``expr``."""
+        return self._estimate(expr).cost
+
+    def bytes_cost(self, expr: Expr) -> float:
+        """Estimated bytes downloaded (footnote 8's refinement: pages of
+        different page-schemes have different sizes — e.g. the Introduction
+        prefers the *smaller* database-conference list when page counts
+        tie).  Computed as Σ over network operations of
+        (pages fetched × average page size of the fetched scheme)."""
+        total = 0.0
+        for node in self._walk(expr):
+            if isinstance(node, EntryPointScan):
+                total += self._page_size(node.page_scheme)
+            elif isinstance(node, FollowLink):
+                own = (
+                    self._estimate(node).cost
+                    - self._estimate(node.child).cost
+                )
+                total += own * self._page_size(node.target_scheme(self.scheme))
+        return total
+
+    def local_work(self, expr: Expr) -> float:
+        """Estimated local (zero-network-cost) tuple operations.
+
+        Footnote 10: "in a more refined cost model, also some expensive
+        local operations should be taken into account".  Purely
+        informational — plans are still ranked by page accesses — but it
+        quantifies the trade the pointer-join strategy makes: fewer pages,
+        more local joining.  Counted as: tuples produced by unnests and
+        selections, plus the input sizes of every join.
+        """
+        total = 0.0
+        for node in self._walk(expr):
+            if isinstance(node, (Unnest, Select)):
+                total += self._estimate(node).cardinality
+            elif isinstance(node, Join):
+                total += (
+                    self._estimate(node.left).cardinality
+                    + self._estimate(node.right).cardinality
+                )
+        return total
+
+    def _page_size(self, scheme_name: str) -> float:
+        try:
+            return self.stats.avg_page_bytes(scheme_name)
+        except StatisticsError:
+            return 1.0  # degrade to page counting
+
+    def _walk(self, expr: Expr):
+        yield expr
+        for child in expr.children():
+            yield from self._walk(child)
+
+    def explain(self, expr: Expr) -> str:
+        """Per-node breakdown of cardinality and cost (indented tree)."""
+        lines: list[str] = []
+
+        def go(node: Expr, depth: int) -> None:
+            est = self._estimate(node)
+            own = est.cost - sum(self._estimate(c).cost for c in node.children())
+            label = type(node).__name__
+            if isinstance(node, EntryPointScan):
+                label = f"EntryPoint {node.name}"
+            elif isinstance(node, FollowLink):
+                label = f"Follow {node.link_attr}"
+            elif isinstance(node, Unnest):
+                label = f"Unnest {node.attr}"
+            lines.append(
+                f"{'  ' * depth}{label}: card={est.cardinality:.2f} "
+                f"cost={est.cost:.2f} (+{own:.2f})"
+            )
+            for child in node.children():
+                go(child, depth + 1)
+
+        go(expr, 0)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # estimation
+    # ------------------------------------------------------------------ #
+
+    def _estimate(self, expr: Expr) -> _Estimate:
+        if isinstance(expr, EntryPointScan):
+            return _Estimate(cardinality=1.0, cost=1.0)
+        if isinstance(expr, ExternalRelScan):
+            raise OptimizerError(
+                f"cannot cost external relation {expr.name!r}; expand it "
+                "with rule 1 first"
+            )
+        if isinstance(expr, Unnest):
+            return self._estimate_unnest(expr)
+        if isinstance(expr, Select):
+            return self._estimate_select(expr)
+        if isinstance(expr, Project):
+            return self._estimate_project(expr)
+        if isinstance(expr, Join):
+            return self._estimate_join(expr)
+        if isinstance(expr, FollowLink):
+            return self._estimate_follow(expr)
+        raise OptimizerError(f"cannot cost {type(expr).__name__}")
+
+    def _field(self, expr: Expr, attr: str) -> Field:
+        return expr.output_schema(self.scheme).field(attr)
+
+    def _distinct(self, field: Field) -> float:
+        """c_A via provenance; None when unknown."""
+        prov = field.provenance
+        if prov is None:
+            return 0.0
+        try:
+            return self.stats.distinct(prov.base_scheme, prov.path)
+        except StatisticsError:
+            return 0.0
+
+    def _estimate_unnest(self, expr: Unnest) -> _Estimate:
+        child = self._estimate(expr.child)
+        field = self._field(expr.child, expr.attr)
+        size = 1.0
+        if field.provenance is not None:
+            try:
+                size = self.stats.avg_list(
+                    field.provenance.base_scheme, field.provenance.path
+                )
+            except StatisticsError:
+                size = 1.0
+        return _Estimate(child.cardinality * size, child.cost)
+
+    def _estimate_select(self, expr: Select) -> _Estimate:
+        child = self._estimate(expr.child)
+        selectivity = 1.0
+        schema_expr = expr.child
+        for atom in expr.predicate.atoms:
+            if isinstance(atom, Comparison):
+                c = self._distinct(self._field(schema_expr, atom.attr))
+                selectivity *= (1.0 / c) if c else DEFAULT_SELECTIVITY
+            elif isinstance(atom, In):
+                c = self._distinct(self._field(schema_expr, atom.attr))
+                s = (1.0 / c) if c else DEFAULT_SELECTIVITY
+                selectivity *= min(1.0, len(atom.values) * s)
+            elif isinstance(atom, AttrEq):
+                c1 = self._distinct(self._field(schema_expr, atom.left))
+                c2 = self._distinct(self._field(schema_expr, atom.right))
+                top = max(c1, c2)
+                selectivity *= (1.0 / top) if top else DEFAULT_SELECTIVITY
+        return _Estimate(child.cardinality * selectivity, child.cost)
+
+    def _estimate_project(self, expr: Project) -> _Estimate:
+        child = self._estimate(expr.child)
+        # |π_A(P)| = |P| / r_A  ==  min(card, Π c_A) under uniformity
+        distinct_product = 1.0
+        known = True
+        for _, in_name in expr.outputs:
+            field = self._field(expr.child, in_name)
+            if field.is_list:
+                known = False
+                break
+            c = self._distinct(field)
+            if not c:
+                known = False
+                break
+            distinct_product *= c
+        card = min(child.cardinality, distinct_product) if known else child.cardinality
+        return _Estimate(card, child.cost)
+
+    def _estimate_join(self, expr: Join) -> _Estimate:
+        left = self._estimate(expr.left)
+        right = self._estimate(expr.right)
+        selectivity = 1.0
+        for lname, rname in expr.on:
+            lfield = self._field(expr.left, lname)
+            rfield = self._field(expr.right, rname)
+            if lfield.provenance is not None and rfield.provenance is not None:
+                selectivity *= self.stats.join_selectivity(
+                    lfield.provenance.base_scheme,
+                    lfield.provenance.path,
+                    rfield.provenance.base_scheme,
+                    rfield.provenance.path,
+                )
+            else:
+                selectivity *= DEFAULT_SELECTIVITY
+        card = left.cardinality * right.cardinality * selectivity
+        return _Estimate(card, left.cost + right.cost)
+
+    def _estimate_follow(self, expr: FollowLink) -> _Estimate:
+        child = self._estimate(expr.child)
+        link_field = self._field(expr.child, expr.link_attr)
+        target = expr.target_scheme(self.scheme)
+        try:
+            target_card = self.stats.card(target)
+        except StatisticsError:
+            target_card = float("inf")
+        repetition = 1.0
+        if link_field.provenance is not None:
+            try:
+                repetition = self.stats.repetition(
+                    link_field.provenance.base_scheme, link_field.provenance.path
+                )
+            except StatisticsError:
+                repetition = 1.0
+        distinct_links = min(child.cardinality / repetition, target_card)
+        return _Estimate(
+            cardinality=child.cardinality,
+            cost=child.cost + distinct_links,
+        )

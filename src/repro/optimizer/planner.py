@@ -1,0 +1,304 @@
+"""Algorithm 1: Navigation Plan Selection (paper, Section 6.3).
+
+Given a conjunctive query over external relations the planner:
+
+1. translates it into relational algebra over external-relation scans
+   (:mod:`repro.views.translate`);
+2. replaces each external relation with its default navigations *in all
+   possible ways* (rule 1);
+3. eliminates repeated navigations (rule 4, to closure);
+4. pushes and prunes joins (rules 8 and 9, to closure);
+5. pushes selections (rule 6, an improvement pass);
+6. substitutes projections (rule 7, to closure);
+7. eliminates unnecessary navigations and unnests (rules 5/3);
+8. estimates C(E) for every surviving candidate and picks the cheapest.
+
+Candidates that became ill-typed (e.g. rule 9 dropped a side whose
+attributes the query still needs — the paper's π_X side condition) are
+silently discarded during validation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.adm.scheme import WebScheme
+from repro.algebra.ast import Expr, ExternalRelScan
+from repro.algebra.computable import is_computable
+from repro.algebra.printer import render_expr
+from repro.algebra.visitors import replace_at, walk
+from repro.errors import (
+    AlgebraError,
+    OptimizerError,
+    PredicateError,
+    SchemaError,
+)
+from repro.optimizer.cost import CostModel
+from repro.optimizer.rewriter import closure
+from repro.optimizer.rules import (
+    JoinPushdown,
+    MergeRepeatedNavigation,
+    PointerChase,
+    PointerJoin,
+    ProjectionSubstitution,
+    eliminate_unused_navigation,
+    push_selections,
+    substitute_attrs,
+)
+from repro.views.conjunctive import ConjunctiveQuery
+from repro.views.external import ExternalView, realias_navigation
+from repro.views.translate import translate
+
+__all__ = ["PlanCandidate", "PlannerResult", "Planner", "PlannerOptions"]
+
+#: Cap on rule-1 expansion combinations (navigation choices multiply).
+MAX_EXPANSIONS = 256
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One costed execution plan.
+
+    ``cost`` is the paper's page-count C(E); ``bytes_cost`` is the footnote-8
+    refinement used to break page-count ties (a smaller list page beats a
+    bigger one, as in the Introduction's path 2 vs path 1).
+    """
+
+    expr: Expr
+    cost: float
+    cardinality: float
+    bytes_cost: float = 0.0
+
+    def render(self, compact: bool = True, scheme: Optional[WebScheme] = None) -> str:
+        return render_expr(self.expr, compact=compact, scheme=scheme)
+
+
+@dataclass
+class PlannerResult:
+    """The chosen plan plus everything the optimizer considered."""
+
+    best: PlanCandidate
+    candidates: list  # all valid candidates, sorted by cost
+    generated: int    # plans generated before validation
+
+    def describe(self, scheme: Optional[WebScheme] = None, limit: int = 10) -> str:
+        lines = [
+            f"{len(self.candidates)} valid plans "
+            f"(of {self.generated} generated):"
+        ]
+        for i, cand in enumerate(self.candidates[:limit]):
+            marker = "→" if cand is self.best else " "
+            lines.append(
+                f" {marker} [{cand.cost:10.2f} pages] "
+                f"{cand.render(scheme=scheme)}"
+            )
+        if len(self.candidates) > limit:
+            lines.append(f"   ... {len(self.candidates) - limit} more")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Feature toggles for ablation studies.
+
+    Each flag disables one rewrite family; the default enables everything
+    (the paper's full Algorithm 1).  Disabling a family never breaks
+    correctness — plans just get worse — which the ablation benchmark
+    quantifies.
+    """
+
+    merge_repeated: bool = True        # rule 4
+    pointer_join: bool = True          # rule 8
+    pointer_chase: bool = True         # rule 9
+    join_pushdown: bool = True         # the reassociation rules 8/9 need
+    push_selections: bool = True       # rule 6
+    substitute_projections: bool = True  # rule 7
+    eliminate_navigations: bool = True   # rules 3/5
+
+
+class Planner:
+    """Algorithm 1 over a web scheme, an external view, and statistics."""
+
+    def __init__(
+        self,
+        view: ExternalView,
+        cost_model: CostModel,
+        options: Optional[PlannerOptions] = None,
+    ):
+        self.view = view
+        self.scheme = view.scheme
+        self.cost_model = cost_model
+        self.options = options or PlannerOptions()
+        self._cache: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def plan_query(self, query: ConjunctiveQuery) -> PlannerResult:
+        """Plan a conjunctive query (steps 1–8).
+
+        Results are cached per planner instance (a planner is bound to one
+        statistics snapshot; rebuilding the planner — as
+        ``SiteEnv.refresh_statistics`` does — naturally drops the cache).
+        """
+        key = str(query)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.plan_expr(translate(query, self.view))
+            if len(self._cache) > 512:
+                self._cache.clear()
+            self._cache[key] = cached
+        return cached
+
+    def plan_expr(self, expr: Expr) -> PlannerResult:
+        """Plan a relational-algebra expression over external relations."""
+        opts = self.options
+        # step 2: rule 1 — expand external relations in all possible ways
+        expanded = self._expand_all(expr)
+        # step 3: rule 4 — eliminate repeated navigations
+        merge_rule = MergeRepeatedNavigation(stats=self.cost_model.stats)
+        merged = expanded
+        if opts.merge_repeated:
+            merged = closure(expanded, [merge_rule], self.scheme)
+        # step 4: rules 8, 9 — push and prune joins
+        join_rules = []
+        if opts.join_pushdown:
+            join_rules.append(JoinPushdown())
+        if opts.merge_repeated:
+            join_rules.append(merge_rule)
+        if opts.pointer_join:
+            join_rules.append(PointerJoin())
+        if opts.pointer_chase:
+            join_rules.append(PointerChase())
+        join_variants = (
+            closure(merged, join_rules, self.scheme) if join_rules else merged
+        )
+        # step 5: rule 6 — push selections
+        pushed = join_variants
+        if opts.push_selections:
+            pushed = _dedup(
+                _try_map(
+                    join_variants, lambda e: push_selections(e, self.scheme)
+                )
+            )
+        # step 6: rule 7 — substitute projections
+        projected = pushed
+        if opts.substitute_projections:
+            projected = closure(
+                pushed, [ProjectionSubstitution()], self.scheme
+            )
+        # step 7: rules 5/3 — eliminate unnecessary navigations
+        final = _dedup(projected)
+        if opts.eliminate_navigations:
+            final = _dedup(
+                _try_map(
+                    projected,
+                    lambda e: eliminate_unused_navigation(e, self.scheme),
+                )
+            )
+        # step 8: validate, cost, choose
+        candidates = []
+        for plan in final:
+            candidate = self._validate_and_cost(plan)
+            if candidate is not None:
+                candidates.append(candidate)
+        if not candidates:
+            raise OptimizerError(
+                "no valid execution plan survived rewriting; check that "
+                "the view's default navigations cover the queried attributes"
+            )
+        candidates.sort(key=lambda c: (c.cost, c.bytes_cost, c.render()))
+        return PlannerResult(
+            best=candidates[0], candidates=candidates, generated=len(final)
+        )
+
+    # ------------------------------------------------------------------ #
+    # rule 1: expansion
+    # ------------------------------------------------------------------ #
+
+    def _expand_all(self, expr: Expr) -> list[Expr]:
+        scans = [
+            (path, node)
+            for path, node in walk(expr)
+            if isinstance(node, ExternalRelScan)
+        ]
+        if not scans:
+            return [expr]
+        # Self-joins: occurrences of the same relation must navigate under
+        # distinct aliases, or rule 4 would wrongly collapse them.
+        relation_counts: dict[str, int] = {}
+        for _, scan in scans:
+            relation_counts[scan.name] = relation_counts.get(scan.name, 0) + 1
+        choice_lists = []
+        for _, scan in scans:
+            relation = self.view.relation(scan.name)
+            navigations = list(relation.navigations)
+            if relation_counts[scan.name] > 1:
+                navigations = [
+                    realias_navigation(nav, self.scheme, scan.qualifier)
+                    for nav in navigations
+                ]
+            choice_lists.append(navigations)
+        total = 1
+        for choices in choice_lists:
+            total *= len(choices)
+        if total > MAX_EXPANSIONS:
+            raise OptimizerError(
+                f"query has {total} default-navigation combinations "
+                f"(cap {MAX_EXPANSIONS})"
+            )
+        results = []
+        for combo in itertools.product(*choice_lists):
+            rewritten = expr
+            mapping: dict[str, str] = {}
+            # replace scans from the deepest paths first so shallower
+            # replacements do not invalidate recorded paths
+            for (path, scan), nav in sorted(
+                zip(scans, combo), key=lambda item: -len(item[0][0])
+            ):
+                rewritten = replace_at(rewritten, path, nav.body)
+                for attr, qualified in nav.mapping:
+                    mapping[f"{scan.qualifier}.{attr}"] = qualified
+            results.append(substitute_attrs(rewritten, mapping))
+        return _dedup(results)
+
+    # ------------------------------------------------------------------ #
+    # validation + costing
+    # ------------------------------------------------------------------ #
+
+    def _validate_and_cost(self, plan: Expr) -> Optional[PlanCandidate]:
+        try:
+            plan.output_schema(self.scheme)
+            if not is_computable(plan, self.scheme):
+                return None
+            cost = self.cost_model.cost(plan)
+            card = self.cost_model.cardinality(plan)
+            bytes_cost = self.cost_model.bytes_cost(plan)
+        except (AlgebraError, SchemaError, PredicateError, OptimizerError):
+            return None
+        return PlanCandidate(
+            expr=plan, cost=cost, cardinality=card, bytes_cost=bytes_cost
+        )
+
+
+def _try_map(exprs: Sequence[Expr], fn) -> list[Expr]:
+    """Map ``fn`` over plans, dropping the ones it cannot handle."""
+    results = []
+    for expr in exprs:
+        try:
+            results.append(fn(expr))
+        except (AlgebraError, SchemaError, PredicateError):
+            continue
+    return results
+
+
+def _dedup(exprs: Sequence[Expr]) -> list[Expr]:
+    seen: dict[str, Expr] = {}
+    for expr in exprs:
+        key = render_expr(expr)
+        if key not in seen:
+            seen[key] = expr
+    return list(seen.values())

@@ -1,0 +1,58 @@
+"""Rewrite drivers.
+
+:func:`closure` saturates a set of plans under a set of enumerative rules:
+every rule is tried at every node of every plan, and newly produced plans
+are fed back until no new plan appears (or a safety cap is hit).  Plans are
+deduplicated by their canonical rendering.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.adm.scheme import WebScheme
+from repro.algebra.ast import Expr
+from repro.algebra.printer import render_expr
+from repro.algebra.visitors import replace_at, walk
+from repro.errors import OptimizerError
+from repro.optimizer.rules import RewriteRule
+
+__all__ = ["closure"]
+
+#: Safety cap on the number of distinct plans one closure may produce.
+MAX_PLANS = 2000
+
+
+def closure(
+    exprs: Iterable[Expr],
+    rules: Sequence[RewriteRule],
+    scheme: WebScheme,
+    max_plans: int = MAX_PLANS,
+) -> list[Expr]:
+    """All plans reachable from ``exprs`` by applying ``rules`` anywhere."""
+    seen: dict[str, Expr] = {}
+    queue: deque[Expr] = deque()
+    for expr in exprs:
+        key = render_expr(expr)
+        if key not in seen:
+            seen[key] = expr
+            queue.append(expr)
+    while queue:
+        current = queue.popleft()
+        for path, node in walk(current):
+            for rule in rules:
+                for replacement in rule.rewrite_node(node, scheme):
+                    rewritten = replace_at(current, path, replacement)
+                    key = render_expr(rewritten)
+                    if key in seen:
+                        continue
+                    if len(seen) >= max_plans:
+                        raise OptimizerError(
+                            f"rewrite closure exceeded {max_plans} plans; "
+                            "the query is too irregular for exhaustive "
+                            "enumeration"
+                        )
+                    seen[key] = rewritten
+                    queue.append(rewritten)
+    return list(seen.values())

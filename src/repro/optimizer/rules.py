@@ -1,0 +1,674 @@
+"""The NALG rewrite rules (paper, Section 6.1).
+
+All rules operate on *qualified-name* expressions (external relations
+already expanded by rule 1, which lives in the planner because it needs the
+view catalog).  Enumerative rules implement ``rewrite_node(node, scheme) →
+[replacement, ...]``: the rewriter tries them at every position of a plan.
+Improvement passes (selection pushing, navigation elimination) are plain
+functions applied once per plan — in this cost model they never hurt.
+
+Correspondence with the paper:
+
+=====================  =====================================================
+Rule 1                 :meth:`repro.optimizer.planner.Planner` (expansion)
+Rules 2, 3, 5          :func:`eliminate_unused_navigation` (unused
+                       navigations and unnests dropped under a projection)
+Rule 4                 :class:`MergeRepeatedNavigation`
+Rule 6                 :func:`push_selections` (constraint-based attribute
+                       substitution + physical pushdown)
+Rule 7                 :class:`ProjectionSubstitution`
+Rule 8                 :class:`PointerJoin`
+Rule 9                 :class:`PointerChase`
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adm.constraints import AttrRef
+from repro.adm.scheme import WebScheme
+from repro.adm.webtypes import LinkType
+from repro.algebra.ast import (
+    EntryPointScan,
+    Expr,
+    FollowLink,
+    Join,
+    Project,
+    Select,
+    Unnest,
+)
+from repro.algebra.predicates import Atom, Comparison, In, Predicate
+from repro.errors import AlgebraError, SchemaError
+from repro.nested.schema import Field, RelationSchema
+
+__all__ = [
+    "RewriteRule",
+    "JoinPushdown",
+    "MergeRepeatedNavigation",
+    "PointerJoin",
+    "PointerChase",
+    "ProjectionSubstitution",
+    "push_selections",
+    "eliminate_unused_navigation",
+    "substitute_attrs",
+]
+
+
+# --------------------------------------------------------------------- #
+# shared helpers
+# --------------------------------------------------------------------- #
+
+
+def spine(expr: Expr) -> list[Expr]:
+    """Nodes along the unary-child chain from ``expr`` down to its leaf."""
+    nodes = [expr]
+    node = expr
+    while True:
+        kids = node.children()
+        if len(kids) != 1:
+            break
+        node = kids[0]
+        nodes.append(node)
+    return nodes
+
+
+def substitute_attrs(expr: Expr, mapping: dict[str, str]) -> Expr:
+    """Rewrite attribute *references* (predicates, join pairs, projection
+    inputs) throughout ``expr``.  Structural attributes (unnest targets,
+    link attributes) are never renamed — mapping keys are external-view
+    names, which cannot collide with internal qualified names."""
+    if not mapping:
+        return expr
+    if isinstance(expr, Select):
+        return Select(
+            substitute_attrs(expr.child, mapping), expr.predicate.rename(mapping)
+        )
+    if isinstance(expr, Project):
+        return Project(
+            substitute_attrs(expr.child, mapping),
+            tuple((o, mapping.get(i, i)) for o, i in expr.outputs),
+        )
+    if isinstance(expr, Join):
+        return Join(
+            substitute_attrs(expr.left, mapping),
+            substitute_attrs(expr.right, mapping),
+            tuple(
+                (mapping.get(l, l), mapping.get(r, r)) for l, r in expr.on
+            ),
+        )
+    kids = expr.children()
+    if not kids:
+        return expr
+    return expr.with_children(
+        tuple(substitute_attrs(k, mapping) for k in kids)
+    )
+
+
+def _schema(expr: Expr, scheme: WebScheme) -> Optional[RelationSchema]:
+    try:
+        return expr.output_schema(scheme)
+    except (AlgebraError, SchemaError):
+        return None
+
+
+def _source_attr_for(
+    scheme: WebScheme,
+    link_field: Field,
+    target_path: str,
+) -> Optional[str]:
+    """Given a link field (with provenance) and an attribute path of the
+    link's *target* page-scheme, return the qualified name of the redundant
+    *source-side* attribute if a link constraint documents it."""
+    prov = link_field.provenance
+    if prov is None:
+        return None
+    constraint = scheme.find_link_constraint(
+        prov.base_scheme, prov.path, target_path
+    )
+    if constraint is None:
+        return None
+    return f"{prov.scheme}.{constraint.source_attr}"
+
+
+# --------------------------------------------------------------------- #
+# rule base
+# --------------------------------------------------------------------- #
+
+
+class RewriteRule:
+    """Base for enumerative rewrite rules."""
+
+    name = "rule"
+
+    def rewrite_node(self, node: Expr, scheme: WebScheme) -> list[Expr]:
+        """Equivalent replacements for ``node`` (empty when no match)."""
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------- #
+# Rule 4 — eliminate repeated navigations
+# --------------------------------------------------------------------- #
+
+
+class MergeRepeatedNavigation(RewriteRule):
+    """``R ⋈_Y R = R`` and ``(R ∘ A) ⋈_Y R = R ∘ A`` (paper, rule 4).
+
+    Matches a join whose one side occurs *verbatim* on the other side's
+    operator spine and whose join pairs equate an attribute with itself;
+    the join then adds nothing and the longer navigation survives.
+
+    The equality requires the equated attributes to identify tuples of the
+    shared navigation.  When constructed with site statistics the rule
+    *verifies* this (``c_A ≥ |μ_A(P)|``, i.e. every value is unique at the
+    attribute's level); without statistics it assumes it, which is sound
+    for the key-like attributes (names, URLs) view expansion produces.
+    """
+
+    name = "rule4-merge-repeated-navigation"
+
+    def __init__(self, stats=None):
+        self.stats = stats
+
+    def rewrite_node(self, node: Expr, scheme: WebScheme) -> list[Expr]:
+        if not isinstance(node, Join) or not node.on:
+            return []
+        results = []
+        if self._mergeable(node.left, node.right, node.on, scheme):
+            results.append(node.right)
+        if self._mergeable(
+            node.right, node.left, [(r, l) for l, r in node.on], scheme
+        ):
+            results.append(node.left)
+        return results
+
+    def _mergeable(self, short: Expr, long: Expr, on, scheme: WebScheme) -> bool:
+        if short not in spine(long):
+            return False
+        schema = _schema(short, scheme)
+        if schema is None:
+            return False
+        return all(
+            l == r and l in schema and self._identifies(schema, l)
+            for l, r in on
+        )
+
+    def _identifies(self, schema: RelationSchema, attr: str) -> bool:
+        """True when values of ``attr`` are unique at its nesting level
+        (statistics-verified when available)."""
+        if self.stats is None:
+            return True
+        field = schema.field(attr)
+        prov = field.provenance
+        if prov is None:
+            return False
+        from repro.errors import StatisticsError
+
+        try:
+            distinct = self.stats.distinct(prov.base_scheme, prov.path)
+            total = self.stats.unnested_card(prov.base_scheme, prov.path)
+        except StatisticsError:
+            return False
+        return distinct >= total - 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Rules 8 and 9 — pointer join and pointer chase
+# --------------------------------------------------------------------- #
+
+
+class _LinkJoinMatch:
+    """A join of the paper's shape ``(R1 →L R3) ⋈_{R3.B = R2.A} R2``.
+
+    ``nav_side``: the FollowLink side (R1 → R3); ``other``: R2; ``pair``:
+    the (target_attr, other_attr) join pair realizing R3.B = R2.A;
+    ``other_link``: the link field of R2 pointing at R3 whose constraint
+    matches; ``rest``: remaining join pairs (none touching R3).
+    """
+
+    def __init__(self, nav, other, pair, other_link, rest, flipped):
+        self.nav: FollowLink = nav
+        self.other: Expr = other
+        self.pair = pair
+        self.other_link: Field = other_link
+        self.rest = rest
+        self.flipped = flipped
+
+
+def _match_link_join(node: Expr, scheme: WebScheme) -> list[_LinkJoinMatch]:
+    if not isinstance(node, Join) or not node.on:
+        return []
+    matches = []
+    for flipped in (False, True):
+        nav_side = node.right if flipped else node.left
+        other = node.left if flipped else node.right
+        if not isinstance(nav_side, FollowLink):
+            continue
+        nav_schema = _schema(nav_side, scheme)
+        other_schema = _schema(other, scheme)
+        if nav_schema is None or other_schema is None:
+            continue
+        target_alias = nav_side.target_alias(scheme)
+        target_base = nav_side.target_scheme(scheme)
+        oriented = [
+            ((r, l) if flipped else (l, r)) for l, r in node.on
+        ]  # (nav_attr, other_attr)
+        for index, (na, oa) in enumerate(oriented):
+            if na not in nav_schema or oa not in other_schema:
+                continue
+            na_field = nav_schema.field(na)
+            if na_field.provenance is None:
+                continue
+            if na_field.provenance.scheme != target_alias:
+                continue  # not an attribute of R3
+            b_path = na_field.provenance.path
+            oa_field = other_schema.field(oa)
+            if oa_field.provenance is None:
+                continue
+            rest = oriented[:index] + oriented[index + 1:]
+            # remaining pairs must not involve R3's attributes
+            if any(
+                (p in nav_schema
+                 and nav_schema.field(p).provenance is not None
+                 and nav_schema.field(p).provenance.scheme == target_alias)
+                for p, _ in rest
+            ):
+                continue
+            # find R2's link to R3 whose constraint equates A with B
+            for field in other_schema:
+                if not isinstance(field.wtype, LinkType):
+                    continue
+                if field.wtype.target != target_base:
+                    continue
+                if field.provenance is None:
+                    continue
+                if field.provenance.scheme != oa_field.provenance.scheme:
+                    continue
+                constraint = scheme.find_link_constraint(
+                    field.provenance.base_scheme,
+                    field.provenance.path,
+                    b_path,
+                )
+                if constraint is None:
+                    continue
+                if constraint.source_attr != oa_field.provenance.path:
+                    continue
+                matches.append(
+                    _LinkJoinMatch(nav_side, other, (na, oa), field, rest, flipped)
+                )
+    return matches
+
+
+class PointerJoin(RewriteRule):
+    """Rule 8: push the join below the navigation —
+    ``(R1 →L R3) ⋈_{R3.B=R2.A} R2  =  (R1 ⋈_{R1.L=R2.L'} R2) →L R3``.
+
+    Joining the two pointer sets first means only pages in the intersection
+    are downloaded.
+    """
+
+    name = "rule8-pointer-join"
+
+    def rewrite_node(self, node: Expr, scheme: WebScheme) -> list[Expr]:
+        results = []
+        for match in _match_link_join(node, scheme):
+            link_pair = (match.nav.link_attr, match.other_link.name)
+            if match.flipped:
+                pairs = [(b, a) for a, b in match.rest]
+                pairs.append((link_pair[1], link_pair[0]))
+                inner = Join(match.other, match.nav.child, tuple(pairs))
+            else:
+                pairs = list(match.rest)
+                pairs.append(link_pair)
+                inner = Join(match.nav.child, match.other, tuple(pairs))
+            results.append(
+                FollowLink(inner, match.nav.link_attr, match.nav.alias)
+            )
+        return results
+
+
+class PointerChase(RewriteRule):
+    """Rule 9: replace the join by navigation —
+    ``π_X((R1 →L R3) ⋈_{R3.B=R2.A} R2) = π_X(R2 →L' R3)`` when the
+    inclusion constraint ``R2.L' ⊆ R1.L`` holds.
+
+    The R1 navigation is dropped entirely: since every R2 pointer is also an
+    R1 pointer, chasing R2's links reaches exactly the joined pages.  Plans
+    that still reference R1-side attributes above this node become ill-typed
+    and are discarded by the planner — which is precisely the paper's side
+    condition that X must not mention R1.
+    """
+
+    name = "rule9-pointer-chase"
+
+    def rewrite_node(self, node: Expr, scheme: WebScheme) -> list[Expr]:
+        results = []
+        for match in _match_link_join(node, scheme):
+            if match.rest:
+                continue  # residual pairs may reference the dropped side
+            nav_link_field = _schema(match.nav.child, scheme).field(
+                match.nav.link_attr
+            )
+            if nav_link_field.provenance is None:
+                continue
+            subset = AttrRef(
+                match.other_link.provenance.base_scheme,
+                match.other_link.provenance.path,
+            )
+            superset = AttrRef(
+                nav_link_field.provenance.base_scheme,
+                nav_link_field.provenance.path,
+            )
+            if not scheme.includes(subset, superset):
+                continue
+            # R1 must be an unrestricted navigation covering the full
+            # extent; at this stage selections are still at the query root,
+            # so a pure navigation chain suffices.
+            if not _is_pure_navigation(match.nav.child):
+                continue
+            target_alias = match.nav.target_alias(scheme)
+            results.append(
+                FollowLink(match.other, match.other_link.name, target_alias)
+            )
+        return results
+
+
+def _is_pure_navigation(expr: Expr) -> bool:
+    return all(
+        isinstance(node, (EntryPointScan, Unnest, FollowLink))
+        for node in spine(expr)
+    )
+
+
+class JoinPushdown(RewriteRule):
+    """Push a join below unary operators on either input —
+    ``Op(X) ⋈ R = Op(X ⋈ R)`` when the join condition only references
+    attributes ``X`` already provides.
+
+    The paper uses this silently: Example 7.2's derivation applies rule 9
+    to the professor navigation even though the course navigation sits on
+    top of it.  Unnest, follow-link and selection all commute with a join
+    that does not touch the attributes they introduce (they act per-row on
+    one side, independently of the other side), so exposing the buried
+    FollowLink for rules 8/9 is sound.
+    """
+
+    name = "join-pushdown"
+
+    def rewrite_node(self, node: Expr, scheme: WebScheme) -> list[Expr]:
+        if not isinstance(node, Join):
+            return []
+        results = []
+        # left side: Op(X) ⋈ R  →  Op(X ⋈ R)
+        left = node.left
+        if isinstance(left, (Unnest, FollowLink, Select)):
+            inner = left.children()[0]
+            inner_schema = _schema(inner, scheme)
+            if inner_schema is not None and all(
+                l in inner_schema for l, _ in node.on
+            ):
+                pushed = Join(inner, node.right, node.on)
+                results.append(left.with_children((pushed,)))
+        # right side: L ⋈ Op(X)  →  Op(L ⋈ X)
+        right = node.right
+        if isinstance(right, (Unnest, FollowLink, Select)):
+            inner = right.children()[0]
+            inner_schema = _schema(inner, scheme)
+            if inner_schema is not None and all(
+                r in inner_schema for _, r in node.on
+            ):
+                pushed = Join(node.left, inner, node.on)
+                results.append(right.with_children((pushed,)))
+        return results
+
+
+# --------------------------------------------------------------------- #
+# Rule 6 — selection pushing (with link-constraint substitution)
+# --------------------------------------------------------------------- #
+
+
+def push_selections(expr: Expr, scheme: WebScheme) -> Expr:
+    """Move every selection atom as deep as it can go.
+
+    Standard commutation moves atoms below projections, joins, unnests and
+    navigations whose child already carries the atom's attribute.  When an
+    atom is blocked at a navigation because it references a *target-page*
+    attribute, rule 6 substitutes the redundant source-side attribute
+    documented by a link constraint (``σ_{B=v}(R1 →L R2) = σ_{A=v}(R1 →L
+    R2)``) and keeps pushing.  In the paper's cost model this is always
+    beneficial: fewer tuples reach the navigation, so fewer pages are
+    downloaded.
+    """
+    atoms: list[Atom] = []
+
+    def strip(node: Expr) -> Expr:
+        if isinstance(node, Select):
+            atoms.extend(node.predicate.atoms)
+            return strip(node.child)
+        kids = node.children()
+        if not kids:
+            return node
+        return node.with_children(tuple(strip(k) for k in kids))
+
+    stripped = strip(expr)
+    result = stripped
+    for atom in atoms:
+        result = _insert_atom(result, atom, scheme)
+    return result
+
+
+def _insert_atom(node: Expr, atom: Atom, scheme: WebScheme) -> Expr:
+    """Insert ``σ_atom`` as deep as possible above/inside ``node``."""
+    if isinstance(node, Project):
+        # selections re-enter *below* projections (the translated query has
+        # σ under π; the atom may reference attributes the π drops)
+        mapping = {o: i for o, i in node.outputs}
+        renamed = atom.rename(mapping)
+        child_schema = _schema(node.child, scheme)
+        if child_schema is not None and all(
+            a in child_schema for a in renamed.attrs()
+        ):
+            return Project(
+                _insert_atom(node.child, renamed, scheme), node.outputs
+            )
+        return Select(node, Predicate([atom]))
+
+    schema = _schema(node, scheme)
+    if schema is None or any(a not in schema for a in atom.attrs()):
+        # attribute not available here: let the caller place the selection
+        return Select(node, Predicate([atom]))
+
+    if isinstance(node, Select):
+        pushed = _insert_atom(node.child, atom, scheme)
+        return Select(pushed, node.predicate)
+
+    if isinstance(node, Join):
+        left_schema = _schema(node.left, scheme)
+        right_schema = _schema(node.right, scheme)
+        if left_schema is not None and all(
+            a in left_schema for a in atom.attrs()
+        ):
+            return Join(
+                _insert_atom(node.left, atom, scheme), node.right, node.on
+            )
+        if right_schema is not None and all(
+            a in right_schema for a in atom.attrs()
+        ):
+            return Join(
+                node.left, _insert_atom(node.right, atom, scheme), node.on
+            )
+        return Select(node, Predicate([atom]))
+
+    if isinstance(node, Unnest):
+        child_schema = _schema(node.child, scheme)
+        if child_schema is not None and all(
+            a in child_schema for a in atom.attrs()
+        ):
+            return Unnest(_insert_atom(node.child, atom, scheme), node.attr)
+        return Select(node, Predicate([atom]))
+
+    if isinstance(node, FollowLink):
+        child_schema = _schema(node.child, scheme)
+        if child_schema is not None and all(
+            a in child_schema for a in atom.attrs()
+        ):
+            return FollowLink(
+                _insert_atom(node.child, atom, scheme),
+                node.link_attr,
+                node.alias,
+            )
+        # rule 6: substitute the redundant source attribute, if constrained
+        if isinstance(atom, (Comparison, In)):
+            attr = atom.attrs()[0]
+            field = schema.field(attr)
+            if (
+                field.provenance is not None
+                and field.provenance.scheme == node.target_alias(scheme)
+                and child_schema is not None
+            ):
+                link_field = child_schema.field(node.link_attr)
+                source = _source_attr_for(
+                    scheme, link_field, str(field.provenance.path)
+                )
+                if source is not None and source in child_schema:
+                    renamed = atom.rename({attr: source})
+                    return FollowLink(
+                        _insert_atom(node.child, renamed, scheme),
+                        node.link_attr,
+                        node.alias,
+                    )
+        return Select(node, Predicate([atom]))
+
+    return Select(node, Predicate([atom]))
+
+
+# --------------------------------------------------------------------- #
+# Rule 7 — projection substitution
+# --------------------------------------------------------------------- #
+
+
+class ProjectionSubstitution(RewriteRule):
+    """Rule 7: a projected target-page attribute can be read off the source
+    page instead — ``π_B(R1 →L R2) = π_A(π_{A,L}(R1 →L R2))`` given the
+    link constraint ``R1.A = R2.B``.
+
+    Implemented as: in a projection, replace an input attribute of a
+    navigated target page by the redundant source-side attribute.  Together
+    with :func:`eliminate_unused_navigation` this produces the plans that
+    skip downloading target pages entirely (e.g. reading department names
+    from the department *list* page's anchors).
+    """
+
+    name = "rule7-projection-substitution"
+
+    def rewrite_node(self, node: Expr, scheme: WebScheme) -> list[Expr]:
+        if not isinstance(node, Project):
+            return []
+        schema = _schema(node.child, scheme)
+        if schema is None:
+            return []
+        # index the navigations below by target alias
+        navigations: dict[str, FollowLink] = {}
+        for sub in _all_nodes(node.child):
+            if isinstance(sub, FollowLink):
+                try:
+                    navigations[sub.target_alias(scheme)] = sub
+                except (AlgebraError, SchemaError):
+                    continue
+        results = []
+        for index, (out, in_name) in enumerate(node.outputs):
+            if in_name not in schema:
+                continue
+            field = schema.field(in_name)
+            if field.provenance is None:
+                continue
+            nav = navigations.get(field.provenance.scheme)
+            if nav is None:
+                continue
+            child_schema = _schema(nav.child, scheme)
+            if child_schema is None:
+                continue
+            link_field = child_schema.field(nav.link_attr)
+            source = _source_attr_for(
+                scheme, link_field, str(field.provenance.path)
+            )
+            if source is None or source not in schema or source == in_name:
+                continue
+            new_outputs = list(node.outputs)
+            new_outputs[index] = (out, source)
+            results.append(Project(node.child, tuple(new_outputs)))
+        return results
+
+
+def _all_nodes(expr: Expr):
+    yield expr
+    for child in expr.children():
+        yield from _all_nodes(child)
+
+
+# --------------------------------------------------------------------- #
+# Rules 2/3/5 — eliminate navigations and unnests that feed nothing
+# --------------------------------------------------------------------- #
+
+
+def eliminate_unused_navigation(expr: Expr, scheme: WebScheme) -> Expr:
+    """Drop navigations (rule 5) and unnests (rule 3) whose attributes are
+    never used above them.  Only applies under a root projection (the rules
+    are stated modulo π); non-optional links only (optional links filter
+    rows, so removing them would change the result)."""
+    if not isinstance(expr, Project):
+        return expr
+
+    changed = True
+    current = expr
+    while changed:
+        changed = False
+        used = _used_attrs(current)
+        rebuilt = _drop_unused(current, used, scheme)
+        if rebuilt != current:
+            current = rebuilt
+            changed = True
+    return current
+
+
+def _used_attrs(expr: Expr) -> set[str]:
+    used: set[str] = set()
+    for node in _all_nodes(expr):
+        if isinstance(node, Select):
+            used.update(node.predicate.attrs())
+        elif isinstance(node, Project):
+            used.update(node.in_names())
+        elif isinstance(node, Join):
+            for l, r in node.on:
+                used.add(l)
+                used.add(r)
+        elif isinstance(node, FollowLink):
+            used.add(node.link_attr)
+    return used
+
+
+def _drop_unused(expr: Expr, used: set[str], scheme: WebScheme) -> Expr:
+    kids = expr.children()
+    if not kids:
+        return expr
+    rebuilt = expr.with_children(
+        tuple(_drop_unused(k, used, scheme) for k in kids)
+    )
+    if isinstance(rebuilt, FollowLink):
+        try:
+            link_type = rebuilt.link_type(scheme)
+            target_alias = rebuilt.target_alias(scheme)
+        except (AlgebraError, SchemaError):
+            return rebuilt
+        if link_type.optional:
+            return rebuilt
+        # every attribute of the navigated page is qualified by its alias
+        prefix = f"{target_alias}."
+        if not any(u.startswith(prefix) for u in used):
+            return rebuilt.child
+    elif isinstance(rebuilt, Unnest):
+        # element fields are qualified below the list attribute's name
+        prefix = f"{rebuilt.attr}."
+        if not any(u.startswith(prefix) for u in used):
+            return rebuilt.child
+    return rebuilt

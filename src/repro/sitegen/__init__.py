@@ -1,0 +1,39 @@
+"""Synthetic site generators.
+
+The paper evaluated against real 1998 web sites (the Trier bibliography and
+others) and against a fictional university site (Figure 1).  These
+generators produce deterministic, parameterizable equivalents served by the
+simulated web server:
+
+* :mod:`repro.sitegen.university` — the paper's Figure 1 university site
+  (eight page-schemes, link + inclusion constraints);
+* :mod:`repro.sitegen.bibliography` — a DBLP-like bibliography site for the
+  Introduction's "authors in the last three VLDBs" example;
+* :mod:`repro.sitegen.mutations` — the autonomous site manager: update,
+  insert and delete operations used by the Section 8 experiments;
+* :mod:`repro.sitegen.naming` — deterministic fake names;
+* :mod:`repro.sitegen.html_writer` — HTML emission following the wrapper
+  conventions.
+"""
+
+from repro.sitegen.university import UniversityConfig, UniversitySite, build_university_site
+from repro.sitegen.bibliography import (
+    BibliographyConfig,
+    BibliographySite,
+    build_bibliography_site,
+)
+from repro.sitegen.movies import MovieConfig, MovieSite, build_movie_site
+from repro.sitegen.mutations import SiteMutator
+
+__all__ = [
+    "UniversityConfig",
+    "UniversitySite",
+    "build_university_site",
+    "BibliographyConfig",
+    "BibliographySite",
+    "build_bibliography_site",
+    "MovieConfig",
+    "MovieSite",
+    "build_movie_site",
+    "SiteMutator",
+]

@@ -1,0 +1,503 @@
+"""A DBLP-like bibliography site (the Introduction's running example).
+
+The paper opens with the Trier Database and Logic Programming Bibliography:
+"find all authors who had papers in the last three VLDB conferences" can be
+answered by four navigation paths of wildly different costs.  This generator
+builds a deterministic equivalent:
+
+* ``BibHomePage`` (entry) links to the full conference list, the *smaller*
+  database-conference list, directly to the VLDB page, and to the author
+  list — exactly the four starting moves of the Introduction;
+* ``ConfPage`` lists a conference's editions *with editors* — the paper's
+  example of redundancy (the editors of VLDB'96 can be read off the VLDB
+  page without visiting the edition page);
+* ``EditionPage`` lists papers with their author names inline (nested list
+  inside a list — depth-2 nesting), so an edition's authors can be
+  extracted without visiting every paper page;
+* ``AuthorPage`` lists an author's publications — the path-4 disaster:
+  answering the VLDB query this way downloads every author page.
+
+The first ``core_authors`` authors appear in paper 0 of *every* VLDB
+edition, so the Introduction's intersection query has a non-empty,
+predictable answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.adm import SchemeBuilder, TEXT, link, list_of
+from repro.adm.scheme import WebScheme
+from repro.clock import SimClock
+from repro.errors import SchemeError
+from repro.sitegen import naming
+from repro.sitegen.html_writer import render_page
+from repro.web.server import SimulatedWebServer
+
+__all__ = [
+    "BibliographyConfig",
+    "ConfRecord",
+    "EditionRecord",
+    "PaperRecord",
+    "AuthorRecord",
+    "BibliographySite",
+    "build_bibliography_scheme",
+    "build_bibliography_site",
+]
+
+
+@dataclass(frozen=True)
+class BibliographyConfig:
+    """Parameters of the generated bibliography.
+
+    Real DBLP had over 16,000 authors in 1998; the default is far smaller so
+    tests stay fast, but the Introduction benchmark raises ``n_authors`` to
+    recover the orders-of-magnitude gap the paper reports.
+    """
+
+    n_conferences: int = 12
+    n_db_conferences: int = 4
+    first_year: int = 1988
+    years_per_conf: int = 10
+    papers_per_edition: int = 6
+    authors_per_paper: int = 2
+    n_authors: int = 300
+    core_authors: int = 3
+    base_url: str = "http://bib.example"
+
+    def validate(self) -> None:
+        if not (1 <= self.n_db_conferences <= self.n_conferences):
+            raise SchemeError("need 1 <= n_db_conferences <= n_conferences")
+        if self.years_per_conf < 1 or self.papers_per_edition < 1:
+            raise SchemeError("editions and papers must be positive")
+        if self.authors_per_paper < 1:
+            raise SchemeError("authors_per_paper must be positive")
+        if self.n_authors < self.authors_per_paper:
+            raise SchemeError("need at least authors_per_paper authors")
+        if not (0 <= self.core_authors <= self.n_authors):
+            raise SchemeError("core_authors must be within [0, n_authors]")
+
+    @property
+    def last_year(self) -> int:
+        return self.first_year + self.years_per_conf - 1
+
+
+@dataclass
+class AuthorRecord:
+    uid: int
+    name: str
+    url: str
+    papers: list = field(default_factory=list)  # PaperRecord refs
+
+
+@dataclass
+class PaperRecord:
+    uid: int
+    title: str
+    conf_name: str
+    year: int
+    url: str
+    authors: list = field(default_factory=list)  # AuthorRecord refs
+
+
+@dataclass
+class EditionRecord:
+    conf_name: str
+    year: int
+    editors: str
+    url: str
+    papers: list = field(default_factory=list)  # PaperRecord refs
+
+
+@dataclass
+class ConfRecord:
+    uid: int
+    name: str
+    is_db: bool
+    url: str
+    editions: list = field(default_factory=list)  # EditionRecord refs
+
+
+def build_bibliography_scheme(base_url: str = "http://bib.example") -> WebScheme:
+    """The ADM web scheme of the bibliography site."""
+    b = SchemeBuilder("bibliography")
+
+    b.page("BibHomePage").attr("ToConfList", link("ConfListPage")).attr(
+        "ToDBConfList", link("DBConfListPage")
+    ).attr("ToVLDB", link("ConfPage")).attr(
+        "ToAuthorList", link("AuthorListPage")
+    ).entry_point(f"{base_url}/index.html")
+
+    b.page("ConfListPage").attr(
+        "ConfList", list_of(("ConfName", TEXT), ("ToConf", link("ConfPage")))
+    )
+
+    b.page("DBConfListPage").attr(
+        "ConfList", list_of(("ConfName", TEXT), ("ToConf", link("ConfPage")))
+    )
+
+    b.page("ConfPage").attr("ConfName", TEXT).attr(
+        "EditionList",
+        list_of(
+            ("Year", TEXT),
+            ("Editors", TEXT),
+            ("ToEdition", link("EditionPage")),
+        ),
+    )
+
+    b.page("EditionPage").attr("ConfName", TEXT).attr("Year", TEXT).attr(
+        "Editors", TEXT
+    ).attr(
+        "PaperList",
+        list_of(
+            ("Title", TEXT),
+            ("ToPaper", link("PaperPage")),
+            (
+                "AuthorList",
+                list_of(("AName", TEXT), ("ToAuthor", link("AuthorPage"))),
+            ),
+        ),
+    )
+
+    b.page("AuthorListPage").attr(
+        "AuthorList", list_of(("AName", TEXT), ("ToAuthor", link("AuthorPage")))
+    )
+
+    b.page("AuthorPage").attr("AName", TEXT).attr(
+        "PubList",
+        list_of(
+            ("Title", TEXT),
+            ("ConfName", TEXT),
+            ("Year", TEXT),
+            ("ToPaper", link("PaperPage")),
+        ),
+    )
+
+    b.page("PaperPage").attr("Title", TEXT).attr("ConfName", TEXT).attr(
+        "Year", TEXT
+    ).attr(
+        "AuthorList", list_of(("AName", TEXT), ("ToAuthor", link("AuthorPage")))
+    )
+
+    # link constraints
+    b.link_constraint(
+        "ConfListPage.ConfList.ToConf",
+        "ConfListPage.ConfList.ConfName = ConfPage.ConfName",
+    )
+    b.link_constraint(
+        "DBConfListPage.ConfList.ToConf",
+        "DBConfListPage.ConfList.ConfName = ConfPage.ConfName",
+    )
+    b.link_constraint(
+        "ConfPage.EditionList.ToEdition",
+        "ConfPage.EditionList.Year = EditionPage.Year",
+    )
+    b.link_constraint(
+        "ConfPage.EditionList.ToEdition",
+        "ConfPage.EditionList.Editors = EditionPage.Editors",
+    )
+    b.link_constraint(
+        "ConfPage.EditionList.ToEdition",
+        "ConfPage.ConfName = EditionPage.ConfName",
+    )
+    b.link_constraint(
+        "EditionPage.PaperList.ToPaper",
+        "EditionPage.PaperList.Title = PaperPage.Title",
+    )
+    b.link_constraint(
+        "EditionPage.PaperList.AuthorList.ToAuthor",
+        "EditionPage.PaperList.AuthorList.AName = AuthorPage.AName",
+    )
+    b.link_constraint(
+        "AuthorListPage.AuthorList.ToAuthor",
+        "AuthorListPage.AuthorList.AName = AuthorPage.AName",
+    )
+    b.link_constraint(
+        "AuthorPage.PubList.ToPaper",
+        "AuthorPage.PubList.Title = PaperPage.Title",
+    )
+    b.link_constraint(
+        "PaperPage.AuthorList.ToAuthor",
+        "PaperPage.AuthorList.AName = AuthorPage.AName",
+    )
+
+    # inclusion constraints
+    b.inclusion(
+        "DBConfListPage.ConfList.ToConf <= ConfListPage.ConfList.ToConf"
+    )
+    b.inclusion(
+        "EditionPage.PaperList.AuthorList.ToAuthor "
+        "<= AuthorListPage.AuthorList.ToAuthor"
+    )
+    b.inclusion(
+        "PaperPage.AuthorList.ToAuthor <= AuthorListPage.AuthorList.ToAuthor"
+    )
+    b.inclusion(
+        "AuthorPage.PubList.ToPaper <= EditionPage.PaperList.ToPaper"
+    )
+    # the home page's direct VLDB shortcut points into the conference list
+    # (certifying the full list as the covering path to ConfPage)
+    b.inclusion("BibHomePage.ToVLDB <= ConfListPage.ConfList.ToConf")
+
+    return b.build()
+
+
+class BibliographySite:
+    """A generated bibliography instance published on a simulated server."""
+
+    def __init__(self, config: BibliographyConfig, server: SimulatedWebServer):
+        config.validate()
+        self.config = config
+        self.server = server
+        self.scheme = build_bibliography_scheme(config.base_url)
+        self.confs: list[ConfRecord] = []
+        self.authors: list[AuthorRecord] = []
+        self.papers: list[PaperRecord] = []
+        self._build_model()
+        self.publish_all()
+
+    # ------------------------------------------------------------------ #
+    # model construction
+    # ------------------------------------------------------------------ #
+
+    def _build_model(self) -> None:
+        cfg = self.config
+        base = cfg.base_url
+        for a in range(cfg.n_authors):
+            name = naming.person_name(a)
+            self.authors.append(
+                AuthorRecord(
+                    uid=a, name=name,
+                    url=f"{base}/author/{naming.slug(name)}.html",
+                )
+            )
+        paper_counter = 0
+        for c in range(cfg.n_conferences):
+            name = naming.conference_name(c)
+            conf = ConfRecord(
+                uid=c,
+                name=name,
+                is_db=c < cfg.n_db_conferences,
+                url=f"{base}/conf/{naming.slug(name)}.html",
+            )
+            self.confs.append(conf)
+            for y in range(cfg.years_per_conf):
+                year = cfg.first_year + y
+                editors = naming.person_name(
+                    (c * cfg.years_per_conf + y) % cfg.n_authors
+                )
+                edition = EditionRecord(
+                    conf_name=name,
+                    year=year,
+                    editors=editors,
+                    url=f"{base}/conf/{naming.slug(name)}/{year}.html",
+                )
+                conf.editions.append(edition)
+                for p in range(cfg.papers_per_edition):
+                    title = naming.paper_title(paper_counter)
+                    paper = PaperRecord(
+                        uid=paper_counter,
+                        title=title,
+                        conf_name=name,
+                        year=year,
+                        url=f"{base}/paper/p{paper_counter}.html",
+                    )
+                    paper_counter += 1
+                    for author in self._paper_authors(conf, p, paper.uid):
+                        paper.authors.append(author)
+                        author.papers.append(paper)
+                    edition.papers.append(paper)
+                    self.papers.append(paper)
+
+    def _paper_authors(self, conf: ConfRecord, paper_slot: int, paper_uid: int):
+        """Deterministic author assignment; paper 0 of every VLDB edition is
+        written by the core authors, guaranteeing a non-empty intersection
+        for the Introduction's query."""
+        cfg = self.config
+        chosen: list[AuthorRecord] = []
+        if conf.uid == 0 and paper_slot == 0 and cfg.core_authors:
+            # the core-author paper may exceed authors_per_paper
+            chosen.extend(self.authors[: cfg.core_authors])
+        k = 0
+        while len(chosen) < cfg.authors_per_paper:
+            index = (paper_uid * cfg.authors_per_paper + 7 * k) % cfg.n_authors
+            candidate = self.authors[index]
+            if candidate not in chosen:
+                chosen.append(candidate)
+            k += 1
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+
+    @property
+    def vldb(self) -> ConfRecord:
+        """The conference the home page links to directly (index 0)."""
+        return self.confs[0]
+
+    def conf_by_name(self, name: str) -> ConfRecord:
+        for conf in self.confs:
+            if conf.name == name:
+                return conf
+        raise KeyError(name)
+
+    def expected_authors_in_last_editions(self, n_editions: int = 3) -> set:
+        """Oracle: authors with a paper in each of the last ``n_editions``
+        editions of the VLDB-like conference."""
+        editions = self.vldb.editions[-n_editions:]
+        per_edition = [
+            {a.name for paper in ed.papers for a in paper.authors}
+            for ed in editions
+        ]
+        result = per_edition[0]
+        for names in per_edition[1:]:
+            result = result & names
+        return result
+
+    # ------------------------------------------------------------------ #
+    # tuple rendering
+    # ------------------------------------------------------------------ #
+
+    def entry_url(self, page_scheme: str) -> str:
+        return self.scheme.entry_point(page_scheme).url
+
+    def conf_list_url(self) -> str:
+        return f"{self.config.base_url}/confs.html"
+
+    def db_conf_list_url(self) -> str:
+        return f"{self.config.base_url}/dbconfs.html"
+
+    def author_list_url(self) -> str:
+        return f"{self.config.base_url}/authors.html"
+
+    def home_tuple(self) -> dict:
+        return {
+            "ToConfList": self.conf_list_url(),
+            "ToDBConfList": self.db_conf_list_url(),
+            "ToVLDB": self.vldb.url,
+            "ToAuthorList": self.author_list_url(),
+        }
+
+    def conf_list_tuple(self, db_only: bool = False) -> dict:
+        return {
+            "ConfList": [
+                {"ConfName": c.name, "ToConf": c.url}
+                for c in self.confs
+                if c.is_db or not db_only
+            ]
+        }
+
+    def conf_tuple(self, conf: ConfRecord) -> dict:
+        return {
+            "ConfName": conf.name,
+            "EditionList": [
+                {
+                    "Year": str(ed.year),
+                    "Editors": ed.editors,
+                    "ToEdition": ed.url,
+                }
+                for ed in conf.editions
+            ],
+        }
+
+    def edition_tuple(self, edition: EditionRecord) -> dict:
+        return {
+            "ConfName": edition.conf_name,
+            "Year": str(edition.year),
+            "Editors": edition.editors,
+            "PaperList": [
+                {
+                    "Title": paper.title,
+                    "ToPaper": paper.url,
+                    "AuthorList": [
+                        {"AName": a.name, "ToAuthor": a.url}
+                        for a in paper.authors
+                    ],
+                }
+                for paper in edition.papers
+            ],
+        }
+
+    def author_list_tuple(self) -> dict:
+        return {
+            "AuthorList": [
+                {"AName": a.name, "ToAuthor": a.url} for a in self.authors
+            ]
+        }
+
+    def author_tuple(self, author: AuthorRecord) -> dict:
+        return {
+            "AName": author.name,
+            "PubList": [
+                {
+                    "Title": p.title,
+                    "ConfName": p.conf_name,
+                    "Year": str(p.year),
+                    "ToPaper": p.url,
+                }
+                for p in author.papers
+            ],
+        }
+
+    def paper_tuple(self, paper: PaperRecord) -> dict:
+        return {
+            "Title": paper.title,
+            "ConfName": paper.conf_name,
+            "Year": str(paper.year),
+            "AuthorList": [
+                {"AName": a.name, "ToAuthor": a.url} for a in paper.authors
+            ],
+        }
+
+    # ------------------------------------------------------------------ #
+    # publication
+    # ------------------------------------------------------------------ #
+
+    def _publish(self, page_scheme: str, url: str, row: dict, title: str) -> None:
+        html = render_page(self.scheme.page_scheme(page_scheme), row, title)
+        if self.server.exists(url):
+            self.server.update(url, html)
+        else:
+            self.server.publish(url, html, page_scheme=page_scheme)
+
+    def publish_all(self) -> None:
+        self._publish("BibHomePage", self.entry_url("BibHomePage"),
+                      self.home_tuple(), "The Bibliography")
+        self._publish("ConfListPage", self.conf_list_url(),
+                      self.conf_list_tuple(), "All Conferences")
+        self._publish("DBConfListPage", self.db_conf_list_url(),
+                      self.conf_list_tuple(db_only=True),
+                      "Database Conferences")
+        self._publish("AuthorListPage", self.author_list_url(),
+                      self.author_list_tuple(), "All Authors")
+        for conf in self.confs:
+            self._publish("ConfPage", conf.url, self.conf_tuple(conf), conf.name)
+            for edition in conf.editions:
+                self._publish(
+                    "EditionPage", edition.url, self.edition_tuple(edition),
+                    f"{conf.name} {edition.year}",
+                )
+        for author in self.authors:
+            self._publish("AuthorPage", author.url,
+                          self.author_tuple(author), author.name)
+        for paper in self.papers:
+            self._publish("PaperPage", paper.url,
+                          self.paper_tuple(paper), paper.title)
+
+    def __repr__(self) -> str:
+        return (
+            f"BibliographySite({len(self.confs)} conferences, "
+            f"{len(self.papers)} papers, {len(self.authors)} authors)"
+        )
+
+
+def build_bibliography_site(
+    config: Optional[BibliographyConfig] = None,
+    server: Optional[SimulatedWebServer] = None,
+) -> BibliographySite:
+    """Generate and publish a bibliography site; returns the site handle."""
+    config = config or BibliographyConfig()
+    server = server or SimulatedWebServer(SimClock())
+    return BibliographySite(config, server)

@@ -1,0 +1,98 @@
+"""HTML emission following the wrapper conventions.
+
+:func:`render_page` serializes one nested tuple into an HTML page that
+the conventional wrappers (:mod:`repro.wrapper.conventions`) can parse back
+into the identical tuple.  The pages carry ordinary presentational markup —
+headings, navigation chrome, decorative paragraphs — around the structured
+content, so the wrapper genuinely has to *select*, not just read.
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+from repro.adm.page_scheme import PageScheme, URL_ATTR
+from repro.adm.webtypes import ImageType, LinkType, ListType, TextType, WebType
+from repro.errors import WrapperError
+
+__all__ = ["render_page"]
+
+
+def _render_atom(name: str, wtype: WebType, value, out: list[str], indent: str) -> None:
+    if value is None:
+        # optional attribute with a null value: emit nothing
+        return
+    if isinstance(wtype, TextType):
+        out.append(
+            f'{indent}<span class="attr" data-attr="{escape(name)}">'
+            f"{escape(str(value))}</span>"
+        )
+    elif isinstance(wtype, ImageType):
+        out.append(
+            f'{indent}<img class="attr" data-attr="{escape(name)}" '
+            f'src="{escape(str(value), quote=True)}" alt="{escape(name)}">'
+        )
+    elif isinstance(wtype, LinkType):
+        out.append(
+            f'{indent}<a class="attr" data-attr="{escape(name)}" '
+            f'href="{escape(str(value), quote=True)}">{escape(name)}</a>'
+        )
+    else:
+        raise WrapperError(f"cannot render atom of type {wtype!r}")
+
+
+def _render_list(name: str, wtype: ListType, rows: list, out: list[str], indent: str) -> None:
+    out.append(f'{indent}<ul class="attr-list" data-attr="{escape(name)}">')
+    for row in rows:
+        out.append(f'{indent}  <li class="item">')
+        for fname, ftype in wtype.fields:
+            value = row.get(fname)
+            if isinstance(ftype, ListType):
+                _render_list(fname, ftype, value or [], out, indent + "    ")
+            else:
+                _render_atom(fname, ftype, value, out, indent + "    ")
+        out.append(f"{indent}  </li>")
+    out.append(f"{indent}</ul>")
+
+
+def render_page(page_scheme: PageScheme, row: dict, title: str = "") -> str:
+    """Render the nested tuple ``row`` as a page of ``page_scheme``.
+
+    ``row`` is keyed by plain attribute names; the implicit ``URL`` key is
+    ignored if present.  Returns the full HTML document.
+    """
+    title = title or f"{page_scheme.name}"
+    body: list[str] = []
+    body.append(f'<div class="page" data-scheme="{escape(page_scheme.name)}">')
+    body.append(f"  <h1>{escape(title)}</h1>")
+    body.append(
+        "  <p class=\"chrome\">Welcome! This page is part of our site; "
+        "use the links below to browse.</p>"
+    )
+    for attr in page_scheme.attributes:
+        if attr.name == URL_ATTR:
+            continue
+        if attr.name not in row:
+            raise WrapperError(
+                f"{page_scheme.name}: tuple lacks attribute {attr.name!r}"
+            )
+        value = row[attr.name]
+        body.append(f"  <h2 class=\"chrome\">{escape(attr.name)}</h2>")
+        if isinstance(attr.wtype, ListType):
+            _render_list(attr.name, attr.wtype, value or [], body, "  ")
+        else:
+            _render_atom(attr.name, attr.wtype, value, body, "  ")
+    body.append('  <p class="chrome">Maintained by the site manager. '
+                "Last reviewed recently.</p>")
+    body.append("</div>")
+    inner = "\n".join(body)
+    return (
+        "<!DOCTYPE html>\n"
+        "<html>\n"
+        f"<head><title>{escape(title)}</title></head>\n"
+        "<body>\n"
+        '<div class="banner">A fine example of mid-nineties web design</div>\n'
+        f"{inner}\n"
+        "</body>\n"
+        "</html>\n"
+    )

@@ -1,0 +1,289 @@
+"""A movie-database site exercising optional attributes.
+
+The paper experimented on several real sites beyond the bibliography; this
+third generator focuses on the model feature the other two don't use:
+**optional link attributes** (Section 3.1: "some attributes may be
+optional; in this case, they may generate null values", and rule 5's
+non-optional side condition).
+
+Scheme:
+
+* ``MovieListPage`` (entry) — all movies;
+* ``MoviePage`` — title, year, genre, cast, and an *optional* director
+  anchor + link (independent productions have no director page);
+* ``DirectorListPage`` (entry) — all directors;
+* ``DirectorPage`` — name plus filmography.
+
+The optional ``ToDirector`` link means: navigations through it silently
+drop undirected movies, rule 5 must never remove it, and the external
+relation ``MovieDirector`` is only complete through the director-side
+navigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.adm import SchemeBuilder, TEXT, link, list_of
+from repro.adm.scheme import WebScheme
+from repro.clock import SimClock
+from repro.errors import SchemeError
+from repro.sitegen import naming
+from repro.sitegen.html_writer import render_page
+from repro.web.server import SimulatedWebServer
+
+__all__ = [
+    "MovieConfig",
+    "MovieRecord",
+    "DirectorRecord",
+    "MovieSite",
+    "build_movie_scheme",
+    "build_movie_site",
+]
+
+_GENRES = ("Drama", "Comedy", "Noir", "Documentary")
+
+_MOVIE_STEMS = [
+    "The Long Goodbye", "Night Train", "Paper Moon", "The Big Sleep",
+    "Quiet Days", "The Third Man", "Brief Encounter", "High Noon",
+    "The Apartment", "Strangers", "The Searchers", "Out of the Past",
+    "Notorious", "Laura", "Gilda", "The Killers", "Detour", "Pickup",
+    "Crossfire", "The Set-Up",
+]
+
+
+def _movie_title(index: int) -> str:
+    stem = _MOVIE_STEMS[index % len(_MOVIE_STEMS)]
+    series = index // len(_MOVIE_STEMS)
+    return stem if series == 0 else f"{stem} {series + 1}"
+
+
+@dataclass(frozen=True)
+class MovieConfig:
+    """Parameters; ``undirected_every`` makes every n-th movie lack a
+    director (null optional link)."""
+
+    n_movies: int = 24
+    n_directors: int = 6
+    undirected_every: int = 4
+    first_year: int = 1940
+    cast_size: int = 3
+    base_url: str = "http://movies.example"
+
+    def validate(self) -> None:
+        if self.n_movies < 1 or self.n_directors < 1:
+            raise SchemeError("need at least one movie and one director")
+        if self.undirected_every < 0:
+            raise SchemeError("undirected_every must be non-negative")
+        if self.cast_size < 0:
+            raise SchemeError("cast_size must be non-negative")
+
+
+@dataclass
+class DirectorRecord:
+    uid: int
+    name: str
+    url: str
+    movies: list = field(default_factory=list)
+
+
+@dataclass
+class MovieRecord:
+    uid: int
+    title: str
+    year: int
+    genre: str
+    cast: list = field(default_factory=list)
+    director: Optional[DirectorRecord] = None
+    url: str = ""
+
+
+def build_movie_scheme(base_url: str = "http://movies.example") -> WebScheme:
+    b = SchemeBuilder("movies")
+    b.page("MovieListPage").attr(
+        "Movies", list_of(("Title", TEXT), ("ToMovie", link("MoviePage")))
+    ).entry_point(f"{base_url}/movies.html")
+    b.page("DirectorListPage").attr(
+        "Directors",
+        list_of(("DName", TEXT), ("ToDirector", link("DirectorPage"))),
+    ).entry_point(f"{base_url}/directors.html")
+    b.page("MoviePage").attr("Title", TEXT).attr("Year", TEXT).attr(
+        "Genre", TEXT
+    ).attr("DirectorName", TEXT).attr(
+        "ToDirector", link("DirectorPage", optional=True)
+    ).attr("Cast", list_of(("Actor", TEXT)))
+    b.page("DirectorPage").attr("DName", TEXT).attr(
+        "Filmography",
+        list_of(("Title", TEXT), ("ToMovie", link("MoviePage"))),
+    )
+
+    b.link_constraint(
+        "MovieListPage.Movies.ToMovie",
+        "MovieListPage.Movies.Title = MoviePage.Title",
+    )
+    b.link_constraint(
+        "DirectorListPage.Directors.ToDirector",
+        "DirectorListPage.Directors.DName = DirectorPage.DName",
+    )
+    b.link_constraint(
+        "MoviePage.ToDirector", "MoviePage.DirectorName = DirectorPage.DName"
+    )
+    b.link_constraint(
+        "DirectorPage.Filmography.ToMovie",
+        "DirectorPage.Filmography.Title = MoviePage.Title",
+    )
+
+    b.inclusion(
+        "DirectorPage.Filmography.ToMovie <= MovieListPage.Movies.ToMovie"
+    )
+    b.inclusion(
+        "MoviePage.ToDirector <= DirectorListPage.Directors.ToDirector"
+    )
+    return b.build()
+
+
+class MovieSite:
+    """A generated movie site with some director-less movies."""
+
+    def __init__(self, config: MovieConfig, server: SimulatedWebServer):
+        config.validate()
+        self.config = config
+        self.server = server
+        self.scheme = build_movie_scheme(config.base_url)
+        self.directors: list[DirectorRecord] = []
+        self.movies: list[MovieRecord] = []
+        self._build_model()
+        self.publish_all()
+
+    def _build_model(self) -> None:
+        cfg = self.config
+        for d in range(cfg.n_directors):
+            name = naming.person_name(100 + d)
+            self.directors.append(
+                DirectorRecord(
+                    uid=d,
+                    name=name,
+                    url=f"{cfg.base_url}/director/{naming.slug(name)}.html",
+                )
+            )
+        directed_count = 0
+        for m in range(cfg.n_movies):
+            title = _movie_title(m)
+            undirected = (
+                cfg.undirected_every > 0
+                and m % cfg.undirected_every == cfg.undirected_every - 1
+            )
+            director = None
+            if not undirected:
+                director = self.directors[directed_count % cfg.n_directors]
+                directed_count += 1
+            movie = MovieRecord(
+                uid=m,
+                title=title,
+                year=cfg.first_year + m % 20,
+                genre=_GENRES[m % len(_GENRES)],
+                cast=[naming.person_name(300 + m * cfg.cast_size + i)
+                      for i in range(cfg.cast_size)],
+                director=director,
+                url=f"{cfg.base_url}/movie/{naming.slug(title)}.html",
+            )
+            self.movies.append(movie)
+            if director is not None:
+                director.movies.append(movie)
+
+    # ------------------------------------------------------------------ #
+
+    def entry_url(self, page_scheme: str) -> str:
+        return self.scheme.entry_point(page_scheme).url
+
+    def movie_list_tuple(self) -> dict:
+        return {
+            "Movies": [
+                {"Title": m.title, "ToMovie": m.url} for m in self.movies
+            ]
+        }
+
+    def director_list_tuple(self) -> dict:
+        return {
+            "Directors": [
+                {"DName": d.name, "ToDirector": d.url}
+                for d in self.directors
+            ]
+        }
+
+    def movie_tuple(self, movie: MovieRecord) -> dict:
+        return {
+            "Title": movie.title,
+            "Year": str(movie.year),
+            "Genre": movie.genre,
+            "DirectorName": (
+                movie.director.name if movie.director else "(independent)"
+            ),
+            "ToDirector": movie.director.url if movie.director else None,
+            "Cast": [{"Actor": actor} for actor in movie.cast],
+        }
+
+    def director_tuple(self, director: DirectorRecord) -> dict:
+        return {
+            "DName": director.name,
+            "Filmography": [
+                {"Title": m.title, "ToMovie": m.url}
+                for m in director.movies
+            ],
+        }
+
+    def publish_all(self) -> None:
+        self._publish(
+            "MovieListPage", self.entry_url("MovieListPage"),
+            self.movie_list_tuple(), "All Movies",
+        )
+        self._publish(
+            "DirectorListPage", self.entry_url("DirectorListPage"),
+            self.director_list_tuple(), "All Directors",
+        )
+        for movie in self.movies:
+            self._publish("MoviePage", movie.url, self.movie_tuple(movie),
+                          movie.title)
+        for director in self.directors:
+            self._publish("DirectorPage", director.url,
+                          self.director_tuple(director), director.name)
+
+    def _publish(self, page_scheme: str, url: str, row: dict, title: str) -> None:
+        html = render_page(self.scheme.page_scheme(page_scheme), row, title)
+        if self.server.exists(url):
+            self.server.update(url, html)
+        else:
+            self.server.publish(url, html, page_scheme=page_scheme)
+
+    # oracle helpers ----------------------------------------------------- #
+
+    def undirected_movies(self) -> list[MovieRecord]:
+        return [m for m in self.movies if m.director is None]
+
+    def expected_movie(self) -> set:
+        return {(m.title, str(m.year), m.genre) for m in self.movies}
+
+    def expected_movie_director(self) -> set:
+        return {
+            (m.title, m.director.name)
+            for m in self.movies
+            if m.director is not None
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MovieSite({len(self.movies)} movies, "
+            f"{len(self.directors)} directors, "
+            f"{len(self.undirected_movies())} independent)"
+        )
+
+
+def build_movie_site(
+    config: Optional[MovieConfig] = None,
+    server: Optional[SimulatedWebServer] = None,
+) -> MovieSite:
+    """Generate and publish a movie site; returns the site handle."""
+    config = config or MovieConfig()
+    server = server or SimulatedWebServer(SimClock())
+    return MovieSite(config, server)

@@ -1,0 +1,156 @@
+"""The autonomous site manager (paper, Section 1 point 2 and Section 8).
+
+"The site manager inserts, deletes and modifies pages without notifying
+remote users of the updates."  :class:`SiteMutator` plays that role for a
+generated :class:`~repro.sitegen.university.UniversitySite`: every operation
+updates the model records, re-renders exactly the affected pages, and lets
+the server stamp fresh modification dates.  Nothing tells the query system —
+the Section 8 maintenance algorithms must discover changes through light
+connections.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MaterializationError
+from repro.sitegen import naming
+from repro.sitegen.university import CourseRecord, ProfRecord, UniversitySite
+
+__all__ = ["SiteMutator"]
+
+
+class SiteMutator:
+    """Mutation API over a university site; keeps model and pages in sync."""
+
+    def __init__(self, site: UniversitySite):
+        self.site = site
+
+    # ------------------------------------------------------------------ #
+    # content updates (page content changes, link structure intact)
+    # ------------------------------------------------------------------ #
+
+    def update_course_description(self, course: CourseRecord, text: str) -> None:
+        """Edit one course page's description (single-page update)."""
+        course.description = text
+        self.site.publish_course(course)
+
+    def update_course_type(self, course: CourseRecord, ctype: str) -> None:
+        """Flip a course between Graduate/Undergraduate (single page)."""
+        course.ctype = ctype
+        self.site.publish_course(course)
+
+    def update_prof_rank(self, prof: ProfRecord, rank: str) -> None:
+        """Promote/demote a professor (single-page update)."""
+        prof.rank = rank
+        self.site.publish_prof(prof)
+
+    def update_dept_address(self, dept_name: str, address: str) -> None:
+        dept = self._dept_by_name(dept_name)
+        dept.address = address
+        self.site.publish_dept(dept)
+
+    def revise_courses(self, fraction: float, revision: str = "rev") -> int:
+        """Update the description of the first ``fraction`` of course pages;
+        returns the number of pages touched.  Used by the Section 8 sweep
+        over update rates."""
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("fraction must be within [0, 1]")
+        count = round(len(self.site.courses) * fraction)
+        for course in self.site.courses[:count]:
+            self.update_course_description(
+                course, f"{course.description} ({revision})"
+            )
+        return count
+
+    # ------------------------------------------------------------------ #
+    # structural updates (links added/removed)
+    # ------------------------------------------------------------------ #
+
+    def add_course(
+        self,
+        prof: ProfRecord,
+        name: Optional[str] = None,
+        session: Optional[str] = None,
+        ctype: Optional[str] = None,
+    ) -> CourseRecord:
+        """Create a new course taught by ``prof``.  Touches the new course
+        page, the professor's page, and the session page."""
+        cfg = self.site.config
+        index = len(self.site.courses)
+        course = self.site.new_course(
+            name or naming.course_name(1000 + index),
+            session or cfg.sessions[index % len(cfg.sessions)],
+            ctype or cfg.course_types[index % len(cfg.course_types)],
+            prof,
+        )
+        self.site.publish_course(course)
+        self.site.publish_prof(prof)
+        self.site.publish_session(course.session)
+        return course
+
+    def remove_course(self, course: CourseRecord) -> None:
+        """Delete a course: its page disappears; the professor and session
+        pages lose their links to it."""
+        if course not in self.site.courses:
+            raise MaterializationError("course is not part of the site")
+        self.site.courses.remove(course)
+        course.prof.courses.remove(course)
+        self.site.server.delete(course.url)
+        self.site.publish_prof(course.prof)
+        self.site.publish_session(course.session)
+
+    def move_course(self, course: CourseRecord, new_prof: ProfRecord) -> None:
+        """Reassign a course to a different instructor.  Touches the course
+        page and both professors' pages."""
+        old_prof = course.prof
+        if old_prof is new_prof:
+            return
+        old_prof.courses.remove(course)
+        new_prof.courses.append(course)
+        course.prof = new_prof
+        self.site.publish_course(course)
+        self.site.publish_prof(old_prof)
+        self.site.publish_prof(new_prof)
+
+    def add_prof(
+        self,
+        dept_name: str,
+        name: Optional[str] = None,
+        rank: Optional[str] = None,
+    ) -> ProfRecord:
+        """Hire a professor into a department.  Touches the new professor
+        page, the department page, and the professor list."""
+        cfg = self.site.config
+        dept = self._dept_by_name(dept_name)
+        index = len(self.site.profs)
+        prof = self.site.new_prof(
+            name or naming.person_name(1000 + index),
+            rank or cfg.ranks[index % len(cfg.ranks)],
+            dept,
+        )
+        self.site.publish_prof(prof)
+        self.site.publish_dept(dept)
+        self.site.publish_prof_list()
+        return prof
+
+    def remove_prof(self, prof: ProfRecord) -> None:
+        """A professor leaves: their courses are removed too, and every page
+        that linked to them is re-rendered."""
+        if prof not in self.site.profs:
+            raise MaterializationError("professor is not part of the site")
+        for course in list(prof.courses):
+            self.remove_course(course)
+        self.site.profs.remove(prof)
+        prof.dept.profs.remove(prof)
+        self.site.server.delete(prof.url)
+        self.site.publish_dept(prof.dept)
+        self.site.publish_prof_list()
+
+    # ------------------------------------------------------------------ #
+
+    def _dept_by_name(self, name: str):
+        for dept in self.site.depts:
+            if dept.name == name:
+                return dept
+        raise MaterializationError(f"no department named {name!r}")

@@ -1,0 +1,153 @@
+"""Deterministic fake-name pools for the site generators.
+
+All functions are pure given their index arguments, so regenerating a site
+with the same configuration yields byte-identical pages (the tests and the
+materialized-view experiments depend on this).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "dept_name",
+    "person_name",
+    "course_name",
+    "street_address",
+    "conference_name",
+    "paper_title",
+    "slug",
+]
+
+_DEPT_STEMS = [
+    "Computer Science", "Mathematics", "Physics", "Chemistry", "Biology",
+    "Economics", "History", "Philosophy", "Linguistics", "Statistics",
+    "Astronomy", "Geology", "Psychology", "Sociology", "Engineering",
+]
+
+_FIRST_NAMES = [
+    "Ada", "Alan", "Grace", "Edsger", "Donald", "Barbara", "John", "Tony",
+    "Leslie", "Robin", "Edgar", "Jim", "Michael", "Pat", "David", "Hector",
+    "Serge", "Moshe", "Jennifer", "Ronald", "Christos", "Rakesh", "Maria",
+    "Stefano", "Paolo", "Alberto", "Giansalvatore", "Laura", "Carlo", "Anna",
+]
+
+_LAST_NAMES = [
+    "Lovelace", "Turing", "Hopper", "Dijkstra", "Knuth", "Liskov", "Backus",
+    "Hoare", "Lamport", "Milner", "Codd", "Gray", "Stonebraker", "Selinger",
+    "Maier", "Garcia-Molina", "Abiteboul", "Vardi", "Widom", "Fagin",
+    "Papadimitriou", "Agrawal", "Rossi", "Ceri", "Atzeni", "Mendelzon",
+    "Mecca", "Haas", "Zaniolo", "Merialdo",
+]
+
+_COURSE_TOPICS = [
+    "Databases", "Algorithms", "Operating Systems", "Compilers", "Networks",
+    "Artificial Intelligence", "Graphics", "Logic", "Calculus", "Algebra",
+    "Topology", "Mechanics", "Optics", "Thermodynamics", "Genetics",
+    "Ecology", "Microeconomics", "Game Theory", "Ethics", "Syntax",
+    "Semantics", "Probability", "Inference", "Cosmology", "Mineralogy",
+]
+
+_STREETS = [
+    "Via della Tecnica", "College Street", "King's Road", "Oak Avenue",
+    "Harbord Street", "Spadina Crescent", "Queen's Park", "Bloor Street",
+    "St. George Street", "Huron Street",
+]
+
+_CONF_TOPICS = [
+    "VLDB", "SIGMOD", "PODS", "ICDE", "EDBT", "ICDT",
+    "STOC", "FOCS", "SODA", "ICALP", "LICS", "CAV",
+    "ISCA", "MICRO", "ASPLOS", "HPCA", "PLDI", "POPL",
+    "OOPSLA", "ICSE", "FSE", "CHI", "UIST", "SIGIR",
+    "SIGCOMM", "INFOCOM", "MOBICOM", "NSDI", "OSDI", "SOSP",
+    "USENIX", "CRYPTO", "EUROCRYPT", "AAAI", "IJCAI", "NIPS",
+]
+
+_TITLE_ADJECTIVES = [
+    "Efficient", "Scalable", "Incremental", "Declarative", "Adaptive",
+    "Distributed", "Parallel", "Optimal", "Approximate", "Robust",
+]
+
+_TITLE_NOUNS = [
+    "Queries", "Views", "Joins", "Indexes", "Wrappers", "Schemas",
+    "Transactions", "Caches", "Optimizers", "Constraints",
+]
+
+_TITLE_DOMAINS = [
+    "Web Views", "Nested Relations", "Semistructured Data", "Hypertext",
+    "Object Databases", "Deductive Databases", "Data Warehouses",
+    "Mediators", "Digital Libraries", "Search Engines",
+]
+
+
+def dept_name(index: int) -> str:
+    """Department name for index ``index`` (unique for any index)."""
+    stem = _DEPT_STEMS[index % len(_DEPT_STEMS)]
+    series = index // len(_DEPT_STEMS)
+    return stem if series == 0 else f"{stem} {series + 1}"
+
+
+def person_name(index: int) -> str:
+    """Person name for index ``index`` (unique for any index)."""
+    first = _FIRST_NAMES[index % len(_FIRST_NAMES)]
+    last = _LAST_NAMES[(index // len(_FIRST_NAMES)) % len(_LAST_NAMES)]
+    series = index // (len(_FIRST_NAMES) * len(_LAST_NAMES))
+    suffix = "" if series == 0 else f" {_roman(series + 1)}"
+    return f"{first} {last}{suffix}"
+
+
+def course_name(index: int) -> str:
+    """Course name for index ``index`` (unique for any index)."""
+    topic = _COURSE_TOPICS[index % len(_COURSE_TOPICS)]
+    level = 100 + 10 * (index // len(_COURSE_TOPICS))
+    return f"{topic} {level}"
+
+
+def street_address(index: int) -> str:
+    street = _STREETS[index % len(_STREETS)]
+    number = 1 + 2 * index
+    return f"{number} {street}"
+
+
+def conference_name(index: int) -> str:
+    """Conference series name (unique for any index)."""
+    stem = _CONF_TOPICS[index % len(_CONF_TOPICS)]
+    series = index // len(_CONF_TOPICS)
+    return stem if series == 0 else f"{stem}-{series + 1}"
+
+
+def paper_title(index: int) -> str:
+    """Paper title (unique for any index)."""
+    adjective = _TITLE_ADJECTIVES[index % len(_TITLE_ADJECTIVES)]
+    noun = _TITLE_NOUNS[(index // len(_TITLE_ADJECTIVES)) % len(_TITLE_NOUNS)]
+    domain = _TITLE_DOMAINS[
+        (index // (len(_TITLE_ADJECTIVES) * len(_TITLE_NOUNS))) % len(_TITLE_DOMAINS)
+    ]
+    series = index // (
+        len(_TITLE_ADJECTIVES) * len(_TITLE_NOUNS) * len(_TITLE_DOMAINS)
+    )
+    suffix = "" if series == 0 else f" ({series + 1})"
+    return f"{adjective} {noun} over {domain}{suffix}"
+
+
+def slug(text: str) -> str:
+    """URL-safe slug: lowercase, alnum and dashes only."""
+    out = []
+    for ch in text.lower():
+        if ch.isalnum():
+            out.append(ch)
+        elif out and out[-1] != "-":
+            out.append("-")
+    return "".join(out).strip("-")
+
+
+def _roman(number: int) -> str:
+    numerals = [
+        (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"), (100, "C"),
+        (90, "XC"), (50, "L"), (40, "XL"), (10, "X"), (9, "IX"),
+        (5, "V"), (4, "IV"), (1, "I"),
+    ]
+    parts = []
+    for value, numeral in numerals:
+        while number >= value:
+            parts.append(numeral)
+            number -= value
+    return "".join(parts)

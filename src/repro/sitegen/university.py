@@ -1,0 +1,474 @@
+"""The paper's Figure 1 university web site, generated deterministically.
+
+Eight page-schemes — ``HomePage``, ``DeptListPage``, ``DeptPage``,
+``ProfListPage``, ``ProfPage``, ``SessionListPage``, ``SessionPage``,
+``CoursePage`` — connected exactly as in the paper, with the link
+constraints of Section 3.2 and the inclusion constraints of Sections 3.2/5.
+
+The generator is driven by :class:`UniversityConfig` (number of
+departments/professors/courses, the value pools for ``Session``, ``Rank``
+and ``Type``); all assignments are round-robin, so instance statistics are
+exactly predictable — which lets tests validate the paper's cost formulas
+against both estimated and measured page accesses.
+
+Model records reference each other directly (a course knows its professor
+record, and so on); :class:`repro.sitegen.mutations.SiteMutator` exploits
+this to keep the model consistent while it plays "autonomous site manager"
+for the Section 8 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.adm import SchemeBuilder, TEXT, link, list_of
+from repro.adm.scheme import WebScheme
+from repro.clock import SimClock
+from repro.errors import SchemeError
+from repro.sitegen import naming
+from repro.sitegen.html_writer import render_page
+from repro.web.server import SimulatedWebServer
+
+__all__ = [
+    "UniversityConfig",
+    "DeptRecord",
+    "ProfRecord",
+    "CourseRecord",
+    "UniversitySite",
+    "build_university_scheme",
+    "build_university_site",
+]
+
+
+@dataclass(frozen=True)
+class UniversityConfig:
+    """Parameters of the generated site.
+
+    The defaults reproduce Example 7.2's cardinalities: 50 courses, 20
+    professors, 3 departments.  ``idle_profs`` professors teach no courses
+    (the paper notes such professors exist, which is why the inclusion
+    ``CoursePage.ToProf ⊆ ProfListPage.ProfList.ToProf`` is strict).
+    """
+
+    n_depts: int = 3
+    n_profs: int = 20
+    n_courses: int = 50
+    sessions: tuple = ("Fall", "Winter")
+    ranks: tuple = ("Full", "Associate")
+    course_types: tuple = ("Graduate", "Undergraduate")
+    idle_profs: int = 0
+    base_url: str = "http://univ.example"
+    #: Seed for instructor/type assignment.  Departments, ranks and sessions
+    #: stay round-robin (uniform sizes matter for the cost formulas), but a
+    #: deterministic shuffle decorrelates instructor rank from course
+    #: session/type — otherwise the paper's "equality only if all fall
+    #: courses are taught by full professors" edge case holds by accident.
+    seed: int = 7
+
+    def validate(self) -> None:
+        if self.n_depts < 1:
+            raise SchemeError("need at least one department")
+        if self.n_profs < 1:
+            raise SchemeError("need at least one professor")
+        if not (0 <= self.idle_profs < self.n_profs):
+            raise SchemeError("idle_profs must be in [0, n_profs)")
+        if self.n_courses < 0:
+            raise SchemeError("n_courses must be non-negative")
+        for pool_name in ("sessions", "ranks", "course_types"):
+            if not getattr(self, pool_name):
+                raise SchemeError(f"{pool_name} pool must be non-empty")
+
+    @property
+    def teaching_profs(self) -> int:
+        return self.n_profs - self.idle_profs
+
+
+@dataclass
+class DeptRecord:
+    uid: int
+    name: str
+    address: str
+    url: str
+    profs: list = field(default_factory=list)  # ProfRecord refs
+
+
+@dataclass
+class ProfRecord:
+    uid: int
+    name: str
+    rank: str
+    email: str
+    dept: "DeptRecord" = None
+    url: str = ""
+    courses: list = field(default_factory=list)  # CourseRecord refs
+
+
+@dataclass
+class CourseRecord:
+    uid: int
+    name: str
+    session: str
+    description: str
+    ctype: str
+    prof: "ProfRecord" = None
+    url: str = ""
+
+
+def build_university_scheme(base_url: str = "http://univ.example") -> WebScheme:
+    """The ADM web scheme of Figure 1 (page-schemes + constraints)."""
+    b = SchemeBuilder("university")
+
+    b.page("HomePage").attr("ToDeptList", link("DeptListPage")).attr(
+        "ToProfList", link("ProfListPage")
+    ).attr("ToSesList", link("SessionListPage")).entry_point(
+        f"{base_url}/home.html"
+    )
+
+    b.page("DeptListPage").attr(
+        "DeptList", list_of(("DName", TEXT), ("ToDept", link("DeptPage")))
+    ).entry_point(f"{base_url}/depts.html")
+
+    b.page("DeptPage").attr("DName", TEXT).attr("Address", TEXT).attr(
+        "ProfList", list_of(("PName", TEXT), ("ToProf", link("ProfPage")))
+    )
+
+    b.page("ProfListPage").attr(
+        "ProfList", list_of(("PName", TEXT), ("ToProf", link("ProfPage")))
+    ).entry_point(f"{base_url}/profs.html")
+
+    b.page("ProfPage").attr("PName", TEXT).attr("Rank", TEXT).attr(
+        "email", TEXT
+    ).attr("DName", TEXT).attr("ToDept", link("DeptPage")).attr(
+        "CourseList", list_of(("CName", TEXT), ("ToCourse", link("CoursePage")))
+    )
+
+    b.page("SessionListPage").attr(
+        "SesList", list_of(("Session", TEXT), ("ToSes", link("SessionPage")))
+    ).entry_point(f"{base_url}/sessions.html")
+
+    b.page("SessionPage").attr("Session", TEXT).attr(
+        "CourseList", list_of(("CName", TEXT), ("ToCourse", link("CoursePage")))
+    )
+
+    b.page("CoursePage").attr("CName", TEXT).attr("Session", TEXT).attr(
+        "Description", TEXT
+    ).attr("Type", TEXT).attr("PName", TEXT).attr("ToProf", link("ProfPage"))
+
+    # link constraints (Section 3.2)
+    b.link_constraint(
+        "DeptListPage.DeptList.ToDept",
+        "DeptListPage.DeptList.DName = DeptPage.DName",
+    )
+    b.link_constraint(
+        "DeptPage.ProfList.ToProf", "DeptPage.ProfList.PName = ProfPage.PName"
+    )
+    b.link_constraint(
+        "ProfListPage.ProfList.ToProf",
+        "ProfListPage.ProfList.PName = ProfPage.PName",
+    )
+    b.link_constraint("ProfPage.ToDept", "ProfPage.DName = DeptPage.DName")
+    b.link_constraint(
+        "ProfPage.CourseList.ToCourse",
+        "ProfPage.CourseList.CName = CoursePage.CName",
+    )
+    b.link_constraint(
+        "SessionListPage.SesList.ToSes",
+        "SessionListPage.SesList.Session = SessionPage.Session",
+    )
+    b.link_constraint(
+        "SessionPage.CourseList.ToCourse",
+        "SessionPage.CourseList.CName = CoursePage.CName",
+    )
+    b.link_constraint(
+        "SessionPage.CourseList.ToCourse",
+        "SessionPage.Session = CoursePage.Session",
+    )
+    b.link_constraint("CoursePage.ToProf", "CoursePage.PName = ProfPage.PName")
+
+    # inclusion constraints (Sections 3.2 and 5)
+    b.inclusion("CoursePage.ToProf <= ProfListPage.ProfList.ToProf")
+    b.inclusion("DeptPage.ProfList.ToProf <= ProfListPage.ProfList.ToProf")
+    b.inclusion(
+        "ProfPage.CourseList.ToCourse <= SessionPage.CourseList.ToCourse"
+    )
+    # every professor's department is on the global department list (this
+    # also certifies DeptListPage.DeptList.ToDept as covering DeptPage for
+    # navigation derivation)
+    b.inclusion("ProfPage.ToDept <= DeptListPage.DeptList.ToDept")
+
+    return b.build()
+
+
+class UniversitySite:
+    """A generated instance of the university scheme, published on a
+    simulated server.
+
+    Holds the model records (the ground truth the HTML was rendered from),
+    which the tests use as an oracle and the mutation API uses to
+    re-render pages after updates.
+    """
+
+    def __init__(self, config: UniversityConfig, server: SimulatedWebServer):
+        config.validate()
+        self.config = config
+        self.server = server
+        self.scheme = build_university_scheme(config.base_url)
+        self.depts: list[DeptRecord] = []
+        self.profs: list[ProfRecord] = []
+        self.courses: list[CourseRecord] = []
+        self._next_uid = 0
+        self._build_model()
+        self.publish_all()
+
+    def _uid(self) -> int:
+        self._next_uid += 1
+        return self._next_uid
+
+    # ------------------------------------------------------------------ #
+    # model construction
+    # ------------------------------------------------------------------ #
+
+    def new_dept(self, name: str, address: Optional[str] = None) -> DeptRecord:
+        dept = DeptRecord(
+            uid=self._uid(),
+            name=name,
+            address=address or naming.street_address(self._next_uid),
+            url=f"{self.config.base_url}/dept/{naming.slug(name)}.html",
+        )
+        self.depts.append(dept)
+        return dept
+
+    def new_prof(self, name: str, rank: str, dept: DeptRecord) -> ProfRecord:
+        prof = ProfRecord(
+            uid=self._uid(),
+            name=name,
+            rank=rank,
+            email=f"{naming.slug(name)}@univ.example",
+            dept=dept,
+            url=f"{self.config.base_url}/prof/{naming.slug(name)}.html",
+        )
+        self.profs.append(prof)
+        dept.profs.append(prof)
+        return prof
+
+    def new_course(
+        self, name: str, session: str, ctype: str, prof: ProfRecord,
+        description: Optional[str] = None,
+    ) -> CourseRecord:
+        course = CourseRecord(
+            uid=self._uid(),
+            name=name,
+            session=session,
+            description=description or f"An in-depth treatment of {name.lower()}.",
+            ctype=ctype,
+            prof=prof,
+            url=f"{self.config.base_url}/course/{naming.slug(name)}.html",
+        )
+        self.courses.append(course)
+        prof.courses.append(course)
+        return course
+
+    def _build_model(self) -> None:
+        import random
+
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        for d in range(cfg.n_depts):
+            self.new_dept(naming.dept_name(d), naming.street_address(d))
+        for p in range(cfg.n_profs):
+            self.new_prof(
+                naming.person_name(p),
+                cfg.ranks[p % len(cfg.ranks)],
+                self.depts[p % cfg.n_depts],
+            )
+        # courses are spread evenly over teaching professors and types, but
+        # through seeded shuffles so rank/session/type are decorrelated
+        prof_slots = [c % cfg.teaching_profs for c in range(cfg.n_courses)]
+        type_slots = [
+            cfg.course_types[c % len(cfg.course_types)]
+            for c in range(cfg.n_courses)
+        ]
+        rng.shuffle(prof_slots)
+        rng.shuffle(type_slots)
+        for c in range(cfg.n_courses):
+            self.new_course(
+                naming.course_name(c),
+                cfg.sessions[c % len(cfg.sessions)],
+                type_slots[c],
+                self.profs[prof_slots[c]],
+            )
+
+    # ------------------------------------------------------------------ #
+    # tuple rendering (model → nested tuple)
+    # ------------------------------------------------------------------ #
+
+    def entry_url(self, page_scheme: str) -> str:
+        return self.scheme.entry_point(page_scheme).url
+
+    def home_tuple(self) -> dict:
+        return {
+            "ToDeptList": self.entry_url("DeptListPage"),
+            "ToProfList": self.entry_url("ProfListPage"),
+            "ToSesList": self.entry_url("SessionListPage"),
+        }
+
+    def dept_list_tuple(self) -> dict:
+        return {
+            "DeptList": [
+                {"DName": d.name, "ToDept": d.url} for d in self.depts
+            ]
+        }
+
+    def dept_tuple(self, dept: DeptRecord) -> dict:
+        return {
+            "DName": dept.name,
+            "Address": dept.address,
+            "ProfList": [
+                {"PName": p.name, "ToProf": p.url} for p in dept.profs
+            ],
+        }
+
+    def prof_list_tuple(self) -> dict:
+        return {
+            "ProfList": [
+                {"PName": p.name, "ToProf": p.url} for p in self.profs
+            ]
+        }
+
+    def prof_tuple(self, prof: ProfRecord) -> dict:
+        return {
+            "PName": prof.name,
+            "Rank": prof.rank,
+            "email": prof.email,
+            "DName": prof.dept.name,
+            "ToDept": prof.dept.url,
+            "CourseList": [
+                {"CName": c.name, "ToCourse": c.url} for c in prof.courses
+            ],
+        }
+
+    def session_names(self) -> list[str]:
+        return list(self.config.sessions)
+
+    def session_url(self, session: str) -> str:
+        return f"{self.config.base_url}/session/{naming.slug(session)}.html"
+
+    def session_list_tuple(self) -> dict:
+        return {
+            "SesList": [
+                {"Session": s, "ToSes": self.session_url(s)}
+                for s in self.session_names()
+            ]
+        }
+
+    def session_tuple(self, session: str) -> dict:
+        return {
+            "Session": session,
+            "CourseList": [
+                {"CName": c.name, "ToCourse": c.url}
+                for c in self.courses
+                if c.session == session
+            ],
+        }
+
+    def course_tuple(self, course: CourseRecord) -> dict:
+        return {
+            "CName": course.name,
+            "Session": course.session,
+            "Description": course.description,
+            "Type": course.ctype,
+            "PName": course.prof.name,
+            "ToProf": course.prof.url,
+        }
+
+    # ------------------------------------------------------------------ #
+    # publication
+    # ------------------------------------------------------------------ #
+
+    def _publish(self, page_scheme: str, url: str, row: dict, title: str) -> None:
+        html = render_page(self.scheme.page_scheme(page_scheme), row, title)
+        if self.server.exists(url):
+            self.server.update(url, html)
+        else:
+            self.server.publish(url, html, page_scheme=page_scheme)
+
+    def publish_all(self) -> None:
+        """Render and publish (or re-publish) every page of the site."""
+        self._publish("HomePage", self.entry_url("HomePage"),
+                      self.home_tuple(), "University Home")
+        self.publish_dept_list()
+        self.publish_prof_list()
+        self.publish_session_list()
+        for dept in self.depts:
+            self.publish_dept(dept)
+        for prof in self.profs:
+            self.publish_prof(prof)
+        for session in self.session_names():
+            self.publish_session(session)
+        for course in self.courses:
+            self.publish_course(course)
+
+    def publish_dept_list(self) -> None:
+        self._publish("DeptListPage", self.entry_url("DeptListPage"),
+                      self.dept_list_tuple(), "All Departments")
+
+    def publish_prof_list(self) -> None:
+        self._publish("ProfListPage", self.entry_url("ProfListPage"),
+                      self.prof_list_tuple(), "All Professors")
+
+    def publish_session_list(self) -> None:
+        self._publish("SessionListPage", self.entry_url("SessionListPage"),
+                      self.session_list_tuple(), "All Sessions")
+
+    def publish_dept(self, dept: DeptRecord) -> None:
+        self._publish("DeptPage", dept.url, self.dept_tuple(dept),
+                      f"Department of {dept.name}")
+
+    def publish_prof(self, prof: ProfRecord) -> None:
+        self._publish("ProfPage", prof.url, self.prof_tuple(prof), prof.name)
+
+    def publish_session(self, session: str) -> None:
+        self._publish("SessionPage", self.session_url(session),
+                      self.session_tuple(session), f"{session} Session")
+
+    def publish_course(self, course: CourseRecord) -> None:
+        self._publish("CoursePage", course.url, self.course_tuple(course),
+                      course.name)
+
+    # ------------------------------------------------------------------ #
+    # oracle relations (ground truth for tests and examples)
+    # ------------------------------------------------------------------ #
+
+    def expected_dept(self) -> set:
+        return {(d.name, d.address) for d in self.depts}
+
+    def expected_professor(self) -> set:
+        return {(p.name, p.rank, p.email) for p in self.profs}
+
+    def expected_course(self) -> set:
+        return {
+            (c.name, c.session, c.description, c.ctype) for c in self.courses
+        }
+
+    def expected_course_instructor(self) -> set:
+        return {(c.name, c.prof.name) for c in self.courses}
+
+    def expected_prof_dept(self) -> set:
+        return {(p.name, p.dept.name) for p in self.profs}
+
+    def __repr__(self) -> str:
+        return (
+            f"UniversitySite({len(self.depts)} depts, "
+            f"{len(self.profs)} profs, {len(self.courses)} courses)"
+        )
+
+
+def build_university_site(
+    config: Optional[UniversityConfig] = None,
+    server: Optional[SimulatedWebServer] = None,
+) -> UniversitySite:
+    """Generate and publish a university site; returns the site handle."""
+    config = config or UniversityConfig()
+    server = server or SimulatedWebServer(SimClock())
+    return UniversitySite(config, server)

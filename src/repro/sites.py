@@ -1,0 +1,419 @@
+"""One-call environments: site + scheme + view + statistics + planner.
+
+These are the entry points most users (and all examples/benchmarks) start
+from:
+
+* :func:`university` — the paper's Figure 1 site with the Section 5
+  external view (``Dept``, ``Professor``, ``Course``, ``CourseInstructor``,
+  ``ProfDept``);
+* :func:`bibliography` — the Introduction's DBLP-like site with a
+  publication-centric view whose two default navigations are exactly the
+  "via conferences" and "via authors" access paths the paper contrasts;
+* :func:`movies` — a site with optional links (independent movies without
+  a director page), exercising null-value semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adm.scheme import WebScheme
+from repro.algebra.ast import EntryPointScan, Expr
+from repro.engine.remote import ExecutionResult, RemoteExecutor
+from repro.nested.relation import Relation
+from repro.optimizer.cost import CostModel
+from repro.optimizer.planner import Planner, PlannerResult
+from repro.sitegen.bibliography import (
+    BibliographyConfig,
+    BibliographySite,
+    build_bibliography_site,
+)
+from repro.sitegen.movies import MovieConfig, MovieSite, build_movie_site
+from repro.sitegen.university import (
+    UniversityConfig,
+    UniversitySite,
+    build_university_site,
+)
+from repro.stats.exact import exact_statistics
+from repro.stats.statistics import SiteStatistics
+from repro.views.conjunctive import ConjunctiveQuery
+from repro.views.external import DefaultNavigation, ExternalRelation, ExternalView
+from repro.views.sql import parse_query
+from repro.web.client import WebClient
+from repro.wrapper.conventions import registry_for_scheme
+from repro.wrapper.wrapper import WrapperRegistry
+
+__all__ = [
+    "SiteEnv",
+    "university",
+    "bibliography",
+    "movies",
+    "university_view",
+    "bibliography_view",
+    "movie_view",
+]
+
+
+@dataclass
+class SiteEnv:
+    """Everything needed to pose queries against a generated site."""
+
+    scheme: WebScheme
+    view: ExternalView
+    client: WebClient
+    registry: WrapperRegistry
+    stats: SiteStatistics
+    cost_model: CostModel
+    planner: Planner
+    executor: RemoteExecutor
+    site: object  # UniversitySite or BibliographySite
+
+    # ------------------------------------------------------------------ #
+    # the end-to-end user API
+    # ------------------------------------------------------------------ #
+
+    def sql(self, text: str) -> ConjunctiveQuery:
+        """Parse a conjunctive SQL query against this view."""
+        return parse_query(text, self.view)
+
+    def plan(self, query: ConjunctiveQuery | str) -> PlannerResult:
+        """Optimize a query (Algorithm 1)."""
+        if isinstance(query, str):
+            query = self.sql(query)
+        return self.planner.plan_query(query)
+
+    def execute(self, plan: Expr) -> ExecutionResult:
+        """Execute one plan against the live site."""
+        return self.executor.execute(plan)
+
+    def query(self, query: ConjunctiveQuery | str) -> ExecutionResult:
+        """Optimize and execute: the paper's end-to-end query path."""
+        result = self.plan(query)
+        return self.execute(result.best.expr)
+
+    def explain(self, query: ConjunctiveQuery | str) -> str:
+        """Human-readable optimizer report: considered plans, the chosen
+        plan's tree, and its estimated costs (pages / bytes / local work)."""
+        from repro.algebra.printer import render_plan_tree
+
+        planned = self.plan(query)
+        best = planned.best
+        lines = [planned.describe(self.scheme)]
+        lines.append("")
+        lines.append("chosen plan:")
+        lines.append(render_plan_tree(best.expr, self.scheme))
+        lines.append("")
+        lines.append(
+            f"estimated: {best.cost:.1f} pages, "
+            f"{best.bytes_cost:.0f} bytes, "
+            f"{self.cost_model.local_work(best.expr):.0f} local tuple ops, "
+            f"{best.cardinality:.1f} result rows"
+        )
+        return "\n".join(lines)
+
+    def refresh_statistics(self) -> None:
+        """Recompute exact statistics (after site mutations)."""
+        self.stats = exact_statistics(self.scheme, self.site.server, self.registry)
+        self.cost_model = CostModel(self.scheme, self.stats)
+        self.planner = Planner(self.view, self.cost_model)
+
+
+def _env(site, view: ExternalView) -> SiteEnv:
+    registry = registry_for_scheme(site.scheme)
+    stats = exact_statistics(site.scheme, site.server, registry)
+    cost_model = CostModel(site.scheme, stats)
+    client = WebClient(site.server)
+    return SiteEnv(
+        scheme=site.scheme,
+        view=view,
+        client=client,
+        registry=registry,
+        stats=stats,
+        cost_model=cost_model,
+        planner=Planner(view, cost_model),
+        executor=RemoteExecutor(site.scheme, client, registry),
+        site=site,
+    )
+
+
+# --------------------------------------------------------------------- #
+# the university view (paper, Section 5, items 1–5)
+# --------------------------------------------------------------------- #
+
+
+def university_view(scheme: WebScheme) -> ExternalView:
+    """The five external relations of Section 5 with their default
+    navigations (two each for ``CourseInstructor`` and ``ProfDept``)."""
+    profs = (
+        EntryPointScan("ProfListPage")
+        .unnest("ProfListPage.ProfList")
+        .follow("ProfListPage.ProfList.ToProf")
+    )
+    depts = (
+        EntryPointScan("DeptListPage")
+        .unnest("DeptListPage.DeptList")
+        .follow("DeptListPage.DeptList.ToDept")
+    )
+    courses = (
+        EntryPointScan("SessionListPage")
+        .unnest("SessionListPage.SesList")
+        .follow("SessionListPage.SesList.ToSes")
+        .unnest("SessionPage.CourseList")
+        .follow("SessionPage.CourseList.ToCourse")
+    )
+
+    view = ExternalView(scheme)
+    view.add(
+        ExternalRelation(
+            name="Dept",
+            attrs=("DName", "Address"),
+            navigations=(
+                DefaultNavigation.of(
+                    depts,
+                    {"DName": "DeptPage.DName", "Address": "DeptPage.Address"},
+                ),
+            ),
+        )
+    )
+    view.add(
+        ExternalRelation(
+            name="Professor",
+            attrs=("PName", "Rank", "email"),
+            navigations=(
+                DefaultNavigation.of(
+                    profs,
+                    {
+                        "PName": "ProfPage.PName",
+                        "Rank": "ProfPage.Rank",
+                        "email": "ProfPage.email",
+                    },
+                ),
+            ),
+        )
+    )
+    view.add(
+        ExternalRelation(
+            name="Course",
+            attrs=("CName", "Session", "Description", "Type"),
+            navigations=(
+                DefaultNavigation.of(
+                    courses,
+                    {
+                        "CName": "CoursePage.CName",
+                        "Session": "CoursePage.Session",
+                        "Description": "CoursePage.Description",
+                        "Type": "CoursePage.Type",
+                    },
+                ),
+            ),
+        )
+    )
+    view.add(
+        ExternalRelation(
+            name="CourseInstructor",
+            attrs=("CName", "PName"),
+            navigations=(
+                DefaultNavigation.of(
+                    profs.unnest("ProfPage.CourseList"),
+                    {
+                        "CName": "ProfPage.CourseList.CName",
+                        "PName": "ProfPage.PName",
+                    },
+                ),
+                DefaultNavigation.of(
+                    courses,
+                    {"CName": "CoursePage.CName", "PName": "CoursePage.PName"},
+                ),
+            ),
+        )
+    )
+    view.add(
+        ExternalRelation(
+            name="ProfDept",
+            attrs=("PName", "DName"),
+            navigations=(
+                DefaultNavigation.of(
+                    profs,
+                    {"PName": "ProfPage.PName", "DName": "ProfPage.DName"},
+                ),
+                DefaultNavigation.of(
+                    depts.unnest("DeptPage.ProfList"),
+                    {
+                        "PName": "DeptPage.ProfList.PName",
+                        "DName": "DeptPage.DName",
+                    },
+                ),
+            ),
+        )
+    )
+    return view
+
+
+def university(
+    config: Optional[UniversityConfig] = None,
+) -> SiteEnv:
+    """Build the Figure 1 site and its Section 5 relational view."""
+    site = build_university_site(config)
+    return _env(site, university_view(site.scheme))
+
+
+# --------------------------------------------------------------------- #
+# the bibliography view (Introduction example)
+# --------------------------------------------------------------------- #
+
+
+def bibliography_view(scheme: WebScheme) -> ExternalView:
+    """A publication-centric view with two complete default navigations:
+    via conferences (Introduction's path 1) and via authors (path 4)."""
+    via_conferences = (
+        EntryPointScan("BibHomePage")
+        .follow("BibHomePage.ToConfList")
+        .unnest("ConfListPage.ConfList")
+        .follow("ConfListPage.ConfList.ToConf")
+        .unnest("ConfPage.EditionList")
+        .follow("ConfPage.EditionList.ToEdition")
+        .unnest("EditionPage.PaperList")
+        .unnest("EditionPage.PaperList.AuthorList")
+    )
+    via_authors = (
+        EntryPointScan("BibHomePage")
+        .follow("BibHomePage.ToAuthorList")
+        .unnest("AuthorListPage.AuthorList")
+        .follow("AuthorListPage.AuthorList.ToAuthor")
+        .unnest("AuthorPage.PubList")
+    )
+    editions = (
+        EntryPointScan("BibHomePage")
+        .follow("BibHomePage.ToConfList")
+        .unnest("ConfListPage.ConfList")
+        .follow("ConfListPage.ConfList.ToConf")
+        .unnest("ConfPage.EditionList")
+    )
+
+    view = ExternalView(scheme)
+    view.add(
+        ExternalRelation(
+            name="PaperAuthor",
+            attrs=("ConfName", "Year", "Title", "AName"),
+            navigations=(
+                DefaultNavigation.of(
+                    via_conferences,
+                    {
+                        "ConfName": "EditionPage.ConfName",
+                        "Year": "EditionPage.Year",
+                        "Title": "EditionPage.PaperList.Title",
+                        "AName": "EditionPage.PaperList.AuthorList.AName",
+                    },
+                ),
+                DefaultNavigation.of(
+                    via_authors,
+                    {
+                        "ConfName": "AuthorPage.PubList.ConfName",
+                        "Year": "AuthorPage.PubList.Year",
+                        "Title": "AuthorPage.PubList.Title",
+                        "AName": "AuthorPage.AName",
+                    },
+                ),
+            ),
+        )
+    )
+    view.add(
+        ExternalRelation(
+            name="Edition",
+            attrs=("ConfName", "Year", "Editors"),
+            navigations=(
+                DefaultNavigation.of(
+                    editions,
+                    {
+                        "ConfName": "ConfPage.ConfName",
+                        "Year": "ConfPage.EditionList.Year",
+                        "Editors": "ConfPage.EditionList.Editors",
+                    },
+                ),
+            ),
+        )
+    )
+    return view
+
+
+def bibliography(
+    config: Optional[BibliographyConfig] = None,
+) -> SiteEnv:
+    """Build the Introduction's bibliography site and its view."""
+    site = build_bibliography_site(config)
+    return _env(site, bibliography_view(site.scheme))
+
+
+# --------------------------------------------------------------------- #
+# the movie view (optional-link showcase)
+# --------------------------------------------------------------------- #
+
+
+def movie_view(scheme: WebScheme) -> ExternalView:
+    """Three external relations over the movie site.
+
+    ``MovieDirector`` is defined through the director-side navigation only:
+    the movie-side *link* navigation would silently drop independent movies
+    (optional ``ToDirector``), so it does not materialize the full extent.
+    """
+    movies_nav = (
+        EntryPointScan("MovieListPage")
+        .unnest("MovieListPage.Movies")
+        .follow("MovieListPage.Movies.ToMovie")
+    )
+    directors_nav = (
+        EntryPointScan("DirectorListPage")
+        .unnest("DirectorListPage.Directors")
+        .follow("DirectorListPage.Directors.ToDirector")
+    )
+    view = ExternalView(scheme)
+    view.add(
+        ExternalRelation(
+            "Movie",
+            ("Title", "Year", "Genre"),
+            (
+                DefaultNavigation.of(
+                    movies_nav,
+                    {
+                        "Title": "MoviePage.Title",
+                        "Year": "MoviePage.Year",
+                        "Genre": "MoviePage.Genre",
+                    },
+                ),
+            ),
+        )
+    )
+    view.add(
+        ExternalRelation(
+            "Director",
+            ("DName",),
+            (
+                DefaultNavigation.of(
+                    directors_nav, {"DName": "DirectorPage.DName"}
+                ),
+            ),
+        )
+    )
+    view.add(
+        ExternalRelation(
+            "MovieDirector",
+            ("Title", "DName"),
+            (
+                DefaultNavigation.of(
+                    directors_nav.unnest("DirectorPage.Filmography"),
+                    {
+                        "Title": "DirectorPage.Filmography.Title",
+                        "DName": "DirectorPage.DName",
+                    },
+                ),
+            ),
+        )
+    )
+    return view
+
+
+def movies(config: Optional[MovieConfig] = None) -> SiteEnv:
+    """Build the movie site (optional links) and its view."""
+    site = build_movie_site(config)
+    return _env(site, movie_view(site.scheme))

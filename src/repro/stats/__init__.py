@@ -1,0 +1,29 @@
+"""Site statistics for the cost model (paper, Section 6.2).
+
+The cost function assumes "the knowledge of several quantitative parameters
+that describe data distribution in the site ... initially estimated
+exploring the site by means of a tool such as WebSQL":
+
+(a) ``|P|`` — page-scheme cardinality;
+(b) ``|L|`` — average number of items in nested attribute L;
+(c) ``c_A`` — number of distinct values for attribute A;
+(d) join selectivities (derived from the distinct counts by default).
+
+:class:`~repro.stats.statistics.SiteStatistics` stores them;
+:class:`~repro.stats.estimator.SiteExplorer` estimates them by crawling (our
+stand-in for WebSQL exploration); :mod:`repro.stats.exact` computes them
+exactly from a simulated server (the oracle used to validate the
+estimator and to reproduce the paper's formulas precisely).
+"""
+
+from repro.stats.statistics import SiteStatistics, StatsCollector
+from repro.stats.estimator import SiteExplorer, estimate_statistics
+from repro.stats.exact import exact_statistics
+
+__all__ = [
+    "SiteStatistics",
+    "StatsCollector",
+    "SiteExplorer",
+    "estimate_statistics",
+    "exact_statistics",
+]

@@ -1,0 +1,34 @@
+"""Exact statistics from a simulated server (oracle).
+
+Bypasses the network model entirely: iterates every resource the server
+holds (using the generator-recorded page-scheme tags) and wraps it.  Used to
+validate the crawler's estimates and to reproduce the paper's worked cost
+numbers without sampling noise.
+"""
+
+from __future__ import annotations
+
+from repro.adm.scheme import WebScheme
+from repro.stats.statistics import SiteStatistics, StatsCollector
+from repro.web.server import SimulatedWebServer
+from repro.wrapper.wrapper import WrapperRegistry
+
+__all__ = ["exact_statistics"]
+
+
+def exact_statistics(
+    scheme: WebScheme,
+    server: SimulatedWebServer,
+    registry: WrapperRegistry,
+) -> SiteStatistics:
+    """Wrap every served page and build exact statistics."""
+    collector = StatsCollector()
+    for url in server.urls():
+        resource = server.resource(url)
+        if not resource.page_scheme or resource.page_scheme not in scheme.page_schemes:
+            continue
+        plain = registry.wrap(resource.page_scheme, url, resource.html)
+        collector.observe(
+            resource.page_scheme, plain, byte_size=len(resource.html)
+        )
+    return collector.build()

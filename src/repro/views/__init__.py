@@ -1,0 +1,34 @@
+"""Relational views over web schemes (paper, Section 5).
+
+* :mod:`repro.views.external` — external relations with their default
+  navigations (computable NALG expressions materializing the extent);
+* :mod:`repro.views.conjunctive` — conjunctive queries over the external
+  view;
+* :mod:`repro.views.sql` — a small SELECT/FROM/WHERE front-end for
+  conjunctive queries;
+* :mod:`repro.views.translate` — Algorithm 1 step 1: conjunctive query →
+  relational algebra over external-relation scans.
+"""
+
+from repro.views.external import DefaultNavigation, ExternalRelation, ExternalView
+from repro.views.derive import (
+    covering_links,
+    derive_external_relation,
+    derive_navigations,
+)
+from repro.views.conjunctive import ConjunctiveQuery, RelOccurrence
+from repro.views.translate import translate
+from repro.views.sql import parse_query
+
+__all__ = [
+    "DefaultNavigation",
+    "ExternalRelation",
+    "ExternalView",
+    "ConjunctiveQuery",
+    "RelOccurrence",
+    "translate",
+    "parse_query",
+    "covering_links",
+    "derive_navigations",
+    "derive_external_relation",
+]

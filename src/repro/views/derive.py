@@ -1,0 +1,139 @@
+"""Deriving default navigations by inference over inclusion constraints.
+
+Paper, Section 5: "We may think that the human designer examines the ADM
+scheme and defines all default navigations ... As an alternative, by
+inference over inclusion constraints, the system might be able to select
+default navigations among all possible navigations in the scheme."
+
+This module implements that alternative.  A navigation materializes the
+*full extent* of a page-scheme only if every link step it follows is
+*covering*:
+
+* an entry point covers itself (its single page is the extent);
+* a link ``L`` into page-scheme ``T`` is covering when every other link
+  into ``T`` is ⊆ ``L`` under the declared inclusion constraints — then
+  the set of ``L``'s values is the set of all reachable ``T`` pages, i.e.
+  the extent (the model's standing assumption: pages outside every link
+  are unreachable and hence not part of the instance);
+* a chain covers ``T`` when it reaches ``T`` through a covering link from
+  a page-scheme that is itself covered by the chain's prefix.
+
+:func:`derive_navigations` returns all covering chains (shortest first);
+:func:`derive_external_relation` packages the result as an
+:class:`~repro.views.external.ExternalRelation` whose attributes live on
+the target page.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adm.constraints import AttrRef
+from repro.adm.page_scheme import AttrPath
+from repro.adm.scheme import WebScheme
+from repro.algebra.ast import EntryPointScan, Expr
+from repro.errors import SchemeError
+from repro.views.external import DefaultNavigation, ExternalRelation
+
+__all__ = [
+    "covering_links",
+    "derive_navigations",
+    "derive_external_relation",
+]
+
+
+def covering_links(scheme: WebScheme, target: str) -> list[tuple]:
+    """All ``(source_scheme, link_path)`` into ``target`` that dominate
+    every other in-link under the inclusion constraints."""
+    in_links = list(scheme.in_links(target))
+    result = []
+    for source, path in in_links:
+        ref = AttrRef(source, path)
+        if all(
+            scheme.includes(AttrRef(other_source, other_path), ref)
+            for other_source, other_path in in_links
+            if (other_source, other_path) != (source, path)
+        ):
+            result.append((source, path))
+    return result
+
+
+def _extend_with_link(
+    expr: Expr, scheme: WebScheme, source: str, link_path: AttrPath
+) -> Expr:
+    """Unnest down to the link's level and follow it.  The chain visits
+    each page-scheme once, so attributes are qualified by the page-scheme
+    name itself."""
+    current = expr
+    prefix: tuple = ()
+    for step in link_path.steps[:-1]:
+        prefix = prefix + (step,)
+        current = current.unnest(f"{source}.{'.'.join(prefix)}")
+    return current.follow(f"{source}.{link_path}")
+
+
+def derive_navigations(
+    scheme: WebScheme,
+    target: str,
+    max_depth: int = 6,
+) -> list[Expr]:
+    """All covering navigation chains for ``target``, shortest first.
+
+    Chains never visit a page-scheme twice (the extent is reached without
+    cycles on every scheme the paper considers); ``max_depth`` bounds the
+    number of link steps.
+    """
+    scheme.page_scheme(target)  # validate
+
+    def cover(page: str, visited: frozenset, depth: int) -> list[Expr]:
+        chains: list[Expr] = []
+        if scheme.is_entry_point(page):
+            chains.append(EntryPointScan(page))
+        if depth <= 0:
+            return chains
+        for source, link_path in covering_links(scheme, page):
+            if source in visited or source == page:
+                continue
+            for prefix in cover(page=source,
+                                visited=visited | {source},
+                                depth=depth - 1):
+                chains.append(
+                    _extend_with_link(prefix, scheme, source, link_path)
+                )
+        return chains
+
+    found = cover(target, frozenset({target}), max_depth)
+    if not found:
+        raise SchemeError(
+            f"no covering navigation reaches {target!r}; declare more "
+            "inclusion constraints or add an entry point"
+        )
+    found.sort(key=lambda e: len(str(e)))
+    return found
+
+
+def derive_external_relation(
+    scheme: WebScheme,
+    name: str,
+    target: str,
+    attrs: tuple,
+    max_depth: int = 6,
+) -> ExternalRelation:
+    """Build an external relation over mono-valued attributes of ``target``
+    with automatically derived default navigations."""
+    ps = scheme.page_scheme(target)
+    for attr in attrs:
+        wtype = ps.attr_type(attr)
+        if wtype.is_nested():
+            raise SchemeError(
+                f"{target}.{attr} is multi-valued; derived relations take "
+                "mono-valued attributes only"
+            )
+    navigations = tuple(
+        DefaultNavigation.of(
+            body, {attr: f"{target}.{attr}" for attr in attrs}
+        )
+        for body in derive_navigations(scheme, target, max_depth)
+    )
+    return ExternalRelation(name=name, attrs=tuple(attrs),
+                            navigations=navigations)

@@ -1,0 +1,194 @@
+"""External relations and their default navigations (paper, Section 5).
+
+An external relation is what the user sees; its extent is not stored
+anywhere — it is *built by navigating the site*.  Each relation therefore
+carries one or more :class:`DefaultNavigation`\\ s: a computable NALG
+*body* (a navigation chain without the final projection) plus a *mapping*
+from external attribute names to the qualified attributes of the body that
+realize them.
+
+Keeping the body unprojected is what lets the optimizer work on pure
+qualified-name expressions (Algorithm 1 pushes the final projection last);
+``navigation_expr`` reconstructs the projected form when an extent is to be
+materialized directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.adm.scheme import WebScheme
+from repro.algebra.ast import (
+    EntryPointScan,
+    Expr,
+    ExternalRelScan,
+    FollowLink,
+    Project,
+    Select,
+    Unnest,
+)
+from repro.algebra.computable import check_computable
+from repro.errors import QueryError, SchemeError
+
+__all__ = [
+    "DefaultNavigation",
+    "ExternalRelation",
+    "ExternalView",
+    "realias_navigation",
+]
+
+
+@dataclass(frozen=True)
+class DefaultNavigation:
+    """A computable body plus the external-attr → qualified-attr mapping."""
+
+    body: Expr
+    mapping: Tuple[Tuple[str, str], ...]  # (external attr, qualified attr)
+
+    @classmethod
+    def of(cls, body: Expr, mapping: dict) -> "DefaultNavigation":
+        return cls(body=body, mapping=tuple(sorted(mapping.items())))
+
+    def mapping_dict(self) -> dict:
+        return dict(self.mapping)
+
+    def validate(self, scheme: WebScheme, attrs: Tuple[str, ...]) -> None:
+        check_computable(self.body, scheme)
+        schema = self.body.output_schema(scheme)
+        mapped = self.mapping_dict()
+        for attr in attrs:
+            if attr not in mapped:
+                raise SchemeError(
+                    f"default navigation does not map external attribute "
+                    f"{attr!r}"
+                )
+            if mapped[attr] not in schema:
+                raise SchemeError(
+                    f"default navigation maps {attr!r} to {mapped[attr]!r}, "
+                    f"which its body does not produce"
+                )
+
+
+@dataclass(frozen=True)
+class ExternalRelation:
+    """An external relation: name, attributes, default navigations."""
+
+    name: str
+    attrs: Tuple[str, ...]
+    navigations: Tuple[DefaultNavigation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attrs:
+            raise SchemeError(f"external relation {self.name!r} needs attributes")
+        if not self.navigations:
+            raise SchemeError(
+                f"external relation {self.name!r} needs at least one "
+                "default navigation"
+            )
+
+    def validate(self, scheme: WebScheme) -> None:
+        for nav in self.navigations:
+            nav.validate(scheme, self.attrs)
+
+    def scan(self, alias: str | None = None) -> ExternalRelScan:
+        return ExternalRelScan(self.name, self.attrs, alias)
+
+    def navigation_expr(self, index: int = 0, alias: str | None = None) -> Expr:
+        """The projected form of the ``index``-th default navigation (the
+        expression whose execution materializes the extent)."""
+        nav = self.navigations[index]
+        qualifier = alias or self.name
+        mapped = nav.mapping_dict()
+        outputs = tuple(
+            (f"{qualifier}.{attr}", mapped[attr]) for attr in self.attrs
+        )
+        return Project(nav.body, outputs)
+
+
+def _rewrite_qualifier(attr: str, alias_map: dict) -> str:
+    """Rewrite the leading alias segment of a qualified attribute."""
+    head, sep, rest = attr.partition(".")
+    if head in alias_map:
+        return f"{alias_map[head]}{sep}{rest}"
+    return attr
+
+
+def realias_navigation(
+    nav: DefaultNavigation, scheme: WebScheme, suffix: str
+) -> DefaultNavigation:
+    """A copy of ``nav`` whose page aliases carry ``@suffix``.
+
+    When a query mentions the same external relation twice (a self-join),
+    each occurrence's navigation must use distinct aliases — otherwise the
+    two navigations would be indistinguishable and rule 4 would wrongly
+    collapse them.  The suffix is appended to every entry-point alias and
+    every follow-link target alias, and all structural attribute names are
+    rewritten accordingly.
+    """
+    alias_map: dict[str, str] = {}
+
+    def go(expr: Expr) -> Expr:
+        if isinstance(expr, EntryPointScan):
+            new_alias = f"{expr.name}@{suffix}"
+            alias_map[expr.name] = new_alias
+            return EntryPointScan(expr.page_scheme, new_alias)
+        if isinstance(expr, Unnest):
+            child = go(expr.child)
+            return Unnest(child, _rewrite_qualifier(expr.attr, alias_map))
+        if isinstance(expr, FollowLink):
+            old_target = expr.target_alias(scheme)
+            child = go(expr.child)
+            new_target = f"{old_target}@{suffix}"
+            alias_map[old_target] = new_target
+            return FollowLink(
+                child, _rewrite_qualifier(expr.link_attr, alias_map), new_target
+            )
+        if isinstance(expr, Select):
+            child = go(expr.child)
+            mapping = {
+                a: _rewrite_qualifier(a, alias_map)
+                for a in expr.predicate.attrs()
+            }
+            return Select(child, expr.predicate.rename(mapping))
+        raise SchemeError(
+            f"cannot realias navigation containing {type(expr).__name__}"
+        )
+
+    body = go(nav.body)
+    mapping = {
+        attr: _rewrite_qualifier(qualified, alias_map)
+        for attr, qualified in nav.mapping
+    }
+    return DefaultNavigation.of(body, mapping)
+
+
+class ExternalView:
+    """The catalog of external relations offered to users."""
+
+    def __init__(self, scheme: WebScheme, relations: Iterable[ExternalRelation] = ()):
+        self.scheme = scheme
+        self._relations: dict[str, ExternalRelation] = {}
+        for rel in relations:
+            self.add(rel)
+
+    def add(self, relation: ExternalRelation) -> None:
+        if relation.name in self._relations:
+            raise SchemeError(f"duplicate external relation {relation.name!r}")
+        relation.validate(self.scheme)
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> ExternalRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise QueryError(f"unknown external relation {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)

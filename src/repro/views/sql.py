@@ -1,0 +1,218 @@
+"""A small SELECT/FROM/WHERE front-end for conjunctive queries.
+
+Grammar (case-insensitive keywords)::
+
+    query   := SELECT cols FROM rels [WHERE conds]
+    cols    := col ("," col)*
+    col     := ref [AS name]
+    rels    := rel ("," rel)*
+    rel     := name [name]                      -- optional alias
+    conds   := cond (AND cond)*
+    cond    := ref "=" (ref | string)
+             | ref IN "(" string ("," string)* ")"
+    ref     := name "." name | name             -- bare names are resolved
+                                                   when unambiguous
+    string  := "'" chars "'"
+
+This is deliberately the conjunctive fragment the paper scopes to
+(Section 5); there is no OR, no comparison other than equality/IN, no
+aggregation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.views.conjunctive import ConjunctiveQuery, RelOccurrence
+from repro.views.external import ExternalView
+
+__all__ = ["parse_query"]
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<string>'(?:[^']|'')*')"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<punct>[.,()=*]))"
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "as", "in"}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.items: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN.match(text, pos)
+            if match is None:
+                if text[pos:].strip():
+                    raise ParseError(
+                        f"cannot tokenize query at: {text[pos:pos + 20]!r}"
+                    )
+                break
+            pos = match.end()
+            if match.lastgroup == "string":
+                raw = match.group("string")[1:-1].replace("''", "'")
+                self.items.append(("string", raw))
+            elif match.lastgroup == "name":
+                name = match.group("name")
+                if name.lower() in _KEYWORDS:
+                    self.items.append(("kw", name.lower()))
+                else:
+                    self.items.append(("name", name))
+            else:
+                self.items.append(("punct", match.group("punct")))
+        self.pos = 0
+
+    def peek(self) -> Optional[tuple[str, str]]:
+        if self.pos < len(self.items):
+            return self.items[self.pos]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        item = self.peek()
+        if item is None:
+            raise ParseError("unexpected end of query")
+        self.pos += 1
+        return item
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        got_kind, got_value = self.next()
+        if got_kind != kind or (value is not None and got_value != value):
+            raise ParseError(
+                f"expected {value or kind}, got {got_value!r}"
+            )
+        return got_value
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[str]:
+        item = self.peek()
+        if item is None:
+            return None
+        got_kind, got_value = item
+        if got_kind == kind and (value is None or got_value == value):
+            self.pos += 1
+            return got_value
+        return None
+
+
+def _parse_ref(tokens: _Tokens) -> tuple[Optional[str], str]:
+    """Returns (alias_or_None, attr)."""
+    first = tokens.expect("name")
+    if tokens.accept("punct", "."):
+        second = tokens.expect("name")
+        return first, second
+    return None, first
+
+
+def parse_query(text: str, view: ExternalView) -> ConjunctiveQuery:
+    """Parse ``text`` into a :class:`ConjunctiveQuery` against ``view``.
+
+    Bare column names are resolved against the FROM relations; ambiguous or
+    unknown names raise :class:`~repro.errors.ParseError`.
+    """
+    tokens = _Tokens(text)
+    tokens.expect("kw", "select")
+
+    star = False
+    raw_cols: list[tuple[Optional[str], str, Optional[str]]] = []
+    if tokens.accept("punct", "*"):
+        star = True  # SELECT *: expanded once FROM is known
+    else:
+        while True:
+            alias, attr = _parse_ref(tokens)
+            out: Optional[str] = None
+            if tokens.accept("kw", "as"):
+                out = tokens.expect("name")
+            raw_cols.append((alias, attr, out))
+            if not tokens.accept("punct", ","):
+                break
+
+    tokens.expect("kw", "from")
+    occurrences: list[RelOccurrence] = []
+    while True:
+        rel = tokens.expect("name")
+        if rel not in view:
+            raise ParseError(f"unknown relation {rel!r} in FROM")
+        alias = tokens.accept("name") or rel
+        occurrences.append(RelOccurrence(alias, rel))
+        if not tokens.accept("punct", ","):
+            break
+
+    if star:
+        raw_cols = [
+            (occ.alias, attr, None)
+            for occ in occurrences
+            for attr in view.relation(occ.relation).attrs
+        ]
+
+    equalities: list[tuple[str, str]] = []
+    constants: list[tuple[str, str]] = []
+    memberships: list[tuple[str, tuple]] = []
+
+    def resolve(alias: Optional[str], attr: str) -> str:
+        if alias is not None:
+            if alias not in {o.alias for o in occurrences}:
+                raise ParseError(f"unknown alias {alias!r}")
+            return f"{alias}.{attr}"
+        owners = [
+            o.alias
+            for o in occurrences
+            if attr in view.relation(o.relation).attrs
+        ]
+        if not owners:
+            raise ParseError(f"no FROM relation has attribute {attr!r}")
+        if len(owners) > 1:
+            raise ParseError(
+                f"ambiguous attribute {attr!r} (in {owners}); qualify it"
+            )
+        return f"{owners[0]}.{attr}"
+
+    if tokens.accept("kw", "where"):
+        while True:
+            alias, attr = _parse_ref(tokens)
+            left = resolve(alias, attr)
+            if tokens.accept("kw", "in"):
+                tokens.expect("punct", "(")
+                values = [tokens.expect("string")]
+                while tokens.accept("punct", ","):
+                    values.append(tokens.expect("string"))
+                tokens.expect("punct", ")")
+                memberships.append((left, tuple(values)))
+            else:
+                tokens.expect("punct", "=")
+                kind, value = tokens.next()
+                if kind == "string":
+                    constants.append((left, value))
+                elif kind == "name":
+                    if tokens.accept("punct", "."):
+                        attr2 = tokens.expect("name")
+                        right = resolve(value, attr2)
+                    else:
+                        right = resolve(None, value)
+                    equalities.append((left, right))
+                else:
+                    raise ParseError(f"bad right-hand side {value!r}")
+            if not tokens.accept("kw", "and"):
+                break
+
+    if tokens.peek() is not None:
+        raise ParseError(f"trailing tokens at {tokens.peek()!r}")
+
+    head = []
+    used_names: set[str] = set()
+    for alias, attr, out in raw_cols:
+        ref = resolve(alias, attr)
+        name = out or attr
+        if name in used_names:
+            name = ref  # disambiguate duplicate output names
+        used_names.add(name)
+        head.append((name, ref))
+
+    return ConjunctiveQuery(
+        head=tuple(head),
+        occurrences=tuple(occurrences),
+        equalities=tuple(equalities),
+        constants=tuple(constants),
+        memberships=tuple(memberships),
+    )

@@ -1,0 +1,91 @@
+"""Algorithm 1, step 1: conjunctive query → relational algebra.
+
+Produces ``Project(Select?(join tree over ExternalRelScans))``: a left-deep
+join tree driven by the query's cross-occurrence equalities (equalities
+that cannot serve as join conditions — and all constant/membership
+restrictions — become selection atoms above the joins; the optimizer pushes
+them back down in step 5).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import Expr, Join, Project, Select
+from repro.algebra.predicates import AttrEq, Atom, Comparison, In, Predicate
+from repro.errors import QueryError
+from repro.views.conjunctive import ConjunctiveQuery
+from repro.views.external import ExternalView
+
+__all__ = ["translate"]
+
+
+def _check_ref(ref: str, query: ConjunctiveQuery, view: ExternalView) -> None:
+    alias, sep, attr = ref.partition(".")
+    if not sep:
+        raise QueryError(f"attribute reference {ref!r} must be alias.attr")
+    alias_map = query.alias_map()
+    if alias not in alias_map:
+        raise QueryError(f"unknown alias {alias!r} in reference {ref!r}")
+    relation = view.relation(alias_map[alias])
+    if attr not in relation.attrs:
+        raise QueryError(
+            f"relation {relation.name!r} has no attribute {attr!r} "
+            f"(reference {ref!r})"
+        )
+
+
+def translate(query: ConjunctiveQuery, view: ExternalView) -> Expr:
+    """Build the algebra expression over external-relation scans."""
+    for ref in query.refs():
+        _check_ref(ref, query, view)
+
+    scans = {
+        occ.alias: view.relation(occ.relation).scan(occ.alias)
+        for occ in query.occurrences
+    }
+
+    def alias_of(ref: str) -> str:
+        return ref.partition(".")[0]
+
+    # Build a left-deep join tree, consuming equalities greedily.
+    remaining_eq = list(query.equalities)
+    order = [occ.alias for occ in query.occurrences]
+    joined_aliases = {order[0]}
+    expr: Expr = scans[order[0]]
+    pending = [a for a in order[1:]]
+    def connected(alias: str) -> bool:
+        for a, b in remaining_eq:
+            aa, ab = alias_of(a), alias_of(b)
+            if (aa == alias and ab in joined_aliases) or (
+                ab == alias and aa in joined_aliases
+            ):
+                return True
+        return False
+
+    while pending:
+        # prefer an alias connected to the joined part by some equality
+        chosen = next((al for al in pending if connected(al)), pending[0])
+        pending.remove(chosen)
+        pairs = []
+        rest = []
+        for a, b in remaining_eq:
+            aa, ab = alias_of(a), alias_of(b)
+            if aa in joined_aliases and ab == chosen:
+                pairs.append((a, b))
+            elif ab in joined_aliases and aa == chosen:
+                pairs.append((b, a))
+            else:
+                rest.append((a, b))
+        remaining_eq = rest
+        expr = Join(expr, scans[chosen], tuple(pairs))
+        joined_aliases.add(chosen)
+
+    atoms: list[Atom] = []
+    for a, b in remaining_eq:
+        atoms.append(AttrEq(a, b))
+    for ref, value in query.constants:
+        atoms.append(Comparison(ref, value))
+    for ref, values in query.memberships:
+        atoms.append(In(ref, tuple(values)))
+    if atoms:
+        expr = Select(expr, Predicate(atoms))
+    return Project(expr, tuple(query.head))

@@ -1,0 +1,27 @@
+"""Simulated web substrate.
+
+The paper's cost model counts only network interactions: full page downloads
+(GETs) and, for materialized-view maintenance, "light connections" that
+exchange just an error flag and the last-modification date (HEADs).  This
+package provides an in-process web that measures exactly those quantities:
+
+* :mod:`repro.web.resources` — a served resource (HTML + last-modified);
+* :mod:`repro.web.server` — URL → resource mapping with a mutation API that
+  bumps modification dates (the autonomous "site manager");
+* :mod:`repro.web.client` — GET/HEAD client with an :class:`AccessLog`.
+"""
+
+from repro.web.resources import HeadResponse, WebResource
+from repro.web.server import SimulatedWebServer
+from repro.web.client import AccessLog, WebClient
+from repro.web.network import NetworkModel, MODEM_1998
+
+__all__ = [
+    "WebResource",
+    "HeadResponse",
+    "SimulatedWebServer",
+    "WebClient",
+    "AccessLog",
+    "NetworkModel",
+    "MODEM_1998",
+]

@@ -1,0 +1,123 @@
+"""The web client and its access log.
+
+:class:`AccessLog` is the measured counterpart of the paper's cost function:
+``page_downloads`` counts full GETs (the paper's only cost for virtual
+views) and ``light_connections`` counts HEADs (Section 8's cheap checks).
+The executor resets or snapshots the log around each query to report
+per-query costs.
+
+``WebClient.get`` always performs a *network* download — deduplication of
+repeated accesses within one query is the executor's job (the paper counts
+"pages downloaded", and a sensible engine never re-fetches a page it already
+holds for the current query), implemented by
+:class:`repro.engine.session.QuerySession`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import Optional
+
+from repro.errors import ResourceNotFound
+from repro.web.network import MODEM_1998, NetworkModel
+from repro.web.resources import HeadResponse, WebResource
+from repro.web.server import SimulatedWebServer
+
+__all__ = ["AccessLog", "WebClient"]
+
+
+@dataclass
+class AccessLog:
+    """Counts of network interactions performed through a client."""
+
+    page_downloads: int = 0
+    light_connections: int = 0
+    failed_requests: int = 0
+    bytes_downloaded: int = 0
+    simulated_seconds: float = 0.0
+    downloaded_urls: list = field(default_factory=list)
+
+    def snapshot(self) -> "AccessLog":
+        """A frozen copy of the current counters."""
+        return AccessLog(
+            page_downloads=self.page_downloads,
+            light_connections=self.light_connections,
+            failed_requests=self.failed_requests,
+            bytes_downloaded=self.bytes_downloaded,
+            simulated_seconds=self.simulated_seconds,
+            downloaded_urls=list(self.downloaded_urls),
+        )
+
+    def delta(self, earlier: "AccessLog") -> "AccessLog":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return AccessLog(
+            page_downloads=self.page_downloads - earlier.page_downloads,
+            light_connections=self.light_connections - earlier.light_connections,
+            failed_requests=self.failed_requests - earlier.failed_requests,
+            bytes_downloaded=self.bytes_downloaded - earlier.bytes_downloaded,
+            simulated_seconds=self.simulated_seconds - earlier.simulated_seconds,
+            downloaded_urls=self.downloaded_urls[len(earlier.downloaded_urls):],
+        )
+
+    def reset(self) -> None:
+        self.page_downloads = 0
+        self.light_connections = 0
+        self.failed_requests = 0
+        self.bytes_downloaded = 0
+        self.simulated_seconds = 0.0
+        self.downloaded_urls = []
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessLog(downloads={self.page_downloads}, "
+            f"light={self.light_connections}, failed={self.failed_requests}, "
+            f"bytes={self.bytes_downloaded})"
+        )
+
+
+class WebClient:
+    """GET/HEAD access to a :class:`SimulatedWebServer`, with accounting.
+
+    ``network`` translates accesses into simulated wall time (defaults to
+    the 1998-flavoured model); purely informational — the optimizer's cost
+    function counts pages, as in the paper."""
+
+    def __init__(
+        self,
+        server: SimulatedWebServer,
+        network: Optional[NetworkModel] = None,
+    ):
+        self.server = server
+        self.network = network or MODEM_1998
+        self.log = AccessLog()
+
+    def get(self, url: str) -> WebResource:
+        """Download a page (one network access).  Raises ResourceNotFound
+        after counting the failed request."""
+        try:
+            resource = self.server.resource(url)
+        except ResourceNotFound:
+            self.log.failed_requests += 1
+            raise
+        self.log.page_downloads += 1
+        self.log.bytes_downloaded += len(resource.html)
+        self.log.simulated_seconds += self.network.get_seconds(
+            len(resource.html)
+        )
+        self.log.downloaded_urls.append(url)
+        return resource
+
+    def head(self, url: str) -> HeadResponse:
+        """Open a light connection: returns error flag + modification date
+        without downloading the page (paper, Section 8).  Never raises —
+        a missing page is reported through ``ok=False``."""
+        self.log.light_connections += 1
+        self.log.simulated_seconds += self.network.head_seconds()
+        if not self.server.exists(url):
+            return HeadResponse(url=url, ok=False, last_modified=0)
+        resource = self.server.resource(url)
+        return HeadResponse(url=url, ok=True, last_modified=resource.last_modified)
+
+    def __repr__(self) -> str:
+        return f"WebClient({self.log!r})"

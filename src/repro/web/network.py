@@ -1,0 +1,50 @@
+"""A simple network time model.
+
+The paper's cost model counts pages because, in 1998, the dominant cost of
+a page was fixed connection overhead; Section 8 additionally relies on
+light connections being "quite fast, since they do not require to download
+the HTML source".  This model makes both statements quantitative so that
+experiments can report simulated wall time next to page counts:
+
+* a full GET costs one round trip plus transfer time (bytes / bandwidth);
+* a HEAD costs one round trip only.
+
+Defaults approximate a 1998 dial-up connection: 250 ms round trip,
+33.6 kbit/s (≈4200 bytes/s) throughput.  The model is deliberately simple
+(no pipelining, no parallel
+connections) — it is a reporting aid, not part of the optimizer's cost
+function (which stays faithful to the paper's page counting; byte-aware
+tie-breaking is separate, see ``CostModel.bytes_cost``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "MODEM_1998"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Round-trip latency plus throughput."""
+
+    rtt_seconds: float = 0.25
+    bytes_per_second: float = 4200.0
+
+    def __post_init__(self) -> None:
+        if self.rtt_seconds < 0:
+            raise ValueError("rtt must be non-negative")
+        if self.bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def get_seconds(self, byte_size: int) -> float:
+        """Time to download a page of ``byte_size`` bytes."""
+        return self.rtt_seconds + byte_size / self.bytes_per_second
+
+    def head_seconds(self) -> float:
+        """Time for a light connection (headers only)."""
+        return self.rtt_seconds
+
+
+#: The default 1998-flavoured model.
+MODEM_1998 = NetworkModel()

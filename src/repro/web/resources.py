@@ -1,0 +1,43 @@
+"""Served resources and HEAD responses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WebResource", "HeadResponse"]
+
+
+@dataclass
+class WebResource:
+    """A page served by the simulated web server.
+
+    ``page_scheme`` records which ADM page-scheme the page instantiates; real
+    servers obviously don't expose this, and none of the query machinery
+    reads it from here — it exists for test assertions and for building
+    exact statistics oracles.
+    """
+
+    url: str
+    html: str
+    last_modified: int
+    page_scheme: str = ""
+
+    def __repr__(self) -> str:
+        return (
+            f"WebResource({self.url!r}, {len(self.html)} bytes, "
+            f"modified={self.last_modified})"
+        )
+
+
+@dataclass(frozen=True)
+class HeadResponse:
+    """What a light connection returns: an error flag and the modification
+    date (paper, Section 8)."""
+
+    url: str
+    ok: bool
+    last_modified: int
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "missing"
+        return f"HeadResponse({self.url!r}, {status}, modified={self.last_modified})"

@@ -1,0 +1,102 @@
+"""The simulated web server.
+
+Holds the URL → :class:`WebResource` map and exposes the *site manager's*
+mutation API: publishing, updating and deleting pages.  Every mutation
+advances the shared logical clock and stamps the affected resource, so light
+connections observe fresh ``Last-Modified`` dates — exactly the signal the
+paper's Section 8 maintenance algorithms rely on.
+
+The server itself never counts accesses; accounting lives in the client so
+that concurrent clients (virtual-view executor, materializer, statistics
+crawler) can be measured independently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.clock import SimClock
+from repro.errors import ResourceNotFound, WebError
+from repro.web.resources import WebResource
+
+__all__ = ["SimulatedWebServer"]
+
+
+class SimulatedWebServer:
+    """In-process map of URLs to resources, with a mutation API."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock or SimClock()
+        self._resources: dict[str, WebResource] = {}
+
+    # ------------------------------------------------------------------ #
+    # site-manager API (publish / update / delete)
+    # ------------------------------------------------------------------ #
+
+    def publish(self, url: str, html: str, page_scheme: str = "") -> WebResource:
+        """Create or replace the page at ``url`` (advances the clock)."""
+        if not url:
+            raise WebError("cannot publish at an empty URL")
+        stamp = self.clock.tick()
+        resource = WebResource(
+            url=url, html=html, last_modified=stamp, page_scheme=page_scheme
+        )
+        self._resources[url] = resource
+        return resource
+
+    def update(self, url: str, html: str) -> WebResource:
+        """Replace the HTML of an existing page (advances the clock)."""
+        existing = self._require(url)
+        stamp = self.clock.tick()
+        existing.html = html
+        existing.last_modified = stamp
+        return existing
+
+    def delete(self, url: str) -> None:
+        """Remove the page at ``url``; later GET/HEADs see it as missing."""
+        self._require(url)
+        del self._resources[url]
+        self.clock.tick()
+
+    def touch(self, url: str) -> WebResource:
+        """Bump a page's modification date without changing its content
+        (models a no-op edit; forces maintenance to re-download)."""
+        existing = self._require(url)
+        existing.last_modified = self.clock.tick()
+        return existing
+
+    # ------------------------------------------------------------------ #
+    # serving API (used by WebClient only)
+    # ------------------------------------------------------------------ #
+
+    def resource(self, url: str) -> WebResource:
+        """Return the live resource (raises ResourceNotFound)."""
+        return self._require(url)
+
+    def exists(self, url: str) -> bool:
+        return url in self._resources
+
+    def urls(self) -> Iterator[str]:
+        """All currently served URLs (site-manager view, not crawlable)."""
+        return iter(sorted(self._resources))
+
+    def urls_of_scheme(self, page_scheme: str) -> list[str]:
+        """URLs whose resource was published for ``page_scheme`` (oracle
+        helper for tests and exact statistics; not part of the web model)."""
+        return sorted(
+            url
+            for url, res in self._resources.items()
+            if res.page_scheme == page_scheme
+        )
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def _require(self, url: str) -> WebResource:
+        try:
+            return self._resources[url]
+        except KeyError:
+            raise ResourceNotFound(url) from None
+
+    def __repr__(self) -> str:
+        return f"SimulatedWebServer({len(self._resources)} resources)"

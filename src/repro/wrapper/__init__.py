@@ -1,0 +1,34 @@
+"""HTML wrappers: pages → nested tuples.
+
+The paper *assumes* suitable wrappers exist (Section 3.1, citing Minerva and
+EDITOR); here we build them:
+
+* :mod:`repro.wrapper.dom` — a small DOM over :mod:`html.parser`;
+* :mod:`repro.wrapper.spec` — declarative extraction specs (selector-based
+  rules mapping DOM regions to attributes);
+* :mod:`repro.wrapper.wrapper` — :class:`PageWrapper` applies a spec to a
+  page and yields the nested tuple; :class:`WrapperRegistry` holds one
+  wrapper per page-scheme;
+* :mod:`repro.wrapper.conventions` — derives a spec automatically from a
+  :class:`~repro.adm.page_scheme.PageScheme` for sites emitted by
+  :mod:`repro.sitegen` (hand-written specs remain possible for irregular
+  sites).
+"""
+
+from repro.wrapper.dom import Node, parse_html, Selector
+from repro.wrapper.spec import AtomRule, ListRule, ExtractionSpec
+from repro.wrapper.wrapper import PageWrapper, WrapperRegistry
+from repro.wrapper.conventions import spec_for_page_scheme, registry_for_scheme
+
+__all__ = [
+    "Node",
+    "parse_html",
+    "Selector",
+    "AtomRule",
+    "ListRule",
+    "ExtractionSpec",
+    "PageWrapper",
+    "WrapperRegistry",
+    "spec_for_page_scheme",
+    "registry_for_scheme",
+]

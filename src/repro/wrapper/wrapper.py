@@ -1,0 +1,114 @@
+"""Page wrappers: apply an extraction spec and type-check the result.
+
+:class:`PageWrapper` turns one page's HTML into the nested tuple demanded by
+its page-scheme: extraction per the spec, link resolution (relative hrefs
+are resolved against the page URL), and a structural check that the result
+matches the page-scheme's web types.  :class:`WrapperRegistry` keeps one
+wrapper per page-scheme and is what the executors carry around.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+from urllib.parse import urljoin
+
+from repro.adm.page_scheme import PageScheme, URL_ATTR
+from repro.adm.webtypes import LinkType, ListType, WebType
+from repro.errors import WrapperError
+from repro.wrapper.dom import parse_html
+from repro.wrapper.spec import ExtractionSpec
+
+__all__ = ["PageWrapper", "WrapperRegistry"]
+
+
+class PageWrapper:
+    """Wraps pages of one page-scheme into nested tuples."""
+
+    def __init__(self, page_scheme: PageScheme, spec: ExtractionSpec):
+        if spec.page_scheme != page_scheme.name:
+            raise WrapperError(
+                f"spec is for {spec.page_scheme!r}, not {page_scheme.name!r}"
+            )
+        self.page_scheme = page_scheme
+        self.spec = spec
+
+    def wrap(self, url: str, html: str) -> dict:
+        """Extract the nested tuple for the page at ``url``.
+
+        The returned dict is keyed by *plain* attribute names and includes
+        the implicit ``URL`` attribute.  Link values are absolute URLs.
+        """
+        root = parse_html(html)
+        raw = self.spec.extract(root)
+        row = {URL_ATTR: url}
+        for attr in self.page_scheme.attributes:
+            if attr.name not in raw:
+                raise WrapperError(
+                    f"{self.page_scheme.name}: spec produced no value for "
+                    f"{attr.name!r}"
+                )
+            row[attr.name] = self._coerce(attr.name, attr.wtype, raw[attr.name], url)
+        return row
+
+    def _coerce(self, name: str, wtype: WebType, value, base_url: str):
+        if isinstance(wtype, ListType):
+            if not isinstance(value, list):
+                raise WrapperError(
+                    f"{self.page_scheme.name}.{name}: expected a list, "
+                    f"got {type(value).__name__}"
+                )
+            rows = []
+            for sub in value:
+                row = {}
+                for fname, ftype in wtype.fields:
+                    if fname not in sub:
+                        raise WrapperError(
+                            f"{self.page_scheme.name}.{name}: item lacks "
+                            f"field {fname!r}"
+                        )
+                    row[fname] = self._coerce(
+                        f"{name}.{fname}", ftype, sub[fname], base_url
+                    )
+                rows.append(row)
+            return rows
+        if value is None:
+            if isinstance(wtype, LinkType) and not wtype.optional:
+                raise WrapperError(
+                    f"{self.page_scheme.name}.{name}: non-optional link is null"
+                )
+            return None
+        if isinstance(value, list):
+            raise WrapperError(
+                f"{self.page_scheme.name}.{name}: expected an atom, got a list"
+            )
+        if isinstance(wtype, LinkType):
+            return urljoin(base_url, value)
+        return value
+
+
+class WrapperRegistry:
+    """One wrapper per page-scheme; raises for unknown schemes."""
+
+    def __init__(self, wrappers: Optional[dict[str, PageWrapper]] = None):
+        self._wrappers: dict[str, PageWrapper] = dict(wrappers or {})
+
+    def register(self, wrapper: PageWrapper) -> None:
+        self._wrappers[wrapper.page_scheme.name] = wrapper
+
+    def wrapper(self, page_scheme: str) -> PageWrapper:
+        try:
+            return self._wrappers[page_scheme]
+        except KeyError:
+            raise WrapperError(
+                f"no wrapper registered for page-scheme {page_scheme!r}"
+            ) from None
+
+    def wrap(self, page_scheme: str, url: str, html: str) -> dict:
+        """Convenience: wrap one page of the given page-scheme."""
+        return self.wrapper(page_scheme).wrap(url, html)
+
+    def __contains__(self, page_scheme: str) -> bool:
+        return page_scheme in self._wrappers
+
+    def __len__(self) -> int:
+        return len(self._wrappers)

@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Environment construction (site generation + full wrap for exact statistics)
+is the expensive part of most tests, so the standard environments are
+session-scoped and treated as read-only by the tests that share them.
+Tests that mutate a site build their own environment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sitegen import (
+    BibliographyConfig,
+    UniversityConfig,
+)
+from repro.sites import bibliography, university
+
+
+#: Paper cardinalities (Example 7.2): 3 departments, 20 professors,
+#: 50 courses.
+PAPER_CONFIG = UniversityConfig()
+
+#: A small configuration for fast mutation tests.
+SMALL_CONFIG = UniversityConfig(n_depts=2, n_profs=6, n_courses=12)
+
+SMALL_BIB_CONFIG = BibliographyConfig(
+    n_conferences=4,
+    n_db_conferences=2,
+    years_per_conf=5,
+    papers_per_edition=3,
+    n_authors=40,
+)
+
+
+@pytest.fixture(scope="session")
+def uni_env():
+    """Paper-sized university environment (read-only)."""
+    return university(PAPER_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bib_env():
+    """Small bibliography environment (read-only)."""
+    return bibliography(SMALL_BIB_CONFIG)
+
+
+@pytest.fixture()
+def small_env():
+    """A small university environment private to one test (mutable)."""
+    return university(SMALL_CONFIG)

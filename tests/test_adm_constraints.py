@@ -1,0 +1,186 @@
+"""Tests for link and inclusion constraints."""
+
+import pytest
+
+from repro.adm.constraints import AttrRef, InclusionConstraint, LinkConstraint
+from repro.adm.page_scheme import AttrPath, Attribute, PageScheme
+from repro.adm.webtypes import TEXT, link, list_of
+from repro.errors import ConstraintError
+
+
+@pytest.fixture()
+def schemes():
+    dept = PageScheme(
+        "DeptPage",
+        [
+            Attribute("DName", TEXT),
+            Attribute(
+                "ProfList",
+                list_of(("PName", TEXT), ("ToProf", link("ProfPage"))),
+            ),
+        ],
+    )
+    prof = PageScheme(
+        "ProfPage",
+        [
+            Attribute("PName", TEXT),
+            Attribute("DName", TEXT),
+            Attribute("ToDept", link("DeptPage")),
+        ],
+    )
+    prof_list = PageScheme(
+        "ProfListPage",
+        [
+            Attribute(
+                "ProfList",
+                list_of(("PName", TEXT), ("ToProf", link("ProfPage"))),
+            )
+        ],
+    )
+    return {ps.name: ps for ps in (dept, prof, prof_list)}
+
+
+class TestAttrRef:
+    def test_parse(self):
+        ref = AttrRef.parse("ProfPage.CourseList.ToCourse")
+        assert ref.scheme == "ProfPage"
+        assert ref.path == AttrPath.parse("CourseList.ToCourse")
+
+    def test_parse_requires_two_parts(self):
+        with pytest.raises(ConstraintError):
+            AttrRef.parse("ProfPage")
+
+    def test_str(self):
+        assert str(AttrRef.parse("A.b.c")) == "A.b.c"
+
+
+class TestLinkConstraint:
+    def test_parse(self, schemes):
+        lc = LinkConstraint.parse(
+            "ProfPage.ToDept", "ProfPage.DName = DeptPage.DName"
+        )
+        assert lc.source == "ProfPage"
+        assert lc.link_path == AttrPath.parse("ToDept")
+        assert lc.source_attr == AttrPath.parse("DName")
+        assert lc.target == "DeptPage"
+        lc.validate(schemes)
+
+    def test_parse_reversed_equality(self, schemes):
+        lc = LinkConstraint.parse(
+            "ProfPage.ToDept", "DeptPage.DName = ProfPage.DName"
+        )
+        assert lc.source == "ProfPage"
+        lc.validate(schemes)
+
+    def test_parse_requires_equals(self):
+        with pytest.raises(ConstraintError):
+            LinkConstraint.parse("A.L", "A.x B.y")
+
+    def test_parse_rejects_unrelated_sides(self):
+        with pytest.raises(ConstraintError):
+            LinkConstraint.parse("A.L", "B.x = C.y")
+
+    def test_validate_unknown_scheme(self, schemes):
+        lc = LinkConstraint.parse("Nope.ToDept", "Nope.D = DeptPage.DName")
+        with pytest.raises(ConstraintError):
+            lc.validate(schemes)
+
+    def test_validate_non_link_attribute(self, schemes):
+        lc = LinkConstraint.parse(
+            "ProfPage.PName", "ProfPage.DName = DeptPage.DName"
+        )
+        with pytest.raises(ConstraintError):
+            lc.validate(schemes)
+
+    def test_validate_wrong_target(self, schemes):
+        lc = LinkConstraint.parse(
+            "ProfPage.ToDept", "ProfPage.DName = ProfListPage.DName"
+        )
+        with pytest.raises(ConstraintError):
+            lc.validate(schemes)
+
+    def test_validate_nested_source_attr_at_link_level(self, schemes):
+        lc = LinkConstraint.parse(
+            "DeptPage.ProfList.ToProf",
+            "DeptPage.ProfList.PName = ProfPage.PName",
+        )
+        lc.validate(schemes)
+
+    def test_validate_rejects_mismatched_nesting(self, schemes):
+        # source attr in a different list than the link
+        dept = schemes["DeptPage"]
+        other = PageScheme(
+            "DeptPage2",
+            [
+                Attribute("A", list_of(("X", TEXT))),
+                Attribute("L", list_of(("ToProf", link("ProfPage")))),
+            ],
+        )
+        schemes2 = dict(schemes)
+        schemes2["DeptPage2"] = other
+        lc = LinkConstraint.parse(
+            "DeptPage2.L.ToProf", "DeptPage2.A.X = ProfPage.PName"
+        )
+        with pytest.raises(ConstraintError):
+            lc.validate(schemes2)
+
+    def test_enclosing_level_source_attr_is_allowed(self, schemes):
+        # SessionPage.Session = CoursePage.Session style: top-level source
+        # attribute with a nested link
+        session = PageScheme(
+            "SessionPage",
+            [
+                Attribute("Session", TEXT),
+                Attribute(
+                    "CourseList",
+                    list_of(("CName", TEXT), ("ToCourse", link("CoursePage"))),
+                ),
+            ],
+        )
+        course = PageScheme(
+            "CoursePage", [Attribute("CName", TEXT), Attribute("Session", TEXT)]
+        )
+        local = {"SessionPage": session, "CoursePage": course}
+        lc = LinkConstraint.parse(
+            "SessionPage.CourseList.ToCourse",
+            "SessionPage.Session = CoursePage.Session",
+        )
+        lc.validate(local)
+
+
+class TestInclusionConstraint:
+    def test_parse_ascii(self):
+        ic = InclusionConstraint.parse(
+            "DeptPage.ProfList.ToProf <= ProfListPage.ProfList.ToProf"
+        )
+        assert ic.subset.scheme == "DeptPage"
+        assert ic.superset.scheme == "ProfListPage"
+
+    def test_parse_unicode(self):
+        ic = InclusionConstraint.parse("A.L ⊆ B.L")
+        assert ic.subset == AttrRef.parse("A.L")
+
+    def test_parse_requires_symbol(self):
+        with pytest.raises(ConstraintError):
+            InclusionConstraint.parse("A.L = B.L")
+
+    def test_validate(self, schemes):
+        ic = InclusionConstraint.parse(
+            "DeptPage.ProfList.ToProf <= ProfListPage.ProfList.ToProf"
+        )
+        ic.validate(schemes)
+        assert ic.target_scheme(schemes) == "ProfPage"
+
+    def test_validate_rejects_non_links(self, schemes):
+        ic = InclusionConstraint.parse(
+            "DeptPage.DName <= ProfListPage.ProfList.ToProf"
+        )
+        with pytest.raises(ConstraintError):
+            ic.validate(schemes)
+
+    def test_validate_rejects_different_targets(self, schemes):
+        ic = InclusionConstraint.parse(
+            "ProfPage.ToDept <= ProfListPage.ProfList.ToProf"
+        )
+        with pytest.raises(ConstraintError):
+            ic.validate(schemes)

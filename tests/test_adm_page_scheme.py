@@ -1,0 +1,144 @@
+"""Tests for page-schemes and attribute paths."""
+
+import pytest
+
+from repro.adm.page_scheme import AttrPath, Attribute, PageScheme, URL_ATTR
+from repro.adm.webtypes import IMAGE, TEXT, URL_TYPE, link, list_of
+from repro.errors import SchemeError
+
+
+@pytest.fixture()
+def dept():
+    return PageScheme(
+        "DeptPage",
+        [
+            Attribute("DName", TEXT),
+            Attribute("Address", TEXT),
+            Attribute("Logo", IMAGE),
+            Attribute(
+                "ProfList",
+                list_of(("PName", TEXT), ("ToProf", link("ProfPage"))),
+            ),
+        ],
+    )
+
+
+class TestAttrPath:
+    def test_parse_single(self):
+        path = AttrPath.parse("DName")
+        assert path.steps == ("DName",)
+        assert path.leaf == "DName"
+        assert path.parent is None
+
+    def test_parse_nested(self):
+        path = AttrPath.parse("ProfList.PName")
+        assert path.steps == ("ProfList", "PName")
+        assert path.leaf == "PName"
+        assert path.parent == AttrPath(("ProfList",))
+
+    def test_child(self):
+        assert AttrPath.parse("A").child("B") == AttrPath.parse("A.B")
+
+    def test_qualified(self):
+        assert AttrPath.parse("ProfList.PName").qualified("DeptPage") == (
+            "DeptPage.ProfList.PName"
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AttrPath(())
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ValueError):
+            AttrPath(("a.b",))
+
+    def test_len(self):
+        assert len(AttrPath.parse("A.B.C")) == 3
+
+
+class TestAttribute:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Attribute("", TEXT)
+
+    def test_rejects_dotted_name(self):
+        with pytest.raises(ValueError):
+            Attribute("A.B", TEXT)
+
+
+class TestPageScheme:
+    def test_implicit_url_attribute(self, dept):
+        assert dept.has_attr(URL_ATTR)
+        assert dept.attr(URL_ATTR).wtype == URL_TYPE
+
+    def test_url_must_not_be_declared(self):
+        with pytest.raises(SchemeError):
+            PageScheme("P", [Attribute("URL", TEXT)])
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemeError):
+            PageScheme("P", [Attribute("A", TEXT), Attribute("A", TEXT)])
+
+    def test_dotted_name_rejected(self):
+        with pytest.raises(SchemeError):
+            PageScheme("P.Q", [Attribute("A", TEXT)])
+
+    def test_attr_lookup(self, dept):
+        assert dept.attr("DName").wtype == TEXT
+        with pytest.raises(SchemeError):
+            dept.attr("Nope")
+
+    def test_attr_type_nested(self, dept):
+        assert dept.attr_type("ProfList.PName") == TEXT
+        assert dept.attr_type("ProfList.ToProf") == link("ProfPage")
+
+    def test_attr_type_rejects_descend_into_atom(self, dept):
+        with pytest.raises(SchemeError):
+            dept.attr_type("DName.X")
+
+    def test_attr_type_rejects_unknown_nested(self, dept):
+        with pytest.raises(SchemeError):
+            dept.attr_type("ProfList.Nope")
+
+    def test_has_path(self, dept):
+        assert dept.has_path("ProfList.PName")
+        assert not dept.has_path("ProfList.Nope")
+
+    def test_iter_paths_includes_url_first(self, dept):
+        paths = list(dept.iter_paths())
+        assert paths[0][0] == AttrPath((URL_ATTR,))
+
+    def test_iter_paths_covers_nested(self, dept):
+        names = {str(p) for p, _ in dept.iter_paths()}
+        assert "ProfList.PName" in names
+        assert "ProfList" in names
+
+    def test_link_paths(self, dept):
+        links = dict(dept.link_paths())
+        assert AttrPath.parse("ProfList.ToProf") in links
+
+    def test_links_to(self, dept):
+        assert dept.links_to("ProfPage") == [AttrPath.parse("ProfList.ToProf")]
+        assert dept.links_to("Nowhere") == []
+
+    def test_equality_and_hash(self, dept):
+        clone = PageScheme(dept.name, list(dept.attributes))
+        assert dept == clone
+        assert hash(dept) == hash(clone)
+
+    def test_deeply_nested_paths(self):
+        ps = PageScheme(
+            "EditionPage",
+            [
+                Attribute(
+                    "PaperList",
+                    list_of(
+                        ("Title", TEXT),
+                        ("AuthorList", list_of(("AName", TEXT))),
+                    ),
+                )
+            ],
+        )
+        assert ps.attr_type("PaperList.AuthorList.AName") == TEXT
+        names = {str(p) for p, _ in ps.iter_paths()}
+        assert "PaperList.AuthorList.AName" in names

@@ -1,0 +1,159 @@
+"""Tests for web schemes (validation, lookups, reachability)."""
+
+import pytest
+
+from repro.adm.builder import SchemeBuilder
+from repro.adm.constraints import AttrRef
+from repro.adm.page_scheme import AttrPath
+from repro.adm.webtypes import TEXT, link, list_of
+from repro.errors import SchemeError
+from repro.sitegen.university import build_university_scheme
+
+
+@pytest.fixture(scope="module")
+def uni():
+    return build_university_scheme()
+
+
+class TestValidation:
+    def test_university_scheme_validates(self, uni):
+        assert len(uni.page_schemes) == 8
+        assert len(uni.entry_points) == 4
+
+    def test_link_to_unknown_scheme_rejected(self):
+        b = SchemeBuilder()
+        b.page("A").attr("ToB", link("B")).entry_point("http://x/a")
+        with pytest.raises(SchemeError):
+            b.build()
+
+    def test_duplicate_page_scheme_rejected(self):
+        from repro.adm.page_scheme import Attribute, PageScheme
+        from repro.adm.scheme import EntryPoint, WebScheme
+
+        ps = PageScheme("A", [Attribute("X", TEXT)])
+        with pytest.raises(SchemeError):
+            WebScheme([ps, ps], [EntryPoint("A", "http://x/a")])
+
+    def test_entry_point_for_unknown_scheme_rejected(self):
+        from repro.adm.page_scheme import Attribute, PageScheme
+        from repro.adm.scheme import EntryPoint, WebScheme
+
+        ps = PageScheme("A", [Attribute("X", TEXT)])
+        with pytest.raises(SchemeError):
+            WebScheme([ps], [EntryPoint("B", "http://x/b")])
+
+
+class TestLookups:
+    def test_page_scheme_lookup(self, uni):
+        assert uni.page_scheme("ProfPage").name == "ProfPage"
+        with pytest.raises(SchemeError):
+            uni.page_scheme("Nope")
+
+    def test_entry_point_lookup(self, uni):
+        assert uni.is_entry_point("HomePage")
+        assert not uni.is_entry_point("ProfPage")
+        assert uni.entry_point("HomePage").url.endswith("home.html")
+        with pytest.raises(SchemeError):
+            uni.entry_point("ProfPage")
+
+    def test_link_target(self, uni):
+        assert uni.link_target("ProfPage", "ToDept") == "DeptPage"
+        assert (
+            uni.link_target("ProfListPage", "ProfList.ToProf") == "ProfPage"
+        )
+        with pytest.raises(SchemeError):
+            uni.link_target("ProfPage", "PName")
+
+    def test_constraints_on_link(self, uni):
+        found = uni.constraints_on_link("ProfPage", "ToDept")
+        assert len(found) == 1
+        assert str(found[0].source_attr) == "DName"
+
+    def test_multiple_constraints_on_one_link(self, uni):
+        found = uni.constraints_on_link("SessionPage", "CourseList.ToCourse")
+        targets = {str(lc.target_attr) for lc in found}
+        assert targets == {"CName", "Session"}
+
+    def test_find_link_constraint(self, uni):
+        lc = uni.find_link_constraint(
+            "SessionPage", "CourseList.ToCourse", "Session"
+        )
+        assert lc is not None
+        assert str(lc.source_attr) == "Session"
+        assert (
+            uni.find_link_constraint("ProfPage", "ToDept", "Address") is None
+        )
+
+
+class TestInclusionReasoning:
+    def test_declared_inclusion(self, uni):
+        sub = AttrRef.parse("DeptPage.ProfList.ToProf")
+        sup = AttrRef.parse("ProfListPage.ProfList.ToProf")
+        assert uni.includes(sub, sup)
+        assert not uni.includes(sup, sub)
+
+    def test_reflexivity(self, uni):
+        ref = AttrRef.parse("CoursePage.ToProf")
+        assert uni.includes(ref, ref)
+
+    def test_transitivity(self):
+        b = SchemeBuilder()
+        b.page("T").attr("X", TEXT)
+        b.page("A").attr("L", link("T")).entry_point("http://x/a")
+        b.page("B").attr("L", link("T")).entry_point("http://x/b")
+        b.page("C").attr("L", link("T")).entry_point("http://x/c")
+        b.inclusion("A.L <= B.L")
+        b.inclusion("B.L <= C.L")
+        scheme = b.build()
+        assert scheme.includes(AttrRef.parse("A.L"), AttrRef.parse("C.L"))
+
+    def test_equivalence_builder(self):
+        b = SchemeBuilder()
+        b.page("T").attr("X", TEXT)
+        b.page("A").attr("L", link("T")).entry_point("http://x/a")
+        b.page("B").attr("L", link("T")).entry_point("http://x/b")
+        b.equivalence("A.L", "B.L")
+        scheme = b.build()
+        assert scheme.includes(AttrRef.parse("A.L"), AttrRef.parse("B.L"))
+        assert scheme.includes(AttrRef.parse("B.L"), AttrRef.parse("A.L"))
+
+    def test_inclusions_into(self, uni):
+        sup = AttrRef.parse("ProfListPage.ProfList.ToProf")
+        subs = {str(ref) for ref in uni.inclusions_into(sup)}
+        assert "CoursePage.ToProf" in subs
+        assert "DeptPage.ProfList.ToProf" in subs
+
+
+class TestGraph:
+    def test_out_links(self, uni):
+        targets = {t for _, t in uni.out_links("HomePage")}
+        assert targets == {"DeptListPage", "ProfListPage", "SessionListPage"}
+
+    def test_in_links(self, uni):
+        sources = {s for s, _ in uni.in_links("ProfPage")}
+        assert sources == {"ProfListPage", "DeptPage", "CoursePage"}
+
+    def test_reachability(self, uni):
+        reachable = uni.reachable_from("HomePage")
+        assert reachable == set(uni.page_schemes)
+
+    def test_no_unreachable_pages(self, uni):
+        assert uni.unreachable_page_schemes() == set()
+
+    def test_unreachable_detection(self):
+        b = SchemeBuilder()
+        b.page("A").attr("X", TEXT).entry_point("http://x/a")
+        b.page("Island").attr("X", TEXT)
+        scheme = b.build()
+        assert scheme.unreachable_page_schemes() == {"Island"}
+
+
+class TestDescribe:
+    def test_describe_mentions_everything(self, uni):
+        text = uni.describe()
+        assert "ProfPage" in text
+        assert "link constraints" in text
+        assert "inclusion constraints" in text
+
+    def test_repr(self, uni):
+        assert "8 page-schemes" in repr(uni)

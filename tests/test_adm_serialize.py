@@ -1,0 +1,104 @@
+"""Tests for scheme serialization."""
+
+import json
+
+import pytest
+
+from repro.adm.serialize import scheme_from_dict, scheme_to_dict
+from repro.errors import SchemeError
+from repro.sitegen.bibliography import build_bibliography_scheme
+from repro.sitegen.university import build_university_scheme
+
+
+@pytest.fixture(scope="module")
+def uni_scheme():
+    return build_university_scheme()
+
+
+class TestRoundTrip:
+    def test_university_round_trip(self, uni_scheme):
+        data = scheme_to_dict(uni_scheme)
+        rebuilt = scheme_from_dict(data)
+        assert set(rebuilt.page_schemes) == set(uni_scheme.page_schemes)
+        for name in uni_scheme.page_schemes:
+            assert rebuilt.page_scheme(name) == uni_scheme.page_scheme(name)
+        assert rebuilt.entry_points == uni_scheme.entry_points
+        assert set(map(str, rebuilt.link_constraints)) == set(
+            map(str, uni_scheme.link_constraints)
+        )
+        assert set(map(str, rebuilt.inclusion_constraints)) == set(
+            map(str, uni_scheme.inclusion_constraints)
+        )
+
+    def test_bibliography_round_trip(self):
+        scheme = build_bibliography_scheme()
+        rebuilt = scheme_from_dict(scheme_to_dict(scheme))
+        for name in scheme.page_schemes:
+            assert rebuilt.page_scheme(name) == scheme.page_scheme(name)
+
+    def test_json_serializable(self, uni_scheme):
+        text = json.dumps(scheme_to_dict(uni_scheme))
+        rebuilt = scheme_from_dict(json.loads(text))
+        assert rebuilt.page_scheme("ProfPage") == uni_scheme.page_scheme(
+            "ProfPage"
+        )
+
+    def test_rebuilt_scheme_fully_functional(self, uni_scheme):
+        """The deserialized scheme drives the whole pipeline."""
+        from repro.sites import university_view
+        from repro.wrapper.conventions import registry_for_scheme
+
+        rebuilt = scheme_from_dict(scheme_to_dict(uni_scheme))
+        view = university_view(rebuilt)  # validates navigations
+        assert len(view) == 5
+        registry = registry_for_scheme(rebuilt)
+        assert len(registry) == 8
+
+
+class TestTypes:
+    def test_optional_link_preserved(self):
+        from repro.adm.builder import SchemeBuilder
+        from repro.adm.webtypes import TEXT, link
+
+        b = SchemeBuilder()
+        b.page("T").attr("X", TEXT)
+        b.page("A").attr("L", link("T", optional=True)).entry_point(
+            "http://x/a"
+        )
+        scheme = b.build()
+        rebuilt = scheme_from_dict(scheme_to_dict(scheme))
+        assert rebuilt.page_scheme("A").attr("L").wtype.optional
+
+    def test_nested_lists_preserved(self, uni_scheme):
+        # bibliography-style double nesting is covered by its round trip;
+        # here check nested list field order survives
+        data = scheme_to_dict(uni_scheme)
+        fields = data["page_schemes"]["ProfPage"]["CourseList"]["list"]
+        assert list(fields) == ["CName", "ToCourse"]
+
+
+class TestErrors:
+    def test_missing_key_rejected(self):
+        with pytest.raises(SchemeError):
+            scheme_from_dict({"page_schemes": {}})
+
+    def test_bad_type_rejected(self):
+        data = {
+            "name": "x",
+            "page_schemes": {"A": {"X": "floating-point"}},
+            "entry_points": {"A": "http://x/a"},
+        }
+        with pytest.raises(SchemeError):
+            scheme_from_dict(data)
+
+    def test_invalid_constraint_rejected(self):
+        data = {
+            "name": "x",
+            "page_schemes": {"A": {"X": "text"}},
+            "entry_points": {"A": "http://x/a"},
+            "link_constraints": [
+                {"link": "A.X", "equals": "A.X = B.Y"}
+            ],
+        }
+        with pytest.raises(SchemeError):
+            scheme_from_dict(data)

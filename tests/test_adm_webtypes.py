@@ -1,0 +1,95 @@
+"""Tests for the web type system."""
+
+import pytest
+
+from repro.adm.webtypes import (
+    IMAGE,
+    TEXT,
+    URL_TYPE,
+    LinkType,
+    ListType,
+    link,
+    list_of,
+)
+
+
+class TestBaseTypes:
+    def test_text_is_mono_valued(self):
+        assert TEXT.is_mono_valued()
+        assert not TEXT.is_nested()
+        assert not TEXT.is_link()
+
+    def test_image_is_mono_valued(self):
+        assert IMAGE.is_mono_valued()
+
+    def test_url_type_is_mono_valued(self):
+        assert URL_TYPE.is_mono_valued()
+
+    def test_str_forms(self):
+        assert str(TEXT) == "text"
+        assert str(IMAGE) == "image"
+        assert str(URL_TYPE) == "url"
+
+
+class TestLinkType:
+    def test_link_constructor(self):
+        lt = link("ProfPage")
+        assert lt.target == "ProfPage"
+        assert not lt.optional
+        assert lt.is_link()
+        assert lt.is_mono_valued()
+
+    def test_optional_link(self):
+        lt = link("ProfPage", optional=True)
+        assert lt.optional
+        assert str(lt) == "link to ProfPage?"
+
+    def test_link_requires_target(self):
+        with pytest.raises(ValueError):
+            LinkType(target="")
+
+    def test_links_compare_structurally(self):
+        assert link("A") == link("A")
+        assert link("A") != link("B")
+        assert link("A") != link("A", optional=True)
+
+
+class TestListType:
+    def test_list_of(self):
+        lt = list_of(("PName", TEXT), ("ToProf", link("ProfPage")))
+        assert lt.is_nested()
+        assert not lt.is_mono_valued()
+        assert lt.field_names() == ("PName", "ToProf")
+
+    def test_field_type_lookup(self):
+        lt = list_of(("PName", TEXT))
+        assert lt.field_type("PName") == TEXT
+        with pytest.raises(KeyError):
+            lt.field_type("Nope")
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            ListType(fields=())
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            list_of(("A", TEXT), ("A", TEXT))
+
+    def test_non_webtype_field_rejected(self):
+        with pytest.raises(TypeError):
+            list_of(("A", "text"))
+
+    def test_nested_lists(self):
+        inner = list_of(("AName", TEXT))
+        outer = list_of(("Title", TEXT), ("AuthorList", inner))
+        assert outer.field_type("AuthorList") == inner
+
+    def test_str_form(self):
+        lt = list_of(("A", TEXT))
+        assert str(lt) == "list of (A: text)"
+
+    def test_hashable(self):
+        a = list_of(("A", TEXT))
+        b = list_of(("A", TEXT))
+        assert hash(a) == hash(b)
+        assert {a} == {b}

@@ -1,0 +1,283 @@
+"""Tests for the NALG expression AST: schemas, validation, tree utilities."""
+
+import pytest
+
+from repro.algebra.ast import (
+    EntryPointScan,
+    ExternalRelScan,
+    FollowLink,
+    Join,
+    Project,
+    Select,
+    Unnest,
+    page_relation_schema,
+)
+from repro.algebra.computable import check_computable, is_computable
+from repro.algebra.predicates import Predicate
+from repro.algebra.visitors import (
+    leaves,
+    replace_at,
+    replace_child,
+    subexpr_at,
+    walk,
+)
+from repro.errors import AlgebraError, NotComputableError
+
+
+@pytest.fixture(scope="module")
+def scheme(uni_env):
+    return uni_env.scheme
+
+
+@pytest.fixture(scope="module")
+def prof_nav():
+    return (
+        EntryPointScan("ProfListPage")
+        .unnest("ProfListPage.ProfList")
+        .follow("ProfListPage.ProfList.ToProf")
+    )
+
+
+class TestPageRelationSchema:
+    def test_url_field_first(self, scheme):
+        schema = page_relation_schema(scheme, "ProfPage")
+        assert schema.names()[0] == "ProfPage.URL"
+
+    def test_qualified_names(self, scheme):
+        schema = page_relation_schema(scheme, "ProfPage")
+        assert "ProfPage.PName" in schema
+        assert "ProfPage.CourseList" in schema
+
+    def test_nested_element_names(self, scheme):
+        schema = page_relation_schema(scheme, "ProfPage")
+        elem = schema.field("ProfPage.CourseList").elem
+        assert elem.names() == (
+            "ProfPage.CourseList.CName",
+            "ProfPage.CourseList.ToCourse",
+        )
+
+    def test_alias_changes_qualifier(self, scheme):
+        schema = page_relation_schema(scheme, "ProfPage", alias="P2")
+        assert "P2.PName" in schema
+        assert schema.field("P2.PName").provenance.base_scheme == "ProfPage"
+
+    def test_provenance_paths(self, scheme):
+        schema = page_relation_schema(scheme, "ProfPage")
+        prov = schema.field("ProfPage.CourseList.CName", ) if False else (
+            schema.field("ProfPage.CourseList").elem.field(
+                "ProfPage.CourseList.CName"
+            ).provenance
+        )
+        assert str(prov.path) == "CourseList.CName"
+
+
+class TestEntryPointScan:
+    def test_schema(self, scheme):
+        schema = EntryPointScan("ProfListPage").output_schema(scheme)
+        assert "ProfListPage.ProfList" in schema
+
+    def test_non_entry_point_rejected(self, scheme):
+        with pytest.raises(AlgebraError):
+            EntryPointScan("ProfPage").output_schema(scheme)
+
+    def test_alias(self, scheme):
+        scan = EntryPointScan("ProfListPage", alias="PL2")
+        assert "PL2.ProfList" in scan.output_schema(scheme)
+
+
+class TestUnnest:
+    def test_schema_splices_elements(self, scheme, prof_nav):
+        schema = EntryPointScan("ProfListPage").unnest(
+            "ProfListPage.ProfList"
+        ).output_schema(scheme)
+        assert "ProfListPage.ProfList.PName" in schema
+        assert "ProfListPage.ProfList" not in schema
+
+    def test_unknown_attr_rejected(self, scheme):
+        with pytest.raises(AlgebraError):
+            EntryPointScan("ProfListPage").unnest("Nope").output_schema(scheme)
+
+    def test_atom_attr_rejected(self, scheme):
+        expr = EntryPointScan("ProfListPage").unnest("ProfListPage.URL")
+        with pytest.raises(AlgebraError):
+            expr.output_schema(scheme)
+
+
+class TestFollowLink:
+    def test_schema_concatenates_target(self, scheme, prof_nav):
+        schema = prof_nav.output_schema(scheme)
+        assert "ProfPage.PName" in schema
+        assert "ProfListPage.ProfList.PName" in schema
+
+    def test_target_resolution(self, scheme, prof_nav):
+        assert prof_nav.target_scheme(scheme) == "ProfPage"
+        assert prof_nav.target_alias(scheme) == "ProfPage"
+        assert prof_nav.target_url_attr(scheme) == "ProfPage.URL"
+
+    def test_alias(self, scheme):
+        nav = (
+            EntryPointScan("ProfListPage")
+            .unnest("ProfListPage.ProfList")
+            .follow("ProfListPage.ProfList.ToProf", alias="P2")
+        )
+        assert "P2.PName" in nav.output_schema(scheme)
+
+    def test_non_link_rejected(self, scheme):
+        expr = EntryPointScan("ProfListPage").follow("ProfListPage.URL")
+        with pytest.raises(AlgebraError):
+            expr.output_schema(scheme)
+
+    def test_double_navigation_same_scheme_needs_alias(self, scheme, prof_nav):
+        # navigating ProfPage again without an alias clashes
+        expr = prof_nav.unnest("ProfPage.CourseList").follow(
+            "ProfPage.CourseList.ToCourse"
+        ).follow("CoursePage.ToProf")
+        from repro.errors import SchemaError
+
+        with pytest.raises((AlgebraError, SchemaError)):
+            expr.output_schema(scheme)
+
+    def test_double_navigation_with_alias_ok(self, scheme, prof_nav):
+        expr = prof_nav.unnest("ProfPage.CourseList").follow(
+            "ProfPage.CourseList.ToCourse"
+        ).follow("CoursePage.ToProf", alias="Instructor")
+        schema = expr.output_schema(scheme)
+        assert "Instructor.PName" in schema
+
+
+class TestSelectProject:
+    def test_select_schema_unchanged(self, scheme, prof_nav):
+        expr = prof_nav.select_eq("ProfPage.Rank", "Full")
+        assert expr.output_schema(scheme) == prof_nav.output_schema(scheme)
+
+    def test_select_unknown_attr_rejected(self, scheme, prof_nav):
+        with pytest.raises(AlgebraError):
+            prof_nav.select_eq("Nope", "x").output_schema(scheme)
+
+    def test_select_on_list_attr_rejected(self, scheme, prof_nav):
+        expr = prof_nav.where(Predicate.eq("ProfPage.CourseList", "x"))
+        with pytest.raises(AlgebraError):
+            expr.output_schema(scheme)
+
+    def test_project_renames(self, scheme, prof_nav):
+        expr = prof_nav.project(("Name", "ProfPage.PName"))
+        schema = expr.output_schema(scheme)
+        assert schema.names() == ("Name",)
+        assert schema.field("Name").provenance is not None
+
+    def test_project_unknown_rejected(self, scheme, prof_nav):
+        with pytest.raises(AlgebraError):
+            prof_nav.project("Nope").output_schema(scheme)
+
+    def test_project_duplicate_outputs_rejected(self, scheme, prof_nav):
+        with pytest.raises(AlgebraError):
+            Project(
+                prof_nav,
+                (("X", "ProfPage.PName"), ("X", "ProfPage.email")),
+            )
+
+    def test_project_empty_rejected(self, prof_nav):
+        with pytest.raises(AlgebraError):
+            Project(prof_nav, ())
+
+
+class TestJoin:
+    def test_schema_concat(self, scheme, prof_nav):
+        dept_nav = (
+            EntryPointScan("DeptListPage")
+            .unnest("DeptListPage.DeptList")
+            .follow("DeptListPage.DeptList.ToDept")
+        )
+        expr = prof_nav.join(dept_nav, [("ProfPage.DName", "DeptPage.DName")])
+        schema = expr.output_schema(scheme)
+        assert "ProfPage.PName" in schema
+        assert "DeptPage.Address" in schema
+
+    def test_unknown_attrs_rejected(self, scheme, prof_nav):
+        dept_nav = EntryPointScan("DeptListPage")
+        expr = prof_nav.join(dept_nav, [("Nope", "DeptListPage.URL")])
+        with pytest.raises(AlgebraError):
+            expr.output_schema(scheme)
+
+
+class TestExternalRelScan:
+    def test_qualified_schema(self, scheme):
+        scan = ExternalRelScan("Professor", ("PName", "Rank"), alias="P")
+        assert scan.output_schema(scheme).names() == ("P.PName", "P.Rank")
+        assert scan.qualified("PName") == "P.PName"
+
+    def test_default_alias_is_name(self, scheme):
+        scan = ExternalRelScan("Professor", ("PName",))
+        assert scan.qualifier == "Professor"
+
+    def test_unknown_attr_rejected(self):
+        scan = ExternalRelScan("Professor", ("PName",))
+        with pytest.raises(AlgebraError):
+            scan.qualified("Nope")
+
+
+class TestComputability:
+    def test_navigation_is_computable(self, scheme, prof_nav):
+        assert is_computable(prof_nav, scheme)
+        check_computable(prof_nav, scheme)
+
+    def test_external_scan_not_computable(self, scheme):
+        scan = ExternalRelScan("Professor", ("PName",))
+        assert not is_computable(scan, scheme)
+        with pytest.raises(NotComputableError):
+            check_computable(scan, scheme)
+
+    def test_join_of_computables_is_computable(self, scheme, prof_nav):
+        dept_nav = (
+            EntryPointScan("DeptListPage")
+            .unnest("DeptListPage.DeptList")
+            .follow("DeptListPage.DeptList.ToDept")
+        )
+        expr = prof_nav.join(dept_nav, [("ProfPage.DName", "DeptPage.DName")])
+        assert is_computable(expr, scheme)
+
+
+class TestVisitors:
+    def test_walk_preorder(self, prof_nav):
+        nodes = list(walk(prof_nav))
+        assert nodes[0][0] == ()
+        assert isinstance(nodes[-1][1], EntryPointScan)
+
+    def test_subexpr_at(self, prof_nav):
+        assert subexpr_at(prof_nav, ()) is prof_nav
+        assert isinstance(subexpr_at(prof_nav, (0, 0)), EntryPointScan)
+
+    def test_subexpr_bad_path(self, prof_nav):
+        with pytest.raises(AlgebraError):
+            subexpr_at(prof_nav, (5,))
+
+    def test_replace_at_root(self, prof_nav):
+        other = EntryPointScan("DeptListPage")
+        assert replace_at(prof_nav, (), other) is other
+
+    def test_replace_at_leaf(self, prof_nav):
+        other = EntryPointScan("HomePage")
+        rebuilt = replace_at(prof_nav, (0, 0), other)
+        assert isinstance(subexpr_at(rebuilt, (0, 0)), EntryPointScan)
+        assert subexpr_at(rebuilt, (0, 0)).page_scheme == "HomePage"
+        # original untouched (immutability)
+        assert subexpr_at(prof_nav, (0, 0)).page_scheme == "ProfListPage"
+
+    def test_replace_child_bad_index(self, prof_nav):
+        with pytest.raises(AlgebraError):
+            replace_child(prof_nav, 3, prof_nav)
+
+    def test_leaves(self, scheme, prof_nav):
+        dept_nav = EntryPointScan("DeptListPage")
+        expr = prof_nav.join(dept_nav, [("ProfPage.DName", "DeptListPage.URL")])
+        found = leaves(expr)
+        assert len(found) == 2
+
+    def test_expressions_hashable_and_equal(self, prof_nav):
+        clone = (
+            EntryPointScan("ProfListPage")
+            .unnest("ProfListPage.ProfList")
+            .follow("ProfListPage.ProfList.ToProf")
+        )
+        assert prof_nav == clone
+        assert hash(prof_nav) == hash(clone)

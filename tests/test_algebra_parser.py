@@ -1,0 +1,204 @@
+"""Tests for the Ulixes-style navigation parser."""
+
+import pytest
+
+from repro.algebra.ast import FollowLink, Project, Select, Unnest
+from repro.algebra.parser import parse_navigation
+from repro.algebra.predicates import AttrEq, Comparison, In
+from repro.errors import ParseError
+
+
+@pytest.fixture(scope="module")
+def scheme(uni_env):
+    return uni_env.scheme
+
+
+class TestChains:
+    def test_entry_only(self, scheme):
+        expr = parse_navigation("ProfListPage", scheme)
+        assert expr.output_schema(scheme)
+
+    def test_unknown_entry_rejected(self, scheme):
+        with pytest.raises(Exception):
+            parse_navigation("ProfPage", scheme)  # not an entry point
+
+    def test_unnest_and_follow_short_names(self, scheme):
+        expr = parse_navigation("ProfListPage . ProfList -> ToProf", scheme)
+        assert isinstance(expr, FollowLink)
+        assert expr.link_attr == "ProfListPage.ProfList.ToProf"
+        assert isinstance(expr.child, Unnest)
+
+    def test_unicode_operators(self, scheme):
+        a = parse_navigation("ProfListPage ∘ ProfList → ToProf", scheme)
+        b = parse_navigation("ProfListPage . ProfList -> ToProf", scheme)
+        assert a == b
+
+    def test_long_chain(self, scheme):
+        expr = parse_navigation(
+            "SessionListPage . SesList -> ToSes . CourseList -> ToCourse",
+            scheme,
+        )
+        schema = expr.output_schema(scheme)
+        assert "CoursePage.CName" in schema
+
+    def test_alias(self, scheme):
+        expr = parse_navigation(
+            "ProfListPage . ProfList -> ToProf . CourseList -> ToCourse "
+            "-> ToProf as Instructor",
+            scheme,
+        )
+        assert "Instructor.PName" in expr.output_schema(scheme)
+
+    def test_qualified_names_accepted(self, scheme):
+        expr = parse_navigation(
+            "ProfListPage . ProfListPage.ProfList "
+            "-> ProfListPage.ProfList.ToProf",
+            scheme,
+        )
+        assert isinstance(expr, FollowLink)
+
+
+class TestConditionsAndProjections:
+    def test_where(self, scheme):
+        expr = parse_navigation(
+            "ProfListPage . ProfList -> ToProf where Rank = 'Full'", scheme
+        )
+        assert isinstance(expr, Select)
+        assert Comparison("ProfPage.Rank", "Full") in expr.predicate.atoms
+
+    def test_where_and(self, scheme):
+        expr = parse_navigation(
+            "ProfListPage . ProfList -> ToProf "
+            "where Rank = 'Full' and DName = 'Computer Science'",
+            scheme,
+        )
+        assert len(expr.predicate.atoms) == 2
+
+    def test_where_in(self, scheme):
+        expr = parse_navigation(
+            "SessionListPage . SesList where Session in ('Fall', 'Winter')",
+            scheme,
+        )
+        (atom,) = expr.predicate.atoms
+        assert isinstance(atom, In)
+        assert atom.values == ("Fall", "Winter")
+
+    def test_attr_equals_attr(self, scheme):
+        expr = parse_navigation(
+            "ProfListPage . ProfList -> ToProf "
+            "where ProfList.PName = ProfPage.PName",
+            scheme,
+        )
+        (atom,) = expr.predicate.atoms
+        assert isinstance(atom, AttrEq)
+
+    def test_project(self, scheme):
+        expr = parse_navigation(
+            "ProfListPage . ProfList -> ToProf project PName as Name, email",
+            scheme,
+        )
+        assert isinstance(expr, Project)
+        assert expr.outputs == (
+            ("Name", "ProfPage.PName"),
+            ("email", "ProfPage.email"),
+        )
+
+    def test_string_escape(self, scheme):
+        expr = parse_navigation(
+            "ProfListPage . ProfList where PName = 'O''Hara'", scheme
+        )
+        (atom,) = expr.predicate.atoms
+        assert atom.value == "O'Hara"
+
+
+class TestResolution:
+    def test_anchor_vs_page_tie_broken_to_page(self, scheme):
+        """CName matches both the anchor copy and the course page; the
+        shallower page attribute wins."""
+        expr = parse_navigation(
+            "SessionListPage . SesList -> ToSes . CourseList "
+            "-> ToCourse where CName = 'x'",
+            scheme,
+        )
+        (atom,) = expr.predicate.atoms
+        assert atom.attr == "CoursePage.CName"
+
+    def test_equal_depth_ambiguity_rejected(self, scheme):
+        # after navigating course -> instructor (alias), PName exists at
+        # depth 2 under both CoursePage and the Instructor alias
+        with pytest.raises(ParseError, match="ambiguous"):
+            parse_navigation(
+                "SessionListPage . SesList -> ToSes . CourseList "
+                "-> ToCourse -> ToProf as Inst where PName = 'x'",
+                scheme,
+            )
+
+    def test_suffix_disambiguation(self, scheme):
+        expr = parse_navigation(
+            "SessionListPage . SesList -> ToSes . CourseList -> ToCourse "
+            "where CoursePage.CName = 'x'",
+            scheme,
+        )
+        (atom,) = expr.predicate.atoms
+        assert atom.attr == "CoursePage.CName"
+
+    def test_unknown_reference_rejected(self, scheme):
+        with pytest.raises(ParseError, match="no attribute"):
+            parse_navigation("ProfListPage . Nope", scheme)
+
+    def test_trailing_garbage_rejected(self, scheme):
+        with pytest.raises(ParseError):
+            parse_navigation("ProfListPage 42", scheme)
+
+
+class TestEndToEnd:
+    def test_parsed_expression_executes(self, uni_env, scheme):
+        expr = parse_navigation(
+            "DeptListPage . DeptList where DName = 'Computer Science' "
+            "-> ToDept . ProfList -> ToProf "
+            "project PName, email",
+            scheme,
+        )
+        result = uni_env.executor.execute(expr)
+        expected = {
+            (p.name, p.email)
+            for p in uni_env.site.profs
+            if p.dept.name == "Computer Science"
+        }
+        assert {(r["PName"], r["email"]) for r in result.relation} == expected
+
+    def test_matches_hand_built_expression(self, uni_env, scheme):
+        from repro.algebra.ast import EntryPointScan
+
+        parsed = parse_navigation(
+            "ProfListPage . ProfList -> ToProf where Rank = 'Full'", scheme
+        )
+        built = (
+            EntryPointScan("ProfListPage")
+            .unnest("ProfListPage.ProfList")
+            .follow("ProfListPage.ProfList.ToProf")
+            .select_eq("ProfPage.Rank", "Full")
+        )
+        assert parsed == built
+
+    def test_default_navigation_from_text(self, uni_env, scheme):
+        """Views can be declared textually."""
+        from repro.views.external import DefaultNavigation, ExternalRelation
+
+        body = parse_navigation(
+            "DeptListPage . DeptList -> ToDept", scheme
+        )
+        rel = ExternalRelation(
+            "Dept2",
+            ("DName", "Address"),
+            (
+                DefaultNavigation.of(
+                    body,
+                    {
+                        "DName": "DeptPage.DName",
+                        "Address": "DeptPage.Address",
+                    },
+                ),
+            ),
+        )
+        rel.validate(scheme)

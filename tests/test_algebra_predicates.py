@@ -1,0 +1,97 @@
+"""Tests for conjunctive predicates."""
+
+import pytest
+
+from repro.algebra.predicates import AttrEq, Comparison, In, Predicate
+from repro.errors import PredicateError
+
+
+class TestComparison:
+    def test_evaluate(self):
+        atom = Comparison("Rank", "Full")
+        assert atom.evaluate({"Rank": "Full"})
+        assert not atom.evaluate({"Rank": "Associate"})
+        assert not atom.evaluate({})
+
+    def test_null_never_matches(self):
+        assert not Comparison("A", "x").evaluate({"A": None})
+
+    def test_rename(self):
+        atom = Comparison("A", "x").rename({"A": "B"})
+        assert atom == Comparison("B", "x")
+
+    def test_attrs(self):
+        assert Comparison("A", "x").attrs() == ("A",)
+
+    def test_str(self):
+        assert str(Comparison("A", "x")) == "A='x'"
+
+
+class TestAttrEq:
+    def test_evaluate(self):
+        atom = AttrEq("A", "B")
+        assert atom.evaluate({"A": "x", "B": "x"})
+        assert not atom.evaluate({"A": "x", "B": "y"})
+
+    def test_nulls_never_equal(self):
+        assert not AttrEq("A", "B").evaluate({"A": None, "B": None})
+
+    def test_rename_both_sides(self):
+        atom = AttrEq("A", "B").rename({"A": "C", "B": "D"})
+        assert atom == AttrEq("C", "D")
+
+
+class TestIn:
+    def test_evaluate(self):
+        atom = In("Year", ("1995", "1996"))
+        assert atom.evaluate({"Year": "1995"})
+        assert not atom.evaluate({"Year": "1997"})
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(PredicateError):
+            In("Year", ())
+
+    def test_rename(self):
+        atom = In("A", ("x",)).rename({"A": "B"})
+        assert atom.attrs() == ("B",)
+
+    def test_str(self):
+        assert str(In("A", ("x", "y"))) == "A in ('x','y')"
+
+
+class TestPredicate:
+    def test_conjunction(self):
+        pred = Predicate([Comparison("A", "x"), Comparison("B", "y")])
+        assert pred.evaluate({"A": "x", "B": "y"})
+        assert not pred.evaluate({"A": "x", "B": "z"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(PredicateError):
+            Predicate([])
+
+    def test_eq_constructor(self):
+        assert Predicate.eq("A", "x").evaluate({"A": "x"})
+
+    def test_attrs_deduped_ordered(self):
+        pred = Predicate([AttrEq("A", "B"), Comparison("A", "x")])
+        assert pred.attrs() == ("A", "B")
+
+    def test_conjoin(self):
+        pred = Predicate.eq("A", "x").conjoin(Predicate.eq("B", "y"))
+        assert len(pred.atoms) == 2
+
+    def test_split(self):
+        pred = Predicate([Comparison("A", "x"), Comparison("B", "y")])
+        parts = pred.split()
+        assert len(parts) == 2
+        assert all(len(p.atoms) == 1 for p in parts)
+
+    def test_equality_ignores_order(self):
+        p1 = Predicate([Comparison("A", "x"), Comparison("B", "y")])
+        p2 = Predicate([Comparison("B", "y"), Comparison("A", "x")])
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_rename(self):
+        pred = Predicate([Comparison("A", "x")]).rename({"A": "Z"})
+        assert pred.attrs() == ("Z",)

@@ -1,0 +1,114 @@
+"""Tests for the expression renderer and plan-tree printer."""
+
+import pytest
+
+from repro.algebra.ast import EntryPointScan, ExternalRelScan
+from repro.algebra.printer import render_expr, render_plan_tree
+
+
+@pytest.fixture(scope="module")
+def scheme(uni_env):
+    return uni_env.scheme
+
+
+@pytest.fixture(scope="module")
+def expression():
+    """Expression 2 of the paper (CS professors' names and emails)."""
+    return (
+        EntryPointScan("ProfListPage")
+        .unnest("ProfListPage.ProfList")
+        .follow("ProfListPage.ProfList.ToProf")
+        .select_eq("ProfPage.DName", "Computer Science")
+        .project(("Name", "ProfPage.PName"), ("email", "ProfPage.email"))
+    )
+
+
+class TestRenderExpr:
+    def test_full_render_is_qualified(self, expression):
+        text = render_expr(expression)
+        assert "ProfListPage.ProfList.ToProf" in text
+
+    def test_compact_render_matches_paper_notation(self, expression, scheme):
+        text = render_expr(expression, compact=True, scheme=scheme)
+        assert "ProfListPage ∘ ProfList →ToProf ProfPage" in text
+        assert "σ_{DName='Computer Science'}" in text
+        assert "π_{PName as Name,email}" in text
+
+    def test_render_resolves_target_with_scheme(self, expression, scheme):
+        assert "?" not in render_expr(expression, scheme=scheme)
+
+    def test_render_without_scheme_uses_placeholder(self, expression):
+        assert "?" in render_expr(expression, compact=True)
+
+    def test_render_is_injective_for_different_plans(self, scheme):
+        a = EntryPointScan("ProfListPage").unnest("ProfListPage.ProfList")
+        b = EntryPointScan("DeptListPage").unnest("DeptListPage.DeptList")
+        assert render_expr(a) != render_expr(b)
+
+    def test_render_join(self, scheme):
+        left = EntryPointScan("ProfListPage").unnest("ProfListPage.ProfList")
+        right = EntryPointScan("DeptListPage").unnest("DeptListPage.DeptList")
+        expr = left.join(
+            right,
+            [("ProfListPage.ProfList.PName", "DeptListPage.DeptList.DName")],
+        )
+        text = render_expr(expr, compact=True)
+        assert "⋈" in text and "PName=DName" in text
+
+    def test_render_external_scan(self):
+        scan = ExternalRelScan("Professor", ("PName",))
+        assert render_expr(scan) == "Professor"
+
+
+class TestPlanTree:
+    def test_tree_shape(self, expression, scheme):
+        tree = render_plan_tree(expression, scheme)
+        lines = tree.splitlines()
+        assert lines[0].startswith("π")
+        assert "[entry point]" in lines[-1]
+        assert any("→" in line for line in lines)
+
+    def test_tree_shows_join_branches(self, scheme):
+        left = EntryPointScan("ProfListPage").unnest("ProfListPage.ProfList")
+        right = EntryPointScan("DeptListPage")
+        expr = left.join(
+            right, [("ProfListPage.ProfList.PName", "DeptListPage.URL")]
+        )
+        tree = render_plan_tree(expr, scheme)
+        assert tree.count("entry point") == 2
+        assert "├── " in tree
+        assert "└── " in tree
+
+    def test_tree_marks_external_relations(self):
+        scan = ExternalRelScan("Professor", ("PName",))
+        assert "[external relation]" in render_plan_tree(scan)
+
+
+class TestPredicateRendering:
+    def test_in_predicate_compact(self, scheme):
+        from repro.algebra.ast import EntryPointScan
+        from repro.algebra.predicates import In, Predicate
+
+        expr = (
+            EntryPointScan("SessionListPage")
+            .unnest("SessionListPage.SesList")
+            .where(Predicate([
+                In("SessionListPage.SesList.Session", ("Fall", "Winter"))
+            ]))
+        )
+        text = render_expr(expr, compact=True)
+        assert "Session in ('Fall','Winter')" in text
+
+    def test_attr_eq_rendering(self, scheme):
+        from repro.algebra.ast import EntryPointScan
+        from repro.algebra.predicates import AttrEq, Predicate
+
+        expr = (
+            EntryPointScan("ProfListPage")
+            .unnest("ProfListPage.ProfList")
+            .where(Predicate([
+                AttrEq("ProfListPage.ProfList.PName",
+                       "ProfListPage.ProfList.PName")
+            ]))
+        )
+        assert "=" in render_expr(expr)

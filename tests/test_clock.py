@@ -1,0 +1,44 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.clock import NEVER, SimClock
+
+
+def test_starts_at_one():
+    assert SimClock().now() == 1
+
+
+def test_custom_start():
+    assert SimClock(start=10).now() == 10
+
+
+def test_start_must_be_positive():
+    with pytest.raises(ValueError):
+        SimClock(start=0)
+
+
+def test_tick_advances_by_one():
+    clock = SimClock()
+    assert clock.tick() == 2
+    assert clock.tick() == 3
+    assert clock.now() == 3
+
+
+def test_advance():
+    clock = SimClock()
+    assert clock.advance(10) == 11
+
+
+def test_advance_zero_is_allowed():
+    clock = SimClock()
+    assert clock.advance(0) == 1
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        SimClock().advance(-1)
+
+
+def test_never_precedes_any_tick():
+    assert NEVER < SimClock().now()

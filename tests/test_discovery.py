@@ -1,0 +1,193 @@
+"""Tests for constraint verification and mining (repro.discovery)."""
+
+import pytest
+
+from repro.adm.constraints import InclusionConstraint, LinkConstraint
+from repro.discovery import (
+    crawl_snapshot,
+    discover_inclusions,
+    discover_link_constraints,
+    verify_inclusion_constraint,
+    verify_link_constraint,
+    verify_scheme,
+)
+from repro.sitegen import SiteMutator, UniversityConfig
+from repro.sites import university
+from repro.web import WebClient
+
+
+@pytest.fixture(scope="module")
+def snapshot(uni_env):
+    return crawl_snapshot(
+        uni_env.scheme, WebClient(uni_env.site.server), uni_env.registry
+    )
+
+
+class TestSnapshot:
+    def test_covers_whole_site(self, uni_env, snapshot):
+        assert snapshot.page_count() == len(uni_env.site.server)
+
+    def test_link_values(self, uni_env, snapshot):
+        values = snapshot.link_values("ProfListPage", "ProfList.ToProf")
+        assert values == {p.url for p in uni_env.site.profs}
+
+    def test_link_occurrences_nested(self, uni_env, snapshot):
+        occurrences = list(
+            snapshot.link_occurrences("DeptPage", "ProfList.ToProf")
+        )
+        assert len(occurrences) == len(uni_env.site.profs)
+
+    def test_occurrence_attr_resolution(self, uni_env, snapshot):
+        # enclosing page attribute reachable from a nested occurrence
+        from repro.adm.page_scheme import AttrPath
+
+        occ = next(
+            snapshot.link_occurrences("SessionPage", "CourseList.ToCourse")
+        )
+        assert occ.attr(AttrPath.parse("Session")) in ("Fall", "Winter")
+        assert occ.attr(AttrPath.parse("CourseList.CName"))
+
+    def test_bounded_crawl(self, uni_env):
+        snap = crawl_snapshot(
+            uni_env.scheme,
+            WebClient(uni_env.site.server),
+            uni_env.registry,
+            max_pages=10,
+        )
+        assert snap.page_count() <= 10
+
+
+class TestVerifyDeclaredConstraints:
+    def test_all_declared_constraints_hold(self, snapshot):
+        reports = verify_scheme(snapshot)
+        for report in reports["link"] + reports["inclusion"]:
+            assert report.holds, report
+            assert report.checked > 0
+
+    def test_no_dangling_links_on_fresh_site(self, snapshot):
+        reports = verify_scheme(snapshot)
+        for report in reports["link"]:
+            assert not report.dangling
+
+
+class TestVerifyViolations:
+    def test_broken_link_constraint_detected(self):
+        """Mutate a course page so its PName anchor lies about the
+        instructor: the CoursePage.PName = ProfPage.PName constraint must
+        report a violation."""
+        env = university(UniversityConfig(n_depts=2, n_profs=4, n_courses=6))
+        course = env.site.courses[0]
+        other_prof = next(
+            p for p in env.site.profs if p is not course.prof
+        )
+        # publish a corrupted course page: PName of a different professor
+        row = env.site.course_tuple(course)
+        row["PName"] = other_prof.name
+        from repro.sitegen.html_writer import render_page
+
+        env.site.server.update(
+            course.url,
+            render_page(
+                env.scheme.page_scheme("CoursePage"), row, course.name
+            ),
+        )
+        snap = crawl_snapshot(
+            env.scheme, WebClient(env.site.server), env.registry
+        )
+        constraint = next(
+            lc
+            for lc in env.scheme.link_constraints
+            if lc.source == "CoursePage"
+        )
+        report = verify_link_constraint(snap, constraint)
+        assert not report.holds
+
+    def test_dangling_links_reported_not_violations(self):
+        env = university(UniversityConfig(n_depts=2, n_profs=4, n_courses=6))
+        victim = env.site.courses[0]
+        env.site.server.delete(victim.url)  # prof/session pages still link
+        snap = crawl_snapshot(
+            env.scheme, WebClient(env.site.server), env.registry
+        )
+        constraint = env.scheme.find_link_constraint(
+            "ProfPage", "CourseList.ToCourse", "CName"
+        )
+        report = verify_link_constraint(snap, constraint)
+        assert report.dangling
+        assert report.holds  # dangling is reported separately
+
+    def test_broken_inclusion_detected(self):
+        """A course taught by a professor missing from the global list
+        breaks CoursePage.ToProf ⊆ ProfListPage.ProfList.ToProf."""
+        env = university(UniversityConfig(n_depts=2, n_profs=4, n_courses=6))
+        # remove one professor from the global list page only
+        site = env.site
+        ghost = site.profs[0]
+        assert ghost.courses, "need a teaching professor"
+        row = site.prof_list_tuple()
+        row["ProfList"] = [
+            i for i in row["ProfList"] if i["PName"] != ghost.name
+        ]
+        from repro.sitegen.html_writer import render_page
+
+        site.server.update(
+            site.entry_url("ProfListPage"),
+            render_page(
+                env.scheme.page_scheme("ProfListPage"), row, "All Professors"
+            ),
+        )
+        snap = crawl_snapshot(env.scheme, WebClient(site.server), env.registry)
+        constraint = InclusionConstraint.parse(
+            "CoursePage.ToProf <= ProfListPage.ProfList.ToProf"
+        )
+        report = verify_inclusion_constraint(snap, constraint)
+        assert not report.holds
+        assert (ghost.url, "not reachable via the superset path") in (
+            report.violations
+        )
+
+
+class TestMining:
+    def test_declared_inclusions_are_rediscovered(self, uni_env, snapshot):
+        mined = discover_inclusions(snapshot)
+        mined_strs = {str(ic) for ic in mined}
+        for declared in uni_env.scheme.inclusion_constraints:
+            assert str(declared) in mined_strs
+
+    def test_declared_link_constraints_are_rediscovered(
+        self, uni_env, snapshot
+    ):
+        mined = discover_link_constraints(snapshot)
+        mined_strs = {str(lc) for lc in mined}
+        for declared in uni_env.scheme.link_constraints:
+            assert str(declared) in mined_strs, declared
+
+    def test_mined_constraints_all_verify(self, snapshot):
+        for constraint in discover_link_constraints(
+            snapshot, page_scheme="CoursePage"
+        ):
+            assert verify_link_constraint(snapshot, constraint).holds
+
+    def test_mining_finds_more_than_declared(self, uni_env, snapshot):
+        """The instance satisfies more redundancies than the designer
+        declared (e.g. equivalences between covering paths) — mining
+        surfaces them as candidates."""
+        mined = discover_inclusions(snapshot)
+        declared = {str(ic) for ic in uni_env.scheme.inclusion_constraints}
+        extra = {str(ic) for ic in mined} - declared
+        assert extra  # e.g. ProfListPage.ProfList.ToProf ⊆ DeptPage... etc.
+
+    def test_strict_inclusion_not_mined_in_reverse(self):
+        """With idle professors, courses don't cover all professors, so the
+        reverse of CoursePage.ToProf ⊆ ProfList... must NOT be proposed."""
+        env = university(
+            UniversityConfig(n_depts=2, n_profs=6, n_courses=8, idle_profs=2)
+        )
+        snap = crawl_snapshot(
+            env.scheme, WebClient(env.site.server), env.registry
+        )
+        mined = {str(ic) for ic in discover_inclusions(snap)}
+        assert (
+            "ProfListPage.ProfList.ToProf ⊆ CoursePage.ToProf" not in mined
+        )
+        assert "CoursePage.ToProf ⊆ ProfListPage.ProfList.ToProf" in mined

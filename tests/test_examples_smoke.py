@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run end to end.
+
+Each example's ``main()`` is imported and executed with stdout captured;
+assertions inside the examples (answers agreeing across paths, etc.) run
+as part of this.
+"""
+
+import contextlib
+import importlib.util
+import io
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    module = load_module(path)
+    assert hasattr(module, "main"), f"{path.name} lacks a main()"
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        module.main()
+    output = buffer.getvalue()
+    assert output.strip(), f"{path.name} printed nothing"
+    assert "Traceback" not in output
+
+
+def test_example_inventory():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "optimizer_tour",
+        "bibliography_vldb",
+        "materialized_views",
+        "custom_site",
+        "reverse_engineering",
+    } <= names

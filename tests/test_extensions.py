@@ -1,0 +1,176 @@
+"""Tests for the paper's suggested extensions we implement:
+
+* footnote 8 — page-size-aware cost refinement (byte costs, tie-breaking);
+* Section 8 — controlled obsolescence tolerance (``max_age``);
+* ablation toggles (:class:`~repro.optimizer.planner.PlannerOptions`).
+"""
+
+import pytest
+
+from repro.materialized import MaterializedEngine, MaterializedStore
+from repro.optimizer import Planner, PlannerOptions
+from repro.sitegen import SiteMutator, UniversityConfig
+from repro.sites import university
+from repro.views.sql import parse_query
+from repro.web import WebClient
+
+
+class TestByteCosts:
+    def test_page_bytes_statistic(self, uni_env):
+        site = uni_env.site
+        expected = sum(
+            len(site.server.resource(url).html)
+            for url in site.server.urls_of_scheme("ProfPage")
+        ) / len(site.profs)
+        assert uni_env.stats.avg_page_bytes("ProfPage") == pytest.approx(
+            expected
+        )
+
+    def test_bytes_cost_of_navigation(self, uni_env):
+        from repro.algebra.ast import EntryPointScan
+
+        nav = (
+            EntryPointScan("ProfListPage")
+            .unnest("ProfListPage.ProfList")
+            .follow("ProfListPage.ProfList.ToProf")
+        )
+        cm = uni_env.cost_model
+        expected = uni_env.stats.avg_page_bytes(
+            "ProfListPage"
+        ) + 20 * uni_env.stats.avg_page_bytes("ProfPage")
+        assert cm.bytes_cost(nav) == pytest.approx(expected, rel=0.01)
+
+    def test_bytes_estimate_close_to_measured(self, uni_env):
+        from repro.algebra.ast import EntryPointScan
+
+        nav = (
+            EntryPointScan("ProfListPage")
+            .unnest("ProfListPage.ProfList")
+            .follow("ProfListPage.ProfList.ToProf")
+        )
+        measured = uni_env.executor.execute(nav).log.bytes_downloaded
+        assert uni_env.cost_model.bytes_cost(nav) == pytest.approx(
+            measured, rel=0.01
+        )
+
+    def test_tie_break_prefers_smaller_pages(self, bib_env):
+        """Querying VLDB editions: the db-conference list and the full list
+        both cost 3 pages; bytes break the tie toward the smaller list —
+        the Introduction's path 2 vs path 1 point."""
+        from repro.algebra.ast import EntryPointScan
+
+        via_full = (
+            EntryPointScan("BibHomePage")
+            .follow("BibHomePage.ToConfList")
+            .unnest("ConfListPage.ConfList")
+            .select_eq("ConfListPage.ConfList.ConfName", "VLDB")
+            .follow("ConfListPage.ConfList.ToConf")
+        )
+        via_db = (
+            EntryPointScan("BibHomePage")
+            .follow("BibHomePage.ToDBConfList")
+            .unnest("DBConfListPage.ConfList")
+            .select_eq("DBConfListPage.ConfList.ConfName", "VLDB")
+            .follow("DBConfListPage.ConfList.ToConf")
+        )
+        cm = bib_env.cost_model
+        assert cm.cost(via_full) == cm.cost(via_db)
+        assert cm.bytes_cost(via_db) < cm.bytes_cost(via_full)
+
+    def test_candidates_carry_bytes(self, uni_env):
+        planned = uni_env.plan("SELECT DName FROM Dept")
+        assert all(c.bytes_cost > 0 for c in planned.candidates)
+
+
+class TestObsolescenceTolerance:
+    @pytest.fixture()
+    def setup(self):
+        env = university(UniversityConfig(n_depts=2, n_profs=6, n_courses=8))
+        store = MaterializedStore(
+            env.scheme, WebClient(env.site.server), env.registry
+        )
+        store.populate()
+        store.client.log.reset()
+        engine = MaterializedEngine(store, env.planner)
+        query = parse_query(
+            "SELECT PName, Rank FROM Professor", env.view
+        )
+        return env, store, engine, query
+
+    def test_within_window_no_connections_at_all(self, setup):
+        env, store, engine, query = setup
+        result = engine.query(query, max_age=1000)
+        assert result.light_connections == 0
+        assert result.pages == 0
+        assert len(result.relation) == 6
+
+    def test_within_window_answers_may_be_stale(self, setup):
+        env, store, engine, query = setup
+        SiteMutator(env.site).update_prof_rank(env.site.profs[0], "Emeritus")
+        stale = engine.query(query, max_age=1000)
+        by_name = {r["PName"]: r["Rank"] for r in stale.relation}
+        assert by_name[env.site.profs[0].name] != "Emeritus"
+
+    def test_expired_window_checks_again(self, setup):
+        env, store, engine, query = setup
+        SiteMutator(env.site).update_prof_rank(env.site.profs[0], "Emeritus")
+        env.site.server.clock.advance(2000)
+        fresh = engine.query(query, max_age=1000)
+        by_name = {r["PName"]: r["Rank"] for r in fresh.relation}
+        assert by_name[env.site.profs[0].name] == "Emeritus"
+        assert fresh.light_connections > 0
+
+    def test_light_check_renews_window(self, setup):
+        env, store, engine, query = setup
+        env.site.server.clock.advance(2000)
+        first = engine.query(query, max_age=1000)   # checks everything
+        assert first.light_connections > 0
+        second = engine.query(query, max_age=1000)  # windows renewed
+        assert second.light_connections == 0
+
+    def test_no_max_age_always_checks(self, setup):
+        env, store, engine, query = setup
+        result = engine.query(query)
+        assert result.light_connections > 0
+
+
+class TestPlannerOptions:
+    def test_defaults_enable_everything(self):
+        opts = PlannerOptions()
+        assert opts.pointer_join and opts.pointer_chase
+        assert opts.push_selections and opts.merge_repeated
+
+    def test_disabled_chase_still_correct(self, uni_env):
+        sql = (
+            "SELECT Professor.PName FROM Professor, ProfDept "
+            "WHERE Professor.PName = ProfDept.PName "
+            "AND ProfDept.DName = 'Computer Science'"
+        )
+        query = parse_query(sql, uni_env.view)
+        full = uni_env.planner.plan_query(query)
+        crippled_planner = Planner(
+            uni_env.view,
+            uni_env.cost_model,
+            PlannerOptions(
+                pointer_join=False, pointer_chase=False, join_pushdown=False
+            ),
+        )
+        crippled = crippled_planner.plan_query(query)
+        assert crippled.best.cost >= full.best.cost
+        a = uni_env.execute(full.best.expr).relation
+        b = uni_env.execute(crippled.best.expr).relation
+        assert a.same_contents(b)
+
+    def test_no_merge_keeps_duplicate_navigation_cost(self, uni_env):
+        sql = (
+            "SELECT Professor.PName FROM Professor, ProfDept "
+            "WHERE Professor.PName = ProfDept.PName"
+        )
+        query = parse_query(sql, uni_env.view)
+        full = uni_env.planner.plan_query(query)
+        no_merge = Planner(
+            uni_env.view,
+            uni_env.cost_model,
+            PlannerOptions(merge_repeated=False),
+        ).plan_query(query)
+        assert no_merge.best.cost >= full.best.cost

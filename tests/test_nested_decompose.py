@@ -1,0 +1,215 @@
+"""Tests for PNF decomposition into flat relations (paper, Section 8)."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adm.webtypes import TEXT, list_of
+from repro.errors import PNFError, SchemaError
+from repro.nested.decompose import decompose, recompose
+from repro.nested.relation import Relation
+from repro.nested.schema import Field, RelationSchema
+
+
+def atom(name):
+    return Field(name, TEXT)
+
+
+@pytest.fixture()
+def dept_schema():
+    prof_elem = RelationSchema([atom("PName"), atom("Email")])
+    return RelationSchema(
+        [
+            atom("DName"),
+            atom("Address"),
+            Field(
+                "Profs",
+                list_of(("PName", TEXT), ("Email", TEXT)),
+                elem=prof_elem,
+            ),
+        ]
+    )
+
+
+@pytest.fixture()
+def dept_relation(dept_schema):
+    return Relation(
+        dept_schema,
+        [
+            {
+                "DName": "CS",
+                "Address": "1 Main",
+                "Profs": [
+                    {"PName": "Ada", "Email": "a@x"},
+                    {"PName": "Alan", "Email": "t@x"},
+                ],
+            },
+            {"DName": "Math", "Address": "2 Oak", "Profs": []},
+        ],
+    )
+
+
+class TestDecompose:
+    def test_produces_one_relation_per_level(self, dept_relation):
+        flats = decompose(dept_relation, "Dept")
+        assert set(flats) == {"Dept", "Dept__Profs"}
+
+    def test_root_relation_holds_atoms(self, dept_relation):
+        flats = decompose(dept_relation, "Dept")
+        root = flats["Dept"]
+        assert root.schema.names() == ("DName", "Address")
+        assert len(root) == 2
+
+    def test_child_carries_parent_key(self, dept_relation):
+        flats = decompose(dept_relation, "Dept")
+        child = flats["Dept__Profs"]
+        assert child.schema.names() == ("DName", "Address", "PName", "Email")
+        assert len(child) == 2  # Math has no professors
+        assert all(r["DName"] == "CS" for r in child.rows)
+
+    def test_non_pnf_rejected(self, dept_schema):
+        bad = Relation(
+            dept_schema,
+            [
+                {"DName": "CS", "Address": "1", "Profs": []},
+                {"DName": "CS", "Address": "1", "Profs": []},
+            ],
+        )
+        with pytest.raises(PNFError):
+            decompose(bad, "Dept")
+
+    def test_key_clash_rejected(self):
+        elem = RelationSchema([atom("DName")])  # clashes with parent atom
+        schema = RelationSchema(
+            [atom("DName"), Field("L", list_of(("DName", TEXT)), elem=elem)]
+        )
+        rel = Relation(
+            schema, [{"DName": "CS", "L": [{"DName": "inner"}]}]
+        )
+        with pytest.raises(SchemaError):
+            decompose(rel, "X")
+
+    def test_two_levels(self):
+        deep_elem = RelationSchema([atom("X")])
+        mid_elem = RelationSchema(
+            [atom("B"), Field("Deep", list_of(("X", TEXT)), elem=deep_elem)]
+        )
+        schema = RelationSchema(
+            [
+                atom("A"),
+                Field(
+                    "Mid",
+                    list_of(("B", TEXT), ("Deep", list_of(("X", TEXT)))),
+                    elem=mid_elem,
+                ),
+            ]
+        )
+        rel = Relation(
+            schema,
+            [
+                {
+                    "A": "a1",
+                    "Mid": [
+                        {"B": "b1", "Deep": [{"X": "x1"}, {"X": "x2"}]},
+                        {"B": "b2", "Deep": []},
+                    ],
+                }
+            ],
+        )
+        flats = decompose(rel, "R")
+        assert set(flats) == {"R", "R__Mid", "R__Mid__Deep"}
+        deep = flats["R__Mid__Deep"]
+        assert deep.schema.names() == ("A", "B", "X")
+        assert {(r["B"], r["X"]) for r in deep.rows} == {
+            ("b1", "x1"),
+            ("b1", "x2"),
+        }
+
+
+class TestRecompose:
+    def test_round_trip(self, dept_relation):
+        flats = decompose(dept_relation, "Dept")
+        rebuilt = recompose(flats, "Dept", dept_relation.schema)
+        assert rebuilt.same_contents(dept_relation)
+
+    def test_missing_flat_rejected(self, dept_relation):
+        flats = decompose(dept_relation, "Dept")
+        del flats["Dept__Profs"]
+        with pytest.raises(SchemaError):
+            recompose(flats, "Dept", dept_relation.schema)
+
+    def test_round_trip_on_page_relations(self, uni_env):
+        """Decompose the wrapped ProfPage page-relation (the paper's own
+        use case: storing the ADM view in a relational DBMS)."""
+        from repro.algebra.ast import page_relation_schema
+        from repro.engine.local import qualify_row
+
+        site = uni_env.site
+        schema = page_relation_schema(site.scheme, "ProfPage")
+        rows = [
+            qualify_row(
+                schema,
+                uni_env.registry.wrap(
+                    "ProfPage", url, site.server.resource(url).html
+                ),
+            )
+            for url in site.server.urls_of_scheme("ProfPage")
+        ]
+        relation = Relation(schema, rows)
+        flats = decompose(relation, "ProfPage")
+        assert set(flats) == {"ProfPage", "ProfPage__ProfPage.CourseList"}
+        rebuilt = recompose(flats, "ProfPage", schema)
+        assert rebuilt.same_contents(relation)
+
+
+# property-based round trip --------------------------------------------- #
+
+VALUES = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def nested_pnf_relations(draw):
+    deep_elem = RelationSchema([atom("X")])
+    elem = RelationSchema(
+        [atom("P"), Field("Deep", list_of(("X", TEXT)), elem=deep_elem)]
+    )
+    schema = RelationSchema(
+        [
+            atom("K"),
+            atom("V"),
+            Field(
+                "L",
+                list_of(("P", TEXT), ("Deep", list_of(("X", TEXT)))),
+                elem=elem,
+            ),
+        ]
+    )
+    keys = draw(st.lists(st.tuples(VALUES, VALUES), unique=True, max_size=5))
+    rows = []
+    for k, v in keys:
+        inner_keys = draw(st.lists(VALUES, unique=True, max_size=3))
+        inner = []
+        for p in inner_keys:
+            deep_keys = draw(st.lists(VALUES, unique=True, max_size=3))
+            inner.append({"P": p, "Deep": [{"X": x} for x in deep_keys]})
+        rows.append({"K": k, "V": v, "L": inner})
+    return Relation(schema, rows)
+
+
+@given(nested_pnf_relations())
+@settings(max_examples=50, deadline=None)
+def test_decompose_recompose_round_trip(rel):
+    flats = decompose(rel, "R")
+    rebuilt = recompose(flats, "R", rel.schema)
+    assert rebuilt.same_contents(rel)
+
+
+@given(nested_pnf_relations())
+@settings(max_examples=30, deadline=None)
+def test_decomposition_cardinalities(rel):
+    flats = decompose(rel, "R")
+    assert len(flats["R"]) == len(rel)
+    assert len(flats["R__L"]) == sum(len(r["L"]) for r in rel.rows)
+    assert len(flats["R__L__Deep"]) == sum(
+        len(i["Deep"]) for r in rel.rows for i in r["L"]
+    )

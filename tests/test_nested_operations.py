@@ -1,0 +1,252 @@
+"""Tests for nested-relation operations."""
+
+import pytest
+
+from repro.adm.webtypes import TEXT, list_of
+from repro.errors import SchemaError
+from repro.nested.operations import (
+    difference,
+    distinct,
+    join,
+    nest,
+    product,
+    project,
+    rename,
+    select,
+    union,
+    unnest,
+)
+from repro.nested.relation import Relation
+from repro.nested.schema import Field, RelationSchema
+
+
+def atom(name):
+    return Field(name, TEXT)
+
+
+def flat(*names):
+    return RelationSchema([atom(n) for n in names])
+
+
+@pytest.fixture()
+def people():
+    return Relation(
+        flat("Name", "Dept"),
+        [
+            {"Name": "Ada", "Dept": "CS"},
+            {"Name": "Alan", "Dept": "CS"},
+            {"Name": "Grace", "Dept": "Math"},
+        ],
+    )
+
+
+@pytest.fixture()
+def depts():
+    return Relation(
+        flat("DName", "Addr"),
+        [
+            {"DName": "CS", "Addr": "1 Main"},
+            {"DName": "Math", "Addr": "2 Oak"},
+            {"DName": "Physics", "Addr": "3 Elm"},
+        ],
+    )
+
+
+@pytest.fixture()
+def nested_rel():
+    elem = flat("PName")
+    schema = RelationSchema(
+        [atom("DName"), Field("Profs", list_of(("PName", TEXT)), elem=elem)]
+    )
+    return Relation(
+        schema,
+        [
+            {"DName": "CS", "Profs": [{"PName": "Ada"}, {"PName": "Alan"}]},
+            {"DName": "Math", "Profs": [{"PName": "Grace"}]},
+            {"DName": "Empty", "Profs": []},
+        ],
+    )
+
+
+class TestSelect:
+    def test_select(self, people):
+        out = select(people, lambda r: r["Dept"] == "CS")
+        assert len(out) == 2
+
+    def test_select_keeps_schema(self, people):
+        out = select(people, lambda r: False)
+        assert out.schema == people.schema
+        assert out.is_empty()
+
+
+class TestProject:
+    def test_project_dedups(self, people):
+        out = project(people, ["Dept"])
+        assert sorted(r["Dept"] for r in out) == ["CS", "Math"]
+
+    def test_project_with_rename(self, people):
+        out = project(people, ["Name"], {"Name": "Who"})
+        assert out.schema.names() == ("Who",)
+        assert out.rows[0] == {"Who": "Ada"}
+
+    def test_project_unknown_rejected(self, people):
+        with pytest.raises(SchemaError):
+            project(people, ["Nope"])
+
+
+class TestJoin:
+    def test_equi_join(self, people, depts):
+        out = join(people, depts, [("Dept", "DName")])
+        assert len(out) == 3
+        row = next(r for r in out if r["Name"] == "Ada")
+        assert row["Addr"] == "1 Main"
+
+    def test_join_no_match(self, people, depts):
+        physics_only = select(depts, lambda r: r["DName"] == "Physics")
+        out = join(people, physics_only, [("Dept", "DName")])
+        assert out.is_empty()
+
+    def test_join_clash_rejected(self, people):
+        with pytest.raises(SchemaError):
+            join(people, people, [("Name", "Name")])
+
+    def test_join_null_keys_never_match(self, depts):
+        left = Relation(flat("K"), [{"K": None}, {"K": "CS"}])
+        out = join(left, depts, [("K", "DName")])
+        assert len(out) == 1
+
+    def test_join_multi_pair(self):
+        left = Relation(flat("A", "B"), [{"A": "1", "B": "x"}, {"A": "1", "B": "y"}])
+        right = Relation(flat("C", "D"), [{"C": "1", "D": "x"}])
+        out = join(left, right, [("A", "C"), ("B", "D")])
+        assert len(out) == 1
+
+    def test_join_with_theta_predicate(self, people, depts):
+        out = join(
+            people,
+            depts,
+            [("Dept", "DName")],
+            predicate=lambda l, r: l["Name"] != "Ada",
+        )
+        assert {r["Name"] for r in out} == {"Alan", "Grace"}
+
+    def test_empty_on_is_product(self, people, depts):
+        assert len(join(people, depts, [])) == len(people) * len(depts)
+
+
+class TestProduct:
+    def test_product(self, people, depts):
+        out = product(people, depts)
+        assert len(out) == 9
+
+
+class TestUnnest:
+    def test_unnest(self, nested_rel):
+        out = unnest(nested_rel, "Profs")
+        assert out.schema.names() == ("DName", "PName")
+        assert len(out) == 3  # the empty list vanishes
+
+    def test_unnest_drops_empty(self, nested_rel):
+        out = unnest(nested_rel, "Profs")
+        assert "Empty" not in {r["DName"] for r in out}
+
+    def test_unnest_atom_rejected(self, nested_rel):
+        with pytest.raises(SchemaError):
+            unnest(nested_rel, "DName")
+
+
+class TestNest:
+    def test_nest_round_trip(self, nested_rel):
+        flat_rel = unnest(nested_rel, "Profs")
+        renested = nest(flat_rel, ["PName"], "Profs")
+        # the empty-list department cannot come back: unnest lost it
+        expected = select(nested_rel, lambda r: bool(r["Profs"]))
+        assert renested.same_contents(expected)
+
+    def test_nest_groups(self):
+        rel = Relation(
+            flat("D", "P"),
+            [{"D": "CS", "P": "a"}, {"D": "CS", "P": "b"}, {"D": "M", "P": "c"}],
+        )
+        out = nest(rel, ["P"], "Ps")
+        by_d = {r["D"]: r["Ps"] for r in out}
+        assert len(by_d["CS"]) == 2
+        assert len(by_d["M"]) == 1
+
+    def test_nest_dedups_inner(self):
+        rel = Relation(flat("D", "P"), [{"D": "CS", "P": "a"}, {"D": "CS", "P": "a"}])
+        out = nest(rel, ["P"], "Ps")
+        assert len(out.rows[0]["Ps"]) == 1
+
+    def test_nest_name_clash_rejected(self, people):
+        with pytest.raises(SchemaError):
+            nest(people, ["Name"], "Dept")
+
+    def test_nest_list_field_rejected(self, nested_rel):
+        with pytest.raises(SchemaError):
+            nest(nested_rel, ["Profs"], "X")
+
+
+class TestRename:
+    def test_rename(self, people):
+        out = rename(people, {"Name": "N"})
+        assert out.schema.names() == ("N", "Dept")
+        assert out.rows[0]["N"] == "Ada"
+
+
+class TestSetOps:
+    def test_distinct(self):
+        rel = Relation(flat("A"), [{"A": "x"}, {"A": "x"}, {"A": "y"}])
+        assert len(distinct(rel)) == 2
+
+    def test_union(self, people):
+        other = Relation(people.schema, [{"Name": "Edsger", "Dept": "CS"}])
+        out = union(people, other)
+        assert len(out) == 4
+
+    def test_union_dedups(self, people):
+        out = union(people, people)
+        assert len(out) == 3
+
+    def test_difference(self, people):
+        cs = select(people, lambda r: r["Dept"] == "CS")
+        out = difference(people, cs)
+        assert {r["Name"] for r in out} == {"Grace"}
+
+    def test_incompatible_schemas_rejected(self, people, depts):
+        with pytest.raises(SchemaError):
+            union(people, depts)
+        with pytest.raises(SchemaError):
+            difference(people, depts)
+
+
+class TestRelationHelpers:
+    def test_column(self, people):
+        assert people.column("Name") == ["Ada", "Alan", "Grace"]
+
+    def test_distinct_values(self, people):
+        assert people.distinct_values("Dept") == {"CS", "Math"}
+
+    def test_same_contents_ignores_order(self, people):
+        shuffled = Relation(people.schema, list(reversed(people.rows)))
+        assert people.same_contents(shuffled)
+
+    def test_same_contents_different_fields(self, people, depts):
+        assert not people.same_contents(depts)
+
+    def test_to_table(self, nested_rel):
+        table = nested_rel.to_table()
+        assert "DName" in table
+        assert "<2 rows>" in table
+
+    def test_to_table_limit(self, people):
+        table = people.to_table(limit=1)
+        assert "2 more rows" in table
+
+    def test_validate_catches_missing_field(self):
+        with pytest.raises(SchemaError):
+            Relation(flat("A", "B"), [{"A": "x"}], validate=True)
+
+    def test_validate_catches_list_mismatch(self):
+        with pytest.raises(SchemaError):
+            Relation(flat("A"), [{"A": ["not-an-atom"]}], validate=True)

@@ -1,0 +1,92 @@
+"""Tests for Partitioned Normal Form validation."""
+
+import pytest
+
+from repro.adm.webtypes import TEXT, list_of
+from repro.errors import PNFError
+from repro.nested.pnf import check_pnf, is_pnf
+from repro.nested.relation import Relation
+from repro.nested.schema import Field, RelationSchema
+
+
+def atom(name):
+    return Field(name, TEXT)
+
+
+def nested_schema():
+    elem = RelationSchema([atom("PName")])
+    return RelationSchema(
+        [atom("DName"), Field("Profs", list_of(("PName", TEXT)), elem=elem)]
+    )
+
+
+def test_flat_pnf_ok():
+    rel = Relation(
+        RelationSchema([atom("A")]), [{"A": "x"}, {"A": "y"}]
+    )
+    check_pnf(rel)
+    assert is_pnf(rel)
+
+
+def test_flat_duplicate_violates():
+    rel = Relation(RelationSchema([atom("A")]), [{"A": "x"}, {"A": "x"}])
+    assert not is_pnf(rel)
+    with pytest.raises(PNFError):
+        check_pnf(rel)
+
+
+def test_nested_pnf_ok():
+    rel = Relation(
+        nested_schema(),
+        [
+            {"DName": "CS", "Profs": [{"PName": "Ada"}]},
+            {"DName": "Math", "Profs": [{"PName": "Ada"}]},
+        ],
+    )
+    assert is_pnf(rel)
+
+
+def test_duplicate_atoms_with_different_lists_violates():
+    rel = Relation(
+        nested_schema(),
+        [
+            {"DName": "CS", "Profs": [{"PName": "Ada"}]},
+            {"DName": "CS", "Profs": [{"PName": "Alan"}]},
+        ],
+    )
+    assert not is_pnf(rel)
+
+
+def test_inner_duplicate_violates():
+    rel = Relation(
+        nested_schema(),
+        [{"DName": "CS", "Profs": [{"PName": "Ada"}, {"PName": "Ada"}]}],
+    )
+    assert not is_pnf(rel)
+
+
+def test_error_reports_path():
+    rel = Relation(
+        nested_schema(),
+        [{"DName": "CS", "Profs": [{"PName": "Ada"}, {"PName": "Ada"}]}],
+    )
+    with pytest.raises(PNFError, match="Profs"):
+        check_pnf(rel)
+
+
+def test_generated_pages_are_pnf(uni_env):
+    """Every page-relation of the generated site is in PNF (footnote 5)."""
+    from repro.algebra.ast import page_relation_schema
+    from repro.engine.local import qualify_row
+
+    site = uni_env.site
+    for scheme_name in site.scheme.page_schemes:
+        urls = site.server.urls_of_scheme(scheme_name)
+        schema = page_relation_schema(site.scheme, scheme_name)
+        rows = []
+        for url in urls:
+            plain = uni_env.registry.wrap(
+                scheme_name, url, site.server.resource(url).html
+            )
+            rows.append(qualify_row(schema, plain))
+        check_pnf(Relation(schema, rows))

@@ -1,0 +1,137 @@
+"""Property-based tests for the nested-relation algebra (hypothesis).
+
+These check the algebraic laws the optimizer's rewrite rules silently rely
+on: selection/projection interactions, join commutation, unnest/nest
+round-trips, and set-operation identities.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adm.webtypes import TEXT, list_of
+from repro.nested.operations import (
+    difference,
+    distinct,
+    join,
+    nest,
+    project,
+    select,
+    union,
+    unnest,
+)
+from repro.nested.relation import Relation
+from repro.nested.schema import Field, RelationSchema
+
+VALUES = st.sampled_from(["a", "b", "c", "d"])
+
+
+def flat_schema(names):
+    return RelationSchema([Field(n, TEXT) for n in names])
+
+
+@st.composite
+def flat_relations(draw, names=("A", "B")):
+    rows = draw(
+        st.lists(
+            st.fixed_dictionaries({n: VALUES for n in names}), max_size=12
+        )
+    )
+    return Relation(flat_schema(names), rows)
+
+
+@st.composite
+def nested_relations(draw):
+    elem = RelationSchema([Field("X", TEXT)])
+    schema = RelationSchema(
+        [Field("K", TEXT), Field("L", list_of(("X", TEXT)), elem=elem)]
+    )
+    keys = draw(st.lists(VALUES, unique=True, max_size=6))
+    rows = []
+    for key in keys:
+        inner = draw(st.lists(st.fixed_dictionaries({"X": VALUES}), max_size=4))
+        # dedup inner rows so the relation is PNF-like
+        seen = set()
+        uniq = []
+        for r in inner:
+            if r["X"] not in seen:
+                seen.add(r["X"])
+                uniq.append(r)
+        rows.append({"K": key, "L": uniq})
+    return Relation(schema, rows)
+
+
+@given(flat_relations())
+def test_select_true_is_identity(rel):
+    assert select(rel, lambda r: True).same_contents(rel)
+
+
+@given(flat_relations())
+def test_select_conjunction_commutes(rel):
+    p1 = lambda r: r["A"] == "a"
+    p2 = lambda r: r["B"] != "b"
+    left = select(select(rel, p1), p2)
+    right = select(select(rel, p2), p1)
+    assert left.same_contents(right)
+
+
+@given(flat_relations())
+def test_project_idempotent(rel):
+    once = project(rel, ["A"])
+    twice = project(once, ["A"])
+    assert once.same_contents(twice)
+
+
+@given(flat_relations(), flat_relations(names=("C", "D")))
+def test_join_commutes(left, right):
+    ab = join(left, right, [("A", "C")])
+    ba = join(right, left, [("C", "A")])
+    assert ab.same_contents(ba)
+
+
+@given(flat_relations(), flat_relations(names=("C", "D")))
+def test_selection_pushes_through_join(left, right):
+    pred = lambda r: r["A"] == "a"
+    above = select(join(left, right, [("A", "C")]), pred)
+    below = join(select(left, pred), right, [("A", "C")])
+    assert above.same_contents(below)
+
+
+@given(nested_relations())
+def test_unnest_then_nest_recovers_nonempty(rel):
+    """nest ∘ unnest recovers every tuple whose list was non-empty."""
+    flat = unnest(rel, "L")
+    renested = nest(flat, ["X"], "L")
+    expected = select(rel, lambda r: bool(r["L"]))
+    assert renested.same_contents(expected)
+
+
+@given(nested_relations())
+def test_unnest_cardinality(rel):
+    flat = unnest(rel, "L")
+    assert len(flat) == sum(len(r["L"]) for r in rel.rows)
+
+
+@given(flat_relations(), flat_relations())
+def test_union_is_commutative(a, b):
+    assert union(a, b).same_contents(union(b, a))
+
+
+@given(flat_relations(), flat_relations())
+def test_difference_then_union_restores_subset(a, b):
+    diff = difference(a, b)
+    # a - b ⊆ a
+    assert difference(diff, a).is_empty()
+
+
+@given(flat_relations())
+def test_distinct_idempotent(rel):
+    once = distinct(rel)
+    assert len(distinct(once)) == len(once)
+
+
+@given(flat_relations())
+def test_difference_self_is_empty(rel):
+    assert difference(rel, rel).is_empty()

@@ -1,0 +1,127 @@
+"""Tests for relation schemas."""
+
+import pytest
+
+from repro.adm.webtypes import TEXT, link, list_of
+from repro.errors import SchemaError
+from repro.nested.schema import Field, Provenance, RelationSchema
+
+
+def atom(name, prov=None):
+    return Field(name, TEXT, provenance=prov)
+
+
+def make_list_field(name, *fields):
+    wtype = list_of(*[(f.name, f.wtype) for f in fields])
+    return Field(name, wtype, elem=RelationSchema(fields))
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema(
+        [
+            atom("DName"),
+            atom("Address"),
+            make_list_field("ProfList", atom("PName"), atom("Email")),
+        ]
+    )
+
+
+class TestField:
+    def test_atom_field(self):
+        f = atom("A")
+        assert not f.is_list
+
+    def test_list_field_requires_elem(self):
+        with pytest.raises(SchemaError):
+            Field("L", list_of(("A", TEXT)))
+
+    def test_atom_field_rejects_elem(self):
+        with pytest.raises(SchemaError):
+            Field("A", TEXT, elem=RelationSchema([atom("B")]))
+
+    def test_renamed_keeps_provenance(self):
+        prov = Provenance.of("P", "A")
+        f = atom("A", prov).renamed("B")
+        assert f.name == "B"
+        assert f.provenance == prov
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            atom("")
+
+
+class TestProvenance:
+    def test_of_parses_path(self):
+        prov = Provenance.of("ProfPage", "CourseList.CName")
+        assert prov.scheme == "ProfPage"
+        assert str(prov.path) == "CourseList.CName"
+        assert prov.base_scheme == "ProfPage"
+
+    def test_alias_with_base(self):
+        prov = Provenance.of("P2", "A", base_scheme="ProfPage")
+        assert prov.base_scheme == "ProfPage"
+
+
+class TestRelationSchema:
+    def test_lookup(self, schema):
+        assert schema.field("DName").name == "DName"
+        assert "DName" in schema
+        assert "Nope" not in schema
+        with pytest.raises(SchemaError):
+            schema.field("Nope")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema([atom("A"), atom("A")])
+
+    def test_names(self, schema):
+        assert schema.names() == ("DName", "Address", "ProfList")
+        assert schema.atom_names() == ("DName", "Address")
+        assert schema.list_names() == ("ProfList",)
+
+    def test_project(self, schema):
+        projected = schema.project(["Address", "DName"])
+        assert projected.names() == ("Address", "DName")
+
+    def test_project_unknown_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.project(["Nope"])
+
+    def test_concat(self, schema):
+        other = RelationSchema([atom("X")])
+        combined = schema.concat(other)
+        assert combined.names()[-1] == "X"
+
+    def test_concat_clash_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.concat(RelationSchema([atom("DName")]))
+
+    def test_drop(self, schema):
+        assert "DName" not in schema.drop("DName")
+        with pytest.raises(SchemaError):
+            schema.drop("Nope")
+
+    def test_rename(self, schema):
+        renamed = schema.rename({"DName": "Name"})
+        assert "Name" in renamed
+        assert "DName" not in renamed
+        with pytest.raises(SchemaError):
+            schema.rename({"Nope": "X"})
+
+    def test_unnest(self, schema):
+        unnested = schema.unnest("ProfList")
+        assert unnested.names() == ("DName", "Address", "PName", "Email")
+
+    def test_unnest_atom_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.unnest("DName")
+
+    def test_equality_and_hash(self, schema):
+        clone = RelationSchema(list(schema.fields))
+        assert schema == clone
+        assert hash(schema) == hash(clone)
+
+    def test_iteration_and_len(self, schema):
+        assert len(schema) == 3
+        assert [f.name for f in schema] == list(schema.names())

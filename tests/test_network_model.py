@@ -1,0 +1,80 @@
+"""Tests for the simulated network time model."""
+
+import pytest
+
+from repro.web import MODEM_1998, NetworkModel, SimulatedWebServer, WebClient
+
+
+class TestNetworkModel:
+    def test_get_time(self):
+        model = NetworkModel(rtt_seconds=0.2, bytes_per_second=1000)
+        assert model.get_seconds(500) == pytest.approx(0.7)
+
+    def test_head_time_is_rtt_only(self):
+        model = NetworkModel(rtt_seconds=0.2, bytes_per_second=1000)
+        assert model.head_seconds() == pytest.approx(0.2)
+
+    def test_head_much_cheaper_than_get(self):
+        """Section 8's premise: light connections are quite fast."""
+        assert MODEM_1998.head_seconds() < MODEM_1998.get_seconds(2000) / 2
+
+    def test_invalid_models_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(rtt_seconds=-1)
+        with pytest.raises(ValueError):
+            NetworkModel(bytes_per_second=0)
+
+
+class TestClientTiming:
+    @pytest.fixture()
+    def server(self):
+        s = SimulatedWebServer()
+        s.publish("http://x/a.html", "x" * 8000)
+        return s
+
+    def test_get_accumulates_time(self, server):
+        client = WebClient(
+            server, NetworkModel(rtt_seconds=0.25, bytes_per_second=8000)
+        )
+        client.get("http://x/a.html")
+        assert client.log.simulated_seconds == pytest.approx(1.25)
+
+    def test_head_accumulates_rtt(self, server):
+        client = WebClient(
+            server, NetworkModel(rtt_seconds=0.25, bytes_per_second=8000)
+        )
+        client.head("http://x/a.html")
+        client.head("http://x/missing.html")
+        assert client.log.simulated_seconds == pytest.approx(0.5)
+
+    def test_snapshot_delta_carries_time(self, server):
+        client = WebClient(server)
+        snap = client.log.snapshot()
+        client.get("http://x/a.html")
+        delta = client.log.delta(snap)
+        assert delta.simulated_seconds > 0
+        assert snap.simulated_seconds == 0
+
+    def test_materialized_views_save_simulated_time(self):
+        """The Section 8 pitch in wall-clock terms: answering from the
+        store (light connections only) is much faster than re-navigating."""
+        from repro.materialized import MaterializedEngine, MaterializedStore
+        from repro.sitegen import UniversityConfig
+        from repro.sites import university
+        from repro.views.sql import parse_query
+
+        env = university(UniversityConfig(n_depts=2, n_profs=6, n_courses=10))
+        store = MaterializedStore(
+            env.scheme, WebClient(env.site.server), env.registry
+        )
+        store.populate()
+        store.client.log.reset()
+        engine = MaterializedEngine(store, env.planner)
+        query = parse_query("SELECT PName, Rank FROM Professor", env.view)
+
+        virtual = env.query(query)
+        materialized = engine.query(query)
+        assert (
+            materialized.log.simulated_seconds
+            < virtual.log.simulated_seconds / 2
+        )

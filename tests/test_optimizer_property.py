@@ -1,0 +1,158 @@
+"""Property-based optimizer soundness: random conjunctive queries.
+
+Hypothesis generates conjunctive queries over the university view —
+random relation subsets, join conditions on shared attributes, constant
+selections drawn from the live instance — and asserts the rewrite system's
+global soundness property: *every* candidate plan computes the same answer,
+and that answer matches a naive evaluation over the materialized extents.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sitegen import UniversityConfig
+from repro.sites import university
+from repro.views.conjunctive import ConjunctiveQuery, RelOccurrence
+
+# A small site keeps each case fast; module-level because hypothesis calls
+# the test many times.
+ENV = university(UniversityConfig(n_depts=2, n_profs=6, n_courses=10))
+
+# (relation, attrs) of the external view
+RELATIONS = {
+    "Dept": ("DName", "Address"),
+    "Professor": ("PName", "Rank", "email"),
+    "Course": ("CName", "Session", "Description", "Type"),
+    "CourseInstructor": ("CName", "PName"),
+    "ProfDept": ("PName", "DName"),
+}
+
+# live constants per attribute (so selections are usually non-empty)
+CONSTANTS = {
+    "DName": sorted({d.name for d in ENV.site.depts}),
+    "PName": sorted({p.name for p in ENV.site.profs})[:4],
+    "Rank": ["Full", "Associate"],
+    "Session": ["Fall", "Winter"],
+    "Type": ["Graduate", "Undergraduate"],
+    "CName": sorted({c.name for c in ENV.site.courses})[:4],
+}
+
+# join graph: which relation pairs share a joinable attribute
+JOINABLE = [
+    ("Professor", "ProfDept", "PName", "PName"),
+    ("Professor", "CourseInstructor", "PName", "PName"),
+    ("CourseInstructor", "Course", "CName", "CName"),
+    ("ProfDept", "Dept", "DName", "DName"),
+]
+
+
+@st.composite
+def conjunctive_queries(draw):
+    n_rels = draw(st.integers(1, 3))
+    # grow a connected set of occurrences along the join graph
+    order = ["Professor", "ProfDept", "CourseInstructor", "Course", "Dept"]
+    start = draw(st.sampled_from(order))
+    chosen = [start]
+    equalities = []
+    while len(chosen) < n_rels:
+        frontier = [
+            (a, b, aa, bb)
+            for a, b, aa, bb in JOINABLE
+            if (a in chosen) != (b in chosen)
+        ]
+        if not frontier:
+            break
+        a, b, aa, bb = draw(st.sampled_from(frontier))
+        if a in chosen:
+            chosen.append(b)
+        else:
+            chosen.append(a)
+        equalities.append((f"{a}.{aa}", f"{b}.{bb}"))
+
+    occurrences = tuple(RelOccurrence(rel, rel) for rel in chosen)
+
+    # head: at least one attribute from some chosen relation
+    head_rel = draw(st.sampled_from(chosen))
+    head_attr = draw(st.sampled_from(RELATIONS[head_rel]))
+    head = ((head_attr, f"{head_rel}.{head_attr}"),)
+
+    # constants: up to 2 selections on selectable attributes
+    selectable = [
+        (rel, attr)
+        for rel in chosen
+        for attr in RELATIONS[rel]
+        if attr in CONSTANTS
+    ]
+    constants = []
+    for _ in range(draw(st.integers(0, 2))):
+        if not selectable:
+            break
+        rel, attr = draw(st.sampled_from(selectable))
+        value = draw(st.sampled_from(CONSTANTS[attr]))
+        constants.append((f"{rel}.{attr}", value))
+
+    return ConjunctiveQuery(
+        head=head,
+        occurrences=occurrences,
+        equalities=tuple(equalities),
+        constants=tuple(constants),
+    )
+
+
+def naive_answer(query: ConjunctiveQuery):
+    """Evaluate the query by materializing every external relation extent
+    and doing the relational algebra in plain Python."""
+    extents = {}
+    for occ in query.occurrences:
+        rel = ENV.view.relation(occ.relation)
+        result = ENV.execute(rel.navigation_expr(0, alias=occ.alias))
+        extents[occ.alias] = result.relation.rows
+
+    # cross product, then filter — fine at this scale
+    combos = [{}]
+    for occ in query.occurrences:
+        combos = [
+            {**combo, **row}
+            for combo in combos
+            for row in extents[occ.alias]
+        ]
+    out = set()
+    for combo in combos:
+        if any(combo[a] != combo[b] for a, b in query.equalities):
+            continue
+        if any(combo[ref] != v for ref, v in query.constants):
+            continue
+        out.add(tuple(combo[ref] for _, ref in query.head))
+    return out
+
+
+@given(conjunctive_queries())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_all_plans_agree_and_match_naive_evaluation(query):
+    planned = ENV.plan(query)
+    expected = naive_answer(query)
+    head_names = [name for name, _ in query.head]
+    for candidate in planned.candidates:
+        result = ENV.execute(candidate.expr)
+        got = {
+            tuple(row[name] for name in head_names)
+            for row in result.relation
+        }
+        assert got == expected, candidate.render(scheme=ENV.scheme)
+
+
+@given(conjunctive_queries())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_best_plan_never_beaten_by_candidates(query):
+    planned = ENV.plan(query)
+    assert planned.best.cost == min(c.cost for c in planned.candidates)

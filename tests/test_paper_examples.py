@@ -1,0 +1,309 @@
+"""Integration tests reproducing the paper's worked examples.
+
+Each test pins a concrete claim the paper makes:
+
+* Expression 1/2 and Figure 2 (Section 4) — building and running the
+  example navigations;
+* Example 7.1 / Figure 3 — the pointer-join plan (1d) beats the
+  pointer-chase plan (2d): C(1d) ≤ C(2d);
+* Example 7.2 / Figure 4 — pointer-chase wins; with the paper's
+  cardinalities (50 courses, 20 professors, 3 departments) the chase plan
+  costs ≈23-25 pages while the pointer-join plan is well over 50;
+* Introduction — the four access paths for "authors of the last three
+  VLDBs" differ by orders of magnitude (path 4 downloads every author
+  page).
+"""
+
+import pytest
+
+from repro.algebra.ast import EntryPointScan
+from repro.algebra.printer import render_expr, render_plan_tree
+from repro.views.sql import parse_query
+
+
+class TestSection4Expressions:
+    def test_expression_1_reaches_all_professors(self, uni_env):
+        """ProfListPage ∘ ProfList →ToProf ProfPage (Expression 1)."""
+        expr = (
+            EntryPointScan("ProfListPage")
+            .unnest("ProfListPage.ProfList")
+            .follow("ProfListPage.ProfList.ToProf")
+        )
+        result = uni_env.executor.execute(expr)
+        assert len(result.relation) == 20
+        assert result.pages == 21
+
+    def test_expression_2_cs_professors(self, uni_env):
+        """π_{Name,email}(σ_{DName='CS'}(ProfListPage ∘ ProfList →ToProf
+        ProfPage)) (Expression 2)."""
+        expr = (
+            EntryPointScan("ProfListPage")
+            .unnest("ProfListPage.ProfList")
+            .follow("ProfListPage.ProfList.ToProf")
+            .select_eq("ProfPage.DName", "Computer Science")
+            .project(("Name", "ProfPage.PName"), ("email", "ProfPage.email"))
+        )
+        result = uni_env.executor.execute(expr)
+        expected = {
+            (p.name, p.email)
+            for p in uni_env.site.profs
+            if p.dept.name == "Computer Science"
+        }
+        assert {(r["Name"], r["email"]) for r in result.relation} == expected
+
+    def test_figure_2_plan(self, uni_env):
+        """'Name and Description of all Courses held by members of the
+        Computer Science Department' — the Figure 2 plan is computable and
+        produces the right answer."""
+        expr = (
+            EntryPointScan("DeptListPage")
+            .unnest("DeptListPage.DeptList")
+            .select_eq("DeptListPage.DeptList.DName", "Computer Science")
+            .follow("DeptListPage.DeptList.ToDept")
+            .unnest("DeptPage.ProfList")
+            .follow("DeptPage.ProfList.ToProf")
+            .unnest("ProfPage.CourseList")
+            .follow("ProfPage.CourseList.ToCourse")
+            .project(
+                ("Name", "CoursePage.CName"),
+                ("Description", "CoursePage.Description"),
+            )
+        )
+        from repro.algebra.computable import is_computable
+
+        assert is_computable(expr, uni_env.scheme)
+        tree = render_plan_tree(expr, uni_env.scheme)
+        assert tree.count("entry point") == 1
+
+        result = uni_env.executor.execute(expr)
+        expected = {
+            (c.name, c.description)
+            for c in uni_env.site.courses
+            if c.prof.dept.name == "Computer Science"
+        }
+        assert {
+            (r["Name"], r["Description"]) for r in result.relation
+        } == expected
+
+
+EX71_SQL = (
+    "SELECT Course.CName, Description FROM Professor, CourseInstructor, "
+    "Course WHERE Professor.PName = CourseInstructor.PName "
+    "AND CourseInstructor.CName = Course.CName "
+    "AND Rank = 'Full' AND Session = 'Fall'"
+)
+
+EX72_SQL = (
+    "SELECT Professor.PName, email FROM Course, CourseInstructor, "
+    "Professor, ProfDept WHERE Course.CName = CourseInstructor.CName "
+    "AND CourseInstructor.PName = Professor.PName "
+    "AND Professor.PName = ProfDept.PName "
+    "AND ProfDept.DName = 'Computer Science' AND Type = 'Graduate'"
+)
+
+
+def candidate_by_marker(result, include, exclude=()):
+    """Find a candidate whose rendering contains all ``include`` markers
+    and none of the ``exclude`` markers."""
+    for candidate in result.candidates:
+        text = candidate.render()
+        if all(m in text for m in include) and not any(
+            m in text for m in exclude
+        ):
+            return candidate
+    raise AssertionError(
+        f"no candidate with {include} and without {exclude}"
+    )
+
+
+class TestExample71:
+    """Pointer-join (1d) vs pointer-chase (2d): the join wins."""
+
+    @pytest.fixture(scope="class")
+    def planned(self, uni_env):
+        return uni_env.plan(parse_query(EX71_SQL, uni_env.view))
+
+    def test_both_strategies_among_candidates(self, planned):
+        # 1d: joins the two ToCourse pointer sets before navigating
+        plan_1d = candidate_by_marker(planned, ["ToCourse=ToCourse"])
+        # 2d: navigates all courses of full professors, then selects
+        plan_2d = candidate_by_marker(
+            planned,
+            ["ProfListPage", "→ToCourse"],
+            exclude=["⋈", "SessionListPage"],
+        )
+        assert plan_1d is not plan_2d
+
+    def test_pointer_join_is_cheaper(self, planned):
+        plan_1d = candidate_by_marker(planned, ["ToCourse=ToCourse"])
+        plan_2d = candidate_by_marker(
+            planned,
+            ["ProfListPage", "→ToCourse"],
+            exclude=["⋈", "SessionListPage"],
+        )
+        assert plan_1d.cost <= plan_2d.cost  # the paper: C(1d) ≤ C(2d)
+
+    def test_optimizer_picks_pointer_join(self, planned):
+        assert "ToCourse=ToCourse" in planned.best.render()
+
+    def test_answer_correct(self, uni_env, planned):
+        out = uni_env.execute(planned.best.expr)
+        expected = {
+            (c.name, c.description)
+            for c in uni_env.site.courses
+            if c.session == "Fall" and c.prof.rank == "Full"
+        }
+        got = {(r["CName"], r["Description"]) for r in out.relation}
+        assert got == expected
+
+    def test_measured_costs_agree_with_ranking(self, uni_env, planned):
+        plan_1d = candidate_by_marker(planned, ["ToCourse=ToCourse"])
+        plan_2d = candidate_by_marker(
+            planned,
+            ["ProfListPage", "→ToCourse"],
+            exclude=["⋈", "SessionListPage"],
+        )
+        measured_1d = uni_env.execute(plan_1d.expr).pages
+        measured_2d = uni_env.execute(plan_2d.expr).pages
+        assert measured_1d < measured_2d
+
+
+class TestExample72:
+    """Pointer-chase through the department wins: ≈23-25 pages vs >50."""
+
+    @pytest.fixture(scope="class")
+    def planned(self, uni_env):
+        return uni_env.plan(parse_query(EX72_SQL, uni_env.view))
+
+    def test_best_plan_is_department_chase(self, planned):
+        text = planned.best.render()
+        assert "DeptListPage" in text
+        assert "SessionListPage" not in text
+        assert "⋈" not in text
+
+    def test_paper_cost_numbers(self, planned):
+        """Paper: 'the second cost amounts to 23 approximately, whereas the
+        first is well over 50'."""
+        assert planned.best.cost == pytest.approx(25.3, abs=3)
+        pointer_join = candidate_by_marker(
+            planned, ["SessionListPage", "⋈"]
+        )
+        assert pointer_join.cost > 50
+
+    def test_measured_pages(self, uni_env, planned):
+        out = uni_env.execute(planned.best.expr)
+        assert out.pages <= 30  # 1 + 1 + ~7 profs + ~17 courses
+        expected = {
+            (p.name, p.email)
+            for p in uni_env.site.profs
+            if p.dept.name == "Computer Science"
+            and any(c.ctype == "Graduate" for c in p.courses)
+        }
+        assert {(r["PName"], r["email"]) for r in out.relation} == expected
+
+    def test_chase_beats_join_measured(self, uni_env, planned):
+        chase = planned.best
+        join = candidate_by_marker(planned, ["SessionListPage", "⋈"])
+        assert uni_env.execute(chase.expr).pages < uni_env.execute(
+            join.expr
+        ).pages
+
+
+class TestIntroductionPaths:
+    """The four access paths for 'authors in the last three VLDBs'."""
+
+    @pytest.fixture(scope="class")
+    def planned(self, bib_env):
+        site = bib_env.site
+        years = [str(e.year) for e in site.vldb.editions[-3:]]
+        sql = (
+            "SELECT A1.AName FROM PaperAuthor A1, PaperAuthor A2, "
+            "PaperAuthor A3 WHERE A1.AName = A2.AName "
+            "AND A2.AName = A3.AName "
+            f"AND A1.ConfName = 'VLDB' AND A1.Year = '{years[0]}' "
+            f"AND A2.ConfName = 'VLDB' AND A2.Year = '{years[1]}' "
+            f"AND A3.ConfName = 'VLDB' AND A3.Year = '{years[2]}'"
+        )
+        return bib_env.plan(parse_query(sql, bib_env.view))
+
+    def test_answer_is_core_authors(self, bib_env, planned):
+        out = bib_env.execute(planned.best.expr)
+        got = {r["AName"] for r in out.relation}
+        assert got == bib_env.site.expected_authors_in_last_editions(3)
+
+    def test_best_plan_navigates_conferences_not_authors(self, planned):
+        assert "ConfListPage" in planned.best.render()
+        assert "AuthorListPage" not in planned.best.render()
+
+    def test_author_path_is_orders_of_magnitude_worse(self, bib_env, planned):
+        """Path 4 (via the author list) costs ~|authors| pages."""
+        author_plans = [
+            c for c in planned.candidates if "AuthorListPage" in c.render()
+        ]
+        assert author_plans
+        worst = max(c.cost for c in author_plans)
+        n_authors = len(bib_env.site.authors)
+        assert worst >= n_authors
+        assert worst / planned.best.cost > 10
+
+    def test_best_plan_measured_pages_small(self, bib_env, planned):
+        # The optimizer may choose either the paper's path 1 (3 edition
+        # pages) or an even cheaper chase: one edition page, then the
+        # author pages of that edition's authors (whose PubLists answer the
+        # other two years).  Both stay within a handful of pages — versus
+        # |authors| + 2 for path 4.
+        out = bib_env.execute(planned.best.expr)
+        assert out.pages <= 15
+        assert out.pages < len(bib_env.site.authors) / 2
+
+    def test_manual_path1_costs_six_pages(self, bib_env):
+        """The Introduction's path 1 spelled out by hand: home → conference
+        list → VLDB page → the three edition pages."""
+        from repro.algebra.ast import EntryPointScan
+        from repro.algebra.predicates import In, Predicate
+
+        site = bib_env.site
+        years = tuple(str(e.year) for e in site.vldb.editions[-3:])
+        plan = (
+            EntryPointScan("BibHomePage")
+            .follow("BibHomePage.ToConfList")
+            .unnest("ConfListPage.ConfList")
+            .select_eq("ConfListPage.ConfList.ConfName", "VLDB")
+            .follow("ConfListPage.ConfList.ToConf")
+            .unnest("ConfPage.EditionList")
+            .where(Predicate([In("ConfPage.EditionList.Year", years)]))
+            .follow("ConfPage.EditionList.ToEdition")
+            .unnest("EditionPage.PaperList")
+            .unnest("EditionPage.PaperList.AuthorList")
+            .project(
+                ("AName", "EditionPage.PaperList.AuthorList.AName"),
+                ("Year", "EditionPage.Year"),
+            )
+        )
+        out = bib_env.execute(plan)
+        assert out.pages == 6
+        per_year = {}
+        for row in out.relation:
+            per_year.setdefault(row["Year"], set()).add(row["AName"])
+        intersection = set.intersection(*per_year.values())
+        assert intersection == site.expected_authors_in_last_editions(3)
+
+
+class TestEditorsRedundancy:
+    """Intro: 'if we want to know who were the editors of VLDB 96 ... we do
+    not need to follow the link' — rules 7+5 read editors off the
+    conference page."""
+
+    def test_editors_query_skips_edition_pages(self, bib_env):
+        site = bib_env.site
+        year = str(site.vldb.editions[-1].year)
+        result, = [bib_env.plan(
+            f"SELECT Editors FROM Edition "
+            f"WHERE ConfName = 'VLDB' AND Year = '{year}'"
+        )]
+        out = bib_env.execute(result.best.expr)
+        assert {r["Editors"] for r in out.relation} == {
+            site.vldb.editions[-1].editors
+        }
+        # home + conference list + VLDB conference page; no edition pages
+        assert out.pages <= 3

@@ -1,0 +1,116 @@
+"""Tests for the bibliography site generator."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.sitegen.bibliography import (
+    BibliographyConfig,
+    build_bibliography_site,
+)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_db_conferences": 0},
+            {"n_db_conferences": 99},
+            {"years_per_conf": 0},
+            {"papers_per_edition": 0},
+            {"authors_per_paper": 0},
+            {"n_authors": 1, "authors_per_paper": 2},
+            {"core_authors": -1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(SchemeError):
+            BibliographyConfig(**kwargs).validate()
+
+
+class TestModel:
+    def test_counts(self, bib_env):
+        site = bib_env.site
+        cfg = site.config
+        assert len(site.confs) == cfg.n_conferences
+        assert len(site.papers) == (
+            cfg.n_conferences * cfg.years_per_conf * cfg.papers_per_edition
+        )
+        assert len(site.authors) == cfg.n_authors
+
+    def test_vldb_is_first_and_db(self, bib_env):
+        assert bib_env.site.vldb.name == "VLDB"
+        assert bib_env.site.vldb.is_db
+
+    def test_db_conferences_subset(self, bib_env):
+        db = [c for c in bib_env.site.confs if c.is_db]
+        assert len(db) == bib_env.site.config.n_db_conferences
+
+    def test_conf_by_name(self, bib_env):
+        assert bib_env.site.conf_by_name("VLDB") is bib_env.site.vldb
+        with pytest.raises(KeyError):
+            bib_env.site.conf_by_name("Nope")
+
+    def test_core_authors_in_every_vldb_edition(self, bib_env):
+        site = bib_env.site
+        core = {a.name for a in site.authors[: site.config.core_authors]}
+        for edition in site.vldb.editions:
+            authors = {a.name for p in edition.papers for a in p.authors}
+            assert core <= authors
+
+    def test_expected_intersection_contains_core(self, bib_env):
+        site = bib_env.site
+        core = {a.name for a in site.authors[: site.config.core_authors]}
+        assert core <= site.expected_authors_in_last_editions(3)
+
+    def test_author_paper_links_bidirectional(self, bib_env):
+        for paper in bib_env.site.papers:
+            for author in paper.authors:
+                assert paper in author.papers
+
+    def test_titles_unique(self, bib_env):
+        titles = [p.title for p in bib_env.site.papers]
+        assert len(set(titles)) == len(titles)
+
+
+class TestPages:
+    def test_home_links(self, bib_env):
+        site = bib_env.site
+        url = site.entry_url("BibHomePage")
+        row = bib_env.registry.wrap(
+            "BibHomePage", url, site.server.resource(url).html
+        )
+        assert row["ToVLDB"] == site.vldb.url
+        assert row["ToConfList"] == site.conf_list_url()
+
+    def test_db_conf_list_is_smaller(self, bib_env):
+        site = bib_env.site
+        full = site.server.resource(site.conf_list_url()).html
+        db = site.server.resource(site.db_conf_list_url()).html
+        assert len(db) < len(full)
+
+    def test_edition_round_trip(self, bib_env):
+        site = bib_env.site
+        edition = site.vldb.editions[-1]
+        row = bib_env.registry.wrap(
+            "EditionPage", edition.url, site.server.resource(edition.url).html
+        )
+        assert row == {"URL": edition.url, **site.edition_tuple(edition)}
+
+    def test_author_round_trip(self, bib_env):
+        site = bib_env.site
+        author = site.authors[0]
+        row = bib_env.registry.wrap(
+            "AuthorPage", author.url, site.server.resource(author.url).html
+        )
+        assert row == {"URL": author.url, **site.author_tuple(author)}
+
+    def test_conf_page_lists_editors(self, bib_env):
+        """The redundancy the Introduction highlights: editors are readable
+        from the conference page without visiting edition pages."""
+        site = bib_env.site
+        row = bib_env.registry.wrap(
+            "ConfPage", site.vldb.url, site.server.resource(site.vldb.url).html
+        )
+        by_year = {e["Year"]: e["Editors"] for e in row["EditionList"]}
+        for edition in site.vldb.editions:
+            assert by_year[str(edition.year)] == edition.editors

@@ -1,0 +1,150 @@
+"""Tests for the site mutation API (the autonomous site manager)."""
+
+import pytest
+
+from repro.errors import MaterializationError
+from repro.sitegen.mutations import SiteMutator
+from repro.sitegen.university import UniversityConfig, build_university_site
+
+
+@pytest.fixture()
+def site():
+    return build_university_site(
+        UniversityConfig(n_depts=2, n_profs=4, n_courses=8)
+    )
+
+
+@pytest.fixture()
+def mutator(site):
+    return SiteMutator(site)
+
+
+def html_of(site, url):
+    return site.server.resource(url).html
+
+
+class TestContentUpdates:
+    def test_update_description_changes_page_and_date(self, site, mutator):
+        course = site.courses[0]
+        before = site.server.resource(course.url)
+        old_date = before.last_modified
+        mutator.update_course_description(course, "New description.")
+        after = site.server.resource(course.url)
+        assert "New description." in after.html
+        assert after.last_modified > old_date
+
+    def test_update_rank(self, site, mutator):
+        prof = site.profs[0]
+        mutator.update_prof_rank(prof, "Emeritus")
+        assert "Emeritus" in html_of(site, prof.url)
+
+    def test_update_dept_address(self, site, mutator):
+        dept = site.depts[0]
+        mutator.update_dept_address(dept.name, "99 New Street")
+        assert "99 New Street" in html_of(site, dept.url)
+
+    def test_update_unknown_dept_rejected(self, mutator):
+        with pytest.raises(MaterializationError):
+            mutator.update_dept_address("Nope", "x")
+
+    def test_revise_courses_fraction(self, site, mutator):
+        touched = mutator.revise_courses(0.5)
+        assert touched == 4
+        assert mutator.revise_courses(0.0) == 0
+
+    def test_revise_courses_bad_fraction(self, mutator):
+        with pytest.raises(ValueError):
+            mutator.revise_courses(1.5)
+
+
+class TestStructuralUpdates:
+    def test_add_course_touches_three_pages(self, site, mutator):
+        prof = site.profs[0]
+        dates_before = {
+            url: site.server.resource(url).last_modified
+            for url in site.server.urls()
+        }
+        course = mutator.add_course(prof, session="Fall")
+        assert site.server.exists(course.url)
+        assert course.name in html_of(site, prof.url)
+        assert course.name in html_of(site, site.session_url("Fall"))
+        # untouched pages keep their dates
+        other_prof = site.profs[1]
+        assert (
+            site.server.resource(other_prof.url).last_modified
+            == dates_before[other_prof.url]
+        )
+
+    def test_remove_course(self, site, mutator):
+        course = site.courses[0]
+        prof = course.prof
+        mutator.remove_course(course)
+        assert not site.server.exists(course.url)
+        assert course.name not in html_of(site, prof.url)
+        assert course not in site.courses
+        assert course not in prof.courses
+
+    def test_remove_course_twice_rejected(self, site, mutator):
+        course = site.courses[0]
+        mutator.remove_course(course)
+        with pytest.raises(MaterializationError):
+            mutator.remove_course(course)
+
+    def test_move_course(self, site, mutator):
+        course = site.courses[0]
+        old_prof = course.prof
+        new_prof = next(p for p in site.profs if p is not old_prof)
+        mutator.move_course(course, new_prof)
+        assert course.prof is new_prof
+        assert course.name in html_of(site, new_prof.url)
+        assert course.name not in html_of(site, old_prof.url)
+        assert new_prof.name in html_of(site, course.url)
+
+    def test_move_course_to_same_prof_is_noop(self, site, mutator):
+        course = site.courses[0]
+        date = site.server.resource(course.url).last_modified
+        mutator.move_course(course, course.prof)
+        assert site.server.resource(course.url).last_modified == date
+
+    def test_add_prof(self, site, mutator):
+        dept = site.depts[0]
+        prof = mutator.add_prof(dept.name, name="Zoe Newhire")
+        assert site.server.exists(prof.url)
+        assert "Zoe Newhire" in html_of(site, dept.url)
+        assert "Zoe Newhire" in html_of(
+            site, site.entry_url("ProfListPage")
+        )
+
+    def test_remove_prof_cascades_to_courses(self, site, mutator):
+        prof = next(p for p in site.profs if p.courses)
+        course_urls = [c.url for c in prof.courses]
+        mutator.remove_prof(prof)
+        assert not site.server.exists(prof.url)
+        for url in course_urls:
+            assert not site.server.exists(url)
+        assert prof.name not in html_of(site, prof.dept.url)
+
+    def test_remove_prof_twice_rejected(self, site, mutator):
+        prof = site.profs[0]
+        mutator.remove_prof(prof)
+        with pytest.raises(MaterializationError):
+            mutator.remove_prof(prof)
+
+
+class TestModelConsistencyAfterMutation:
+    def test_full_roundtrip_after_mutations(self, site, mutator):
+        from repro.wrapper.conventions import registry_for_scheme
+
+        mutator.add_course(site.profs[0])
+        mutator.remove_course(site.courses[0])
+        mutator.update_prof_rank(site.profs[1], "Emeritus")
+        mutator.add_prof(site.depts[1].name)
+        registry = registry_for_scheme(site.scheme)
+        for prof in site.profs:
+            row = registry.wrap("ProfPage", prof.url, html_of(site, prof.url))
+            assert row == {"URL": prof.url, **site.prof_tuple(prof)}
+        for course in site.courses:
+            row = registry.wrap(
+                "CoursePage", course.url, html_of(site, course.url)
+            )
+            assert row == {"URL": course.url, **site.course_tuple(course)}

@@ -1,0 +1,60 @@
+"""Tests for the deterministic name pools."""
+
+from repro.sitegen import naming
+
+
+class TestUniqueness:
+    def test_dept_names_unique(self):
+        names = [naming.dept_name(i) for i in range(100)]
+        assert len(set(names)) == 100
+
+    def test_person_names_unique(self):
+        names = [naming.person_name(i) for i in range(2000)]
+        assert len(set(names)) == 2000
+
+    def test_course_names_unique(self):
+        names = [naming.course_name(i) for i in range(500)]
+        assert len(set(names)) == 500
+
+    def test_conference_names_unique(self):
+        names = [naming.conference_name(i) for i in range(100)]
+        assert len(set(names)) == 100
+
+    def test_paper_titles_unique(self):
+        titles = [naming.paper_title(i) for i in range(3000)]
+        assert len(set(titles)) == 3000
+
+
+class TestDeterminism:
+    def test_same_index_same_name(self):
+        assert naming.person_name(42) == naming.person_name(42)
+
+    def test_first_conference_is_vldb(self):
+        assert naming.conference_name(0) == "VLDB"
+
+
+class TestSlug:
+    def test_lowercases_and_dashes(self):
+        assert naming.slug("Computer Science") == "computer-science"
+
+    def test_strips_punctuation(self):
+        assert naming.slug("Fish & Chips!") == "fish-chips"
+
+    def test_no_leading_trailing_dashes(self):
+        assert naming.slug("  padded  ") == "padded"
+
+    def test_collapses_runs(self):
+        assert naming.slug("a -- b") == "a-b"
+
+    def test_slugs_of_generated_names_nonempty(self):
+        for i in range(200):
+            assert naming.slug(naming.person_name(i))
+
+
+class TestRoman:
+    def test_roman_numerals(self):
+        assert naming._roman(1) == "I"
+        assert naming._roman(4) == "IV"
+        assert naming._roman(9) == "IX"
+        assert naming._roman(14) == "XIV"
+        assert naming._roman(1998) == "MCMXCVIII"

@@ -1,0 +1,168 @@
+"""Tests for the university site generator."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.sitegen.university import (
+    UniversityConfig,
+    build_university_site,
+)
+from repro.wrapper.conventions import registry_for_scheme
+
+
+class TestConfig:
+    def test_defaults_match_example_7_2(self):
+        cfg = UniversityConfig()
+        assert (cfg.n_depts, cfg.n_profs, cfg.n_courses) == (3, 20, 50)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_depts": 0},
+            {"n_profs": 0},
+            {"n_courses": -1},
+            {"idle_profs": 20},
+            {"idle_profs": -1},
+            {"sessions": ()},
+            {"ranks": ()},
+            {"course_types": ()},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(SchemeError):
+            UniversityConfig(**kwargs).validate()
+
+
+class TestModel:
+    def test_counts(self, uni_env):
+        site = uni_env.site
+        assert len(site.depts) == 3
+        assert len(site.profs) == 20
+        assert len(site.courses) == 50
+
+    def test_page_count(self, uni_env):
+        # 4 entry/list pages + 3 depts + 20 profs + 2 sessions + 50 courses
+        assert len(uni_env.site.server) == 79
+
+    def test_every_prof_has_a_dept(self, uni_env):
+        for prof in uni_env.site.profs:
+            assert prof in prof.dept.profs
+
+    def test_every_course_has_a_prof(self, uni_env):
+        for course in uni_env.site.courses:
+            assert course in course.prof.courses
+
+    def test_names_unique(self, uni_env):
+        site = uni_env.site
+        assert len({p.name for p in site.profs}) == len(site.profs)
+        assert len({c.name for c in site.courses}) == len(site.courses)
+        assert len({d.name for d in site.depts}) == len(site.depts)
+
+    def test_urls_unique(self, uni_env):
+        site = uni_env.site
+        urls = (
+            [d.url for d in site.depts]
+            + [p.url for p in site.profs]
+            + [c.url for c in site.courses]
+        )
+        assert len(set(urls)) == len(urls)
+
+    def test_sessions_balanced(self, uni_env):
+        from collections import Counter
+
+        counts = Counter(c.session for c in uni_env.site.courses)
+        assert counts["Fall"] == counts["Winter"] == 25
+
+    def test_ranks_balanced(self, uni_env):
+        from collections import Counter
+
+        counts = Counter(p.rank for p in uni_env.site.profs)
+        assert counts["Full"] == counts["Associate"] == 10
+
+    def test_rank_session_not_degenerate(self, uni_env):
+        """The Example 7.1 equality edge case (all fall courses by full
+        professors) must NOT hold on the default instance."""
+        fall = [c for c in uni_env.site.courses if c.session == "Fall"]
+        assert any(c.prof.rank != "Full" for c in fall)
+
+    def test_idle_profs_have_no_courses(self):
+        site = build_university_site(
+            UniversityConfig(n_profs=6, n_courses=10, idle_profs=2)
+        )
+        idle = [p for p in site.profs if not p.courses]
+        assert len(idle) >= 2
+
+    def test_deterministic_regeneration(self):
+        a = build_university_site(UniversityConfig(n_profs=5, n_courses=8))
+        b = build_university_site(UniversityConfig(n_profs=5, n_courses=8))
+        for url in a.server.urls():
+            assert a.server.resource(url).html == b.server.resource(url).html
+
+    def test_seed_changes_assignment(self):
+        a = build_university_site(UniversityConfig(seed=1))
+        b = build_university_site(UniversityConfig(seed=2))
+        pairs_a = {(c.name, c.prof.name) for c in a.courses}
+        pairs_b = {(c.name, c.prof.name) for c in b.courses}
+        assert pairs_a != pairs_b
+
+
+class TestOracles:
+    def test_expected_relations_sizes(self, uni_env):
+        site = uni_env.site
+        assert len(site.expected_dept()) == 3
+        assert len(site.expected_professor()) == 20
+        assert len(site.expected_course()) == 50
+        assert len(site.expected_course_instructor()) == 50
+        assert len(site.expected_prof_dept()) == 20
+
+
+class TestPublishedPages:
+    def test_all_pages_wrap_to_model(self, uni_env):
+        """Full-site round trip: every published page wraps back to exactly
+        the tuple the model says it should hold."""
+        site = uni_env.site
+        registry = uni_env.registry
+        checks = 0
+        for dept in site.depts:
+            row = registry.wrap(
+                "DeptPage", dept.url, site.server.resource(dept.url).html
+            )
+            assert row == {"URL": dept.url, **site.dept_tuple(dept)}
+            checks += 1
+        for prof in site.profs:
+            row = registry.wrap(
+                "ProfPage", prof.url, site.server.resource(prof.url).html
+            )
+            assert row == {"URL": prof.url, **site.prof_tuple(prof)}
+            checks += 1
+        for course in site.courses:
+            row = registry.wrap(
+                "CoursePage", course.url, site.server.resource(course.url).html
+            )
+            assert row == {"URL": course.url, **site.course_tuple(course)}
+            checks += 1
+        assert checks == 73
+
+    def test_entry_points_wrap(self, uni_env):
+        site = uni_env.site
+        for name, builder in [
+            ("HomePage", site.home_tuple),
+            ("DeptListPage", site.dept_list_tuple),
+            ("ProfListPage", site.prof_list_tuple),
+            ("SessionListPage", site.session_list_tuple),
+        ]:
+            url = site.entry_url(name)
+            row = uni_env.registry.wrap(
+                name, url, site.server.resource(url).html
+            )
+            assert row == {"URL": url, **builder()}
+
+    def test_session_pages_list_their_courses(self, uni_env):
+        site = uni_env.site
+        for session in site.session_names():
+            url = site.session_url(session)
+            row = uni_env.registry.wrap(
+                "SessionPage", url, site.server.resource(url).html
+            )
+            expected = {c.name for c in site.courses if c.session == session}
+            assert {i["CName"] for i in row["CourseList"]} == expected

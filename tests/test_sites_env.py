@@ -1,0 +1,105 @@
+"""Tests for the one-call site environments (repro.sites)."""
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.sitegen import SiteMutator, UniversityConfig
+from repro.sites import university
+
+
+class TestSiteEnvApi:
+    def test_query_end_to_end(self, uni_env):
+        result = uni_env.query(
+            "SELECT PName FROM Professor WHERE Rank = 'Full'"
+        )
+        assert len(result.relation) == 10
+        assert result.pages > 0
+
+    def test_sql_returns_conjunctive_query(self, uni_env):
+        query = uni_env.sql("SELECT DName FROM Dept")
+        assert query.occurrences[0].relation == "Dept"
+
+    def test_plan_accepts_text_or_query(self, uni_env):
+        via_text = uni_env.plan("SELECT DName FROM Dept")
+        via_query = uni_env.plan(uni_env.sql("SELECT DName FROM Dept"))
+        assert via_text.best.cost == via_query.best.cost
+
+    def test_refresh_statistics_after_mutation(self):
+        env = university(UniversityConfig(n_depts=2, n_profs=4, n_courses=6))
+        before = env.stats.card("CoursePage")
+        mutator = SiteMutator(env.site)
+        mutator.add_course(env.site.profs[0])
+        env.refresh_statistics()
+        assert env.stats.card("CoursePage") == before + 1
+        # planner was rebuilt against the new statistics
+        assert env.planner.cost_model.stats is env.stats
+
+    def test_environment_components_wired(self, uni_env):
+        assert uni_env.planner.view is uni_env.view
+        assert uni_env.executor.scheme is uni_env.scheme
+        assert uni_env.executor.client is uni_env.client
+
+    def test_bibliography_env(self, bib_env):
+        result = bib_env.query(
+            "SELECT ConfName, Year, Editors FROM Edition "
+            "WHERE ConfName = 'VLDB'"
+        )
+        assert len(result.relation) == len(bib_env.site.vldb.editions)
+
+
+class TestViewDefinitionsMatchPaper:
+    """Section 5 lists the default navigations; check the mappings."""
+
+    def test_course_maps_to_course_page(self, uni_env):
+        nav = uni_env.view.relation("Course").navigations[0]
+        mapping = nav.mapping_dict()
+        assert mapping["Session"] == "CoursePage.Session"
+        assert mapping["Description"] == "CoursePage.Description"
+
+    def test_course_instructor_first_nav_is_prof_side(self, uni_env):
+        nav = uni_env.view.relation("CourseInstructor").navigations[0]
+        assert nav.mapping_dict()["CName"] == "ProfPage.CourseList.CName"
+
+    def test_prof_dept_second_nav_is_dept_side(self, uni_env):
+        nav = uni_env.view.relation("ProfDept").navigations[1]
+        assert nav.mapping_dict()["PName"] == "DeptPage.ProfList.PName"
+
+
+class TestExplain:
+    def test_explain_reports_everything(self, uni_env):
+        text = uni_env.explain(
+            "SELECT Professor.PName FROM Professor, ProfDept "
+            "WHERE Professor.PName = ProfDept.PName "
+            "AND ProfDept.DName = 'Computer Science'"
+        )
+        assert "valid plans" in text
+        assert "chosen plan:" in text
+        assert "entry point" in text
+        assert "local tuple ops" in text
+
+
+class TestLocalWork:
+    def test_pointer_join_trades_local_work_for_pages(self, uni_env):
+        """Footnote 10 quantified: the Example 7.1 pointer-join plan does
+        more local work than the chase plan but downloads fewer pages."""
+        from repro.views.sql import parse_query
+
+        sql = (
+            "SELECT Course.CName, Description FROM Professor, "
+            "CourseInstructor, Course "
+            "WHERE Professor.PName = CourseInstructor.PName "
+            "AND CourseInstructor.CName = Course.CName "
+            "AND Rank = 'Full' AND Session = 'Fall'"
+        )
+        planned = uni_env.plan(parse_query(sql, uni_env.view))
+        join_plan = next(
+            c for c in planned.candidates if "ToCourse=ToCourse" in c.render()
+        )
+        chase_plan = next(
+            c
+            for c in planned.candidates
+            if "⋈" not in c.render() and "SessionListPage" not in c.render()
+        )
+        cm = uni_env.cost_model
+        assert join_plan.cost < chase_plan.cost
+        assert cm.local_work(join_plan.expr) > cm.local_work(chase_plan.expr)

@@ -1,0 +1,158 @@
+"""Tests for statistics: collection, estimation, derived parameters."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.estimator import SiteExplorer, estimate_statistics
+from repro.stats.exact import exact_statistics
+from repro.stats.statistics import SiteStatistics, StatsCollector
+from repro.web.client import WebClient
+
+
+@pytest.fixture(scope="module")
+def stats(uni_env):
+    return uni_env.stats  # exact statistics over the paper-sized site
+
+
+class TestBaseParameters:
+    def test_page_scheme_cardinalities(self, stats):
+        assert stats.card("DeptPage") == 3
+        assert stats.card("ProfPage") == 20
+        assert stats.card("CoursePage") == 50
+        assert stats.card("SessionPage") == 2
+        assert stats.card("ProfListPage") == 1
+
+    def test_unknown_scheme_raises(self, stats):
+        with pytest.raises(StatisticsError):
+            stats.card("Nope")
+
+    def test_avg_list_sizes(self, stats):
+        assert stats.avg_list("ProfListPage", "ProfList") == 20
+        assert stats.avg_list("DeptListPage", "DeptList") == 3
+        # 50 courses over 20 professors
+        assert stats.avg_list("ProfPage", "CourseList") == pytest.approx(2.5)
+        # 50 courses over 2 sessions
+        assert stats.avg_list("SessionPage", "CourseList") == pytest.approx(25)
+
+    def test_distinct_counts(self, stats):
+        assert stats.distinct("ProfPage", "Rank") == 2
+        assert stats.distinct("CoursePage", "Session") == 2
+        assert stats.distinct("CoursePage", "Type") == 2
+        assert stats.distinct("ProfPage", "DName") == 3
+        assert stats.distinct("ProfPage", "PName") == 20
+
+    def test_url_is_key(self, stats):
+        assert stats.distinct("ProfPage", "URL") == stats.card("ProfPage")
+
+
+class TestDerivedParameters:
+    def test_selectivity(self, stats):
+        assert stats.selectivity("ProfPage", "Rank") == pytest.approx(0.5)
+        assert stats.selectivity("ProfPage", "DName") == pytest.approx(1 / 3)
+
+    def test_unnested_card_top_level(self, stats):
+        assert stats.unnested_card("ProfPage", "Rank") == 20
+
+    def test_unnested_card_one_level(self, stats):
+        # |μ_PName(ProfListPage)| = |ProfListPage| × |ProfList| = 20
+        assert stats.unnested_card("ProfListPage", "ProfList.PName") == 20
+
+    def test_repetition_of_key_is_one(self, stats):
+        assert stats.repetition("ProfListPage", "ProfList.ToProf") == 1.0
+
+    def test_repetition_of_dept_link_in_prof_pages(self, stats):
+        # 20 professors point at 3 departments: r = 20/3
+        assert stats.repetition("ProfPage", "ToDept") == pytest.approx(20 / 3)
+
+    def test_join_selectivity_default(self, stats):
+        sel = stats.join_selectivity(
+            "ProfPage", "PName", "CoursePage", "PName"
+        )
+        assert sel == pytest.approx(1 / 20)
+
+    def test_join_selectivity_override(self):
+        stats = SiteStatistics(
+            scheme_cards={"A": 1},
+            distinct_counts={("A", "x"): 10, ("B", "y"): 5},
+            join_overrides={(("A", "x"), ("B", "y")): 0.25},
+        )
+        assert stats.join_selectivity("A", "x", "B", "y") == 0.25
+        # symmetric lookup
+        assert stats.join_selectivity("B", "y", "A", "x") == 0.25
+
+
+class TestCollector:
+    def test_nested_observation(self):
+        collector = StatsCollector()
+        collector.observe(
+            "P",
+            {
+                "URL": "u1",
+                "A": "x",
+                "L": [{"B": "1"}, {"B": "2"}],
+            },
+        )
+        collector.observe("P", {"URL": "u2", "A": "x", "L": [{"B": "1"}]})
+        stats = collector.build()
+        assert stats.card("P") == 2
+        assert stats.avg_list("P", "L") == pytest.approx(1.5)
+        assert stats.distinct("P", "A") == 1
+        assert stats.distinct("P", "L.B") == 2
+
+    def test_nulls_not_counted_as_values(self):
+        collector = StatsCollector()
+        collector.observe("P", {"URL": "u", "A": None})
+        stats = collector.build()
+        with pytest.raises(StatisticsError):
+            stats.distinct("P", "A")
+
+
+class TestEstimator:
+    def test_full_crawl_matches_exact(self, uni_env):
+        estimated = estimate_statistics(
+            uni_env.scheme, uni_env.site.server, uni_env.registry
+        )
+        exact = uni_env.stats
+        assert estimated.scheme_cards == exact.scheme_cards
+        assert estimated.distinct_counts == exact.distinct_counts
+        for key, size in exact.list_sizes.items():
+            assert estimated.list_sizes[key] == pytest.approx(size)
+
+    def test_crawl_cost_is_site_size(self, uni_env):
+        client = WebClient(uni_env.site.server)
+        explorer = SiteExplorer(uni_env.scheme, client, uni_env.registry)
+        explorer.explore()
+        assert client.log.page_downloads == len(uni_env.site.server)
+
+    def test_bounded_crawl(self, uni_env):
+        client = WebClient(uni_env.site.server)
+        explorer = SiteExplorer(uni_env.scheme, client, uni_env.registry)
+        stats = explorer.explore(max_pages=10)
+        assert client.log.page_downloads <= 10
+        assert sum(stats.scheme_cards.values()) <= 10
+
+    def test_crawl_tolerates_dangling_links(self, small_env):
+        site = small_env.site
+        site.server.delete(site.profs[0].url)
+        stats = estimate_statistics(
+            small_env.scheme, site.server, small_env.registry
+        )
+        assert stats.card("ProfPage") == len(site.profs) - 1
+
+    def test_bibliography_exact_stats(self, bib_env):
+        stats = bib_env.stats
+        cfg = bib_env.site.config
+        assert stats.card("ConfPage") == cfg.n_conferences
+        assert stats.card("AuthorPage") == cfg.n_authors
+        assert stats.avg_list("ConfPage", "EditionList") == pytest.approx(
+            cfg.years_per_conf
+        )
+        # nested two deep: papers per edition, authors per paper
+        assert stats.avg_list("EditionPage", "PaperList") == pytest.approx(
+            cfg.papers_per_edition
+        )
+
+    def test_describe_mentions_parameters(self, stats):
+        text = stats.describe()
+        assert "|ProfPage| = 20" in text
+        assert "c(ProfPage.Rank) = 2" in text

@@ -1,0 +1,26 @@
+"""The tutorial's code snippets must stay runnable.
+
+Extracts every ```python block from docs/TUTORIAL.md and executes them in
+one shared namespace, in order (the document is written as one continuous
+session).
+"""
+
+import contextlib
+import io
+import pathlib
+import re
+
+TUTORIAL = pathlib.Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_snippets_execute():
+    text = TUTORIAL.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(blocks) >= 8, "tutorial lost its code blocks"
+    code = "\n".join(blocks)
+    namespace: dict = {}
+    with contextlib.redirect_stdout(io.StringIO()):
+        exec(compile(code, str(TUTORIAL), "exec"), namespace)
+    # spot-check the session state the snippets should have built
+    assert namespace["result"].light_connections >= 0
+    assert namespace["planned"].best.cost >= 1

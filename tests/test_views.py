@@ -1,0 +1,310 @@
+"""Tests for external relations, conjunctive queries, SQL parsing and
+translation."""
+
+import pytest
+
+from repro.algebra.ast import (
+    EntryPointScan,
+    ExternalRelScan,
+    Join,
+    Project,
+    Select,
+)
+from repro.algebra.predicates import AttrEq, Comparison, In
+from repro.errors import ParseError, QueryError, SchemeError
+from repro.views.conjunctive import ConjunctiveQuery, RelOccurrence
+from repro.views.external import (
+    DefaultNavigation,
+    ExternalRelation,
+    ExternalView,
+    realias_navigation,
+)
+from repro.views.sql import parse_query
+from repro.views.translate import translate
+
+
+@pytest.fixture(scope="module")
+def view(uni_env):
+    return uni_env.view
+
+
+class TestExternalRelation:
+    def test_view_has_the_five_relations(self, view):
+        assert view.names() == [
+            "Course",
+            "CourseInstructor",
+            "Dept",
+            "ProfDept",
+            "Professor",
+        ]
+
+    def test_alternative_navigations(self, view):
+        assert len(view.relation("CourseInstructor").navigations) == 2
+        assert len(view.relation("ProfDept").navigations) == 2
+        assert len(view.relation("Professor").navigations) == 1
+
+    def test_unknown_relation_rejected(self, view):
+        with pytest.raises(QueryError):
+            view.relation("Nope")
+
+    def test_navigation_must_map_all_attrs(self, uni_env):
+        nav = DefaultNavigation.of(
+            EntryPointScan("ProfListPage"), {"PName": "ProfListPage.URL"}
+        )
+        rel = ExternalRelation("Broken", ("PName", "Rank"), (nav,))
+        with pytest.raises(SchemeError):
+            rel.validate(uni_env.scheme)
+
+    def test_navigation_mapping_must_exist_in_body(self, uni_env):
+        nav = DefaultNavigation.of(
+            EntryPointScan("ProfListPage"), {"PName": "Nope.PName"}
+        )
+        rel = ExternalRelation("Broken", ("PName",), (nav,))
+        with pytest.raises(SchemeError):
+            rel.validate(uni_env.scheme)
+
+    def test_navigation_body_must_be_computable(self, uni_env):
+        from repro.errors import NotComputableError
+
+        nav = DefaultNavigation.of(
+            ExternalRelScan("X", ("A",)), {"PName": "X.A"}
+        )
+        rel = ExternalRelation("Broken", ("PName",), (nav,))
+        with pytest.raises(NotComputableError):
+            rel.validate(uni_env.scheme)
+
+    def test_navigation_expr_materializes_extent(self, uni_env, view):
+        expr = view.relation("Professor").navigation_expr()
+        result = uni_env.executor.execute(expr)
+        got = {
+            (r["Professor.PName"], r["Professor.Rank"], r["Professor.email"])
+            for r in result.relation
+        }
+        assert got == uni_env.site.expected_professor()
+
+    def test_both_course_instructor_navigations_agree(self, uni_env, view):
+        rel = view.relation("CourseInstructor")
+        a = uni_env.executor.execute(rel.navigation_expr(0)).relation
+        b = uni_env.executor.execute(rel.navigation_expr(1)).relation
+        assert a.same_contents(b)
+
+    def test_both_prof_dept_navigations_agree(self, uni_env, view):
+        rel = view.relation("ProfDept")
+        a = uni_env.executor.execute(rel.navigation_expr(0)).relation
+        b = uni_env.executor.execute(rel.navigation_expr(1)).relation
+        assert a.same_contents(b)
+
+    def test_duplicate_relation_rejected(self, uni_env, view):
+        from repro.sites import university_view
+
+        fresh = university_view(uni_env.scheme)
+        with pytest.raises(SchemeError):
+            fresh.add(fresh.relation("Professor"))
+
+
+class TestRealias:
+    def test_realias_renames_everything(self, uni_env, view):
+        nav = view.relation("Professor").navigations[0]
+        renamed = realias_navigation(nav, uni_env.scheme, "A1")
+        mapping = renamed.mapping_dict()
+        assert mapping["PName"] == "ProfPage@A1.PName"
+        schema = renamed.body.output_schema(uni_env.scheme)
+        assert "ProfPage@A1.PName" in schema
+        assert "ProfPage.PName" not in schema
+
+    def test_realiased_navigation_still_validates(self, uni_env, view):
+        nav = view.relation("Course").navigations[0]
+        renamed = realias_navigation(nav, uni_env.scheme, "C1")
+        renamed.validate(
+            uni_env.scheme, view.relation("Course").attrs
+        )
+
+    def test_realiased_execution_matches_original(self, uni_env, view):
+        rel = view.relation("Professor")
+        nav = rel.navigations[0]
+        renamed = realias_navigation(nav, uni_env.scheme, "Z")
+        a = uni_env.executor.execute(
+            Project(nav.body, (("PName", nav.mapping_dict()["PName"]),))
+        ).relation
+        b = uni_env.executor.execute(
+            Project(
+                renamed.body, (("PName", renamed.mapping_dict()["PName"]),)
+            )
+        ).relation
+        assert a.same_contents(b)
+
+
+class TestConjunctiveQuery:
+    def test_requires_head_and_occurrence(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(head=(), occurrences=(RelOccurrence("P", "P"),))
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(head=(("x", "P.x"),), occurrences=())
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(
+                head=(("x", "P.x"),),
+                occurrences=(
+                    RelOccurrence("P", "Professor"),
+                    RelOccurrence("P", "Dept"),
+                ),
+            )
+
+    def test_str_render(self):
+        q = ConjunctiveQuery(
+            head=(("PName", "Professor.PName"),),
+            occurrences=(RelOccurrence("Professor", "Professor"),),
+            constants=(("Professor.Rank", "Full"),),
+        )
+        text = str(q)
+        assert "SELECT Professor.PName" in text
+        assert "WHERE Professor.Rank = 'Full'" in text
+
+
+class TestSqlParser:
+    def test_simple_select(self, view):
+        q = parse_query("SELECT PName, Rank FROM Professor", view)
+        assert q.head == (
+            ("PName", "Professor.PName"),
+            ("Rank", "Professor.Rank"),
+        )
+
+    def test_alias_and_qualified(self, view):
+        q = parse_query(
+            "SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'", view
+        )
+        assert q.occurrences == (RelOccurrence("p", "Professor"),)
+        assert q.constants == (("p.Rank", "Full"),)
+
+    def test_join_conditions(self, view):
+        q = parse_query(
+            "SELECT Professor.PName FROM Professor, ProfDept "
+            "WHERE Professor.PName = ProfDept.PName",
+            view,
+        )
+        assert q.equalities == (("Professor.PName", "ProfDept.PName"),)
+
+    def test_in_predicate(self, view):
+        q = parse_query(
+            "SELECT CName FROM Course WHERE Session IN ('Fall', 'Winter')",
+            view,
+        )
+        assert q.memberships == (("Course.Session", ("Fall", "Winter")),)
+
+    def test_as_renaming(self, view):
+        q = parse_query("SELECT PName AS Who FROM Professor", view)
+        assert q.head == (("Who", "Professor.PName"),)
+
+    def test_quoted_string_with_escape(self, view):
+        q = parse_query(
+            "SELECT PName FROM Professor WHERE PName = 'O''Hara'", view
+        )
+        assert q.constants == (("Professor.PName", "O'Hara"),)
+
+    def test_case_insensitive_keywords(self, view):
+        q = parse_query("select PName from Professor", view)
+        assert len(q.head) == 1
+
+    def test_ambiguous_bare_column_rejected(self, view):
+        with pytest.raises(ParseError):
+            parse_query("SELECT PName FROM Professor, ProfDept", view)
+
+    def test_unknown_relation_rejected(self, view):
+        with pytest.raises(ParseError):
+            parse_query("SELECT x FROM Nope", view)
+
+    def test_unknown_column_rejected(self, view):
+        with pytest.raises(ParseError):
+            parse_query("SELECT Nope FROM Professor", view)
+
+    def test_unknown_alias_rejected(self, view):
+        with pytest.raises(ParseError):
+            parse_query("SELECT z.PName FROM Professor p", view)
+
+    def test_trailing_garbage_rejected(self, view):
+        with pytest.raises(ParseError):
+            parse_query("SELECT PName FROM Professor LIMIT 5", view)
+
+    def test_select_star_single_relation(self, view):
+        q = parse_query("SELECT * FROM Dept", view)
+        assert q.head == (
+            ("DName", "Dept.DName"),
+            ("Address", "Dept.Address"),
+        )
+
+    def test_select_star_multiple_relations(self, view):
+        q = parse_query(
+            "SELECT * FROM Professor, ProfDept "
+            "WHERE Professor.PName = ProfDept.PName",
+            view,
+        )
+        names = [o for o, _ in q.head]
+        assert len(names) == 5  # 3 + 2, duplicate PName disambiguated
+        assert len(set(names)) == 5
+
+    def test_select_star_executes(self, uni_env, view):
+        result = uni_env.query("SELECT * FROM Dept")
+        got = {(r["DName"], r["Address"]) for r in result.relation}
+        assert got == uni_env.site.expected_dept()
+
+    def test_duplicate_output_names_disambiguated(self, view):
+        q = parse_query(
+            "SELECT p.PName, q.PName FROM Professor p, ProfDept q", view
+        )
+        names = [o for o, _ in q.head]
+        assert len(set(names)) == 2
+
+
+class TestTranslate:
+    def test_single_relation(self, view):
+        q = parse_query(
+            "SELECT PName FROM Professor WHERE Rank = 'Full'", view
+        )
+        expr = translate(q, view)
+        assert isinstance(expr, Project)
+        assert isinstance(expr.child, Select)
+        assert isinstance(expr.child.child, ExternalRelScan)
+
+    def test_join_tree(self, view):
+        q = parse_query(
+            "SELECT Professor.PName FROM Professor, ProfDept "
+            "WHERE Professor.PName = ProfDept.PName",
+            view,
+        )
+        expr = translate(q, view)
+        assert isinstance(expr, Project)
+        join = expr.child
+        assert isinstance(join, Join)
+        assert join.on == (("Professor.PName", "ProfDept.PName"),)
+
+    def test_disconnected_becomes_product(self, view):
+        q = parse_query("SELECT Professor.PName FROM Professor, Dept", view)
+        expr = translate(q, view)
+        join = expr.child
+        assert isinstance(join, Join)
+        assert join.on == ()
+
+    def test_constants_become_selection_atoms(self, view):
+        q = parse_query(
+            "SELECT PName FROM Professor WHERE Rank = 'Full'", view
+        )
+        expr = translate(q, view)
+        atoms = expr.child.predicate.atoms
+        assert Comparison("Professor.Rank", "Full") in atoms
+
+    def test_unknown_attr_in_query_rejected(self, view):
+        q = ConjunctiveQuery(
+            head=(("x", "Professor.Nope"),),
+            occurrences=(RelOccurrence("Professor", "Professor"),),
+        )
+        with pytest.raises(QueryError):
+            translate(q, view)
+
+    def test_bad_ref_format_rejected(self, view):
+        q = ConjunctiveQuery(
+            head=(("x", "PName"),),
+            occurrences=(RelOccurrence("Professor", "Professor"),),
+        )
+        with pytest.raises(QueryError):
+            translate(q, view)

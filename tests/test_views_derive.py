@@ -1,0 +1,169 @@
+"""Tests for derived default navigations (paper §5's 'as an alternative,
+by inference over inclusion constraints')."""
+
+import pytest
+
+from repro.algebra.printer import render_expr
+from repro.errors import SchemeError
+from repro.views.derive import (
+    covering_links,
+    derive_external_relation,
+    derive_navigations,
+)
+
+
+@pytest.fixture(scope="module")
+def scheme(uni_env):
+    return uni_env.scheme
+
+
+class TestCoveringLinks:
+    def test_prof_page_covered_by_global_list_only(self, scheme):
+        covering = [(s, str(p)) for s, p in covering_links(scheme, "ProfPage")]
+        assert covering == [("ProfListPage", "ProfList.ToProf")]
+
+    def test_course_page_covered_by_session_side_only(self, scheme):
+        covering = [(s, str(p)) for s, p in covering_links(scheme, "CoursePage")]
+        assert covering == [("SessionPage", "CourseList.ToCourse")]
+
+    def test_dept_page_covered_by_dept_list(self, scheme):
+        covering = [(s, str(p)) for s, p in covering_links(scheme, "DeptPage")]
+        # ProfPage.ToDept also reaches all departments only if every dept
+        # has a professor — not entailed by the declared constraints
+        assert covering == [("DeptListPage", "DeptList.ToDept")]
+
+
+class TestDeriveNavigations:
+    def test_entry_point_is_its_own_navigation(self, scheme):
+        chains = derive_navigations(scheme, "ProfListPage")
+        assert render_expr(chains[0]) == "ProfListPage"
+
+    def test_prof_page_matches_handwritten_navigation(self, uni_env, scheme):
+        chains = derive_navigations(scheme, "ProfPage")
+        rendered = {render_expr(c) for c in chains}
+        handwritten = uni_env.view.relation("Professor").navigations[0].body
+        assert render_expr(handwritten) in rendered
+
+    def test_course_page_matches_handwritten_navigation(self, uni_env, scheme):
+        chains = derive_navigations(scheme, "CoursePage")
+        rendered = {render_expr(c) for c in chains}
+        handwritten = uni_env.view.relation("Course").navigations[0].body
+        assert render_expr(handwritten) in rendered
+
+    def test_derived_chains_are_computable(self, scheme):
+        from repro.algebra.computable import is_computable
+
+        for target in scheme.page_schemes:
+            for chain in derive_navigations(scheme, target):
+                assert is_computable(chain, scheme)
+
+    def test_derived_chains_materialize_full_extent(self, uni_env, scheme):
+        """The whole point: executing a derived chain reaches every page of
+        the target page-scheme."""
+        site = uni_env.site
+        for target in ("ProfPage", "CoursePage", "DeptPage", "SessionPage"):
+            expected_urls = set(site.server.urls_of_scheme(target))
+            for chain in derive_navigations(scheme, target):
+                result = uni_env.executor.execute(chain)
+                got = {r[f"{target}.URL"] for r in result.relation}
+                assert got == expected_urls, (target, render_expr(chain))
+
+    def test_uncoverable_target_raises(self):
+        """Two incomparable paths into a page-scheme: neither dominates,
+        so no covering navigation exists."""
+        from repro.adm import SchemeBuilder, TEXT, link, list_of
+
+        b = SchemeBuilder("split")
+        b.page("T").attr("X", TEXT)
+        b.page("A").attr(
+            "L", list_of(("X", TEXT), ("ToT", link("T")))
+        ).entry_point("http://x/a")
+        b.page("B").attr(
+            "L", list_of(("X", TEXT), ("ToT", link("T")))
+        ).entry_point("http://x/b")
+        scheme = b.build()  # no inclusion between A.L.ToT and B.L.ToT
+        with pytest.raises(SchemeError):
+            derive_navigations(scheme, "T")
+
+    def test_equivalence_makes_both_paths_covering(self):
+        from repro.adm import SchemeBuilder, TEXT, link, list_of
+
+        b = SchemeBuilder("split")
+        b.page("T").attr("X", TEXT)
+        b.page("A").attr(
+            "L", list_of(("X", TEXT), ("ToT", link("T")))
+        ).entry_point("http://x/a")
+        b.page("B").attr(
+            "L", list_of(("X", TEXT), ("ToT", link("T")))
+        ).entry_point("http://x/b")
+        b.equivalence("A.L.ToT", "B.L.ToT")
+        scheme = b.build()
+        chains = derive_navigations(scheme, "T")
+        rendered = {render_expr(c) for c in chains}
+        assert len(rendered) == 2  # via A and via B
+
+    def test_bibliography_deep_targets(self, bib_env):
+        """EditionPage sits two covering hops from the single entry point."""
+        chains = derive_navigations(bib_env.scheme, "EditionPage")
+        assert chains
+        result = bib_env.execute(chains[0])
+        expected = {
+            e.url for c in bib_env.site.confs for e in c.editions
+        }
+        got = {r["EditionPage.URL"] for r in result.relation}
+        assert got == expected
+
+
+class TestDeriveExternalRelation:
+    def test_relation_validates_and_answers(self, uni_env, scheme):
+        rel = derive_external_relation(
+            scheme, "AutoProfessor", "ProfPage", ("PName", "Rank", "email")
+        )
+        rel.validate(scheme)
+        result = uni_env.executor.execute(rel.navigation_expr())
+        got = {
+            (
+                r["AutoProfessor.PName"],
+                r["AutoProfessor.Rank"],
+                r["AutoProfessor.email"],
+            )
+            for r in result.relation
+        }
+        assert got == uni_env.site.expected_professor()
+
+    def test_derived_view_plugs_into_planner(self, uni_env, scheme):
+        from repro.optimizer import Planner
+        from repro.views.external import ExternalView
+        from repro.views.sql import parse_query
+
+        view = ExternalView(scheme)
+        view.add(
+            derive_external_relation(
+                scheme, "Prof", "ProfPage", ("PName", "Rank")
+            )
+        )
+        view.add(
+            derive_external_relation(
+                scheme, "Crs", "CoursePage", ("CName", "PName", "Type")
+            )
+        )
+        planner = Planner(view, uni_env.cost_model)
+        query = parse_query(
+            "SELECT Prof.PName FROM Prof, Crs "
+            "WHERE Prof.PName = Crs.PName AND Crs.Type = 'Graduate'",
+            view,
+        )
+        planned = planner.plan_query(query)
+        result = uni_env.execute(planned.best.expr)
+        expected = {
+            c.prof.name
+            for c in uni_env.site.courses
+            if c.ctype == "Graduate"
+        }
+        assert {r["PName"] for r in result.relation} == expected
+
+    def test_multi_valued_attribute_rejected(self, scheme):
+        with pytest.raises(SchemeError):
+            derive_external_relation(
+                scheme, "Bad", "ProfPage", ("CourseList",)
+            )

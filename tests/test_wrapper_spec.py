@@ -1,0 +1,211 @@
+"""Tests for extraction specs and page wrappers."""
+
+import pytest
+
+from repro.adm.page_scheme import Attribute, PageScheme
+from repro.adm.webtypes import IMAGE, TEXT, link, list_of
+from repro.errors import ExtractionError, WrapperError
+from repro.sitegen.html_writer import render_page
+from repro.wrapper.conventions import spec_for_page_scheme
+from repro.wrapper.dom import Selector, parse_html
+from repro.wrapper.spec import AtomRule, ExtractionSpec, ListRule
+from repro.wrapper.wrapper import PageWrapper, WrapperRegistry
+
+
+@pytest.fixture()
+def dept_scheme():
+    return PageScheme(
+        "DeptPage",
+        [
+            Attribute("DName", TEXT),
+            Attribute("Logo", IMAGE),
+            Attribute(
+                "ProfList",
+                list_of(("PName", TEXT), ("ToProf", link("ProfPage"))),
+            ),
+        ],
+    )
+
+
+@pytest.fixture()
+def dept_tuple():
+    return {
+        "DName": "Computer Science",
+        "Logo": "http://x/logo.gif",
+        "ProfList": [
+            {"PName": "Ada", "ToProf": "http://x/prof/ada.html"},
+            {"PName": "Alan", "ToProf": "http://x/prof/alan.html"},
+        ],
+    }
+
+
+@pytest.fixture()
+def dept_html(dept_scheme, dept_tuple):
+    return render_page(dept_scheme, dept_tuple, "CS")
+
+
+class TestAtomRule:
+    def test_text_extraction(self, dept_html):
+        root = parse_html(dept_html)
+        rule = AtomRule("DName", Selector.parse(".attr[data-attr=DName]"))
+        assert rule.extract(root) == "Computer Science"
+
+    def test_src_extraction(self, dept_html):
+        root = parse_html(dept_html)
+        rule = AtomRule(
+            "Logo", Selector.parse("img[data-attr=Logo]"), source="src"
+        )
+        assert rule.extract(root) == "http://x/logo.gif"
+
+    def test_missing_element_raises(self, dept_html):
+        root = parse_html(dept_html)
+        rule = AtomRule("X", Selector.parse(".attr[data-attr=Nope]"))
+        with pytest.raises(ExtractionError):
+            rule.extract(root)
+
+    def test_optional_missing_yields_none(self, dept_html):
+        root = parse_html(dept_html)
+        rule = AtomRule(
+            "X", Selector.parse(".attr[data-attr=Nope]"), optional=True
+        )
+        assert rule.extract(root) is None
+
+    def test_missing_html_attribute_raises(self):
+        root = parse_html('<a class="attr" data-attr="L">x</a>')
+        rule = AtomRule("L", Selector.parse("a[data-attr=L]"), source="href")
+        with pytest.raises(ExtractionError):
+            rule.extract(root)
+
+
+class TestListRule:
+    def test_extracts_items(self, dept_html):
+        root = parse_html(dept_html)
+        rule = ListRule(
+            "ProfList",
+            container=Selector.parse("ul[data-attr=ProfList]"),
+            item=Selector.parse("li.item"),
+            rules=(
+                AtomRule("PName", Selector.parse(".attr[data-attr=PName]")),
+                AtomRule(
+                    "ToProf",
+                    Selector.parse("a[data-attr=ToProf]"),
+                    source="href",
+                ),
+            ),
+        )
+        rows = rule.extract(root)
+        assert [r["PName"] for r in rows] == ["Ada", "Alan"]
+
+    def test_missing_container_raises(self):
+        root = parse_html("<div></div>")
+        rule = ListRule(
+            "L",
+            container=Selector.parse("ul[data-attr=L]"),
+            item=Selector.parse("li"),
+        )
+        with pytest.raises(ExtractionError):
+            rule.extract(root)
+
+
+class TestPageWrapper:
+    def test_wrap_round_trip(self, dept_scheme, dept_tuple, dept_html):
+        wrapper = PageWrapper(dept_scheme, spec_for_page_scheme(dept_scheme))
+        row = wrapper.wrap("http://x/dept/cs.html", dept_html)
+        assert row == {"URL": "http://x/dept/cs.html", **dept_tuple}
+
+    def test_relative_links_resolved(self, dept_scheme):
+        tup = {
+            "DName": "CS",
+            "Logo": "logo.gif",
+            "ProfList": [{"PName": "Ada", "ToProf": "../prof/ada.html"}],
+        }
+        html = render_page(dept_scheme, tup)
+        wrapper = PageWrapper(dept_scheme, spec_for_page_scheme(dept_scheme))
+        row = wrapper.wrap("http://x/dept/cs.html", html)
+        assert row["ProfList"][0]["ToProf"] == "http://x/prof/ada.html"
+
+    def test_spec_scheme_mismatch_rejected(self, dept_scheme):
+        spec = ExtractionSpec("Other", ())
+        with pytest.raises(WrapperError):
+            PageWrapper(dept_scheme, spec)
+
+    def test_spec_missing_attribute_rejected(self, dept_scheme, dept_html):
+        spec = ExtractionSpec("DeptPage", ())
+        wrapper = PageWrapper(dept_scheme, spec)
+        with pytest.raises(WrapperError):
+            wrapper.wrap("http://x/d.html", dept_html)
+
+    def test_null_non_optional_link_rejected(self):
+        ps = PageScheme("P", [Attribute("ToQ", link("Q"))])
+        html = "<html><body></body></html>"
+        from repro.wrapper.spec import AtomRule as AR
+
+        spec = ExtractionSpec(
+            "P",
+            (AR("ToQ", Selector.parse("a[data-attr=ToQ]"),
+                source="href", optional=True),),
+        )
+        wrapper = PageWrapper(ps, spec)
+        with pytest.raises(WrapperError):
+            wrapper.wrap("http://x/p.html", html)
+
+    def test_null_optional_link_ok(self):
+        ps = PageScheme("P", [Attribute("ToQ", link("Q", optional=True))])
+        spec = ExtractionSpec(
+            "P",
+            (AtomRule("ToQ", Selector.parse("a[data-attr=ToQ]"),
+                      source="href", optional=True),),
+        )
+        wrapper = PageWrapper(ps, spec)
+        row = wrapper.wrap("http://x/p.html", "<html></html>")
+        assert row["ToQ"] is None
+
+
+class TestRegistry:
+    def test_register_and_wrap(self, dept_scheme, dept_tuple, dept_html):
+        registry = WrapperRegistry()
+        registry.register(
+            PageWrapper(dept_scheme, spec_for_page_scheme(dept_scheme))
+        )
+        assert "DeptPage" in registry
+        assert len(registry) == 1
+        row = registry.wrap("DeptPage", "http://x/d.html", dept_html)
+        assert row["DName"] == "Computer Science"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(WrapperError):
+            WrapperRegistry().wrapper("Nope")
+
+
+class TestNestedShadowing:
+    def test_inner_list_does_not_shadow_outer_atoms(self):
+        """An attribute name reused inside a nested list must not leak out."""
+        ps = PageScheme(
+            "EditionPage",
+            [
+                Attribute("Title", TEXT),  # page-level Title
+                Attribute(
+                    "PaperList",
+                    list_of(
+                        ("Title", TEXT),  # per-paper Title
+                        ("AuthorList", list_of(("AName", TEXT))),
+                    ),
+                ),
+            ],
+        )
+        tup = {
+            "Title": "Proceedings",
+            "PaperList": [
+                {
+                    "Title": "Paper One",
+                    "AuthorList": [{"AName": "Ada"}, {"AName": "Alan"}],
+                },
+                {"Title": "Paper Two", "AuthorList": [{"AName": "Grace"}]},
+            ],
+        }
+        html = render_page(ps, tup)
+        wrapper = PageWrapper(ps, spec_for_page_scheme(ps))
+        row = wrapper.wrap("http://x/e.html", html)
+        assert row["Title"] == "Proceedings"
+        assert row["PaperList"][0]["Title"] == "Paper One"
+        assert row["PaperList"][1]["AuthorList"] == [{"AName": "Grace"}]
