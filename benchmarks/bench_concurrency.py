@@ -1,0 +1,174 @@
+"""CONCURRENCY — simulated wall time vs fetch pool size.
+
+The paper's cost function counts page downloads because each 1998 fetch
+paid a full round trip; a modern engine amortizes that latency over
+parallel connections.  This benchmark sweeps the fetch pool size on the
+scale site (the Example 7.2 query) and shows the separation the batched
+fetch engine is built around:
+
+* ``page_downloads`` — the paper's cost measure — is *identical* at every
+  pool size (the per-query session dedups, the batch only overlaps);
+* simulated wall time shrinks monotonically as connections are added;
+* a pool of one reproduces the serial 1998 model bit-for-bit.
+
+Run as a script for the table alone:  ``python bench_concurrency.py
+[--quick]`` (with ``src/`` on PYTHONPATH), or through pytest for the
+assertions as well.
+"""
+
+import argparse
+
+import pytest
+
+from repro.sitegen import UniversityConfig
+from repro.sites import university
+from repro.web.client import FetchConfig
+
+from _bench_utils import record, table
+
+SQL = (
+    "SELECT Professor.PName, email FROM Course, CourseInstructor, "
+    "Professor, ProfDept WHERE Course.CName = CourseInstructor.CName "
+    "AND CourseInstructor.PName = Professor.PName "
+    "AND Professor.PName = ProfDept.PName "
+    "AND ProfDept.DName = 'Computer Science' AND Type = 'Graduate'"
+)
+
+#: The bench_scale large configuration: batches are big enough that every
+#: doubling of the pool up to 8 connections still shortens the makespan.
+FULL_CONFIG = UniversityConfig(n_depts=8, n_profs=80, n_courses=200)
+
+#: Paper cardinalities, for the --quick smoke run.
+QUICK_CONFIG = UniversityConfig()
+
+POOL_SIZES = [1, 2, 4, 8, 16]
+QUICK_POOL_SIZES = [1, 2, 4]
+
+COLUMNS = ["pool", "pages", "attempts", "sim seconds", "speedup", "rows"]
+
+
+def serial_reference_seconds(env, result) -> float:
+    """Re-derive the pre-batching serial model: one accumulation per
+    downloaded page, in download order — what the engine reported before
+    parallel connections existed."""
+    seconds = 0.0
+    for url in result.log.downloaded_urls:
+        size = len(env.site.server.resource(url).html)
+        seconds += env.client.network.get_seconds(size)
+    return seconds
+
+
+def run_sweep(config, pool_sizes):
+    rows = []
+    raw = []
+    baseline = None
+    for pool in pool_sizes:
+        env = university(config)
+        result = env.query(SQL, fetch_config=FetchConfig(max_workers=pool))
+        seconds = result.log.simulated_seconds
+        if baseline is None:
+            baseline = seconds
+        rows.append(
+            {
+                "pool": pool,
+                "pages": result.pages,
+                "attempts": result.log.attempts,
+                "sim seconds": f"{seconds:.2f}",
+                "speedup": f"{baseline / seconds:.2f}x",
+                "rows": len(result.relation),
+            }
+        )
+        raw.append((pool, result, env))
+    return rows, raw
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows, raw = run_sweep(FULL_CONFIG, POOL_SIZES)
+    record(
+        "CONCURRENCY",
+        "Example 7.2 query on the scale site: pool size vs simulated wall "
+        "time (page counts stay paper-faithful)",
+        table(rows, COLUMNS),
+    )
+    return raw
+
+
+class TestShape:
+    def test_page_downloads_identical_at_every_pool_size(self, sweep):
+        """Parallelism must never change the paper's cost measure."""
+        pages = {result.pages for _, result, _ in sweep}
+        assert len(pages) == 1
+
+    def test_answers_identical_at_every_pool_size(self, sweep):
+        first = sweep[0][1].relation
+        for _, result, _ in sweep[1:]:
+            assert result.relation.same_contents(first)
+
+    def test_wall_time_monotonically_decreasing_1_to_8(self, sweep):
+        seconds = [
+            result.log.simulated_seconds
+            for pool, result, _ in sweep
+            if pool <= 8
+        ]
+        assert all(a > b for a, b in zip(seconds, seconds[1:]))
+
+    def test_pool_of_one_matches_serial_model_bit_for_bit(self, sweep):
+        pool, result, env = sweep[0]
+        assert pool == 1
+        assert result.log.simulated_seconds == serial_reference_seconds(
+            env, result
+        )
+
+    def test_records_carry_concurrency_level(self, sweep):
+        for pool, result, _ in sweep:
+            batched = [r for r in result.log.records if r.concurrency > 1]
+            if pool == 1:
+                assert not batched
+            else:
+                assert batched and all(
+                    r.concurrency <= pool for r in result.log.records
+                )
+
+
+def test_bench_batched_execution(benchmark):
+    env = university(FULL_CONFIG)
+    plan = env.plan(SQL).best.expr
+    config = FetchConfig(max_workers=8)
+    result = benchmark(lambda: env.execute(plan, fetch_config=config))
+    assert len(result.relation) > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small site, short sweep (CI smoke run)",
+    )
+    args = parser.parse_args(argv)
+    config = QUICK_CONFIG if args.quick else FULL_CONFIG
+    pool_sizes = QUICK_POOL_SIZES if args.quick else POOL_SIZES
+    rows, raw = run_sweep(config, pool_sizes)
+    record(
+        "CONCURRENCY",
+        "pool size vs simulated wall time"
+        + (" (quick)" if args.quick else ""),
+        table(rows, COLUMNS),
+    )
+    pages = {result.pages for _, result, _ in raw}
+    assert len(pages) == 1, "page counts drifted across pool sizes"
+    seconds = [result.log.simulated_seconds for _, result, _ in raw]
+    assert all(a > b for a, b in zip(seconds, seconds[1:])), (
+        "wall time did not decrease with pool size"
+    )
+    pool, result, env = raw[0]
+    assert result.log.simulated_seconds == serial_reference_seconds(
+        env, result
+    ), "pool size 1 no longer matches the serial model"
+    print("smoke checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -81,7 +81,18 @@ from repro.views import (
     parse_query,
     translate,
 )
-from repro.web import SimulatedWebServer, WebClient, AccessLog
+from repro.errors import FetchError, RetriesExhaustedError, TransientFetchError
+from repro.web import (
+    SimulatedWebServer,
+    WebClient,
+    AccessLog,
+    CostSummary,
+    FaultPolicy,
+    FetchConfig,
+    FetchRecord,
+    NetworkModel,
+    RetryPolicy,
+)
 from repro.wrapper import registry_for_scheme, WrapperRegistry
 
 __version__ = "1.0.0"
@@ -112,7 +123,10 @@ __all__ = [
     "ExternalView", "ExternalRelation", "DefaultNavigation",
     "ConjunctiveQuery", "RelOccurrence", "parse_query", "translate",
     # web
-    "SimulatedWebServer", "WebClient", "AccessLog",
+    "SimulatedWebServer", "WebClient", "AccessLog", "NetworkModel",
+    "CostSummary", "FaultPolicy", "FetchConfig", "FetchRecord",
+    "RetryPolicy", "FetchError", "TransientFetchError",
+    "RetriesExhaustedError",
     # wrappers
     "registry_for_scheme", "WrapperRegistry",
     "__version__",

@@ -1,4 +1,4 @@
-"""Deterministic simulated clock.
+"""Deterministic simulated clock and timeline.
 
 The paper's materialized-view maintenance (Section 8) compares a locally
 stored ``AccessDate`` against the ``Last-Modified`` date returned by a light
@@ -8,11 +8,18 @@ when :meth:`SimClock.tick` (or :meth:`SimClock.advance`) is called.
 
 Timestamps are plain integers; larger means later.  The clock starts at 1 so
 that 0 can serve as "never" / "unknown".
+
+:class:`Timeline` is the second half of deterministic time: a greedy
+``k``-lane scheduler over simulated durations, used by the batched fetch
+path to compute how long a set of overlapping round trips takes on ``k``
+parallel connections.  Scheduling is by submission order (each task lands on
+the lane that frees up earliest), so the makespan is a pure function of the
+duration sequence — no wall-clock, no thread-timing nondeterminism.
 """
 
 from __future__ import annotations
 
-__all__ = ["SimClock", "NEVER"]
+__all__ = ["SimClock", "Timeline", "NEVER"]
 
 #: Timestamp value meaning "no date recorded"; earlier than any real tick.
 NEVER = 0
@@ -53,3 +60,45 @@ class SimClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(now={self._now})"
+
+
+class Timeline:
+    """Greedy scheduler of simulated durations over ``lanes`` parallel lanes.
+
+    Each :meth:`add` assigns one task to the lane that becomes free
+    earliest (ties broken by lane index) and returns that task's completion
+    time; :attr:`makespan` is the simulated wall time for everything added
+    so far.  With one lane the makespan is the plain running sum, in
+    exactly the order the durations were added — the serial model.
+
+    >>> tl = Timeline(lanes=2)
+    >>> tl.add(1.0), tl.add(1.0), tl.add(1.0)
+    (1.0, 1.0, 2.0)
+    >>> tl.makespan
+    2.0
+    """
+
+    def __init__(self, lanes: int = 1):
+        if lanes < 1:
+            raise ValueError("a timeline needs at least one lane")
+        self._lanes = [0.0] * lanes
+
+    @property
+    def lanes(self) -> int:
+        return len(self._lanes)
+
+    def add(self, duration: float) -> float:
+        """Schedule one task; returns its completion time."""
+        if duration < 0:
+            raise ValueError("durations must be non-negative")
+        index = min(range(len(self._lanes)), key=self._lanes.__getitem__)
+        self._lanes[index] += duration
+        return self._lanes[index]
+
+    @property
+    def makespan(self) -> float:
+        """Simulated wall time consumed by all tasks added so far."""
+        return max(self._lanes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeline(lanes={len(self._lanes)}, makespan={self.makespan})"

@@ -2,7 +2,8 @@
 
 * :mod:`repro.engine.session` — per-query page cache and accounting (the
   paper counts *pages downloaded*; an engine never re-fetches a page it
-  already holds for the current query);
+  already holds for the current query), batch-first so follow-link target
+  sets fetch through the client's concurrent worker pool;
 * :mod:`repro.engine.remote` — evaluates computable plans against the live
   (simulated) web through wrappers: this is the virtual-view path of
   Sections 5–7;

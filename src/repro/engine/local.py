@@ -58,17 +58,29 @@ def qualify_row(schema: RelationSchema, plain: dict) -> dict:
 
 
 class PageRelationProvider(Protocol):
-    """Source of page tuples for local evaluation."""
+    """Source of page tuples for local evaluation.
 
-    def entry_tuple(self, page_scheme: str) -> Optional[dict]:
-        """The plain tuple of the entry point's single page (or None if the
-        page no longer exists)."""
+    The interface is batch-first: both methods take a whole set of pages so
+    a provider backed by the live web can fetch them through one concurrent
+    batch instead of a per-URL loop.  Providers that only implement the
+    legacy single-page ``entry_tuple(page_scheme)`` keep working — the
+    executor falls back to it when ``entry_tuples`` is absent (deprecated
+    shim; new providers should implement the batch form).
+    """
+
+    def entry_tuples(
+        self, page_schemes: Sequence[str]
+    ) -> dict[str, dict]:
+        """Plain tuples of the entry-point pages of ``page_schemes``, keyed
+        by page-scheme name; schemes whose entry page no longer exists are
+        simply absent from the result."""
 
     def target_tuples(
         self, page_scheme: str, urls: Sequence[str]
     ) -> dict[str, dict]:
         """Plain tuples for the requested target pages, keyed by URL; URLs
-        that no longer resolve are simply absent from the result."""
+        that no longer resolve are simply absent from the result.  This is
+        the primary bulk entry point — one call per follow-link operator."""
 
 
 class LocalExecutor:
@@ -112,7 +124,11 @@ class LocalExecutor:
 
     def _eval_entry(self, expr: EntryPointScan) -> Relation:
         schema = expr.output_schema(self.scheme)
-        plain = self.provider.entry_tuple(expr.page_scheme)
+        entry_tuples = getattr(self.provider, "entry_tuples", None)
+        if entry_tuples is not None:
+            plain = entry_tuples([expr.page_scheme]).get(expr.page_scheme)
+        else:  # deprecated single-page providers
+            plain = self.provider.entry_tuple(expr.page_scheme)
         rows = [] if plain is None else [qualify_row(schema, plain)]
         return Relation(schema, rows)
 

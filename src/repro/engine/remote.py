@@ -1,12 +1,14 @@
 """Remote evaluation: NALG plans against the live (simulated) web.
 
 This is the virtual-view execution path of Sections 5–7: entry points are
-downloaded through their known URLs, follow-link operators download the
-distinct link targets, wrappers turn HTML into nested tuples, and all
-relational work happens locally at zero cost.  The per-query
+downloaded through their known URLs, follow-link operators hand their
+distinct link targets to the session as *one batch* (fetched concurrently
+through the client's worker pool), wrappers turn HTML into nested tuples,
+and all relational work happens locally at zero cost.  The per-query
 :class:`~repro.engine.session.QuerySession` guarantees each page is
 downloaded at most once per query, which makes the measured
-``page_downloads`` directly comparable to the paper's cost function C(E).
+``page_downloads`` directly comparable to the paper's cost function C(E) at
+every concurrency level — parallelism only compresses simulated wall time.
 """
 
 from __future__ import annotations
@@ -19,7 +21,13 @@ from repro.algebra.ast import Expr
 from repro.engine.local import LocalExecutor
 from repro.engine.session import QuerySession
 from repro.nested.relation import Relation
-from repro.web.client import AccessLog, WebClient
+from repro.web.client import (
+    AccessLog,
+    CostSummary,
+    FetchConfig,
+    RetryPolicy,
+    WebClient,
+)
 from repro.wrapper.wrapper import WrapperRegistry
 
 __all__ = ["ExecutionResult", "RemoteExecutor"]
@@ -37,6 +45,17 @@ class ExecutionResult:
         """Distinct pages downloaded — the paper's cost measure."""
         return self.log.page_downloads
 
+    @property
+    def light_connections(self) -> int:
+        """Light (HEAD) connections issued while executing."""
+        return self.log.light_connections
+
+    @property
+    def cost(self) -> CostSummary:
+        """Measured cost in the shared summary shape (same fields as
+        ``PlannerResult.cost``, but observed instead of estimated)."""
+        return CostSummary.from_log(self.log)
+
     def __repr__(self) -> str:
         return (
             f"ExecutionResult({len(self.relation)} rows, "
@@ -45,25 +64,33 @@ class ExecutionResult:
 
 
 class _SessionProvider:
-    """PageRelationProvider that downloads pages through a QuerySession."""
+    """Batch-first PageRelationProvider over a QuerySession."""
 
     def __init__(self, scheme: WebScheme, session: QuerySession):
         self.scheme = scheme
         self.session = session
 
+    def entry_tuples(self, page_schemes: Sequence[str]) -> dict[str, dict]:
+        urls = {
+            page_scheme: self.scheme.entry_point(page_scheme).url
+            for page_scheme in page_schemes
+        }
+        self.session.fetch_batch(list(urls.values()))
+        result = {}
+        for page_scheme, url in urls.items():
+            plain = self.session.fetch_tuple(page_scheme, url)
+            if plain is not None:
+                result[page_scheme] = plain
+        return result
+
     def entry_tuple(self, page_scheme: str) -> Optional[dict]:
-        url = self.scheme.entry_point(page_scheme).url
-        return self.session.fetch_tuple(page_scheme, url)
+        """Deprecated single-page shim; prefer :meth:`entry_tuples`."""
+        return self.entry_tuples([page_scheme]).get(page_scheme)
 
     def target_tuples(
         self, page_scheme: str, urls: Sequence[str]
     ) -> dict[str, dict]:
-        result = {}
-        for url in urls:
-            plain = self.session.fetch_tuple(page_scheme, url)
-            if plain is not None:
-                result[url] = plain
-        return result
+        return self.session.fetch_tuples(page_scheme, urls)
 
 
 class RemoteExecutor:
@@ -79,9 +106,25 @@ class RemoteExecutor:
         self.client = client
         self.registry = registry
 
-    def execute(self, expr: Expr) -> ExecutionResult:
-        """Run one query: fresh session, per-query access accounting."""
-        session = QuerySession(self.client, self.registry)
+    def execute(
+        self,
+        expr: Expr,
+        *,
+        fetch_config: Optional[FetchConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> ExecutionResult:
+        """Run one query: fresh session, per-query access accounting.
+
+        ``fetch_config`` bounds the concurrent fetch pool for this query's
+        batches; ``retry_policy`` overrides the client's transient-failure
+        handling.  Both default to the client's configuration.
+        """
+        session = QuerySession(
+            self.client,
+            self.registry,
+            fetch_config=fetch_config,
+            retry_policy=retry_policy,
+        )
         provider = _SessionProvider(self.scheme, session)
         executor = LocalExecutor(self.scheme, provider)
         before = self.client.log.snapshot()

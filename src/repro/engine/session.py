@@ -5,14 +5,22 @@ query; within a query, a page reached through two different paths is fetched
 once.  :class:`QuerySession` provides exactly that: a fetch-through cache on
 top of a :class:`~repro.web.client.WebClient`, plus wrapped-tuple caching so
 a page is also parsed only once.
+
+The session is batch-first: :meth:`fetch_tuples` hands a whole URL set to
+:meth:`WebClient.get_batch`, which overlaps the round trips over a bounded
+worker pool (per the session's :class:`~repro.web.client.FetchConfig`).
+The cache sits in front of the batch, so duplicate URLs — within one batch
+or across batches of the same query — are downloaded at most once no matter
+the concurrency level, keeping measured ``page_downloads`` equal to the
+paper's cost function.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import ResourceNotFound
-from repro.web.client import WebClient
+from repro.web.client import FetchConfig, RetryPolicy, WebClient
 from repro.web.resources import WebResource
 from repro.wrapper.wrapper import WrapperRegistry
 
@@ -22,9 +30,17 @@ __all__ = ["QuerySession"]
 class QuerySession:
     """Fetch-and-wrap cache for the duration of one query."""
 
-    def __init__(self, client: WebClient, registry: WrapperRegistry):
+    def __init__(
+        self,
+        client: WebClient,
+        registry: WrapperRegistry,
+        fetch_config: Optional[FetchConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.client = client
         self.registry = registry
+        self.fetch_config = fetch_config
+        self.retry_policy = retry_policy
         self._resources: dict[str, Optional[WebResource]] = {}
         self._tuples: dict[tuple, dict] = {}
 
@@ -33,10 +49,34 @@ class QuerySession:
         missing pages (dangling links are tolerated and skipped)."""
         if url not in self._resources:
             try:
-                self._resources[url] = self.client.get(url)
+                self._resources[url] = self.client.get(
+                    url, retry=self.retry_policy
+                )
             except ResourceNotFound:
                 self._resources[url] = None
         return self._resources[url]
+
+    def fetch_batch(
+        self, urls: Sequence[str]
+    ) -> dict[str, Optional[WebResource]]:
+        """Download a whole batch of URLs through the client's worker pool.
+
+        Cached URLs are served from the session, so each page costs at most
+        one download per query regardless of how many batches mention it.
+        Missing pages map to None.
+        """
+        needed: list[str] = []
+        seen: set[str] = set()
+        for url in urls:
+            if url not in seen and url not in self._resources:
+                seen.add(url)
+                needed.append(url)
+        if needed:
+            fetched = self.client.get_batch(
+                needed, config=self.fetch_config, retry=self.retry_policy
+            )
+            self._resources.update(fetched)
+        return {url: self._resources[url] for url in urls if url in self._resources}
 
     def fetch_tuple(self, page_scheme: str, url: str) -> Optional[dict]:
         """Download and wrap the page at ``url`` as ``page_scheme`` (cached).
@@ -53,6 +93,30 @@ class QuerySession:
                     page_scheme, url, resource.html
                 )
         return self._tuples[key]
+
+    def fetch_tuples(
+        self, page_scheme: str, urls: Sequence[str]
+    ) -> dict[str, dict]:
+        """Batch counterpart of :meth:`fetch_tuple`: download all uncached
+        ``urls`` as one batch, wrap each page once, and return the plain
+        tuples keyed by URL (missing pages are simply absent)."""
+        self.fetch_batch(
+            [url for url in urls if (page_scheme, url) not in self._tuples]
+        )
+        result: dict[str, dict] = {}
+        for url in urls:
+            key = (page_scheme, url)
+            if key not in self._tuples:
+                resource = self._resources.get(url)
+                if resource is None:
+                    self._tuples[key] = None
+                else:
+                    self._tuples[key] = self.registry.wrap(
+                        page_scheme, url, resource.html
+                    )
+            if self._tuples[key] is not None:
+                result[url] = self._tuples[key]
+        return result
 
     @property
     def pages_downloaded(self) -> int:

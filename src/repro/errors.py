@@ -22,6 +22,9 @@ __all__ = [
     "ExtractionError",
     "WebError",
     "ResourceNotFound",
+    "FetchError",
+    "TransientFetchError",
+    "RetriesExhaustedError",
     "StatisticsError",
     "OptimizerError",
     "QueryError",
@@ -83,6 +86,35 @@ class ResourceNotFound(WebError):
     def __init__(self, url: str):
         super().__init__(f"no resource at URL {url!r}")
         self.url = url
+
+
+class FetchError(WebError):
+    """A page could not be fetched over the (simulated) network."""
+
+
+class TransientFetchError(FetchError):
+    """One fetch attempt failed with a retryable condition: a timeout or a
+    5xx-style server error, as injected by a
+    :class:`~repro.web.server.FaultPolicy`."""
+
+    def __init__(self, url: str, kind: str = "timeout", attempt: int = 1):
+        super().__init__(
+            f"transient {kind} fetching {url!r} (attempt {attempt})"
+        )
+        self.url = url
+        self.kind = kind
+        self.attempt = attempt
+
+
+class RetriesExhaustedError(FetchError):
+    """Every attempt allowed by the :class:`~repro.web.client.RetryPolicy`
+    failed transiently; the fetch is given up."""
+
+    def __init__(self, url: str, attempts: int, last: Exception | None = None):
+        super().__init__(f"giving up on {url!r} after {attempts} attempts")
+        self.url = url
+        self.attempts = attempts
+        self.last = last
 
 
 class StatisticsError(ReproError):

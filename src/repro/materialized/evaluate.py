@@ -22,7 +22,7 @@ from repro.materialized.store import MaterializedStore, Status
 from repro.nested.relation import Relation
 from repro.optimizer.planner import Planner
 from repro.views.conjunctive import ConjunctiveQuery
-from repro.web.client import AccessLog
+from repro.web.client import AccessLog, CostSummary
 
 __all__ = ["MaterializedResult", "MaterializedEngine"]
 
@@ -43,6 +43,11 @@ class MaterializedResult:
         """Pages actually (re-)downloaded during maintenance."""
         return self.log.page_downloads
 
+    @property
+    def cost(self) -> CostSummary:
+        """Measured cost in the shared summary shape."""
+        return CostSummary.from_log(self.log)
+
     def __repr__(self) -> str:
         return (
             f"MaterializedResult({len(self.relation)} rows, "
@@ -61,6 +66,14 @@ class _CheckingProvider:
     def entry_tuple(self, page_scheme: str) -> Optional[dict]:
         url = self.store.scheme.entry_point(page_scheme).url
         return self.store.url_check(page_scheme, url, max_age=self.max_age)
+
+    def entry_tuples(self, page_schemes: Sequence[str]) -> dict[str, dict]:
+        result = {}
+        for page_scheme in page_schemes:
+            plain = self.entry_tuple(page_scheme)
+            if plain is not None:
+                result[page_scheme] = plain
+        return result
 
     def target_tuples(
         self, page_scheme: str, urls: Sequence[str]
@@ -91,6 +104,14 @@ class _TrustingProvider:
         url = self.store.scheme.entry_point(page_scheme).url
         page = self.store.stored(url)
         return page.plain if page is not None else None
+
+    def entry_tuples(self, page_schemes: Sequence[str]) -> dict[str, dict]:
+        result = {}
+        for page_scheme in page_schemes:
+            plain = self.entry_tuple(page_scheme)
+            if plain is not None:
+                result[page_scheme] = plain
+        return result
 
     def target_tuples(
         self, page_scheme: str, urls: Sequence[str]

@@ -50,6 +50,7 @@ from repro.optimizer.rules import (
 from repro.views.conjunctive import ConjunctiveQuery
 from repro.views.external import ExternalView, realias_navigation
 from repro.views.translate import translate
+from repro.web.client import CostSummary
 
 __all__ = ["PlanCandidate", "PlannerResult", "Planner", "PlannerOptions"]
 
@@ -82,6 +83,20 @@ class PlannerResult:
     best: PlanCandidate
     candidates: list  # all valid candidates, sorted by cost
     generated: int    # plans generated before validation
+
+    @property
+    def cost(self) -> CostSummary:
+        """Estimated cost of the chosen plan in the shared summary shape
+        (same fields as ``ExecutionResult.cost``).  ``attempts`` assumes one
+        request per page; ``simulated_seconds`` and ``light_connections``
+        are only measurable at run time and report 0."""
+        return CostSummary(
+            pages=self.best.cost,
+            light_connections=0.0,
+            bytes=self.best.bytes_cost,
+            simulated_seconds=0.0,
+            attempts=self.best.cost,
+        )
 
     def describe(self, scheme: Optional[WebScheme] = None, limit: int = 10) -> str:
         lines = [

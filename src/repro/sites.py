@@ -40,7 +40,7 @@ from repro.stats.statistics import SiteStatistics
 from repro.views.conjunctive import ConjunctiveQuery
 from repro.views.external import DefaultNavigation, ExternalRelation, ExternalView
 from repro.views.sql import parse_query
-from repro.web.client import WebClient
+from repro.web.client import FetchConfig, RetryPolicy, WebClient
 from repro.wrapper.conventions import registry_for_scheme
 from repro.wrapper.wrapper import WrapperRegistry
 
@@ -83,14 +83,38 @@ class SiteEnv:
             query = self.sql(query)
         return self.planner.plan_query(query)
 
-    def execute(self, plan: Expr) -> ExecutionResult:
-        """Execute one plan against the live site."""
-        return self.executor.execute(plan)
+    def execute(
+        self,
+        plan: Expr,
+        *,
+        fetch_config: Optional[FetchConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> ExecutionResult:
+        """Execute one plan against the live site.
 
-    def query(self, query: ConjunctiveQuery | str) -> ExecutionResult:
+        ``fetch_config`` bounds the concurrent page-fetch pool for this
+        query's batches; ``retry_policy`` overrides how transient network
+        faults are retried.  Defaults preserve the client's behaviour
+        (serial fetching under the 1998 network model, default retries).
+        """
+        return self.executor.execute(
+            plan, fetch_config=fetch_config, retry_policy=retry_policy
+        )
+
+    def query(
+        self,
+        query: ConjunctiveQuery | str,
+        *,
+        fetch_config: Optional[FetchConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> ExecutionResult:
         """Optimize and execute: the paper's end-to-end query path."""
         result = self.plan(query)
-        return self.execute(result.best.expr)
+        return self.execute(
+            result.best.expr,
+            fetch_config=fetch_config,
+            retry_policy=retry_policy,
+        )
 
     def explain(self, query: ConjunctiveQuery | str) -> str:
         """Human-readable optimizer report: considered plans, the chosen

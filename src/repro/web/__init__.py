@@ -7,21 +7,40 @@ package provides an in-process web that measures exactly those quantities:
 
 * :mod:`repro.web.resources` — a served resource (HTML + last-modified);
 * :mod:`repro.web.server` — URL → resource mapping with a mutation API that
-  bumps modification dates (the autonomous "site manager");
-* :mod:`repro.web.client` — GET/HEAD client with an :class:`AccessLog`.
+  bumps modification dates (the autonomous "site manager"), plus a
+  :class:`FaultPolicy` injecting deterministic transient failures;
+* :mod:`repro.web.client` — GET/HEAD client with an :class:`AccessLog`, a
+  concurrent batched fetch engine (:meth:`WebClient.get_batch`) governed by
+  :class:`FetchConfig`, and transparent :class:`RetryPolicy` retries.
 """
 
 from repro.web.resources import HeadResponse, WebResource
-from repro.web.server import SimulatedWebServer
-from repro.web.client import AccessLog, WebClient
+from repro.web.server import FaultPolicy, SimulatedWebServer
+from repro.web.client import (
+    AccessLog,
+    CostSummary,
+    DEFAULT_RETRY_POLICY,
+    FetchConfig,
+    FetchRecord,
+    NO_RETRY,
+    RetryPolicy,
+    WebClient,
+)
 from repro.web.network import NetworkModel, MODEM_1998
 
 __all__ = [
     "WebResource",
     "HeadResponse",
     "SimulatedWebServer",
+    "FaultPolicy",
     "WebClient",
     "AccessLog",
+    "CostSummary",
+    "FetchConfig",
+    "FetchRecord",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "NO_RETRY",
     "NetworkModel",
     "MODEM_1998",
 ]

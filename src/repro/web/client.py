@@ -1,30 +1,165 @@
-"""The web client and its access log.
+"""The web client, its access log, and the batched fetch engine.
 
 :class:`AccessLog` is the measured counterpart of the paper's cost function:
 ``page_downloads`` counts full GETs (the paper's only cost for virtual
 views) and ``light_connections`` counts HEADs (Section 8's cheap checks).
 The executor resets or snapshots the log around each query to report
-per-query costs.
+per-query costs.  ``attempts`` and per-fetch :class:`FetchRecord` entries
+additionally expose retry and concurrency behaviour.
 
 ``WebClient.get`` always performs a *network* download — deduplication of
 repeated accesses within one query is the executor's job (the paper counts
 "pages downloaded", and a sensible engine never re-fetches a page it already
 holds for the current query), implemented by
 :class:`repro.engine.session.QuerySession`.
+
+``WebClient.get_batch`` is the batch-first entry point: a whole set of URLs
+is fetched through a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+worker pool, with transient failures (injected by a
+:class:`~repro.web.server.FaultPolicy`) retried per :class:`RetryPolicy`.
+Accounting stays deterministic under concurrency: workers perform only the
+pure fetch; all log mutation happens on the calling thread in submission
+order, and the batch's simulated wall time is the makespan of a greedy
+schedule of the per-fetch durations over the available connections
+(:meth:`~repro.web.network.NetworkModel.batch_seconds`).  Page *counts* are
+therefore identical at every pool size — only wall time shrinks.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.errors import ResourceNotFound
+from repro.clock import Timeline
+from repro.errors import (
+    ResourceNotFound,
+    RetriesExhaustedError,
+    TransientFetchError,
+)
 from repro.web.network import MODEM_1998, NetworkModel
 from repro.web.resources import HeadResponse, WebResource
 from repro.web.server import SimulatedWebServer
 
-__all__ = ["AccessLog", "WebClient"]
+__all__ = [
+    "AccessLog",
+    "CostSummary",
+    "FetchConfig",
+    "FetchRecord",
+    "RetryPolicy",
+    "WebClient",
+    "DEFAULT_RETRY_POLICY",
+    "NO_RETRY",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client treats transient fetch failures.
+
+    ``max_attempts`` bounds the total number of tries (1 means no retry);
+    between tries the client backs off exponentially *in simulated time*:
+    retry *n* (n ≥ 2) waits ``backoff_seconds * backoff_factor**(n-2)``.
+    Failed attempts additionally cost one round trip (the timed-out / error
+    response).  Permanent failures (404s) are never retried.
+    """
+
+    max_attempts: int = 4
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.backoff_seconds < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def backoff_before(self, attempt: int) -> float:
+        """Simulated delay inserted before attempt ``attempt`` (2-based)."""
+        if attempt <= 1:
+            return 0.0
+        return self.backoff_seconds * self.backoff_factor ** (attempt - 2)
+
+
+#: Defaults tuned so that a 10% transient failure rate is survived with
+#: overwhelmingly high probability (0.1^4 per fetch).
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: Fail on the first transient error (the pre-retry behaviour).
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+@dataclass(frozen=True)
+class FetchConfig:
+    """Executor-side knobs for batched fetching.
+
+    ``max_workers`` bounds the worker pool (and the simulated number of
+    parallel connections) for one batch; ``None`` defers to the network
+    model's ``parallel_connections``.
+    """
+
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("need at least one worker")
+
+    def effective_workers(self, network: NetworkModel) -> int:
+        """Concurrency level for a batch under ``network``."""
+        if self.max_workers is not None:
+            return self.max_workers
+        return network.parallel_connections
+
+
+#: Follow the network model's ``parallel_connections``.
+DEFAULT_FETCH_CONFIG = FetchConfig()
+
+
+@dataclass(frozen=True)
+class FetchRecord:
+    """Per-fetch telemetry: timing, retry attempts, concurrency level."""
+
+    url: str
+    seconds: float
+    attempts: int
+    concurrency: int
+    ok: bool
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """The one cost shape shared by engine results and planner estimates.
+
+    ``pages`` is the paper's cost measure C(E); the other fields are the
+    modern trimmings (light connections, bytes, simulated wall time, request
+    attempts including retries).  Estimated summaries report 0.0 for
+    ``simulated_seconds``, which is only measurable at run time.
+    """
+
+    pages: float
+    light_connections: float
+    bytes: float
+    simulated_seconds: float
+    attempts: float
+
+    @classmethod
+    def from_log(cls, log: "AccessLog") -> "CostSummary":
+        """Measured summary of an :class:`AccessLog` (or a log delta)."""
+        return cls(
+            pages=log.page_downloads,
+            light_connections=log.light_connections,
+            bytes=log.bytes_downloaded,
+            simulated_seconds=log.simulated_seconds,
+            attempts=log.attempts,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CostSummary(pages={self.pages}, light={self.light_connections}, "
+            f"bytes={self.bytes:.0f}, seconds={self.simulated_seconds:.3f}, "
+            f"attempts={self.attempts})"
+        )
 
 
 @dataclass
@@ -36,7 +171,9 @@ class AccessLog:
     failed_requests: int = 0
     bytes_downloaded: int = 0
     simulated_seconds: float = 0.0
+    attempts: int = 0
     downloaded_urls: list = field(default_factory=list)
+    records: list = field(default_factory=list)
 
     def snapshot(self) -> "AccessLog":
         """A frozen copy of the current counters."""
@@ -46,7 +183,9 @@ class AccessLog:
             failed_requests=self.failed_requests,
             bytes_downloaded=self.bytes_downloaded,
             simulated_seconds=self.simulated_seconds,
+            attempts=self.attempts,
             downloaded_urls=list(self.downloaded_urls),
+            records=list(self.records),
         )
 
     def delta(self, earlier: "AccessLog") -> "AccessLog":
@@ -57,7 +196,9 @@ class AccessLog:
             failed_requests=self.failed_requests - earlier.failed_requests,
             bytes_downloaded=self.bytes_downloaded - earlier.bytes_downloaded,
             simulated_seconds=self.simulated_seconds - earlier.simulated_seconds,
+            attempts=self.attempts - earlier.attempts,
             downloaded_urls=self.downloaded_urls[len(earlier.downloaded_urls):],
+            records=self.records[len(earlier.records):],
         )
 
     def reset(self) -> None:
@@ -66,7 +207,13 @@ class AccessLog:
         self.failed_requests = 0
         self.bytes_downloaded = 0
         self.simulated_seconds = 0.0
+        self.attempts = 0
         self.downloaded_urls = []
+        self.records = []
+
+    @property
+    def cost(self) -> CostSummary:
+        return CostSummary.from_log(self)
 
     def __repr__(self) -> str:
         return (
@@ -76,48 +223,186 @@ class AccessLog:
         )
 
 
+@dataclass
+class _FetchOutcome:
+    """Result of fetching one URL with retries (pure; no log mutation)."""
+
+    url: str
+    resource: Optional[WebResource] = None
+    seconds: float = 0.0
+    attempts: int = 0
+    transient_failures: int = 0
+    error: Optional[Exception] = None
+
+
 class WebClient:
     """GET/HEAD access to a :class:`SimulatedWebServer`, with accounting.
 
     ``network`` translates accesses into simulated wall time (defaults to
     the 1998-flavoured model); purely informational — the optimizer's cost
-    function counts pages, as in the paper."""
+    function counts pages, as in the paper.  ``retry_policy`` governs how
+    transient failures are retried (it only matters when the server carries
+    a :class:`~repro.web.server.FaultPolicy`)."""
 
     def __init__(
         self,
         server: SimulatedWebServer,
         network: Optional[NetworkModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.server = server
         self.network = network or MODEM_1998
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.log = AccessLog()
 
-    def get(self, url: str) -> WebResource:
-        """Download a page (one network access).  Raises ResourceNotFound
-        after counting the failed request."""
-        try:
-            resource = self.server.resource(url)
-        except ResourceNotFound:
-            self.log.failed_requests += 1
-            raise
-        self.log.page_downloads += 1
-        self.log.bytes_downloaded += len(resource.html)
-        self.log.simulated_seconds += self.network.get_seconds(
-            len(resource.html)
-        )
-        self.log.downloaded_urls.append(url)
-        return resource
+    # ------------------------------------------------------------------ #
+    # single-URL API
+    # ------------------------------------------------------------------ #
+
+    def get(
+        self, url: str, retry: Optional[RetryPolicy] = None
+    ) -> WebResource:
+        """Download a page (one network access, retried on transient
+        faults).  Raises ResourceNotFound for missing pages and
+        RetriesExhaustedError when the retry budget runs out — in both
+        cases after counting the failed request."""
+        outcome = self._fetch_with_retries(url, retry or self.retry_policy)
+        self._account(outcome, concurrency=1)
+        if outcome.error is not None:
+            raise outcome.error
+        assert outcome.resource is not None
+        return outcome.resource
 
     def head(self, url: str) -> HeadResponse:
         """Open a light connection: returns error flag + modification date
         without downloading the page (paper, Section 8).  Never raises —
         a missing page is reported through ``ok=False``."""
         self.log.light_connections += 1
+        self.log.attempts += 1
         self.log.simulated_seconds += self.network.head_seconds()
         if not self.server.exists(url):
             return HeadResponse(url=url, ok=False, last_modified=0)
         resource = self.server.resource(url)
         return HeadResponse(url=url, ok=True, last_modified=resource.last_modified)
+
+    # ------------------------------------------------------------------ #
+    # batch API
+    # ------------------------------------------------------------------ #
+
+    def get_batch(
+        self,
+        urls: Sequence[str],
+        config: Optional[FetchConfig] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> dict[str, Optional[WebResource]]:
+        """Download many pages as one batch through a bounded worker pool.
+
+        Duplicate URLs are fetched once.  Returns ``url → resource`` with
+        ``None`` for missing pages (dangling links are tolerated, as in the
+        single-URL path).  If any fetch exhausts its retry budget the first
+        such RetriesExhaustedError is raised — after the whole batch has
+        been accounted, so partial work still shows up in the log.
+
+        Accounting is deterministic regardless of thread interleaving: the
+        pool only performs the fetches; counters, ``downloaded_urls`` order
+        and per-fetch records follow submission order, and simulated wall
+        time is the greedy ``k``-lane makespan of the per-fetch durations.
+        With one worker this degenerates to the exact serial accumulation.
+        """
+        config = config or DEFAULT_FETCH_CONFIG
+        retry = retry or self.retry_policy
+        distinct: list[str] = []
+        seen: set[str] = set()
+        for url in urls:
+            if url not in seen:
+                seen.add(url)
+                distinct.append(url)
+        if not distinct:
+            return {}
+        workers = max(1, min(config.effective_workers(self.network), len(distinct)))
+        if workers == 1:
+            outcomes = [self._fetch_with_retries(u, retry) for u in distinct]
+            for outcome in outcomes:
+                self._account(outcome, concurrency=1)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(
+                    pool.map(lambda u: self._fetch_with_retries(u, retry), distinct)
+                )
+            timeline = Timeline(workers)
+            for outcome in outcomes:
+                self._account(outcome, concurrency=workers, charge_time=False)
+                timeline.add(outcome.seconds)
+            self.log.simulated_seconds += timeline.makespan
+        result: dict[str, Optional[WebResource]] = {}
+        exhausted: Optional[Exception] = None
+        for outcome in outcomes:
+            result[outcome.url] = outcome.resource
+            if exhausted is None and isinstance(
+                outcome.error, RetriesExhaustedError
+            ):
+                exhausted = outcome.error
+        if exhausted is not None:
+            raise exhausted
+        return result
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _fetch_with_retries(
+        self, url: str, retry: RetryPolicy
+    ) -> _FetchOutcome:
+        """Fetch one URL, retrying transient faults.  Pure with respect to
+        the log (safe to run on a pool worker); accounting happens later in
+        :meth:`_account` on the calling thread."""
+        outcome = _FetchOutcome(url)
+        last: Optional[Exception] = None
+        for attempt in range(1, retry.max_attempts + 1):
+            outcome.attempts = attempt
+            outcome.seconds += retry.backoff_before(attempt)
+            try:
+                resource = self.server.serve(url)
+            except ResourceNotFound as err:
+                outcome.error = err  # permanent: no retry, no time charged
+                return outcome
+            except TransientFetchError as err:
+                last = err
+                outcome.transient_failures += 1
+                outcome.seconds += self.network.head_seconds()  # wasted RTT
+                continue
+            outcome.resource = resource
+            outcome.seconds += self.network.get_seconds(len(resource.html))
+            return outcome
+        outcome.error = RetriesExhaustedError(url, outcome.attempts, last)
+        return outcome
+
+    def _account(
+        self,
+        outcome: _FetchOutcome,
+        concurrency: int,
+        charge_time: bool = True,
+    ) -> None:
+        log = self.log
+        log.attempts += outcome.attempts
+        log.failed_requests += outcome.transient_failures
+        if isinstance(outcome.error, ResourceNotFound):
+            log.failed_requests += 1
+        if outcome.resource is not None:
+            log.page_downloads += 1
+            log.bytes_downloaded += len(outcome.resource.html)
+            log.downloaded_urls.append(outcome.url)
+        if charge_time:
+            log.simulated_seconds += outcome.seconds
+        log.records.append(
+            FetchRecord(
+                url=outcome.url,
+                seconds=outcome.seconds,
+                attempts=outcome.attempts,
+                concurrency=concurrency,
+                ok=outcome.resource is not None,
+            )
+        )
 
     def __repr__(self) -> str:
         return f"WebClient({self.log!r})"

@@ -7,35 +7,45 @@ the HTML source".  This model makes both statements quantitative so that
 experiments can report simulated wall time next to page counts:
 
 * a full GET costs one round trip plus transfer time (bytes / bandwidth);
-* a HEAD costs one round trip only.
+* a HEAD costs one round trip only;
+* a *batch* of GETs issued together overlaps round trips across up to
+  ``parallel_connections`` simultaneous connections (modern engines
+  amortize per-page latency this way), so its wall time is the makespan of
+  a greedy schedule over that many lanes — see
+  :class:`~repro.clock.Timeline`.
 
 Defaults approximate a 1998 dial-up connection: 250 ms round trip,
-33.6 kbit/s (≈4200 bytes/s) throughput.  The model is deliberately simple
-(no pipelining, no parallel
-connections) — it is a reporting aid, not part of the optimizer's cost
-function (which stays faithful to the paper's page counting; byte-aware
-tie-breaking is separate, see ``CostModel.bytes_cost``).
+33.6 kbit/s (≈4200 bytes/s) throughput, a single connection.  The model is
+a reporting aid, not part of the optimizer's cost function: page *counts*
+stay faithful to the paper's cost function C(E) at every concurrency level
+(byte-aware tie-breaking is separate, see ``CostModel.bytes_cost``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.clock import Timeline
 
 __all__ = ["NetworkModel", "MODEM_1998"]
 
 
 @dataclass(frozen=True)
 class NetworkModel:
-    """Round-trip latency plus throughput."""
+    """Round-trip latency, throughput, and available parallel connections."""
 
     rtt_seconds: float = 0.25
     bytes_per_second: float = 4200.0
+    parallel_connections: int = 1
 
     def __post_init__(self) -> None:
         if self.rtt_seconds < 0:
             raise ValueError("rtt must be non-negative")
         if self.bytes_per_second <= 0:
             raise ValueError("bandwidth must be positive")
+        if self.parallel_connections < 1:
+            raise ValueError("need at least one connection")
 
     def get_seconds(self, byte_size: int) -> float:
         """Time to download a page of ``byte_size`` bytes."""
@@ -44,6 +54,20 @@ class NetworkModel:
     def head_seconds(self) -> float:
         """Time for a light connection (headers only)."""
         return self.rtt_seconds
+
+    def batch_seconds(
+        self,
+        durations: Iterable[float],
+        connections: Optional[int] = None,
+    ) -> float:
+        """Wall time for a batch of fetches with the given per-fetch
+        ``durations``, overlapped over ``connections`` lanes (defaults to
+        :attr:`parallel_connections`).  One lane degenerates to the plain
+        sum — the serial model."""
+        timeline = Timeline(connections or self.parallel_connections)
+        for duration in durations:
+            timeline.add(duration)
+        return timeline.makespan
 
 
 #: The default 1998-flavoured model.

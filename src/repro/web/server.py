@@ -9,24 +9,96 @@ paper's Section 8 maintenance algorithms rely on.
 The server itself never counts accesses; accounting lives in the client so
 that concurrent clients (virtual-view executor, materializer, statistics
 crawler) can be measured independently.
+
+:class:`FaultPolicy` injects *transient* failures (timeouts, 5xx-style
+server errors) into the serving path so retry/backoff behaviour can be
+exercised deterministically: whether attempt *n* on a URL fails is a pure
+hash of ``(seed, url, n)``, independent of thread interleaving, so a seeded
+run is exactly reproducible even under a concurrent fetch pool.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+import hashlib
+import threading
+from typing import Iterator, Optional, Sequence
 
 from repro.clock import SimClock
-from repro.errors import ResourceNotFound, WebError
+from repro.errors import ResourceNotFound, TransientFetchError, WebError
 from repro.web.resources import WebResource
 
-__all__ = ["SimulatedWebServer"]
+__all__ = ["FaultPolicy", "SimulatedWebServer"]
+
+
+class FaultPolicy:
+    """Deterministic transient-fault injector for the serving path.
+
+    ``failure_rate`` is the per-attempt probability that a request fails
+    transiently; the decision for attempt *n* on a URL is derived from a
+    hash of ``(seed, url, n)``, so it does not depend on the order in which
+    a worker pool happens to issue requests.  Per-URL attempt counters are
+    kept internally (thread-safe); :meth:`reset` restarts them.
+    """
+
+    KINDS = ("timeout", "server_error")
+
+    def __init__(
+        self,
+        failure_rate: float = 0.1,
+        seed: int = 0,
+        kinds: Sequence[str] = KINDS,
+    ):
+        if not 0.0 <= failure_rate < 1.0:
+            raise WebError("failure_rate must be in [0, 1)")
+        if not kinds or any(k not in self.KINDS for k in kinds):
+            raise WebError(f"kinds must be a non-empty subset of {self.KINDS}")
+        self.failure_rate = failure_rate
+        self.seed = seed
+        self.kinds = tuple(kinds)
+        self._attempts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _draw(self, url: str, attempt: int) -> float:
+        digest = hashlib.blake2b(
+            f"{self.seed}:{url}:{attempt}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def check(self, url: str) -> None:
+        """Count one attempt at ``url``; raise TransientFetchError if this
+        attempt is chosen to fail."""
+        with self._lock:
+            attempt = self._attempts.get(url, 0) + 1
+            self._attempts[url] = attempt
+        draw = self._draw(url, attempt)
+        if draw < self.failure_rate:
+            kind = self.kinds[
+                int(draw / self.failure_rate * len(self.kinds)) % len(self.kinds)
+            ]
+            raise TransientFetchError(url, kind=kind, attempt=attempt)
+
+    def reset(self) -> None:
+        """Forget all attempt counters (restart the deterministic stream)."""
+        with self._lock:
+            self._attempts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPolicy(rate={self.failure_rate}, seed={self.seed}, "
+            f"kinds={self.kinds})"
+        )
 
 
 class SimulatedWebServer:
     """In-process map of URLs to resources, with a mutation API."""
 
-    def __init__(self, clock: Optional[SimClock] = None):
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+    ):
         self.clock = clock or SimClock()
+        self.fault_policy = fault_policy
         self._resources: dict[str, WebResource] = {}
 
     # ------------------------------------------------------------------ #
@@ -70,8 +142,19 @@ class SimulatedWebServer:
     # ------------------------------------------------------------------ #
 
     def resource(self, url: str) -> WebResource:
-        """Return the live resource (raises ResourceNotFound)."""
+        """Return the live resource (raises ResourceNotFound).  Bypasses the
+        fault policy: this is the oracle/internal accessor; network-facing
+        requests go through :meth:`serve`."""
         return self._require(url)
+
+    def serve(self, url: str) -> WebResource:
+        """Serve one network request for ``url``: raises ResourceNotFound
+        for missing pages and, when a :class:`FaultPolicy` is installed,
+        TransientFetchError for injected timeouts / server errors."""
+        resource = self._require(url)
+        if self.fault_policy is not None:
+            self.fault_policy.check(url)
+        return resource
 
     def exists(self, url: str) -> bool:
         return url in self._resources

@@ -1,8 +1,8 @@
-"""Tests for the simulated clock."""
+"""Tests for the simulated clock and the k-lane timeline."""
 
 import pytest
 
-from repro.clock import NEVER, SimClock
+from repro.clock import NEVER, SimClock, Timeline
 
 
 def test_starts_at_one():
@@ -42,3 +42,40 @@ def test_advance_rejects_negative():
 
 def test_never_precedes_any_tick():
     assert NEVER < SimClock().now()
+
+
+class TestTimeline:
+    def test_one_lane_is_the_running_sum(self):
+        tl = Timeline(lanes=1)
+        for d in [0.5, 0.25, 1.0]:
+            tl.add(d)
+        assert tl.makespan == 0.5 + 0.25 + 1.0
+
+    def test_greedy_assignment_overlaps(self):
+        tl = Timeline(lanes=2)
+        assert tl.add(3.0) == 3.0
+        assert tl.add(1.0) == 1.0  # second lane
+        assert tl.add(1.0) == 2.0  # back on the shorter lane
+        assert tl.makespan == 3.0
+
+    def test_equal_tasks_split_evenly(self):
+        tl = Timeline(lanes=4)
+        for _ in range(8):
+            tl.add(1.0)
+        assert tl.makespan == 2.0
+
+    def test_more_lanes_never_slower(self):
+        durations = [0.3, 1.2, 0.7, 0.1, 0.9, 0.4, 2.0, 0.6]
+        makespans = []
+        for lanes in [1, 2, 4, 8]:
+            tl = Timeline(lanes)
+            for d in durations:
+                tl.add(d)
+            makespans.append(tl.makespan)
+        assert all(a >= b for a, b in zip(makespans, makespans[1:]))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            Timeline(lanes=0)
+        with pytest.raises(ValueError):
+            Timeline().add(-1.0)
