@@ -86,11 +86,13 @@ from repro.web import (
     SimulatedWebServer,
     WebClient,
     AccessLog,
+    CachePolicy,
     CostSummary,
     FaultPolicy,
     FetchConfig,
     FetchRecord,
     NetworkModel,
+    PageCache,
     RetryPolicy,
 )
 from repro.wrapper import registry_for_scheme, WrapperRegistry
@@ -126,7 +128,7 @@ __all__ = [
     "SimulatedWebServer", "WebClient", "AccessLog", "NetworkModel",
     "CostSummary", "FaultPolicy", "FetchConfig", "FetchRecord",
     "RetryPolicy", "FetchError", "TransientFetchError",
-    "RetriesExhaustedError",
+    "RetriesExhaustedError", "PageCache", "CachePolicy",
     # wrappers
     "registry_for_scheme", "WrapperRegistry",
     "__version__",

@@ -9,6 +9,9 @@ and all relational work happens locally at zero cost.  The per-query
 downloaded at most once per query, which makes the measured
 ``page_downloads`` directly comparable to the paper's cost function C(E) at
 every concurrency level — parallelism only compresses simulated wall time.
+With a cross-query :class:`~repro.web.cache.PageCache` attached, pages
+already cached from earlier queries cost one light connection (or nothing)
+instead of a download, and the per-query log reports the savings.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from repro.algebra.ast import Expr
 from repro.engine.local import LocalExecutor
 from repro.engine.session import QuerySession
 from repro.nested.relation import Relation
+from repro.web.cache import PageCache
 from repro.web.client import (
     AccessLog,
     CostSummary,
@@ -49,6 +53,21 @@ class ExecutionResult:
     def light_connections(self) -> int:
         """Light (HEAD) connections issued while executing."""
         return self.log.light_connections
+
+    @property
+    def cache_hits(self) -> int:
+        """Accesses served from the page cache without any connection."""
+        return self.log.cache_hits
+
+    @property
+    def revalidations(self) -> int:
+        """Cached pages served after a light-connection freshness check."""
+        return self.log.revalidations
+
+    @property
+    def pages_saved(self) -> int:
+        """Full downloads the page cache avoided for this query."""
+        return self.log.pages_saved
 
     @property
     def cost(self) -> CostSummary:
@@ -112,18 +131,27 @@ class RemoteExecutor:
         *,
         fetch_config: Optional[FetchConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        cache: Optional[PageCache] = None,
     ) -> ExecutionResult:
         """Run one query: fresh session, per-query access accounting.
 
         ``fetch_config`` bounds the concurrent fetch pool for this query's
         batches; ``retry_policy`` overrides the client's transient-failure
-        handling.  Both default to the client's configuration.
+        handling; ``cache`` overrides the client's attached page cache
+        (pass :data:`~repro.web.cache.NO_CACHE` to force uncached
+        execution).  All default to the client's configuration.
         """
+        active_cache = cache if cache is not None else self.client.cache
+        if active_cache is not None:
+            # new query: per-query entries are dropped, cross-query
+            # validation marks reset (the §8 "flags back to none")
+            active_cache.begin_query()
         session = QuerySession(
             self.client,
             self.registry,
             fetch_config=fetch_config,
             retry_policy=retry_policy,
+            cache=cache,
         )
         provider = _SessionProvider(self.scheme, session)
         executor = LocalExecutor(self.scheme, provider)

@@ -13,6 +13,12 @@ The cache sits in front of the batch, so duplicate URLs — within one batch
 or across batches of the same query — are downloaded at most once no matter
 the concurrency level, keeping measured ``page_downloads`` equal to the
 paper's cost function.
+
+Below the session sits the optional *cross-query*
+:class:`~repro.web.cache.PageCache` (``cache=``, forwarded to the client):
+the session guarantees one download per page per query, the page cache
+turns repeat downloads across queries into free hits or light-connection
+revalidations.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.errors import ResourceNotFound
+from repro.web.cache import PageCache
 from repro.web.client import FetchConfig, RetryPolicy, WebClient
 from repro.web.resources import WebResource
 from repro.wrapper.wrapper import WrapperRegistry
@@ -36,11 +43,13 @@ class QuerySession:
         registry: WrapperRegistry,
         fetch_config: Optional[FetchConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        cache: Optional[PageCache] = None,
     ):
         self.client = client
         self.registry = registry
         self.fetch_config = fetch_config
         self.retry_policy = retry_policy
+        self.cache = cache  # None → the client's attached cache
         self._resources: dict[str, Optional[WebResource]] = {}
         self._tuples: dict[tuple, dict] = {}
 
@@ -50,7 +59,7 @@ class QuerySession:
         if url not in self._resources:
             try:
                 self._resources[url] = self.client.get(
-                    url, retry=self.retry_policy
+                    url, retry=self.retry_policy, cache=self.cache
                 )
             except ResourceNotFound:
                 self._resources[url] = None
@@ -73,7 +82,10 @@ class QuerySession:
                 needed.append(url)
         if needed:
             fetched = self.client.get_batch(
-                needed, config=self.fetch_config, retry=self.retry_policy
+                needed,
+                config=self.fetch_config,
+                retry=self.retry_policy,
+                cache=self.cache,
             )
             self._resources.update(fetched)
         return {url: self._resources[url] for url in urls if url in self._resources}

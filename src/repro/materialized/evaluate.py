@@ -44,6 +44,21 @@ class MaterializedResult:
         return self.log.page_downloads
 
     @property
+    def cache_hits(self) -> int:
+        """Accesses served from the client's page cache (if attached)."""
+        return self.log.cache_hits
+
+    @property
+    def revalidations(self) -> int:
+        """Cached pages confirmed fresh by the client's page cache."""
+        return self.log.revalidations
+
+    @property
+    def pages_saved(self) -> int:
+        """Full downloads avoided by the client's page cache."""
+        return self.log.pages_saved
+
+    @property
     def cost(self) -> CostSummary:
         """Measured cost in the shared summary shape."""
         return CostSummary.from_log(self.log)

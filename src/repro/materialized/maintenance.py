@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.adm.links import outlink_set
 from repro.materialized.store import MaterializedStore
+from repro.web.cache import Freshness, check_freshness
 
 __all__ = ["process_check_missing", "full_refresh", "consistency_report",
            "ConsistencyReport"]
@@ -113,8 +114,7 @@ def consistency_report(store: MaterializedStore) -> ConsistencyReport:
         stored_urls.update(by_url)
     for scheme_name, by_url in store.pages.items():
         for url, page in by_url.items():
-            head = store.client.head(url)
-            if not head.ok or page.modified < head.last_modified:
+            if check_freshness(store.client, url, page.modified) is not Freshness.FRESH:
                 report.stale_pages += 1
             for link_url, _target in outlink_set(
                 store.scheme, scheme_name, page.plain

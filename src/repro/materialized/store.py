@@ -9,8 +9,11 @@ evaluated, all flags are initialized to none").
 ``URLCheck`` follows the paper's Function 2:
 
 1. a URL flagged ``new`` is downloaded unconditionally (we have no tuple);
-2. otherwise a light connection compares modification dates; only a stale
-   page is re-downloaded;
+2. otherwise a light connection compares modification dates (through
+   :func:`repro.web.cache.check_freshness`, the same code path the
+   client's cross-query page cache revalidates with — so every light
+   connection is counted once, in :meth:`WebClient.head
+   <repro.web.client.WebClient.head>`); only a stale page is re-downloaded;
 3. after a re-download, outgoing links that appeared are flagged ``new``
    and links that disappeared are flagged ``missing``;
 4. the URL itself is flagged ``checked`` so later navigations in the same
@@ -26,6 +29,7 @@ from typing import Optional
 from repro.adm.links import outlink_set
 from repro.adm.scheme import WebScheme
 from repro.errors import MaterializationError, ResourceNotFound
+from repro.web.cache import Freshness, check_freshness
 from repro.web.client import WebClient
 from repro.wrapper.wrapper import WrapperRegistry
 
@@ -192,14 +196,14 @@ class MaterializedStore:
             self.status[url] = Status.CHECKED
             return fresh.plain
 
-        head = self.client.head(url)
-        if not head.ok:
+        freshness = check_freshness(self.client, url, page.modified)
+        if freshness is Freshness.MISSING:
             # the page was deleted behind our back
             self._remove(url)
             self.status[url] = Status.MISSING
             self.check_missing.add(url)
             return None
-        if page.modified < head.last_modified:
+        if freshness is Freshness.STALE:
             fresh = self._download(page_scheme, url, previous=page)
             self.status[url] = Status.CHECKED
             return fresh.plain if fresh is not None else None

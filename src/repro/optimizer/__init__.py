@@ -10,7 +10,7 @@
   candidate plans and cost-based selection.
 """
 
-from repro.optimizer.cost import CostModel
+from repro.optimizer.cost import CacheEstimate, CostModel
 from repro.optimizer.rules import (
     JoinPushdown,
     MergeRepeatedNavigation,
@@ -29,6 +29,7 @@ from repro.optimizer.planner import (
 )
 
 __all__ = [
+    "CacheEstimate",
     "CostModel",
     "JoinPushdown",
     "MergeRepeatedNavigation",

@@ -19,11 +19,23 @@ number of *distinct* links followed, ``|π_L(R)| = |R| / r_L`` (capped by
 Statistics are reached through field provenance, so estimates work at any
 depth.  Attributes whose provenance is unknown (e.g. computed columns) fall
 back to :data:`DEFAULT_SELECTIVITY`.
+
+**Cache awareness.**  When the engine runs with a cross-query
+:class:`~repro.web.cache.PageCache`, part of a plan's pointer set may
+already be held locally, and a cached page costs a light connection (or
+nothing) instead of a download.  A :class:`CacheEstimate` carries the
+expected hit rate per page-scheme — typically derived from the actual
+cache contents via :meth:`CacheEstimate.from_cache` — and the model then
+charges each network access of scheme *P* an effective
+``(1 - h_P) + h_P × light_weight`` pages instead of 1, so Algorithm 1 can
+re-rank pointer-join against pointer-chase plans under a warm cache.
+Without an estimate the model is exactly the paper's C(E).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Optional
 
 from repro.adm.scheme import WebScheme
 from repro.algebra.ast import (
@@ -41,7 +53,7 @@ from repro.errors import OptimizerError, StatisticsError
 from repro.nested.schema import Field, Provenance
 from repro.stats.statistics import SiteStatistics
 
-__all__ = ["CostModel", "DEFAULT_SELECTIVITY"]
+__all__ = ["CacheEstimate", "CostModel", "DEFAULT_SELECTIVITY"]
 
 #: Selectivity assumed for predicates whose attribute has no usable
 #: statistics (conservative-ish; the paper assumes full knowledge).
@@ -54,12 +66,118 @@ class _Estimate:
     cost: float
 
 
-class CostModel:
-    """Estimates cardinalities and the page-access cost of NALG plans."""
+class CacheEstimate:
+    """Expected page-cache hit rate per page-scheme, for cache-aware costing.
 
-    def __init__(self, scheme: WebScheme, stats: SiteStatistics):
+    ``hit_rates`` maps page-scheme names to the expected fraction of that
+    scheme's accesses served from the cache (clamped to [0, 1]; unknown
+    schemes default to 0 — a cold cache).  ``light_weight`` is the cost, in
+    page units, charged for each avoided download: 0 treats revalidations
+    as free (pure C(E) page counting, the paper's stance that light
+    connections "are quite fast"), a small positive value lets byte-true
+    tie-breaking see them.
+
+    Instances are immutable, hashable (planner memo keys), and usually
+    built from a live cache with :meth:`from_cache` — the optimizer
+    inspecting its own prior accesses, not the web.
+    """
+
+    __slots__ = ("_rates", "light_weight")
+
+    def __init__(
+        self,
+        hit_rates: Mapping[str, float],
+        light_weight: float = 0.0,
+    ):
+        if not 0.0 <= light_weight <= 1.0:
+            raise OptimizerError(
+                f"light_weight must be in [0, 1], got {light_weight!r}"
+            )
+        self._rates: tuple[tuple[str, float], ...] = tuple(
+            sorted(
+                (name, min(1.0, max(0.0, float(rate))))
+                for name, rate in hit_rates.items()
+            )
+        )
+        self.light_weight = float(light_weight)
+
+    @classmethod
+    def from_cache(
+        cls,
+        cache,
+        stats: SiteStatistics,
+        light_weight: float = 0.0,
+    ) -> "CacheEstimate":
+        """Hit rates observed from actual cache contents: for each
+        page-scheme, the fraction of its |P| pages currently cached."""
+        rates: dict[str, float] = {}
+        for scheme_name, count in cache.scheme_counts().items():
+            try:
+                card = stats.card(scheme_name)
+            except StatisticsError:
+                continue
+            if card > 0:
+                rates[scheme_name] = count / card
+        return cls(rates, light_weight=light_weight)
+
+    @property
+    def hit_rates(self) -> dict[str, float]:
+        return dict(self._rates)
+
+    def rate(self, scheme_name: str) -> float:
+        """Expected hit rate for ``scheme_name`` (0 when unknown)."""
+        for name, rate in self._rates:
+            if name == scheme_name:
+                return rate
+        return 0.0
+
+    def page_factor(self, scheme_name: str) -> float:
+        """Effective page cost of one access to a page of ``scheme_name``:
+        a miss costs a full download, a hit costs ``light_weight``."""
+        h = self.rate(scheme_name)
+        return (1.0 - h) + h * self.light_weight
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, CacheEstimate)
+            and self._rates == other._rates
+            and self.light_weight == other.light_weight
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._rates, self.light_weight))
+
+    def __repr__(self) -> str:
+        rates = ", ".join(f"{n}={r:.2f}" for n, r in self._rates)
+        return f"CacheEstimate({rates or 'cold'}, light={self.light_weight})"
+
+
+class CostModel:
+    """Estimates cardinalities and the page-access cost of NALG plans.
+
+    With a :class:`CacheEstimate` attached the network costs shrink by the
+    expected hit rate of the accessed page-scheme; without one (the
+    default) every estimate is exactly the paper's Section 6.2 model.
+    """
+
+    def __init__(
+        self,
+        scheme: WebScheme,
+        stats: SiteStatistics,
+        cache_estimate: Optional[CacheEstimate] = None,
+    ):
         self.scheme = scheme
         self.stats = stats
+        self.cache_estimate = cache_estimate
+
+    def with_cache(self, estimate: Optional[CacheEstimate]) -> "CostModel":
+        """A view of this model costing plans under ``estimate``."""
+        return CostModel(self.scheme, self.stats, cache_estimate=estimate)
+
+    def _network_factor(self, scheme_name: str) -> float:
+        if self.cache_estimate is None:
+            return 1.0
+        return self.cache_estimate.page_factor(scheme_name)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -82,7 +200,9 @@ class CostModel:
         total = 0.0
         for node in self._walk(expr):
             if isinstance(node, EntryPointScan):
-                total += self._page_size(node.page_scheme)
+                total += self._network_factor(node.page_scheme) * self._page_size(
+                    node.page_scheme
+                )
             elif isinstance(node, FollowLink):
                 own = (
                     self._estimate(node).cost
@@ -153,7 +273,10 @@ class CostModel:
 
     def _estimate(self, expr: Expr) -> _Estimate:
         if isinstance(expr, EntryPointScan):
-            return _Estimate(cardinality=1.0, cost=1.0)
+            return _Estimate(
+                cardinality=1.0,
+                cost=self._network_factor(expr.page_scheme),
+            )
         if isinstance(expr, ExternalRelScan):
             raise OptimizerError(
                 f"cannot cost external relation {expr.name!r}; expand it "
@@ -272,5 +395,5 @@ class CostModel:
         distinct_links = min(child.cardinality / repetition, target_card)
         return _Estimate(
             cardinality=child.cardinality,
-            cost=child.cost + distinct_links,
+            cost=child.cost + distinct_links * self._network_factor(target),
         )

@@ -35,7 +35,7 @@ from repro.errors import (
     PredicateError,
     SchemaError,
 )
-from repro.optimizer.cost import CostModel
+from repro.optimizer.cost import CacheEstimate, CostModel
 from repro.optimizer.rewriter import closure
 from repro.optimizer.rules import (
     JoinPushdown,
@@ -78,24 +78,36 @@ class PlanCandidate:
 
 @dataclass
 class PlannerResult:
-    """The chosen plan plus everything the optimizer considered."""
+    """The chosen plan plus everything the optimizer considered.
+
+    When the plan was selected under a :class:`CacheEstimate`,
+    ``cache_estimate`` records it and ``uncached_cost`` is the chosen
+    plan's plain C(E) — so ``uncached_cost - best.cost`` is the page
+    saving the optimizer expects from the warm cache."""
 
     best: PlanCandidate
     candidates: list  # all valid candidates, sorted by cost
     generated: int    # plans generated before validation
+    cache_estimate: Optional[CacheEstimate] = None
+    uncached_cost: Optional[float] = None
 
     @property
     def cost(self) -> CostSummary:
         """Estimated cost of the chosen plan in the shared summary shape
         (same fields as ``ExecutionResult.cost``).  ``attempts`` assumes one
         request per page; ``simulated_seconds`` and ``light_connections``
-        are only measurable at run time and report 0."""
+        are only measurable at run time and report 0.  Under a cache
+        estimate, ``pages_saved`` is the expected download saving."""
+        saved = 0.0
+        if self.uncached_cost is not None:
+            saved = max(0.0, self.uncached_cost - self.best.cost)
         return CostSummary(
             pages=self.best.cost,
             light_connections=0.0,
             bytes=self.best.bytes_cost,
             simulated_seconds=0.0,
             attempts=self.best.cost,
+            pages_saved=saved,
         )
 
     def describe(self, scheme: Optional[WebScheme] = None, limit: int = 10) -> str:
@@ -152,23 +164,37 @@ class Planner:
     # public API
     # ------------------------------------------------------------------ #
 
-    def plan_query(self, query: ConjunctiveQuery) -> PlannerResult:
+    def plan_query(
+        self,
+        query: ConjunctiveQuery,
+        cache_estimate: Optional[CacheEstimate] = None,
+    ) -> PlannerResult:
         """Plan a conjunctive query (steps 1–8).
 
-        Results are cached per planner instance (a planner is bound to one
-        statistics snapshot; rebuilding the planner — as
-        ``SiteEnv.refresh_statistics`` does — naturally drops the cache).
+        ``cache_estimate`` makes step 8 cache-aware: candidates are costed
+        with per-page-scheme hit rates, so a plan whose pointer set is
+        already cached can win over the cold-cache choice.
+
+        Results are memoized per planner instance and estimate (a planner
+        is bound to one statistics snapshot; rebuilding the planner — as
+        ``SiteEnv.refresh_statistics`` does — naturally drops the memo).
         """
-        key = str(query)
+        key = (str(query), cache_estimate)
         cached = self._cache.get(key)
         if cached is None:
-            cached = self.plan_expr(translate(query, self.view))
+            cached = self.plan_expr(
+                translate(query, self.view), cache_estimate=cache_estimate
+            )
             if len(self._cache) > 512:
                 self._cache.clear()
             self._cache[key] = cached
         return cached
 
-    def plan_expr(self, expr: Expr) -> PlannerResult:
+    def plan_expr(
+        self,
+        expr: Expr,
+        cache_estimate: Optional[CacheEstimate] = None,
+    ) -> PlannerResult:
         """Plan a relational-algebra expression over external relations."""
         opts = self.options
         # step 2: rule 1 — expand external relations in all possible ways
@@ -214,10 +240,17 @@ class Planner:
                     lambda e: eliminate_unused_navigation(e, self.scheme),
                 )
             )
-        # step 8: validate, cost, choose
+        # step 8: validate, cost, choose (cache-aware when an estimate is
+        # given: the effective per-access page cost shrinks by the expected
+        # hit rate of the accessed page-scheme)
+        model = (
+            self.cost_model.with_cache(cache_estimate)
+            if cache_estimate is not None
+            else self.cost_model
+        )
         candidates = []
         for plan in final:
-            candidate = self._validate_and_cost(plan)
+            candidate = self._validate_and_cost(plan, model)
             if candidate is not None:
                 candidates.append(candidate)
         if not candidates:
@@ -226,8 +259,18 @@ class Planner:
                 "the view's default navigations cover the queried attributes"
             )
         candidates.sort(key=lambda c: (c.cost, c.bytes_cost, c.render()))
+        uncached_cost = None
+        if cache_estimate is not None:
+            try:
+                uncached_cost = self.cost_model.cost(candidates[0].expr)
+            except OptimizerError:  # pragma: no cover - defensive
+                uncached_cost = None
         return PlannerResult(
-            best=candidates[0], candidates=candidates, generated=len(final)
+            best=candidates[0],
+            candidates=candidates,
+            generated=len(final),
+            cache_estimate=cache_estimate,
+            uncached_cost=uncached_cost,
         )
 
     # ------------------------------------------------------------------ #
@@ -284,14 +327,17 @@ class Planner:
     # validation + costing
     # ------------------------------------------------------------------ #
 
-    def _validate_and_cost(self, plan: Expr) -> Optional[PlanCandidate]:
+    def _validate_and_cost(
+        self, plan: Expr, model: Optional[CostModel] = None
+    ) -> Optional[PlanCandidate]:
+        model = model or self.cost_model
         try:
             plan.output_schema(self.scheme)
             if not is_computable(plan, self.scheme):
                 return None
-            cost = self.cost_model.cost(plan)
-            card = self.cost_model.cardinality(plan)
-            bytes_cost = self.cost_model.bytes_cost(plan)
+            cost = model.cost(plan)
+            card = model.cardinality(plan)
+            bytes_cost = model.bytes_cost(plan)
         except (AlgebraError, SchemaError, PredicateError, OptimizerError):
             return None
         return PlanCandidate(

@@ -16,13 +16,13 @@ from:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.adm.scheme import WebScheme
 from repro.algebra.ast import EntryPointScan, Expr
 from repro.engine.remote import ExecutionResult, RemoteExecutor
 from repro.nested.relation import Relation
-from repro.optimizer.cost import CostModel
+from repro.optimizer.cost import CacheEstimate, CostModel
 from repro.optimizer.planner import Planner, PlannerResult
 from repro.sitegen.bibliography import (
     BibliographyConfig,
@@ -40,6 +40,7 @@ from repro.stats.statistics import SiteStatistics
 from repro.views.conjunctive import ConjunctiveQuery
 from repro.views.external import DefaultNavigation, ExternalRelation, ExternalView
 from repro.views.sql import parse_query
+from repro.web.cache import NO_CACHE, CachePolicy, PageCache
 from repro.web.client import FetchConfig, RetryPolicy, WebClient
 from repro.wrapper.conventions import registry_for_scheme
 from repro.wrapper.wrapper import WrapperRegistry
@@ -68,6 +69,7 @@ class SiteEnv:
     planner: Planner
     executor: RemoteExecutor
     site: object  # UniversitySite or BibliographySite
+    page_cache: Optional[PageCache] = None
 
     # ------------------------------------------------------------------ #
     # the end-to-end user API
@@ -77,11 +79,76 @@ class SiteEnv:
         """Parse a conjunctive SQL query against this view."""
         return parse_query(text, self.view)
 
-    def plan(self, query: ConjunctiveQuery | str) -> PlannerResult:
-        """Optimize a query (Algorithm 1)."""
+    def enable_cache(
+        self,
+        capacity: int = 256,
+        policy: Union[CachePolicy, str] = CachePolicy.CROSS_QUERY,
+    ) -> PageCache:
+        """Attach a page cache to this environment and return it.
+
+        Subsequent :meth:`plan` / :meth:`execute` / :meth:`query` calls use
+        it by default; pass ``cache="off"`` per call to bypass it."""
+        self.page_cache = PageCache(
+            capacity=capacity, policy=CachePolicy.coerce(policy)
+        )
+        return self.page_cache
+
+    def _resolve_cache(
+        self, cache: Union[PageCache, CachePolicy, str, None]
+    ) -> Optional[PageCache]:
+        """Normalize a per-call ``cache`` argument.
+
+        ``None`` means the environment default (``page_cache``, possibly
+        none at all); a :class:`PageCache` is used as-is; a policy (or its
+        string name) selects that policy on the environment cache,
+        creating it on first use — except ``"off"``, which bypasses any
+        cache for this call."""
+        if cache is None:
+            return self.page_cache
+        if isinstance(cache, PageCache):
+            return cache
+        policy = CachePolicy.coerce(cache)
+        if policy is CachePolicy.OFF:
+            return NO_CACHE
+        if self.page_cache is None:
+            return self.enable_cache(policy=policy)
+        self.page_cache.policy = policy
+        return self.page_cache
+
+    def cache_estimate(
+        self,
+        cache: Union[PageCache, CachePolicy, str, None] = None,
+        light_weight: float = 0.0,
+    ) -> Optional[CacheEstimate]:
+        """Per-page-scheme hit rates from the current cache contents, or
+        None when no (active, non-empty) cache applies."""
+        resolved = self._resolve_cache(cache)
+        if (
+            resolved is None
+            or resolved.policy is CachePolicy.OFF
+            or len(resolved) == 0
+        ):
+            return None
+        return CacheEstimate.from_cache(
+            resolved, self.stats, light_weight=light_weight
+        )
+
+    def plan(
+        self,
+        query: ConjunctiveQuery | str,
+        *,
+        cache: Union[PageCache, CachePolicy, str, None] = None,
+    ) -> PlannerResult:
+        """Optimize a query (Algorithm 1).
+
+        When a cache applies (the environment cache, or ``cache=``), the
+        planner costs candidates with hit rates derived from the actual
+        cache contents, so a warm cache can flip the chosen plan."""
         if isinstance(query, str):
             query = self.sql(query)
-        return self.planner.plan_query(query)
+        return self.planner.plan_query(
+            query, cache_estimate=self.cache_estimate(cache)
+        )
 
     def execute(
         self,
@@ -89,6 +156,7 @@ class SiteEnv:
         *,
         fetch_config: Optional[FetchConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        cache: Union[PageCache, CachePolicy, str, None] = None,
     ) -> ExecutionResult:
         """Execute one plan against the live site.
 
@@ -96,9 +164,14 @@ class SiteEnv:
         query's batches; ``retry_policy`` overrides how transient network
         faults are retried.  Defaults preserve the client's behaviour
         (serial fetching under the 1998 network model, default retries).
+        ``cache`` overrides the environment page cache for this query
+        (see :meth:`_resolve_cache`).
         """
         return self.executor.execute(
-            plan, fetch_config=fetch_config, retry_policy=retry_policy
+            plan,
+            fetch_config=fetch_config,
+            retry_policy=retry_policy,
+            cache=self._resolve_cache(cache),
         )
 
     def query(
@@ -107,13 +180,19 @@ class SiteEnv:
         *,
         fetch_config: Optional[FetchConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        cache: Union[PageCache, CachePolicy, str, None] = None,
     ) -> ExecutionResult:
-        """Optimize and execute: the paper's end-to-end query path."""
-        result = self.plan(query)
+        """Optimize and execute: the paper's end-to-end query path.
+
+        With an active cache the optimizer sees its contents (cache-aware
+        costing) and the executor serves hits from it."""
+        resolved = self._resolve_cache(cache)
+        result = self.plan(query, cache=resolved)
         return self.execute(
             result.best.expr,
             fetch_config=fetch_config,
             retry_policy=retry_policy,
+            cache=resolved,
         )
 
     def explain(self, query: ConjunctiveQuery | str) -> str:

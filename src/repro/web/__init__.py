@@ -11,11 +11,24 @@ package provides an in-process web that measures exactly those quantities:
   :class:`FaultPolicy` injecting deterministic transient failures;
 * :mod:`repro.web.client` — GET/HEAD client with an :class:`AccessLog`, a
   concurrent batched fetch engine (:meth:`WebClient.get_batch`) governed by
-  :class:`FetchConfig`, and transparent :class:`RetryPolicy` retries.
+  :class:`FetchConfig`, and transparent :class:`RetryPolicy` retries;
+* :mod:`repro.web.cache` — the cross-query LRU :class:`PageCache` with its
+  :class:`CachePolicy` (off / per-query / cross-query light-connection
+  revalidation) and the :class:`SingleFlight` in-flight download dedup.
 """
 
 from repro.web.resources import HeadResponse, WebResource
 from repro.web.server import FaultPolicy, SimulatedWebServer
+from repro.web.cache import (
+    CacheEntry,
+    CachePolicy,
+    CacheStats,
+    Freshness,
+    NO_CACHE,
+    PageCache,
+    SingleFlight,
+    check_freshness,
+)
 from repro.web.client import (
     AccessLog,
     CostSummary,
@@ -43,4 +56,12 @@ __all__ = [
     "NO_RETRY",
     "NetworkModel",
     "MODEM_1998",
+    "PageCache",
+    "CachePolicy",
+    "CacheEntry",
+    "CacheStats",
+    "Freshness",
+    "SingleFlight",
+    "check_freshness",
+    "NO_CACHE",
 ]

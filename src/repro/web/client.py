@@ -7,22 +7,30 @@ The executor resets or snapshots the log around each query to report
 per-query costs.  ``attempts`` and per-fetch :class:`FetchRecord` entries
 additionally expose retry and concurrency behaviour.
 
-``WebClient.get`` always performs a *network* download — deduplication of
-repeated accesses within one query is the executor's job (the paper counts
-"pages downloaded", and a sensible engine never re-fetches a page it already
-holds for the current query), implemented by
-:class:`repro.engine.session.QuerySession`.
+``WebClient.get`` performs a network download unless the client carries a
+:class:`~repro.web.cache.PageCache` that can serve the URL — a free hit
+under ``per_query`` scope, a light-connection revalidation under
+``cross_query`` (the Section 8 saving, generalized from the materialized
+store to every query).  Per-query deduplication of repeated accesses
+remains the executor's job (:class:`repro.engine.session.QuerySession`);
+the cache sits *below* it and spans queries.
 
 ``WebClient.get_batch`` is the batch-first entry point: a whole set of URLs
 is fetched through a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
 worker pool, with transient failures (injected by a
 :class:`~repro.web.server.FaultPolicy`) retried per :class:`RetryPolicy`.
-Accounting stays deterministic under concurrency: workers perform only the
-pure fetch; all log mutation happens on the calling thread in submission
-order, and the batch's simulated wall time is the makespan of a greedy
-schedule of the per-fetch durations over the available connections
-(:meth:`~repro.web.network.NetworkModel.batch_seconds`).  Page *counts* are
-therefore identical at every pool size — only wall time shrinks.
+Fetches are additionally *single-flighted* (:class:`~repro.web.cache.
+SingleFlight`): concurrent lanes — including concurrent batches issued by
+different threads against one client — requesting the same URL share one
+download.  Accounting stays deterministic under concurrency: workers
+perform only the pure fetch; all log mutation happens on the calling
+thread in submission order (cache hits charged zero pages, revalidations
+one light connection each, before the batch's network fetches), and the
+batch's simulated wall time is the makespan of a greedy schedule of the
+per-fetch durations over the available connections
+(:meth:`~repro.web.network.NetworkModel.batch_seconds`).  Page *counts*
+are therefore identical at every pool size — only wall time shrinks — and
+with the cache off they are bit-for-bit those of the uncached engine.
 """
 
 from __future__ import annotations
@@ -38,6 +46,13 @@ from repro.errors import (
     RetriesExhaustedError,
     TransientFetchError,
 )
+from repro.web.cache import (
+    CachePolicy,
+    Freshness,
+    PageCache,
+    SingleFlight,
+    check_freshness,
+)
 from repro.web.network import MODEM_1998, NetworkModel
 from repro.web.resources import HeadResponse, WebResource
 from repro.web.server import SimulatedWebServer
@@ -52,7 +67,6 @@ __all__ = [
     "DEFAULT_RETRY_POLICY",
     "NO_RETRY",
 ]
-
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -102,8 +116,21 @@ class FetchConfig:
     max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.max_workers is not None and self.max_workers < 1:
-            raise ValueError("need at least one worker")
+        if self.max_workers is None:
+            return
+        if isinstance(self.max_workers, bool) or not isinstance(
+            self.max_workers, int
+        ):
+            raise ValueError(
+                f"FetchConfig.max_workers must be a positive integer or "
+                f"None, got {self.max_workers!r}"
+            )
+        if self.max_workers < 1:
+            raise ValueError(
+                f"FetchConfig.max_workers must be at least 1, got "
+                f"{self.max_workers} (use None to follow the network "
+                f"model's parallel_connections)"
+            )
 
     def effective_workers(self, network: NetworkModel) -> int:
         """Concurrency level for a batch under ``network``."""
@@ -133,8 +160,11 @@ class CostSummary:
 
     ``pages`` is the paper's cost measure C(E); the other fields are the
     modern trimmings (light connections, bytes, simulated wall time, request
-    attempts including retries).  Estimated summaries report 0.0 for
-    ``simulated_seconds``, which is only measurable at run time.
+    attempts including retries).  ``cache_hits`` / ``revalidations`` /
+    ``pages_saved`` expose the page-cache's contribution: downloads avoided
+    by serving cached bodies (for free, or for one light connection each).
+    Estimated summaries report 0.0 for ``simulated_seconds``, which is only
+    measurable at run time.
     """
 
     pages: float
@@ -142,6 +172,9 @@ class CostSummary:
     bytes: float
     simulated_seconds: float
     attempts: float
+    cache_hits: float = 0.0
+    revalidations: float = 0.0
+    pages_saved: float = 0.0
 
     @classmethod
     def from_log(cls, log: "AccessLog") -> "CostSummary":
@@ -152,19 +185,29 @@ class CostSummary:
             bytes=log.bytes_downloaded,
             simulated_seconds=log.simulated_seconds,
             attempts=log.attempts,
+            cache_hits=log.cache_hits,
+            revalidations=log.revalidations,
+            pages_saved=log.pages_saved,
         )
 
     def __repr__(self) -> str:
         return (
             f"CostSummary(pages={self.pages}, light={self.light_connections}, "
             f"bytes={self.bytes:.0f}, seconds={self.simulated_seconds:.3f}, "
-            f"attempts={self.attempts})"
+            f"attempts={self.attempts}, saved={self.pages_saved})"
         )
 
 
 @dataclass
 class AccessLog:
-    """Counts of network interactions performed through a client."""
+    """Counts of network interactions performed through a client.
+
+    ``cache_hits`` counts accesses served from the page cache without any
+    connection (including downloads shared through single-flight dedup);
+    ``revalidations`` counts cached pages served after a light-connection
+    date check confirmed freshness (the HEAD itself also shows up in
+    ``light_connections``); ``pages_saved`` is their sum — full downloads
+    the cache avoided."""
 
     page_downloads: int = 0
     light_connections: int = 0
@@ -172,6 +215,9 @@ class AccessLog:
     bytes_downloaded: int = 0
     simulated_seconds: float = 0.0
     attempts: int = 0
+    cache_hits: int = 0
+    revalidations: int = 0
+    pages_saved: int = 0
     downloaded_urls: list = field(default_factory=list)
     records: list = field(default_factory=list)
 
@@ -184,6 +230,9 @@ class AccessLog:
             bytes_downloaded=self.bytes_downloaded,
             simulated_seconds=self.simulated_seconds,
             attempts=self.attempts,
+            cache_hits=self.cache_hits,
+            revalidations=self.revalidations,
+            pages_saved=self.pages_saved,
             downloaded_urls=list(self.downloaded_urls),
             records=list(self.records),
         )
@@ -197,6 +246,9 @@ class AccessLog:
             bytes_downloaded=self.bytes_downloaded - earlier.bytes_downloaded,
             simulated_seconds=self.simulated_seconds - earlier.simulated_seconds,
             attempts=self.attempts - earlier.attempts,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            revalidations=self.revalidations - earlier.revalidations,
+            pages_saved=self.pages_saved - earlier.pages_saved,
             downloaded_urls=self.downloaded_urls[len(earlier.downloaded_urls):],
             records=self.records[len(earlier.records):],
         )
@@ -208,6 +260,9 @@ class AccessLog:
         self.bytes_downloaded = 0
         self.simulated_seconds = 0.0
         self.attempts = 0
+        self.cache_hits = 0
+        self.revalidations = 0
+        self.pages_saved = 0
         self.downloaded_urls = []
         self.records = []
 
@@ -225,7 +280,12 @@ class AccessLog:
 
 @dataclass
 class _FetchOutcome:
-    """Result of fetching one URL with retries (pure; no log mutation)."""
+    """Result of fetching one URL with retries (pure; no log mutation).
+
+    ``shared`` marks an outcome obtained from another lane's in-flight
+    download through single-flight dedup: the resource is real, but this
+    caller pays nothing (zero pages, zero time — the leader's accounting
+    already covers the network work)."""
 
     url: str
     resource: Optional[WebResource] = None
@@ -233,6 +293,11 @@ class _FetchOutcome:
     attempts: int = 0
     transient_failures: int = 0
     error: Optional[Exception] = None
+    shared: bool = False
+
+
+#: Internal sentinel: the cache could not serve this URL, go to network.
+_MISS = object()
 
 
 class WebClient:
@@ -242,32 +307,49 @@ class WebClient:
     the 1998-flavoured model); purely informational — the optimizer's cost
     function counts pages, as in the paper.  ``retry_policy`` governs how
     transient failures are retried (it only matters when the server carries
-    a :class:`~repro.web.server.FaultPolicy`)."""
+    a :class:`~repro.web.server.FaultPolicy`).  ``cache`` attaches a
+    :class:`~repro.web.cache.PageCache` consulted (and filled) by ``get``
+    and ``get_batch``; without one — or with policy ``off`` — the client
+    behaves bit-for-bit like the uncached engine."""
 
     def __init__(
         self,
         server: SimulatedWebServer,
         network: Optional[NetworkModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        cache: Optional[PageCache] = None,
     ):
         self.server = server
         self.network = network or MODEM_1998
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self.cache = cache
         self.log = AccessLog()
+        self._single_flight = SingleFlight()
 
     # ------------------------------------------------------------------ #
     # single-URL API
     # ------------------------------------------------------------------ #
 
     def get(
-        self, url: str, retry: Optional[RetryPolicy] = None
+        self,
+        url: str,
+        retry: Optional[RetryPolicy] = None,
+        cache: Optional[PageCache] = None,
     ) -> WebResource:
         """Download a page (one network access, retried on transient
-        faults).  Raises ResourceNotFound for missing pages and
-        RetriesExhaustedError when the retry budget runs out — in both
-        cases after counting the failed request."""
-        outcome = self._fetch_with_retries(url, retry or self.retry_policy)
-        self._account(outcome, concurrency=1)
+        faults) — unless the page cache can serve it for zero pages (hit)
+        or one light connection (cross-query revalidation).  Raises
+        ResourceNotFound for missing pages and RetriesExhaustedError when
+        the retry budget runs out — in both cases after counting the
+        failed request.  ``cache`` overrides the client's attached cache
+        for this call (pass :data:`~repro.web.cache.NO_CACHE` to bypass)."""
+        cache = cache if cache is not None else self.cache
+        served = self._serve_from_cache(url, cache)
+        if served is not _MISS:
+            assert isinstance(served, WebResource)
+            return served
+        outcome = self._fetch_shared(url, retry or self.retry_policy)
+        self._account(outcome, concurrency=1, cache=cache)
         if outcome.error is not None:
             raise outcome.error
         assert outcome.resource is not None
@@ -276,10 +358,14 @@ class WebClient:
     def head(self, url: str) -> HeadResponse:
         """Open a light connection: returns error flag + modification date
         without downloading the page (paper, Section 8).  Never raises —
-        a missing page is reported through ``ok=False``."""
-        self.log.light_connections += 1
-        self.log.attempts += 1
-        self.log.simulated_seconds += self.network.head_seconds()
+        a missing page is reported through ``ok=False``.
+
+        This is the *only* place light connections are counted: the
+        materialized store's URLCheck and the cache's cross-query
+        revalidation both come through here (via
+        :func:`~repro.web.cache.check_freshness`), so the two code paths
+        can never double-account a HEAD."""
+        self._record_light_connection()
         if not self.server.exists(url):
             return HeadResponse(url=url, ok=False, last_modified=0)
         resource = self.server.resource(url)
@@ -294,23 +380,31 @@ class WebClient:
         urls: Sequence[str],
         config: Optional[FetchConfig] = None,
         retry: Optional[RetryPolicy] = None,
+        cache: Optional[PageCache] = None,
     ) -> dict[str, Optional[WebResource]]:
         """Download many pages as one batch through a bounded worker pool.
 
-        Duplicate URLs are fetched once.  Returns ``url → resource`` with
-        ``None`` for missing pages (dangling links are tolerated, as in the
-        single-URL path).  If any fetch exhausts its retry budget the first
-        such RetriesExhaustedError is raised — after the whole batch has
-        been accounted, so partial work still shows up in the log.
+        Duplicate URLs are fetched once (and concurrent batches issued by
+        other threads share in-flight downloads through single-flight
+        dedup).  Returns ``url → resource`` with ``None`` for missing pages
+        (dangling links are tolerated, as in the single-URL path).  If any
+        fetch exhausts its retry budget the first such
+        RetriesExhaustedError is raised — after the whole batch has been
+        accounted, so partial work still shows up in the log.
 
-        Accounting is deterministic regardless of thread interleaving: the
-        pool only performs the fetches; counters, ``downloaded_urls`` order
-        and per-fetch records follow submission order, and simulated wall
-        time is the greedy ``k``-lane makespan of the per-fetch durations.
-        With one worker this degenerates to the exact serial accumulation.
+        When a page cache is active, cached URLs are resolved *first*, on
+        the calling thread in submission order — hits for free,
+        cross-query entries for one light connection each — and only the
+        misses go to the worker pool.  Accounting is deterministic
+        regardless of thread interleaving: the pool only performs the
+        fetches; counters, ``downloaded_urls`` order and per-fetch records
+        follow submission order, and simulated wall time is the greedy
+        ``k``-lane makespan of the per-fetch durations.  With one worker
+        this degenerates to the exact serial accumulation.
         """
         config = config or DEFAULT_FETCH_CONFIG
         retry = retry or self.retry_policy
+        cache = cache if cache is not None else self.cache
         distinct: list[str] = []
         seen: set[str] = set()
         for url in urls:
@@ -319,22 +413,34 @@ class WebClient:
                 distinct.append(url)
         if not distinct:
             return {}
-        workers = max(1, min(config.effective_workers(self.network), len(distinct)))
+        result: dict[str, Optional[WebResource]] = {}
+        to_fetch: list[str] = []
+        for url in distinct:
+            served = self._serve_from_cache(url, cache)
+            if served is _MISS:
+                to_fetch.append(url)
+            else:
+                assert isinstance(served, WebResource)
+                result[url] = served
+        if not to_fetch:
+            return result
+        workers = max(1, min(config.effective_workers(self.network), len(to_fetch)))
         if workers == 1:
-            outcomes = [self._fetch_with_retries(u, retry) for u in distinct]
+            outcomes = [self._fetch_shared(u, retry) for u in to_fetch]
             for outcome in outcomes:
-                self._account(outcome, concurrency=1)
+                self._account(outcome, concurrency=1, cache=cache)
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 outcomes = list(
-                    pool.map(lambda u: self._fetch_with_retries(u, retry), distinct)
+                    pool.map(lambda u: self._fetch_shared(u, retry), to_fetch)
                 )
             timeline = Timeline(workers)
             for outcome in outcomes:
-                self._account(outcome, concurrency=workers, charge_time=False)
+                self._account(
+                    outcome, concurrency=workers, charge_time=False, cache=cache
+                )
                 timeline.add(outcome.seconds)
             self.log.simulated_seconds += timeline.makespan
-        result: dict[str, Optional[WebResource]] = {}
         exhausted: Optional[Exception] = None
         for outcome in outcomes:
             result[outcome.url] = outcome.resource
@@ -349,6 +455,65 @@ class WebClient:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+
+    def _record_light_connection(self) -> None:
+        """The single accounting point for light connections (HEADs)."""
+        self.log.light_connections += 1
+        self.log.attempts += 1
+        self.log.simulated_seconds += self.network.head_seconds()
+
+    def _serve_from_cache(self, url: str, cache: Optional[PageCache]):
+        """Try to satisfy ``url`` from ``cache`` per its policy.
+
+        Returns a :class:`WebResource` snapshot on success (accounting the
+        hit or revalidation), or :data:`_MISS` when the URL must go to the
+        network — because caching is off, the entry is absent, the page
+        changed, or it vanished (the subsequent GET then reports the
+        failure through the ordinary code path)."""
+        if cache is None or cache.policy is CachePolicy.OFF:
+            return _MISS
+        entry = cache.lookup(url)
+        if entry is None:
+            cache.note_miss()
+            return _MISS
+        if cache.policy is CachePolicy.PER_QUERY or cache.is_validated(url):
+            # trusted for this query: zero connections, zero pages
+            cache.note_hit()
+            self.log.cache_hits += 1
+            self.log.pages_saved += 1
+            return entry.as_resource()
+        # cross-query entry on first touch this query: one light connection
+        # (counted through head(), the shared §8 code path)
+        freshness = check_freshness(self, url, entry.last_modified)
+        if freshness is Freshness.FRESH:
+            cache.mark_validated(url)
+            cache.note_revalidation()
+            self.log.revalidations += 1
+            self.log.pages_saved += 1
+            return entry.as_resource()
+        cache.invalidate(url)  # stale or vanished: re-fetch (or fail) live
+        cache.note_miss()
+        return _MISS
+
+    def _fetch_shared(self, url: str, retry: RetryPolicy) -> _FetchOutcome:
+        """Fetch through the single-flight group: if another thread is
+        already downloading ``url``, wait for its result instead of issuing
+        a second request; the follower's outcome is marked ``shared`` so it
+        is charged zero pages and zero time."""
+        outcome, leader = self._single_flight.do(
+            url, lambda: self._fetch_with_retries(url, retry)
+        )
+        if leader:
+            return outcome
+        return _FetchOutcome(
+            url=url,
+            resource=outcome.resource,
+            seconds=0.0,
+            attempts=0,
+            transient_failures=0,
+            error=outcome.error,
+            shared=True,
+        )
 
     def _fetch_with_retries(
         self, url: str, retry: RetryPolicy
@@ -382,8 +547,15 @@ class WebClient:
         outcome: _FetchOutcome,
         concurrency: int,
         charge_time: bool = True,
+        cache: Optional[PageCache] = None,
     ) -> None:
         log = self.log
+        if outcome.shared:
+            # single-flight follower: the leader paid for the download
+            if outcome.resource is not None:
+                log.cache_hits += 1
+                log.pages_saved += 1
+            return
         log.attempts += outcome.attempts
         log.failed_requests += outcome.transient_failures
         if isinstance(outcome.error, ResourceNotFound):
@@ -392,6 +564,9 @@ class WebClient:
             log.page_downloads += 1
             log.bytes_downloaded += len(outcome.resource.html)
             log.downloaded_urls.append(outcome.url)
+            if cache is not None and cache.policy is not CachePolicy.OFF:
+                cache.store(outcome.resource)
+                cache.mark_validated(outcome.url)
         if charge_time:
             log.simulated_seconds += outcome.seconds
         log.records.append(

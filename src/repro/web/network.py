@@ -55,6 +55,14 @@ class NetworkModel:
         """Time for a light connection (headers only)."""
         return self.rtt_seconds
 
+    def revalidation_savings_seconds(self, byte_size: int) -> float:
+        """Wall time saved by serving a cached page of ``byte_size`` bytes
+        after a light-connection revalidation instead of re-downloading it
+        (Section 8: light connections "are quite fast, since they do not
+        require to download the HTML source") — the transfer time, since
+        both paths pay one round trip."""
+        return self.get_seconds(byte_size) - self.head_seconds()
+
     def batch_seconds(
         self,
         durations: Iterable[float],

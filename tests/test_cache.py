@@ -1,0 +1,392 @@
+"""Tests for the cross-query page cache: LRU behaviour, cache policies,
+single-flight deduplication, client accounting, cache-aware costing, and
+the off-policy bit-for-bit guarantee."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import OptimizerError, WebError
+from repro.sitegen import UniversityConfig
+from repro.sites import bibliography, movies, university
+from repro.web import (
+    NO_CACHE,
+    CachePolicy,
+    FetchConfig,
+    PageCache,
+    SimulatedWebServer,
+    SingleFlight,
+    WebClient,
+)
+from repro.optimizer.cost import CacheEstimate
+
+
+def make_server(n_pages=8):
+    server = SimulatedWebServer()
+    urls = []
+    for i in range(n_pages):
+        url = f"http://x/p{i}.html"
+        server.publish(url, "x" * (100 * (i + 1)))
+        urls.append(url)
+    return server, urls
+
+
+# --------------------------------------------------------------------- #
+# the cache data structure
+# --------------------------------------------------------------------- #
+
+
+class TestPageCacheBasics:
+    @pytest.mark.parametrize("bad", [0, -1, True, False, "16", 2.5, None])
+    def test_capacity_must_be_a_positive_integer(self, bad):
+        with pytest.raises(WebError, match="capacity"):
+            PageCache(capacity=bad)
+
+    def test_policy_accepts_strings(self):
+        assert PageCache(policy="per_query").policy is CachePolicy.PER_QUERY
+
+    def test_unknown_policy_rejected_with_the_valid_names(self):
+        with pytest.raises(WebError, match="off, per_query, cross_query"):
+            PageCache(policy="write_back")
+
+    def test_lru_eviction_order(self):
+        server, urls = make_server(3)
+        cache = PageCache(capacity=2)
+        for url in urls:
+            cache.store(server.resource(url))
+        assert urls[0] not in cache
+        assert urls[1] in cache and urls[2] in cache
+        assert cache.stats.evictions == 1
+
+    def test_lookup_bumps_recency(self):
+        server, urls = make_server(3)
+        cache = PageCache(capacity=2)
+        cache.store(server.resource(urls[0]))
+        cache.store(server.resource(urls[1]))
+        cache.lookup(urls[0])  # now urls[1] is least recently used
+        cache.store(server.resource(urls[2]))
+        assert urls[0] in cache and urls[1] not in cache
+
+    def test_entries_are_snapshots_not_aliases(self):
+        server, urls = make_server(1)
+        cache = PageCache()
+        cache.store(server.resource(urls[0]))
+        server.update(urls[0], "changed!")
+        entry = cache.lookup(urls[0])
+        assert entry.html.startswith("x")  # still the version we stored
+        copy = entry.as_resource()
+        copy.html = "scribbled"
+        assert cache.lookup(urls[0]).html.startswith("x")
+
+    def test_begin_query_per_query_drops_entries(self):
+        server, urls = make_server(2)
+        cache = PageCache(policy=CachePolicy.PER_QUERY)
+        for url in urls:
+            cache.store(server.resource(url))
+        cache.begin_query()
+        assert len(cache) == 0
+
+    def test_begin_query_cross_query_only_forgets_validation(self):
+        server, urls = make_server(2)
+        cache = PageCache(policy=CachePolicy.CROSS_QUERY)
+        for url in urls:
+            cache.store(server.resource(url))
+            cache.mark_validated(url)
+        cache.begin_query()
+        assert len(cache) == 2
+        assert not cache.is_validated(urls[0])
+
+    def test_eviction_discards_validation_mark(self):
+        server, urls = make_server(2)
+        cache = PageCache(capacity=1)
+        cache.store(server.resource(urls[0]))
+        cache.mark_validated(urls[0])
+        cache.store(server.resource(urls[1]))
+        assert not cache.is_validated(urls[0])
+
+    def test_scheme_counts_skip_unknown_schemes(self):
+        server, urls = make_server(2)
+        cache = PageCache()
+        cache.store(server.resource(urls[0]))  # raw pages: no page_scheme
+        assert cache.scheme_counts() == {}
+
+
+# --------------------------------------------------------------------- #
+# single-flight
+# --------------------------------------------------------------------- #
+
+
+class TestSingleFlight:
+    def test_concurrent_callers_share_one_call(self):
+        flight = SingleFlight()
+        calls = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow():
+            calls.append(1)
+            entered.set()
+            release.wait(timeout=5)
+            return "value"
+
+        results = []
+
+        def leader():
+            results.append(flight.do("k", slow))
+
+        def follower():
+            results.append(flight.do("k", lambda: pytest.fail("ran twice")))
+
+        threads = [threading.Thread(target=leader)]
+        threads[0].start()
+        assert entered.wait(timeout=5)
+        threads += [threading.Thread(target=follower) for _ in range(4)]
+        for t in threads[1:]:
+            t.start()
+        time.sleep(0.05)  # let the followers block on the in-flight call
+        release.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(calls) == 1
+        assert [r[0] for r in results] == ["value"] * 5
+        assert sum(1 for r in results if r[1]) == 1  # exactly one leader
+
+    def test_errors_propagate_to_the_caller(self):
+        flight = SingleFlight()
+        with pytest.raises(ValueError, match="boom"):
+            flight.do("k", lambda: (_ for _ in ()).throw(ValueError("boom")))
+
+    def test_later_calls_run_again(self):
+        flight = SingleFlight()
+        calls = []
+        flight.do("k", lambda: calls.append(1))
+        flight.do("k", lambda: calls.append(1))
+        assert len(calls) == 2
+
+
+# --------------------------------------------------------------------- #
+# client accounting
+# --------------------------------------------------------------------- #
+
+
+class TestClientCaching:
+    def test_cross_query_lifecycle(self):
+        """download → free hit (same query) → revalidation (next query)."""
+        server, urls = make_server(1)
+        cache = PageCache()
+        client = WebClient(server, cache=cache)
+        url = urls[0]
+
+        client.get(url)
+        assert client.log.page_downloads == 1
+        client.get(url)  # validated this query: free
+        assert client.log.page_downloads == 1
+        assert client.log.light_connections == 0
+        assert client.log.cache_hits == 1
+
+        cache.begin_query()
+        client.get(url)  # new query: one light connection, no download
+        assert client.log.page_downloads == 1
+        assert client.log.light_connections == 1
+        assert client.log.revalidations == 1
+        assert client.log.pages_saved == 2
+
+    def test_mutation_is_observed_through_revalidation(self):
+        server, urls = make_server(1)
+        cache = PageCache()
+        client = WebClient(server, cache=cache)
+        url = urls[0]
+        client.get(url)
+        server.update(url, "new content")
+        cache.begin_query()
+        resource = client.get(url)
+        assert resource.html == "new content"
+        assert client.log.page_downloads == 2  # stale: re-downloaded
+        assert client.log.light_connections == 1
+        assert cache.stats.invalidations == 1
+
+    def test_deleted_page_drops_out_of_the_cache(self):
+        from repro.errors import ResourceNotFound
+
+        server, urls = make_server(1)
+        cache = PageCache()
+        client = WebClient(server, cache=cache)
+        client.get(urls[0])
+        server.delete(urls[0])
+        cache.begin_query()
+        with pytest.raises(ResourceNotFound):
+            client.get(urls[0])
+        assert urls[0] not in cache
+
+    def test_batch_duplicates_cost_one_download(self):
+        server, urls = make_server(4)
+        client = WebClient(server, cache=PageCache())
+        batch = client.get_batch(
+            [urls[0], urls[1], urls[0], urls[2], urls[1]],
+            config=FetchConfig(max_workers=4),
+        )
+        assert sorted(batch) == sorted({urls[0], urls[1], urls[2]})
+        assert all(batch[url].url == url for url in batch)
+        assert client.log.page_downloads == 3
+
+    def test_warm_batch_is_all_revalidations(self):
+        server, urls = make_server(4)
+        cache = PageCache()
+        client = WebClient(server, cache=cache)
+        client.get_batch(urls)
+        cache.begin_query()
+        before = client.log.snapshot()
+        client.get_batch(urls, config=FetchConfig(max_workers=4))
+        delta = client.log.delta(before)
+        assert delta.page_downloads == 0
+        assert delta.light_connections == len(urls)
+        assert delta.pages_saved == len(urls)
+
+    def test_off_policy_matches_uncached_client_bit_for_bit(self):
+        server_a, urls = make_server(4)
+        server_b, _ = make_server(4)
+        plain = WebClient(server_a)
+        off = WebClient(server_b, cache=NO_CACHE)
+        for client in (plain, off):
+            client.get_batch(urls + urls)
+            client.get(urls[0])
+        assert off.log.page_downloads == plain.log.page_downloads
+        assert off.log.light_connections == plain.log.light_connections
+        assert off.log.simulated_seconds == plain.log.simulated_seconds
+        assert off.log.cache_hits == 0 and off.log.pages_saved == 0
+
+    def test_per_call_cache_overrides_the_attached_cache(self):
+        server, urls = make_server(1)
+        cache = PageCache()
+        client = WebClient(server, cache=cache)
+        client.get(urls[0], cache=NO_CACHE)
+        assert len(cache) == 0
+        assert client.log.cache_hits == 0
+
+
+class TestFetchConfigValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_rejects_non_positive_workers(self, bad):
+        with pytest.raises(ValueError, match="at least 1"):
+            FetchConfig(max_workers=bad)
+
+    @pytest.mark.parametrize("bad", [True, 2.0, "4"])
+    def test_rejects_non_integer_workers(self, bad):
+        with pytest.raises(ValueError, match="positive integer or None"):
+            FetchConfig(max_workers=bad)
+
+    def test_none_still_means_follow_the_network_model(self):
+        assert FetchConfig().max_workers is None
+
+
+# --------------------------------------------------------------------- #
+# cache-aware costing
+# --------------------------------------------------------------------- #
+
+
+class TestCacheEstimate:
+    def test_rates_are_clamped_and_hashable(self):
+        est = CacheEstimate({"A": 1.7, "B": -0.5, "C": 0.25})
+        assert est.rate("A") == 1.0
+        assert est.rate("B") == 0.0
+        assert est.rate("Unknown") == 0.0
+        assert est == CacheEstimate({"B": 0.0, "A": 1.0, "C": 0.25})
+        assert hash(est) == hash(CacheEstimate({"A": 1.0, "B": 0, "C": 0.25}))
+
+    def test_light_weight_validated(self):
+        with pytest.raises(OptimizerError):
+            CacheEstimate({}, light_weight=1.5)
+
+    def test_page_factor(self):
+        est = CacheEstimate({"A": 0.5}, light_weight=0.2)
+        assert est.page_factor("A") == pytest.approx(0.5 + 0.5 * 0.2)
+        assert est.page_factor("B") == 1.0
+
+    def test_from_cache_uses_scheme_cardinalities(self):
+        env = university(UniversityConfig(n_depts=2, n_profs=6, n_courses=8))
+        cache = env.enable_cache()
+        env.query("SELECT PName, Rank FROM Professor")
+        est = CacheEstimate.from_cache(cache, env.stats)
+        assert est.rate("ProfPage") == 1.0  # every professor page cached
+        assert est.rate("CoursePage") == 0.0
+
+
+SQL_7_2 = (
+    "SELECT Professor.PName, email FROM Course, CourseInstructor, "
+    "Professor, ProfDept WHERE Course.CName = CourseInstructor.CName "
+    "AND CourseInstructor.PName = Professor.PName "
+    "AND Professor.PName = ProfDept.PName "
+    "AND ProfDept.DName = 'Computer Science' AND Type = 'Graduate'"
+)
+
+
+class TestCacheAwarePlanner:
+    def test_warm_cache_flips_the_example_7_2_plan(self):
+        env = university(UniversityConfig(n_depts=3, n_profs=20, n_courses=50))
+        env.enable_cache(capacity=4096)
+        cold = env.plan(SQL_7_2)
+        assert cold.cache_estimate is None  # empty cache: plain C(E)
+        join = next(
+            c for c in cold.candidates
+            if "SessionListPage" in c.render() and "⋈" in c.render()
+        )
+        assert cold.best.cost < join.cost  # chase wins cold
+        env.execute(join.expr)  # warm the join plan's pointer set
+        warm = env.plan(SQL_7_2)
+        assert warm.cache_estimate is not None
+        assert warm.best.render() != cold.best.render()
+        assert warm.best.cost < cold.best.cost
+        assert warm.cost.pages_saved > 0
+
+    def test_estimates_key_the_planner_memo(self):
+        env = university(UniversityConfig(n_depts=2, n_profs=6, n_courses=8))
+        sql = "SELECT PName, Rank FROM Professor"
+        plain = env.plan(sql)
+        est = CacheEstimate({"ProfPage": 1.0})
+        warm = env.planner.plan_query(env.sql(sql), cache_estimate=est)
+        assert warm is not plain
+        assert warm.best.cost < plain.best.cost
+        assert env.planner.plan_query(env.sql(sql), cache_estimate=est) is warm
+
+
+# --------------------------------------------------------------------- #
+# property: caching never changes an answer, warm never costs more
+# --------------------------------------------------------------------- #
+
+
+class TestCacheTransparencyAllSites:
+    QUERIES = {
+        "university": "SELECT PName, Rank FROM Professor",
+        "bibliography": (
+            "SELECT Title, AName FROM PaperAuthor WHERE ConfName = 'VLDB'"
+        ),
+        "movies": "SELECT Title, DName FROM MovieDirector",
+    }
+    BUILDERS = {
+        "university": university,
+        "bibliography": bibliography,
+        "movies": movies,
+    }
+
+    @pytest.mark.parametrize("site_name", sorted(QUERIES))
+    def test_off_vs_cross_query_cold_and_warm(self, site_name):
+        sql = self.QUERIES[site_name]
+
+        plain_env = self.BUILDERS[site_name]()
+        reference = plain_env.query(sql)
+
+        cached_env = self.BUILDERS[site_name]()
+        cached_env.enable_cache(capacity=4096)
+        cold = cached_env.query(sql)
+        warm = cached_env.query(sql)
+
+        assert cold.relation.same_contents(reference.relation)
+        assert warm.relation.same_contents(reference.relation)
+        assert cold.pages == reference.pages
+        assert warm.pages <= cold.pages
+        assert warm.pages + warm.pages_saved >= cold.pages
+        # bypassing the attached cache restores the uncached cost
+        off = cached_env.query(sql, cache="off")
+        assert off.relation.same_contents(reference.relation)
+        assert off.pages == reference.pages

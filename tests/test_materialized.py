@@ -297,3 +297,42 @@ class TestURLCheckEdgeCases:
         assert store.url_check("CoursePage", course.url) is None
         assert store.status_of(course.url) is Status.MISSING
         assert course.url in store.check_missing
+
+
+class TestSingleLightConnectionCodePath:
+    def test_every_light_connection_goes_through_the_one_hook(
+        self, env, store, engine, mutator
+    ):
+        """URLCheck, maintenance, and cache revalidation all count light
+        connections through WebClient._record_light_connection — the
+        counter and the hook can never drift apart."""
+        client = store.client
+        calls = {"n": 0}
+        original = client._record_light_connection
+
+        def counting():
+            calls["n"] += 1
+            original()
+
+        client._record_light_connection = counting
+        try:
+            client.log.reset()
+            engine.query(env.sql(CS_QUERY))           # Algorithm 3 checks
+            mutator.update_prof_rank(env.site.profs[0], "Emeritus")
+            engine.query(env.sql(CS_QUERY))           # one stale re-download
+            process_check_missing(store)
+            consistency_report(store)
+        finally:
+            client._record_light_connection = original
+        assert client.log.light_connections == calls["n"]
+        assert calls["n"] > 0
+
+    def test_head_is_the_only_counting_site(self):
+        """Grep-level guarantee: the counter is bumped exactly once, in
+        head(); everything else calls through it."""
+        import inspect
+
+        from repro.web import client as client_module
+
+        source = inspect.getsource(client_module)
+        assert source.count("light_connections += 1") == 1
