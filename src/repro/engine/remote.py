@@ -75,6 +75,14 @@ class ExecutionResult:
         ``PlannerResult.cost``, but observed instead of estimated)."""
         return CostSummary.from_log(self.log)
 
+    def fingerprint(self) -> frozenset:
+        """Canonical content digest of the answer relation (order- and
+        duplicate-insensitive).  Two executions — any plan, cache policy,
+        fault schedule, or worker count — answered the same relation iff
+        their fingerprints are equal; the QA differential oracle compares
+        exactly this."""
+        return self.relation.canonical()
+
     def __repr__(self) -> str:
         return (
             f"ExecutionResult({len(self.relation)} rows, "

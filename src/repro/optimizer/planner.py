@@ -190,6 +190,25 @@ class Planner:
             self._cache[key] = cached
         return cached
 
+    def enumerate_plans(
+        self,
+        query: ConjunctiveQuery,
+        cache_estimate: Optional[CacheEstimate] = None,
+        limit: Optional[int] = None,
+    ) -> list[PlanCandidate]:
+        """Every valid candidate Algorithm 1 considered, cheapest first.
+
+        This is the *full plan space* of the rewrite system (rules 1–9 to
+        closure), not just the cost winner — the paper's semantic claim is
+        that all of them compute the same relation, differing only in page
+        accesses, and the QA differential oracle (:mod:`repro.qa`)
+        executes each one to enforce exactly that.  ``limit`` keeps only
+        the ``limit`` cheapest candidates."""
+        candidates = self.plan_query(query, cache_estimate).candidates
+        if limit is not None and limit >= 1:
+            candidates = candidates[:limit]
+        return list(candidates)
+
     def plan_expr(
         self,
         expr: Expr,

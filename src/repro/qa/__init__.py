@@ -1,0 +1,41 @@
+"""Conformance QA: the plan-space differential oracle.
+
+The paper proves (Section 6) that every rewrite in its plan-generation
+rules preserves the query's answer — so *every* candidate plan Algorithm 1
+enumerates must compute the same relation, and the cache/fault/concurrency
+machinery added on top (PRs 1–2) must be answer- and page-count-
+transparent.  This package checks all of that empirically:
+
+* :class:`~repro.qa.oracle.DifferentialOracle` executes every candidate
+  plan of every query under a matrix of cache policies, fault schedules,
+  and worker counts, asserting relation equality against a serial
+  uncached baseline plus per-mode cost-accounting laws;
+* :mod:`~repro.qa.report` renders runs as machine-readable JSON
+  conformance reports with stable, reproducible cell ids;
+* :mod:`~repro.qa.cli` (``python -m repro.qa``) runs matrix shards from
+  the shell — see ``docs/TESTING.md``.
+"""
+
+from repro.qa.oracle import (
+    CACHE_MODES,
+    FAULT_MODES,
+    Cell,
+    DifferentialOracle,
+    MatrixSpec,
+    relation_digest,
+)
+from repro.qa.report import CellRecord, ConformanceReport
+from repro.qa.cli import build_oracle, main
+
+__all__ = [
+    "CACHE_MODES",
+    "FAULT_MODES",
+    "Cell",
+    "CellRecord",
+    "ConformanceReport",
+    "DifferentialOracle",
+    "MatrixSpec",
+    "build_oracle",
+    "main",
+    "relation_digest",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.qa``."""
+
+import sys
+
+from repro.qa.cli import main
+
+sys.exit(main())

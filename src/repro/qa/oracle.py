@@ -1,0 +1,604 @@
+"""The plan-space differential oracle.
+
+The paper's central semantic claim (Sections 6–7): every rewrite in rules
+1–9 — and hence every plan Algorithm 1 enumerates — computes the *same
+relation*, differing only in page accesses.  PR 1 added concurrent,
+fault-tolerant fetching and PR 2 added three cache policies; both promise
+their own transparency properties (page counts invariant under the worker
+pool, ``off`` bit-for-bit equal to no cache, warm caches only trading
+downloads for light connections).  This oracle enforces all of it
+mechanically.
+
+For one query it enumerates **all** candidate plans
+(:meth:`repro.optimizer.planner.Planner.enumerate_plans`), then executes
+each under a configurable matrix of
+
+* **cache modes** — ``off``, ``per_query``, ``cross_query_cold``,
+  ``cross_query_warm`` (pre-warmed with the same plan), and
+  ``cross_query_stale`` (pre-warmed, then a seeded subset of pages
+  silently touched via :func:`repro.sitegen.mutations.perturb_server`);
+* **fault schedules** — ``none``, ``transient`` (deterministic
+  hash-scheduled faults absorbed by retries), ``exhausted`` (every
+  attempt fails; the query must abort with RetriesExhaustedError unless
+  a warm cache can answer it without the network);
+* **worker counts** — serial and pooled.
+
+and asserts, cell by cell:
+
+1. *relation equality* — every successful cell's canonical answer equals
+   the query's baseline (plan 0, serial, uncached, fault-free);
+2. *cost accounting* — the :class:`~repro.web.client.AccessLog`
+   reconciles (``pages_saved == cache_hits + revalidations``, aggregate
+   counters re-derivable from the per-fetch records);
+3. *mode-specific cost laws* — e.g. a serial uncached fault-free cell is
+   bit-for-bit the reference execution; page counts are invariant under
+   the worker count; a fully warm cross-query cache downloads zero pages
+   and revalidates exactly the reference page set; a stale cache
+   re-downloads exactly the touched pages.
+
+Any violation lands in the cell's report record with a reproducible cell
+id (see :mod:`repro.qa.report` and ``docs/TESTING.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.errors import RetriesExhaustedError
+from repro.nested.relation import Relation
+from repro.qa.report import CellRecord, ConformanceReport
+from repro.sitegen.mutations import perturb_server
+from repro.sites import SiteEnv
+from repro.views.conjunctive import ConjunctiveQuery
+from repro.web.cache import CachePolicy, NO_CACHE, PageCache
+from repro.web.client import CostSummary, FetchConfig, RetryPolicy
+from repro.web.server import FaultPolicy
+
+__all__ = [
+    "CACHE_MODES",
+    "FAULT_MODES",
+    "Cell",
+    "DifferentialOracle",
+    "MatrixSpec",
+    "relation_digest",
+]
+
+#: All cache-matrix dimensions, in canonical order.
+CACHE_MODES = (
+    "off",
+    "per_query",
+    "cross_query_cold",
+    "cross_query_warm",
+    "cross_query_stale",
+)
+
+#: All fault-schedule dimensions, in canonical order.
+FAULT_MODES = ("none", "transient", "exhausted")
+
+
+# --------------------------------------------------------------------- #
+# canonical relation digests
+# --------------------------------------------------------------------- #
+
+
+def _canon_value(value) -> tuple:
+    if value is None:
+        return ("null",)
+    if isinstance(value, list):
+        return ("list", tuple(sorted(_canon_row(sub) for sub in value)))
+    return ("atom", str(value))
+
+
+def _canon_row(row: dict) -> tuple:
+    return tuple((key, _canon_value(row[key])) for key in sorted(row))
+
+
+def relation_digest(relation: Relation) -> str:
+    """Stable hex digest of a relation's canonical content.
+
+    Set semantics (row order and duplicates are irrelevant, as in
+    :meth:`~repro.nested.relation.Relation.canonical`), schema-name
+    sensitive, deterministic across processes — so digests from two
+    report files can be compared directly."""
+    names = tuple(sorted(relation.schema.names()))
+    rows = sorted({_canon_row(row) for row in relation.rows})
+    payload = repr((names, rows)).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------- #
+# the matrix
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Which dimensions of the conformance matrix to run, and how."""
+
+    cache_modes: Sequence[str] = CACHE_MODES
+    fault_modes: Sequence[str] = FAULT_MODES
+    worker_counts: Sequence[int] = (1, 4)
+    #: per-attempt transient failure probability (absorbed by retries)
+    transient_rate: float = 0.25
+    #: per-attempt failure probability for the retries-exhausted schedule
+    exhausted_rate: float = 0.999999999
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=8, backoff_seconds=0.01
+        )
+    )
+    #: fraction of pages silently touched for ``cross_query_stale``
+    stale_fraction: float = 0.5
+    #: keep only the N cheapest candidate plans (None: the full space)
+    max_plans: Optional[int] = None
+    cache_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        for mode in self.cache_modes:
+            if mode not in CACHE_MODES:
+                raise ValueError(f"unknown cache mode {mode!r}")
+        for mode in self.fault_modes:
+            if mode not in FAULT_MODES:
+                raise ValueError(f"unknown fault mode {mode!r}")
+        if any(w < 1 for w in self.worker_counts):
+            raise ValueError("worker counts must be >= 1")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the conformance matrix."""
+
+    query_id: str
+    plan_index: int
+    cache_mode: str
+    fault_mode: str
+    workers: int
+
+    @property
+    def cell_id(self) -> str:
+        return (
+            f"{self.query_id}/p{self.plan_index}/{self.cache_mode}/"
+            f"{self.fault_mode}/w{self.workers}"
+        )
+
+    @classmethod
+    def parse(cls, cell_id: str) -> "Cell":
+        """Inverse of :attr:`cell_id` (used by ``--cell`` reproduction)."""
+        parts = cell_id.split("/")
+        if len(parts) != 5 or not parts[1].startswith("p") \
+                or not parts[4].startswith("w"):
+            raise ValueError(
+                f"bad cell id {cell_id!r} (expected "
+                f"query/p<plan>/<cache>/<fault>/w<workers>)"
+            )
+        return cls(
+            query_id=parts[0],
+            plan_index=int(parts[1][1:]),
+            cache_mode=parts[2],
+            fault_mode=parts[3],
+            workers=int(parts[4][1:]),
+        )
+
+
+@dataclass
+class _Reference:
+    """Serial, uncached, fault-free execution of one plan."""
+
+    digest: str
+    rows: int
+    cost: CostSummary
+    urls: frozenset
+
+
+class DifferentialOracle:
+    """Runs the conformance matrix for a set of queries over one site.
+
+    The oracle owns the environment for the duration of a run: it installs
+    and removes fault policies on the site's server and attaches fresh
+    page caches per cell, so every cell is hermetic and reproducible from
+    its id alone (given the site and the oracle seed)."""
+
+    def __init__(
+        self,
+        env: SiteEnv,
+        queries: dict,
+        site_name: str = "",
+        seed: int = 0,
+        spec: Optional[MatrixSpec] = None,
+    ):
+        self.env = env
+        self.site_name = site_name or getattr(env.scheme, "name", "site")
+        self.seed = seed
+        self.spec = spec or MatrixSpec()
+        self.queries: dict[str, ConjunctiveQuery] = {
+            qid: env.sql(q) if isinstance(q, str) else q
+            for qid, q in queries.items()
+        }
+        self._plans: dict[str, list] = {}
+        self._references: dict[tuple, _Reference] = {}
+
+    # ------------------------------------------------------------------ #
+    # the plan space
+    # ------------------------------------------------------------------ #
+
+    def plans(self, query_id: str) -> list:
+        """All candidate plans for ``query_id`` (cheapest first, capped by
+        ``spec.max_plans``)."""
+        if query_id not in self._plans:
+            self._plans[query_id] = self.env.enumerate_plans(
+                self.queries[query_id], limit=self.spec.max_plans
+            )
+        return self._plans[query_id]
+
+    def cells(self) -> list[Cell]:
+        """The full matrix, in canonical (deterministic) order."""
+        out = []
+        for query_id in sorted(self.queries):
+            for plan_index in range(len(self.plans(query_id))):
+                for cache_mode in self.spec.cache_modes:
+                    for fault_mode in self.spec.fault_modes:
+                        for workers in self.spec.worker_counts:
+                            out.append(
+                                Cell(
+                                    query_id=query_id,
+                                    plan_index=plan_index,
+                                    cache_mode=cache_mode,
+                                    fault_mode=fault_mode,
+                                    workers=workers,
+                                )
+                            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        shard_index: int = 0,
+        shard_count: int = 1,
+    ) -> ConformanceReport:
+        """Execute one shard of the matrix (cell ``i`` belongs to shard
+        ``i % shard_count``) and return the conformance report."""
+        if not (0 <= shard_index < shard_count):
+            raise ValueError(
+                f"shard index {shard_index} outside 0..{shard_count - 1}"
+            )
+        all_cells = self.cells()
+        report = ConformanceReport(
+            site=self.site_name,
+            seed=self.seed,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            total_cells=len(all_cells),
+            queries={
+                qid: str(self.queries[qid]) for qid in sorted(self.queries)
+            },
+        )
+        for index, cell in enumerate(all_cells):
+            if index % shard_count == shard_index:
+                report.cells.append(self.run_cell(cell))
+        return report
+
+    def run_cell(self, cell: Union[Cell, str]) -> CellRecord:
+        """Execute one matrix cell hermetically and check its invariants."""
+        if isinstance(cell, str):
+            cell = Cell.parse(cell)
+        plans = self.plans(cell.query_id)
+        if not (0 <= cell.plan_index < len(plans)):
+            raise ValueError(
+                f"{cell.query_id} has {len(plans)} plans; "
+                f"no plan {cell.plan_index}"
+            )
+        plan = plans[cell.plan_index]
+        reference = self._reference(cell.query_id, cell.plan_index)
+        baseline = self._reference(cell.query_id, 0)
+        env = self.env
+        server = env.site.server
+
+        record = CellRecord(
+            cell_id=cell.cell_id,
+            query_id=cell.query_id,
+            plan_index=cell.plan_index,
+            cache_mode=cell.cache_mode,
+            fault_mode=cell.fault_mode,
+            workers=cell.workers,
+            ok=True,
+            plan_text=plan.render(scheme=env.scheme),
+        )
+        violations: list[str] = []
+
+        # -- cache setup (plus prewarm / stale perturbation) ------------ #
+        cache = self._make_cache(cell.cache_mode)
+        touched: frozenset = frozenset()
+        if cell.cache_mode in ("cross_query_warm", "cross_query_stale"):
+            server.fault_policy = None
+            prewarm = env.executor.execute(
+                plan.expr,
+                fetch_config=FetchConfig(max_workers=1),
+                cache=cache,
+            )
+            if relation_digest(prewarm.relation) != reference.digest:
+                violations.append(
+                    "prewarm run disagrees with the uncached reference"
+                )
+            if cell.cache_mode == "cross_query_stale":
+                touched = frozenset(
+                    perturb_server(
+                        server,
+                        seed=self._cell_seed(cell),
+                        fraction=self.spec.stale_fraction,
+                    )
+                )
+
+        # -- fault schedule --------------------------------------------- #
+        fault = self._make_fault(cell.fault_mode)
+        expected_failure = self._expect_failure(cell, reference, touched)
+
+        # -- the measured run ------------------------------------------- #
+        server.fault_policy = fault
+        before = env.client.log.snapshot()
+        result = None
+        error: Optional[RetriesExhaustedError] = None
+        try:
+            result = env.executor.execute(
+                plan.expr,
+                fetch_config=FetchConfig(max_workers=cell.workers),
+                retry_policy=self.spec.retry,
+                cache=cache,
+            )
+        except RetriesExhaustedError as err:
+            error = err
+        finally:
+            server.fault_policy = None
+        delta = env.client.log.delta(before)
+
+        # -- invariants -------------------------------------------------- #
+        violations.extend(delta.reconcile())
+        cost = delta.cost
+        record.pages = cost.pages
+        record.light_connections = cost.light_connections
+        record.bytes = cost.bytes
+        record.attempts = cost.attempts
+        record.cache_hits = cost.cache_hits
+        record.revalidations = cost.revalidations
+        record.pages_saved = cost.pages_saved
+        record.simulated_seconds = cost.simulated_seconds
+
+        if error is not None:
+            record.expected_failure = True
+            if not expected_failure and not self._doomed(fault, error):
+                record.expected_failure = False
+                violations.append(
+                    f"unexpected retries-exhausted abort on {error.url!r}"
+                )
+            if delta.page_downloads != 0:
+                violations.append(
+                    f"{delta.page_downloads} downloads succeeded under an "
+                    "exhausted fault schedule"
+                )
+        elif expected_failure:
+            violations.append(
+                "expected a retries-exhausted abort, but the query succeeded"
+            )
+        else:
+            record.rows = len(result.relation)
+            record.relation_digest = relation_digest(result.relation)
+            if record.relation_digest != baseline.digest:
+                violations.append(
+                    f"relation mismatch: {record.rows} rows, digest "
+                    f"{record.relation_digest} != baseline {baseline.digest} "
+                    f"({baseline.rows} rows)"
+                )
+            violations.extend(self._check_costs(cell, delta, reference, touched))
+
+        record.violations = violations
+        record.ok = not violations
+        return record
+
+    # ------------------------------------------------------------------ #
+    # per-cell machinery
+    # ------------------------------------------------------------------ #
+
+    def _make_cache(self, cache_mode: str) -> PageCache:
+        if cache_mode == "off":
+            return NO_CACHE
+        policy = (
+            CachePolicy.PER_QUERY
+            if cache_mode == "per_query"
+            else CachePolicy.CROSS_QUERY
+        )
+        return PageCache(capacity=self.spec.cache_capacity, policy=policy)
+
+    def _make_fault(self, fault_mode: str) -> Optional[FaultPolicy]:
+        if fault_mode == "none":
+            return None
+        rate = (
+            self.spec.transient_rate
+            if fault_mode == "transient"
+            else self.spec.exhausted_rate
+        )
+        return FaultPolicy(failure_rate=rate, seed=self.seed)
+
+    def _cell_seed(self, cell: Cell) -> int:
+        digest = hashlib.blake2b(
+            f"{self.seed}:{cell.cell_id}".encode(), digest_size=4
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    def _expect_failure(
+        self, cell: Cell, reference: _Reference, touched: frozenset
+    ) -> bool:
+        """Must this cell abort with RetriesExhaustedError?
+
+        Only the ``exhausted`` schedule ever aborts — and only when the
+        plan has to touch the network at all: a fully warm cross-query
+        cache answers through light connections (HEADs bypass the fault
+        policy), and a stale one aborts iff the perturbation touched a
+        page this plan actually needs."""
+        if cell.fault_mode != "exhausted":
+            return False
+        if cell.cache_mode == "cross_query_warm":
+            return False
+        if cell.cache_mode == "cross_query_stale":
+            return bool(touched & reference.urls)
+        return True
+
+    def _doomed(
+        self, fault: Optional[FaultPolicy], error: RetriesExhaustedError
+    ) -> bool:
+        """Whether the deterministic schedule genuinely dooms this URL —
+        every allowed attempt was scheduled to fail.  Under the
+        ``transient`` schedule this is astronomically rare but legitimate;
+        anything else is a real violation."""
+        if fault is None:
+            return False
+        return all(
+            fault.will_fail(error.url, attempt)
+            for attempt in range(1, self.spec.retry.max_attempts + 1)
+        )
+
+    def _check_costs(
+        self,
+        cell: Cell,
+        delta,
+        reference: _Reference,
+        touched: frozenset,
+    ) -> list[str]:
+        """Mode-specific cost laws for a successful cell."""
+        problems: list[str] = []
+        ref = reference.cost
+
+        def check(condition: bool, message: str) -> None:
+            if not condition:
+                problems.append(message)
+
+        if cell.cache_mode in ("off", "per_query", "cross_query_cold"):
+            # the cache cannot help a cold / scoped-out run: downloads are
+            # exactly the reference's, at every worker count
+            check(
+                delta.page_downloads == ref.pages,
+                f"pages={delta.page_downloads} != reference {ref.pages}",
+            )
+            check(
+                delta.bytes_downloaded == ref.bytes,
+                f"bytes={delta.bytes_downloaded} != reference {ref.bytes}",
+            )
+            check(
+                delta.cache_hits == 0 and delta.revalidations == 0,
+                f"cold cell served {delta.cache_hits} hits / "
+                f"{delta.revalidations} revalidations from the cache",
+            )
+            check(
+                set(delta.downloaded_urls) == set(reference.urls),
+                "downloaded URL set differs from the reference",
+            )
+            if cell.fault_mode == "none":
+                check(
+                    delta.attempts == ref.attempts,
+                    f"attempts={delta.attempts} != reference {ref.attempts} "
+                    "without faults",
+                )
+                if cell.workers == 1 and cell.cache_mode == "off":
+                    # the serial uncached cell IS the reference execution:
+                    # every counter bit-for-bit, wall time up to float
+                    # accumulation error (log deltas subtract running sums)
+                    cost = delta.cost
+                    check(
+                        (cost.pages, cost.light_connections, cost.bytes,
+                         cost.attempts, cost.cache_hits, cost.revalidations,
+                         cost.pages_saved)
+                        == (ref.pages, ref.light_connections, ref.bytes,
+                            ref.attempts, ref.cache_hits, ref.revalidations,
+                            ref.pages_saved),
+                        f"serial k=1 cost {cost} != reference {ref}",
+                    )
+                    check(
+                        math.isclose(
+                            cost.simulated_seconds,
+                            ref.simulated_seconds,
+                            rel_tol=1e-9,
+                            abs_tol=1e-9,
+                        ),
+                        f"serial k=1 wall time {cost.simulated_seconds!r} "
+                        f"!= reference {ref.simulated_seconds!r}",
+                    )
+            else:
+                check(
+                    delta.attempts >= delta.page_downloads,
+                    "fewer attempts than downloads under faults",
+                )
+        elif cell.cache_mode == "cross_query_warm":
+            check(
+                delta.page_downloads == 0,
+                f"warm cache still downloaded {delta.page_downloads} pages",
+            )
+            check(
+                delta.revalidations == ref.pages,
+                f"revalidations={delta.revalidations} != reference pages "
+                f"{ref.pages}",
+            )
+            check(
+                delta.pages_saved == ref.pages,
+                f"pages_saved={delta.pages_saved} != reference pages "
+                f"{ref.pages}",
+            )
+        elif cell.cache_mode == "cross_query_stale":
+            stale = len(touched & reference.urls)
+            fresh = int(ref.pages) - stale
+            check(
+                delta.page_downloads == stale,
+                f"stale cache re-downloaded {delta.page_downloads} pages, "
+                f"expected exactly the {stale} touched ones",
+            )
+            check(
+                delta.revalidations == fresh,
+                f"revalidations={delta.revalidations} != untouched pages "
+                f"{fresh}",
+            )
+            check(
+                delta.light_connections == ref.pages,
+                f"light={delta.light_connections} != one HEAD per cached "
+                f"page ({ref.pages})",
+            )
+            check(
+                delta.page_downloads + delta.pages_saved == ref.pages,
+                "downloads + pages_saved != reference pages",
+            )
+        return problems
+
+    # ------------------------------------------------------------------ #
+    # references
+    # ------------------------------------------------------------------ #
+
+    def _reference(self, query_id: str, plan_index: int) -> _Reference:
+        """The serial, uncached, fault-free execution of one plan (cached).
+
+        Plan 0's reference doubles as the query's *baseline*: the answer
+        every other cell must reproduce."""
+        key = (query_id, plan_index)
+        if key not in self._references:
+            env = self.env
+            server = env.site.server
+            previous = server.fault_policy
+            server.fault_policy = None
+            try:
+                before = env.client.log.snapshot()
+                result = env.executor.execute(
+                    self.plans(query_id)[plan_index].expr,
+                    fetch_config=FetchConfig(max_workers=1),
+                    cache=NO_CACHE,
+                )
+                delta = env.client.log.delta(before)
+            finally:
+                server.fault_policy = previous
+            self._references[key] = _Reference(
+                digest=relation_digest(result.relation),
+                rows=len(result.relation),
+                cost=delta.cost,
+                urls=frozenset(delta.downloaded_urls),
+            )
+        return self._references[key]

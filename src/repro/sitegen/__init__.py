@@ -10,7 +10,11 @@ simulated web server:
 * :mod:`repro.sitegen.bibliography` — a DBLP-like bibliography site for the
   Introduction's "authors in the last three VLDBs" example;
 * :mod:`repro.sitegen.mutations` — the autonomous site manager: update,
-  insert and delete operations used by the Section 8 experiments;
+  insert and delete operations used by the Section 8 experiments, plus
+  the seeded :func:`perturb_server` silent-edit hook the QA oracle uses;
+* :mod:`repro.sitegen.fuzz` — seeded pseudo-random schemes and
+  instances (varying fanout, optional links, list nesting) for the
+  :mod:`repro.qa` conformance matrix;
 * :mod:`repro.sitegen.naming` — deterministic fake names;
 * :mod:`repro.sitegen.html_writer` — HTML emission following the wrapper
   conventions.
@@ -23,9 +27,20 @@ from repro.sitegen.bibliography import (
     build_bibliography_site,
 )
 from repro.sitegen.movies import MovieConfig, MovieSite, build_movie_site
-from repro.sitegen.mutations import SiteMutator
+from repro.sitegen.mutations import SiteMutator, perturb_server
+from repro.sitegen.fuzz import (
+    FuzzConfig,
+    FuzzedSite,
+    build_fuzzed_site,
+    fuzzed_view,
+)
 
 __all__ = [
+    "FuzzConfig",
+    "FuzzedSite",
+    "build_fuzzed_site",
+    "fuzzed_view",
+    "perturb_server",
     "UniversityConfig",
     "UniversitySite",
     "build_university_site",

@@ -1,0 +1,473 @@
+"""Seeded site fuzzer: randomized web schemes, instances, views, queries.
+
+The three hand-written generators (university, bibliography, movies) pin
+the paper's worked examples, but they only exercise three fixed shapes.
+The QA conformance harness (:mod:`repro.qa`) needs *many* shapes —
+varying fanout, optional links, list nesting — so this module grows a
+whole family of sites from a single integer seed:
+
+* :func:`build_fuzzed_site` — a deterministic pseudo-random *catalog
+  chain*: ``k`` entity classes, each with an entry list page and one
+  detail page per entity, linked parent→child with seeded fanout.  The
+  first parent/child pair is always *total* (every child carries its
+  parent, giving the pair relation two complete default navigations —
+  the rule-8/9 playground); later pairs may be *optional* (orphan
+  children, an optional back link — the rule-5 guard);
+* :func:`fuzzed_view` — the external relations over a fuzzed site, with
+  one navigation per entity class and one or two per parent/child pair;
+* :class:`FuzzedSite` — the handle: model records, oracle helpers
+  (expected extents computed from the model, never from the engine),
+  and a seeded conjunctive-query suite.
+
+Everything is a pure function of :class:`FuzzConfig` — regenerating with
+the same seed yields byte-identical pages, which the differential oracle
+relies on to reproduce any failing matrix cell from its report line.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.adm import SchemeBuilder, TEXT, link, list_of
+from repro.adm.scheme import WebScheme
+from repro.algebra.ast import EntryPointScan
+from repro.clock import SimClock
+from repro.errors import SchemeError
+from repro.sitegen.html_writer import render_page
+from repro.views.external import DefaultNavigation, ExternalRelation, ExternalView
+from repro.web.server import SimulatedWebServer
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzedSite",
+    "build_fuzzed_site",
+    "fuzzed_view",
+]
+
+#: Entity-class name pool (class i is named CLASS_NAMES[i]).
+CLASS_NAMES = ("Alpha", "Beta", "Gamma", "Delta", "Epsilon")
+
+#: Word pool for Info attributes (values need not be unique).
+_WORDS = (
+    "amber", "basalt", "cobalt", "dune", "ember", "fjord", "garnet",
+    "harbor", "indigo", "juniper", "krill", "lagoon", "meadow", "nimbus",
+)
+
+#: Marker text for an orphan child's parent-name attribute.
+NO_PARENT = "(none)"
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Bounds for the seeded generator; the seed picks within them."""
+
+    seed: int = 0
+    min_classes: int = 2
+    max_classes: int = 4
+    min_entities: int = 3
+    max_entities: int = 7
+    max_info_attrs: int = 3
+    #: chance that a non-first pair allows orphan children (optional link)
+    optional_pair_chance: float = 0.5
+    #: chance that a parent's member list nests a Tags sub-list
+    nested_list_chance: float = 0.5
+
+    def validate(self) -> None:
+        if self.min_classes < 2 or self.max_classes > len(CLASS_NAMES):
+            raise SchemeError(
+                f"class count must be within [2, {len(CLASS_NAMES)}]"
+            )
+        if self.min_classes > self.max_classes:
+            raise SchemeError("min_classes exceeds max_classes")
+        if self.min_entities < 1 or self.min_entities > self.max_entities:
+            raise SchemeError("bad entity bounds")
+
+    @property
+    def base_url(self) -> str:
+        return f"http://fuzz{self.seed}.example"
+
+
+@dataclass
+class EntityRecord:
+    """One instance of a fuzzed entity class."""
+
+    cls: str
+    uid: int
+    name: str
+    url: str
+    infos: tuple
+    parent: Optional["EntityRecord"] = None
+    children: list = field(default_factory=list)
+    tags: tuple = ()
+
+
+@dataclass(frozen=True)
+class _ClassShape:
+    """Seeded structural choices for one entity class."""
+
+    name: str
+    n_info: int
+    n_entities: int
+    #: pair with the *previous* class: None for class 0
+    pair_optional: Optional[bool] = None
+    pair_nested: bool = False
+
+
+class FuzzedSite:
+    """A generated pseudo-random site: scheme + records + oracle helpers."""
+
+    def __init__(self, config: FuzzConfig, server: SimulatedWebServer):
+        config.validate()
+        self.config = config
+        self.server = server
+        rng = random.Random(config.seed)
+        self.shapes = self._draw_shapes(rng)
+        self.scheme = self._build_scheme()
+        self.entities: dict[str, list[EntityRecord]] = {}
+        self._build_model(rng)
+        self._rows: dict[str, tuple[str, dict]] = {}
+        self.publish_all()
+
+    # ------------------------------------------------------------------ #
+    # seeded structure
+    # ------------------------------------------------------------------ #
+
+    def _draw_shapes(self, rng: random.Random) -> list[_ClassShape]:
+        cfg = self.config
+        n_classes = rng.randint(cfg.min_classes, cfg.max_classes)
+        shapes = []
+        for i in range(n_classes):
+            optional = None
+            nested = False
+            if i > 0:
+                # the first pair is always total so its pair relation gets
+                # two complete default navigations (plan variety)
+                optional = (
+                    i > 1 and rng.random() < cfg.optional_pair_chance
+                )
+                nested = rng.random() < cfg.nested_list_chance
+            shapes.append(
+                _ClassShape(
+                    name=CLASS_NAMES[i],
+                    n_info=rng.randint(1, cfg.max_info_attrs),
+                    n_entities=rng.randint(cfg.min_entities, cfg.max_entities),
+                    pair_optional=optional,
+                    pair_nested=nested,
+                )
+            )
+        return shapes
+
+    def _build_scheme(self) -> WebScheme:
+        cfg = self.config
+        b = SchemeBuilder(f"fuzz{cfg.seed}")
+        for i, shape in enumerate(self.shapes):
+            c = shape.name
+            b.page(f"{c}ListPage").attr(
+                "Items", list_of((f"{c}Name", TEXT), (f"To{c}", link(f"{c}Page")))
+            ).entry_point(f"{cfg.base_url}/{c.lower()}s.html")
+            page = b.page(f"{c}Page").attr(f"{c}Name", TEXT)
+            for j in range(shape.n_info):
+                page.attr(f"Info{j + 1}", TEXT)
+            if i > 0:
+                parent = self.shapes[i - 1].name
+                page.attr(f"{parent}Name", TEXT)
+                page.attr(
+                    f"To{parent}",
+                    link(f"{parent}Page", optional=bool(shape.pair_optional)),
+                )
+            if i + 1 < len(self.shapes):
+                child = self.shapes[i + 1]
+                fields = [
+                    (f"{child.name}Name", TEXT),
+                    (f"To{child.name}", link(f"{child.name}Page")),
+                ]
+                if child.pair_nested:
+                    fields.append(("Tags", list_of(("Tag", TEXT))))
+                page.attr(f"{child.name}Members", list_of(*fields))
+        for i, shape in enumerate(self.shapes):
+            c = shape.name
+            b.link_constraint(
+                f"{c}ListPage.Items.To{c}",
+                f"{c}ListPage.Items.{c}Name = {c}Page.{c}Name",
+            )
+            if i > 0:
+                parent = self.shapes[i - 1].name
+                b.link_constraint(
+                    f"{parent}Page.{c}Members.To{c}",
+                    f"{parent}Page.{c}Members.{c}Name = {c}Page.{c}Name",
+                )
+                b.link_constraint(
+                    f"{c}Page.To{parent}",
+                    f"{c}Page.{parent}Name = {parent}Page.{parent}Name",
+                )
+                b.inclusion(
+                    f"{parent}Page.{c}Members.To{c} <= {c}ListPage.Items.To{c}"
+                )
+                b.inclusion(
+                    f"{c}Page.To{parent} <= {parent}ListPage.Items.To{parent}"
+                )
+        return b.build()
+
+    def _build_model(self, rng: random.Random) -> None:
+        cfg = self.config
+        for i, shape in enumerate(self.shapes):
+            c = shape.name
+            records = []
+            for uid in range(shape.n_entities):
+                name = f"{c}-{uid:02d}"
+                records.append(
+                    EntityRecord(
+                        cls=c,
+                        uid=uid,
+                        name=name,
+                        url=f"{cfg.base_url}/{c.lower()}/{uid:02d}.html",
+                        infos=tuple(
+                            rng.choice(_WORDS) for _ in range(shape.n_info)
+                        ),
+                        tags=(
+                            tuple(
+                                rng.choice(_WORDS)
+                                for _ in range(rng.randint(1, 2))
+                            )
+                            if shape.pair_nested
+                            else ()
+                        ),
+                    )
+                )
+            self.entities[c] = records
+            if i > 0:
+                parents = self.entities[self.shapes[i - 1].name]
+                for record in records:
+                    if shape.pair_optional and rng.random() < 0.3:
+                        continue  # orphan child
+                    parent = rng.choice(parents)
+                    record.parent = parent
+                    parent.children.append(record)
+
+    # ------------------------------------------------------------------ #
+    # publication
+    # ------------------------------------------------------------------ #
+
+    def entry_url(self, page_scheme: str) -> str:
+        return self.scheme.entry_point(page_scheme).url
+
+    def list_tuple(self, cls: str) -> dict:
+        return {
+            "Items": [
+                {f"{cls}Name": e.name, f"To{cls}": e.url}
+                for e in self.entities[cls]
+            ]
+        }
+
+    def entity_tuple(self, record: EntityRecord) -> dict:
+        i = next(
+            idx for idx, s in enumerate(self.shapes) if s.name == record.cls
+        )
+        shape = self.shapes[i]
+        row: dict = {f"{record.cls}Name": record.name}
+        for j, value in enumerate(record.infos):
+            row[f"Info{j + 1}"] = value
+        if i > 0:
+            parent = self.shapes[i - 1].name
+            row[f"{parent}Name"] = (
+                record.parent.name if record.parent else NO_PARENT
+            )
+            row[f"To{parent}"] = record.parent.url if record.parent else None
+        if i + 1 < len(self.shapes):
+            child = self.shapes[i + 1]
+            members = []
+            for m in record.children:
+                member = {f"{child.name}Name": m.name, f"To{child.name}": m.url}
+                if child.pair_nested:
+                    member["Tags"] = [{"Tag": t} for t in m.tags]
+                members.append(member)
+            row[f"{child.name}Members"] = members
+        return row
+
+    def publish_all(self) -> None:
+        for shape in self.shapes:
+            c = shape.name
+            self._publish(
+                f"{c}ListPage",
+                self.entry_url(f"{c}ListPage"),
+                self.list_tuple(c),
+                f"All {c}s",
+            )
+            for record in self.entities[c]:
+                self._publish(
+                    f"{c}Page", record.url, self.entity_tuple(record), record.name
+                )
+
+    def _publish(self, page_scheme: str, url: str, row: dict, title: str) -> None:
+        self._rows[url] = (page_scheme, row)
+        html = render_page(self.scheme.page_scheme(page_scheme), row, title)
+        if self.server.exists(url):
+            self.server.update(url, html)
+        else:
+            self.server.publish(url, html, page_scheme=page_scheme)
+
+    def published_row(self, url: str) -> tuple[str, dict]:
+        """(page_scheme, model tuple) behind ``url`` — wrapper-roundtrip
+        oracle for the tests."""
+        return self._rows[url]
+
+    # ------------------------------------------------------------------ #
+    # oracle helpers: ground truth from the model, not the engine
+    # ------------------------------------------------------------------ #
+
+    def pair_names(self) -> list[tuple[str, str]]:
+        """(parent class, child class) for every adjacent pair."""
+        return [
+            (self.shapes[i - 1].name, self.shapes[i].name)
+            for i in range(1, len(self.shapes))
+        ]
+
+    def pair_is_total(self, parent: str, child: str) -> bool:
+        for i in range(1, len(self.shapes)):
+            if (self.shapes[i - 1].name, self.shapes[i].name) == (parent, child):
+                return not self.shapes[i].pair_optional
+        raise SchemeError(f"no pair {parent}/{child}")
+
+    def expected_entity(self, cls: str) -> set:
+        """{(name, info1)} for the entity query over ``cls``."""
+        return {(e.name, e.infos[0]) for e in self.entities[cls]}
+
+    def expected_pair(self, parent: str, child: str) -> set:
+        """{(parent name, child name)} memberships (orphans excluded)."""
+        self.pair_is_total(parent, child)  # validates the pair exists
+        return {
+            (e.parent.name, e.name)
+            for e in self.entities[child]
+            if e.parent is not None
+        }
+
+    # ------------------------------------------------------------------ #
+    # the seeded query suite
+    # ------------------------------------------------------------------ #
+
+    def queries(self) -> dict[str, str]:
+        """Named conjunctive SQL queries for the differential oracle.
+
+        Expected answers come from :meth:`expected_for`; both sides are
+        pure functions of the seed."""
+        suite: dict[str, str] = {}
+        first = self.shapes[0].name
+        suite[f"q_{first.lower()}"] = (
+            f"SELECT {first}Name, Info1 FROM {first}"
+        )
+        for parent, child in self.pair_names():
+            rel = f"{parent}{child}"
+            suite[f"q_{rel.lower()}"] = (
+                f"SELECT {rel}.{parent}Name, {rel}.{child}Name FROM {rel}"
+            )
+        # one three-way join over the (always total) first pair
+        parent, child = self.pair_names()[0]
+        rel = f"{parent}{child}"
+        suite["q_join3"] = (
+            f"SELECT {parent}.{parent}Name, {child}.{child}Name "
+            f"FROM {parent}, {rel}, {child} "
+            f"WHERE {parent}.{parent}Name = {rel}.{parent}Name "
+            f"AND {rel}.{child}Name = {child}.{child}Name"
+        )
+        return suite
+
+    def expected_for(self, query_id: str) -> Optional[set]:
+        """Model-derived answer set for a query from :meth:`queries`."""
+        first = self.shapes[0].name
+        if query_id == f"q_{first.lower()}":
+            return self.expected_entity(first)
+        for parent, child in self.pair_names():
+            if query_id == f"q_{parent.lower()}{child.lower()}":
+                return self.expected_pair(parent, child)
+        if query_id == "q_join3":
+            parent, child = self.pair_names()[0]
+            return self.expected_pair(parent, child)
+        return None
+
+    def __repr__(self) -> str:
+        counts = ", ".join(
+            f"{len(self.entities[s.name])} {s.name}" for s in self.shapes
+        )
+        return f"FuzzedSite(seed={self.config.seed}, {counts})"
+
+
+def fuzzed_view(site: FuzzedSite) -> ExternalView:
+    """External relations over a fuzzed site.
+
+    One relation per entity class (via its list page); one per adjacent
+    parent/child pair — with *two* default navigations when the pair is
+    total (parent-side member list and child-side back reference, the
+    ProfDept pattern), and the complete parent-side navigation only when
+    orphans are allowed (the MovieDirector pattern)."""
+    view = ExternalView(site.scheme)
+    for shape in site.shapes:
+        c = shape.name
+        nav = (
+            EntryPointScan(f"{c}ListPage")
+            .unnest(f"{c}ListPage.Items")
+            .follow(f"{c}ListPage.Items.To{c}")
+        )
+        mapping = {f"{c}Name": f"{c}Page.{c}Name"}
+        for j in range(shape.n_info):
+            mapping[f"Info{j + 1}"] = f"{c}Page.Info{j + 1}"
+        view.add(
+            ExternalRelation(
+                name=c,
+                attrs=tuple(mapping),
+                navigations=(DefaultNavigation.of(nav, mapping),),
+            )
+        )
+    for i in range(1, len(site.shapes)):
+        parent = site.shapes[i - 1].name
+        child_shape = site.shapes[i]
+        child = child_shape.name
+        parent_side = (
+            EntryPointScan(f"{parent}ListPage")
+            .unnest(f"{parent}ListPage.Items")
+            .follow(f"{parent}ListPage.Items.To{parent}")
+            .unnest(f"{parent}Page.{child}Members")
+        )
+        navigations = [
+            DefaultNavigation.of(
+                parent_side,
+                {
+                    f"{parent}Name": f"{parent}Page.{parent}Name",
+                    f"{child}Name": f"{parent}Page.{child}Members.{child}Name",
+                },
+            )
+        ]
+        if not child_shape.pair_optional:
+            child_side = (
+                EntryPointScan(f"{child}ListPage")
+                .unnest(f"{child}ListPage.Items")
+                .follow(f"{child}ListPage.Items.To{child}")
+            )
+            navigations.append(
+                DefaultNavigation.of(
+                    child_side,
+                    {
+                        f"{parent}Name": f"{child}Page.{parent}Name",
+                        f"{child}Name": f"{child}Page.{child}Name",
+                    },
+                )
+            )
+        view.add(
+            ExternalRelation(
+                name=f"{parent}{child}",
+                attrs=(f"{parent}Name", f"{child}Name"),
+                navigations=tuple(navigations),
+            )
+        )
+    return view
+
+
+def build_fuzzed_site(
+    config: Optional[FuzzConfig] = None,
+    server: Optional[SimulatedWebServer] = None,
+) -> FuzzedSite:
+    """Generate and publish a seeded pseudo-random site."""
+    config = config or FuzzConfig()
+    server = server or SimulatedWebServer(SimClock())
+    return FuzzedSite(config, server)

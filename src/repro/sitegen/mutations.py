@@ -11,13 +11,46 @@ connections.
 
 from __future__ import annotations
 
-from typing import Optional
+import random
+from typing import Optional, Sequence
 
 from repro.errors import MaterializationError
 from repro.sitegen import naming
 from repro.sitegen.university import CourseRecord, ProfRecord, UniversitySite
+from repro.web.server import SimulatedWebServer
 
-__all__ = ["SiteMutator"]
+__all__ = ["SiteMutator", "perturb_server"]
+
+
+def perturb_server(
+    server: SimulatedWebServer,
+    seed: int = 0,
+    fraction: float = 0.5,
+    page_schemes: Optional[Sequence[str]] = None,
+) -> list[str]:
+    """Touch a seeded pseudo-random subset of pages and return their URLs.
+
+    Works on *any* site (generated or fuzzed): each selected page gets a
+    fresh ``Last-Modified`` stamp while its content stays byte-identical —
+    the site manager's "silent edit".  Cross-query caches must then
+    re-download the touched pages (their revalidation fails) yet every
+    query answer is unchanged, which is exactly the invariant the QA
+    oracle's stale-cache matrix dimension asserts.  The selection is a
+    pure function of ``(seed, fraction, current URL set)``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise MaterializationError("fraction must be within [0, 1]")
+    urls = [
+        url
+        for url in server.urls()
+        if page_schemes is None
+        or server.resource(url).page_scheme in page_schemes
+    ]
+    count = round(len(urls) * fraction)
+    touched = sorted(random.Random(seed).sample(urls, count)) if count else []
+    for url in touched:
+        server.touch(url)
+    return touched
 
 
 class SiteMutator:

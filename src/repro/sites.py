@@ -29,6 +29,7 @@ from repro.sitegen.bibliography import (
     BibliographySite,
     build_bibliography_site,
 )
+from repro.sitegen.fuzz import FuzzConfig, build_fuzzed_site, fuzzed_view
 from repro.sitegen.movies import MovieConfig, MovieSite, build_movie_site
 from repro.sitegen.university import (
     UniversityConfig,
@@ -47,9 +48,11 @@ from repro.wrapper.wrapper import WrapperRegistry
 
 __all__ = [
     "SiteEnv",
+    "site_env",
     "university",
     "bibliography",
     "movies",
+    "fuzzed",
     "university_view",
     "bibliography_view",
     "movie_view",
@@ -131,6 +134,24 @@ class SiteEnv:
             return None
         return CacheEstimate.from_cache(
             resolved, self.stats, light_weight=light_weight
+        )
+
+    def enumerate_plans(
+        self,
+        query: ConjunctiveQuery | str,
+        *,
+        cache: Union[PageCache, CachePolicy, str, None] = None,
+        limit: Optional[int] = None,
+    ) -> list:
+        """All valid candidate plans for ``query``, cheapest first.
+
+        The full plan space of Algorithm 1 (not just the winner), for
+        tools — like the :mod:`repro.qa` differential oracle — that
+        execute every candidate and compare the answers."""
+        if isinstance(query, str):
+            query = self.sql(query)
+        return self.planner.enumerate_plans(
+            query, cache_estimate=self.cache_estimate(cache), limit=limit
         )
 
     def plan(
@@ -222,7 +243,9 @@ class SiteEnv:
         self.planner = Planner(self.view, self.cost_model)
 
 
-def _env(site, view: ExternalView) -> SiteEnv:
+def site_env(site, view: ExternalView) -> SiteEnv:
+    """Wire a generated site and its external view into a full environment
+    (conventional wrappers, exact statistics, planner, executor)."""
     registry = registry_for_scheme(site.scheme)
     stats = exact_statistics(site.scheme, site.server, registry)
     cost_model = CostModel(site.scheme, stats)
@@ -238,6 +261,10 @@ def _env(site, view: ExternalView) -> SiteEnv:
         executor=RemoteExecutor(site.scheme, client, registry),
         site=site,
     )
+
+
+#: Backwards-compatible private alias (pre-QA callers).
+_env = site_env
 
 
 # --------------------------------------------------------------------- #
@@ -520,3 +547,18 @@ def movies(config: Optional[MovieConfig] = None) -> SiteEnv:
     """Build the movie site (optional links) and its view."""
     site = build_movie_site(config)
     return _env(site, movie_view(site.scheme))
+
+
+# --------------------------------------------------------------------- #
+# fuzzed sites (seeded pseudo-random schemes; repro.sitegen.fuzz)
+# --------------------------------------------------------------------- #
+
+
+def fuzzed(config: Union[FuzzConfig, int, None] = None) -> SiteEnv:
+    """Build a seeded pseudo-random site (see :mod:`repro.sitegen.fuzz`)
+    and its external view.  An ``int`` is shorthand for
+    ``FuzzConfig(seed=...)``."""
+    if isinstance(config, int):
+        config = FuzzConfig(seed=config)
+    site = build_fuzzed_site(config)
+    return _env(site, fuzzed_view(site))

@@ -145,13 +145,21 @@ DEFAULT_FETCH_CONFIG = FetchConfig()
 
 @dataclass(frozen=True)
 class FetchRecord:
-    """Per-fetch telemetry: timing, retry attempts, concurrency level."""
+    """Per-fetch telemetry: timing, retry attempts, concurrency level.
+
+    ``transient_failures`` counts the injected faults absorbed before the
+    outcome; ``error`` classifies a failed fetch (``"not_found"`` or
+    ``"exhausted"``, empty for success).  Together they let
+    :meth:`AccessLog.reconcile` re-derive every aggregate counter from the
+    per-fetch records alone."""
 
     url: str
     seconds: float
     attempts: int
     concurrency: int
     ok: bool
+    transient_failures: int = 0
+    error: str = ""
 
 
 @dataclass(frozen=True)
@@ -269,6 +277,64 @@ class AccessLog:
     @property
     def cost(self) -> CostSummary:
         return CostSummary.from_log(self)
+
+    def reconcile(self) -> list[str]:
+        """Cross-check the aggregate counters against the per-fetch records.
+
+        Returns a list of human-readable inconsistencies (empty when the
+        log is internally consistent).  The invariants — relied on by the
+        QA conformance oracle (:mod:`repro.qa`) — are:
+
+        * ``pages_saved == cache_hits + revalidations``;
+        * ``page_downloads == len(downloaded_urls) == #ok records``;
+        * ``attempts == Σ record attempts + light_connections`` (every
+          HEAD is one attempt; cache hits cost none);
+        * ``failed_requests == Σ record transient_failures +
+          #not_found records``;
+        * ``revalidations <= light_connections`` (each revalidation went
+          through exactly one HEAD).
+        """
+        problems: list[str] = []
+
+        def check(condition: bool, message: str) -> None:
+            if not condition:
+                problems.append(message)
+
+        check(
+            self.pages_saved == self.cache_hits + self.revalidations,
+            f"pages_saved={self.pages_saved} != cache_hits={self.cache_hits}"
+            f" + revalidations={self.revalidations}",
+        )
+        check(
+            self.page_downloads == len(self.downloaded_urls),
+            f"page_downloads={self.page_downloads} != "
+            f"len(downloaded_urls)={len(self.downloaded_urls)}",
+        )
+        ok_records = sum(1 for r in self.records if r.ok)
+        check(
+            self.page_downloads == ok_records,
+            f"page_downloads={self.page_downloads} != "
+            f"ok records={ok_records}",
+        )
+        record_attempts = sum(r.attempts for r in self.records)
+        check(
+            self.attempts == record_attempts + self.light_connections,
+            f"attempts={self.attempts} != record attempts="
+            f"{record_attempts} + light_connections={self.light_connections}",
+        )
+        transient = sum(r.transient_failures for r in self.records)
+        not_found = sum(1 for r in self.records if r.error == "not_found")
+        check(
+            self.failed_requests == transient + not_found,
+            f"failed_requests={self.failed_requests} != transient="
+            f"{transient} + not_found={not_found}",
+        )
+        check(
+            self.revalidations <= self.light_connections,
+            f"revalidations={self.revalidations} > "
+            f"light_connections={self.light_connections}",
+        )
+        return problems
 
     def __repr__(self) -> str:
         return (
@@ -569,6 +635,11 @@ class WebClient:
                 cache.mark_validated(outcome.url)
         if charge_time:
             log.simulated_seconds += outcome.seconds
+        error = ""
+        if isinstance(outcome.error, ResourceNotFound):
+            error = "not_found"
+        elif isinstance(outcome.error, RetriesExhaustedError):
+            error = "exhausted"
         log.records.append(
             FetchRecord(
                 url=outcome.url,
@@ -576,6 +647,8 @@ class WebClient:
                 attempts=outcome.attempts,
                 concurrency=concurrency,
                 ok=outcome.resource is not None,
+                transient_failures=outcome.transient_failures,
+                error=error,
             )
         )
 

@@ -64,18 +64,39 @@ class FaultPolicy:
         ).digest()
         return int.from_bytes(digest, "big") / 2**64
 
+    def will_fail(self, url: str, attempt: int) -> bool:
+        """Whether attempt ``attempt`` (1-based) at ``url`` is scheduled to
+        fail.  Pure: depends only on ``(seed, url, attempt)`` — never on
+        which plan, worker, or request ordering reached the URL — so any
+        two executions that issue the same per-URL attempt sequence observe
+        identical faults.  The QA oracle and the plan-independence
+        regression tests pin this property."""
+        return self._draw(url, attempt) < self.failure_rate
+
+    def fault_for(self, url: str, attempt: int) -> Optional[TransientFetchError]:
+        """The fault scheduled for ``(url, attempt)``, or None (pure)."""
+        draw = self._draw(url, attempt)
+        if draw >= self.failure_rate:
+            return None
+        kind = self.kinds[
+            int(draw / self.failure_rate * len(self.kinds)) % len(self.kinds)
+        ]
+        return TransientFetchError(url, kind=kind, attempt=attempt)
+
     def check(self, url: str) -> None:
         """Count one attempt at ``url``; raise TransientFetchError if this
         attempt is chosen to fail."""
         with self._lock:
             attempt = self._attempts.get(url, 0) + 1
             self._attempts[url] = attempt
-        draw = self._draw(url, attempt)
-        if draw < self.failure_rate:
-            kind = self.kinds[
-                int(draw / self.failure_rate * len(self.kinds)) % len(self.kinds)
-            ]
-            raise TransientFetchError(url, kind=kind, attempt=attempt)
+        fault = self.fault_for(url, attempt)
+        if fault is not None:
+            raise fault
+
+    def attempts_made(self, url: str) -> int:
+        """Attempts counted so far for ``url`` (0 when never requested)."""
+        with self._lock:
+            return self._attempts.get(url, 0)
 
     def reset(self) -> None:
         """Forget all attempt counters (restart the deterministic stream)."""

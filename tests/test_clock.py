@@ -79,3 +79,41 @@ class TestTimeline:
             Timeline(lanes=0)
         with pytest.raises(ValueError):
             Timeline().add(-1.0)
+
+    def test_more_lanes_than_tasks(self):
+        """k > batch size: every task gets its own lane, so the makespan
+        is just the longest single task."""
+        tl = Timeline(lanes=8)
+        for d in [0.5, 2.0, 1.0]:
+            tl.add(d)
+        assert tl.makespan == 2.0
+
+    def test_zero_duration_tasks(self):
+        tl = Timeline(lanes=2)
+        assert tl.add(0.0) == 0.0
+        assert tl.add(0.0) == 0.0
+        assert tl.makespan == 0.0
+        # zero-latency tasks never displace real work
+        assert tl.add(1.5) == 1.5
+        assert tl.makespan == 1.5
+
+    def test_single_lane_matches_running_sum_in_order(self):
+        durations = [0.3, 0.0, 1.2, 0.7, 0.1]
+        tl = Timeline(lanes=1)
+        running = 0.0
+        for d in durations:
+            running += d
+            assert tl.add(d) == running
+        assert tl.makespan == running
+
+    def test_ties_break_by_lane_index(self):
+        """With all lanes equally loaded, tasks land on lanes in index
+        order — the documented deterministic tie-break."""
+        tl = Timeline(lanes=3)
+        assert [tl.add(1.0) for _ in range(3)] == [1.0, 1.0, 1.0]
+        # all lanes now at 1.0; the next task lands on lane 0
+        assert tl.add(2.0) == 3.0
+        assert tl.makespan == 3.0
+
+    def test_empty_timeline_makespan_is_zero(self):
+        assert Timeline(lanes=4).makespan == 0.0

@@ -1,0 +1,162 @@
+"""The seeded site fuzzer: determinism, wrapper roundtrip, view shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.sitegen.fuzz import (
+    CLASS_NAMES,
+    NO_PARENT,
+    FuzzConfig,
+    build_fuzzed_site,
+    fuzzed_view,
+)
+from repro.sitegen.mutations import perturb_server
+from repro.sites import fuzzed
+from repro.wrapper.conventions import registry_for_scheme
+
+
+class TestDeterminism:
+    def test_same_seed_same_site(self):
+        a = build_fuzzed_site(FuzzConfig(seed=5))
+        b = build_fuzzed_site(FuzzConfig(seed=5))
+        assert list(a.server.urls()) == list(b.server.urls())
+        for url in a.server.urls():
+            assert (
+                a.server.resource(url).html == b.server.resource(url).html
+            ), url
+        assert a.queries() == b.queries()
+        assert a.shapes == b.shapes
+
+    def test_different_seeds_differ(self):
+        a = build_fuzzed_site(FuzzConfig(seed=1))
+        b = build_fuzzed_site(FuzzConfig(seed=2))
+        assert (
+            list(a.server.urls()) != list(b.server.urls())
+            or a.queries() != b.queries()
+            or a.shapes != b.shapes
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_shapes_within_bounds(self, seed):
+        cfg = FuzzConfig(seed=seed)
+        site = build_fuzzed_site(cfg)
+        assert cfg.min_classes <= len(site.shapes) <= cfg.max_classes
+        for shape in site.shapes:
+            assert shape.name in CLASS_NAMES
+            assert cfg.min_entities <= shape.n_entities <= cfg.max_entities
+            assert len(site.entities[shape.name]) == shape.n_entities
+
+
+class TestWrapperRoundtrip:
+    @pytest.mark.parametrize("seed", [0, 3, 6])
+    def test_every_page_wraps_back_to_its_model_row(self, seed):
+        """render_page → conventional wrapper is the identity on the model
+        tuple, for every page of every fuzzed scheme."""
+        site = build_fuzzed_site(FuzzConfig(seed=seed))
+        registry = registry_for_scheme(site.scheme)
+        for url in site.server.urls():
+            page_scheme, row = site.published_row(url)
+            wrapped = dict(
+                registry.wrap(page_scheme, url, site.server.resource(url).html)
+            )
+            assert wrapped.pop("URL", url) == url
+            assert wrapped == row, url
+
+    def test_orphans_wrap_to_null_links(self):
+        """Some seed must produce an optional pair with orphans; their
+        back link wraps to None and the name to the marker."""
+        for seed in range(40):
+            site = build_fuzzed_site(FuzzConfig(seed=seed))
+            for parent, child in site.pair_names():
+                if site.pair_is_total(parent, child):
+                    continue
+                orphans = [
+                    e for e in site.entities[child] if e.parent is None
+                ]
+                if not orphans:
+                    continue
+                registry = registry_for_scheme(site.scheme)
+                row = registry.wrap(
+                    f"{child}Page",
+                    orphans[0].url,
+                    site.server.resource(orphans[0].url).html,
+                )
+                assert row[f"To{parent}"] is None
+                assert row[f"{parent}Name"] == NO_PARENT
+                return
+        pytest.fail("no fuzz seed in 0..39 produced an orphaned child")
+
+
+class TestView:
+    def test_first_pair_has_two_navigations(self):
+        """The first pair is always total, so its relation carries both the
+        parent-side and the child-side navigation (plan variety)."""
+        for seed in range(5):
+            site = build_fuzzed_site(FuzzConfig(seed=seed))
+            view = fuzzed_view(site)
+            parent, child = site.pair_names()[0]
+            assert len(view.relation(f"{parent}{child}").navigations) == 2
+
+    def test_optional_pair_has_parent_side_only(self):
+        for seed in range(40):
+            site = build_fuzzed_site(FuzzConfig(seed=seed))
+            view = fuzzed_view(site)
+            for parent, child in site.pair_names():
+                if not site.pair_is_total(parent, child):
+                    assert (
+                        len(view.relation(f"{parent}{child}").navigations)
+                        == 1
+                    )
+                    return
+        pytest.fail("no fuzz seed in 0..39 produced an optional pair")
+
+    def test_env_answers_match_model(self):
+        env = fuzzed(9)
+        site = env.site
+        first = site.shapes[0].name
+        result = env.query(f"SELECT {first}Name, Info1 FROM {first}")
+        got = {(r[f"{first}Name"], r["Info1"]) for r in result.relation}
+        assert got == site.expected_entity(first)
+
+
+class TestPerturb:
+    def test_perturb_is_seeded_and_bounded(self):
+        site = build_fuzzed_site(FuzzConfig(seed=4))
+        n = len(site.server)
+        touched_a = perturb_server(site.server, seed=1, fraction=0.5)
+        touched_b = perturb_server(site.server, seed=1, fraction=0.5)
+        assert touched_a == touched_b
+        assert len(touched_a) == round(n * 0.5)
+        assert perturb_server(site.server, seed=1, fraction=0.0) == []
+
+    def test_perturb_rejects_bad_fraction(self):
+        from repro.errors import MaterializationError
+
+        site = build_fuzzed_site(FuzzConfig(seed=4))
+        with pytest.raises(MaterializationError):
+            perturb_server(site.server, fraction=1.5)
+
+    def test_touch_preserves_content(self):
+        site = build_fuzzed_site(FuzzConfig(seed=4))
+        before = {
+            url: site.server.resource(url).html for url in site.server.urls()
+        }
+        perturb_server(site.server, seed=2, fraction=1.0)
+        for url, html in before.items():
+            assert site.server.resource(url).html == html
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(SchemeError):
+            build_fuzzed_site(FuzzConfig(min_classes=1))
+        with pytest.raises(SchemeError):
+            build_fuzzed_site(FuzzConfig(min_classes=3, max_classes=2))
+        with pytest.raises(SchemeError):
+            build_fuzzed_site(FuzzConfig(min_entities=0))
+
+    def test_int_shorthand(self):
+        env = fuzzed(3)
+        assert env.site.config.seed == 3
