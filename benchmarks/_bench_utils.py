@@ -2,16 +2,53 @@
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def record(experiment_id: str, title: str, lines: list[str]) -> str:
-    """Print an experiment table and persist it under benchmarks/results/."""
+def record(
+    experiment_id: str,
+    title: str,
+    lines: list[str],
+    *,
+    data: Optional[list] = None,
+    queries: Optional[dict] = None,
+    meta: Optional[dict] = None,
+) -> str:
+    """Print an experiment table and persist it under benchmarks/results/.
+
+    Besides the human-readable ``<id>.txt``, every experiment that passes
+    ``data`` (its measurement rows, as dicts) also gets a machine-readable
+    ``BENCH_<id>.json``: rows, the SQL they measured (``queries``), free-form
+    ``meta``, and a snapshot of the process metrics registry at write time.
+    CI asserts these files exist (``benchmarks/check_bench_json.py``), so a
+    benchmark silently losing its emission fails the build.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = "\n".join([f"== {experiment_id}: {title} =="] + lines) + "\n"
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(text)
+    if data is not None:
+        from repro.obs.metrics import METRICS
+
+        rows = [dict(row) for row in data]
+        schema = sorted({key for row in rows for key in row})
+        document = {
+            "bench": experiment_id,
+            "title": title,
+            "schema": schema,
+            "queries": dict(queries or {}),
+            "meta": dict(meta or {}),
+            "rows": rows,
+            "metrics": METRICS.snapshot(),
+        }
+        path = RESULTS_DIR / f"BENCH_{experiment_id}.json"
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True, default=str)
+            + "\n"
+        )
     print()
     print(text)
     return text

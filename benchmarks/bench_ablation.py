@@ -77,6 +77,8 @@ def ablation(uni_env):
         "ABLATION",
         "chosen-plan cost with rewrite families disabled",
         table(rows, ["variant"] + list(QUERIES)),
+        data=rows,
+        queries=QUERIES,
     )
     return costs
 
@@ -149,6 +151,8 @@ def stats_sensitivity(uni_env):
         "ABLATION-stats",
         "true cost of plans chosen under sampled statistics",
         table(rows, ["crawl budget"] + list(QUERIES)),
+        data=rows,
+        queries=QUERIES,
     )
     return rows
 

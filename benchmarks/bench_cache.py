@@ -141,6 +141,8 @@ def sweep():
         "Example 7.2 query, cold vs warm, per cache policy "
         "(3 departments, 20 professors, 50 courses)",
         table(rows, COLUMNS),
+        data=rows,
+        queries={"ex72": SQL},
     )
     return raw
 
@@ -148,14 +150,14 @@ def sweep():
 @pytest.fixture(scope="module")
 def flip():
     cold_planned, warm_planned = run_plan_flip(FULL_CONFIG)
+    rows = plan_flip_rows(cold_planned, warm_planned)
     record(
         "CACHE-PLAN",
         "Example 7.2 plan choice before/after warming the pointer-join "
         "plan's pages",
-        table(
-            plan_flip_rows(cold_planned, warm_planned),
-            ["cache", "chosen strategy", "C(best)", "plain C(best)"],
-        ),
+        table(rows, ["cache", "chosen strategy", "C(best)", "plain C(best)"]),
+        data=rows,
+        queries={"ex72": SQL},
     )
     return cold_planned, warm_planned
 
@@ -250,6 +252,8 @@ def main(argv=None) -> int:
         "CACHE",
         "cold vs warm per cache policy" + (" (quick)" if args.quick else ""),
         table(rows, COLUMNS),
+        data=rows,
+        queries={"ex72": SQL},
     )
     results = _by_key(raw)
     reference = results[("uncached", "cold")]
@@ -266,14 +270,17 @@ def main(argv=None) -> int:
         )
 
     cold_planned, warm_planned = run_plan_flip(config)
+    flip_rows = plan_flip_rows(cold_planned, warm_planned)
     record(
         "CACHE-PLAN",
         "plan choice before/after warming the pointer-join pages"
         + (" (quick)" if args.quick else ""),
         table(
-            plan_flip_rows(cold_planned, warm_planned),
+            flip_rows,
             ["cache", "chosen strategy", "C(best)", "plain C(best)"],
         ),
+        data=flip_rows,
+        queries={"ex72": SQL},
     )
     assert warm_planned.best.cost <= cold_planned.best.cost, (
         "warm planning made the chosen plan worse"

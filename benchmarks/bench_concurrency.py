@@ -90,6 +90,8 @@ def sweep():
         "Example 7.2 query on the scale site: pool size vs simulated wall "
         "time (page counts stay paper-faithful)",
         table(rows, COLUMNS),
+        data=rows,
+        queries={"ex72": SQL},
     )
     return raw
 
@@ -155,6 +157,8 @@ def main(argv=None) -> int:
         "pool size vs simulated wall time"
         + (" (quick)" if args.quick else ""),
         table(rows, COLUMNS),
+        data=rows,
+        queries={"ex72": SQL},
     )
     pages = {result.pages for _, result, _ in raw}
     assert len(pages) == 1, "page counts drifted across pool sizes"

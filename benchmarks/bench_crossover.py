@@ -76,6 +76,8 @@ def sweep():
         "(20 professors, 50 courses)",
         table(rows, ["departments", "C(chase)", "C(join)", "winner",
                      "optimizer picks"]),
+        data=rows,
+        queries={"ex72": SQL},
     )
     return raw
 

@@ -71,7 +71,14 @@ def measurements(uni_env):
     lines = table(rows, ["plan", "estimated", "measured", "rows"])
     lines.append("")
     lines.append(f"optimizer chose: {planned.best.render(scheme=uni_env.scheme)}")
-    record("EX-7.1", "courses by full professors in the Fall session", lines)
+    record(
+        "EX-7.1",
+        "courses by full professors in the Fall session",
+        lines,
+        data=rows,
+        queries={"ex71": SQL},
+        meta={"chosen_plan": planned.best.render()},
+    )
     return plan_1d, plan_2d, result_1d, result_2d, planned
 
 
@@ -94,6 +101,8 @@ def sweep():
         "EX-7.1-sweep",
         "pointer-join advantage grows with |CoursePage|",
         table(rows, ["courses", "C(1d) join", "C(2d) chase", "gap"]),
+        data=rows,
+        queries={"ex71": SQL},
     )
     return rows
 

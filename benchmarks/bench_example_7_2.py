@@ -67,7 +67,14 @@ def measurements(uni_env):
         "'the second cost amounts to 23 approximately, whereas the first "
         "is well over 50'"
     )
-    record("EX-7.2", "CS professors teaching graduate courses", lines)
+    record(
+        "EX-7.2",
+        "CS professors teaching graduate courses",
+        lines,
+        data=rows,
+        queries={"ex72": SQL},
+        meta={"chosen_plan": planned.best.render()},
+    )
     return planned, chase, join, chase_result, join_result
 
 

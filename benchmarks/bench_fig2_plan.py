@@ -62,7 +62,13 @@ def measurements(uni_env):
     lines.append("")
     lines.append("plan tree (cf. the paper's Figure 2):")
     lines.extend(render_plan_tree(pushed, uni_env.scheme).splitlines())
-    record("FIG-2", "courses held by CS department members", lines)
+    record(
+        "FIG-2",
+        "courses held by CS department members",
+        lines,
+        data=rows,
+        meta={"plan_tree": render_plan_tree(pushed, uni_env.scheme)},
+    )
     return full, pushed, full_result, pushed_result
 
 

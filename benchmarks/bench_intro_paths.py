@@ -102,6 +102,8 @@ def measurements(bib_env):
         "EX-INTRO",
         "authors in the last three VLDBs — four access paths",
         table(rows, ["path", "pages", "bytes", "estimated", "authors"]),
+        data=rows,
+        meta={"years": list(years)},
     )
     return {row["path"]: row for row in rows}
 

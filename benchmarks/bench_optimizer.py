@@ -64,6 +64,8 @@ def workload_results(uni_env):
         "Algorithm 1 over the university workload",
         table(rows, ["query", "plans", "valid", "best", "worst",
                      "measured", "rows"]),
+        data=rows,
+        queries=dict(WORKLOAD),
     )
     return details
 

@@ -71,6 +71,8 @@ def scaling():
             ["site pages", "best cost", "measured", "fraction", "plan ms",
              "rows"],
         ),
+        data=rows,
+        queries={"ex72": SQL},
     )
     return raw
 

@@ -45,7 +45,16 @@ def fidelity(uni_env):
         f"exact: |ProfPage| = {exact.card('ProfPage'):.0f}, "
         f"|CoursePage| = {exact.card('CoursePage'):.0f}"
     )
-    record("WRAP", "statistics estimation vs crawl budget", lines)
+    record(
+        "WRAP",
+        "statistics estimation vs crawl budget",
+        lines,
+        data=rows,
+        meta={
+            "exact_prof_pages": exact.card("ProfPage"),
+            "exact_course_pages": exact.card("CoursePage"),
+        },
+    )
     return rows
 
 

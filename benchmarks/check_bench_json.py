@@ -1,0 +1,90 @@
+"""CI gate: every benchmark must emit its machine-readable results.
+
+Each ``bench_*.py`` experiment records a ``BENCH_<id>.json`` under
+``benchmarks/results/`` via :func:`_bench_utils.record`.  Dashboards and
+regression tooling consume those files, so a benchmark silently losing its
+emission (a refactor dropping ``data=``, an experiment renamed without
+updating the registry) must fail the build — run this after the benchmark
+suite::
+
+    python -m pytest benchmarks -q --benchmark-disable
+    python benchmarks/check_bench_json.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: benchmark module -> the experiment ids it must have emitted
+EXPECTED = {
+    "bench_ablation": ["ABLATION", "ABLATION-stats"],
+    "bench_cache": ["CACHE", "CACHE-PLAN"],
+    "bench_concurrency": ["CONCURRENCY"],
+    "bench_crossover": ["X-OVER"],
+    "bench_example_7_1": ["EX-7.1", "EX-7.1-sweep"],
+    "bench_example_7_2": ["EX-7.2"],
+    "bench_fig2_plan": ["FIG-2"],
+    "bench_intro_paths": ["EX-INTRO"],
+    "bench_materialized": ["SEC-8"],
+    "bench_optimizer": ["ALG-1"],
+    "bench_scale": ["SCALE"],
+    "bench_wrapper": ["WRAP"],
+}
+
+REQUIRED_KEYS = ("bench", "title", "schema", "rows", "metrics")
+
+
+def check() -> list[str]:
+    problems: list[str] = []
+    for module, experiment_ids in sorted(EXPECTED.items()):
+        for experiment_id in experiment_ids:
+            path = RESULTS_DIR / f"BENCH_{experiment_id}.json"
+            if not path.exists():
+                problems.append(f"{module}: missing {path.name}")
+                continue
+            try:
+                document = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                problems.append(f"{module}: {path.name} is not JSON ({exc})")
+                continue
+            for key in REQUIRED_KEYS:
+                if key not in document:
+                    problems.append(
+                        f"{module}: {path.name} lacks the {key!r} key"
+                    )
+            if document.get("bench") != experiment_id:
+                problems.append(
+                    f"{module}: {path.name} claims bench="
+                    f"{document.get('bench')!r}, expected {experiment_id!r}"
+                )
+            if not document.get("rows"):
+                problems.append(f"{module}: {path.name} has no data rows")
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    emitted = sorted(p.name for p in RESULTS_DIR.glob("BENCH_*.json"))
+    expected_names = {
+        f"BENCH_{experiment_id}.json"
+        for ids in EXPECTED.values()
+        for experiment_id in ids
+    }
+    for name in emitted:
+        if name not in expected_names:
+            print(f"note: {name} emitted but not in the registry "
+                  f"(add it to EXPECTED)")
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        return 1
+    print(f"ok: {len(expected_names)} BENCH_*.json files present and sound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

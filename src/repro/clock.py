@@ -82,6 +82,10 @@ class Timeline:
         if lanes < 1:
             raise ValueError("a timeline needs at least one lane")
         self._lanes = [0.0] * lanes
+        #: per-task ``(lane, start, end)`` intervals in submission order —
+        #: the schedule itself, consumed by the Chrome-trace exporter
+        #: (:mod:`repro.obs.export`) and by span instrumentation
+        self.intervals: list[tuple[int, float, float]] = []
 
     @property
     def lanes(self) -> int:
@@ -92,7 +96,9 @@ class Timeline:
         if duration < 0:
             raise ValueError("durations must be non-negative")
         index = min(range(len(self._lanes)), key=self._lanes.__getitem__)
+        start = self._lanes[index]
         self._lanes[index] += duration
+        self.intervals.append((index, start, self._lanes[index]))
         return self._lanes[index]
 
     @property

@@ -15,7 +15,7 @@ use; both executors share it.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence
+from typing import Callable, Optional, Protocol, Sequence
 
 from repro.adm.scheme import WebScheme
 from repro.algebra.ast import (
@@ -32,6 +32,7 @@ from repro.algebra.computable import check_computable
 from repro.errors import AlgebraError, NotComputableError
 from repro.nested.relation import Relation
 from repro.nested.schema import RelationSchema
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["PageRelationProvider", "LocalExecutor", "qualify_row"]
 
@@ -84,11 +85,31 @@ class PageRelationProvider(Protocol):
 
 
 class LocalExecutor:
-    """Evaluates computable NALG plans against a page-relation provider."""
+    """Evaluates computable NALG plans against a page-relation provider.
 
-    def __init__(self, scheme: WebScheme, provider: PageRelationProvider):
+    ``tracer`` (default: the zero-cost null tracer) opens one *operator
+    span* per plan node, tagged ``node_id=id(node)`` so the EXPLAIN
+    ANALYZE renderer can pair spans with the plan tree it prints.
+    ``meter`` (optional) is a zero-argument callable returning the current
+    ``(pages, light_connections, cache_hits, revalidations, bytes,
+    simulated_seconds)`` counters — typically read off the web client's
+    :class:`~repro.web.client.AccessLog`.  Each operator span records the
+    counter *delta* across its evaluation (children included), so a node's
+    own cost is its delta minus its children's — and the per-operator
+    "own" costs sum exactly to the query total.
+    """
+
+    def __init__(
+        self,
+        scheme: WebScheme,
+        provider: PageRelationProvider,
+        tracer=None,
+        meter: Optional[Callable[[], tuple]] = None,
+    ):
         self.scheme = scheme
         self.provider = provider
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.meter = meter
 
     def evaluate(self, expr: Expr) -> Relation:
         """Evaluate ``expr``; raises NotComputableError for bad plans."""
@@ -98,6 +119,49 @@ class LocalExecutor:
     # ------------------------------------------------------------------ #
 
     def _eval(self, expr: Expr) -> Relation:
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._eval_node(expr)
+        with tracer.span(
+            self._span_name(expr),
+            kind="operator",
+            node_id=id(expr),
+            op=type(expr).__name__,
+        ) as span:
+            before = self.meter() if self.meter is not None else None
+            relation = self._eval_node(expr)
+            if before is not None:
+                after = self.meter()
+                span.set(
+                    pages=after[0] - before[0],
+                    light_connections=after[1] - before[1],
+                    cache_hits=after[2] - before[2],
+                    revalidations=after[3] - before[3],
+                    bytes=after[4] - before[4],
+                    seconds=after[5] - before[5],
+                    t0=before[5],
+                    t1=after[5],
+                )
+            span.set(tuples_out=len(relation.rows))
+            return relation
+
+    @staticmethod
+    def _span_name(expr: Expr) -> str:
+        if isinstance(expr, EntryPointScan):
+            return f"entry {expr.page_scheme}"
+        if isinstance(expr, FollowLink):
+            return f"follow →{expr.link_attr}"
+        if isinstance(expr, Unnest):
+            return f"unnest {expr.attr}"
+        if isinstance(expr, Select):
+            return "select"
+        if isinstance(expr, Project):
+            return "project"
+        if isinstance(expr, Join):
+            return "join"
+        return type(expr).__name__
+
+    def _eval_node(self, expr: Expr) -> Relation:
         if isinstance(expr, EntryPointScan):
             return self._eval_entry(expr)
         if isinstance(expr, FollowLink):

@@ -21,9 +21,11 @@ from typing import Optional, Sequence
 
 from repro.adm.scheme import WebScheme
 from repro.algebra.ast import Expr
+from repro.algebra.printer import render_expr
 from repro.engine.local import LocalExecutor
 from repro.engine.session import QuerySession
 from repro.nested.relation import Relation
+from repro.obs.trace import NULL_TRACER, Span
 from repro.web.cache import PageCache
 from repro.web.client import (
     AccessLog,
@@ -39,10 +41,15 @@ __all__ = ["ExecutionResult", "RemoteExecutor"]
 
 @dataclass
 class ExecutionResult:
-    """The answer relation plus the measured network cost of producing it."""
+    """The answer relation plus the measured network cost of producing it.
+
+    ``trace`` is the root span of the execution when the run was traced
+    (``None`` otherwise) — observational only: every other field is
+    bit-for-bit identical whether or not a tracer was attached."""
 
     relation: Relation
     log: AccessLog
+    trace: Optional[Span] = None
 
     @property
     def pages(self) -> int:
@@ -140,6 +147,7 @@ class RemoteExecutor:
         fetch_config: Optional[FetchConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         cache: Optional[PageCache] = None,
+        tracer=None,
     ) -> ExecutionResult:
         """Run one query: fresh session, per-query access accounting.
 
@@ -148,6 +156,12 @@ class RemoteExecutor:
         handling; ``cache`` overrides the client's attached page cache
         (pass :data:`~repro.web.cache.NO_CACHE` to force uncached
         execution).  All default to the client's configuration.
+
+        ``tracer`` (a :class:`~repro.obs.trace.RecordingTracer`, default
+        the no-op tracer) records per-operator spans with nested fetch
+        spans; the recorded root span lands in ``ExecutionResult.trace``.
+        Tracing is purely observational — the relation and the log are
+        identical with or without it.
         """
         active_cache = cache if cache is not None else self.client.cache
         if active_cache is not None:
@@ -161,8 +175,41 @@ class RemoteExecutor:
             retry_policy=retry_policy,
             cache=cache,
         )
+        tracer = tracer if tracer is not None else NULL_TRACER
         provider = _SessionProvider(self.scheme, session)
-        executor = LocalExecutor(self.scheme, provider)
-        before = self.client.log.snapshot()
-        relation = executor.evaluate(expr)
-        return ExecutionResult(relation, self.client.log.delta(before))
+        client = self.client
+        log = client.log
+        meter = lambda: (  # noqa: E731 - read-only counter snapshot
+            log.page_downloads,
+            log.light_connections,
+            log.cache_hits,
+            log.revalidations,
+            log.bytes_downloaded,
+            log.simulated_seconds,
+        )
+        executor = LocalExecutor(
+            self.scheme, provider, tracer=tracer, meter=meter
+        )
+        before = log.snapshot()
+        previous_tracer = client.tracer
+        client.tracer = tracer  # fetch-batch spans nest under operator spans
+        try:
+            with tracer.span(
+                "execute", kind="query", plan=render_expr(expr)
+            ) as span:
+                relation = executor.evaluate(expr)
+        finally:
+            client.tracer = previous_tracer
+        delta = log.delta(before)
+        trace = None
+        if tracer.enabled and isinstance(span, Span):
+            span.set(
+                pages=delta.page_downloads,
+                light_connections=delta.light_connections,
+                cache_hits=delta.cache_hits,
+                revalidations=delta.revalidations,
+                seconds=delta.simulated_seconds,
+                tuples_out=len(relation.rows),
+            )
+            trace = span
+        return ExecutionResult(relation, delta, trace=trace)

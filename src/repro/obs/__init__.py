@@ -1,0 +1,43 @@
+"""Observability: span tracing, metrics, rewrite lineage, EXPLAIN ANALYZE.
+
+Deliberately lightweight at import time — :mod:`repro.web.client` imports
+this package on every use of the library, so only the dependency-free
+substrate (tracing, metrics, rewrite lineage) is pulled in eagerly.  The
+annotated-plan renderer (:mod:`repro.obs.explain`), the Chrome-trace
+exporter (:mod:`repro.obs.export`), and the CLI (``python -m repro.obs``)
+are imported on demand.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    METRICS,
+    MetricsRegistry,
+)
+from repro.obs.rewrite import STRATEGY_RULES, RewriteStep, RewriteTrace
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    Span,
+    SpanEvent,
+    spans_by_node,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "RewriteStep",
+    "RewriteTrace",
+    "STRATEGY_RULES",
+    "Span",
+    "SpanEvent",
+    "spans_by_node",
+]

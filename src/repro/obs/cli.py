@@ -1,0 +1,124 @@
+"""``python -m repro.obs`` — EXPLAIN / EXPLAIN ANALYZE from the shell.
+
+Examples::
+
+    # why did Example 7.1 pick the pointer-join plan?
+    python -m repro.obs --site university --query ex71
+
+    # run it, annotate the tree with measured per-operator downloads,
+    # and export a Perfetto-loadable timeline of the 4-lane fetch schedule
+    python -m repro.obs --site university --query ex71 --analyze \\
+        --workers 4 --export-trace trace-ex71.json
+
+    # ad-hoc SQL plus the metric readings the run produced
+    python -m repro.obs --site movies \\
+        --sql "SELECT Title, Year, Genre FROM Movie" --analyze --metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.obs.export import write_chrome_trace
+from repro.obs.metrics import METRICS
+from repro.obs.trace import RecordingTracer
+from repro.web.client import FetchConfig
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Explain (and optionally execute + measure) a query: "
+        "plan space, rewrite lineage, annotated operator tree, "
+        "Chrome-trace export.",
+    )
+    parser.add_argument(
+        "--site",
+        default="university",
+        help="university | bibliography | movies | fuzz:<seed> "
+        "(default: university)",
+    )
+    parser.add_argument(
+        "--query",
+        default=None,
+        metavar="NAME",
+        help="named query from the site's QA suite (e.g. ex71, ex72; "
+        "see repro.qa); default: the site's first suite query",
+    )
+    parser.add_argument(
+        "--sql", default=None, help="ad-hoc conjunctive SQL (overrides --query)"
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: execute the chosen plan and annotate the "
+        "tree with measured per-operator pages / tuples / seconds",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="K",
+        help="fetch-pool size for --analyze (default: network model)",
+    )
+    parser.add_argument(
+        "--cache", default=None,
+        help="cache mode for --analyze (off | per_query | cross_query)",
+    )
+    parser.add_argument(
+        "--export-trace", default=None, metavar="PATH",
+        help="write the recorded spans as Chrome trace events "
+        "(implies --analyze)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the process metrics registry after the run",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.qa.cli import build_site
+
+    env, queries = build_site(args.site)
+    if args.sql is not None:
+        sql = args.sql
+    elif args.query is not None:
+        if args.query not in queries:
+            raise SystemExit(
+                f"unknown query {args.query!r} for site {args.site!r} "
+                f"(choose from {', '.join(queries)})"
+            )
+        sql = queries[args.query]
+    else:
+        sql = next(iter(queries.values()))
+
+    analyze = args.analyze or args.export_trace is not None
+    tracer = RecordingTracer()
+    fetch_config = (
+        FetchConfig(max_workers=args.workers)
+        if args.workers is not None
+        else None
+    )
+    report = env.explain(
+        sql,
+        analyze=analyze,
+        fetch_config=fetch_config,
+        cache=args.cache,
+        tracer=tracer,
+    )
+    print(report)
+    if args.export_trace is not None:
+        document = write_chrome_trace(args.export_trace, tracer)
+        print(
+            f"\ntrace: {args.export_trace} "
+            f"({len(document['traceEvents'])} events; load in "
+            f"https://ui.perfetto.dev or chrome://tracing)"
+        )
+    if args.metrics:
+        print("\nmetrics:")
+        print(METRICS.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""Process-wide metrics: labelled counters and histograms.
+
+A deliberately small, dependency-free metrics facility in the Prometheus
+idiom: named instruments with label sets, a process-wide default
+:data:`METRICS` registry, JSON-able snapshots, and a text exposition
+renderer.  The web layer records fetch/cache behaviour here (labelled by
+page-scheme and cache mode); benchmarks embed a snapshot in their
+``BENCH_*.json`` result files so the perf trajectory carries its
+instrument readings along.
+
+Metrics are *observational only*: nothing in the query path reads them, so
+they can stay always-on without violating the tracing layer's
+non-interference contract (results, page counts, and access logs are
+independent of registry state).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "DEFAULT_BUCKETS",
+]
+
+#: Histogram bucket upper bounds, in simulated seconds (the only quantity
+#: histogrammed out of the box); the last implicit bucket is +Inf.
+DEFAULT_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value per label set."""
+
+    def __init__(self, name: str, help: str = "", lock: Optional[threading.Lock] = None):
+        self.name = name
+        self.help = help
+        self._series: dict[tuple, float] = {}
+        self._lock = lock or threading.Lock()
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value for one label set (0 when never incremented)."""
+        return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self._series.values())
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "counter",
+            "help": self.help,
+            "series": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._series.items())
+            ],
+        }
+
+
+class Histogram:
+    """Cumulative-bucket histogram per label set (count/sum/min/max kept)."""
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        lock: Optional[threading.Lock] = None,
+    ):
+        if list(buckets) != sorted(buckets) or not buckets:
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self._series: dict[tuple, dict] = {}
+        self._lock = lock or threading.Lock()
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = {
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": value,
+                    "max": value,
+                    "bucket_counts": [0] * (len(self.buckets) + 1),
+                }
+                self._series[key] = series
+            series["count"] += 1
+            series["sum"] += value
+            series["min"] = min(series["min"], value)
+            series["max"] = max(series["max"], value)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series["bucket_counts"][i] += 1
+                    break
+            else:
+                series["bucket_counts"][-1] += 1
+
+    def count(self, **labels) -> int:
+        series = self._series.get(_label_key(labels))
+        return series["count"] if series else 0
+
+    def sum(self, **labels) -> float:
+        series = self._series.get(_label_key(labels))
+        return series["sum"] if series else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "series": [
+                {"labels": dict(key), **series}
+                for key, series in sorted(self._series.items())
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and shared thereafter."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = Counter(name, help, lock=self._lock)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, Counter):
+                raise TypeError(f"{name!r} is already a non-counter metric")
+            return instrument
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = Histogram(name, help, buckets, lock=self._lock)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, Histogram):
+                raise TypeError(f"{name!r} is already a non-histogram metric")
+            return instrument
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every instrument and series."""
+        return {
+            name: instrument.snapshot()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; benchmarks between experiments)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def render(self) -> str:
+        """Prometheus-style text exposition (for humans and scrapers)."""
+        lines: list[str] = []
+        for name, data in sorted(self.snapshot().items()):
+            if data["help"]:
+                lines.append(f"# HELP {name} {data['help']}")
+            lines.append(f"# TYPE {name} {data['type']}")
+            for series in data["series"]:
+                labels = ",".join(
+                    f'{k}="{v}"' for k, v in sorted(series["labels"].items())
+                )
+                labelled = f"{name}{{{labels}}}" if labels else name
+                if data["type"] == "counter":
+                    lines.append(f"{labelled} {series['value']:g}")
+                else:
+                    lines.append(
+                        f"{labelled} count={series['count']} "
+                        f"sum={series['sum']:g} min={series['min']:g} "
+                        f"max={series['max']:g}"
+                    )
+        return "\n".join(lines)
+
+
+#: The process-wide default registry (the web layer records here).
+METRICS = MetricsRegistry()

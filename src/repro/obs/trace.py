@@ -1,0 +1,275 @@
+"""Span-based tracing: the observability substrate (``repro.obs``).
+
+A *span* covers one unit of work — an operator evaluation, a fetch batch —
+and carries attributes (tuples out, pages downloaded, simulated timings)
+plus point-in-time *events* (a cache hit, a transient fault, a retry, a
+single-flight dedup).  Spans nest: the engine opens an operator span per
+plan node, the web client opens a fetch-batch span inside whichever
+operator triggered the batch, and per-fetch events land inside that.
+
+Two tracers implement the same duck-typed interface:
+
+* :data:`NULL_TRACER` — the default.  Every instrumentation point guards on
+  ``tracer.enabled``, and the null tracer's methods are no-ops returning
+  shared singletons, so tracing is zero-cost when disabled.
+* :class:`RecordingTracer` — records the span tree for rendering
+  (:meth:`RecordingTracer.render`), EXPLAIN ANALYZE annotation
+  (:func:`spans_by_node`), and Chrome-trace export
+  (:mod:`repro.obs.export`).
+
+**Non-interference contract.**  Tracing observes; it never mutates the
+:class:`~repro.web.client.AccessLog`, the page cache, the simulated clock,
+or any relation.  With tracing on, results, page counts, and logs are
+bit-for-bit identical to a tracer-off run — enforced by
+``tests/test_obs_noninterference.py`` and the ``repro.qa`` oracle's trace
+dimension.
+
+All span entry/exit happens on the query's calling thread (the batched
+fetch engine does its accounting on the calling thread in submission
+order), so a recording is deterministic at every worker-pool size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "spans_by_node",
+]
+
+
+class SpanEvent:
+    """A point-in-time observation attached to a span."""
+
+    __slots__ = ("name", "attrs")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.attrs.items())
+        return f"SpanEvent({self.name}, {inner})"
+
+
+class Span:
+    """One recorded unit of work: attributes, events, child spans."""
+
+    __slots__ = ("name", "kind", "attrs", "events", "children")
+
+    def __init__(self, name: str, kind: str = "", attrs: Optional[dict] = None):
+        self.name = name
+        self.kind = kind
+        self.attrs = attrs if attrs is not None else {}
+        self.events: list[SpanEvent] = []
+        self.children: list["Span"] = []
+
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) span attributes."""
+        self.attrs.update(attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point-in-time event inside this span."""
+        self.events.append(SpanEvent(name, attrs))
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, kind={self.kind!r}, "
+            f"{len(self.children)} children, {len(self.events)} events)"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span; also its own context manager."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-cost default: every call is a no-op on shared singletons."""
+
+    enabled = False
+
+    def span(self, name: str, kind: str = "", **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+
+#: Process-shared no-op tracer: the default everywhere tracing plugs in.
+NULL_TRACER = NullTracer()
+
+
+class _SpanContext:
+    """Context manager entering/exiting one recorded span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "RecordingTracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._pop(self._span)
+        return False
+
+
+class RecordingTracer:
+    """Records a span tree (single-threaded span stack).
+
+    Spans opened while another span is active nest under it; top-level
+    spans land in :attr:`roots`.  Events fired outside any span are kept
+    in :attr:`orphan_events` (they should be rare — only instrumentation
+    reached outside a query)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self.orphan_events: list[SpanEvent] = []
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------ #
+    # the tracer interface
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str, kind: str = "", **attrs) -> _SpanContext:
+        return _SpanContext(self, Span(name, kind, attrs))
+
+    def event(self, name: str, **attrs) -> None:
+        if self._stack:
+            self._stack[-1].events.append(SpanEvent(name, attrs))
+        else:
+            self.orphan_events.append(SpanEvent(name, attrs))
+
+    # ------------------------------------------------------------------ #
+    # stack plumbing
+    # ------------------------------------------------------------------ #
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def spans(self, kind: Optional[str] = None) -> list[Span]:
+        """All recorded spans, depth-first, optionally filtered by kind."""
+        out = []
+        for root in self.roots:
+            for span in root.walk():
+                if kind is None or span.kind == kind:
+                    out.append(span)
+        return out
+
+    def events(self, name: Optional[str] = None) -> list[SpanEvent]:
+        """All recorded events, optionally filtered by name."""
+        out = [
+            e for e in self.orphan_events if name is None or e.name == name
+        ]
+        for span in self.spans():
+            out.extend(
+                e for e in span.events if name is None or e.name == name
+            )
+        return out
+
+    def render(self, max_events: int = 4, max_lines: int = 0) -> str:
+        """Human-readable span tree with key attributes and events."""
+        lines: list[str] = []
+
+        def fmt_attrs(attrs: dict) -> str:
+            keep = {
+                k: v
+                for k, v in attrs.items()
+                if k not in ("node_id",) and v not in (None, "", 0, 0.0)
+            }
+            return " ".join(
+                f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in keep.items()
+            )
+
+        def go(span: Span, depth: int) -> None:
+            detail = fmt_attrs(span.attrs)
+            lines.append(
+                "  " * depth
+                + f"▸ {span.name}" + (f"  [{detail}]" if detail else "")
+            )
+            shown = span.events[:max_events] if max_events else span.events
+            for event in shown:
+                lines.append(
+                    "  " * (depth + 1)
+                    + f"· {event.name} {fmt_attrs(event.attrs)}".rstrip()
+                )
+            hidden = len(span.events) - len(shown)
+            if hidden > 0:
+                lines.append("  " * (depth + 1) + f"· … {hidden} more events")
+            for child in span.children:
+                go(child, depth + 1)
+
+        for root in self.roots:
+            go(root, 0)
+        if max_lines and len(lines) > max_lines:
+            lines = lines[:max_lines] + [f"… {len(lines) - max_lines} more lines"]
+        return "\n".join(lines)
+
+
+def spans_by_node(trace) -> dict[int, Span]:
+    """Index operator spans by the ``node_id`` they were tagged with.
+
+    Accepts a :class:`RecordingTracer` or a root :class:`Span`; used by the
+    EXPLAIN ANALYZE renderer to pair each plan node with its measured span.
+    """
+    spans = (
+        trace.spans(kind="operator")
+        if isinstance(trace, RecordingTracer)
+        else [s for s in trace.walk() if s.kind == "operator"]
+    )
+    out: dict[int, Span] = {}
+    for span in spans:
+        node_id = span.attrs.get("node_id")
+        if node_id is not None and node_id not in out:
+            out[node_id] = span
+    return out

@@ -244,28 +244,15 @@ class CostModel:
             yield from self._walk(child)
 
     def explain(self, expr: Expr) -> str:
-        """Per-node breakdown of cardinality and cost (indented tree)."""
-        lines: list[str] = []
+        """Per-node breakdown of cardinality and cost (indented tree).
 
-        def go(node: Expr, depth: int) -> None:
-            est = self._estimate(node)
-            own = est.cost - sum(self._estimate(c).cost for c in node.children())
-            label = type(node).__name__
-            if isinstance(node, EntryPointScan):
-                label = f"EntryPoint {node.name}"
-            elif isinstance(node, FollowLink):
-                label = f"Follow {node.link_attr}"
-            elif isinstance(node, Unnest):
-                label = f"Unnest {node.attr}"
-            lines.append(
-                f"{'  ' * depth}{label}: card={est.cardinality:.2f} "
-                f"cost={est.cost:.2f} (+{own:.2f})"
-            )
-            for child in node.children():
-                go(child, depth + 1)
+        Delegates to the shared plan-report renderer
+        (:mod:`repro.obs.explain`) — the same code path that produces
+        ``SiteEnv.explain``'s annotated tree, minus the measured columns.
+        """
+        from repro.obs.explain import render_cost_explain
 
-        go(expr, 0)
-        return "\n".join(lines)
+        return render_cost_explain(expr, self)
 
     # ------------------------------------------------------------------ #
     # estimation

@@ -35,6 +35,7 @@ from repro.errors import (
     PredicateError,
     SchemaError,
 )
+from repro.obs.rewrite import RewriteTrace
 from repro.optimizer.cost import CacheEstimate, CostModel
 from repro.optimizer.rewriter import closure
 from repro.optimizer.rules import (
@@ -90,6 +91,9 @@ class PlannerResult:
     generated: int    # plans generated before validation
     cache_estimate: Optional[CacheEstimate] = None
     uncached_cost: Optional[float] = None
+    #: candidate lineage (which rule produced which plan, with C(E) at
+    #: each step) when the run was traced; see :meth:`why`
+    rewrite_trace: Optional[RewriteTrace] = None
 
     @property
     def cost(self) -> CostSummary:
@@ -124,6 +128,17 @@ class PlannerResult:
         if len(self.candidates) > limit:
             lines.append(f"   ... {len(self.candidates) - limit} more")
         return "\n".join(lines)
+
+    def why(self, candidate: Optional[PlanCandidate] = None) -> str:
+        """*Why this plan*: the lineage of ``candidate`` (default: the
+        chosen plan) — which of rules 1–9 fired, in which planner phase,
+        with the C(E) estimate at each step — ending with the access-path
+        strategy (pointer-join vs pointer-chase) that produced it.
+        Requires a traced run (``plan_query(..., trace=True)``)."""
+        if self.rewrite_trace is None:
+            return "(planner run was not traced; re-plan with trace=True)"
+        target = candidate if candidate is not None else self.best
+        return self.rewrite_trace.describe(render_expr(target.expr))
 
 
 @dataclass(frozen=True)
@@ -168,6 +183,7 @@ class Planner:
         self,
         query: ConjunctiveQuery,
         cache_estimate: Optional[CacheEstimate] = None,
+        trace: bool = False,
     ) -> PlannerResult:
         """Plan a conjunctive query (steps 1–8).
 
@@ -175,10 +191,23 @@ class Planner:
         with per-page-scheme hit rates, so a plan whose pointer set is
         already cached can win over the cold-cache choice.
 
+        ``trace=True`` records candidate lineage in a
+        :class:`~repro.obs.rewrite.RewriteTrace` (attached to the result as
+        ``rewrite_trace``) so :meth:`PlannerResult.why` can answer which
+        rules produced the chosen plan.  Traced runs bypass the memo (the
+        trace is per-run state); the plan chosen is identical either way.
+
         Results are memoized per planner instance and estimate (a planner
         is bound to one statistics snapshot; rebuilding the planner — as
         ``SiteEnv.refresh_statistics`` does — naturally drops the memo).
         """
+        if trace:
+            rewrite_trace = RewriteTrace(cost_fn=self.cost_model.cost)
+            return self.plan_expr(
+                translate(query, self.view),
+                cache_estimate=cache_estimate,
+                trace=rewrite_trace,
+            )
         key = (str(query), cache_estimate)
         cached = self._cache.get(key)
         if cached is None:
@@ -213,16 +242,23 @@ class Planner:
         self,
         expr: Expr,
         cache_estimate: Optional[CacheEstimate] = None,
+        trace: Optional[RewriteTrace] = None,
     ) -> PlannerResult:
         """Plan a relational-algebra expression over external relations."""
         opts = self.options
         # step 2: rule 1 — expand external relations in all possible ways
-        expanded = self._expand_all(expr)
+        expanded = self._expand_all(expr, trace=trace)
         # step 3: rule 4 — eliminate repeated navigations
         merge_rule = MergeRepeatedNavigation(stats=self.cost_model.stats)
         merged = expanded
         if opts.merge_repeated:
-            merged = closure(expanded, [merge_rule], self.scheme)
+            merged = closure(
+                expanded,
+                [merge_rule],
+                self.scheme,
+                trace=trace,
+                phase="merge repeated (rule 4)",
+            )
         # step 4: rules 8, 9 — push and prune joins
         join_rules = []
         if opts.join_pushdown:
@@ -234,21 +270,37 @@ class Planner:
         if opts.pointer_chase:
             join_rules.append(PointerChase())
         join_variants = (
-            closure(merged, join_rules, self.scheme) if join_rules else merged
+            closure(
+                merged,
+                join_rules,
+                self.scheme,
+                trace=trace,
+                phase="join rules (8/9)",
+            )
+            if join_rules
+            else merged
         )
         # step 5: rule 6 — push selections
         pushed = join_variants
         if opts.push_selections:
             pushed = _dedup(
                 _try_map(
-                    join_variants, lambda e: push_selections(e, self.scheme)
+                    join_variants,
+                    lambda e: push_selections(e, self.scheme),
+                    trace=trace,
+                    phase="push selections (rule 6)",
+                    rule="push_selections",
                 )
             )
         # step 6: rule 7 — substitute projections
         projected = pushed
         if opts.substitute_projections:
             projected = closure(
-                pushed, [ProjectionSubstitution()], self.scheme
+                pushed,
+                [ProjectionSubstitution()],
+                self.scheme,
+                trace=trace,
+                phase="projection substitution (rule 7)",
             )
         # step 7: rules 5/3 — eliminate unnecessary navigations
         final = _dedup(projected)
@@ -257,6 +309,9 @@ class Planner:
                 _try_map(
                     projected,
                     lambda e: eliminate_unused_navigation(e, self.scheme),
+                    trace=trace,
+                    phase="eliminate navigation (rules 3/5)",
+                    rule="eliminate_unused_navigation",
                 )
             )
         # step 8: validate, cost, choose (cache-aware when an estimate is
@@ -290,13 +345,16 @@ class Planner:
             generated=len(final),
             cache_estimate=cache_estimate,
             uncached_cost=uncached_cost,
+            rewrite_trace=trace,
         )
 
     # ------------------------------------------------------------------ #
     # rule 1: expansion
     # ------------------------------------------------------------------ #
 
-    def _expand_all(self, expr: Expr) -> list[Expr]:
+    def _expand_all(
+        self, expr: Expr, trace: Optional[RewriteTrace] = None
+    ) -> list[Expr]:
         scans = [
             (path, node)
             for path, node in walk(expr)
@@ -339,7 +397,16 @@ class Planner:
                 rewritten = replace_at(rewritten, path, nav.body)
                 for attr, qualified in nav.mapping:
                     mapping[f"{scan.qualifier}.{attr}"] = qualified
-            results.append(substitute_attrs(rewritten, mapping))
+            expanded = substitute_attrs(rewritten, mapping)
+            results.append(expanded)
+            if trace is not None:
+                # rule-1 expansions are lineage roots (parent=None)
+                trace.record(
+                    "expansion (rule 1)",
+                    "DefaultNavigation",
+                    render_expr(expanded),
+                    expr=expanded,
+                )
         return _dedup(results)
 
     # ------------------------------------------------------------------ #
@@ -364,14 +431,30 @@ class Planner:
         )
 
 
-def _try_map(exprs: Sequence[Expr], fn) -> list[Expr]:
-    """Map ``fn`` over plans, dropping the ones it cannot handle."""
+def _try_map(
+    exprs: Sequence[Expr],
+    fn,
+    trace: Optional[RewriteTrace] = None,
+    phase: str = "",
+    rule: str = "",
+) -> list[Expr]:
+    """Map ``fn`` over plans, dropping the ones it cannot handle.
+
+    With ``trace``, every application that actually changed the plan is
+    recorded as a lineage step (improvement passes rewrite in place, so
+    the output's lineage chains through its input)."""
     results = []
     for expr in exprs:
         try:
-            results.append(fn(expr))
+            out = fn(expr)
         except (AlgebraError, SchemaError, PredicateError):
             continue
+        results.append(out)
+        if trace is not None:
+            old_key = render_expr(expr)
+            new_key = render_expr(out)
+            if new_key != old_key:
+                trace.record(phase, rule, new_key, parent=old_key, expr=out)
     return results
 
 

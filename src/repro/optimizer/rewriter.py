@@ -9,13 +9,14 @@ deduplicated by their canonical rendering.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.adm.scheme import WebScheme
 from repro.algebra.ast import Expr
 from repro.algebra.printer import render_expr
 from repro.algebra.visitors import replace_at, walk
 from repro.errors import OptimizerError
+from repro.obs.rewrite import RewriteTrace
 from repro.optimizer.rules import RewriteRule
 
 __all__ = ["closure"]
@@ -29,8 +30,16 @@ def closure(
     rules: Sequence[RewriteRule],
     scheme: WebScheme,
     max_plans: int = MAX_PLANS,
+    trace: Optional[RewriteTrace] = None,
+    phase: str = "",
 ) -> list[Expr]:
-    """All plans reachable from ``exprs`` by applying ``rules`` anywhere."""
+    """All plans reachable from ``exprs`` by applying ``rules`` anywhere.
+
+    ``trace`` (optional) records every *kept* rule application — the ones
+    whose output survives dedup — as a :class:`~repro.obs.rewrite.
+    RewriteStep` under ``phase``, keyed by the same canonical rendering
+    used for deduplication, so lineage chains match the plans returned.
+    """
     seen: dict[str, Expr] = {}
     queue: deque[Expr] = deque()
     for expr in exprs:
@@ -40,6 +49,7 @@ def closure(
             queue.append(expr)
     while queue:
         current = queue.popleft()
+        current_key = render_expr(current) if trace is not None else ""
         for path, node in walk(current):
             for rule in rules:
                 for replacement in rule.rewrite_node(node, scheme):
@@ -55,4 +65,13 @@ def closure(
                         )
                     seen[key] = rewritten
                     queue.append(rewritten)
+                    if trace is not None:
+                        trace.record(
+                            phase,
+                            type(rule).__name__,
+                            key,
+                            parent=current_key,
+                            subexpr=render_expr(node, compact=True),
+                            expr=rewritten,
+                        )
     return list(seen.values())

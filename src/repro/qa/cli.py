@@ -25,9 +25,11 @@ from typing import Optional, Sequence
 from repro.qa.oracle import (
     CACHE_MODES,
     FAULT_MODES,
+    TRACE_MODES,
     DifferentialOracle,
     MatrixSpec,
 )
+from repro.qa.report import summary_path
 from repro.sites import SiteEnv, bibliography, fuzzed, movies, university
 from repro.sitegen.bibliography import BibliographyConfig
 from repro.sitegen.university import UniversityConfig
@@ -183,6 +185,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="cap the candidate plans per query (default: the full space)",
     )
     parser.add_argument(
+        "--trace", default="off", choices=TRACE_MODES,
+        help="tracer attached to every measured run (default: off); "
+        "'recording' attaches the span tree to each violation — answers "
+        "and page counts must be identical in all three modes",
+    )
+    parser.add_argument(
         "--cell", action="append", default=[], metavar="CELL_ID",
         help="run only this cell (repeatable); overrides --shard",
     )
@@ -209,6 +217,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         fault_modes=_parse_csv(args.faults, FAULT_MODES, "fault mode"),
         worker_counts=workers,
         max_plans=args.max_plans,
+        trace=args.trace,
     )
     oracle = build_oracle(args.site, seed=args.seed, spec=spec)
 
@@ -243,6 +252,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report.write(out)
     print(report.summary())
     print(f"report: {out}")
+    print(f"summary: {summary_path(out)}")
     return 0 if report.ok else 1
 
 

@@ -49,6 +49,7 @@ from typing import Optional, Sequence, Union
 
 from repro.errors import RetriesExhaustedError
 from repro.nested.relation import Relation
+from repro.obs import NULL_TRACER, RecordingTracer
 from repro.qa.report import CellRecord, ConformanceReport
 from repro.sitegen.mutations import perturb_server
 from repro.sites import SiteEnv
@@ -60,6 +61,7 @@ from repro.web.server import FaultPolicy
 __all__ = [
     "CACHE_MODES",
     "FAULT_MODES",
+    "TRACE_MODES",
     "Cell",
     "DifferentialOracle",
     "MatrixSpec",
@@ -77,6 +79,11 @@ CACHE_MODES = (
 
 #: All fault-schedule dimensions, in canonical order.
 FAULT_MODES = ("none", "transient", "exhausted")
+
+#: Tracer configurations the matrix can run under.  Tracing must never
+#: change an answer or a page count, so the matrix is re-runnable with a
+#: recording tracer attached and compared bit-for-bit against ``off``.
+TRACE_MODES = ("off", "noop", "recording")
 
 
 # --------------------------------------------------------------------- #
@@ -135,6 +142,11 @@ class MatrixSpec:
     #: keep only the N cheapest candidate plans (None: the full space)
     max_plans: Optional[int] = None
     cache_capacity: int = 4096
+    #: tracer attached to every measured run: ``off`` (no tracer at all),
+    #: ``noop`` (the shared null tracer), or ``recording`` (a fresh
+    #: :class:`~repro.obs.RecordingTracer` per cell, whose rendering is
+    #: attached to any violation the cell produces)
+    trace: str = "off"
 
     def __post_init__(self) -> None:
         for mode in self.cache_modes:
@@ -145,6 +157,11 @@ class MatrixSpec:
                 raise ValueError(f"unknown fault mode {mode!r}")
         if any(w < 1 for w in self.worker_counts):
             raise ValueError("worker counts must be >= 1")
+        if self.trace not in TRACE_MODES:
+            raise ValueError(
+                f"unknown trace mode {self.trace!r} "
+                f"(choose from {', '.join(TRACE_MODES)})"
+            )
 
 
 @dataclass(frozen=True)
@@ -339,6 +356,7 @@ class DifferentialOracle:
         expected_failure = self._expect_failure(cell, reference, touched)
 
         # -- the measured run ------------------------------------------- #
+        tracer = self._make_tracer()
         server.fault_policy = fault
         before = env.client.log.snapshot()
         result = None
@@ -349,6 +367,7 @@ class DifferentialOracle:
                 fetch_config=FetchConfig(max_workers=cell.workers),
                 retry_policy=self.spec.retry,
                 cache=cache,
+                tracer=tracer,
             )
         except RetriesExhaustedError as err:
             error = err
@@ -397,11 +416,26 @@ class DifferentialOracle:
 
         record.violations = violations
         record.ok = not violations
+        if isinstance(tracer, RecordingTracer):
+            record.trace_spans = len(tracer.spans())
+            if violations:
+                # every conformance violation ships with its trace: the
+                # cell id reproduces the run, the excerpt explains it
+                record.trace_excerpt = tracer.render(
+                    max_events=4, max_lines=80
+                )
         return record
 
     # ------------------------------------------------------------------ #
     # per-cell machinery
     # ------------------------------------------------------------------ #
+
+    def _make_tracer(self):
+        if self.spec.trace == "noop":
+            return NULL_TRACER
+        if self.spec.trace == "recording":
+            return RecordingTracer()
+        return None
 
     def _make_cache(self, cache_mode: str) -> PageCache:
         if cache_mode == "off":

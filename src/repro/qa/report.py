@@ -13,12 +13,19 @@ found violation as a regression test).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-__all__ = ["CellRecord", "ConformanceReport"]
+__all__ = ["CellRecord", "ConformanceReport", "summary_path"]
+
+
+def summary_path(path: str) -> str:
+    """The compact-summary path written alongside a full report."""
+    base = path[:-5] if path.endswith(".json") else path
+    return f"{base}-summary.json"
 
 
 @dataclass
@@ -48,6 +55,10 @@ class CellRecord:
     simulated_seconds: float = 0.0
     plan_text: str = ""
     violations: list = field(default_factory=list)
+    #: number of spans the cell's tracer recorded (None: untraced run)
+    trace_spans: Optional[int] = None
+    #: rendered span tree, attached when a traced cell found violations
+    trace_excerpt: Optional[str] = None
 
 
 @dataclass
@@ -96,12 +107,48 @@ class ConformanceReport:
             "cells": [asdict(cell) for cell in self.cells],
         }
 
+    def digest(self) -> str:
+        """Stable digest over the executed cells: id, outcome, answer.
+
+        Two runs of the same shard agree iff their digests agree, so
+        summaries are comparable without shipping the multi-megabyte full
+        report."""
+        payload = repr(
+            sorted(
+                (cell.cell_id, cell.ok, cell.relation_digest, cell.rows)
+                for cell in self.cells
+            )
+        ).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    def summary_json(self) -> dict:
+        """The compact machine-readable summary (no per-cell payloads)."""
+        return {
+            "site": self.site,
+            "seed": self.seed,
+            "shard": f"{self.shard_index}/{self.shard_count}",
+            "total_cells": self.total_cells,
+            "cells_run": self.cells_run,
+            "ok": self.ok,
+            "violation_count": len(self.violations),
+            "violations": self.violations[:50],
+            "digest": self.digest(),
+        }
+
     def write(self, path: str) -> str:
+        """Write the full report plus a ``...-summary.json`` beside it.
+
+        Full reports are work products (gitignored — they run to
+        megabytes); the compact summary is small enough to commit as the
+        run's durable record."""
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
         with open(path, "w") as handle:
             json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        with open(summary_path(path), "w") as handle:
+            json.dump(self.summary_json(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         return path
 

@@ -178,6 +178,7 @@ class SiteEnv:
         fetch_config: Optional[FetchConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         cache: Union[PageCache, CachePolicy, str, None] = None,
+        tracer: object = None,
     ) -> ExecutionResult:
         """Execute one plan against the live site.
 
@@ -186,13 +187,16 @@ class SiteEnv:
         faults are retried.  Defaults preserve the client's behaviour
         (serial fetching under the 1998 network model, default retries).
         ``cache`` overrides the environment page cache for this query
-        (see :meth:`_resolve_cache`).
+        (see :meth:`_resolve_cache`).  ``tracer`` (a
+        :class:`~repro.obs.trace.RecordingTracer`) records per-operator
+        spans without changing the result.
         """
         return self.executor.execute(
             plan,
             fetch_config=fetch_config,
             retry_policy=retry_policy,
             cache=self._resolve_cache(cache),
+            tracer=tracer,
         )
 
     def query(
@@ -202,6 +206,7 @@ class SiteEnv:
         fetch_config: Optional[FetchConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         cache: Union[PageCache, CachePolicy, str, None] = None,
+        tracer: object = None,
     ) -> ExecutionResult:
         """Optimize and execute: the paper's end-to-end query path.
 
@@ -214,19 +219,66 @@ class SiteEnv:
             fetch_config=fetch_config,
             retry_policy=retry_policy,
             cache=resolved,
+            tracer=tracer,
         )
 
-    def explain(self, query: ConjunctiveQuery | str) -> str:
-        """Human-readable optimizer report: considered plans, the chosen
-        plan's tree, and its estimated costs (pages / bytes / local work)."""
-        from repro.algebra.printer import render_plan_tree
+    def explain(
+        self,
+        query: ConjunctiveQuery | str,
+        *,
+        analyze: bool = False,
+        fetch_config: Optional[FetchConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        cache: Union[PageCache, CachePolicy, str, None] = None,
+        tracer: object = None,
+    ) -> str:
+        """Human-readable optimizer report: considered plans, *why* the
+        chosen plan won (the rule-by-rule rewrite lineage), its annotated
+        tree, and its estimated costs (pages / bytes / local work).
 
-        planned = self.plan(query)
+        ``analyze=True`` additionally *executes* the chosen plan under a
+        recording tracer (EXPLAIN ANALYZE): every operator row gains a
+        measured column — own pages downloaded (summing exactly to the
+        run's total), tuples produced, simulated seconds — and the report
+        ends with the run's measured :class:`~repro.web.client.
+        CostSummary`.  Pass ``tracer`` (a :class:`~repro.obs.trace.
+        RecordingTracer`) to keep the recorded spans for export.
+        """
+        from repro.obs.explain import render_annotated_tree
+        from repro.obs.trace import RecordingTracer, spans_by_node
+
+        if isinstance(query, str):
+            query = self.sql(query)
+        resolved = self._resolve_cache(cache)
+        planned = self.planner.plan_query(
+            query, cache_estimate=self.cache_estimate(resolved), trace=True
+        )
         best = planned.best
         lines = [planned.describe(self.scheme)]
         lines.append("")
+        lines.append("why this plan:")
+        lines.append(planned.why())
+        lines.append("")
+        spans = None
+        result = None
+        if analyze:
+            recorder = (
+                tracer if isinstance(tracer, RecordingTracer) else RecordingTracer()
+            )
+            result = self.executor.execute(
+                best.expr,
+                fetch_config=fetch_config,
+                retry_policy=retry_policy,
+                cache=resolved,
+                tracer=recorder,
+            )
+            spans = spans_by_node(recorder)
         lines.append("chosen plan:")
-        lines.append(render_plan_tree(best.expr, self.scheme))
+        lines.append(
+            render_annotated_tree(
+                best.expr, self.cost_model, scheme=self.scheme, spans=spans
+            )
+        )
         lines.append("")
         lines.append(
             f"estimated: {best.cost:.1f} pages, "
@@ -234,6 +286,16 @@ class SiteEnv:
             f"{self.cost_model.local_work(best.expr):.0f} local tuple ops, "
             f"{best.cardinality:.1f} result rows"
         )
+        if result is not None:
+            cost = result.cost
+            lines.append(
+                f"measured:  {cost.pages:.0f} pages, "
+                f"{cost.bytes:.0f} bytes, "
+                f"{cost.light_connections:.0f} light connections, "
+                f"{cost.pages_saved:.0f} pages saved, "
+                f"{cost.simulated_seconds:.2f}s simulated, "
+                f"{len(result.relation)} result rows"
+            )
         return "\n".join(lines)
 
     def refresh_statistics(self) -> None:

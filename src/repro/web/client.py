@@ -46,6 +46,8 @@ from repro.errors import (
     RetriesExhaustedError,
     TransientFetchError,
 )
+from repro.obs.metrics import METRICS
+from repro.obs.trace import NULL_TRACER
 from repro.web.cache import (
     CachePolicy,
     Freshness,
@@ -391,6 +393,11 @@ class WebClient:
         self.cache = cache
         self.log = AccessLog()
         self._single_flight = SingleFlight()
+        #: Observability hook (:mod:`repro.obs.trace`): the executor swaps
+        #: in a RecordingTracer for traced runs.  Instrumentation guards on
+        #: ``tracer.enabled`` and never mutates the log, the cache, or the
+        #: server — tracing on/off cannot change what a query observes.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------ #
     # single-URL API
@@ -432,6 +439,11 @@ class WebClient:
         :func:`~repro.web.cache.check_freshness`), so the two code paths
         can never double-account a HEAD."""
         self._record_light_connection()
+        METRICS.counter(
+            "repro_light_connections_total", "HEAD requests issued"
+        ).inc()
+        if self.tracer.enabled:
+            self.tracer.event("head", url=url)
         if not self.server.exists(url):
             return HeadResponse(url=url, ok=False, last_modified=0)
         resource = self.server.resource(url)
@@ -479,44 +491,77 @@ class WebClient:
                 distinct.append(url)
         if not distinct:
             return {}
-        result: dict[str, Optional[WebResource]] = {}
-        to_fetch: list[str] = []
-        for url in distinct:
-            served = self._serve_from_cache(url, cache)
-            if served is _MISS:
-                to_fetch.append(url)
+        with self.tracer.span(
+            "fetch_batch", kind="fetch", urls=len(distinct)
+        ) as span:
+            result: dict[str, Optional[WebResource]] = {}
+            to_fetch: list[str] = []
+            for url in distinct:
+                served = self._serve_from_cache(url, cache)
+                if served is _MISS:
+                    to_fetch.append(url)
+                else:
+                    assert isinstance(served, WebResource)
+                    result[url] = served
+            if not to_fetch:
+                span.set(from_cache=len(result), fetched=0)
+                return result
+            workers = max(
+                1, min(config.effective_workers(self.network), len(to_fetch))
+            )
+            batch_t0 = self.log.simulated_seconds
+            if workers == 1:
+                offset = 0.0
+                outcomes = [self._fetch_shared(u, retry) for u in to_fetch]
+                for outcome in outcomes:
+                    self._account(
+                        outcome,
+                        concurrency=1,
+                        cache=cache,
+                        lane=0,
+                        lane_start=batch_t0 + offset,
+                        lane_end=batch_t0 + offset + outcome.seconds,
+                    )
+                    offset += outcome.seconds
             else:
-                assert isinstance(served, WebResource)
-                result[url] = served
-        if not to_fetch:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(
+                        pool.map(lambda u: self._fetch_shared(u, retry), to_fetch)
+                    )
+                timeline = Timeline(workers)
+                for outcome in outcomes:
+                    end = timeline.add(outcome.seconds)
+                    lane, start, _ = timeline.intervals[-1]
+                    self._account(
+                        outcome,
+                        concurrency=workers,
+                        charge_time=False,
+                        cache=cache,
+                        lane=lane,
+                        lane_start=batch_t0 + start,
+                        lane_end=batch_t0 + end,
+                    )
+                self.log.simulated_seconds += timeline.makespan
+            METRICS.counter(
+                "repro_fetch_batches_total", "fetch batches by pool size"
+            ).inc(workers=workers)
+            span.set(
+                from_cache=len(result),
+                fetched=len(to_fetch),
+                workers=workers,
+                t0=batch_t0,
+                batch_seconds=self.log.simulated_seconds - batch_t0,
+            )
+            exhausted: Optional[Exception] = None
+            for outcome in outcomes:
+                result[outcome.url] = outcome.resource
+                if exhausted is None and isinstance(
+                    outcome.error, RetriesExhaustedError
+                ):
+                    exhausted = outcome.error
+            if exhausted is not None:
+                raise exhausted
             return result
-        workers = max(1, min(config.effective_workers(self.network), len(to_fetch)))
-        if workers == 1:
-            outcomes = [self._fetch_shared(u, retry) for u in to_fetch]
-            for outcome in outcomes:
-                self._account(outcome, concurrency=1, cache=cache)
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(
-                    pool.map(lambda u: self._fetch_shared(u, retry), to_fetch)
-                )
-            timeline = Timeline(workers)
-            for outcome in outcomes:
-                self._account(
-                    outcome, concurrency=workers, charge_time=False, cache=cache
-                )
-                timeline.add(outcome.seconds)
-            self.log.simulated_seconds += timeline.makespan
-        exhausted: Optional[Exception] = None
-        for outcome in outcomes:
-            result[outcome.url] = outcome.resource
-            if exhausted is None and isinstance(
-                outcome.error, RetriesExhaustedError
-            ):
-                exhausted = outcome.error
-        if exhausted is not None:
-            raise exhausted
-        return result
 
     # ------------------------------------------------------------------ #
     # internals
@@ -541,12 +586,14 @@ class WebClient:
         entry = cache.lookup(url)
         if entry is None:
             cache.note_miss()
+            self._observe_cache("miss", url, cache)
             return _MISS
         if cache.policy is CachePolicy.PER_QUERY or cache.is_validated(url):
             # trusted for this query: zero connections, zero pages
             cache.note_hit()
             self.log.cache_hits += 1
             self.log.pages_saved += 1
+            self._observe_cache("hit", url, cache, entry.page_scheme)
             return entry.as_resource()
         # cross-query entry on first touch this query: one light connection
         # (counted through head(), the shared §8 code path)
@@ -556,10 +603,23 @@ class WebClient:
             cache.note_revalidation()
             self.log.revalidations += 1
             self.log.pages_saved += 1
+            self._observe_cache("revalidation", url, cache, entry.page_scheme)
             return entry.as_resource()
         cache.invalidate(url)  # stale or vanished: re-fetch (or fail) live
         cache.note_miss()
+        self._observe_cache("stale", url, cache, entry.page_scheme)
         return _MISS
+
+    def _observe_cache(
+        self, event: str, url: str, cache: PageCache, scheme: str = ""
+    ) -> None:
+        """Record one cache outcome (metrics + trace event; observational)."""
+        METRICS.counter(
+            "repro_cache_events_total",
+            "page-cache lookup outcomes by event, policy, and page scheme",
+        ).inc(event=event, policy=cache.policy.value, scheme=scheme)
+        if self.tracer.enabled:
+            self.tracer.event(f"cache_{event}", url=url, scheme=scheme)
 
     def _fetch_shared(self, url: str, retry: RetryPolicy) -> _FetchOutcome:
         """Fetch through the single-flight group: if another thread is
@@ -614,13 +674,22 @@ class WebClient:
         concurrency: int,
         charge_time: bool = True,
         cache: Optional[PageCache] = None,
+        lane: Optional[int] = None,
+        lane_start: Optional[float] = None,
+        lane_end: Optional[float] = None,
     ) -> None:
         log = self.log
+        if lane_start is None:
+            # single-URL path: the fetch occupies one lane starting now
+            lane = 0
+            lane_start = log.simulated_seconds
+            lane_end = lane_start + outcome.seconds
         if outcome.shared:
             # single-flight follower: the leader paid for the download
             if outcome.resource is not None:
                 log.cache_hits += 1
                 log.pages_saved += 1
+            self._observe_fetch(outcome, concurrency, lane, lane_start, lane_end)
             return
         log.attempts += outcome.attempts
         log.failed_requests += outcome.transient_failures
@@ -651,6 +720,73 @@ class WebClient:
                 error=error,
             )
         )
+        self._observe_fetch(
+            outcome, concurrency, lane, lane_start, lane_end, error
+        )
+
+    def _observe_fetch(
+        self,
+        outcome: _FetchOutcome,
+        concurrency: int,
+        lane: Optional[int],
+        lane_start: Optional[float],
+        lane_end: Optional[float],
+        error: str = "",
+    ) -> None:
+        """Record one fetch outcome (metrics + trace event; observational).
+
+        ``lane``/``lane_start``/``lane_end`` place the fetch on the
+        simulated k-lane schedule (absolute simulated seconds) so the
+        Chrome-trace exporter can reconstruct the batch timeline."""
+        scheme = (
+            outcome.resource.page_scheme if outcome.resource is not None else ""
+        )
+        if outcome.shared:
+            status = "shared"
+        elif error:
+            status = error
+        else:
+            status = "ok"
+        METRICS.counter(
+            "repro_fetch_total", "page fetches by outcome and page scheme"
+        ).inc(scheme=scheme, outcome=status)
+        if outcome.shared:
+            METRICS.counter(
+                "repro_single_flight_dedup_total",
+                "downloads shared with another in-flight fetch",
+            ).inc(scheme=scheme)
+        else:
+            if outcome.resource is not None:
+                METRICS.counter(
+                    "repro_fetch_bytes_total", "page bytes downloaded"
+                ).inc(len(outcome.resource.html), scheme=scheme)
+            if outcome.transient_failures:
+                METRICS.counter(
+                    "repro_fetch_transient_faults_total",
+                    "injected transient faults absorbed by retries",
+                ).inc(outcome.transient_failures, scheme=scheme)
+            if outcome.attempts > 1:
+                METRICS.counter(
+                    "repro_fetch_retries_total", "retry attempts beyond the first"
+                ).inc(outcome.attempts - 1, scheme=scheme)
+            METRICS.histogram(
+                "repro_fetch_seconds", "simulated seconds per fetch"
+            ).observe(outcome.seconds, scheme=scheme)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fetch",
+                url=outcome.url,
+                scheme=scheme,
+                outcome=status,
+                seconds=outcome.seconds,
+                attempts=outcome.attempts,
+                transient_failures=outcome.transient_failures,
+                shared=outcome.shared,
+                concurrency=concurrency,
+                lane=lane,
+                start=lane_start,
+                end=lane_end,
+            )
 
     def __repr__(self) -> str:
         return f"WebClient({self.log!r})"

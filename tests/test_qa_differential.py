@@ -185,3 +185,56 @@ class TestSuites:
             runs.append((relation_digest(result.relation),
                          sorted(delta.downloaded_urls)))
         assert runs[0] == runs[1]
+
+
+class TestReportArtifacts:
+    def _small_report(self, trace="off"):
+        spec = MatrixSpec(
+            cache_modes=("off",),
+            fault_modes=("none",),
+            worker_counts=(1,),
+            max_plans=2,
+            trace=trace,
+        )
+        return build_oracle("movies", seed=7, spec=spec).run()
+
+    def test_write_emits_compact_summary(self, tmp_path):
+        from repro.qa.report import ConformanceReport, summary_path
+
+        report = self._small_report()
+        out = str(tmp_path / "QA-test.json")
+        report.write(out)
+        summary = summary_path(out)
+        assert summary.endswith("QA-test-summary.json")
+        import json
+        import os
+
+        document = json.loads(open(summary).read())
+        assert document["cells_run"] == report.cells_run
+        assert document["ok"] is True
+        assert document["violation_count"] == 0
+        assert document["digest"] == report.digest()
+        # the summary stays tiny next to the full report
+        assert os.path.getsize(summary) < os.path.getsize(out)
+        # and the full report still round-trips, new fields included
+        loaded = ConformanceReport.load(out)
+        assert loaded.digest() == report.digest()
+
+    def test_digest_stable_across_identical_runs(self):
+        assert self._small_report().digest() == self._small_report().digest()
+
+    def test_trace_dimension_validated(self):
+        with pytest.raises(ValueError):
+            MatrixSpec(trace="bogus")
+
+    def test_traced_cells_round_trip(self, tmp_path):
+        from repro.qa.report import ConformanceReport
+
+        report = self._small_report(trace="recording")
+        assert all(c.trace_spans for c in report.cells)
+        out = str(tmp_path / "QA-traced.json")
+        report.write(out)
+        loaded = ConformanceReport.load(out)
+        assert [c.trace_spans for c in loaded.cells] == [
+            c.trace_spans for c in report.cells
+        ]
