@@ -9,7 +9,11 @@ fetch engine is built around:
 * ``page_downloads`` — the paper's cost measure — is *identical* at every
   pool size (the per-query session dedups, the batch only overlaps);
 * simulated wall time shrinks monotonically as connections are added;
-* a pool of one reproduces the serial 1998 model bit-for-bit.
+* a pool of one reproduces the serial 1998 model bit-for-bit;
+* pipelined execution (chunked operators + non-speculative link prefetch,
+  see ``docs/PIPELINE.md``) never exceeds the staged makespan and is
+  strictly faster on this pointer-chase plan at k ∈ {2, 4, 8} — with the
+  same pages, attempts, and answers.
 
 Run as a script for the table alone:  ``python bench_concurrency.py
 [--quick]`` (with ``src/`` on PYTHONPATH), or through pytest for the
@@ -44,7 +48,15 @@ QUICK_CONFIG = UniversityConfig()
 POOL_SIZES = [1, 2, 4, 8, 16]
 QUICK_POOL_SIZES = [1, 2, 4]
 
-COLUMNS = ["pool", "pages", "attempts", "sim seconds", "speedup", "rows"]
+#: Slack for makespan inequalities: staged and pipelined accumulate the
+#: same durations in different addition orders, so mathematically equal
+#: makespans may differ by an ulp or two in float.
+SECONDS_EPS = 1e-9
+
+COLUMNS = [
+    "pool", "pages", "attempts", "staged seconds", "pipelined seconds",
+    "speedup", "rows",
+]
 
 
 def serial_reference_seconds(env, result) -> float:
@@ -63,9 +75,17 @@ def run_sweep(config, pool_sizes):
     raw = []
     baseline = None
     for pool in pool_sizes:
+        # one fresh (deterministic) site per mode: a query's log is a delta
+        # of the client's cumulative counters, so sharing an env would add
+        # float-subtraction noise to the seconds comparison
         env = university(config)
-        result = env.query(SQL, fetch_config=FetchConfig(max_workers=pool))
+        fetch = FetchConfig(max_workers=pool)
+        result = env.query(SQL, fetch_config=fetch, execution="staged")
+        pipelined = university(config).query(
+            SQL, fetch_config=fetch, execution="pipelined"
+        )
         seconds = result.log.simulated_seconds
+        pipe_seconds = pipelined.log.simulated_seconds
         if baseline is None:
             baseline = seconds
         rows.append(
@@ -73,12 +93,13 @@ def run_sweep(config, pool_sizes):
                 "pool": pool,
                 "pages": result.pages,
                 "attempts": result.log.attempts,
-                "sim seconds": f"{seconds:.2f}",
-                "speedup": f"{baseline / seconds:.2f}x",
+                "staged seconds": f"{seconds:.2f}",
+                "pipelined seconds": f"{pipe_seconds:.2f}",
+                "speedup": f"{baseline / pipe_seconds:.2f}x",
                 "rows": len(result.relation),
             }
         )
-        raw.append((pool, result, env))
+        raw.append((pool, result, pipelined, env))
     return rows, raw
 
 
@@ -99,31 +120,31 @@ def sweep():
 class TestShape:
     def test_page_downloads_identical_at_every_pool_size(self, sweep):
         """Parallelism must never change the paper's cost measure."""
-        pages = {result.pages for _, result, _ in sweep}
+        pages = {result.pages for _, result, _, _ in sweep}
         assert len(pages) == 1
 
     def test_answers_identical_at_every_pool_size(self, sweep):
         first = sweep[0][1].relation
-        for _, result, _ in sweep[1:]:
+        for _, result, _, _ in sweep[1:]:
             assert result.relation.same_contents(first)
 
     def test_wall_time_monotonically_decreasing_1_to_8(self, sweep):
         seconds = [
             result.log.simulated_seconds
-            for pool, result, _ in sweep
+            for pool, result, _, _ in sweep
             if pool <= 8
         ]
         assert all(a > b for a, b in zip(seconds, seconds[1:]))
 
     def test_pool_of_one_matches_serial_model_bit_for_bit(self, sweep):
-        pool, result, env = sweep[0]
+        pool, result, _, env = sweep[0]
         assert pool == 1
         assert result.log.simulated_seconds == serial_reference_seconds(
             env, result
         )
 
     def test_records_carry_concurrency_level(self, sweep):
-        for pool, result, _ in sweep:
+        for pool, result, _, _ in sweep:
             batched = [r for r in result.log.records if r.concurrency > 1]
             if pool == 1:
                 assert not batched
@@ -131,6 +152,43 @@ class TestShape:
                 assert batched and all(
                     r.concurrency <= pool for r in result.log.records
                 )
+
+    def test_pipelined_same_pages_attempts_and_answers(self, sweep):
+        """Non-speculation: pipelining changes no access, only timing.
+
+        URLs compare as sets: pipelining interleaves batch *submission*
+        across stages (that is the overlap), so download order may differ
+        while the downloaded set never can."""
+        for _, result, pipelined, _ in sweep:
+            assert pipelined.pages == result.pages
+            assert pipelined.log.attempts == result.log.attempts
+            assert sorted(pipelined.log.downloaded_urls) == sorted(
+                result.log.downloaded_urls
+            )
+            assert pipelined.relation.same_contents(result.relation)
+
+    def test_pipelined_never_slower_than_staged(self, sweep):
+        for _, result, pipelined, _ in sweep:
+            assert (
+                pipelined.log.simulated_seconds
+                <= result.log.simulated_seconds + SECONDS_EPS
+            )
+
+    def test_pipelined_strictly_faster_on_chase_at_2_4_8(self, sweep):
+        """Ex 7.2 is a pointer chase: real overlap must show at k>1."""
+        for pool, result, pipelined, _ in sweep:
+            if pool in (2, 4, 8):
+                assert (
+                    pipelined.log.simulated_seconds
+                    < result.log.simulated_seconds
+                )
+
+    def test_pipelined_pool_of_one_is_bit_for_bit_staged(self, sweep):
+        pool, result, pipelined, _ = sweep[0]
+        assert pool == 1
+        assert (
+            pipelined.log.simulated_seconds == result.log.simulated_seconds
+        )
 
 
 def test_bench_batched_execution(benchmark):
@@ -160,16 +218,24 @@ def main(argv=None) -> int:
         data=rows,
         queries={"ex72": SQL},
     )
-    pages = {result.pages for _, result, _ in raw}
+    pages = {result.pages for _, result, _, _ in raw}
     assert len(pages) == 1, "page counts drifted across pool sizes"
-    seconds = [result.log.simulated_seconds for _, result, _ in raw]
+    seconds = [result.log.simulated_seconds for _, result, _, _ in raw]
     assert all(a > b for a, b in zip(seconds, seconds[1:])), (
         "wall time did not decrease with pool size"
     )
-    pool, result, env = raw[0]
+    pool, result, _, env = raw[0]
     assert result.log.simulated_seconds == serial_reference_seconds(
         env, result
     ), "pool size 1 no longer matches the serial model"
+    for _, result, pipelined, _ in raw:
+        assert pipelined.pages == result.pages, (
+            "pipelining changed the page count"
+        )
+        assert (
+            pipelined.log.simulated_seconds
+            <= result.log.simulated_seconds + SECONDS_EPS
+        ), "pipelined execution was slower than staged"
     print("smoke checks passed")
     return 0
 

@@ -12,6 +12,12 @@ strategies as the number of departments grows (with professors and courses
 fixed).  More departments make the chase cheaper (fewer professors per
 department) while the join's cost stays flat — the paper's plan 1 can only
 win when departments barely narrow anything.
+
+Each row also *executes* the winning plan both ways at ``k = 4`` parallel
+connections: staged (operator barriers) and pipelined (chunked operators
+with non-speculative link prefetch, ``docs/PIPELINE.md``).  Pipelining
+never fetches a page the staged plan would not, so the page column is
+identical by construction and only the makespan may drop.
 """
 
 import pytest
@@ -19,6 +25,7 @@ import pytest
 from repro.sitegen import UniversityConfig
 from repro.sites import university
 from repro.views.sql import parse_query
+from repro.web.client import FetchConfig
 
 from _bench_utils import record, table
 
@@ -29,6 +36,19 @@ SQL = (
     "AND Professor.PName = ProfDept.PName "
     "AND ProfDept.DName = 'Computer Science' AND Type = 'Graduate'"
 )
+
+#: Pool size for the measured staged-vs-pipelined columns.
+MEASURED_POOL = 4
+
+#: Slack for makespan inequalities: staged and pipelined accumulate the
+#: same durations in different addition orders, so mathematically equal
+#: makespans may differ by an ulp or two in float.
+SECONDS_EPS = 1e-9
+
+COLUMNS = [
+    "departments", "C(chase)", "C(join)", "winner", "optimizer picks",
+    "pages", "staged s", "pipelined s",
+]
 
 
 def find_plan(result, include, exclude=()):
@@ -41,20 +61,32 @@ def find_plan(result, include, exclude=()):
     return None
 
 
+def measure(config, plan, execution):
+    """Execute ``plan`` on a fresh site (a query's log is a delta of the
+    client's cumulative counters; fresh envs keep the float comparison
+    exact) and return the ExecutionResult."""
+    return university(config).execute(
+        plan.expr,
+        fetch_config=FetchConfig(max_workers=MEASURED_POOL),
+        execution=execution,
+    )
+
+
 @pytest.fixture(scope="module")
 def sweep():
     rows = []
     raw = []
     for n_depts in (1, 2, 3, 5, 10):
-        env = university(
-            UniversityConfig(n_depts=n_depts, n_profs=20, n_courses=50)
-        )
+        config = UniversityConfig(n_depts=n_depts, n_profs=20, n_courses=50)
+        env = university(config)
         planned = env.plan(parse_query(SQL, env.view))
         chase = find_plan(
             planned, ["DeptListPage"], exclude=["⋈", "SessionListPage"]
         )
         join = find_plan(planned, ["SessionListPage", "⋈"])
         winner = "chase" if chase.cost <= join.cost else "join"
+        staged = measure(config, planned.best, "staged")
+        pipelined = measure(config, planned.best, "pipelined")
         rows.append(
             {
                 "departments": n_depts,
@@ -67,15 +99,18 @@ def sweep():
                     else ("join" if planned.best.cost == join.cost
                           else "other")
                 ),
+                "pages": staged.pages,
+                "staged s": f"{staged.log.simulated_seconds:.2f}",
+                "pipelined s": f"{pipelined.log.simulated_seconds:.2f}",
             }
         )
-        raw.append((n_depts, chase, join, planned))
+        raw.append((n_depts, chase, join, planned, staged, pipelined, env))
     record(
         "X-OVER",
         "Example 7.2 strategies vs department count "
-        "(20 professors, 50 courses)",
-        table(rows, ["departments", "C(chase)", "C(join)", "winner",
-                     "optimizer picks"]),
+        "(20 professors, 50 courses); winning plan measured staged vs "
+        f"pipelined at k={MEASURED_POOL}",
+        table(rows, COLUMNS),
         data=rows,
         queries={"ex72": SQL},
     )
@@ -84,21 +119,55 @@ def sweep():
 
 class TestShape:
     def test_chase_improves_with_selectivity(self, sweep):
-        chase_costs = [chase.cost for _, chase, _, _ in sweep]
+        chase_costs = [chase.cost for _, chase, *_ in sweep]
         assert chase_costs[0] > chase_costs[-1]
 
     def test_join_cost_roughly_flat(self, sweep):
-        join_costs = [join.cost for _, _, join, _ in sweep]
+        join_costs = [join.cost for _, _, join, *_ in sweep]
         assert max(join_costs) - min(join_costs) < 0.2 * max(join_costs)
 
     def test_chase_wins_at_paper_cardinalities(self, sweep):
-        for n_depts, chase, join, _ in sweep:
+        for n_depts, chase, join, *_ in sweep:
             if n_depts == 3:
                 assert chase.cost < join.cost
 
     def test_optimizer_always_picks_winner(self, sweep):
-        for _, chase, join, planned in sweep:
+        for _, chase, join, planned, *_ in sweep:
             assert planned.best.cost <= min(chase.cost, join.cost)
+
+    def test_pipelined_fetches_exactly_the_staged_pages(self, sweep):
+        """Non-speculation: same pages, same URLs, same answers, every row.
+
+        URLs compare as sets: pipelining interleaves batch *submission*
+        across stages (that is the overlap), so download order may differ
+        while the downloaded set never can."""
+        for _, _, _, _, staged, pipelined, _ in sweep:
+            assert pipelined.pages == staged.pages
+            assert sorted(pipelined.log.downloaded_urls) == sorted(
+                staged.log.downloaded_urls
+            )
+            assert pipelined.relation.same_contents(staged.relation)
+
+    def test_pipelined_never_slower_than_staged(self, sweep):
+        for _, _, _, _, staged, pipelined, _ in sweep:
+            assert (
+                pipelined.log.simulated_seconds
+                <= staged.log.simulated_seconds + SECONDS_EPS
+            )
+
+    def test_estimated_makespan_pipelined_never_above_staged(self, sweep):
+        """The cost model's pipelined estimate obeys the same ordering the
+        measured runs do, at every pool size the benchmarks sweep."""
+        for _, chase, join, _, _, _, env in sweep:
+            for plan in (chase, join):
+                for k in (1, 2, 4, 8):
+                    staged_est = env.cost_model.estimated_makespan(
+                        plan.expr, workers=k, execution="staged"
+                    )
+                    pipe_est = env.cost_model.estimated_makespan(
+                        plan.expr, workers=k, execution="pipelined"
+                    )
+                    assert pipe_est <= staged_est
 
 
 def test_bench_planning_across_shapes(benchmark):

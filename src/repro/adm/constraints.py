@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.adm.page_scheme import AttrPath, PageScheme, URL_ATTR
+from repro.adm.page_scheme import AttrPath, PageScheme
 from repro.adm.webtypes import LinkType
 from repro.errors import ConstraintError
 

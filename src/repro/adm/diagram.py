@@ -63,8 +63,9 @@ def scheme_to_dot(scheme: WebScheme) -> str:
         out.append(
             f'  "{constraint.subset.scheme}" -> '
             f'"{constraint.superset.scheme}" '
-            f'[style=dashed, color=gray, '
-            f'label="{_escape(f"{constraint.subset.path} ⊆ {constraint.superset.path}")}"];'
+            f'[style=dashed, color=gray, label="'
+            f'{_escape(str(constraint.subset.path))} ⊆ '
+            f'{_escape(str(constraint.superset.path))}"];'
         )
     out.append("}")
     return "\n".join(out)

@@ -9,7 +9,7 @@ name).  :class:`AttrPath` implements both forms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
 from repro.adm.webtypes import LinkType, ListType, WebType, URL_TYPE
@@ -100,7 +100,8 @@ class PageScheme:
     >>> dept = PageScheme("DeptPage", [
     ...     Attribute("DName", TEXT),
     ...     Attribute("Address", TEXT),
-    ...     Attribute("ProfList", list_of(("PName", TEXT), ("ToProf", link("ProfPage")))),
+    ...     Attribute("ProfList",
+    ...               list_of(("PName", TEXT), ("ToProf", link("ProfPage")))),
     ... ])
     >>> dept.attr_type(AttrPath.parse("ProfList.PName"))
     TextType()
@@ -115,7 +116,8 @@ class PageScheme:
         for attr in attributes:
             if attr.name == URL_ATTR:
                 raise SchemeError(
-                    f"{name}: attribute {URL_ATTR!r} is implicit and must not be declared"
+                    f"{name}: attribute {URL_ATTR!r} is implicit and "
+                    f"must not be declared"
                 )
             if attr.name in seen:
                 raise SchemeError(f"{name}: duplicate attribute {attr.name!r}")

@@ -157,5 +157,6 @@ def link(target: str, optional: bool = False) -> LinkType:
 
 
 def list_of(*fields: Tuple[str, WebType]) -> ListType:
-    """Convenience constructor: ``list_of(("PName", TEXT), ("ToProf", link("ProfPage")))``."""
+    """Convenience constructor, e.g.
+    ``list_of(("PName", TEXT), ("ToProf", link("ProfPage")))``."""
     return ListType(fields=tuple(fields))

@@ -24,7 +24,7 @@ from typing import Optional, Tuple
 
 from repro.adm.page_scheme import AttrPath, URL_ATTR
 from repro.adm.scheme import WebScheme
-from repro.adm.webtypes import LinkType, ListType, URL_TYPE, WebType, TEXT
+from repro.adm.webtypes import LinkType, ListType, URL_TYPE, TEXT
 from repro.algebra.predicates import Predicate
 from repro.errors import AlgebraError
 from repro.nested.schema import Field, Provenance, RelationSchema

@@ -63,7 +63,9 @@ def render_expr(expr: Expr, compact: bool = False, scheme=None) -> str:
             )
             return f"π_{{{cols}}}({go(node.child)})"
         if isinstance(node, Join):
-            cond = ",".join(f"{name(l)}={name(r)}" for l, r in node.on)
+            cond = ",".join(
+                f"{name(lhs)}={name(rhs)}" for lhs, rhs in node.on
+            )
             return f"({go(node.left)} ⋈_{{{cond}}} {go(node.right)})"
         if isinstance(node, Unnest):
             return f"{go(node.child)} ∘ {name(node.attr)}"
@@ -99,7 +101,7 @@ def render_plan_tree(expr: Expr, scheme=None) -> str:
             )
             return f"π {cols}"
         if isinstance(node, Join):
-            cond = ", ".join(f"{l}={r}" for l, r in node.on)
+            cond = ", ".join(f"{lhs}={rhs}" for lhs, rhs in node.on)
             return f"⋈ {cond}"
         if isinstance(node, Unnest):
             return f"∘ {node.attr}"

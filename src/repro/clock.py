@@ -19,7 +19,10 @@ duration sequence — no wall-clock, no thread-timing nondeterminism.
 
 from __future__ import annotations
 
-__all__ = ["SimClock", "Timeline", "NEVER"]
+import bisect
+from dataclasses import dataclass
+
+__all__ = ["SimClock", "Timeline", "BatchSchedule", "NEVER"]
 
 #: Timestamp value meaning "no date recorded"; earlier than any real tick.
 NEVER = 0
@@ -65,11 +68,12 @@ class SimClock:
 class Timeline:
     """Greedy scheduler of simulated durations over ``lanes`` parallel lanes.
 
-    Each :meth:`add` assigns one task to the lane that becomes free
-    earliest (ties broken by lane index) and returns that task's completion
-    time; :attr:`makespan` is the simulated wall time for everything added
-    so far.  With one lane the makespan is the plain running sum, in
-    exactly the order the durations were added — the serial model.
+    Each :meth:`add` places one task at the earliest feasible instant on
+    any lane (ties broken by lane index) and returns that task's
+    completion time; :attr:`makespan` is the simulated wall time for
+    everything added so far.  With one lane and ``ready=0`` the makespan
+    is the plain running sum, in exactly the order the durations were
+    added — the serial model.
 
     >>> tl = Timeline(lanes=2)
     >>> tl.add(1.0), tl.add(1.0), tl.add(1.0)
@@ -82,6 +86,11 @@ class Timeline:
         if lanes < 1:
             raise ValueError("a timeline needs at least one lane")
         self._lanes = [0.0] * lanes
+        #: per-lane busy intervals, kept sorted by start time — the gap
+        #: structure :meth:`add` backfills
+        self._busy: list[list[tuple[float, float]]] = [
+            [] for _ in range(lanes)
+        ]
         #: per-task ``(lane, start, end)`` intervals in submission order —
         #: the schedule itself, consumed by the Chrome-trace exporter
         #: (:mod:`repro.obs.export`) and by span instrumentation
@@ -91,15 +100,60 @@ class Timeline:
     def lanes(self) -> int:
         return len(self._lanes)
 
-    def add(self, duration: float) -> float:
-        """Schedule one task; returns its completion time."""
+    def _feasible_start(self, lane: int, ready: float, duration: float) -> float:
+        """Earliest instant >= ``ready`` at which ``duration`` fits on
+        ``lane`` — inside an idle gap between already-placed tasks, or
+        after the last one."""
+        candidate = ready
+        for start, end in self._busy[lane]:
+            if candidate + duration <= start:
+                return candidate
+            candidate = max(candidate, end)
+        return candidate
+
+    def add(self, duration: float, ready: float = 0.0) -> float:
+        """Schedule one task; returns its completion time.
+
+        ``ready`` is the earliest simulated instant the task may start
+        (its inputs exist from then on): the task is placed at the
+        earliest feasible instant ``>= ready`` on whichever lane allows
+        it — including inside an idle *gap* a previously placed
+        later-ready task left behind, exactly as a real connection pool
+        starts a ready request on any idle connection regardless of the
+        order requests were queued.  Without the backfill, submission
+        order would leak into the schedule and a pipelined plan could
+        (pathologically) exceed its staged makespan.  With ``ready=0.0``
+        throughout, tasks pack contiguously, no gaps ever form, and the
+        schedule is the classic greedy earliest-free-lane one — the
+        staged per-batch model.  Pipelined execution uses ``ready`` to
+        model a fetch that must wait for the page carrying its URL to
+        finish downloading.
+        """
         if duration < 0:
             raise ValueError("durations must be non-negative")
-        index = min(range(len(self._lanes)), key=self._lanes.__getitem__)
-        start = self._lanes[index]
-        self._lanes[index] += duration
-        self.intervals.append((index, start, self._lanes[index]))
-        return self._lanes[index]
+        if ready < 0:
+            raise ValueError("ready times must be non-negative")
+        if duration == 0:
+            # zero-cost tasks occupy no lane time; they complete at the
+            # serial running point (earliest lane horizon), never
+            # backfilled — every gap boundary would "fit" them
+            index = min(
+                range(len(self._lanes)),
+                key=lambda i: max(self._lanes[i], ready),
+            )
+            best = max(self._lanes[index], ready)
+        else:
+            index = 0
+            best = self._feasible_start(0, ready, duration)
+            for lane in range(1, len(self._lanes)):
+                start = self._feasible_start(lane, ready, duration)
+                if start < best:
+                    index, best = lane, start
+        end = best + duration
+        bisect.insort(self._busy[index], (best, end))
+        self._lanes[index] = max(self._lanes[index], end)
+        self.intervals.append((index, best, end))
+        return end
 
     @property
     def makespan(self) -> float:
@@ -108,3 +162,33 @@ class Timeline:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timeline(lanes={len(self._lanes)}, makespan={self.makespan})"
+
+
+@dataclass
+class BatchSchedule:
+    """Placement instructions for one fetch batch on a *shared* timeline.
+
+    Staged execution gives every batch its own :class:`Timeline`, so
+    batches are barriers: the simulated clock advances by each batch's
+    makespan in turn.  Pipelined execution instead threads one
+    query-scoped timeline through every batch via this carrier:
+
+    * ``timeline`` — the shared ``k``-lane schedule all batches land on;
+    * ``ready`` — timeline-relative instant the batch's inputs exist (the
+      completion time of the upstream chunk whose tuples produced the
+      URLs); no task of the batch may start earlier — this is what makes
+      prefetch non-speculative in *time* as well as in page set;
+    * ``base`` — absolute simulated seconds at the timeline's origin, so
+      trace events can report absolute lane intervals;
+    * ``completed`` — out-parameter set by the consumer: the completion
+      time (timeline-relative) of the batch, i.e. when the *last* of its
+      fetches lands; downstream chunks use it as their ``ready``.
+
+    The carrier lives here (not in the engine) because the web client
+    consumes it and must not import engine modules.
+    """
+
+    timeline: Timeline
+    ready: float = 0.0
+    base: float = 0.0
+    completed: float = 0.0

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.adm.constraints import AttrRef, InclusionConstraint, LinkConstraint
-from repro.adm.page_scheme import AttrPath, URL_ATTR
+from repro.adm.page_scheme import AttrPath
 from repro.adm.webtypes import LinkType, ListType
 from repro.discovery.snapshot import SiteSnapshot
 from repro.discovery.verify import verify_link_constraint

@@ -9,11 +9,11 @@ that nesting level (what a link constraint may reference).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.adm.links import iter_outlinks
-from repro.adm.page_scheme import AttrPath, URL_ATTR
+from repro.adm.page_scheme import AttrPath
 from repro.adm.scheme import WebScheme
 from repro.errors import ResourceNotFound, SchemeError, WrapperError
 from repro.web.client import WebClient

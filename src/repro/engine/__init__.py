@@ -9,12 +9,22 @@
   Sections 5–7;
 * :mod:`repro.engine.local` — evaluates plans against locally stored
   page-relations through a provider interface; the materialized-view
-  machinery of Section 8 plugs in here.
+  machinery of Section 8 plugs in here;
+* :mod:`repro.engine.pipeline` — chunked, pipelined evaluation with
+  non-speculative link prefetch over one shared timeline: identical pages
+  and answers, lower simulated makespan.
 """
 
 from repro.engine.session import QuerySession
 from repro.engine.remote import ExecutionResult, RemoteExecutor
 from repro.engine.local import LocalExecutor, PageRelationProvider, qualify_row
+from repro.engine.pipeline import (
+    EXECUTION_MODES,
+    PipelineConfig,
+    PipelinedExecutor,
+    PrefetchScheduler,
+    coerce_execution,
+)
 
 __all__ = [
     "QuerySession",
@@ -23,4 +33,9 @@ __all__ = [
     "LocalExecutor",
     "PageRelationProvider",
     "qualify_row",
+    "EXECUTION_MODES",
+    "PipelineConfig",
+    "PipelinedExecutor",
+    "PrefetchScheduler",
+    "coerce_execution",
 ]

@@ -1,0 +1,496 @@
+"""Pipelined plan evaluation with non-speculative link prefetch.
+
+Staged execution (:class:`~repro.engine.local.LocalExecutor` driven by
+:class:`~repro.engine.remote.RemoteExecutor`) treats every operator as a
+barrier: a follow-link stage hands *all* its distinct URLs to
+:meth:`WebClient.get_batch` as one batch, the batch gets a private
+:class:`~repro.clock.Timeline`, and the simulated clock advances by the
+batch's makespan before the next operator runs.  At ``k`` parallel
+connections the lanes therefore drain at every stage boundary, and the
+measured makespan sits far above the ``k``-lane lower bound.
+
+This module removes the barriers without changing a single access:
+
+* operators exchange tuples in bounded **chunks** (:class:`_Chunk`), each
+  carrying the simulated instant its rows became available (``ready``);
+* every follow-link stage enqueues one fetch batch per input chunk into
+  the query's :class:`PrefetchScheduler` the moment that chunk's source
+  tuples are complete, up to a backpressure bound of
+  ``max_inflight_batches`` batches ahead of downstream consumption;
+* all batches land on one *shared* ``k``-lane
+  :class:`~repro.clock.Timeline` (via :class:`~repro.clock.BatchSchedule`),
+  where a fetch may start no earlier than its chunk's ``ready`` instant —
+  so downstream I/O overlaps the *tail* of upstream I/O exactly as a real
+  pipelined client would, and never earlier.
+
+**The non-speculation invariant.**  Only URLs the serial plan provably
+fetches are ever enqueued: a follow stage reads link values off actual
+child tuples (never guesses), chunk concatenation preserves the staged
+row order, and the per-query :class:`~repro.engine.session.QuerySession`
+dedups across batches.  Consequently ``CostSummary.pages``, the
+``AccessLog`` records, cache hits/revalidations, and the result relation
+are bit-for-bit identical to staged execution — only
+``simulated_seconds`` (the makespan) changes, and at any configuration
+with at least two in-flight batches of lookahead (the default has four)
+it only ever drops (see :class:`PipelineConfig` for the one-batch
+caveat).  The QA differential oracle's ``exec`` dimension
+(:mod:`repro.qa.oracle`) enforces this equivalence across every
+cache/fault/worker cell.
+
+With one connection (``k = 1``) there is nothing to overlap, so the
+executor degenerates to exact staged behaviour: a single chunk per
+operator and the client's serial per-batch accounting, giving bit-for-bit
+equality *including* float-exact ``simulated_seconds``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.adm.scheme import WebScheme
+from repro.algebra.ast import (
+    EntryPointScan,
+    Expr,
+    ExternalRelScan,
+    FollowLink,
+    Join,
+    Project,
+    Select,
+    Unnest,
+    page_relation_schema,
+)
+from repro.algebra.computable import check_computable
+from repro.clock import BatchSchedule, Timeline
+from repro.engine.local import qualify_row
+from repro.engine.session import QuerySession
+from repro.errors import (
+    AlgebraError,
+    ExecutionModeError,
+    NotComputableError,
+)
+from repro.nested.relation import Relation, canonical_row
+from repro.obs.trace import NULL_TRACER
+from repro.web.client import AccessLog
+
+__all__ = [
+    "EXECUTION_MODES",
+    "coerce_execution",
+    "PipelineConfig",
+    "PrefetchScheduler",
+    "PipelinedExecutor",
+]
+
+#: Execution modes understood by ``RemoteExecutor.execute`` and
+#: ``SiteEnv.query`` / ``SiteEnv.execute``.
+EXECUTION_MODES = ("staged", "pipelined")
+
+
+def coerce_execution(execution: str) -> str:
+    """Validate an ``execution=`` argument; returns the canonical mode.
+
+    Raises :class:`~repro.errors.ExecutionModeError` (a typed
+    ``ValueError``) for anything not in :data:`EXECUTION_MODES` — an
+    unknown mode must never silently fall back to staged execution.
+    """
+    if isinstance(execution, str):
+        mode = execution.strip().lower()
+        if mode in EXECUTION_MODES:
+            return mode
+    raise ExecutionModeError(
+        f"unknown execution mode {execution!r} "
+        f"(choose from {', '.join(EXECUTION_MODES)})"
+    )
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning knobs for pipelined execution.
+
+    ``chunk_size`` bounds how many tuples one chunk carries between
+    operators (smaller chunks → finer-grained overlap, more batches);
+    ``max_inflight_batches`` is the backpressure bound: a follow stage
+    never holds more than this many submitted-but-unconsumed batches.
+    Neither knob can change an answer or a page count — only the shape of
+    the shared timeline.
+
+    A bound of one disables lookahead entirely: each stage alternates
+    strictly with its consumer, and on chain plans the greedy lane
+    placement can then exceed the staged makespan by a few percent (a
+    committed downstream placement blocks the upstream critical path —
+    the classic list-scheduling anomaly).  From two in-flight batches up,
+    upstream placement leads downstream and the pipelined makespan never
+    exceeded staged anywhere in the QA matrix; the default keeps a
+    comfortable margin.
+    """
+
+    chunk_size: int = 8
+    max_inflight_batches: int = 4
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.max_inflight_batches < 1:
+            raise ValueError(
+                "max_inflight_batches must be >= 1, got "
+                f"{self.max_inflight_batches}"
+            )
+
+
+DEFAULT_PIPELINE_CONFIG = PipelineConfig()
+
+
+class PrefetchScheduler:
+    """Owns the query-scoped shared timeline and the in-flight accounting.
+
+    One scheduler is created per pipelined query.  Follow stages call
+    :meth:`open_batch` to place a fetch batch on the shared ``k``-lane
+    timeline no earlier than its chunk's ``ready`` instant, and report
+    issue/consume transitions so the backpressure bound is observable
+    (``peak_inflight``).  :meth:`finalize` charges the timeline's makespan
+    to the access log exactly once — *after* the plan has drained, which
+    is what lets batch ``n+1`` overlap batch ``n`` instead of being
+    serialized behind it.
+
+    At ``lanes == 1`` the scheduler is inert (:attr:`pipelining` is
+    False): batches run unscheduled through the client's serial staged
+    accounting, reproducing staged execution bit-for-bit.
+    """
+
+    def __init__(self, log: AccessLog, lanes: int, tracer=None):
+        if lanes < 1:
+            raise ValueError(f"lane count must be >= 1, got {lanes}")
+        self.log = log
+        self.lanes = lanes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.timeline: Optional[Timeline] = (
+            Timeline(lanes) if lanes > 1 else None
+        )
+        #: absolute simulated seconds at the shared timeline's origin
+        self.base = log.simulated_seconds
+        self.batches = 0
+        self.inflight = 0
+        self.peak_inflight = 0
+        self._finalized = False
+
+    @property
+    def pipelining(self) -> bool:
+        """Whether batches actually share a timeline (``lanes > 1``)."""
+        return self.timeline is not None
+
+    def open_batch(self, ready: float) -> Optional[BatchSchedule]:
+        """A placement carrier for one fetch batch whose inputs exist from
+        simulated instant ``ready`` on — or None when not pipelining (the
+        batch then uses the client's staged accounting)."""
+        if self.timeline is None:
+            return None
+        self.batches += 1
+        return BatchSchedule(
+            timeline=self.timeline,
+            ready=ready,
+            base=self.base,
+            completed=ready,
+        )
+
+    def note_issued(self) -> None:
+        """One batch submitted ahead of downstream consumption."""
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+
+    def note_consumed(self) -> None:
+        """The oldest in-flight batch was consumed downstream."""
+        self.inflight -= 1
+
+    @property
+    def makespan(self) -> float:
+        """Simulated wall time of everything scheduled so far."""
+        return self.timeline.makespan if self.timeline is not None else 0.0
+
+    def finalize(self) -> float:
+        """Charge the shared makespan to the log (idempotent); returns the
+        seconds charged.  Called when the plan drains — including on an
+        abort, so partially scheduled work still shows up in the log, as
+        it does under staged execution."""
+        if self._finalized or self.timeline is None:
+            return 0.0
+        self._finalized = True
+        span = self.timeline.makespan
+        self.log.simulated_seconds += span
+        return span
+
+
+@dataclass
+class _Chunk:
+    """A bounded run of tuples plus the simulated instant they exist.
+
+    ``ready`` is timeline-relative: the completion time of the last fetch
+    that produced (or was needed to produce) these rows.  Purely local
+    operators (unnest, select, project, join) are free in the paper's
+    cost model, so they forward ``ready`` unchanged.
+    """
+
+    rows: list[dict]
+    ready: float
+
+
+class PipelinedExecutor:
+    """Evaluates computable NALG plans as a pipeline of tuple chunks.
+
+    Drop-in alternative to :class:`~repro.engine.local.LocalExecutor` for
+    the remote (live-web) path: same answers, same page accounting, lower
+    makespan.  See the module docstring for the invariants.
+
+    ``tracer`` gains per-chunk *pipeline spans* (``kind="pipeline"``) on
+    the stages that touch the network, carrying the simulated interval
+    from inputs-ready (``t0``) to chunk-complete (``t1``) — the Perfetto
+    exporter renders these as a dedicated "pipeline stages" track so
+    stage overlap is visible next to the per-lane fetch intervals.
+    """
+
+    def __init__(
+        self,
+        scheme: WebScheme,
+        session: QuerySession,
+        scheduler: PrefetchScheduler,
+        config: PipelineConfig = DEFAULT_PIPELINE_CONFIG,
+        tracer=None,
+    ):
+        self.scheme = scheme
+        self.session = session
+        self.scheduler = scheduler
+        self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    @property
+    def chunk_size(self) -> Optional[int]:
+        """Rows per chunk, or None for unbounded (the k=1 degeneration:
+        one chunk per operator reproduces staged batches exactly)."""
+        return self.config.chunk_size if self.scheduler.pipelining else None
+
+    def evaluate(self, expr: Expr) -> Relation:
+        """Evaluate ``expr``; raises NotComputableError for bad plans."""
+        check_computable(expr, self.scheme)
+        schema = expr.output_schema(self.scheme)
+        rows: list[dict] = []
+        try:
+            for chunk in self._chunks(expr):
+                rows.extend(chunk.rows)
+        finally:
+            # drained or aborted: charge the shared makespan exactly once
+            self.scheduler.finalize()
+        return Relation(schema, rows)
+
+    # ------------------------------------------------------------------ #
+    # chunk streams, one generator per operator kind
+    # ------------------------------------------------------------------ #
+
+    def _chunks(self, expr: Expr) -> Iterator[_Chunk]:
+        if isinstance(expr, EntryPointScan):
+            return self._entry_chunks(expr)
+        if isinstance(expr, FollowLink):
+            return self._follow_chunks(expr)
+        if isinstance(expr, Unnest):
+            return self._unnest_chunks(expr)
+        if isinstance(expr, Select):
+            return self._select_chunks(expr)
+        if isinstance(expr, Project):
+            return self._project_chunks(expr)
+        if isinstance(expr, Join):
+            return self._join_chunks(expr)
+        if isinstance(expr, ExternalRelScan):
+            raise NotComputableError(
+                f"external relation {expr.name!r} reached the executor"
+            )
+        raise AlgebraError(f"cannot evaluate {type(expr).__name__}")
+
+    def _rechunk(self, rows: list[dict], ready: float) -> Iterator[_Chunk]:
+        """Split an operator's output back into bounded chunks so the next
+        stage can overlap work at chunk granularity.  All pieces carry the
+        source ``ready`` — local work is free in simulated time."""
+        size = self.chunk_size
+        if not rows or size is None or len(rows) <= size:
+            yield _Chunk(rows, ready)
+            return
+        for start in range(0, len(rows), size):
+            yield _Chunk(rows[start : start + size], ready)
+
+    def _entry_chunks(self, expr: EntryPointScan) -> Iterator[_Chunk]:
+        schema = expr.output_schema(self.scheme)
+        url = self.scheme.entry_point(expr.page_scheme).url
+        schedule = self.scheduler.open_batch(ready=0.0)
+        self.session.fetch_batch([url], schedule=schedule)
+        ready = schedule.completed if schedule is not None else 0.0
+        plain = self.session.fetch_tuple(expr.page_scheme, url)
+        rows = [] if plain is None else [qualify_row(schema, plain)]
+        self._pipeline_span(
+            f"entry {expr.page_scheme}", expr, 0, ready=0.0,
+            completed=ready, rows_in=1, rows_out=len(rows),
+        )
+        yield _Chunk(rows, ready)
+
+    def _follow_chunks(self, expr: FollowLink) -> Iterator[_Chunk]:
+        child = self._chunks(expr.child)
+        target = expr.target_scheme(self.scheme)
+        target_schema = page_relation_schema(
+            self.scheme, target, expr.target_alias(self.scheme)
+        )
+        stage = f"follow →{expr.link_attr}"
+        # distinct link values across the whole operator, first-seen order
+        # (chunk concatenation preserves the staged child-row order, so
+        # the union over chunks equals the staged URL list exactly)
+        seen: set[str] = set()
+        qualified: dict[str, dict] = {}
+        bound = self.config.max_inflight_batches
+        pending: deque[tuple[_Chunk, float]] = deque()
+        state = {"drained": False}
+
+        def submit_next() -> None:
+            """Pull one child chunk and place its fetch batch."""
+            chunk = next(child, None)
+            if chunk is None:
+                state["drained"] = True
+                return
+            urls: list[str] = []
+            for row in chunk.rows:
+                value = row.get(expr.link_attr)
+                if value is not None and value not in seen:
+                    seen.add(value)
+                    urls.append(value)
+            schedule = self.scheduler.open_batch(ready=chunk.ready)
+            if urls:
+                plain = self.session.fetch_tuples(
+                    target, urls, schedule=schedule
+                )
+                for url, tup in plain.items():
+                    qualified[url] = qualify_row(target_schema, tup)
+            completed = (
+                schedule.completed if schedule is not None else chunk.ready
+            )
+            pending.append((chunk, completed))
+            self.scheduler.note_issued()
+
+        def top_up() -> None:
+            # prefetch: submit batches the moment chunks arrive, up to
+            # the backpressure bound ahead of downstream consumption
+            while not state["drained"] and len(pending) < bound:
+                submit_next()
+
+        index = 0
+        while True:
+            top_up()
+            if not pending:
+                return
+            chunk, completed = pending.popleft()
+            self.scheduler.note_consumed()
+            # refill the window *before* yielding: upstream batches must
+            # land on the shared timeline ahead of whatever batch the
+            # downstream stage derives from this chunk — otherwise, at
+            # small bounds, a committed downstream placement can block
+            # the upstream critical path and lose to the staged schedule
+            top_up()
+            rows: list[dict] = []
+            for row in chunk.rows:
+                value = row.get(expr.link_attr)
+                if value is None:
+                    continue
+                target_row = qualified.get(value)
+                if target_row is None:
+                    continue  # dangling link: nothing to navigate to
+                rows.append({**row, **target_row})
+            self._pipeline_span(
+                stage, expr, index, ready=chunk.ready, completed=completed,
+                rows_in=len(chunk.rows), rows_out=len(rows),
+            )
+            index += 1
+            yield _Chunk(rows, completed)
+
+    def _unnest_chunks(self, expr: Unnest) -> Iterator[_Chunk]:
+        child_schema = expr.child.output_schema(self.scheme)
+        for chunk in self._chunks(expr.child):
+            relation = Relation(child_schema, chunk.rows).unnest(expr.attr)
+            # re-chunk: unnest multiplies rows, and downstream overlap
+            # only exists at chunk granularity
+            yield from self._rechunk(relation.rows, chunk.ready)
+
+    def _select_chunks(self, expr: Select) -> Iterator[_Chunk]:
+        expr.output_schema(self.scheme)  # validates predicate attrs
+        child_schema = expr.child.output_schema(self.scheme)
+        for chunk in self._chunks(expr.child):
+            relation = Relation(child_schema, chunk.rows).select(
+                expr.predicate.evaluate
+            )
+            yield _Chunk(relation.rows, chunk.ready)
+
+    def _project_chunks(self, expr: Project) -> Iterator[_Chunk]:
+        child_schema = expr.child.output_schema(self.scheme)
+        renames = {i: o for o, i in expr.outputs if o != i}
+        names = list(expr.in_names())
+        # projection is set-based: duplicates are eliminated across the
+        # *whole* operator (first occurrence wins, as in the staged path);
+        # per-chunk dedup alone would let cross-chunk duplicates through
+        # at small chunk sizes
+        seen: set = set()
+        for chunk in self._chunks(expr.child):
+            relation = Relation(child_schema, chunk.rows).project(
+                names, renames
+            )
+            rows: list[dict] = []
+            for row in relation.rows:
+                key = canonical_row(row)
+                if key not in seen:
+                    seen.add(key)
+                    rows.append(row)
+            yield _Chunk(rows, chunk.ready)
+
+    def _join_chunks(self, expr: Join) -> Iterator[_Chunk]:
+        # a join needs both sides in full: it is the one genuine barrier,
+        # and materializing in order keeps the staged row order exactly
+        left_schema = expr.left.output_schema(self.scheme)
+        right_schema = expr.right.output_schema(self.scheme)
+        ready = 0.0
+        left_rows: list[dict] = []
+        for chunk in self._chunks(expr.left):
+            left_rows.extend(chunk.rows)
+            ready = max(ready, chunk.ready)
+        right_rows: list[dict] = []
+        for chunk in self._chunks(expr.right):
+            right_rows.extend(chunk.rows)
+            ready = max(ready, chunk.ready)
+        joined = Relation(left_schema, left_rows).join(
+            Relation(right_schema, right_rows), expr.on
+        )
+        yield from self._rechunk(joined.rows, ready)
+
+    # ------------------------------------------------------------------ #
+
+    def _pipeline_span(
+        self,
+        stage: str,
+        expr: Expr,
+        index: int,
+        ready: float,
+        completed: float,
+        rows_in: int,
+        rows_out: int,
+    ) -> None:
+        """Emit one per-chunk pipeline span (observational only)."""
+        if not self.tracer.enabled:
+            return
+        base = self.scheduler.base
+        with self.tracer.span(
+            f"pipeline {stage}",
+            kind="pipeline",
+            node_id=id(expr),
+            stage=stage,
+            chunk=index,
+        ) as span:
+            span.set(
+                rows_in=rows_in,
+                rows_out=rows_out,
+                t0=base + ready,
+                t1=base + completed,
+                queue_seconds=max(0.0, completed - ready),
+            )

@@ -23,11 +23,19 @@ from repro.adm.scheme import WebScheme
 from repro.algebra.ast import Expr
 from repro.algebra.printer import render_expr
 from repro.engine.local import LocalExecutor
+from repro.engine.pipeline import (
+    DEFAULT_PIPELINE_CONFIG,
+    PipelineConfig,
+    PipelinedExecutor,
+    PrefetchScheduler,
+    coerce_execution,
+)
 from repro.engine.session import QuerySession
 from repro.nested.relation import Relation
 from repro.obs.trace import NULL_TRACER, Span
 from repro.web.cache import PageCache
 from repro.web.client import (
+    DEFAULT_FETCH_CONFIG,
     AccessLog,
     CostSummary,
     FetchConfig,
@@ -148,6 +156,8 @@ class RemoteExecutor:
         retry_policy: Optional[RetryPolicy] = None,
         cache: Optional[PageCache] = None,
         tracer=None,
+        execution: str = "staged",
+        pipeline: Optional[PipelineConfig] = None,
     ) -> ExecutionResult:
         """Run one query: fresh session, per-query access accounting.
 
@@ -157,12 +167,21 @@ class RemoteExecutor:
         (pass :data:`~repro.web.cache.NO_CACHE` to force uncached
         execution).  All default to the client's configuration.
 
+        ``execution`` selects the evaluation strategy: ``"staged"`` (the
+        default; every operator a barrier) or ``"pipelined"`` (chunked
+        operators with non-speculative link prefetch on one shared
+        timeline — same pages, same answer, lower makespan; see
+        :mod:`repro.engine.pipeline`).  Unknown modes raise
+        :class:`~repro.errors.ExecutionModeError`.  ``pipeline`` tunes
+        chunking and backpressure for the pipelined mode.
+
         ``tracer`` (a :class:`~repro.obs.trace.RecordingTracer`, default
         the no-op tracer) records per-operator spans with nested fetch
         spans; the recorded root span lands in ``ExecutionResult.trace``.
         Tracing is purely observational — the relation and the log are
         identical with or without it.
         """
+        mode = coerce_execution(execution)
         active_cache = cache if cache is not None else self.client.cache
         if active_cache is not None:
             # new query: per-query entries are dropped, cross-query
@@ -187,9 +206,22 @@ class RemoteExecutor:
             log.bytes_downloaded,
             log.simulated_seconds,
         )
-        executor = LocalExecutor(
-            self.scheme, provider, tracer=tracer, meter=meter
-        )
+        if mode == "pipelined":
+            lanes = (fetch_config or DEFAULT_FETCH_CONFIG).effective_workers(
+                client.network
+            )
+            scheduler = PrefetchScheduler(log, lanes=lanes, tracer=tracer)
+            executor = PipelinedExecutor(
+                self.scheme,
+                session,
+                scheduler,
+                config=pipeline or DEFAULT_PIPELINE_CONFIG,
+                tracer=tracer,
+            )
+        else:
+            executor = LocalExecutor(
+                self.scheme, provider, tracer=tracer, meter=meter
+            )
         before = log.snapshot()
         previous_tracer = client.tracer
         client.tracer = tracer  # fetch-batch spans nest under operator spans

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.clock import BatchSchedule
 from repro.errors import ResourceNotFound
 from repro.web.cache import PageCache
 from repro.web.client import FetchConfig, RetryPolicy, WebClient
@@ -51,7 +52,7 @@ class QuerySession:
         self.retry_policy = retry_policy
         self.cache = cache  # None → the client's attached cache
         self._resources: dict[str, Optional[WebResource]] = {}
-        self._tuples: dict[tuple, dict] = {}
+        self._tuples: dict[tuple, Optional[dict]] = {}
 
     def fetch(self, url: str) -> Optional[WebResource]:
         """Download ``url`` (at most once per session).  Returns None for
@@ -66,13 +67,19 @@ class QuerySession:
         return self._resources[url]
 
     def fetch_batch(
-        self, urls: Sequence[str]
+        self,
+        urls: Sequence[str],
+        schedule: Optional[BatchSchedule] = None,
     ) -> dict[str, Optional[WebResource]]:
         """Download a whole batch of URLs through the client's worker pool.
 
         Cached URLs are served from the session, so each page costs at most
         one download per query regardless of how many batches mention it.
-        Missing pages map to None.
+        Missing pages map to None.  ``schedule`` (pipelined execution)
+        places the batch's fetches on a shared timeline instead of a
+        private per-batch one; see :meth:`WebClient.get_batch`.  A batch
+        fully served from the session completes at ``schedule.ready`` —
+        nothing new was fetched.
         """
         needed: list[str] = []
         seen: set[str] = set()
@@ -80,12 +87,15 @@ class QuerySession:
             if url not in seen and url not in self._resources:
                 seen.add(url)
                 needed.append(url)
+        if schedule is not None:
+            schedule.completed = max(schedule.completed, schedule.ready)
         if needed:
             fetched = self.client.get_batch(
                 needed,
                 config=self.fetch_config,
                 retry=self.retry_policy,
                 cache=self.cache,
+                schedule=schedule,
             )
             self._resources.update(fetched)
         return {url: self._resources[url] for url in urls if url in self._resources}
@@ -107,13 +117,18 @@ class QuerySession:
         return self._tuples[key]
 
     def fetch_tuples(
-        self, page_scheme: str, urls: Sequence[str]
+        self,
+        page_scheme: str,
+        urls: Sequence[str],
+        schedule: Optional[BatchSchedule] = None,
     ) -> dict[str, dict]:
         """Batch counterpart of :meth:`fetch_tuple`: download all uncached
         ``urls`` as one batch, wrap each page once, and return the plain
-        tuples keyed by URL (missing pages are simply absent)."""
+        tuples keyed by URL (missing pages are simply absent).
+        ``schedule`` is forwarded to :meth:`fetch_batch`."""
         self.fetch_batch(
-            [url for url in urls if (page_scheme, url) not in self._tuples]
+            [url for url in urls if (page_scheme, url) not in self._tuples],
+            schedule=schedule,
         )
         result: dict[str, dict] = {}
         for url in urls:

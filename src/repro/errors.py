@@ -26,6 +26,7 @@ __all__ = [
     "TransientFetchError",
     "RetriesExhaustedError",
     "StatisticsError",
+    "ExecutionModeError",
     "OptimizerError",
     "QueryError",
     "ParseError",
@@ -119,6 +120,14 @@ class RetriesExhaustedError(FetchError):
 
 class StatisticsError(ReproError):
     """Site statistics are missing a parameter required by the cost model."""
+
+
+class ExecutionModeError(ReproError, ValueError):
+    """An ``execution=`` argument named an unknown mode.
+
+    Doubles as a :class:`ValueError` (mirroring the
+    ``FetchConfig.max_workers`` validation) so callers that validate
+    configuration generically keep working."""
 
 
 class OptimizerError(ReproError):

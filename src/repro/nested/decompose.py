@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.errors import PNFError, SchemaError
+from repro.errors import SchemaError
 from repro.nested.pnf import check_pnf
 from repro.nested.relation import Relation
 from repro.nested.schema import Field, RelationSchema

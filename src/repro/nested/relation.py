@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import SchemaError
-from repro.nested.schema import Field, RelationSchema
+from repro.nested.schema import RelationSchema
 
 __all__ = ["Relation", "canonical_value", "canonical_row"]
 

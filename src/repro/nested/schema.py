@@ -66,7 +66,9 @@ class Field:
         if self.is_list and self.elem is None:
             raise SchemaError(f"list field {self.name!r} needs an element schema")
         if not self.is_list and self.elem is not None:
-            raise SchemaError(f"atom field {self.name!r} must not have an element schema")
+            raise SchemaError(
+                f"atom field {self.name!r} must not have an element schema"
+            )
 
     @property
     def is_list(self) -> bool:

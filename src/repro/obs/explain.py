@@ -114,7 +114,7 @@ def _tree_label(node: Expr, scheme=None) -> str:
         )
         return f"π {cols}"
     if isinstance(node, Join):
-        cond = ", ".join(f"{l}={r}" for l, r in node.on)
+        cond = ", ".join(f"{lhs}={rhs}" for lhs, rhs in node.on)
         return f"⋈ {cond}"
     if isinstance(node, Unnest):
         return f"∘ {node.attr}"

@@ -7,6 +7,14 @@ that executed it — one thread track per lane under a "fetch lanes"
 process, so the batch's parallelism is visible exactly as the
 :class:`~repro.clock.Timeline` scheduled it.
 
+Pipelined executions add a third process track, "pipeline stages": one
+complete event per chunk per network stage, spanning the simulated
+interval from the chunk's inputs becoming ready to its fetches landing.
+Overlap between a stage-``n`` event and a stage-``n+1`` event — impossible
+under staged execution, where stages are barriers — is the pipelining,
+visible directly in Perfetto next to the per-lane fetch intervals (see
+``docs/PIPELINE.md``).
+
 Timestamps are simulated seconds converted to integer microseconds; a
 lane's events never overlap because the greedy scheduler never overlaps
 tasks on one lane (durations are ``round(end)-round(start)`` so adjacency
@@ -22,9 +30,10 @@ from repro.obs.trace import RecordingTracer, Span
 
 __all__ = ["chrome_trace_events", "write_chrome_trace"]
 
-#: Synthetic pids grouping the two kinds of tracks.
+#: Synthetic pids grouping the kinds of tracks.
 OPERATOR_PID = 1
 FETCH_PID = 2
+PIPELINE_PID = 3
 
 
 def _us(seconds: float) -> int:
@@ -55,8 +64,34 @@ def chrome_trace_events(trace: Union[RecordingTracer, Span]) -> list[dict]:
         },
     ]
     lanes_seen: set[int] = set()
+    stage_tids: dict[str, int] = {}
     for root in roots:
         for span in root.walk():
+            if span.kind == "pipeline":
+                t0 = span.attrs.get("t0")
+                t1 = span.attrs.get("t1")
+                if t0 is None or t1 is None:
+                    continue
+                stage = str(span.attrs.get("stage", span.name))
+                tid = stage_tids.setdefault(stage, len(stage_tids))
+                events.append(
+                    {
+                        "name": f"chunk {span.attrs.get('chunk', 0)}",
+                        "cat": "pipeline",
+                        "ph": "X",
+                        "pid": PIPELINE_PID,
+                        "tid": tid,
+                        "ts": _us(t0),
+                        "dur": _us(t1) - _us(t0),
+                        "args": {
+                            k: v
+                            for k, v in span.attrs.items()
+                            if k != "node_id"
+                            and isinstance(v, (int, float, str))
+                        },
+                    }
+                )
+                continue
             t0 = span.attrs.get("t0")
             t1 = span.attrs.get("t1")
             if span.kind == "query":
@@ -124,6 +159,26 @@ def chrome_trace_events(trace: Union[RecordingTracer, Span]) -> list[dict]:
                 "args": {"name": f"lane {lane}"},
             }
         )
+    if stage_tids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": PIPELINE_PID,
+                "tid": 0,
+                "args": {"name": "pipeline stages"},
+            }
+        )
+        for stage, tid in stage_tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": PIPELINE_PID,
+                    "tid": tid,
+                    "args": {"name": stage},
+                }
+            )
     return events
 
 

@@ -39,7 +39,12 @@ def _label_key(labels: dict) -> tuple:
 class Counter:
     """A monotonically increasing value per label set."""
 
-    def __init__(self, name: str, help: str = "", lock: Optional[threading.Lock] = None):
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        lock: Optional[threading.Lock] = None,
+    ):
         self.name = name
         self.help = help
         self._series: dict[tuple, float] = {}

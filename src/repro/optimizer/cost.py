@@ -34,6 +34,7 @@ Without an estimate the model is exactly the paper's C(E).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
@@ -50,7 +51,7 @@ from repro.algebra.ast import (
 )
 from repro.algebra.predicates import AttrEq, Comparison, In
 from repro.errors import OptimizerError, StatisticsError
-from repro.nested.schema import Field, Provenance
+from repro.nested.schema import Field
 from repro.stats.statistics import SiteStatistics
 
 __all__ = ["CacheEstimate", "CostModel", "DEFAULT_SELECTIVITY"]
@@ -231,6 +232,72 @@ class CostModel:
                     + self._estimate(node.right).cardinality
                 )
         return total
+
+    def estimated_makespan(
+        self,
+        expr: Expr,
+        workers: int = 1,
+        execution: str = "staged",
+        network=None,
+    ) -> float:
+        """Estimated simulated seconds to run ``expr`` at ``workers``
+        parallel connections under the given execution mode.
+
+        Pages are the paper's cost; *makespan* is what concurrency and
+        pipelining actually buy.  Staged execution drains the lanes at
+        every operator barrier, so each network stage (entry access or
+        follow-link) costs ``ceil(pages / k)`` rounds of its per-page
+        time.  Pipelined execution overlaps stages on one shared
+        timeline, bounded below by the two classical limits: total work
+        divided by ``k``, and the critical path (one page through every
+        stage of the deepest chain).  The pipelined estimate is clamped
+        to never exceed the staged one — the executor's benchmarked
+        guarantee.
+
+        ``network`` is the :class:`~repro.web.network.NetworkModel` used
+        for per-page seconds (default: the 1998 modem the simulated
+        client uses).  Estimates ignore retries and light connections.
+        """
+        from repro.engine.pipeline import coerce_execution
+
+        mode = coerce_execution(execution)
+        if workers < 1:
+            raise OptimizerError(f"workers must be >= 1, got {workers}")
+        if network is None:
+            from repro.web.network import MODEM_1998
+
+            network = MODEM_1998
+        stages, critical = self._network_stages(expr, network)
+        k = workers
+        staged = sum(math.ceil(pages / k) * t for pages, t in stages)
+        if mode == "staged":
+            return staged
+        total_work = sum(pages * t for pages, t in stages)
+        return min(staged, max(total_work / k, critical))
+
+    def _network_stages(
+        self, expr: Expr, network
+    ) -> tuple[list[tuple[float, float]], float]:
+        """Per-stage ``(pages, seconds_per_page)`` in execution order,
+        plus the critical-path seconds (one page per stage down the
+        deepest chain of the plan)."""
+        if isinstance(expr, EntryPointScan):
+            t = network.get_seconds(int(self._page_size(expr.page_scheme)))
+            return [(self._network_factor(expr.page_scheme), t)], t
+        if isinstance(expr, FollowLink):
+            stages, critical = self._network_stages(expr.child, network)
+            own = self._estimate(expr).cost - self._estimate(expr.child).cost
+            target = expr.target_scheme(self.scheme)
+            t = network.get_seconds(int(self._page_size(target)))
+            return stages + [(own, t)], critical + t
+        if isinstance(expr, Join):
+            left, lcrit = self._network_stages(expr.left, network)
+            right, rcrit = self._network_stages(expr.right, network)
+            return left + right, max(lcrit, rcrit)
+        children = list(expr.children())
+        if not children:
+            return [], 0.0
+        return self._network_stages(children[0], network)
 
     def _page_size(self, scheme_name: str) -> float:
         try:

@@ -21,7 +21,7 @@ silently discarded during validation.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.adm.scheme import WebScheme

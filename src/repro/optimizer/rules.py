@@ -94,7 +94,8 @@ def substitute_attrs(expr: Expr, mapping: dict[str, str]) -> Expr:
             substitute_attrs(expr.left, mapping),
             substitute_attrs(expr.right, mapping),
             tuple(
-                (mapping.get(l, l), mapping.get(r, r)) for l, r in expr.on
+                (mapping.get(lhs, lhs), mapping.get(rhs, rhs))
+                for lhs, rhs in expr.on
             ),
         )
     kids = expr.children()
@@ -177,7 +178,10 @@ class MergeRepeatedNavigation(RewriteRule):
         if self._mergeable(node.left, node.right, node.on, scheme):
             results.append(node.right)
         if self._mergeable(
-            node.right, node.left, [(r, l) for l, r in node.on], scheme
+            node.right,
+            node.left,
+            [(rhs, lhs) for lhs, rhs in node.on],
+            scheme,
         ):
             results.append(node.left)
         return results
@@ -189,8 +193,8 @@ class MergeRepeatedNavigation(RewriteRule):
         if schema is None:
             return False
         return all(
-            l == r and l in schema and self._identifies(schema, l)
-            for l, r in on
+            lhs == rhs and lhs in schema and self._identifies(schema, lhs)
+            for lhs, rhs in on
         )
 
     def _identifies(self, schema: RelationSchema, attr: str) -> bool:
@@ -251,7 +255,8 @@ def _match_link_join(node: Expr, scheme: WebScheme) -> list[_LinkJoinMatch]:
         target_alias = nav_side.target_alias(scheme)
         target_base = nav_side.target_scheme(scheme)
         oriented = [
-            ((r, l) if flipped else (l, r)) for l, r in node.on
+            ((rhs, lhs) if flipped else (lhs, rhs))
+            for lhs, rhs in node.on
         ]  # (nav_attr, other_attr)
         for index, (na, oa) in enumerate(oriented):
             if na not in nav_schema or oa not in other_schema:
@@ -405,7 +410,7 @@ class JoinPushdown(RewriteRule):
             inner = left.children()[0]
             inner_schema = _schema(inner, scheme)
             if inner_schema is not None and all(
-                l in inner_schema for l, _ in node.on
+                lhs in inner_schema for lhs, _ in node.on
             ):
                 pushed = Join(inner, node.right, node.on)
                 results.append(left.with_children((pushed,)))
@@ -639,9 +644,9 @@ def _used_attrs(expr: Expr) -> set[str]:
         elif isinstance(node, Project):
             used.update(node.in_names())
         elif isinstance(node, Join):
-            for l, r in node.on:
-                used.add(l)
-                used.add(r)
+            for lhs, rhs in node.on:
+                used.add(lhs)
+                used.add(rhs)
         elif isinstance(node, FollowLink):
             used.add(node.link_attr)
     return used

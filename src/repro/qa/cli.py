@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 from repro.qa.oracle import (
     CACHE_MODES,
+    EXEC_MODES,
     FAULT_MODES,
     TRACE_MODES,
     DifferentialOracle,
@@ -181,6 +182,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"({', '.join(FAULT_MODES)})",
     )
     parser.add_argument(
+        "--exec", dest="exec_modes", default="all",
+        help=f"comma-separated execution modes or 'all' "
+        f"({', '.join(EXEC_MODES)}); pipelined cells must match staged "
+        f"ones on every page count and digest",
+    )
+    parser.add_argument(
         "--max-plans", type=int, default=None, metavar="N",
         help="cap the candidate plans per query (default: the full space)",
     )
@@ -216,6 +223,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_modes=_parse_csv(args.cache, CACHE_MODES, "cache mode"),
         fault_modes=_parse_csv(args.faults, FAULT_MODES, "fault mode"),
         worker_counts=workers,
+        exec_modes=_parse_csv(args.exec_modes, EXEC_MODES, "exec mode"),
         max_plans=args.max_plans,
         trace=args.trace,
     )

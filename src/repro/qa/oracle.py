@@ -47,6 +47,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from repro.engine.pipeline import EXECUTION_MODES
 from repro.errors import RetriesExhaustedError
 from repro.nested.relation import Relation
 from repro.obs import NULL_TRACER, RecordingTracer
@@ -60,6 +61,7 @@ from repro.web.server import FaultPolicy
 
 __all__ = [
     "CACHE_MODES",
+    "EXEC_MODES",
     "FAULT_MODES",
     "TRACE_MODES",
     "Cell",
@@ -79,6 +81,12 @@ CACHE_MODES = (
 
 #: All fault-schedule dimensions, in canonical order.
 FAULT_MODES = ("none", "transient", "exhausted")
+
+#: All execution-mode dimensions, in canonical order.  ``pipelined``
+#: cells must be indistinguishable from ``staged`` ones in every checked
+#: invariant — pages, URL sets, digests — which is exactly the
+#: non-speculation guarantee of :mod:`repro.engine.pipeline`.
+EXEC_MODES = EXECUTION_MODES
 
 #: Tracer configurations the matrix can run under.  Tracing must never
 #: change an answer or a page count, so the matrix is re-runnable with a
@@ -128,6 +136,10 @@ class MatrixSpec:
     cache_modes: Sequence[str] = CACHE_MODES
     fault_modes: Sequence[str] = FAULT_MODES
     worker_counts: Sequence[int] = (1, 4)
+    #: execution strategies each cell is run under; pipelined cells are
+    #: held to the same invariants as staged ones (same pages, same
+    #: digests) — the pipeline's non-speculation guarantee
+    exec_modes: Sequence[str] = EXEC_MODES
     #: per-attempt transient failure probability (absorbed by retries)
     transient_rate: float = 0.25
     #: per-attempt failure probability for the retries-exhausted schedule
@@ -155,6 +167,9 @@ class MatrixSpec:
         for mode in self.fault_modes:
             if mode not in FAULT_MODES:
                 raise ValueError(f"unknown fault mode {mode!r}")
+        for mode in self.exec_modes:
+            if mode not in EXEC_MODES:
+                raise ValueError(f"unknown exec mode {mode!r}")
         if any(w < 1 for w in self.worker_counts):
             raise ValueError("worker counts must be >= 1")
         if self.trace not in TRACE_MODES:
@@ -173,23 +188,39 @@ class Cell:
     cache_mode: str
     fault_mode: str
     workers: int
+    exec_mode: str = "staged"
 
     @property
     def cell_id(self) -> str:
-        return (
+        """Reproducible id.  The exec component is appended only for
+        non-staged cells, so every pre-pipeline cell id stays valid (and
+        parses back to the same cell)."""
+        base = (
             f"{self.query_id}/p{self.plan_index}/{self.cache_mode}/"
             f"{self.fault_mode}/w{self.workers}"
         )
+        if self.exec_mode == "staged":
+            return base
+        return f"{base}/{self.exec_mode}"
 
     @classmethod
     def parse(cls, cell_id: str) -> "Cell":
-        """Inverse of :attr:`cell_id` (used by ``--cell`` reproduction)."""
+        """Inverse of :attr:`cell_id` (used by ``--cell`` reproduction).
+
+        Accepts both the 5-part pre-pipeline form (exec mode defaults to
+        ``staged``) and the 6-part form with an explicit exec mode."""
         parts = cell_id.split("/")
-        if len(parts) != 5 or not parts[1].startswith("p") \
+        if len(parts) not in (5, 6) or not parts[1].startswith("p") \
                 or not parts[4].startswith("w"):
             raise ValueError(
                 f"bad cell id {cell_id!r} (expected "
-                f"query/p<plan>/<cache>/<fault>/w<workers>)"
+                f"query/p<plan>/<cache>/<fault>/w<workers>[/<exec>])"
+            )
+        exec_mode = parts[5] if len(parts) == 6 else "staged"
+        if exec_mode not in EXEC_MODES:
+            raise ValueError(
+                f"bad cell id {cell_id!r} (unknown exec mode "
+                f"{exec_mode!r}; choose from {', '.join(EXEC_MODES)})"
             )
         return cls(
             query_id=parts[0],
@@ -197,6 +228,7 @@ class Cell:
             cache_mode=parts[2],
             fault_mode=parts[3],
             workers=int(parts[4][1:]),
+            exec_mode=exec_mode,
         )
 
 
@@ -258,15 +290,17 @@ class DifferentialOracle:
                 for cache_mode in self.spec.cache_modes:
                     for fault_mode in self.spec.fault_modes:
                         for workers in self.spec.worker_counts:
-                            out.append(
-                                Cell(
-                                    query_id=query_id,
-                                    plan_index=plan_index,
-                                    cache_mode=cache_mode,
-                                    fault_mode=fault_mode,
-                                    workers=workers,
+                            for exec_mode in self.spec.exec_modes:
+                                out.append(
+                                    Cell(
+                                        query_id=query_id,
+                                        plan_index=plan_index,
+                                        cache_mode=cache_mode,
+                                        fault_mode=fault_mode,
+                                        workers=workers,
+                                        exec_mode=exec_mode,
+                                    )
                                 )
-                            )
         return out
 
     # ------------------------------------------------------------------ #
@@ -323,6 +357,7 @@ class DifferentialOracle:
             cache_mode=cell.cache_mode,
             fault_mode=cell.fault_mode,
             workers=cell.workers,
+            exec_mode=cell.exec_mode,
             ok=True,
             plan_text=plan.render(scheme=env.scheme),
         )
@@ -368,6 +403,7 @@ class DifferentialOracle:
                 retry_policy=self.spec.retry,
                 cache=cache,
                 tracer=tracer,
+                execution=cell.exec_mode,
             )
         except RetriesExhaustedError as err:
             error = err

@@ -2,10 +2,12 @@
 
 A report is one JSON document per oracle run: the matrix definition, one
 record per executed cell, and every violation found.  Each cell carries a
-stable ``cell id`` — ``query/p<plan>/<cache>/<fault>/w<workers>`` — from
+stable ``cell id`` — ``query/p<plan>/<cache>/<fault>/w<workers>[/<exec>]``
+(the exec component appears only for non-staged execution modes) — from
 which the exact execution can be reproduced::
 
-    python -m repro.qa --site movies --seed 7 --cell q_join/p1/cross_query_warm/transient/w4
+    python -m repro.qa --site movies --seed 7 \\
+        --cell q_join/p1/cross_query_warm/transient/w4
 
 (see ``docs/TESTING.md`` for the full recipe, including how to pin a
 found violation as a regression test).
@@ -39,6 +41,8 @@ class CellRecord:
     fault_mode: str
     workers: int
     ok: bool
+    #: execution strategy the cell ran under (staged | pipelined)
+    exec_mode: str = "staged"
     #: cell was expected to abort with RetriesExhaustedError, and did
     expected_failure: bool = False
     rows: Optional[int] = None

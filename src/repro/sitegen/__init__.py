@@ -20,7 +20,11 @@ simulated web server:
   conventions.
 """
 
-from repro.sitegen.university import UniversityConfig, UniversitySite, build_university_site
+from repro.sitegen.university import (
+    UniversityConfig,
+    UniversitySite,
+    build_university_site,
+)
 from repro.sitegen.bibliography import (
     BibliographyConfig,
     BibliographySite,

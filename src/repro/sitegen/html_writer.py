@@ -41,7 +41,9 @@ def _render_atom(name: str, wtype: WebType, value, out: list[str], indent: str) 
         raise WrapperError(f"cannot render atom of type {wtype!r}")
 
 
-def _render_list(name: str, wtype: ListType, rows: list, out: list[str], indent: str) -> None:
+def _render_list(
+    name: str, wtype: ListType, rows: list, out: list[str], indent: str
+) -> None:
     out.append(f'{indent}<ul class="attr-list" data-attr="{escape(name)}">')
     for row in rows:
         out.append(f'{indent}  <li class="item">')

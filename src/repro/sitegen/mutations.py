@@ -111,8 +111,15 @@ class SiteMutator:
         page, the professor's page, and the session page."""
         cfg = self.site.config
         index = len(self.site.courses)
+        if name is None:
+            # after a removal, len(courses) can repeat an index whose
+            # generated name (and URL) is still live — probe upward
+            taken = {course.name for course in self.site.courses}
+            while naming.course_name(1000 + index) in taken:
+                index += 1
+            name = naming.course_name(1000 + index)
         course = self.site.new_course(
-            name or naming.course_name(1000 + index),
+            name,
             session or cfg.sessions[index % len(cfg.sessions)],
             ctype or cfg.course_types[index % len(cfg.course_types)],
             prof,
@@ -157,8 +164,15 @@ class SiteMutator:
         cfg = self.site.config
         dept = self._dept_by_name(dept_name)
         index = len(self.site.profs)
+        if name is None:
+            # same index-reuse hazard as add_course: a fired professor
+            # frees an index whose generated name may still be live
+            taken = {prof.name for prof in self.site.profs}
+            while naming.person_name(1000 + index) in taken:
+                index += 1
+            name = naming.person_name(1000 + index)
         prof = self.site.new_prof(
-            name or naming.person_name(1000 + index),
+            name,
             rank or cfg.ranks[index % len(cfg.ranks)],
             dept,
         )

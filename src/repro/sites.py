@@ -20,22 +20,14 @@ from typing import Optional, Union
 
 from repro.adm.scheme import WebScheme
 from repro.algebra.ast import EntryPointScan, Expr
+from repro.engine.pipeline import PipelineConfig, coerce_execution
 from repro.engine.remote import ExecutionResult, RemoteExecutor
-from repro.nested.relation import Relation
 from repro.optimizer.cost import CacheEstimate, CostModel
 from repro.optimizer.planner import Planner, PlannerResult
-from repro.sitegen.bibliography import (
-    BibliographyConfig,
-    BibliographySite,
-    build_bibliography_site,
-)
+from repro.sitegen.bibliography import BibliographyConfig, build_bibliography_site
 from repro.sitegen.fuzz import FuzzConfig, build_fuzzed_site, fuzzed_view
-from repro.sitegen.movies import MovieConfig, MovieSite, build_movie_site
-from repro.sitegen.university import (
-    UniversityConfig,
-    UniversitySite,
-    build_university_site,
-)
+from repro.sitegen.movies import MovieConfig, build_movie_site
+from repro.sitegen.university import UniversityConfig, build_university_site
 from repro.stats.exact import exact_statistics
 from repro.stats.statistics import SiteStatistics
 from repro.views.conjunctive import ConjunctiveQuery
@@ -179,6 +171,8 @@ class SiteEnv:
         retry_policy: Optional[RetryPolicy] = None,
         cache: Union[PageCache, CachePolicy, str, None] = None,
         tracer: object = None,
+        execution: str = "staged",
+        pipeline: Optional[PipelineConfig] = None,
     ) -> ExecutionResult:
         """Execute one plan against the live site.
 
@@ -187,7 +181,11 @@ class SiteEnv:
         faults are retried.  Defaults preserve the client's behaviour
         (serial fetching under the 1998 network model, default retries).
         ``cache`` overrides the environment page cache for this query
-        (see :meth:`_resolve_cache`).  ``tracer`` (a
+        (see :meth:`_resolve_cache`).  ``execution`` selects ``"staged"``
+        or ``"pipelined"`` evaluation (same pages and answer, lower
+        makespan — :mod:`repro.engine.pipeline`); unknown modes raise
+        :class:`~repro.errors.ExecutionModeError` rather than silently
+        falling back.  ``tracer`` (a
         :class:`~repro.obs.trace.RecordingTracer`) records per-operator
         spans without changing the result.
         """
@@ -197,6 +195,8 @@ class SiteEnv:
             retry_policy=retry_policy,
             cache=self._resolve_cache(cache),
             tracer=tracer,
+            execution=coerce_execution(execution),
+            pipeline=pipeline,
         )
 
     def query(
@@ -207,11 +207,17 @@ class SiteEnv:
         retry_policy: Optional[RetryPolicy] = None,
         cache: Union[PageCache, CachePolicy, str, None] = None,
         tracer: object = None,
+        execution: str = "staged",
+        pipeline: Optional[PipelineConfig] = None,
     ) -> ExecutionResult:
         """Optimize and execute: the paper's end-to-end query path.
 
         With an active cache the optimizer sees its contents (cache-aware
-        costing) and the executor serves hits from it."""
+        costing) and the executor serves hits from it.  ``execution`` is
+        validated *before* planning — an unknown mode raises
+        :class:`~repro.errors.ExecutionModeError` instead of silently
+        running staged."""
+        mode = coerce_execution(execution)
         resolved = self._resolve_cache(cache)
         result = self.plan(query, cache=resolved)
         return self.execute(
@@ -220,6 +226,8 @@ class SiteEnv:
             retry_policy=retry_policy,
             cache=resolved,
             tracer=tracer,
+            execution=mode,
+            pipeline=pipeline,
         )
 
     def explain(

@@ -17,7 +17,6 @@ Derived parameters follow Section 6.2 exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.adm.page_scheme import AttrPath, URL_ATTR
 from repro.errors import StatisticsError
@@ -50,7 +49,9 @@ class SiteStatistics:
         try:
             return float(self.scheme_cards[scheme])
         except KeyError:
-            raise StatisticsError(f"no cardinality for page-scheme {scheme!r}") from None
+            raise StatisticsError(
+                f"no cardinality for page-scheme {scheme!r}"
+            ) from None
 
     def avg_page_bytes(self, scheme: str) -> float:
         """Average HTML size of a page of ``scheme`` (footnote 8: the cost

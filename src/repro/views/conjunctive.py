@@ -8,7 +8,7 @@ projects a head.  Attribute references are written ``alias.attr``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.errors import QueryError

@@ -26,7 +26,6 @@ the target page.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.adm.constraints import AttrRef
 from repro.adm.page_scheme import AttrPath

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 
 from typing import Optional, Sequence
 
-from repro.clock import Timeline
+from repro.clock import BatchSchedule, Timeline
 from repro.errors import (
     ResourceNotFound,
     RetriesExhaustedError,
@@ -459,6 +459,7 @@ class WebClient:
         config: Optional[FetchConfig] = None,
         retry: Optional[RetryPolicy] = None,
         cache: Optional[PageCache] = None,
+        schedule: Optional[BatchSchedule] = None,
     ) -> dict[str, Optional[WebResource]]:
         """Download many pages as one batch through a bounded worker pool.
 
@@ -479,6 +480,16 @@ class WebClient:
         follow submission order, and simulated wall time is the greedy
         ``k``-lane makespan of the per-fetch durations.  With one worker
         this degenerates to the exact serial accumulation.
+
+        ``schedule`` (a :class:`~repro.clock.BatchSchedule`) switches the
+        batch from the private per-batch timeline to a *shared* one: each
+        fetch is placed on the shared ``k``-lane schedule no earlier than
+        ``schedule.ready``, nothing is added to ``log.simulated_seconds``
+        (the pipelined executor charges the shared makespan once at query
+        end), and ``schedule.completed`` receives the batch's completion
+        time.  Page accounting — counts, records, cache interaction — is
+        byte-identical to the unscheduled path; only the time placement
+        changes.
         """
         config = config or DEFAULT_FETCH_CONFIG
         retry = retry or self.retry_policy
@@ -503,6 +514,8 @@ class WebClient:
                 else:
                     assert isinstance(served, WebResource)
                     result[url] = served
+            if schedule is not None:
+                schedule.completed = max(schedule.completed, schedule.ready)
             if not to_fetch:
                 span.set(from_cache=len(result), fetched=0)
                 return result
@@ -510,7 +523,36 @@ class WebClient:
                 1, min(config.effective_workers(self.network), len(to_fetch))
             )
             batch_t0 = self.log.simulated_seconds
-            if workers == 1:
+            if schedule is not None:
+                lanes = schedule.timeline.lanes
+                if workers == 1:
+                    outcomes = [self._fetch_shared(u, retry) for u in to_fetch]
+                else:
+                    with ThreadPoolExecutor(max_workers=workers) as pool:
+                        outcomes = list(
+                            pool.map(
+                                lambda u: self._fetch_shared(u, retry),
+                                to_fetch,
+                            )
+                        )
+                completed = schedule.ready
+                for outcome in outcomes:
+                    end = schedule.timeline.add(
+                        outcome.seconds, ready=schedule.ready
+                    )
+                    lane, start, _ = schedule.timeline.intervals[-1]
+                    completed = max(completed, end)
+                    self._account(
+                        outcome,
+                        concurrency=lanes,
+                        charge_time=False,
+                        cache=cache,
+                        lane=lane,
+                        lane_start=schedule.base + start,
+                        lane_end=schedule.base + end,
+                    )
+                schedule.completed = max(schedule.completed, completed)
+            elif workers == 1:
                 offset = 0.0
                 outcomes = [self._fetch_shared(u, retry) for u in to_fetch]
                 for outcome in outcomes:
@@ -545,13 +587,22 @@ class WebClient:
             METRICS.counter(
                 "repro_fetch_batches_total", "fetch batches by pool size"
             ).inc(workers=workers)
-            span.set(
-                from_cache=len(result),
-                fetched=len(to_fetch),
-                workers=workers,
-                t0=batch_t0,
-                batch_seconds=self.log.simulated_seconds - batch_t0,
-            )
+            if schedule is not None:
+                span.set(
+                    from_cache=len(result),
+                    fetched=len(to_fetch),
+                    workers=workers,
+                    t0=schedule.base + schedule.ready,
+                    batch_seconds=schedule.completed - schedule.ready,
+                )
+            else:
+                span.set(
+                    from_cache=len(result),
+                    fetched=len(to_fetch),
+                    workers=workers,
+                    t0=batch_t0,
+                    batch_seconds=self.log.simulated_seconds - batch_t0,
+                )
             exhausted: Optional[Exception] = None
             for outcome in outcomes:
                 result[outcome.url] = outcome.resource

@@ -4,8 +4,7 @@ import pytest
 
 from repro.adm.builder import SchemeBuilder
 from repro.adm.constraints import AttrRef
-from repro.adm.page_scheme import AttrPath
-from repro.adm.webtypes import TEXT, link, list_of
+from repro.adm.webtypes import TEXT, link
 from repro.errors import SchemeError
 from repro.sitegen.university import build_university_scheme
 

@@ -5,11 +5,7 @@ import pytest
 from repro.algebra.ast import (
     EntryPointScan,
     ExternalRelScan,
-    FollowLink,
-    Join,
     Project,
-    Select,
-    Unnest,
     page_relation_schema,
 )
 from repro.algebra.computable import check_computable, is_computable

@@ -117,3 +117,63 @@ class TestTimeline:
 
     def test_empty_timeline_makespan_is_zero(self):
         assert Timeline(lanes=4).makespan == 0.0
+
+
+class TestReadyTimes:
+    """``add(ready=...)`` — the earliest-start constraint pipelined
+    execution uses to keep prefetch non-speculative in time."""
+
+    def test_ready_delays_the_start(self):
+        tl = Timeline(lanes=2)
+        assert tl.add(1.0, ready=5.0) == 6.0
+        assert tl.makespan == 6.0
+        assert tl.intervals == [(0, 5.0, 6.0)]
+
+    def test_ready_default_is_the_greedy_schedule(self):
+        """ready=0 throughout must reproduce the classic earliest-free-lane
+        packing exactly (the staged per-batch model)."""
+        durations = [0.3, 1.2, 0.7, 0.1, 0.9]
+        a, b = Timeline(lanes=2), Timeline(lanes=2)
+        for d in durations:
+            assert a.add(d) == b.add(d, ready=0.0)
+        assert a.intervals == b.intervals
+
+    def test_busy_lane_waits_free_lane_wins(self):
+        tl = Timeline(lanes=2)
+        tl.add(3.0)  # lane 0 busy until 3.0
+        # ready at 2.0: lane 1 is idle then, so the task starts there
+        assert tl.add(1.0, ready=2.0) == 3.0
+        assert tl.intervals[-1] == (1, 2.0, 3.0)
+
+    def test_backfills_idle_gaps(self):
+        """A task placed after a later-ready one may start *before* it,
+        inside the idle gap — a real connection pool starts any ready
+        request on any idle connection, whatever order requests were
+        queued.  Without this, submission order would leak into the
+        makespan and a pipelined plan could exceed its staged one."""
+        tl = Timeline(lanes=1)
+        tl.add(1.0, ready=4.0)  # occupies [4.0, 5.0), gap before it
+        assert tl.add(2.0, ready=1.0) == 3.0  # fits in [1.0, 3.0)
+        assert tl.makespan == 5.0
+        # a task too long for the gap goes after the committed work
+        assert tl.add(2.0, ready=1.0) == 7.0
+
+    def test_gap_must_fit_the_whole_duration(self):
+        tl = Timeline(lanes=1)
+        tl.add(1.0, ready=2.0)  # busy [2.0, 3.0)
+        assert tl.add(2.5, ready=0.0) == 5.5  # 2.0-wide gap is too small
+        assert tl.add(2.0, ready=0.0) == 2.0  # exactly fits [0.0, 2.0)
+
+    def test_rejects_negative_ready(self):
+        with pytest.raises(ValueError):
+            Timeline(lanes=2).add(1.0, ready=-0.5)
+
+    def test_completion_chain(self):
+        """Chaining ready through completions models a pointer chase: the
+        chain length is the sum of its durations, laid out in sequence."""
+        tl = Timeline(lanes=4)
+        done = 0.0
+        for d in [0.5, 0.25, 1.0]:
+            done = tl.add(d, ready=done)
+        assert done == 1.75
+        assert tl.makespan == 1.75

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.adm.constraints import InclusionConstraint, LinkConstraint
+from repro.adm.constraints import InclusionConstraint
 from repro.discovery import (
     crawl_snapshot,
     discover_inclusions,
@@ -11,7 +11,7 @@ from repro.discovery import (
     verify_link_constraint,
     verify_scheme,
 )
-from repro.sitegen import SiteMutator, UniversityConfig
+from repro.sitegen import UniversityConfig
 from repro.sites import university
 from repro.web import WebClient
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.algebra.ast import EntryPointScan, page_relation_schema
-from repro.algebra.predicates import Predicate
 from repro.engine.local import LocalExecutor, qualify_row
 from repro.engine.session import QuerySession
 from repro.errors import NotComputableError

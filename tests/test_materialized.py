@@ -10,7 +10,7 @@ from repro.materialized.maintenance import (
 )
 from repro.materialized.store import MaterializedStore, Status
 from repro.sitegen.mutations import SiteMutator
-from repro.sitegen.university import UniversityConfig, build_university_site
+from repro.sitegen.university import UniversityConfig
 from repro.sites import university
 from repro.views.sql import parse_query
 from repro.web.client import WebClient

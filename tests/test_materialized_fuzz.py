@@ -10,7 +10,6 @@ and that a full refresh restores store/site consistency.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.materialized import (
@@ -116,6 +115,26 @@ def test_full_refresh_restores_consistency_after_any_mutations(script):
         apply_mutation(env.site, mutator, kind, seed)
     full_refresh(store)
     assert consistency_report(store).is_consistent
+
+
+def test_add_remove_add_never_reuses_a_live_url():
+    """Hypothesis-found regression: ``add_course`` derived the new name
+    from ``len(site.courses)``, so add → remove-an-original → add handed
+    two live courses one URL and ``remove_prof`` deleted it twice."""
+    env = university(UniversityConfig(n_depts=2, n_profs=5, n_courses=8))
+    mutator = SiteMutator(env.site)
+    mutator.add_course(env.site.profs[0])
+    mutator.remove_course(env.site.courses[0])
+    mutator.add_course(env.site.profs[0])
+    urls = [course.url for course in env.site.courses]
+    assert len(urls) == len(set(urls))
+    mutator.remove_prof(env.site.profs[0])  # must not raise
+    # same index-reuse hazard on the professor side
+    mutator.add_prof(env.site.depts[0].name)
+    mutator.remove_prof(env.site.profs[0])
+    mutator.add_prof(env.site.depts[0].name)
+    prof_urls = [prof.url for prof in env.site.profs]
+    assert len(prof_urls) == len(set(prof_urls))
 
 
 class TestStoreExport:

@@ -126,7 +126,7 @@ class TestJoin:
             people,
             depts,
             [("Dept", "DName")],
-            predicate=lambda l, r: l["Name"] != "Ada",
+            predicate=lambda lhs, rhs: lhs["Name"] != "Ada",
         )
         assert {r["Name"] for r in out} == {"Alan", "Grace"}
 

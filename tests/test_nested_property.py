@@ -7,9 +7,8 @@ round-trips, and set-operation identities.
 
 from __future__ import annotations
 
-import string
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.adm.webtypes import TEXT, list_of
 from repro.nested.operations import (
@@ -70,8 +69,12 @@ def test_select_true_is_identity(rel):
 
 @given(flat_relations())
 def test_select_conjunction_commutes(rel):
-    p1 = lambda r: r["A"] == "a"
-    p2 = lambda r: r["B"] != "b"
+    def p1(r):
+        return r["A"] == "a"
+
+    def p2(r):
+        return r["B"] != "b"
+
     left = select(select(rel, p1), p2)
     right = select(select(rel, p2), p1)
     assert left.same_contents(right)
@@ -93,7 +96,9 @@ def test_join_commutes(left, right):
 
 @given(flat_relations(), flat_relations(names=("C", "D")))
 def test_selection_pushes_through_join(left, right):
-    pred = lambda r: r["A"] == "a"
+    def pred(r):
+        return r["A"] == "a"
+
     above = select(join(left, right, [("A", "C")]), pred)
     below = join(select(left, pred), right, [("A", "C")])
     assert above.same_contents(below)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.adm.webtypes import TEXT, link, list_of
+from repro.adm.webtypes import TEXT, list_of
 from repro.errors import SchemaError
 from repro.nested.schema import Field, Provenance, RelationSchema
 

@@ -6,7 +6,6 @@ import pytest
 from repro.algebra.ast import EntryPointScan, ExternalRelScan
 from repro.algebra.predicates import In, Predicate
 from repro.errors import OptimizerError
-from repro.optimizer.cost import CostModel
 
 
 @pytest.fixture(scope="module")

@@ -3,8 +3,6 @@ of the whole candidate space."""
 
 import pytest
 
-from repro.algebra.printer import render_expr
-from repro.errors import OptimizerError
 from repro.optimizer.planner import Planner
 from repro.views.sql import parse_query
 
@@ -199,7 +197,7 @@ class TestFailureModes:
 
 class TestPlanCache:
     def test_repeated_queries_hit_the_cache(self, uni_env):
-        from repro.optimizer import CostModel, Planner
+        from repro.optimizer import Planner
 
         planner = Planner(uni_env.view, uni_env.cost_model)
         query = parse_query("SELECT DName FROM Dept", uni_env.view)

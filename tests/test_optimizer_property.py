@@ -9,7 +9,6 @@ and that answer matches a naive evaluation over the materialized extents.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.sitegen import UniversityConfig

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra.ast import EntryPointScan, Expr, Join
+from repro.algebra.ast import EntryPointScan, Join
 from repro.algebra.printer import render_expr
 from repro.errors import OptimizerError
 from repro.optimizer.rewriter import closure
@@ -86,7 +86,6 @@ class TestPlannerGuards:
     def test_expansion_cap(self, uni_env):
         """A query over many multi-navigation relations exceeds the
         expansion cap and fails fast with a clear error."""
-        from repro.optimizer.planner import MAX_EXPANSIONS, Planner
         from repro.views.conjunctive import ConjunctiveQuery, RelOccurrence
 
         # CourseInstructor has 2 navigations: 2^9 = 512 > 256

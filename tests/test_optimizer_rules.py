@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.algebra.ast import (
-    EntryPointScan,
-    FollowLink,
-    Join,
-    Project,
-    Select,
-    Unnest,
-)
+from repro.algebra.ast import EntryPointScan, FollowLink, Join, Select
 from repro.algebra.predicates import Comparison, Predicate
 from repro.algebra.printer import render_expr
 from repro.optimizer.rules import (

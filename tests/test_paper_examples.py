@@ -17,7 +17,7 @@ Each test pins a concrete claim the paper makes:
 import pytest
 
 from repro.algebra.ast import EntryPointScan
-from repro.algebra.printer import render_expr, render_plan_tree
+from repro.algebra.printer import render_plan_tree
 from repro.views.sql import parse_query
 
 

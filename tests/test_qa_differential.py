@@ -112,10 +112,65 @@ class TestCellReproduction:
         cell = Cell("q", 3, "cross_query_warm", "transient", 4)
         assert Cell.parse(cell.cell_id) == cell
 
+    def test_staged_cell_ids_stay_five_part(self):
+        """Pre-pipeline cell ids must remain valid verbatim: staged cells
+        never grow the exec component."""
+        cell = Cell("q", 0, "off", "none", 1, exec_mode="staged")
+        assert cell.cell_id == "q/p0/off/none/w1"
+        assert Cell.parse("q/p0/off/none/w1") == cell
+
+    def test_pipelined_cell_ids_roundtrip(self):
+        cell = Cell("q", 2, "per_query", "transient", 4, exec_mode="pipelined")
+        assert cell.cell_id == "q/p2/per_query/transient/w4/pipelined"
+        assert Cell.parse(cell.cell_id) == cell
+
     def test_bad_cell_ids_rejected(self):
-        for bad in ("q/3/off/none/w1", "q/p3/off/none", "q/p3/off/none/4"):
+        for bad in (
+            "q/3/off/none/w1",
+            "q/p3/off/none",
+            "q/p3/off/none/4",
+            "q/p3/off/none/w1/warp",  # unknown exec mode
+            "q/p3/off/none/w1/pipelined/extra",
+        ):
             with pytest.raises(ValueError):
                 Cell.parse(bad)
+
+    def test_spec_rejects_unknown_exec_mode(self):
+        with pytest.raises(ValueError):
+            MatrixSpec(exec_modes=("staged", "warp"))
+
+    def test_pipelined_cells_match_their_staged_siblings(self):
+        """The matrix's exec dimension enforces non-speculation cell by
+        cell: every pipelined cell answers its staged sibling's digest
+        from its staged sibling's page count."""
+        oracle = build_oracle(
+            "movies",
+            seed=7,
+            spec=MatrixSpec(
+                cache_modes=("off", "per_query"),
+                fault_modes=("none",),
+                worker_counts=(4,),
+                max_plans=3,
+            ),
+        )
+        report = oracle.run()
+        assert report.ok, "\n".join(report.violations[:5])
+        staged = {
+            record.cell_id: record
+            for record in report.cells
+            if not record.cell_id.endswith("/pipelined")
+        }
+        pipelined = [
+            record
+            for record in report.cells
+            if record.cell_id.endswith("/pipelined")
+        ]
+        assert pipelined, "matrix ran no pipelined cells"
+        for record in pipelined:
+            sibling = staged[record.cell_id[: -len("/pipelined")]]
+            assert record.relation_digest == sibling.relation_digest
+            assert record.pages == sibling.pages
+            assert record.pages_saved == sibling.pages_saved
 
     def test_single_cell_matches_matrix_run(self):
         """Running a cell by id reproduces the matrix run's record."""

@@ -3,10 +3,7 @@
 import pytest
 
 from repro.errors import SchemeError
-from repro.sitegen.bibliography import (
-    BibliographyConfig,
-    build_bibliography_site,
-)
+from repro.sitegen.bibliography import BibliographyConfig
 
 
 class TestConfig:

@@ -7,7 +7,6 @@ from repro.sitegen.university import (
     UniversityConfig,
     build_university_site,
 )
-from repro.wrapper.conventions import registry_for_scheme
 
 
 class TestConfig:

@@ -1,8 +1,6 @@
 """Tests for the one-call site environments (repro.sites)."""
 
-import pytest
 
-from repro.errors import OptimizerError
 from repro.sitegen import SiteMutator, UniversityConfig
 from repro.sites import university
 

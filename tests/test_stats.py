@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import StatisticsError
 from repro.stats.estimator import SiteExplorer, estimate_statistics
-from repro.stats.exact import exact_statistics
 from repro.stats.statistics import SiteStatistics, StatsCollector
 from repro.web.client import WebClient
 

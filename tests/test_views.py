@@ -10,15 +10,10 @@ from repro.algebra.ast import (
     Project,
     Select,
 )
-from repro.algebra.predicates import AttrEq, Comparison, In
+from repro.algebra.predicates import Comparison
 from repro.errors import ParseError, QueryError, SchemeError
 from repro.views.conjunctive import ConjunctiveQuery, RelOccurrence
-from repro.views.external import (
-    DefaultNavigation,
-    ExternalRelation,
-    ExternalView,
-    realias_navigation,
-)
+from repro.views.external import DefaultNavigation, ExternalRelation, realias_navigation
 from repro.views.sql import parse_query
 from repro.views.translate import translate
 

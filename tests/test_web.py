@@ -4,7 +4,7 @@ import pytest
 
 from repro.clock import SimClock
 from repro.errors import ResourceNotFound, WebError
-from repro.web.client import AccessLog, WebClient
+from repro.web.client import WebClient
 from repro.web.server import SimulatedWebServer
 
 
