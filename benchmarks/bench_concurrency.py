@@ -24,6 +24,7 @@ import argparse
 
 import pytest
 
+from repro.options import QueryOptions
 from repro.sitegen import UniversityConfig
 from repro.sites import university
 from repro.web.client import FetchConfig
@@ -80,9 +81,11 @@ def run_sweep(config, pool_sizes):
         # float-subtraction noise to the seconds comparison
         env = university(config)
         fetch = FetchConfig(max_workers=pool)
-        result = env.query(SQL, fetch_config=fetch, execution="staged")
+        result = env.query(
+            SQL, options=QueryOptions(fetch=fetch, execution="staged")
+        )
         pipelined = university(config).query(
-            SQL, fetch_config=fetch, execution="pipelined"
+            SQL, options=QueryOptions(fetch=fetch, execution="pipelined")
         )
         seconds = result.log.simulated_seconds
         pipe_seconds = pipelined.log.simulated_seconds
@@ -195,7 +198,9 @@ def test_bench_batched_execution(benchmark):
     env = university(FULL_CONFIG)
     plan = env.plan(SQL).best.expr
     config = FetchConfig(max_workers=8)
-    result = benchmark(lambda: env.execute(plan, fetch_config=config))
+    result = benchmark(
+        lambda: env.execute(plan, options=QueryOptions(fetch=config))
+    )
     assert len(result.relation) > 0
 
 

@@ -22,6 +22,7 @@ identical by construction and only the makespan may drop.
 
 import pytest
 
+from repro.options import QueryOptions
 from repro.sitegen import UniversityConfig
 from repro.sites import university
 from repro.views.sql import parse_query
@@ -67,8 +68,10 @@ def measure(config, plan, execution):
     exact) and return the ExecutionResult."""
     return university(config).execute(
         plan.expr,
-        fetch_config=FetchConfig(max_workers=MEASURED_POOL),
-        execution=execution,
+        options=QueryOptions(
+            fetch=FetchConfig(max_workers=MEASURED_POOL),
+            execution=execution,
+        ),
     )
 
 

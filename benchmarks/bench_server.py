@@ -1,0 +1,243 @@
+"""SERVER — the multi-query server's plan-level sharing on a zipfian mix.
+
+A query service rarely sees queries one at a time: it sees a skewed
+stream, with a few hot queries dominating.  Every query that starts with
+a navigation prefix another query already walked can reuse those pages —
+the server's :class:`~repro.server.prefix.SharedNavigator` evaluates each
+distinct prefix once and fans the page batch out, charging subscribers
+``pages_shared`` instead of downloads.
+
+The experiment replays a zipfian hot/cold request mix (seeded, weight
+1/rank over the site's query suite) from two tenants against two fuzzed
+sites, in cohort mode (deterministic sharing), and compares against the
+serial no-sharing baseline:
+
+* **pages/query** — the paper's cost measure, amortized: the combined
+  footprint (navigator + every query's own downloads) divided by the
+  number of requests.  Must come out strictly below the serial baseline
+  whenever any prefix repeats.
+* **p50/p99 per-query simulated seconds** — what a single subscriber
+  experiences (its own fetches only; shared pages arrive free).
+* **modeled makespan** — navigator resolution plus a greedy assignment
+  of per-query fetch time over ``max_workers`` simulated lanes, against
+  the serial sum of solo runs.
+
+Run as a script: ``python bench_server.py [--quick]`` (with ``src/`` on
+PYTHONPATH), or through pytest for the assertions.
+"""
+
+import argparse
+import random
+
+import pytest
+
+from repro.options import QueryOptions, QueryRequest
+from repro.server import QueryServer, ServerConfig
+from repro.sites import fuzzed
+
+from _bench_utils import record, table
+
+#: Fuzzed sites the mix replays against (seed → requests drawn).
+SITE_SEEDS = (17, 42)
+
+#: Requests per site in the full run (two tenants, zipfian over queries).
+FULL_REQUESTS = 24
+QUICK_REQUESTS = 10
+
+WORKERS = 4
+
+COLUMNS = [
+    "site",
+    "requests",
+    "serial pages/query",
+    "server pages/query",
+    "prefix hits",
+    "p50 own s",
+    "p99 own s",
+    "serial seconds",
+    "server seconds",
+]
+
+
+def zipfian_mix(queries: dict, n_requests: int, seed: int) -> list:
+    """A seeded zipfian request mix: query at rank r drawn with weight
+    1/(r+1), alternating across two tenants."""
+    names = sorted(queries)
+    weights = [1.0 / (rank + 1) for rank in range(len(names))]
+    rng = random.Random(seed)
+    picks = rng.choices(names, weights=weights, k=n_requests)
+    return [
+        QueryRequest(
+            query=queries[name],
+            options=QueryOptions(cache="off"),
+            tenant=f"tenant-{index % 2}",
+        )
+        for index, name in enumerate(picks)
+    ]
+
+
+def percentile(samples: list, fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def modeled_makespan(
+    navigator_seconds: float, query_seconds: list, lanes: int
+) -> float:
+    """Greedy list-schedule of per-query fetch time over ``lanes``
+    workers, after the (serial) navigator resolution pass."""
+    finish = [0.0] * max(1, lanes)
+    for seconds in query_seconds:
+        slot = finish.index(min(finish))
+        finish[slot] += seconds
+    return navigator_seconds + max(finish)
+
+
+def run_mix(site_seed: int, n_requests: int) -> dict:
+    """Serial baseline vs cohort server for one site's request mix."""
+    env = fuzzed(site_seed)
+    queries = env.site.queries()
+    requests = zipfian_mix(queries, n_requests, seed=site_seed)
+
+    # serial baseline: every request solo, no sharing
+    serial_pages = 0
+    serial_seconds = 0.0
+    solo_digests = []
+    for request in requests:
+        result = env.execute(
+            env.plan(request.query, cache="off").best.expr,
+            options=request.options,
+        )
+        serial_pages += result.pages
+        serial_seconds += result.log.simulated_seconds
+        solo_digests.append(result.fingerprint())
+
+    # the server, cohort mode (deterministic sharing)
+    server = QueryServer(
+        env, ServerConfig(max_workers=WORKERS, max_queue=max(64, n_requests))
+    )
+    try:
+        outcomes = server.serve(requests)
+    finally:
+        server.close()
+    assert all(o.ok for o in outcomes), "server run failed a query"
+    for outcome, digest in zip(outcomes, solo_digests):
+        assert outcome.result.fingerprint() == digest, (
+            "shared execution changed an answer"
+        )
+
+    own_pages = sum(o.result.pages for o in outcomes)
+    shared = sum(o.pages_shared for o in outcomes)
+    navigator_log = server.navigator.log
+    server_pages = own_pages + navigator_log.page_downloads
+    own_seconds = [o.result.log.simulated_seconds for o in outcomes]
+    prefix_hits = sum(len(o.signatures) for o in outcomes) - len(
+        server.navigator.resolved_signatures
+    )
+    return {
+        "site": f"fuzz:{site_seed}",
+        "requests": len(requests),
+        "serial pages/query": f"{serial_pages / len(requests):.2f}",
+        "server pages/query": f"{server_pages / len(requests):.2f}",
+        "prefix hits": prefix_hits,
+        "p50 own s": f"{percentile(own_seconds, 0.50):.3f}",
+        "p99 own s": f"{percentile(own_seconds, 0.99):.3f}",
+        "serial seconds": f"{serial_seconds:.2f}",
+        "server seconds": f"{modeled_makespan(navigator_log.simulated_seconds, own_seconds, WORKERS):.2f}",
+        # not table columns, but carried into the JSON rows for the gate
+        "serial total pages": serial_pages,
+        "server total pages": server_pages,
+        "pages shared": shared,
+    }
+
+
+def run_all(n_requests: int) -> list:
+    return [run_mix(seed, n_requests) for seed in SITE_SEEDS]
+
+
+@pytest.fixture(scope="module")
+def mixes():
+    rows = run_all(FULL_REQUESTS)
+    record(
+        "SERVER",
+        "zipfian multi-query mix, serial baseline vs prefix-sharing "
+        "server (2 tenants, cohort mode)",
+        table(rows, COLUMNS),
+        data=rows,
+        meta={"workers": WORKERS, "sites": [f"fuzz:{s}" for s in SITE_SEEDS]},
+    )
+    return rows
+
+
+class TestSharing:
+    def test_pages_per_query_strictly_below_serial(self, mixes):
+        for row in mixes:
+            assert (
+                row["server total pages"] < row["serial total pages"]
+            ), f"{row['site']}: sharing saved nothing"
+
+    def test_prefix_hits_occurred(self, mixes):
+        for row in mixes:
+            assert row["prefix hits"] > 0
+
+    def test_sharing_is_fully_attributed(self, mixes):
+        # combined pages + shared hand-offs must recompose the serial
+        # footprint: sharing moves downloads, it never drops pages
+        for row in mixes:
+            assert (
+                row["server total pages"] + row["pages shared"]
+                >= row["serial total pages"]
+            )
+
+    def test_modeled_makespan_beats_serial(self, mixes):
+        for row in mixes:
+            assert float(row["server seconds"]) < float(
+                row["serial seconds"]
+            )
+
+
+def test_bench_cohort(benchmark):
+    env = fuzzed(SITE_SEEDS[0])
+    requests = zipfian_mix(env.site.queries(), QUICK_REQUESTS, SITE_SEEDS[0])
+    server = QueryServer(env, ServerConfig(max_workers=WORKERS))
+
+    def cohort():
+        return server.serve(requests)
+
+    try:
+        outcomes = benchmark(cohort)
+    finally:
+        server.close()
+    assert all(o.ok for o in outcomes)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small mix (CI smoke run)"
+    )
+    args = parser.parse_args(argv)
+    n_requests = QUICK_REQUESTS if args.quick else FULL_REQUESTS
+
+    rows = run_all(n_requests)
+    record(
+        "SERVER",
+        "zipfian mix, serial vs prefix-sharing server"
+        + (" (quick)" if args.quick else ""),
+        table(rows, COLUMNS),
+        data=rows,
+        meta={"workers": WORKERS, "sites": [f"fuzz:{s}" for s in SITE_SEEDS]},
+    )
+    for row in rows:
+        assert row["server total pages"] < row["serial total pages"], (
+            f"{row['site']}: pages/query did not drop below the serial "
+            f"baseline"
+        )
+        assert row["prefix hits"] > 0, f"{row['site']}: no shared-prefix hits"
+    print("smoke checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

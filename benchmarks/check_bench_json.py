@@ -49,6 +49,7 @@ EXPECTED = {
     "bench_materialized": ["SEC-8"],
     "bench_optimizer": ["ALG-1"],
     "bench_scale": ["SCALE"],
+    "bench_server": ["SERVER"],
     "bench_wrapper": ["WRAP"],
 }
 

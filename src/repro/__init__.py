@@ -81,7 +81,15 @@ from repro.views import (
     parse_query,
     translate,
 )
-from repro.errors import FetchError, RetriesExhaustedError, TransientFetchError
+from repro.errors import (
+    AdmissionRejected,
+    FetchError,
+    OptionsError,
+    RetriesExhaustedError,
+    TransientFetchError,
+)
+from repro.options import DEFAULT_OPTIONS, QueryOptions, QueryRequest
+from repro.server import QueryServer, ServerConfig, SharedNavigator
 from repro.web import (
     SimulatedWebServer,
     WebClient,
@@ -121,6 +129,9 @@ __all__ = [
     "movie_view",
     # stats
     "SiteStatistics", "exact_statistics", "estimate_statistics",
+    # query options / server
+    "QueryOptions", "QueryRequest", "DEFAULT_OPTIONS", "OptionsError",
+    "QueryServer", "ServerConfig", "SharedNavigator", "AdmissionRejected",
     # views
     "ExternalView", "ExternalRelation", "DefaultNavigation",
     "ConjunctiveQuery", "RelOccurrence", "parse_query", "translate",

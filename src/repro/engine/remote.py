@@ -17,7 +17,7 @@ instead of a download, and the per-query log reports the savings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.adm.scheme import WebScheme
 from repro.algebra.ast import Expr
@@ -28,12 +28,13 @@ from repro.engine.pipeline import (
     PipelineConfig,
     PipelinedExecutor,
     PrefetchScheduler,
-    coerce_execution,
 )
 from repro.engine.session import QuerySession
+from repro.errors import OptionsError
 from repro.nested.relation import Relation
 from repro.obs.trace import NULL_TRACER, Span
-from repro.web.cache import PageCache
+from repro.options import QueryOptions, coerce_options
+from repro.web.cache import CachePolicy, PageCache
 from repro.web.client import (
     DEFAULT_FETCH_CONFIG,
     AccessLog,
@@ -42,6 +43,7 @@ from repro.web.client import (
     RetryPolicy,
     WebClient,
 )
+from repro.web.resources import WebResource
 from repro.wrapper.wrapper import WrapperRegistry
 
 __all__ = ["ExecutionResult", "RemoteExecutor"]
@@ -152,37 +154,59 @@ class RemoteExecutor:
         self,
         expr: Expr,
         *,
+        options: Optional[QueryOptions] = None,
+        shared_pages: Optional[Mapping[str, Optional[WebResource]]] = None,
         fetch_config: Optional[FetchConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         cache: Optional[PageCache] = None,
         tracer=None,
-        execution: str = "staged",
+        execution: Optional[str] = None,
         pipeline: Optional[PipelineConfig] = None,
     ) -> ExecutionResult:
         """Run one query: fresh session, per-query access accounting.
 
-        ``fetch_config`` bounds the concurrent fetch pool for this query's
-        batches; ``retry_policy`` overrides the client's transient-failure
-        handling; ``cache`` overrides the client's attached page cache
-        (pass :data:`~repro.web.cache.NO_CACHE` to force uncached
-        execution).  All default to the client's configuration.
+        ``options`` (a :class:`~repro.options.QueryOptions`) bundles every
+        knob: ``options.fetch`` bounds the concurrent fetch pool for this
+        query's batches, ``options.retry`` overrides the client's
+        transient-failure handling, ``options.cache`` overrides the
+        client's attached page cache (pass
+        :data:`~repro.web.cache.NO_CACHE` to force uncached execution; at
+        this level it must already be a resolved :class:`PageCache` —
+        policy names are an environment concept, resolved by
+        :class:`~repro.sites.SiteEnv`).  ``options.execution`` selects
+        ``"staged"`` or ``"pipelined"`` evaluation (validated at bundle
+        construction), ``options.pipeline`` tunes the pipelined mode, and
+        ``options.tracer`` records per-operator spans (observational; the
+        recorded root span lands in ``ExecutionResult.trace``).
 
-        ``execution`` selects the evaluation strategy: ``"staged"`` (the
-        default; every operator a barrier) or ``"pipelined"`` (chunked
-        operators with non-speculative link prefetch on one shared
-        timeline — same pages, same answer, lower makespan; see
-        :mod:`repro.engine.pipeline`).  Unknown modes raise
-        :class:`~repro.errors.ExecutionModeError`.  ``pipeline`` tunes
-        chunking and backpressure for the pipelined mode.
+        The individual keyword arguments are the deprecated pre-1.1
+        surface: still honoured (one :class:`DeprecationWarning` per
+        call), but they cannot be mixed with ``options=``.
 
-        ``tracer`` (a :class:`~repro.obs.trace.RecordingTracer`, default
-        the no-op tracer) records per-operator spans with nested fetch
-        spans; the recorded root span lands in ``ExecutionResult.trace``.
-        Tracing is purely observational — the relation and the log are
-        identical with or without it.
+        ``shared_pages`` pre-loads pages another query already fetched
+        (the multi-query server's plan-level sharing): newly injected live
+        pages are counted in the log's ``pages_shared`` — they cost this
+        query nothing and appear in the *provider's* log, keeping
+        ``own pages + pages_shared == solo pages`` for cache-cold runs.
         """
-        mode = coerce_execution(execution)
-        active_cache = cache if cache is not None else self.client.cache
+        opts = coerce_options(
+            options,
+            fetch_config=fetch_config,
+            retry_policy=retry_policy,
+            cache=cache,
+            tracer=tracer,
+            execution=execution,
+            pipeline=pipeline,
+        )
+        if isinstance(opts.cache, CachePolicy):
+            raise OptionsError(
+                f"RemoteExecutor cannot resolve cache policy "
+                f"{opts.cache.value!r} — resolve it through SiteEnv, or "
+                "pass a PageCache"
+            )
+        active_cache = (
+            opts.cache if opts.cache is not None else self.client.cache
+        )
         if active_cache is not None:
             # new query: per-query entries are dropped, cross-query
             # validation marks reset (the §8 "flags back to none")
@@ -190,11 +214,11 @@ class RemoteExecutor:
         session = QuerySession(
             self.client,
             self.registry,
-            fetch_config=fetch_config,
-            retry_policy=retry_policy,
-            cache=cache,
+            fetch_config=opts.fetch,
+            retry_policy=opts.retry,
+            cache=opts.cache,
         )
-        tracer = tracer if tracer is not None else NULL_TRACER
+        tracer = opts.tracer if opts.tracer is not None else NULL_TRACER
         provider = _SessionProvider(self.scheme, session)
         client = self.client
         log = client.log
@@ -206,8 +230,8 @@ class RemoteExecutor:
             log.bytes_downloaded,
             log.simulated_seconds,
         )
-        if mode == "pipelined":
-            lanes = (fetch_config or DEFAULT_FETCH_CONFIG).effective_workers(
+        if opts.execution == "pipelined":
+            lanes = (opts.fetch or DEFAULT_FETCH_CONFIG).effective_workers(
                 client.network
             )
             scheduler = PrefetchScheduler(log, lanes=lanes, tracer=tracer)
@@ -215,7 +239,7 @@ class RemoteExecutor:
                 self.scheme,
                 session,
                 scheduler,
-                config=pipeline or DEFAULT_PIPELINE_CONFIG,
+                config=opts.pipeline or DEFAULT_PIPELINE_CONFIG,
                 tracer=tracer,
             )
         else:
@@ -223,6 +247,8 @@ class RemoteExecutor:
                 self.scheme, provider, tracer=tracer, meter=meter
             )
         before = log.snapshot()
+        if shared_pages:
+            log.pages_shared += session.seed_resources(dict(shared_pages))
         previous_tracer = client.tracer
         client.tracer = tracer  # fetch-batch spans nest under operator spans
         try:

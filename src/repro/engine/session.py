@@ -54,6 +54,25 @@ class QuerySession:
         self._resources: dict[str, Optional[WebResource]] = {}
         self._tuples: dict[tuple, Optional[dict]] = {}
 
+    def seed_resources(
+        self, pages: dict[str, Optional[WebResource]]
+    ) -> int:
+        """Pre-load already-fetched pages into the session (plan-level
+        sharing: the multi-query server's navigator hands each subscribed
+        query the pages of its navigation prefix).  URLs the session
+        already holds are left untouched — the first fetch wins, exactly
+        as within a query.  Returns the number of newly injected *live*
+        pages (``None`` entries mark known-missing URLs: injected too, so
+        the query skips the doomed fetch, but not counted — a solo run
+        would not have counted them as downloads either)."""
+        injected = 0
+        for url, resource in pages.items():
+            if url not in self._resources:
+                self._resources[url] = resource
+                if resource is not None:
+                    injected += 1
+        return injected
+
     def fetch(self, url: str) -> Optional[WebResource]:
         """Download ``url`` (at most once per session).  Returns None for
         missing pages (dangling links are tolerated and skipped)."""
@@ -144,6 +163,17 @@ class QuerySession:
             if self._tuples[key] is not None:
                 result[url] = self._tuples[key]
         return result
+
+    def touched_resources(self) -> dict[str, Optional[WebResource]]:
+        """URL → resource for every page an evaluation through this
+        session actually *wrapped* (entry pages and follow targets alike;
+        ``None`` marks URLs that turned out missing).  Seeded-but-unused
+        pages (:meth:`seed_resources`) are excluded — this is exactly the
+        page set a solo run of the same evaluation would have requested,
+        which is what the multi-query server fans out per prefix."""
+        return {
+            url: self._resources.get(url) for (_scheme, url) in self._tuples
+        }
 
     @property
     def pages_downloaded(self) -> int:

@@ -27,6 +27,8 @@ __all__ = [
     "RetriesExhaustedError",
     "StatisticsError",
     "ExecutionModeError",
+    "OptionsError",
+    "AdmissionRejected",
     "OptimizerError",
     "QueryError",
     "ParseError",
@@ -128,6 +130,20 @@ class ExecutionModeError(ReproError, ValueError):
     Doubles as a :class:`ValueError` (mirroring the
     ``FetchConfig.max_workers`` validation) so callers that validate
     configuration generically keep working."""
+
+
+class OptionsError(ReproError, ValueError):
+    """A :class:`~repro.options.QueryOptions` bundle is invalid, cannot be
+    serialized, or was combined with conflicting legacy keyword arguments.
+
+    Doubles as a :class:`ValueError` (like :class:`ExecutionModeError`) so
+    generic configuration validators keep working."""
+
+
+class AdmissionRejected(ReproError):
+    """The multi-query server's bounded admission queue is full (or the
+    server is closed); the request was refused without being enqueued.
+    Back off and resubmit — nothing was executed on the request's behalf."""
 
 
 class OptimizerError(ReproError):

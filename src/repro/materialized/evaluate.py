@@ -18,9 +18,11 @@ from typing import Optional, Sequence
 
 from repro.algebra.ast import Expr
 from repro.engine.local import LocalExecutor
+from repro.errors import OptionsError
 from repro.materialized.store import MaterializedStore, Status
 from repro.nested.relation import Relation
 from repro.optimizer.planner import Planner
+from repro.options import QueryOptions
 from repro.views.conjunctive import ConjunctiveQuery
 from repro.web.client import AccessLog, CostSummary
 
@@ -142,24 +144,71 @@ class MaterializedEngine:
         self.store = store
         self.planner = planner
 
+    @staticmethod
+    def _check_options(
+        options: Optional[QueryOptions],
+    ) -> Optional[QueryOptions]:
+        """Validate an ``options=`` bundle for the materialized path.
+
+        The store evaluates locally through its own client, so only
+        ``tracer`` applies; a bundle carrying network-execution knobs
+        (fetch pool, retry, cache, pipelined mode) is a caller error —
+        rejected loudly rather than silently ignored."""
+        if options is None:
+            return None
+        if not isinstance(options, QueryOptions):
+            raise OptionsError(
+                f"options must be a QueryOptions, got {options!r}"
+            )
+        inapplicable = [
+            name
+            for name, value in (
+                ("fetch", options.fetch),
+                ("retry", options.retry),
+                ("cache", options.cache),
+                ("pipeline", options.pipeline),
+            )
+            if value is not None
+        ]
+        if options.execution != "staged":
+            inapplicable.append("execution")
+        if inapplicable:
+            raise OptionsError(
+                f"QueryOptions field(s) {sorted(inapplicable)} do not apply "
+                "to materialized evaluation (Algorithm 3 runs locally "
+                "through the store's client; only tracer applies)"
+            )
+        return options
+
     def execute(
         self,
         expr: Expr,
         check: bool = True,
         max_age: Optional[int] = None,
+        *,
+        options: Optional[QueryOptions] = None,
     ) -> MaterializedResult:
         """Evaluate one plan.  ``check=True`` runs Algorithm 3 (lazy
         maintenance); ``check=False`` trusts the store blindly (possibly
         stale answers, zero network cost).  ``max_age`` tolerates a
         controlled level of obsolescence: tuples verified within the last
-        ``max_age`` clock ticks are used without any connection."""
+        ``max_age`` clock ticks are used without any connection.
+        ``options`` accepts the unified :class:`~repro.options.
+        QueryOptions` bundle; only its ``tracer`` applies here (operator
+        spans), any network-execution field raises
+        :class:`~repro.errors.OptionsError`."""
+        opts = self._check_options(options)
         self.store.reset_status()
         provider = (
             _CheckingProvider(self.store, max_age=max_age)
             if check
             else _TrustingProvider(self.store)
         )
-        executor = LocalExecutor(self.store.scheme, provider)
+        executor = LocalExecutor(
+            self.store.scheme,
+            provider,
+            tracer=opts.tracer if opts is not None else None,
+        )
         before = self.store.client.log.snapshot()
         relation = executor.evaluate(expr)
         return MaterializedResult(
@@ -171,9 +220,13 @@ class MaterializedEngine:
         query: ConjunctiveQuery,
         check: bool = True,
         max_age: Optional[int] = None,
+        *,
+        options: Optional[QueryOptions] = None,
     ) -> MaterializedResult:
         """Optimize with Algorithm 1, then evaluate with Algorithm 3."""
         if self.planner is None:
             raise ValueError("MaterializedEngine was built without a planner")
         plan = self.planner.plan_query(query)
-        return self.execute(plan.best.expr, check=check, max_age=max_age)
+        return self.execute(
+            plan.best.expr, check=check, max_age=max_age, options=options
+        )

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 from repro.obs.export import write_chrome_trace
 from repro.obs.metrics import METRICS
 from repro.obs.trace import RecordingTracer
+from repro.options import QueryOptions
 from repro.web.client import FetchConfig
 
 __all__ = ["main"]
@@ -102,9 +103,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report = env.explain(
         sql,
         analyze=analyze,
-        fetch_config=fetch_config,
-        cache=args.cache,
-        tracer=tracer,
+        options=QueryOptions(
+            cache=args.cache, fetch=fetch_config, tracer=tracer
+        ),
     )
     print(report)
     if args.export_trace is not None:

@@ -23,6 +23,15 @@ each under a configurable matrix of
   a warm cache can answer it without the network);
 * **worker counts** — serial and pooled.
 
+PR 6 added a fourth axis: **execution strategy** now includes ``server``
+cells, which push the plan through the multi-query server's plan-level
+sharing machinery (:func:`repro.server.service.execute_shared`) — a
+shared navigator evaluates the plan's navigation prefixes on its own
+client, the query runs on a clone with those pages injected, and the
+*combined* footprint (navigator + query) must obey every law a solo run
+does, plus the sharing-attribution arithmetic
+(``own pages + revalidations + pages_shared == reference pages``).
+
 and asserts, cell by cell:
 
 1. *relation equality* — every successful cell's canonical answer equals
@@ -51,12 +60,15 @@ from repro.engine.pipeline import EXECUTION_MODES
 from repro.errors import RetriesExhaustedError
 from repro.nested.relation import Relation
 from repro.obs import NULL_TRACER, RecordingTracer
+from repro.options import QueryOptions
 from repro.qa.report import CellRecord, ConformanceReport
+from repro.server.prefix import SharedNavigator
+from repro.server.service import execute_shared
 from repro.sitegen.mutations import perturb_server
 from repro.sites import SiteEnv
 from repro.views.conjunctive import ConjunctiveQuery
 from repro.web.cache import CachePolicy, NO_CACHE, PageCache
-from repro.web.client import CostSummary, FetchConfig, RetryPolicy
+from repro.web.client import AccessLog, CostSummary, FetchConfig, RetryPolicy
 from repro.web.server import FaultPolicy
 
 __all__ = [
@@ -86,7 +98,10 @@ FAULT_MODES = ("none", "transient", "exhausted")
 #: cells must be indistinguishable from ``staged`` ones in every checked
 #: invariant — pages, URL sets, digests — which is exactly the
 #: non-speculation guarantee of :mod:`repro.engine.pipeline`.
-EXEC_MODES = EXECUTION_MODES
+#: ``server`` cells run through the multi-query server's prefix-sharing
+#: machinery and are held to the same invariants on the *combined*
+#: navigator + query footprint, plus the attribution arithmetic.
+EXEC_MODES = EXECUTION_MODES + ("server",)
 
 #: Tracer configurations the matrix can run under.  Tracing must never
 #: change an answer or a page count, so the matrix is re-runnable with a
@@ -370,8 +385,9 @@ class DifferentialOracle:
             server.fault_policy = None
             prewarm = env.executor.execute(
                 plan.expr,
-                fetch_config=FetchConfig(max_workers=1),
-                cache=cache,
+                options=QueryOptions(
+                    cache=cache, fetch=FetchConfig(max_workers=1)
+                ),
             )
             if relation_digest(prewarm.relation) != reference.digest:
                 violations.append(
@@ -393,23 +409,55 @@ class DifferentialOracle:
         # -- the measured run ------------------------------------------- #
         tracer = self._make_tracer()
         server.fault_policy = fault
-        before = env.client.log.snapshot()
         result = None
         error: Optional[RetriesExhaustedError] = None
-        try:
-            result = env.executor.execute(
-                plan.expr,
-                fetch_config=FetchConfig(max_workers=cell.workers),
-                retry_policy=self.spec.retry,
+        query_delta: Optional[AccessLog] = None
+        navigator: Optional[SharedNavigator] = None
+        if cell.exec_mode == "server":
+            # the multi-query server's sharing machinery, single-threaded:
+            # a fresh navigator resolves the plan's navigation prefixes on
+            # its own client, the query runs on a clone with those pages
+            # injected.  Invariants below are checked on the COMBINED
+            # footprint, which must match a solo run's law for the cell's
+            # cache/fault mode; the sharing attribution is checked on the
+            # split logs afterwards.
+            navigator, clone = self._make_server(env)
+            options = QueryOptions(
                 cache=cache,
+                fetch=FetchConfig(max_workers=cell.workers),
+                retry=self.spec.retry,
                 tracer=tracer,
-                execution=cell.exec_mode,
             )
-        except RetriesExhaustedError as err:
-            error = err
-        finally:
-            server.fault_policy = None
-        delta = env.client.log.delta(before)
+            try:
+                shared_run = execute_shared(
+                    env, plan.expr, options, navigator=navigator, client=clone
+                )
+                result = shared_run.result
+                query_delta = result.log
+            except RetriesExhaustedError as err:
+                error = err
+                query_delta = clone.log.snapshot()
+            finally:
+                server.fault_policy = None
+            delta = navigator.log.merge(query_delta)
+        else:
+            before = env.client.log.snapshot()
+            try:
+                result = env.executor.execute(
+                    plan.expr,
+                    options=QueryOptions(
+                        cache=cache,
+                        fetch=FetchConfig(max_workers=cell.workers),
+                        retry=self.spec.retry,
+                        tracer=tracer,
+                        execution=cell.exec_mode,
+                    ),
+                )
+            except RetriesExhaustedError as err:
+                error = err
+            finally:
+                server.fault_policy = None
+            delta = env.client.log.delta(before)
 
         # -- invariants -------------------------------------------------- #
         violations.extend(delta.reconcile())
@@ -421,6 +469,7 @@ class DifferentialOracle:
         record.cache_hits = cost.cache_hits
         record.revalidations = cost.revalidations
         record.pages_saved = cost.pages_saved
+        record.pages_shared = cost.pages_shared
         record.simulated_seconds = cost.simulated_seconds
 
         if error is not None:
@@ -449,6 +498,10 @@ class DifferentialOracle:
                     f"({baseline.rows} rows)"
                 )
             violations.extend(self._check_costs(cell, delta, reference, touched))
+            if cell.exec_mode == "server":
+                violations.extend(
+                    self._check_sharing(query_delta, navigator.log, reference)
+                )
 
         record.violations = violations
         record.ok = not violations
@@ -472,6 +525,57 @@ class DifferentialOracle:
         if self.spec.trace == "recording":
             return RecordingTracer()
         return None
+
+    def _make_server(self, env: SiteEnv):
+        """A fresh navigator + query-client clone for one ``server`` cell
+        (hermetic: nothing is retained across cells, so every cell's
+        prefixes are led by its own navigator)."""
+        from repro.web.client import WebClient
+
+        navigator = SharedNavigator(env.scheme, env.client, env.registry)
+        clone = WebClient(
+            env.client.server, env.client.network, env.client.retry_policy
+        )
+        return navigator, clone
+
+    def _check_sharing(
+        self,
+        query_log: AccessLog,
+        nav_log: AccessLog,
+        reference: _Reference,
+    ) -> list[str]:
+        """The sharing-attribution arithmetic for a successful server cell.
+
+        The navigator's fetches and the query's own fetches partition the
+        reference page set, with ``pages_shared`` marking the hand-off:
+        every page is either fetched (or revalidated) by exactly one of
+        the two logs, and the query's share of the navigator's work is
+        exactly the pages it was handed."""
+        problems: list[str] = []
+        ref = reference.cost
+        accounted = (
+            query_log.page_downloads
+            + query_log.revalidations
+            + query_log.pages_shared
+        )
+        if accounted != ref.pages:
+            problems.append(
+                f"sharing attribution: own {query_log.page_downloads} + "
+                f"revalidated {query_log.revalidations} + shared "
+                f"{query_log.pages_shared} != reference pages {ref.pages}"
+            )
+        provided = nav_log.page_downloads + nav_log.revalidations
+        if provided != query_log.pages_shared:
+            problems.append(
+                f"sharing attribution: navigator provided {provided} pages "
+                f"but the query was credited {query_log.pages_shared}"
+            )
+        if query_log.pages_shared <= 0:
+            problems.append(
+                "server cell shared no pages (every plan has at least its "
+                "entry-point prefix)"
+            )
+        return problems
 
     def _make_cache(self, cache_mode: str) -> PageCache:
         if cache_mode == "off":
@@ -659,8 +763,9 @@ class DifferentialOracle:
                 before = env.client.log.snapshot()
                 result = env.executor.execute(
                     self.plans(query_id)[plan_index].expr,
-                    fetch_config=FetchConfig(max_workers=1),
-                    cache=NO_CACHE,
+                    options=QueryOptions(
+                        cache=NO_CACHE, fetch=FetchConfig(max_workers=1)
+                    ),
                 )
                 delta = env.client.log.delta(before)
             finally:

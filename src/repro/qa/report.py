@@ -56,6 +56,9 @@ class CellRecord:
     cache_hits: float = 0.0
     revalidations: float = 0.0
     pages_saved: float = 0.0
+    #: pages handed over by the multi-query server's shared navigator
+    #: (``server`` exec cells only; 0 elsewhere)
+    pages_shared: float = 0.0
     simulated_seconds: float = 0.0
     plan_text: str = ""
     violations: list = field(default_factory=list)

@@ -1,0 +1,522 @@
+"""The multi-query server: admission, fair scheduling, shared work.
+
+:class:`QueryServer` drives a :class:`~repro.sites.SiteEnv` with a pool of
+worker threads, turning the single-query library into a concurrent query
+service:
+
+* **Bounded admission** — :meth:`QueryServer.submit` refuses work beyond
+  ``ServerConfig.max_queue`` pending requests
+  (:class:`~repro.errors.AdmissionRejected`), so a burst degrades into
+  fast rejections instead of unbounded queue growth.
+* **Per-tenant fairness** — pending requests queue per tenant; workers
+  dequeue round-robin across tenants in first-submission order, so one
+  chatty tenant cannot starve the rest (with one worker the service order
+  is exactly the round-robin interleaving — the conformance tests pin
+  this).
+* **Plan-level shared work** — each planned query is decomposed into
+  navigation prefixes (:func:`~repro.server.prefix.navigation_prefixes`);
+  the shared :class:`~repro.server.prefix.SharedNavigator` evaluates each
+  distinct prefix once and the page batch is fanned out to every
+  subscribed query via session seeding, which records the hand-off in the
+  per-query ``pages_shared`` counter.
+
+Every query executes on its **own** client clone (shared simulated server
+and network model, private :class:`~repro.web.client.AccessLog`), so
+per-query accounting is exact under concurrency and, because injected
+prefix pages remove those URLs from the query's own fetch set, fully
+deterministic: a query's log depends only on which prefix pages it was
+handed, never on thread interleaving.
+
+:meth:`QueryServer.serve` runs a *cohort*: plan every request first,
+pre-resolve all distinct prefixes serially (in first-appearance order),
+then dispatch the queries over the pool.  Every query is then a sharing
+follower, which makes the whole cohort's accounting — navigator log
+included — bit-for-bit reproducible; the benchmark regression gate relies
+on this.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.engine.remote import ExecutionResult, RemoteExecutor
+from repro.errors import AdmissionRejected, OptionsError
+from repro.obs.metrics import METRICS
+from repro.obs.trace import NULL_TRACER
+from repro.options import DEFAULT_OPTIONS, QueryOptions, QueryRequest
+from repro.server.prefix import (
+    PrefixSignature,
+    SharedNavigator,
+    navigation_prefixes,
+)
+from repro.sites import SiteEnv
+from repro.web.client import AccessLog, WebClient
+from repro.web.resources import WebResource
+
+__all__ = [
+    "ServerConfig",
+    "QueryOutcome",
+    "Ticket",
+    "QueryServer",
+    "execute_shared",
+    "SharedExecution",
+]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs for one :class:`QueryServer`.
+
+    ``max_workers`` bounds concurrent query execution; ``max_queue``
+    bounds *pending* (admitted, not yet started) requests; a submit
+    beyond it raises :class:`~repro.errors.AdmissionRejected`.
+    ``share_plans`` toggles plan-level prefix sharing (off: every query
+    fetches for itself — the serial-equivalent baseline).
+    ``default_options`` applies to requests that carry none."""
+
+    max_workers: int = 4
+    max_queue: int = 64
+    share_plans: bool = True
+    default_options: QueryOptions = DEFAULT_OPTIONS
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise OptionsError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.max_queue < 1:
+            raise OptionsError(f"max_queue must be >= 1, got {self.max_queue}")
+        if not isinstance(self.default_options, QueryOptions):
+            raise OptionsError(
+                f"default_options must be a QueryOptions, "
+                f"got {self.default_options!r}"
+            )
+
+
+@dataclass
+class QueryOutcome:
+    """Everything the server knows about one finished request.
+
+    ``sequence`` is the dequeue order (global, 0-based) — the observable
+    trace of the fair scheduler.  ``signatures`` lists the navigation
+    prefixes this query subscribed to (empty: sharing off, no pure
+    prefix, or navigator fault fallback).  ``pages_shared`` is the number
+    of live pages the navigator handed this query for free; the
+    attribution law ``own pages + pages_shared == solo pages`` holds for
+    cache-cold runs.  ``queued_seconds`` is real wall-clock queue time
+    (observational only — simulated time lives in the logs)."""
+
+    request: QueryRequest
+    tenant: str
+    sequence: int
+    result: Optional[ExecutionResult] = None
+    error: Optional[BaseException] = None
+    signatures: tuple[PrefixSignature, ...] = ()
+    queued_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def pages_shared(self) -> int:
+        return self.result.log.pages_shared if self.result else 0
+
+
+class Ticket:
+    """Claim check for a submitted request; resolves to a
+    :class:`QueryOutcome` when a worker finishes it."""
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._outcome: Optional[QueryOutcome] = None
+
+    def _resolve(self, outcome: QueryOutcome) -> None:
+        self._outcome = outcome
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def outcome(self, timeout: Optional[float] = None) -> QueryOutcome:
+        """Block until the request finishes; the outcome, error included."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("query is still pending")
+        assert self._outcome is not None
+        return self._outcome
+
+    def result(self, timeout: Optional[float] = None) -> ExecutionResult:
+        """Block until the request finishes; re-raises its error."""
+        outcome = self.outcome(timeout)
+        if outcome.error is not None:
+            raise outcome.error
+        assert outcome.result is not None
+        return outcome.result
+
+
+@dataclass
+class _Task:
+    request: QueryRequest
+    options: QueryOptions
+    tenant: str
+    ticket: Ticket
+    enqueued_at: float
+    expr: object = None  # pre-planned Expr (cohort mode), else None
+    sequence: int = -1
+
+
+class QueryServer:
+    """Concurrent query service over one :class:`~repro.sites.SiteEnv`.
+
+    Use as a context manager, or call :meth:`close` when done::
+
+        with QueryServer(env, ServerConfig(max_workers=4)) as server:
+            tickets = [server.submit(req) for req in requests]
+            answers = [t.result() for t in tickets]
+
+    ``start=False`` defers worker startup until :meth:`start` (or the
+    first :meth:`serve`) — the fairness tests use this to stage a backlog
+    and observe the exact dequeue order."""
+
+    def __init__(
+        self,
+        env: SiteEnv,
+        config: Optional[ServerConfig] = None,
+        *,
+        start: bool = True,
+    ):
+        self.env = env
+        self.config = config or ServerConfig()
+        self.navigator = SharedNavigator(env.scheme, env.client, env.registry)
+        self._plan_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque[_Task]] = {}
+        self._tenant_order: list[str] = []
+        self._cursor = 0
+        self._pending = 0
+        self._sequence = 0
+        self._workers: list[threading.Thread] = []
+        self._open = True
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "QueryServer":
+        """Spawn the worker pool (idempotent)."""
+        with self._cond:
+            if not self._open:
+                raise AdmissionRejected("server is closed")
+            while len(self._workers) < self.config.max_workers:
+                worker = threading.Thread(
+                    target=self._worker,
+                    name=f"repro-server-{len(self._workers)}",
+                    daemon=True,
+                )
+                self._workers.append(worker)
+                worker.start()
+        return self
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting; workers drain the backlog, then exit."""
+        with self._cond:
+            self._open = False
+            self._cond.notify_all()
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: QueryRequest) -> Ticket:
+        """Admit one request (or refuse: bounded queue, closed server).
+
+        Admission is counted in ``repro_server_admissions_total`` by
+        tenant and outcome; the pending-queue depth at each admission
+        lands in the ``repro_server_queue_depth`` histogram."""
+        if not isinstance(request, QueryRequest):
+            raise OptionsError(
+                f"submit takes a QueryRequest, got {request!r}"
+            )
+        options = self._options_for(request)
+        task = _Task(
+            request, options, request.tenant, Ticket(), time.monotonic()
+        )
+        self._admit(task)
+        return task.ticket
+
+    def serve(
+        self, requests: Sequence[QueryRequest]
+    ) -> list[QueryOutcome]:
+        """Run a cohort; outcomes in submission order.
+
+        Deterministic sharing: every request is planned first (submission
+        order), every distinct navigation prefix is resolved serially in
+        first-appearance order, and only then is the cohort dispatched
+        over the worker pool — each query finds its prefixes already
+        resolved, so per-query accounting (and the navigator's own log)
+        is independent of scheduling.  The cohort must fit the admission
+        queue (``max_queue``), else :class:`~repro.errors.
+        AdmissionRejected` before any work starts."""
+        if len(requests) > self.config.max_queue:
+            raise AdmissionRejected(
+                f"cohort of {len(requests)} exceeds the admission queue "
+                f"bound ({self.config.max_queue})"
+            )
+        tasks: list[_Task] = []
+        for request in requests:
+            options = self._options_for(request)
+            tasks.append(
+                _Task(
+                    request,
+                    options,
+                    request.tenant,
+                    Ticket(),
+                    time.monotonic(),
+                    expr=self._plan(request, options),
+                )
+            )
+        if self.config.share_plans:
+            for task in tasks:
+                for signature, chain in navigation_prefixes(task.expr):
+                    try:
+                        self.navigator.resolve(signature, chain, task.options)
+                    except Exception:
+                        # the leading query will retry (and fail) for
+                        # itself; pre-resolution is best-effort
+                        pass
+        self.start()
+        for task in tasks:
+            self._admit(task, bounded=False)
+        return [task.ticket.outcome() for task in tasks]
+
+    def _admit(self, task: _Task, bounded: bool = True) -> None:
+        admissions = METRICS.counter(
+            "repro_server_admissions_total",
+            "submitted requests by tenant and admission outcome",
+        )
+        with self._cond:
+            if not self._open:
+                admissions.inc(tenant=task.tenant, outcome="closed")
+                raise AdmissionRejected("server is closed")
+            if bounded and self._pending >= self.config.max_queue:
+                admissions.inc(tenant=task.tenant, outcome="rejected")
+                raise AdmissionRejected(
+                    f"admission queue is full "
+                    f"({self._pending}/{self.config.max_queue} pending)"
+                )
+            queue = self._queues.get(task.tenant)
+            if queue is None:
+                queue = self._queues[task.tenant] = deque()
+                self._tenant_order.append(task.tenant)
+            queue.append(task)
+            self._pending += 1
+            admissions.inc(tenant=task.tenant, outcome="accepted")
+            METRICS.histogram(
+                "repro_server_queue_depth",
+                "pending requests observed at each admission",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+            ).observe(self._pending, tenant=task.tenant)
+            self._cond.notify()
+
+    def _options_for(self, request: QueryRequest) -> QueryOptions:
+        options = request.options or self.config.default_options
+        with self._plan_lock:
+            # resolve policy names against the environment cache exactly
+            # once, on the submitting thread (enable_cache mutates env)
+            return options.with_cache(self.env._resolve_cache(options.cache))
+
+    def _plan(self, request: QueryRequest, options: QueryOptions):
+        if request.plan is not None:
+            return request.plan
+        with self._plan_lock:
+            # Planner.plan_query memoizes on shared mutable state
+            return self.env.plan(request.query, cache=options.cache).best.expr
+
+    # ------------------------------------------------------------------ #
+    # the worker side
+    # ------------------------------------------------------------------ #
+
+    def _next_task_locked(self) -> Optional[_Task]:
+        """Round-robin dequeue across tenants (caller holds the lock)."""
+        if self._pending == 0:
+            return None
+        tenants = len(self._tenant_order)
+        for step in range(tenants):
+            index = (self._cursor + step) % tenants
+            queue = self._queues[self._tenant_order[index]]
+            if queue:
+                self._cursor = (index + 1) % tenants
+                task = queue.popleft()
+                self._pending -= 1
+                task.sequence = self._sequence
+                self._sequence += 1
+                return task
+        return None
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                task = self._next_task_locked()
+                while task is None:
+                    if not self._open:
+                        return
+                    self._cond.wait()
+                    task = self._next_task_locked()
+                queued = time.monotonic() - task.enqueued_at
+            task.ticket._resolve(self._run(task, queued))
+
+    def _run(self, task: _Task, queued: float) -> QueryOutcome:
+        outcome = QueryOutcome(
+            request=task.request,
+            tenant=task.tenant,
+            sequence=task.sequence,
+            queued_seconds=queued,
+        )
+        METRICS.histogram(
+            "repro_server_queue_seconds",
+            "wall-clock seconds from admission to dequeue",
+        ).observe(queued, tenant=task.tenant)
+        try:
+            expr = task.expr
+            if expr is None:
+                expr = self._plan(task.request, task.options)
+            shared: dict[str, Optional[WebResource]] = {}
+            signatures: list[PrefixSignature] = []
+            if self.config.share_plans:
+                for signature, chain in navigation_prefixes(expr):
+                    try:
+                        pages = self.navigator.resolve(
+                            signature, chain, task.options
+                        )
+                    except Exception:
+                        # navigator fault (e.g. retries exhausted): fall
+                        # back to unshared fetching for this chain — the
+                        # query sees the fault itself if it is persistent
+                        continue
+                    signatures.append(signature)
+                    shared.update(pages)
+            outcome.signatures = tuple(signatures)
+            tracer = (
+                task.options.tracer
+                if task.options.tracer is not None
+                else NULL_TRACER
+            )
+            with tracer.span(
+                "server_request",
+                kind="server",
+                tenant=task.tenant,
+                sequence=task.sequence,
+                prefixes=len(signatures),
+            ):
+                outcome.result = self._execute(expr, task.options, shared)
+        except Exception as err:  # surfaced through the ticket
+            outcome.error = err
+        METRICS.counter(
+            "repro_server_queries_total",
+            "finished requests by tenant and outcome",
+        ).inc(tenant=task.tenant, outcome="ok" if outcome.ok else "error")
+        return outcome
+
+    def _execute(
+        self,
+        expr: object,
+        options: QueryOptions,
+        shared: dict[str, Optional[WebResource]],
+    ) -> ExecutionResult:
+        """One query on a private client clone (exact per-query log)."""
+        base = self.env.client
+        client = WebClient(
+            base.server, base.network, base.retry_policy, base.cache
+        )
+        executor = RemoteExecutor(self.env.scheme, client, self.env.registry)
+        return executor.execute(
+            expr, options=options, shared_pages=shared or None
+        )
+
+
+# ---------------------------------------------------------------------- #
+# one-shot shared execution (the QA oracle's server dimension)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class SharedExecution:
+    """A single query run through the prefix-sharing machinery, with the
+    navigator's accounting alongside the query's own.
+
+    ``combined_log`` (navigator first, then the query) is the run's total
+    network footprint — the thing conformance laws compare against a solo
+    reference run."""
+
+    result: ExecutionResult
+    navigator_log: AccessLog
+    signatures: tuple[PrefixSignature, ...]
+
+    @property
+    def combined_log(self) -> AccessLog:
+        return self.navigator_log.merge(self.result.log)
+
+    @property
+    def pages_shared(self) -> int:
+        return self.result.log.pages_shared
+
+
+def execute_shared(
+    env: SiteEnv,
+    expr: object,
+    options: Optional[QueryOptions] = None,
+    navigator: Optional[SharedNavigator] = None,
+    client: Optional[WebClient] = None,
+) -> SharedExecution:
+    """Evaluate one plan with plan-level prefix sharing, single-threaded.
+
+    This is the serial core of what :class:`QueryServer` does per request
+    — navigator resolves the plan's prefixes, the query executes on a
+    client clone with the pages injected — exposed directly so the QA
+    oracle's ``server`` execution dimension can differential-test the
+    sharing machinery without threads in the loop.  Pass a ``navigator``
+    to share across calls (hot prefixes); by default each call gets a
+    fresh one (every prefix led, nothing reused).  Pass a ``client`` to
+    run the query on a specific clone — the oracle does, so the query's
+    log stays observable even when the run aborts on exhausted retries
+    (the exception propagates; the logs keep what happened up to it)."""
+    opts = options if options is not None else DEFAULT_OPTIONS
+    opts = opts.with_cache(env._resolve_cache(opts.cache))
+    nav = navigator or SharedNavigator(env.scheme, env.client, env.registry)
+    before = nav.log.snapshot()
+    shared: dict[str, Optional[WebResource]] = {}
+    signatures: list[PrefixSignature] = []
+    for signature, chain in navigation_prefixes(expr):
+        try:
+            pages = nav.resolve(signature, chain, opts)
+        except Exception:
+            continue
+        signatures.append(signature)
+        shared.update(pages)
+    base = env.client
+    if client is None:
+        client = WebClient(
+            base.server, base.network, base.retry_policy, base.cache
+        )
+    executor = RemoteExecutor(env.scheme, client, env.registry)
+    result = executor.execute(expr, options=opts, shared_pages=shared or None)
+    return SharedExecution(
+        result=result,
+        navigator_log=nav.log.delta(before),
+        signatures=tuple(signatures),
+    )

@@ -15,13 +15,14 @@ from:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Optional, Union
 
 from repro.adm.scheme import WebScheme
 from repro.algebra.ast import EntryPointScan, Expr
-from repro.engine.pipeline import PipelineConfig, coerce_execution
+from repro.engine.pipeline import PipelineConfig
 from repro.engine.remote import ExecutionResult, RemoteExecutor
+from repro.options import QueryOptions, coerce_options
 from repro.optimizer.cost import CacheEstimate, CostModel
 from repro.optimizer.planner import Planner, PlannerResult
 from repro.sitegen.bibliography import BibliographyConfig, build_bibliography_site
@@ -110,6 +111,34 @@ class SiteEnv:
         self.page_cache.policy = policy
         return self.page_cache
 
+    def _coerce_options(
+        self,
+        options: Optional[QueryOptions],
+        *,
+        fetch_config: Optional[FetchConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        cache: Union[PageCache, CachePolicy, str, None] = None,
+        tracer: object = None,
+        execution: Optional[str] = None,
+        pipeline: Optional[PipelineConfig] = None,
+    ) -> QueryOptions:
+        """The environment's single option-coercion point: apply the
+        legacy-kwargs shim (:func:`repro.options.coerce_options`) and
+        resolve the cache spec against the environment cache *exactly
+        once*, so the resolved :class:`PageCache` (or None) threads
+        through planning and execution unchanged."""
+        opts = coerce_options(
+            options,
+            fetch_config=fetch_config,
+            retry_policy=retry_policy,
+            cache=cache,
+            tracer=tracer,
+            execution=execution,
+            pipeline=pipeline,
+            stacklevel=4,  # user → query/execute/explain → here → warn
+        )
+        return opts.with_cache(self._resolve_cache(opts.cache))
+
     def cache_estimate(
         self,
         cache: Union[PageCache, CachePolicy, str, None] = None,
@@ -167,74 +196,78 @@ class SiteEnv:
         self,
         plan: Expr,
         *,
+        options: Optional[QueryOptions] = None,
         fetch_config: Optional[FetchConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         cache: Union[PageCache, CachePolicy, str, None] = None,
         tracer: object = None,
-        execution: str = "staged",
+        execution: Optional[str] = None,
         pipeline: Optional[PipelineConfig] = None,
     ) -> ExecutionResult:
         """Execute one plan against the live site.
 
-        ``fetch_config`` bounds the concurrent page-fetch pool for this
-        query's batches; ``retry_policy`` overrides how transient network
-        faults are retried.  Defaults preserve the client's behaviour
-        (serial fetching under the 1998 network model, default retries).
-        ``cache`` overrides the environment page cache for this query
-        (see :meth:`_resolve_cache`).  ``execution`` selects ``"staged"``
-        or ``"pipelined"`` evaluation (same pages and answer, lower
-        makespan — :mod:`repro.engine.pipeline`); unknown modes raise
-        :class:`~repro.errors.ExecutionModeError` rather than silently
-        falling back.  ``tracer`` (a
-        :class:`~repro.obs.trace.RecordingTracer`) records per-operator
-        spans without changing the result.
+        ``options`` (a :class:`~repro.options.QueryOptions`) bundles the
+        fetch pool, retry policy, cache spec, execution mode
+        (``"staged"`` / ``"pipelined"``), pipeline tuning, and tracer;
+        see that class for field semantics.  Defaults preserve the
+        client's behaviour (serial fetching under the 1998 network model,
+        default retries).  The cache spec is resolved against the
+        environment cache exactly once (see :meth:`_resolve_cache`).
+
+        The individual keyword arguments are the deprecated pre-1.1
+        surface: honoured via the :func:`~repro.options.coerce_options`
+        shim (one :class:`DeprecationWarning` per call), but they cannot
+        be mixed with ``options=``.
         """
-        return self.executor.execute(
-            plan,
+        opts = self._coerce_options(
+            options,
             fetch_config=fetch_config,
             retry_policy=retry_policy,
-            cache=self._resolve_cache(cache),
+            cache=cache,
             tracer=tracer,
-            execution=coerce_execution(execution),
+            execution=execution,
             pipeline=pipeline,
         )
+        return self.executor.execute(plan, options=opts)
 
     def query(
         self,
         query: ConjunctiveQuery | str,
         *,
+        options: Optional[QueryOptions] = None,
         fetch_config: Optional[FetchConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         cache: Union[PageCache, CachePolicy, str, None] = None,
         tracer: object = None,
-        execution: str = "staged",
+        execution: Optional[str] = None,
         pipeline: Optional[PipelineConfig] = None,
     ) -> ExecutionResult:
         """Optimize and execute: the paper's end-to-end query path.
 
         With an active cache the optimizer sees its contents (cache-aware
-        costing) and the executor serves hits from it.  ``execution`` is
-        validated *before* planning — an unknown mode raises
+        costing) and the executor serves hits from it.  ``options`` (or
+        the deprecated individual kwargs — see :meth:`execute`) is
+        validated *before* planning — an unknown execution mode raises
         :class:`~repro.errors.ExecutionModeError` instead of silently
         running staged."""
-        mode = coerce_execution(execution)
-        resolved = self._resolve_cache(cache)
-        result = self.plan(query, cache=resolved)
-        return self.execute(
-            result.best.expr,
+        opts = self._coerce_options(
+            options,
             fetch_config=fetch_config,
             retry_policy=retry_policy,
-            cache=resolved,
+            cache=cache,
             tracer=tracer,
-            execution=mode,
+            execution=execution,
             pipeline=pipeline,
         )
+        result = self.plan(query, cache=opts.cache)
+        return self.executor.execute(result.best.expr, options=opts)
 
     def explain(
         self,
         query: ConjunctiveQuery | str,
         *,
         analyze: bool = False,
+        options: Optional[QueryOptions] = None,
         fetch_config: Optional[FetchConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         cache: Union[PageCache, CachePolicy, str, None] = None,
@@ -257,9 +290,15 @@ class SiteEnv:
 
         if isinstance(query, str):
             query = self.sql(query)
-        resolved = self._resolve_cache(cache)
+        opts = self._coerce_options(
+            options,
+            fetch_config=fetch_config,
+            retry_policy=retry_policy,
+            cache=cache,
+            tracer=tracer,
+        )
         planned = self.planner.plan_query(
-            query, cache_estimate=self.cache_estimate(resolved), trace=True
+            query, cache_estimate=self.cache_estimate(opts.cache), trace=True
         )
         best = planned.best
         lines = [planned.describe(self.scheme)]
@@ -271,14 +310,12 @@ class SiteEnv:
         result = None
         if analyze:
             recorder = (
-                tracer if isinstance(tracer, RecordingTracer) else RecordingTracer()
+                opts.tracer
+                if isinstance(opts.tracer, RecordingTracer)
+                else RecordingTracer()
             )
             result = self.executor.execute(
-                best.expr,
-                fetch_config=fetch_config,
-                retry_policy=retry_policy,
-                cache=resolved,
-                tracer=recorder,
+                best.expr, options=_dc_replace(opts, tracer=recorder)
             )
             spans = spans_by_node(recorder)
         lines.append("chosen plan:")

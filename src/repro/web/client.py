@@ -185,6 +185,7 @@ class CostSummary:
     cache_hits: float = 0.0
     revalidations: float = 0.0
     pages_saved: float = 0.0
+    pages_shared: float = 0.0
 
     @classmethod
     def from_log(cls, log: "AccessLog") -> "CostSummary":
@@ -198,6 +199,7 @@ class CostSummary:
             cache_hits=log.cache_hits,
             revalidations=log.revalidations,
             pages_saved=log.pages_saved,
+            pages_shared=log.pages_shared,
         )
 
     def __repr__(self) -> str:
@@ -217,7 +219,11 @@ class AccessLog:
     ``revalidations`` counts cached pages served after a light-connection
     date check confirmed freshness (the HEAD itself also shows up in
     ``light_connections``); ``pages_saved`` is their sum — full downloads
-    the cache avoided."""
+    the cache avoided.  ``pages_shared`` counts pages this query received
+    pre-fetched from the multi-query server's plan-level prefix sharing
+    (:mod:`repro.server`): someone else's download, injected into this
+    query's session before it ran, so it appears in no fetch record here
+    — the provider's own log carries the download."""
 
     page_downloads: int = 0
     light_connections: int = 0
@@ -228,6 +234,7 @@ class AccessLog:
     cache_hits: int = 0
     revalidations: int = 0
     pages_saved: int = 0
+    pages_shared: int = 0
     downloaded_urls: list = field(default_factory=list)
     records: list = field(default_factory=list)
 
@@ -243,6 +250,7 @@ class AccessLog:
             cache_hits=self.cache_hits,
             revalidations=self.revalidations,
             pages_saved=self.pages_saved,
+            pages_shared=self.pages_shared,
             downloaded_urls=list(self.downloaded_urls),
             records=list(self.records),
         )
@@ -259,8 +267,31 @@ class AccessLog:
             cache_hits=self.cache_hits - earlier.cache_hits,
             revalidations=self.revalidations - earlier.revalidations,
             pages_saved=self.pages_saved - earlier.pages_saved,
+            pages_shared=self.pages_shared - earlier.pages_shared,
             downloaded_urls=self.downloaded_urls[len(earlier.downloaded_urls):],
             records=self.records[len(earlier.records):],
+        )
+
+    def merge(self, other: "AccessLog") -> "AccessLog":
+        """Sum of two logs (counters added, URL lists and fetch records
+        concatenated, ours first).  Used to combine the multi-query
+        server's shared-navigator accounting with a query's own log so
+        conformance laws can be checked against the combined network
+        footprint; ``pages_shared`` is deliberately *not* summed into any
+        other counter — it marks the hand-off between the two logs."""
+        return AccessLog(
+            page_downloads=self.page_downloads + other.page_downloads,
+            light_connections=self.light_connections + other.light_connections,
+            failed_requests=self.failed_requests + other.failed_requests,
+            bytes_downloaded=self.bytes_downloaded + other.bytes_downloaded,
+            simulated_seconds=self.simulated_seconds + other.simulated_seconds,
+            attempts=self.attempts + other.attempts,
+            cache_hits=self.cache_hits + other.cache_hits,
+            revalidations=self.revalidations + other.revalidations,
+            pages_saved=self.pages_saved + other.pages_saved,
+            pages_shared=self.pages_shared + other.pages_shared,
+            downloaded_urls=list(self.downloaded_urls) + list(other.downloaded_urls),
+            records=list(self.records) + list(other.records),
         )
 
     def reset(self) -> None:
@@ -273,6 +304,7 @@ class AccessLog:
         self.cache_hits = 0
         self.revalidations = 0
         self.pages_saved = 0
+        self.pages_shared = 0
         self.downloaded_urls = []
         self.records = []
 

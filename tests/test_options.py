@@ -1,0 +1,302 @@
+"""The unified QueryOptions/QueryRequest surface and its legacy shim.
+
+PR 6 redesigned the public query API around one frozen, validated
+:class:`~repro.options.QueryOptions` bundle.  These tests pin the
+contract:
+
+* construction-time validation (one path, subsuming ``coerce_execution``);
+* serialization round-trips (and the refusals: live caches, tracers);
+* the deprecation shim — legacy kwargs still work, warn exactly once per
+  call, are bit-for-bit equivalent to the ``options=`` form (a hypothesis
+  property over the knob space), and mixing the two forms raises;
+* the materialized engine's rejection of network-only fields.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine.pipeline import PipelineConfig
+from repro.errors import ExecutionModeError, OptionsError
+from repro.obs import RecordingTracer
+from repro.options import (
+    DEFAULT_OPTIONS,
+    LEGACY_OPTION_KWARGS,
+    QueryOptions,
+    QueryRequest,
+    coerce_options,
+)
+from repro.qa.oracle import relation_digest
+from repro.sites import fuzzed, university
+from repro.sitegen import UniversityConfig
+from repro.web.cache import CachePolicy, NO_CACHE, PageCache
+from repro.web.client import FetchConfig, RetryPolicy
+
+SQL = "SELECT PName, Rank FROM Professor WHERE Rank = 'Full'"
+
+
+class TestValidation:
+    def test_defaults_are_staged_and_empty(self):
+        opts = QueryOptions()
+        assert opts.execution == "staged"
+        assert opts.cache is None and opts.fetch is None
+        assert opts is not DEFAULT_OPTIONS  # equal, not identical
+        assert opts == DEFAULT_OPTIONS
+
+    def test_execution_spelling_is_canonicalized(self):
+        assert QueryOptions(execution=" Pipelined ").execution == "pipelined"
+
+    def test_unknown_execution_mode_raises(self):
+        with pytest.raises(ExecutionModeError):
+            QueryOptions(execution="warp")
+
+    def test_cache_name_coerces_to_policy(self):
+        assert QueryOptions(cache="off").cache is CachePolicy.OFF
+        assert (
+            QueryOptions(cache="cross_query").cache
+            is CachePolicy.CROSS_QUERY
+        )
+
+    def test_bad_cache_name_raises_options_error(self):
+        with pytest.raises(OptionsError):
+            QueryOptions(cache="sideways")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fetch": 8},
+            {"retry": 3},
+            {"pipeline": {"chunk_size": 4}},
+            {"cache": 1.5},
+        ],
+    )
+    def test_typed_fields_are_checked(self, kwargs):
+        with pytest.raises(OptionsError):
+            QueryOptions(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            QueryOptions().execution = "pipelined"
+
+    def test_with_cache_returns_new_bundle(self):
+        base = QueryOptions(execution="pipelined")
+        derived = base.with_cache(NO_CACHE)
+        assert derived.cache is NO_CACHE
+        assert derived.execution == "pipelined"
+        assert base.cache is None
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        opts = QueryOptions(
+            cache="per_query",
+            fetch=FetchConfig(max_workers=6),
+            retry=RetryPolicy(max_attempts=5, backoff_seconds=0.25),
+            execution="pipelined",
+            pipeline=PipelineConfig(chunk_size=8, max_inflight_batches=3),
+        )
+        assert QueryOptions.from_dict(opts.to_dict()) == opts
+
+    def test_default_round_trip(self):
+        assert QueryOptions.from_dict(QueryOptions().to_dict()) == (
+            QueryOptions()
+        )
+
+    def test_live_cache_refuses_to_serialize(self):
+        with pytest.raises(OptionsError):
+            QueryOptions(cache=PageCache(capacity=4)).to_dict()
+
+    def test_tracer_refuses_to_serialize(self):
+        with pytest.raises(OptionsError):
+            QueryOptions(tracer=RecordingTracer()).to_dict()
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(OptionsError):
+            QueryOptions.from_dict({"cachee": "off"})
+
+
+class TestQueryRequest:
+    def test_needs_query_or_plan(self):
+        with pytest.raises(OptionsError):
+            QueryRequest()
+
+    def test_tenant_must_be_nonempty(self):
+        with pytest.raises(OptionsError):
+            QueryRequest(query=SQL, tenant="")
+
+    def test_options_type_checked(self):
+        with pytest.raises(OptionsError):
+            QueryRequest(query=SQL, options={"cache": "off"})
+
+
+class TestShim:
+    def test_neither_form_returns_defaults(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert coerce_options(None) is DEFAULT_OPTIONS
+
+    def test_options_pass_through_silently(self):
+        opts = QueryOptions(execution="pipelined")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert coerce_options(opts) is opts
+
+    def test_legacy_kwargs_warn_exactly_once_per_call(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            opts = coerce_options(
+                None,
+                fetch_config=FetchConfig(max_workers=2),
+                retry_policy=RetryPolicy(max_attempts=2),
+                cache="off",
+                execution="pipelined",
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert opts.fetch.max_workers == 2
+        assert opts.cache is CachePolicy.OFF
+        assert opts.execution == "pipelined"
+
+    @pytest.mark.parametrize("call_site", ["query", "execute", "explain"])
+    def test_env_legacy_call_sites_warn_exactly_once(
+        self, uni_env, call_site
+    ):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            if call_site == "query":
+                uni_env.query(SQL, fetch_config=FetchConfig(max_workers=2))
+            elif call_site == "execute":
+                plan = uni_env.plan(SQL).best.expr
+                uni_env.execute(plan, fetch_config=FetchConfig(max_workers=2))
+            else:
+                uni_env.explain(SQL, cache="off")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1, (
+            f"{call_site} warned {len(deprecations)} times"
+        )
+
+    def test_options_path_does_not_warn(self, uni_env):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            uni_env.query(
+                SQL, options=QueryOptions(fetch=FetchConfig(max_workers=2))
+            )
+
+    def test_mixing_forms_raises(self, uni_env):
+        with pytest.raises(OptionsError):
+            uni_env.query(
+                SQL,
+                options=QueryOptions(),
+                fetch_config=FetchConfig(max_workers=2),
+            )
+
+    def test_shim_covers_every_declared_legacy_kwarg(self):
+        import inspect
+
+        parameters = inspect.signature(coerce_options).parameters
+        for name in LEGACY_OPTION_KWARGS:
+            assert name in parameters
+
+
+class TestMaterializedOptions:
+    def test_network_fields_rejected(self):
+        from repro.materialized.store import MaterializedStore
+        from repro.materialized.evaluate import MaterializedEngine
+
+        env = university(UniversityConfig(n_depts=2, n_profs=6, n_courses=12))
+        store = MaterializedStore(env.scheme, env.client, env.registry)
+        store.populate()
+        engine = MaterializedEngine(store, planner=env.planner)
+        plan = env.plan(SQL).best.expr
+        with pytest.raises(OptionsError):
+            engine.execute(
+                plan, options=QueryOptions(fetch=FetchConfig(max_workers=2))
+            )
+        # tracer-only bundles apply cleanly
+        engine.execute(plan, options=QueryOptions(tracer=RecordingTracer()))
+
+
+#: Site keys × lazily-built environments the equivalence property sweeps
+#: (built once per test session; fuzzed sites per the acceptance bar).
+_EQUIV_ENVS: dict = {}
+
+
+def _equiv_env(key: str):
+    if key not in _EQUIV_ENVS:
+        _EQUIV_ENVS[key] = (
+            university(UniversityConfig(n_depts=2, n_profs=6, n_courses=12))
+            if key == "university"
+            else fuzzed(int(key.removeprefix("fuzz:")))
+        )
+    return _EQUIV_ENVS[key]
+
+
+class TestLegacyEquivalence:
+    """Legacy kwargs and options= must be bit-for-bit the same run, for
+    every option combination, on hand-written and fuzzed sites alike."""
+
+    knobs = st.fixed_dictionaries(
+        {
+            "site": st.sampled_from(["university", "fuzz:17", "fuzz:42"]),
+            "workers": st.sampled_from([1, 2, 8]),
+            "cache": st.sampled_from(["off", "per_query", "cross_query"]),
+            "execution": st.sampled_from(["staged", "pipelined"]),
+            "attempts": st.sampled_from([1, 4]),
+        }
+    )
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(knobs)
+    def test_digest_and_cost_identical(self, knobs):
+        env = _equiv_env(knobs["site"])
+        sql = (
+            SQL
+            if knobs["site"] == "university"
+            else next(iter(sorted(env.site.queries().items())))[1]
+        )
+        fetch = FetchConfig(max_workers=knobs["workers"])
+        retry = RetryPolicy(max_attempts=knobs["attempts"])
+
+        # stateful policies get one fresh cache object per arm: the
+        # property under test is the shim's equivalence, so both arms
+        # must start from identical cache state ("off" is stateless)
+        def arm_cache():
+            if knobs["cache"] == "off":
+                return "off"
+            return PageCache(policy=knobs["cache"])
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = env.query(
+                sql,
+                fetch_config=fetch,
+                retry_policy=retry,
+                cache=arm_cache(),
+                execution=knobs["execution"],
+            )
+        modern = env.query(
+            sql,
+            options=QueryOptions(
+                fetch=fetch,
+                retry=retry,
+                cache=arm_cache(),
+                execution=knobs["execution"],
+            ),
+        )
+        assert relation_digest(modern.relation) == relation_digest(
+            legacy.relation
+        )
+        assert modern.pages == legacy.pages
+        assert modern.log.bytes_downloaded == legacy.log.bytes_downloaded
+        assert modern.log.attempts == legacy.log.attempts
