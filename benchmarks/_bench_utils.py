@@ -4,9 +4,16 @@ from __future__ import annotations
 
 import json
 import pathlib
+import time
 from typing import Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Process CPU clock at the previous ``record`` call — each experiment is
+#: charged the CPU it burned since the one before it (or since import for
+#: the first), so every ``BENCH_<id>.json`` carries real ``cpu_seconds``
+#: next to the simulated makespans.
+_last_cpu = time.process_time()
 
 
 def record(
@@ -23,10 +30,18 @@ def record(
     Besides the human-readable ``<id>.txt``, every experiment that passes
     ``data`` (its measurement rows, as dicts) also gets a machine-readable
     ``BENCH_<id>.json``: rows, the SQL they measured (``queries``), free-form
-    ``meta``, and a snapshot of the process metrics registry at write time.
-    CI asserts these files exist (``benchmarks/check_bench_json.py``), so a
-    benchmark silently losing its emission fails the build.
+    ``meta``, the wall-clock CPU seconds the experiment burned
+    (``cpu_seconds``, a :func:`time.process_time` delta since the previous
+    ``record`` call), and a snapshot of the process metrics registry at
+    write time.  CI asserts these files exist
+    (``benchmarks/check_bench_json.py``) and holds ``cpu_seconds`` to a
+    tolerant regression gate, so a benchmark silently losing its emission
+    — or silently getting drastically slower — fails the build.
     """
+    global _last_cpu
+    now_cpu = time.process_time()
+    cpu_seconds = now_cpu - _last_cpu
+    _last_cpu = now_cpu
     RESULTS_DIR.mkdir(exist_ok=True)
     text = "\n".join([f"== {experiment_id}: {title} =="] + lines) + "\n"
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(text)
@@ -41,6 +56,7 @@ def record(
             "schema": schema,
             "queries": dict(queries or {}),
             "meta": dict(meta or {}),
+            "cpu_seconds": round(cpu_seconds, 6),
             "rows": rows,
             "metrics": METRICS.snapshot(),
         }

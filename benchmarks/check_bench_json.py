@@ -17,7 +17,11 @@ cares about against the committed ``benchmarks/results/baseline.json``:
   cost measure C(E)) must match the baseline *exactly*: simulated page
   counts are deterministic, so any drift is a behaviour change, not noise;
 * **makespan figures** (simulated seconds) may improve freely but fail
-  the gate when more than 10% above baseline.
+  the gate when more than 10% above baseline;
+* **CPU figures** (any key mentioning ``cpu`` — per-experiment
+  ``cpu_seconds`` plus any explicit CPU columns) are real wall-clock
+  process time and vary across machines, so the gate is deliberately
+  loose: fail only beyond 2x baseline plus a one-second absolute slack.
 
 After an intentional change (new column, new site shape, a genuine cost
 improvement), regenerate and commit the baseline::
@@ -59,13 +63,23 @@ REQUIRED_KEYS = ("bench", "title", "schema", "rows", "metrics")
 PAGE_MARKERS = ("page", "download")
 #: Row keys carrying simulated-makespan figures: bounded regression.
 SECONDS_MARKERS = ("seconds", "sim time")
+#: Row keys carrying real process-CPU figures: loose regression.
+CPU_MARKERS = ("cpu",)
 #: A makespan may grow this much over baseline before the gate fails.
 MAKESPAN_TOLERANCE = 1.10
+#: CPU time is machine-dependent: fail only beyond this multiple of
+#: baseline plus :data:`CPU_ABSOLUTE_SLACK` seconds.
+CPU_TOLERANCE = 2.0
+CPU_ABSOLUTE_SLACK = 1.0
 
 
 def _figure_kind(key: str) -> Optional[str]:
     """Classify a row key as a gated figure, or None to ignore it."""
     lowered = key.lower()
+    # CPU first: "cpu_seconds" contains a seconds marker and CPU table
+    # columns end in " s", but both must get the loose CPU gate
+    if any(marker in lowered for marker in CPU_MARKERS):
+        return "cpu"
     if any(marker in lowered for marker in PAGE_MARKERS):
         return "pages"
     # page-cost columns by convention: C(...) estimates and the
@@ -95,8 +109,10 @@ def _numeric(value) -> Optional[float]:
 
 
 def extract_figures(document: dict) -> list[dict]:
-    """The gated (page/makespan) figures of one BENCH document, row by
-    row, in row order."""
+    """The gated (page/makespan/CPU) figures of one BENCH document, row
+    by row, in row order — plus one trailing pseudo-row carrying the
+    experiment-level ``cpu_seconds``, so the CPU trajectory rides the
+    same baseline diff as every per-row figure."""
     figures: list[dict] = []
     for row in document.get("rows", []):
         extracted: dict[str, float] = {}
@@ -107,6 +123,9 @@ def extract_figures(document: dict) -> list[dict]:
             if number is not None:
                 extracted[key] = number
         figures.append(extracted)
+    cpu_seconds = _numeric(document.get("cpu_seconds"))
+    if cpu_seconds is not None:
+        figures.append({"cpu_seconds": cpu_seconds})
     return figures
 
 
@@ -175,12 +194,22 @@ def compare_baseline(
                     )
                     continue
                 value = current[key]
-                if _figure_kind(key) == "pages":
+                kind = _figure_kind(key)
+                if kind == "pages":
                     if value != base_value:
                         problems.append(
                             f"{experiment_id} row {index}: page figure "
                             f"{key!r} changed {base_value:g} -> {value:g} "
                             f"(page counts must match the baseline exactly)"
+                        )
+                elif kind == "cpu":
+                    bound = base_value * CPU_TOLERANCE + CPU_ABSOLUTE_SLACK
+                    if value > bound:
+                        problems.append(
+                            f"{experiment_id} row {index}: CPU figure "
+                            f"{key!r} regressed {base_value:g}s -> "
+                            f"{value:g}s (> {CPU_TOLERANCE:.1f}x baseline "
+                            f"+ {CPU_ABSOLUTE_SLACK:.0f}s)"
                         )
                 elif value > base_value * tolerance + 1e-9:
                     problems.append(

@@ -88,8 +88,12 @@ class LocalExecutor:
     """Evaluates computable NALG plans against a page-relation provider.
 
     ``tracer`` (default: the zero-cost null tracer) opens one *operator
-    span* per plan node, tagged ``node_id=id(node)`` so the EXPLAIN
-    ANALYZE renderer can pair spans with the plan tree it prints.
+    span* per plan node, tagged with the node's stable **preorder**
+    ``node_id`` (0 at the root, children in ``children()`` order — the
+    numbering every executor and the EXPLAIN ANALYZE renderer share, so
+    spans pair positionally with the plan tree it prints; ``id(node)``
+    was used before, but Python ids collide across GC'd or shared
+    subtrees).
     ``meter`` (optional) is a zero-argument callable returning the current
     ``(pages, light_connections, cache_hits, revalidations, bytes,
     simulated_seconds)`` counters — typically read off the web client's
@@ -110,10 +114,12 @@ class LocalExecutor:
         self.provider = provider
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.meter = meter
+        self._next_node_id = 0
 
     def evaluate(self, expr: Expr) -> Relation:
         """Evaluate ``expr``; raises NotComputableError for bad plans."""
         check_computable(expr, self.scheme)
+        self._next_node_id = 0  # fresh preorder numbering per plan
         return self._eval(expr)
 
     # ------------------------------------------------------------------ #
@@ -122,10 +128,14 @@ class LocalExecutor:
         tracer = self.tracer
         if not tracer.enabled:
             return self._eval_node(expr)
+        # claim the preorder id before recursing: parent before children,
+        # children in children() order — matching compile_plan's numbering
+        node_id = self._next_node_id
+        self._next_node_id += 1
         with tracer.span(
             self._span_name(expr),
             kind="operator",
-            node_id=id(expr),
+            node_id=node_id,
             op=type(expr).__name__,
         ) as span:
             before = self.meter() if self.meter is not None else None

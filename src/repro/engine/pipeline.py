@@ -11,8 +11,9 @@ measured makespan sits far above the ``k``-lane lower bound.
 
 This module removes the barriers without changing a single access:
 
-* operators exchange tuples in bounded **chunks** (:class:`_Chunk`), each
-  carrying the simulated instant its rows became available (``ready``);
+* operators exchange bounded **chunks** (:class:`_Chunk`) — each a
+  :class:`~repro.engine.columnar.ColumnBatch` plus the simulated instant
+  its rows became available (``ready``);
 * every follow-link stage enqueues one fetch batch per input chunk into
   the query's :class:`PrefetchScheduler` the moment that chunk's source
   tuples are complete, up to a backpressure bound of
@@ -22,6 +23,19 @@ This module removes the barriers without changing a single access:
   where a fetch may start no earlier than its chunk's ``ready`` instant —
   so downstream I/O overlaps the *tail* of upstream I/O exactly as a real
   pipelined client would, and never earlier.
+
+The executor always compiles the plan once
+(:func:`~repro.engine.compile.compile_plan`), which pins every stage's
+schema, stable preorder ``node_id``, and column offsets.  How each chunk
+is *transformed* is then a per-query choice:
+
+* ``execution="pipelined"`` interprets each chunk through the reference
+  row operators (:mod:`repro.nested.operations` via
+  :class:`~repro.nested.relation.Relation`), pivoting rows in and out of
+  the batch at stage boundaries — the semantics oracle;
+* ``execution="columnar_pipelined"`` runs the compiled whole-column
+  kernels of :mod:`repro.engine.columnar` directly on the batches — same
+  chunks, same fetches, same answers, a fraction of the interpreter CPU.
 
 **The non-speculation invariant.**  Only URLs the serial plan provably
 fetches are ever enqueued: a follow stage reads link values off actual
@@ -35,7 +49,7 @@ with at least two in-flight batches of lookahead (the default has four)
 it only ever drops (see :class:`PipelineConfig` for the one-batch
 caveat).  The QA differential oracle's ``exec`` dimension
 (:mod:`repro.qa.oracle`) enforces this equivalence across every
-cache/fault/worker cell.
+cache/fault/worker cell, for both chunk backends.
 
 With one connection (``k = 1``) there is nothing to overlap, so the
 executor degenerates to exact staged behaviour: a single chunk per
@@ -47,29 +61,25 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, cast
 
 from repro.adm.scheme import WebScheme
-from repro.algebra.ast import (
-    EntryPointScan,
-    Expr,
-    ExternalRelScan,
-    FollowLink,
-    Join,
-    Project,
-    Select,
-    Unnest,
-    page_relation_schema,
-)
+from repro.algebra.ast import Expr, Join, Project, Select, Unnest
 from repro.algebra.computable import check_computable
 from repro.clock import BatchSchedule, Timeline
+from repro.engine.columnar import ColumnBatch
+from repro.engine.compile import (
+    CompiledNode,
+    apply_follow,
+    apply_join,
+    apply_project,
+    apply_select,
+    apply_unnest,
+    compile_plan,
+)
 from repro.engine.local import qualify_row
 from repro.engine.session import QuerySession
-from repro.errors import (
-    AlgebraError,
-    ExecutionModeError,
-    NotComputableError,
-)
+from repro.errors import AlgebraError, ExecutionModeError
 from repro.nested.relation import Relation, canonical_row
 from repro.obs.trace import NULL_TRACER
 from repro.web.client import AccessLog
@@ -83,8 +93,11 @@ __all__ = [
 ]
 
 #: Execution modes understood by ``RemoteExecutor.execute`` and
-#: ``SiteEnv.query`` / ``SiteEnv.execute``.
-EXECUTION_MODES = ("staged", "pipelined")
+#: ``SiteEnv.query`` / ``SiteEnv.execute``.  ``staged`` and ``pipelined``
+#: interpret row operators; ``columnar`` and ``columnar_pipelined`` run
+#: the same plans through the compiled batch kernels
+#: (:mod:`repro.engine.compile`) with identical answers and accounting.
+EXECUTION_MODES = ("staged", "pipelined", "columnar", "columnar_pipelined")
 
 
 def coerce_execution(execution: str) -> str:
@@ -224,7 +237,7 @@ class PrefetchScheduler:
 
 @dataclass
 class _Chunk:
-    """A bounded run of tuples plus the simulated instant they exist.
+    """A bounded batch of tuples plus the simulated instant they exist.
 
     ``ready`` is timeline-relative: the completion time of the last fetch
     that produced (or was needed to produce) these rows.  Purely local
@@ -232,22 +245,27 @@ class _Chunk:
     cost model, so they forward ``ready`` unchanged.
     """
 
-    rows: list[dict]
+    batch: ColumnBatch
     ready: float
 
 
 class PipelinedExecutor:
-    """Evaluates computable NALG plans as a pipeline of tuple chunks.
+    """Evaluates computable NALG plans as a pipeline of column chunks.
 
     Drop-in alternative to :class:`~repro.engine.local.LocalExecutor` for
     the remote (live-web) path: same answers, same page accounting, lower
-    makespan.  See the module docstring for the invariants.
+    makespan.  See the module docstring for the invariants.  With
+    ``columnar=True`` the per-chunk operators run the compiled batch
+    kernels instead of the interpreted row operators — the fetch pattern
+    and every chunk boundary are identical either way.
 
     ``tracer`` gains per-chunk *pipeline spans* (``kind="pipeline"``) on
     the stages that touch the network, carrying the simulated interval
     from inputs-ready (``t0``) to chunk-complete (``t1``) — the Perfetto
     exporter renders these as a dedicated "pipeline stages" track so
-    stage overlap is visible next to the per-lane fetch intervals.
+    stage overlap is visible next to the per-lane fetch intervals.  Span
+    ``node_id``\\ s are the compiled plan's stable preorder numbers, the
+    same numbering the EXPLAIN ANALYZE renderer uses.
     """
 
     def __init__(
@@ -257,12 +275,14 @@ class PipelinedExecutor:
         scheduler: PrefetchScheduler,
         config: PipelineConfig = DEFAULT_PIPELINE_CONFIG,
         tracer=None,
+        columnar: bool = False,
     ):
         self.scheme = scheme
         self.session = session
         self.scheduler = scheduler
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.columnar = columnar
 
     @property
     def chunk_size(self) -> Optional[int]:
@@ -273,76 +293,84 @@ class PipelinedExecutor:
     def evaluate(self, expr: Expr) -> Relation:
         """Evaluate ``expr``; raises NotComputableError for bad plans."""
         check_computable(expr, self.scheme)
-        schema = expr.output_schema(self.scheme)
-        rows: list[dict] = []
+        plan = compile_plan(expr, self.scheme)
+        batches: list[ColumnBatch] = []
         try:
-            for chunk in self._chunks(expr):
-                rows.extend(chunk.rows)
+            for chunk in self._chunks(plan.root):
+                batches.append(chunk.batch)
         finally:
             # drained or aborted: charge the shared makespan exactly once
             self.scheduler.finalize()
-        return Relation(schema, rows)
+        return ColumnBatch.concat(plan.root.schema, batches).to_relation()
 
     # ------------------------------------------------------------------ #
     # chunk streams, one generator per operator kind
     # ------------------------------------------------------------------ #
 
-    def _chunks(self, expr: Expr) -> Iterator[_Chunk]:
-        if isinstance(expr, EntryPointScan):
-            return self._entry_chunks(expr)
-        if isinstance(expr, FollowLink):
-            return self._follow_chunks(expr)
-        if isinstance(expr, Unnest):
-            return self._unnest_chunks(expr)
-        if isinstance(expr, Select):
-            return self._select_chunks(expr)
-        if isinstance(expr, Project):
-            return self._project_chunks(expr)
-        if isinstance(expr, Join):
-            return self._join_chunks(expr)
-        if isinstance(expr, ExternalRelScan):
-            raise NotComputableError(
-                f"external relation {expr.name!r} reached the executor"
-            )
-        raise AlgebraError(f"cannot evaluate {type(expr).__name__}")
+    def _chunks(self, node: CompiledNode) -> Iterator[_Chunk]:
+        if node.kind == "entry":
+            return self._entry_chunks(node)
+        if node.kind == "follow":
+            return self._follow_chunks(node)
+        if node.kind == "unnest":
+            return self._unnest_chunks(node)
+        if node.kind == "select":
+            return self._select_chunks(node)
+        if node.kind == "project":
+            return self._project_chunks(node)
+        if node.kind == "join":
+            return self._join_chunks(node)
+        raise AlgebraError(f"cannot evaluate compiled kind {node.kind!r}")
 
-    def _rechunk(self, rows: list[dict], ready: float) -> Iterator[_Chunk]:
+    def _rechunk(
+        self, batch: ColumnBatch, ready: float
+    ) -> Iterator[_Chunk]:
         """Split an operator's output back into bounded chunks so the next
         stage can overlap work at chunk granularity.  All pieces carry the
         source ``ready`` — local work is free in simulated time."""
         size = self.chunk_size
-        if not rows or size is None or len(rows) <= size:
-            yield _Chunk(rows, ready)
+        count = batch.num_rows
+        if not count or size is None or count <= size:
+            yield _Chunk(batch, ready)
             return
-        for start in range(0, len(rows), size):
-            yield _Chunk(rows[start : start + size], ready)
+        for start in range(0, count, size):
+            yield _Chunk(batch.slice(start, start + size), ready)
 
-    def _entry_chunks(self, expr: EntryPointScan) -> Iterator[_Chunk]:
-        schema = expr.output_schema(self.scheme)
-        url = self.scheme.entry_point(expr.page_scheme).url
+    def _entry_chunks(self, node: CompiledNode) -> Iterator[_Chunk]:
+        assert node.page_scheme is not None and node.build_row is not None
+        url = self.scheme.entry_point(node.page_scheme).url
         schedule = self.scheduler.open_batch(ready=0.0)
         self.session.fetch_batch([url], schedule=schedule)
         ready = schedule.completed if schedule is not None else 0.0
-        plain = self.session.fetch_tuple(expr.page_scheme, url)
-        rows = [] if plain is None else [qualify_row(schema, plain)]
+        plain = self.session.fetch_tuple(node.page_scheme, url)
+        if plain is None:
+            batch = ColumnBatch.empty(node.schema)
+        elif self.columnar:
+            batch = ColumnBatch.from_tuples(
+                node.schema, [node.build_row(plain)]
+            )
+        else:
+            batch = ColumnBatch.from_rows(
+                node.schema, [qualify_row(node.schema, plain)]
+            )
         self._pipeline_span(
-            f"entry {expr.page_scheme}", expr, 0, ready=0.0,
-            completed=ready, rows_in=1, rows_out=len(rows),
+            node, 0, ready=0.0, completed=ready,
+            rows_in=1, rows_out=batch.num_rows,
         )
-        yield _Chunk(rows, ready)
+        yield _Chunk(batch, ready)
 
-    def _follow_chunks(self, expr: FollowLink) -> Iterator[_Chunk]:
-        child = self._chunks(expr.child)
-        target = expr.target_scheme(self.scheme)
-        target_schema = page_relation_schema(
-            self.scheme, target, expr.target_alias(self.scheme)
-        )
-        stage = f"follow →{expr.link_attr}"
+    def _follow_chunks(self, node: CompiledNode) -> Iterator[_Chunk]:
+        assert node.target_page_scheme is not None
+        assert node.target_schema is not None
+        assert node.build_row is not None and node.link_attr is not None
+        child = self._chunks(node.children[0])
+        target = node.target_page_scheme
         # distinct link values across the whole operator, first-seen order
         # (chunk concatenation preserves the staged child-row order, so
         # the union over chunks equals the staged URL list exactly)
         seen: set[str] = set()
-        qualified: dict[str, dict] = {}
+        #: url → target row dict (interpreted) or value tuple (columnar)
+        qualified: dict = {}
         bound = self.config.max_inflight_batches
         pending: deque[tuple[_Chunk, float]] = deque()
         state = {"drained": False}
@@ -354,8 +382,7 @@ class PipelinedExecutor:
                 state["drained"] = True
                 return
             urls: list[str] = []
-            for row in chunk.rows:
-                value = row.get(expr.link_attr)
+            for value in chunk.batch.columns[node.link_index]:
                 if value is not None and value not in seen:
                     seen.add(value)
                     urls.append(value)
@@ -364,8 +391,12 @@ class PipelinedExecutor:
                 plain = self.session.fetch_tuples(
                     target, urls, schedule=schedule
                 )
-                for url, tup in plain.items():
-                    qualified[url] = qualify_row(target_schema, tup)
+                if self.columnar:
+                    for url, tup in plain.items():
+                        qualified[url] = node.build_row(tup)
+                else:
+                    for url, tup in plain.items():
+                        qualified[url] = qualify_row(node.target_schema, tup)
             completed = (
                 schedule.completed if schedule is not None else chunk.ready
             )
@@ -391,41 +422,57 @@ class PipelinedExecutor:
             # small bounds, a committed downstream placement can block
             # the upstream critical path and lose to the staged schedule
             top_up()
-            rows: list[dict] = []
-            for row in chunk.rows:
-                value = row.get(expr.link_attr)
-                if value is None:
-                    continue
-                target_row = qualified.get(value)
-                if target_row is None:
-                    continue  # dangling link: nothing to navigate to
-                rows.append({**row, **target_row})
+            if self.columnar:
+                batch = apply_follow(node, chunk.batch, qualified)
+            else:
+                rows: list[dict] = []
+                for row in chunk.batch.to_rows():
+                    value = row.get(node.link_attr)
+                    if value is None:
+                        continue
+                    target_row = qualified.get(value)
+                    if target_row is None:
+                        continue  # dangling link: nothing to navigate to
+                    rows.append({**row, **target_row})
+                batch = ColumnBatch.from_rows(node.schema, rows)
             self._pipeline_span(
-                stage, expr, index, ready=chunk.ready, completed=completed,
-                rows_in=len(chunk.rows), rows_out=len(rows),
+                node, index, ready=chunk.ready, completed=completed,
+                rows_in=chunk.batch.num_rows, rows_out=batch.num_rows,
             )
             index += 1
-            yield _Chunk(rows, completed)
+            yield _Chunk(batch, completed)
 
-    def _unnest_chunks(self, expr: Unnest) -> Iterator[_Chunk]:
-        child_schema = expr.child.output_schema(self.scheme)
-        for chunk in self._chunks(expr.child):
-            relation = Relation(child_schema, chunk.rows).unnest(expr.attr)
+    def _unnest_chunks(self, node: CompiledNode) -> Iterator[_Chunk]:
+        expr = cast(Unnest, node.expr)
+        child = node.children[0]
+        for chunk in self._chunks(child):
+            if self.columnar:
+                batch = apply_unnest(node, chunk.batch)
+            else:
+                relation = Relation(
+                    child.schema, chunk.batch.to_rows()
+                ).unnest(expr.attr)
+                batch = ColumnBatch.from_rows(node.schema, relation.rows)
             # re-chunk: unnest multiplies rows, and downstream overlap
             # only exists at chunk granularity
-            yield from self._rechunk(relation.rows, chunk.ready)
+            yield from self._rechunk(batch, chunk.ready)
 
-    def _select_chunks(self, expr: Select) -> Iterator[_Chunk]:
-        expr.output_schema(self.scheme)  # validates predicate attrs
-        child_schema = expr.child.output_schema(self.scheme)
-        for chunk in self._chunks(expr.child):
-            relation = Relation(child_schema, chunk.rows).select(
-                expr.predicate.evaluate
-            )
-            yield _Chunk(relation.rows, chunk.ready)
+    def _select_chunks(self, node: CompiledNode) -> Iterator[_Chunk]:
+        expr = cast(Select, node.expr)
+        child = node.children[0]
+        for chunk in self._chunks(child):
+            if self.columnar:
+                batch = apply_select(node, chunk.batch)
+            else:
+                relation = Relation(
+                    child.schema, chunk.batch.to_rows()
+                ).select(expr.predicate.evaluate)
+                batch = ColumnBatch.from_rows(node.schema, relation.rows)
+            yield _Chunk(batch, chunk.ready)
 
-    def _project_chunks(self, expr: Project) -> Iterator[_Chunk]:
-        child_schema = expr.child.output_schema(self.scheme)
+    def _project_chunks(self, node: CompiledNode) -> Iterator[_Chunk]:
+        expr = cast(Project, node.expr)
+        child = node.children[0]
         renames = {i: o for o, i in expr.outputs if o != i}
         names = list(expr.in_names())
         # projection is set-based: duplicates are eliminated across the
@@ -433,43 +480,52 @@ class PipelinedExecutor:
         # per-chunk dedup alone would let cross-chunk duplicates through
         # at small chunk sizes
         seen: set = set()
-        for chunk in self._chunks(expr.child):
-            relation = Relation(child_schema, chunk.rows).project(
-                names, renames
-            )
-            rows: list[dict] = []
-            for row in relation.rows:
-                key = canonical_row(row)
-                if key not in seen:
-                    seen.add(key)
-                    rows.append(row)
-            yield _Chunk(rows, chunk.ready)
+        for chunk in self._chunks(child):
+            if self.columnar:
+                batch = apply_project(node, chunk.batch, seen)
+            else:
+                relation = Relation(
+                    child.schema, chunk.batch.to_rows()
+                ).project(names, renames)
+                rows: list[dict] = []
+                for row in relation.rows:
+                    key = canonical_row(row)
+                    if key not in seen:
+                        seen.add(key)
+                        rows.append(row)
+                batch = ColumnBatch.from_rows(node.schema, rows)
+            yield _Chunk(batch, chunk.ready)
 
-    def _join_chunks(self, expr: Join) -> Iterator[_Chunk]:
+    def _join_chunks(self, node: CompiledNode) -> Iterator[_Chunk]:
         # a join needs both sides in full: it is the one genuine barrier,
         # and materializing in order keeps the staged row order exactly
-        left_schema = expr.left.output_schema(self.scheme)
-        right_schema = expr.right.output_schema(self.scheme)
+        expr = cast(Join, node.expr)
+        left_node, right_node = node.children
         ready = 0.0
-        left_rows: list[dict] = []
-        for chunk in self._chunks(expr.left):
-            left_rows.extend(chunk.rows)
+        left_batches: list[ColumnBatch] = []
+        for chunk in self._chunks(left_node):
+            left_batches.append(chunk.batch)
             ready = max(ready, chunk.ready)
-        right_rows: list[dict] = []
-        for chunk in self._chunks(expr.right):
-            right_rows.extend(chunk.rows)
+        right_batches: list[ColumnBatch] = []
+        for chunk in self._chunks(right_node):
+            right_batches.append(chunk.batch)
             ready = max(ready, chunk.ready)
-        joined = Relation(left_schema, left_rows).join(
-            Relation(right_schema, right_rows), expr.on
-        )
-        yield from self._rechunk(joined.rows, ready)
+        left = ColumnBatch.concat(left_node.schema, left_batches)
+        right = ColumnBatch.concat(right_node.schema, right_batches)
+        if self.columnar:
+            batch = apply_join(node, left, right)
+        else:
+            joined = Relation(left_node.schema, left.to_rows()).join(
+                Relation(right_node.schema, right.to_rows()), expr.on
+            )
+            batch = ColumnBatch.from_rows(node.schema, joined.rows)
+        yield from self._rechunk(batch, ready)
 
     # ------------------------------------------------------------------ #
 
     def _pipeline_span(
         self,
-        stage: str,
-        expr: Expr,
+        node: CompiledNode,
         index: int,
         ready: float,
         completed: float,
@@ -481,10 +537,10 @@ class PipelinedExecutor:
             return
         base = self.scheduler.base
         with self.tracer.span(
-            f"pipeline {stage}",
+            f"pipeline {node.span_name}",
             kind="pipeline",
-            node_id=id(expr),
-            stage=stage,
+            node_id=node.node_id,
+            stage=node.span_name,
             chunk=index,
         ) as span:
             span.set(

@@ -22,6 +22,7 @@ from typing import Mapping, Optional, Sequence
 from repro.adm.scheme import WebScheme
 from repro.algebra.ast import Expr
 from repro.algebra.printer import render_expr
+from repro.engine.compile import ColumnarExecutor
 from repro.engine.local import LocalExecutor
 from repro.engine.pipeline import (
     DEFAULT_PIPELINE_CONFIG,
@@ -174,8 +175,11 @@ class RemoteExecutor:
         this level it must already be a resolved :class:`PageCache` —
         policy names are an environment concept, resolved by
         :class:`~repro.sites.SiteEnv`).  ``options.execution`` selects
-        ``"staged"`` or ``"pipelined"`` evaluation (validated at bundle
-        construction), ``options.pipeline`` tunes the pipelined mode, and
+        ``"staged"``, ``"pipelined"``, ``"columnar"`` (compiled batch
+        kernels, staged access pattern), or ``"columnar_pipelined"``
+        evaluation (validated at bundle construction) — all four produce
+        identical answers and page accounting; ``options.pipeline`` tunes
+        the pipelined modes, and
         ``options.tracer`` records per-operator spans (observational; the
         recorded root span lands in ``ExecutionResult.trace``).
 
@@ -230,7 +234,7 @@ class RemoteExecutor:
             log.bytes_downloaded,
             log.simulated_seconds,
         )
-        if opts.execution == "pipelined":
+        if opts.execution in ("pipelined", "columnar_pipelined"):
             lanes = (opts.fetch or DEFAULT_FETCH_CONFIG).effective_workers(
                 client.network
             )
@@ -241,6 +245,11 @@ class RemoteExecutor:
                 scheduler,
                 config=opts.pipeline or DEFAULT_PIPELINE_CONFIG,
                 tracer=tracer,
+                columnar=opts.execution == "columnar_pipelined",
+            )
+        elif opts.execution == "columnar":
+            executor = ColumnarExecutor(
+                self.scheme, provider, tracer=tracer, meter=meter
             )
         else:
             executor = LocalExecutor(

@@ -137,7 +137,11 @@ def plan_report(
     ``cost_model`` supplies the estimates (anything with ``_estimate``'s
     public faces ``cardinality``/``cost``); ``spans`` (from
     :func:`~repro.obs.trace.spans_by_node`) attaches measured operator
-    spans by plan-node identity.
+    spans by the stable preorder ``node_id`` every executor stamps on its
+    spans.  This walk *is* preorder (parent appended before children,
+    children in ``children()`` order), so a node's report index is its
+    ``node_id`` — the pairing is positional, immune to the ``id()``
+    collisions that shared or GC'd subtrees used to cause.
     """
     reports: list[NodeReport] = []
 
@@ -145,6 +149,7 @@ def plan_report(
         connector = "" if is_root else ("└── " if is_last else "├── ")
         est_cost = cost_model.cost(node)
         est_own = est_cost - sum(cost_model.cost(c) for c in node.children())
+        node_id = len(reports)  # preorder position == span node_id
         reports.append(
             NodeReport(
                 node=node,
@@ -155,7 +160,7 @@ def plan_report(
                 est_card=cost_model.cardinality(node),
                 est_cost=est_cost,
                 est_own=est_own,
-                span=spans.get(id(node)) if spans else None,
+                span=spans.get(node_id) if spans else None,
             )
         )
         child_prefix = (

@@ -261,6 +261,8 @@ def spans_by_node(trace) -> dict[int, Span]:
 
     Accepts a :class:`RecordingTracer` or a root :class:`Span`; used by the
     EXPLAIN ANALYZE renderer to pair each plan node with its measured span.
+    ``node_id`` is the plan's stable preorder number (the renderer's walk
+    order), stamped identically by every executor.
     """
     spans = (
         trace.spans(kind="operator")

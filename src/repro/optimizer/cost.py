@@ -270,7 +270,9 @@ class CostModel:
         stages, critical = self._network_stages(expr, network)
         k = workers
         staged = sum(math.ceil(pages / k) * t for pages, t in stages)
-        if mode == "staged":
+        # the columnar engine changes CPU, not network: staged access
+        # pattern for "columnar", pipelined overlap for its pipelined twin
+        if mode in ("staged", "columnar"):
             return staged
         total_work = sum(pages * t for pages, t in stages)
         return min(staged, max(total_work / k, critical))

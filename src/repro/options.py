@@ -76,12 +76,15 @@ class QueryOptions:
         :class:`~repro.web.client.RetryPolicy` for transient faults
         (None: the client's policy).
     ``execution``
-        ``"staged"`` or ``"pipelined"`` — validated at construction, so an
-        unknown mode can never travel (this subsumes the old free-standing
+        one of :data:`~repro.engine.pipeline.EXECUTION_MODES` —
+        ``"staged"``, ``"pipelined"``, ``"columnar"`` (compiled batch
+        kernels, staged access pattern), or ``"columnar_pipelined"`` —
+        validated at construction, so an unknown mode can never travel
+        (this subsumes the old free-standing
         :func:`~repro.engine.pipeline.coerce_execution` call sites).
     ``pipeline``
         :class:`~repro.engine.pipeline.PipelineConfig` tuning chunking and
-        backpressure for pipelined execution.
+        backpressure for the pipelined modes.
     ``tracer``
         A :class:`~repro.obs.trace.RecordingTracer` (or the null tracer);
         purely observational.

@@ -97,7 +97,10 @@ FAULT_MODES = ("none", "transient", "exhausted")
 #: All execution-mode dimensions, in canonical order.  ``pipelined``
 #: cells must be indistinguishable from ``staged`` ones in every checked
 #: invariant — pages, URL sets, digests — which is exactly the
-#: non-speculation guarantee of :mod:`repro.engine.pipeline`.
+#: non-speculation guarantee of :mod:`repro.engine.pipeline`; the
+#: compiled ``columnar`` and ``columnar_pipelined`` cells are held to the
+#: same bit-for-bit laws, making the matrix the digest-level oracle for
+#: the batch engine (:mod:`repro.engine.compile`).
 #: ``server`` cells run through the multi-query server's prefix-sharing
 #: machinery and are held to the same invariants on the *combined*
 #: navigator + query footprint, plus the attribution arithmetic.

@@ -41,7 +41,8 @@ class CellRecord:
     fault_mode: str
     workers: int
     ok: bool
-    #: execution strategy the cell ran under (staged | pipelined)
+    #: execution strategy the cell ran under (staged | pipelined |
+    #: columnar | columnar_pipelined | server)
     exec_mode: str = "staged"
     #: cell was expected to abort with RetriesExhaustedError, and did
     expected_failure: bool = False

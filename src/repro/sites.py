@@ -208,7 +208,8 @@ class SiteEnv:
 
         ``options`` (a :class:`~repro.options.QueryOptions`) bundles the
         fetch pool, retry policy, cache spec, execution mode
-        (``"staged"`` / ``"pipelined"``), pipeline tuning, and tracer;
+        (``"staged"`` / ``"pipelined"`` / ``"columnar"`` /
+        ``"columnar_pipelined"``), pipeline tuning, and tracer;
         see that class for field semantics.  Defaults preserve the
         client's behaviour (serial fetching under the 1998 network model,
         default retries).  The cache spec is resolved against the

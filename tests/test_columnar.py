@@ -1,0 +1,449 @@
+"""The compiled columnar engine: batch kernels, plan compilation, and the
+bit-for-bit equivalence of ``columnar`` / ``columnar_pipelined`` execution
+with the interpreted reference modes.
+
+Three layers of evidence, coarsest last:
+
+* kernel unit tests pin each whole-column operator against hand-computed
+  outputs (including the null-key, dangling-link, and empty-list edges
+  the interpreted operators define the semantics for);
+* compilation tests pin the preorder ``node_id`` numbering every
+  executor and the EXPLAIN ANALYZE renderer now share, plus the
+  per-scheme plan cache;
+* differential tests replay the QA idioms — seed sites, fuzzed sites,
+  a hypothesis sweep over workers × chunking × cache — asserting the
+  compiled modes reproduce staged digests, page counts, and cache
+  counters exactly, and pin the new 6-part QA cell ids.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adm.webtypes import TEXT, ListType
+from repro.engine.columnar import (
+    ColumnBatch,
+    distinct_links,
+    first_occurrences,
+    follow_batch,
+    join_batches,
+    product_batches,
+    unnest_batch,
+)
+from repro.engine.compile import ColumnarExecutor, compile_plan
+from repro.engine.local import LocalExecutor
+from repro.engine.pipeline import PipelineConfig
+from repro.engine.remote import _SessionProvider
+from repro.engine.session import QuerySession
+from repro.nested.schema import Field, RelationSchema
+from repro.obs.trace import RecordingTracer, spans_by_node
+from repro.qa import Cell, DifferentialOracle, MatrixSpec, relation_digest
+from repro.qa.cli import build_oracle, build_site
+from repro.sites import fuzzed, university
+from repro.web.client import FetchConfig
+
+COMPILED_MODES = ("columnar", "columnar_pipelined")
+
+CHASE_SQL = (
+    "SELECT Professor.PName, email FROM Course, CourseInstructor, "
+    "Professor, ProfDept WHERE Course.CName = CourseInstructor.CName "
+    "AND CourseInstructor.PName = Professor.PName "
+    "AND Professor.PName = ProfDept.PName "
+    "AND ProfDept.DName = 'Computer Science' AND Type = 'Graduate'"
+)
+
+
+def schema(*names: str) -> RelationSchema:
+    return RelationSchema([Field(name, TEXT) for name in names])
+
+
+# --------------------------------------------------------------------- #
+# the batch container
+# --------------------------------------------------------------------- #
+
+
+class TestColumnBatch:
+    def test_row_roundtrip(self):
+        s = schema("a", "b")
+        rows = [{"a": "1", "b": "x"}, {"a": "2", "b": None}]
+        batch = ColumnBatch.from_rows(s, rows)
+        assert batch.columns == [["1", "2"], ["x", None]]
+        assert batch.num_rows == 2
+        assert batch.to_rows() == rows
+
+    def test_from_tuples_and_empty(self):
+        s = schema("a", "b")
+        batch = ColumnBatch.from_tuples(s, [("1", "x"), ("2", "y")])
+        assert batch.to_rows() == [
+            {"a": "1", "b": "x"},
+            {"a": "2", "b": "y"},
+        ]
+        empty = ColumnBatch.from_tuples(s, [])
+        assert empty.num_rows == 0
+        assert empty.to_rows() == []
+        assert len(empty.columns) == 2
+
+    def test_gather_slice_concat(self):
+        s = schema("a")
+        batch = ColumnBatch.from_rows(s, [{"a": v} for v in "wxyz"])
+        assert batch.gather([3, 0]).columns == [["z", "w"]]
+        assert batch.slice(1, 3).columns == [["x", "y"]]
+        joined = ColumnBatch.concat(
+            s, [batch.slice(0, 2), batch.slice(2, 4)]
+        )
+        assert joined.columns == batch.columns
+        assert len(batch) == 4
+
+
+# --------------------------------------------------------------------- #
+# kernels
+# --------------------------------------------------------------------- #
+
+
+class TestKernels:
+    def test_distinct_links_skips_nulls_keeps_order(self):
+        assert distinct_links(["u2", None, "u1", "u2", "u1"]) == ["u2", "u1"]
+
+    def test_first_occurrences_shares_seen_across_calls(self):
+        seen: set = set()
+        assert first_occurrences(["a", "b", "a"], seen) == [0, 1]
+        # a second chunk must not resurrect already-emitted keys
+        assert first_occurrences(["b", "c"], seen) == [1]
+
+    def test_unnest_repeats_kept_and_drops_empty(self):
+        elem = RelationSchema([Field("E", TEXT)])
+        s = RelationSchema(
+            [
+                Field("K", TEXT),
+                Field("L", ListType((("E", TEXT),)), elem=elem),
+            ]
+        )
+        out_schema = s.unnest("L")
+        batch = ColumnBatch.from_rows(
+            s,
+            [
+                {"K": "k1", "L": [{"E": "e1"}, {"E": "e2"}]},
+                {"K": "k2", "L": []},  # empty list: row disappears
+                {"K": "k3", "L": [{"E": "e3"}]},
+            ],
+        )
+        out = unnest_batch(batch, 1, ("E",), out_schema)
+        assert out.to_rows() == [
+            {"K": "k1", "E": "e1"},
+            {"K": "k1", "E": "e2"},
+            {"K": "k3", "E": "e3"},
+        ]
+
+    def test_join_null_keys_never_match(self):
+        left = ColumnBatch.from_rows(
+            schema("a", "x"),
+            [{"a": "1", "x": "l1"}, {"a": None, "x": "l2"},
+             {"a": "2", "x": "l3"}],
+        )
+        right = ColumnBatch.from_rows(
+            schema("b", "y"),
+            [{"b": "2", "y": "r1"}, {"b": None, "y": "r2"},
+             {"b": "1", "y": "r3"}, {"b": "1", "y": "r4"}],
+        )
+        out = join_batches(
+            left, right, (0, 0), (), schema("a", "x", "b", "y")
+        )
+        # left order, then right bucket order
+        assert out.to_rows() == [
+            {"a": "1", "x": "l1", "b": "1", "y": "r3"},
+            {"a": "1", "x": "l1", "b": "1", "y": "r4"},
+            {"a": "2", "x": "l3", "b": "2", "y": "r1"},
+        ]
+
+    def test_join_rest_pairs_filter(self):
+        left = ColumnBatch.from_rows(
+            schema("a", "c"),
+            [{"a": "1", "c": "m"}, {"a": "1", "c": None}],
+        )
+        right = ColumnBatch.from_rows(
+            schema("b", "d"),
+            [{"b": "1", "d": "m"}, {"b": "1", "d": "n"}],
+        )
+        out = join_batches(
+            left, right, (0, 0), ((1, 1),), schema("a", "c", "b", "d")
+        )
+        # the None on the rest pair filters both of its candidates
+        assert out.to_rows() == [
+            {"a": "1", "c": "m", "b": "1", "d": "m"},
+        ]
+
+    def test_product_is_left_major(self):
+        left = ColumnBatch.from_rows(schema("a"), [{"a": "1"}, {"a": "2"}])
+        right = ColumnBatch.from_rows(schema("b"), [{"b": "x"}, {"b": "y"}])
+        out = product_batches(left, right, schema("a", "b"))
+        assert out.to_rows() == [
+            {"a": "1", "b": "x"},
+            {"a": "1", "b": "y"},
+            {"a": "2", "b": "x"},
+            {"a": "2", "b": "y"},
+        ]
+
+    def test_follow_drops_null_and_dangling(self):
+        s = schema("u", "k")
+        out_schema = schema("u", "k", "t")
+        batch = ColumnBatch.from_rows(
+            s,
+            [
+                {"u": "u1", "k": "a"},
+                {"u": None, "k": "b"},    # null link
+                {"u": "u9", "k": "c"},    # dangling: not in targets
+                {"u": "u2", "k": "d"},
+            ],
+        )
+        out = follow_batch(batch, 0, {"u1": ("t1",), "u2": ("t2",)}, out_schema)
+        assert out.to_rows() == [
+            {"u": "u1", "k": "a", "t": "t1"},
+            {"u": "u2", "k": "d", "t": "t2"},
+        ]
+
+
+# --------------------------------------------------------------------- #
+# compilation
+# --------------------------------------------------------------------- #
+
+
+class TestCompilation:
+    def test_preorder_ids_match_report_order(self):
+        """node_id must equal the node's position in plan_report's walk —
+        that positional agreement is the whole span-pairing contract."""
+        from repro.obs.explain import plan_report
+
+        env = university()
+        plan = env.plan(CHASE_SQL).best.expr
+        compiled = compile_plan(plan, env.scheme)
+        nodes = list(compiled.root.walk())
+        assert [n.node_id for n in nodes] == list(range(compiled.node_count))
+        reports = plan_report(plan, env.cost_model, scheme=env.scheme)
+        assert len(reports) == compiled.node_count
+        for report, node in zip(reports, nodes):
+            assert report.node is node.expr
+
+    def test_compiled_plans_are_cached_per_scheme(self):
+        env = university()
+        plan = env.plan(CHASE_SQL).best.expr
+        assert compile_plan(plan, env.scheme) is compile_plan(
+            plan, env.scheme
+        )
+
+    def test_executor_matches_interpreter_on_every_plan(self):
+        env = university()
+        for cand in env.enumerate_plans(CHASE_SQL):
+            def run(cls):
+                session = QuerySession(env.client, env.registry)
+                provider = _SessionProvider(env.scheme, session)
+                return cls(env.scheme, provider).evaluate(cand.expr)
+
+            assert relation_digest(run(ColumnarExecutor)) == relation_digest(
+                run(LocalExecutor)
+            )
+
+
+# --------------------------------------------------------------------- #
+# operator spans: stable preorder identity (both executors)
+# --------------------------------------------------------------------- #
+
+
+class TestSpanIdentity:
+    @pytest.mark.parametrize("execution", ["staged", "columnar"])
+    def test_span_node_ids_are_preorder(self, execution):
+        env = university()
+        tracer = RecordingTracer()
+        result = env.query(CHASE_SQL, execution=execution, tracer=tracer)
+        spans = spans_by_node(tracer)
+        count = len(tracer.spans(kind="operator"))
+        assert count > 0
+        # ids are exactly 0..n-1: no Python-id collisions possible
+        assert sorted(spans) == list(range(count))
+        # and the own-pages invariant survives the renumbering
+        root = spans[0]
+        assert root.attrs["pages"] == result.pages
+
+    def test_both_executors_stamp_identical_ids(self):
+        env_a, env_b = university(), university()
+        t_staged, t_columnar = RecordingTracer(), RecordingTracer()
+        env_a.query(CHASE_SQL, execution="staged", tracer=t_staged)
+        env_b.query(CHASE_SQL, execution="columnar", tracer=t_columnar)
+        staged = spans_by_node(t_staged)
+        columnar = spans_by_node(t_columnar)
+        assert sorted(staged) == sorted(columnar)
+        for node_id, span in staged.items():
+            twin = columnar[node_id]
+            assert twin.name == span.name
+            assert twin.attrs["op"] == span.attrs["op"]
+            assert twin.attrs["pages"] == span.attrs["pages"]
+            assert twin.attrs["tuples_out"] == span.attrs["tuples_out"]
+
+
+# --------------------------------------------------------------------- #
+# differential equivalence with the interpreted modes
+# --------------------------------------------------------------------- #
+
+
+def assert_same_work(reference, other):
+    assert other.pages == reference.pages
+    assert other.log.attempts == reference.log.attempts
+    assert other.log.cache_hits == reference.log.cache_hits
+    assert other.log.revalidations == reference.log.revalidations
+    assert sorted(other.log.downloaded_urls) == sorted(
+        reference.log.downloaded_urls
+    )
+    assert relation_digest(other.relation) == relation_digest(
+        reference.relation
+    )
+
+
+class TestCompiledModesMatchStaged:
+    @pytest.mark.parametrize("site", ["university", "bibliography", "movies"])
+    @pytest.mark.parametrize("mode", COMPILED_MODES)
+    def test_seed_site_suites(self, site, mode):
+        env, queries = build_site(site)
+        fetch = FetchConfig(max_workers=3)
+        for sql in queries.values():
+            staged = env.query(sql, fetch_config=fetch, cache="off")
+            compiled = env.query(
+                sql, fetch_config=fetch, cache="off", execution=mode
+            )
+            assert_same_work(staged, compiled)
+
+    def test_columnar_serial_is_bitforbit_staged(self):
+        """At k=1 even simulated seconds must agree exactly (same fetch
+        sequence, same serial accounting, no timeline)."""
+        staged = university().query(CHASE_SQL, execution="staged")
+        for mode in COMPILED_MODES:
+            compiled = university().query(CHASE_SQL, execution=mode)
+            assert_same_work(staged, compiled)
+            assert (
+                compiled.log.simulated_seconds
+                == staged.log.simulated_seconds
+            )
+            assert (
+                compiled.log.bytes_downloaded == staged.log.bytes_downloaded
+            )
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.sampled_from([17, 42]),
+        query_index=st.integers(min_value=0, max_value=10),
+        workers=st.sampled_from([1, 2, 5]),
+        chunk=st.sampled_from([1, 4, 16]),
+        mode=st.sampled_from(COMPILED_MODES),
+        cache=st.sampled_from(["off", "per_query"]),
+    )
+    def test_fuzzed_sites_agree(
+        self, seed, query_index, workers, chunk, mode, cache
+    ):
+        """Machine-generated shapes: compiled execution answers every
+        suite query from the same pages with the same cache counters."""
+        staged_env, compiled_env, queries = _FUZZ[seed]
+        _, sql = queries[query_index % len(queries)]
+        fetch = FetchConfig(max_workers=workers)
+        staged = staged_env.query(sql, fetch_config=fetch, cache=cache)
+        compiled = compiled_env.query(
+            sql,
+            fetch_config=fetch,
+            cache=cache,
+            execution=mode,
+            pipeline=PipelineConfig(chunk_size=chunk),
+        )
+        assert compiled.fingerprint() == staged.fingerprint()
+        assert_same_work(staged, compiled)
+
+
+#: Environment pairs shared across hypothesis examples (page counts and
+#: digests come from per-query delta logs, so sharing is sound).
+_FUZZ = {
+    seed: (fuzzed(seed), fuzzed(seed), tuple(fuzzed(seed).site.queries().items()))
+    for seed in (17, 42)
+}
+
+
+# --------------------------------------------------------------------- #
+# the QA matrix's new exec cells
+# --------------------------------------------------------------------- #
+
+
+class TestQaCells:
+    def test_columnar_cell_ids_roundtrip(self):
+        cell = Cell("q", 2, "per_query", "none", 4, exec_mode="columnar")
+        assert cell.cell_id == "q/p2/per_query/none/w4/columnar"
+        assert Cell.parse(cell.cell_id) == cell
+        cell = Cell(
+            "q", 1, "cross_query_warm", "transient", 4,
+            exec_mode="columnar_pipelined",
+        )
+        assert (
+            cell.cell_id
+            == "q/p1/cross_query_warm/transient/w4/columnar_pipelined"
+        )
+        assert Cell.parse(cell.cell_id) == cell
+
+    def test_columnar_cells_match_their_staged_siblings(self):
+        """Every compiled cell must answer its staged sibling's digest
+        from its staged sibling's page count — cache modes, faults, and
+        pool sizes included (the cache × fault × worker sweep)."""
+        oracle = build_oracle(
+            "movies",
+            seed=7,
+            spec=MatrixSpec(
+                cache_modes=("off", "cross_query_warm"),
+                fault_modes=("none", "transient"),
+                worker_counts=(4,),
+                max_plans=3,
+            ),
+        )
+        report = oracle.run()
+        assert report.ok, "\n".join(report.violations[:5])
+        staged = {
+            record.cell_id: record
+            for record in report.cells
+            if record.cell_id.count("/") == 4  # 5-part = staged
+        }
+        for mode in COMPILED_MODES:
+            suffix = f"/{mode}"
+            compiled = [
+                record
+                for record in report.cells
+                if record.cell_id.endswith(suffix)
+            ]
+            assert compiled, f"matrix ran no {mode} cells"
+            for record in compiled:
+                sibling = staged[record.cell_id[: -len(suffix)]]
+                assert record.relation_digest == sibling.relation_digest
+                assert record.pages == sibling.pages
+                assert record.pages_saved == sibling.pages_saved
+
+    @pytest.mark.parametrize("seed", [17, 42])
+    def test_fuzzed_single_cells_reproduce(self, seed):
+        """Running compiled cells by their pinned 6-part ids reproduces
+        the digests of the staged 5-part cells."""
+        env = fuzzed(seed)
+        oracle = DifferentialOracle(
+            env,
+            env.site.queries(),
+            site_name=f"fuzz:{seed}",
+            seed=seed,
+            spec=MatrixSpec(
+                cache_modes=("off",),
+                fault_modes=("none",),
+                worker_counts=(3,),
+                max_plans=2,
+            ),
+        )
+        query_id = next(iter(env.site.queries()))
+        staged = oracle.run_cell(f"{query_id}/p0/off/none/w3")
+        assert staged.ok
+        for mode in COMPILED_MODES:
+            record = oracle.run_cell(f"{query_id}/p0/off/none/w3/{mode}")
+            assert record.ok
+            assert record.relation_digest == staged.relation_digest
+            assert record.pages == staged.pages

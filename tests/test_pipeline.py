@@ -352,7 +352,14 @@ class TestModeValidation:
     def test_modes_are_canonicalized(self):
         assert coerce_execution(" Staged ") == "staged"
         assert coerce_execution("PIPELINED") == "pipelined"
-        assert tuple(EXECUTION_MODES) == ("staged", "pipelined")
+        assert coerce_execution(" Columnar ") == "columnar"
+        assert coerce_execution("COLUMNAR_PIPELINED") == "columnar_pipelined"
+        assert tuple(EXECUTION_MODES) == (
+            "staged",
+            "pipelined",
+            "columnar",
+            "columnar_pipelined",
+        )
 
     @pytest.mark.parametrize("bad", ["", "eager", "pipeline", None, 3])
     def test_unknown_modes_raise(self, bad):
