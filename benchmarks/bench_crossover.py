@@ -22,6 +22,7 @@ identical by construction and only the makespan may drop.
 
 import pytest
 
+from repro.optimizer.cost import crossover_winner
 from repro.options import QueryOptions
 from repro.sitegen import UniversityConfig
 from repro.sites import university
@@ -87,7 +88,7 @@ def sweep():
             planned, ["DeptListPage"], exclude=["⋈", "SessionListPage"]
         )
         join = find_plan(planned, ["SessionListPage", "⋈"])
-        winner = "chase" if chase.cost <= join.cost else "join"
+        winner = crossover_winner(chase.cost, join.cost)
         staged = measure(config, planned.best, "staged")
         pipelined = measure(config, planned.best, "pipelined")
         rows.append(
@@ -133,6 +134,15 @@ class TestShape:
         for n_depts, chase, join, *_ in sweep:
             if n_depts == 3:
                 assert chase.cost < join.cost
+
+    def test_crossover_api_never_diverges(self, sweep):
+        """The table's winner column, CostModel.strategy_crossover, and
+        the adaptive executor all decide via crossover_winner — any
+        divergence between the charted rule and the priced one is a bug."""
+        for _, chase, join, _, _, _, env in sweep:
+            x = env.cost_model.strategy_crossover(chase.expr, join.expr)
+            assert (x.chase_cost, x.join_cost) == (chase.cost, join.cost)
+            assert x.winner == crossover_winner(chase.cost, join.cost)
 
     def test_optimizer_always_picks_winner(self, sweep):
         for _, chase, join, planned, *_ in sweep:

@@ -43,6 +43,7 @@ BASELINE_PATH = RESULTS_DIR / "baseline.json"
 #: benchmark module -> the experiment ids it must have emitted
 EXPECTED = {
     "bench_ablation": ["ABLATION", "ABLATION-stats"],
+    "bench_adaptive": ["ADAPTIVE"],
     "bench_cache": ["CACHE", "CACHE-PLAN"],
     "bench_concurrency": ["CONCURRENCY"],
     "bench_crossover": ["X-OVER"],

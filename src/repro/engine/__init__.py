@@ -18,11 +18,16 @@
   kernels, plus a one-shot plan-compilation pass resolving attribute
   offsets and accessors ahead of the hot loop (``execution="columnar"``
   and ``"columnar_pipelined"``): identical answers and accounting,
-  multi-x less interpreter CPU.
+  multi-x less interpreter CPU;
+* :mod:`repro.engine.adaptive` — runtime relevance pruning and
+  mid-query pointer-join ↔ pointer-chase switching layered on the
+  staged core (``execution="adaptive"`` / ``"adaptive_pipelined"``):
+  identical answers, never more pages than the static plan.
 """
 
 from repro.engine.session import QuerySession
 from repro.engine.remote import ExecutionResult, RemoteExecutor
+from repro.engine.adaptive import AdaptiveExecutor, AdaptiveReport
 from repro.engine.local import LocalExecutor, PageRelationProvider, qualify_row
 from repro.engine.columnar import ColumnBatch
 from repro.engine.compile import ColumnarExecutor, CompiledPlan, compile_plan
@@ -38,6 +43,8 @@ __all__ = [
     "QuerySession",
     "ExecutionResult",
     "RemoteExecutor",
+    "AdaptiveExecutor",
+    "AdaptiveReport",
     "LocalExecutor",
     "PageRelationProvider",
     "qualify_row",

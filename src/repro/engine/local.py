@@ -207,7 +207,14 @@ class LocalExecutor:
         return Relation(schema, rows)
 
     def _eval_follow(self, expr: FollowLink) -> Relation:
-        child = self._eval(expr.child)
+        return self._follow_from(expr, self._eval(expr.child))
+
+    def _follow_from(self, expr: FollowLink, child: Relation) -> Relation:
+        """Navigate ``expr`` from an already-evaluated child relation.
+
+        Split from :meth:`_eval_follow` so the adaptive executor
+        (:mod:`repro.engine.adaptive`) can prune the child's bindings
+        between evaluating the child and scheduling the fetch batch."""
         target = expr.target_scheme(self.scheme)
         schema = expr.output_schema(self.scheme)
         url_attr = expr.target_url_attr(self.scheme)

@@ -96,8 +96,19 @@ __all__ = [
 #: ``SiteEnv.query`` / ``SiteEnv.execute``.  ``staged`` and ``pipelined``
 #: interpret row operators; ``columnar`` and ``columnar_pipelined`` run
 #: the same plans through the compiled batch kernels
-#: (:mod:`repro.engine.compile`) with identical answers and accounting.
-EXECUTION_MODES = ("staged", "pipelined", "columnar", "columnar_pipelined")
+#: (:mod:`repro.engine.compile`) with identical answers and accounting;
+#: ``adaptive`` and ``adaptive_pipelined`` layer runtime relevance
+#: pruning and mid-query pointer-join ↔ pointer-chase switching on the
+#: staged core (:mod:`repro.engine.adaptive`, docs/ADAPTIVE.md) — same
+#: answers, never more pages.
+EXECUTION_MODES = (
+    "staged",
+    "pipelined",
+    "columnar",
+    "columnar_pipelined",
+    "adaptive",
+    "adaptive_pipelined",
+)
 
 
 def coerce_execution(execution: str) -> str:

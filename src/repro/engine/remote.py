@@ -22,6 +22,7 @@ from typing import Mapping, Optional, Sequence
 from repro.adm.scheme import WebScheme
 from repro.algebra.ast import Expr
 from repro.algebra.printer import render_expr
+from repro.engine.adaptive import AdaptiveExecutor, AdaptiveReport
 from repro.engine.compile import ColumnarExecutor
 from repro.engine.local import LocalExecutor
 from repro.engine.pipeline import (
@@ -56,11 +57,17 @@ class ExecutionResult:
 
     ``trace`` is the root span of the execution when the run was traced
     (``None`` otherwise) — observational only: every other field is
-    bit-for-bit identical whether or not a tracer was attached."""
+    bit-for-bit identical whether or not a tracer was attached.
+
+    ``adaptive`` carries the adaptive executor's decision report
+    (:class:`~repro.engine.adaptive.AdaptiveReport` — prunes, switches,
+    and their RewriteTrace) for ``execution="adaptive"`` runs; ``None``
+    for every static mode."""
 
     relation: Relation
     log: AccessLog
     trace: Optional[Span] = None
+    adaptive: Optional[AdaptiveReport] = None
 
     @property
     def pages(self) -> int:
@@ -146,10 +153,17 @@ class RemoteExecutor:
         scheme: WebScheme,
         client: WebClient,
         registry: WrapperRegistry,
+        planner=None,
+        cost_model=None,
     ):
         self.scheme = scheme
         self.client = client
         self.registry = registry
+        # optional: adaptive execution re-plans switched suffixes through
+        # the environment's planner and prices rule-9 decisions with its
+        # cost model; both default to None (pruning + rule-8 still work)
+        self.planner = planner
+        self.cost_model = cost_model
 
     def execute(
         self,
@@ -176,10 +190,13 @@ class RemoteExecutor:
         policy names are an environment concept, resolved by
         :class:`~repro.sites.SiteEnv`).  ``options.execution`` selects
         ``"staged"``, ``"pipelined"``, ``"columnar"`` (compiled batch
-        kernels, staged access pattern), or ``"columnar_pipelined"``
-        evaluation (validated at bundle construction) — all four produce
-        identical answers and page accounting; ``options.pipeline`` tunes
-        the pipelined modes, and
+        kernels, staged access pattern), ``"columnar_pipelined"``, or
+        ``"adaptive"`` / ``"adaptive_pipelined"`` evaluation (validated
+        at bundle construction) — every mode produces identical answers,
+        and the static modes identical page accounting; the adaptive
+        modes may *prune* provably irrelevant fetches, so their page
+        counts are bounded above by the static ones (docs/ADAPTIVE.md).
+        ``options.pipeline`` tunes the pipelined modes, and
         ``options.tracer`` records per-operator spans (observational; the
         recorded root span lands in ``ExecutionResult.trace``).
 
@@ -251,6 +268,18 @@ class RemoteExecutor:
             executor = ColumnarExecutor(
                 self.scheme, provider, tracer=tracer, meter=meter
             )
+        elif opts.execution in ("adaptive", "adaptive_pipelined"):
+            # both adaptive modes share the staged access pattern today:
+            # relevance tests need each follow's full binding set before
+            # its batch is scheduled (docs/ADAPTIVE.md)
+            executor = AdaptiveExecutor(
+                self.scheme,
+                provider,
+                tracer=tracer,
+                meter=meter,
+                planner=self.planner,
+                cost_model=self.cost_model,
+            )
         else:
             executor = LocalExecutor(
                 self.scheme, provider, tracer=tracer, meter=meter
@@ -279,4 +308,5 @@ class RemoteExecutor:
                 tuples_out=len(relation.rows),
             )
             trace = span
-        return ExecutionResult(relation, delta, trace=trace)
+        report = getattr(executor, "report", None)
+        return ExecutionResult(relation, delta, trace=trace, adaptive=report)

@@ -54,11 +54,44 @@ from repro.errors import OptimizerError, StatisticsError
 from repro.nested.schema import Field
 from repro.stats.statistics import SiteStatistics
 
-__all__ = ["CacheEstimate", "CostModel", "DEFAULT_SELECTIVITY"]
+__all__ = [
+    "CacheEstimate",
+    "CostModel",
+    "DEFAULT_SELECTIVITY",
+    "StrategyCrossover",
+    "crossover_winner",
+]
 
 #: Selectivity assumed for predicates whose attribute has no usable
 #: statistics (conservative-ish; the paper assumes full knowledge).
 DEFAULT_SELECTIVITY = 0.1
+
+
+def crossover_winner(chase_cost: float, join_cost: float) -> str:
+    """Which of the Section 7 strategies wins at the given page costs.
+
+    The single source of truth for the X-OVER decision rule: pointer
+    chase wins at ``chase_cost <= join_cost`` (ties go to the chase — it
+    needs no local join work, footnote 10), pointer join otherwise.
+    ``bench_crossover.py`` charts this rule over site shapes and the
+    adaptive executor (:mod:`repro.engine.adaptive`) applies it to
+    *observed* fan-outs mid-query; both must call this function rather
+    than re-deriving the comparison.
+    """
+    return "chase" if chase_cost <= join_cost else "join"
+
+
+@dataclass(frozen=True)
+class StrategyCrossover:
+    """A costed pointer-chase vs pointer-join comparison (Section 7)."""
+
+    chase_cost: float
+    join_cost: float
+
+    @property
+    def winner(self) -> str:
+        """``"chase"`` or ``"join"`` per :func:`crossover_winner`."""
+        return crossover_winner(self.chase_cost, self.join_cost)
 
 
 @dataclass
@@ -271,11 +304,28 @@ class CostModel:
         k = workers
         staged = sum(math.ceil(pages / k) * t for pages, t in stages)
         # the columnar engine changes CPU, not network: staged access
-        # pattern for "columnar", pipelined overlap for its pipelined twin
-        if mode in ("staged", "columnar"):
+        # pattern for "columnar", pipelined overlap for its pipelined
+        # twin.  Adaptive execution prunes pages but never adds any, so
+        # the static estimate is an upper bound with the same access
+        # pattern as the mode it wraps.
+        if mode in ("staged", "columnar", "adaptive"):
             return staged
         total_work = sum(pages * t for pages, t in stages)
         return min(staged, max(total_work / k, critical))
+
+    def strategy_crossover(
+        self, chase_expr: Expr, join_expr: Expr
+    ) -> StrategyCrossover:
+        """Cost a pointer-chase plan against a pointer-join plan.
+
+        Returns a :class:`StrategyCrossover` whose ``winner`` applies
+        :func:`crossover_winner` to the two C(E) estimates — the same
+        rule the X-OVER benchmark charts and the adaptive executor
+        re-evaluates with observed fan-outs at runtime.
+        """
+        return StrategyCrossover(
+            chase_cost=self.cost(chase_expr), join_cost=self.cost(join_expr)
+        )
 
     def _network_stages(
         self, expr: Expr, network

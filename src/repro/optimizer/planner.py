@@ -410,6 +410,49 @@ class Planner:
         return _dedup(results)
 
     # ------------------------------------------------------------------ #
+    # adaptive suffix re-planning
+    # ------------------------------------------------------------------ #
+
+    def replan_suffix(
+        self,
+        suffix: Expr,
+        rule: str = "PointerJoin",
+        trace: Optional[RewriteTrace] = None,
+    ) -> Optional[Expr]:
+        """Rewrite one unexecuted plan suffix with a strategy rule.
+
+        The adaptive executor (:mod:`repro.engine.adaptive`) calls this
+        when an observed fan-out crosses the cost model's crossover
+        mid-query: ``suffix`` is the join (or navigation) subtree it has
+        not yet executed, and ``rule`` names the Section 7 strategy to
+        switch to (``"PointerJoin"`` for rule 8, ``"PointerChase"`` for
+        rule 9).  Returns the first rewriting that validates and costs —
+        the same :meth:`_validate_and_cost` bar every static candidate
+        clears — or None when the rule does not apply.  With ``trace``
+        the firing is recorded as an ``"adaptive re-planning"`` step, so
+        EXPLAIN ANALYZE can show the switch in the plan's lineage.
+        """
+        if rule not in ("PointerJoin", "PointerChase"):
+            raise OptimizerError(
+                f"unknown strategy rule {rule!r} "
+                f"(PointerJoin or PointerChase)"
+            )
+        rewriter = PointerJoin() if rule == "PointerJoin" else PointerChase()
+        for rewritten in rewriter.rewrite_node(suffix, self.scheme):
+            if self._validate_and_cost(rewritten) is None:
+                continue
+            if trace is not None:
+                trace.record(
+                    "adaptive re-planning",
+                    rule,
+                    render_expr(rewritten),
+                    parent=render_expr(suffix),
+                    expr=rewritten,
+                )
+            return rewritten
+        return None
+
+    # ------------------------------------------------------------------ #
     # validation + costing
     # ------------------------------------------------------------------ #
 

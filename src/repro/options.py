@@ -78,9 +78,12 @@ class QueryOptions:
     ``execution``
         one of :data:`~repro.engine.pipeline.EXECUTION_MODES` —
         ``"staged"``, ``"pipelined"``, ``"columnar"`` (compiled batch
-        kernels, staged access pattern), or ``"columnar_pipelined"`` —
-        validated at construction, so an unknown mode can never travel
-        (this subsumes the old free-standing
+        kernels, staged access pattern), ``"columnar_pipelined"``, or
+        ``"adaptive"`` / ``"adaptive_pipelined"`` (runtime relevance
+        pruning + mid-query rule-8/9 switching, docs/ADAPTIVE.md:
+        identical answers, never more pages) — validated at
+        construction, so an unknown mode can never travel (this subsumes
+        the old free-standing
         :func:`~repro.engine.pipeline.coerce_execution` call sites).
     ``pipeline``
         :class:`~repro.engine.pipeline.PipelineConfig` tuning chunking and

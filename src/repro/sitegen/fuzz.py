@@ -314,6 +314,83 @@ class FuzzedSite:
         return self._rows[url]
 
     # ------------------------------------------------------------------ #
+    # two-phase skew: mutate the live site AFTER statistics were taken
+    # ------------------------------------------------------------------ #
+
+    def grow(
+        self, cls: str, count: int, *, parent: Optional[str] = None
+    ) -> list[EntityRecord]:
+        """Add ``count`` fresh entities of class ``cls`` and republish.
+
+        The skew half of the adaptive-execution experiments
+        (``docs/ADAPTIVE.md``): callers build the environment first — so
+        planner statistics reflect the *original* site — then ``grow`` the
+        live site underneath it.  The planner's estimates are now stale,
+        and the gap between modeled and observed fan-out is exactly what
+        the adaptive executor's runtime decisions correct.
+
+        With ``parent`` (an existing entity name of the previous class),
+        every new entity becomes a member of that parent — its name is
+        appended to the parent's member list and its own back link points
+        at the parent, so both declared inclusions keep holding.  Without
+        ``parent``, the new entities only appear on the class's list page
+        (and as orphans they carry ``NO_PARENT``), which requires the pair
+        to be optional.  Either way the mutated site stays a valid
+        instance of the scheme: only the *statistics* are wrong, never the
+        constraints.
+        """
+        i = next(
+            idx for idx, s in enumerate(self.shapes) if s.name == cls
+        )
+        shape = self.shapes[i]
+        parent_record: Optional[EntityRecord] = None
+        if parent is not None:
+            if i == 0:
+                raise SchemeError(f"{cls} has no parent class")
+            parent_cls = self.shapes[i - 1].name
+            parent_record = next(
+                (e for e in self.entities[parent_cls] if e.name == parent),
+                None,
+            )
+            if parent_record is None:
+                raise SchemeError(f"no {parent_cls} named {parent!r}")
+        elif i > 0 and not shape.pair_optional:
+            raise SchemeError(
+                f"the {self.shapes[i - 1].name}/{cls} pair is total — "
+                "orphan growth needs parent= or an optional pair"
+            )
+        rng = random.Random(
+            f"{self.config.seed}:{cls}:{len(self.entities[cls])}"
+        )
+        added = []
+        for offset in range(count):
+            uid = len(self.entities[cls]) + offset
+            record = EntityRecord(
+                cls=cls,
+                uid=uid,
+                name=f"{cls}-{uid:02d}",
+                url=f"{self.config.base_url}/{cls.lower()}/{uid:02d}.html",
+                infos=tuple(
+                    rng.choice(_WORDS) for _ in range(shape.n_info)
+                ),
+                parent=parent_record,
+                tags=(
+                    tuple(
+                        rng.choice(_WORDS)
+                        for _ in range(rng.randint(1, 2))
+                    )
+                    if shape.pair_nested
+                    else ()
+                ),
+            )
+            if parent_record is not None:
+                parent_record.children.append(record)
+            added.append(record)
+        self.entities[cls].extend(added)
+        self.publish_all()
+        return added
+
+    # ------------------------------------------------------------------ #
     # oracle helpers: ground truth from the model, not the engine
     # ------------------------------------------------------------------ #
 

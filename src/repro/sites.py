@@ -22,6 +22,7 @@ from repro.adm.scheme import WebScheme
 from repro.algebra.ast import EntryPointScan, Expr
 from repro.engine.pipeline import PipelineConfig
 from repro.engine.remote import ExecutionResult, RemoteExecutor
+from repro.errors import OptionsError
 from repro.options import QueryOptions, coerce_options
 from repro.optimizer.cost import CacheEstimate, CostModel
 from repro.optimizer.planner import Planner, PlannerResult
@@ -273,10 +274,18 @@ class SiteEnv:
         retry_policy: Optional[RetryPolicy] = None,
         cache: Union[PageCache, CachePolicy, str, None] = None,
         tracer: object = None,
+        execution: Optional[str] = None,
+        pipeline: Optional[PipelineConfig] = None,
+        plan_index: Optional[int] = None,
     ) -> str:
         """Human-readable optimizer report: considered plans, *why* the
         chosen plan won (the rule-by-rule rewrite lineage), its annotated
         tree, and its estimated costs (pages / bytes / local work).
+
+        ``plan_index`` explains (and, with ``analyze=True``, executes)
+        candidate ``N`` of the sorted plan space instead of the chosen
+        plan — the index QA cell ids carry (``q/pN/...``), so any matrix
+        cell's plan can be reproduced and analyzed directly.
 
         ``analyze=True`` additionally *executes* the chosen plan under a
         recording tracer (EXPLAIN ANALYZE): every operator row gains a
@@ -284,7 +293,12 @@ class SiteEnv:
         run's total), tuples produced, simulated seconds — and the report
         ends with the run's measured :class:`~repro.web.client.
         CostSummary`.  Pass ``tracer`` (a :class:`~repro.obs.trace.
-        RecordingTracer`) to keep the recorded spans for export.
+        RecordingTracer`) to keep the recorded spans for export.  With
+        ``execution="adaptive"`` the analyzed run may fire runtime
+        relevance prunes and rule-8/9 switches; every fired decision is
+        appended to the report (docs/ADAPTIVE.md — under a switched join
+        the operator spans pair with the *decision* order, not the
+        printed tree).
         """
         from repro.obs.explain import render_annotated_tree
         from repro.obs.trace import RecordingTracer, spans_by_node
@@ -297,11 +311,20 @@ class SiteEnv:
             retry_policy=retry_policy,
             cache=cache,
             tracer=tracer,
+            execution=execution,
+            pipeline=pipeline,
         )
         planned = self.planner.plan_query(
             query, cache_estimate=self.cache_estimate(opts.cache), trace=True
         )
         best = planned.best
+        if plan_index is not None:
+            if not 0 <= plan_index < len(planned.candidates):
+                raise OptionsError(
+                    f"plan_index {plan_index} out of range "
+                    f"(query has {len(planned.candidates)} candidates)"
+                )
+            best = planned.candidates[plan_index]
         lines = [planned.describe(self.scheme)]
         lines.append("")
         lines.append("why this plan:")
@@ -319,7 +342,11 @@ class SiteEnv:
                 best.expr, options=_dc_replace(opts, tracer=recorder)
             )
             spans = spans_by_node(recorder)
-        lines.append("chosen plan:")
+        lines.append(
+            "chosen plan:"
+            if plan_index is None
+            else f"candidate plan {plan_index}:"
+        )
         lines.append(
             render_annotated_tree(
                 best.expr, self.cost_model, scheme=self.scheme, spans=spans
@@ -342,6 +369,8 @@ class SiteEnv:
                 f"{cost.simulated_seconds:.2f}s simulated, "
                 f"{len(result.relation)} result rows"
             )
+            if result.adaptive is not None and result.adaptive.decisions:
+                lines.extend(result.adaptive.summary_lines())
         return "\n".join(lines)
 
     def refresh_statistics(self) -> None:
@@ -349,6 +378,10 @@ class SiteEnv:
         self.stats = exact_statistics(self.scheme, self.site.server, self.registry)
         self.cost_model = CostModel(self.scheme, self.stats)
         self.planner = Planner(self.view, self.cost_model)
+        # adaptive execution re-plans and re-prices against the refreshed
+        # model, exactly like new plans do
+        self.executor.planner = self.planner
+        self.executor.cost_model = self.cost_model
 
 
 def site_env(site, view: ExternalView) -> SiteEnv:
@@ -358,6 +391,7 @@ def site_env(site, view: ExternalView) -> SiteEnv:
     stats = exact_statistics(site.scheme, site.server, registry)
     cost_model = CostModel(site.scheme, stats)
     client = WebClient(site.server)
+    planner = Planner(view, cost_model)
     return SiteEnv(
         scheme=site.scheme,
         view=view,
@@ -365,8 +399,14 @@ def site_env(site, view: ExternalView) -> SiteEnv:
         registry=registry,
         stats=stats,
         cost_model=cost_model,
-        planner=Planner(view, cost_model),
-        executor=RemoteExecutor(site.scheme, client, registry),
+        planner=planner,
+        executor=RemoteExecutor(
+            site.scheme,
+            client,
+            registry,
+            planner=planner,
+            cost_model=cost_model,
+        ),
         site=site,
     )
 

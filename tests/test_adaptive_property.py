@@ -1,0 +1,145 @@
+"""Property tests: adaptive execution is answer-identical on fuzzed sites.
+
+Hypothesis drives the two-phase skew primitive (``FuzzedSite.grow``):
+for random seeds and random post-statistics growth (members under one
+parent, orphans where the pair is optional), every plan candidate must
+produce bit-for-bit the staged answer under ``execution="adaptive"``
+while never fetching more pages, with an internally consistent
+:class:`~repro.web.client.AccessLog`, and no pruned URL may ever appear
+in the adaptive run's fetch log — pruned means provably irrelevant, so
+the staged run of the same plan is the only place those URLs may occur.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.options import QueryOptions
+from repro.qa import relation_digest
+from repro.sites import fuzzed
+
+SEEDS = (7, 17, 23, 42, 99)
+
+skews = st.tuples(
+    st.sampled_from(SEEDS),
+    st.integers(min_value=0, max_value=8),  # members under one parent
+    st.integers(min_value=0, max_value=8),  # orphans (optional pairs only)
+)
+
+
+def build(seed, members, orphans):
+    """A fuzzed site grown *after* statistics, plus its pair-join SQL.
+
+    Growth targets the first pair with an optional child when one exists
+    (orphans are only legal there), else the first pair (members only)."""
+    env = fuzzed(seed)
+    site = env.site
+    pairs = site.pair_names()
+    optional = [
+        (p, c) for p, c in pairs if not site.pair_is_total(p, c)
+    ]
+    parent_cls, child_cls = optional[0] if optional else pairs[0]
+    if members and site.entities[parent_cls]:
+        site.grow(
+            child_cls, members, parent=site.entities[parent_cls][0].name
+        )
+    if orphans and optional:
+        site.grow(child_cls, orphans)
+    rel = f"{parent_cls}{child_cls}"
+    sql = (
+        f"SELECT {rel}.{parent_cls}Name, {child_cls}.Info1 "
+        f"FROM {rel}, {child_cls} "
+        f"WHERE {rel}.{child_cls}Name = {child_cls}.{child_cls}Name"
+    )
+    return env, sql, (parent_cls, child_cls)
+
+
+def run_candidate(seed, members, orphans, index, execution):
+    """Execute candidate ``index`` on a fresh site (logs are per-client)."""
+    env, sql, pair = build(seed, members, orphans)
+    planned = env.plan(sql)
+    candidate = planned.candidates[index]
+    result = env.execute(
+        candidate.expr, options=QueryOptions(execution=execution)
+    )
+    return env, result, pair
+
+
+def candidate_indexes(seed, members, orphans):
+    """First, middle, and last of the sorted plan space (the chase, a
+    rule-8 form, and the plain join land at distinct thirds)."""
+    env, sql, _ = build(seed, members, orphans)
+    n = len(env.plan(sql).candidates)
+    return sorted({0, n // 2, n - 1})
+
+
+class TestAnswerIdentical:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(skews)
+    def test_every_candidate_digest_and_page_bound(self, skew):
+        seed, members, orphans = skew
+        for index in candidate_indexes(seed, members, orphans):
+            _, staged, _ = run_candidate(
+                seed, members, orphans, index, "staged"
+            )
+            _, adaptive, _ = run_candidate(
+                seed, members, orphans, index, "adaptive"
+            )
+            assert relation_digest(adaptive.relation) == relation_digest(
+                staged.relation
+            ), f"candidate {index} diverged on fuzz:{seed}+{members}/{orphans}"
+            assert adaptive.pages <= staged.pages
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(skews)
+    def test_log_reconciles_and_grounds_in_model_truth(self, skew):
+        seed, members, orphans = skew
+        env, result, (parent_cls, child_cls) = run_candidate(
+            seed, members, orphans, 0, "adaptive"
+        )
+        assert result.log.reconcile() == []
+        expected = {
+            (e.parent.name, e.infos[0])
+            for e in env.site.entities[child_cls]
+            if e.parent is not None
+        }
+        answered = {
+            (row[f"{parent_cls}Name"], row["Info1"])
+            for row in result.relation
+        }
+        assert answered == expected
+
+
+class TestPrunedUrlsIrrelevant:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(skews)
+    def test_pruned_never_fetched_and_statically_reachable(self, skew):
+        """A pruned URL is one the static plan pays for and the answer
+        never needed: absent from the adaptive fetch log (and hence from
+        any answer lineage), present in the staged run's."""
+        seed, members, orphans = skew
+        for index in candidate_indexes(seed, members, orphans):
+            _, staged, _ = run_candidate(
+                seed, members, orphans, index, "staged"
+            )
+            _, adaptive, _ = run_candidate(
+                seed, members, orphans, index, "adaptive"
+            )
+            report = adaptive.adaptive
+            assert report is not None
+            pruned = set(report.pruned_urls)
+            assert not pruned & set(adaptive.log.downloaded_urls)
+            assert pruned <= set(staged.log.downloaded_urls)
+            assert staged.pages - adaptive.pages >= 0

@@ -354,11 +354,15 @@ class TestModeValidation:
         assert coerce_execution("PIPELINED") == "pipelined"
         assert coerce_execution(" Columnar ") == "columnar"
         assert coerce_execution("COLUMNAR_PIPELINED") == "columnar_pipelined"
+        assert coerce_execution(" Adaptive ") == "adaptive"
+        assert coerce_execution("ADAPTIVE_PIPELINED") == "adaptive_pipelined"
         assert tuple(EXECUTION_MODES) == (
             "staged",
             "pipelined",
             "columnar",
             "columnar_pipelined",
+            "adaptive",
+            "adaptive_pipelined",
         )
 
     @pytest.mark.parametrize("bad", ["", "eager", "pipeline", None, 3])
