@@ -21,16 +21,25 @@ serial no-sharing baseline:
 * **modeled makespan** — navigator resolution plus a greedy assignment
   of per-query fetch time over ``max_workers`` simulated lanes, against
   the serial sum of solo runs.
+* **journaling overhead** — the same cohort with a structured event
+  journal attached (min-of-trials process CPU, journal off vs on); the
+  flight recorder must cost at most :data:`JOURNAL_OVERHEAD_BOUND` of
+  the unjournaled run.
 
-Run as a script: ``python bench_server.py [--quick]`` (with ``src/`` on
-PYTHONPATH), or through pytest for the assertions.
+Run as a script: ``python bench_server.py [--quick] [--journal PATH]
+[--dashboard PATH]`` (with ``src/`` on PYTHONPATH), or through pytest
+for the assertions.  ``--journal`` writes the cohort's event journal as
+JSON lines (replayable with ``python -m repro.obs replay``);
+``--dashboard`` writes an SLO/burn-rate HTML snapshot of the run.
 """
 
 import argparse
 import random
+import time
 
 import pytest
 
+from repro.obs.journal import Journal
 from repro.options import QueryOptions, QueryRequest
 from repro.server import QueryServer, ServerConfig
 from repro.sites import fuzzed
@@ -46,6 +55,13 @@ QUICK_REQUESTS = 10
 
 WORKERS = 4
 
+#: Journaled-cohort CPU must stay within this multiple of the plain run
+#: (plus :data:`JOURNAL_NOISE_FLOOR` absolute seconds — min-of-trials
+#: process time on a sub-second cohort still jitters).
+JOURNAL_OVERHEAD_BOUND = 1.10
+JOURNAL_NOISE_FLOOR = 0.05
+JOURNAL_TRIALS = 2
+
 COLUMNS = [
     "site",
     "requests",
@@ -56,6 +72,9 @@ COLUMNS = [
     "p99 own s",
     "serial seconds",
     "server seconds",
+    "plain cpu s",
+    "journal cpu s",
+    "journal overhead",
 ]
 
 
@@ -92,6 +111,31 @@ def modeled_makespan(
         slot = finish.index(min(finish))
         finish[slot] += seconds
     return navigator_seconds + max(finish)
+
+
+def cohort_cpu_seconds(
+    env, requests: list, journal: bool, trials: int = JOURNAL_TRIALS
+) -> float:
+    """Min-of-``trials`` process-CPU seconds for one cohort run, with or
+    without an event journal attached (fresh server and journal per
+    trial — the journal is append-only and must not amortize)."""
+    best = None
+    for _ in range(trials):
+        config = ServerConfig(
+            max_workers=WORKERS,
+            max_queue=max(64, len(requests)),
+            journal=Journal() if journal else None,
+        )
+        server = QueryServer(env, config)
+        start = time.process_time()
+        try:
+            outcomes = server.serve(requests)
+        finally:
+            server.close()
+        elapsed = time.process_time() - start
+        assert all(o.ok for o in outcomes)
+        best = elapsed if best is None else min(best, elapsed)
+    return best
 
 
 def run_mix(site_seed: int, n_requests: int) -> dict:
@@ -135,6 +179,12 @@ def run_mix(site_seed: int, n_requests: int) -> dict:
     prefix_hits = sum(len(o.signatures) for o in outcomes) - len(
         server.navigator.resolved_signatures
     )
+
+    # journaling overhead: same cohort, event journal off vs on
+    plain_cpu = cohort_cpu_seconds(env, requests, journal=False)
+    journal_cpu = cohort_cpu_seconds(env, requests, journal=True)
+    overhead = (journal_cpu - plain_cpu) / plain_cpu if plain_cpu else 0.0
+
     return {
         "site": f"fuzz:{site_seed}",
         "requests": len(requests),
@@ -145,6 +195,9 @@ def run_mix(site_seed: int, n_requests: int) -> dict:
         "p99 own s": f"{percentile(own_seconds, 0.99):.3f}",
         "serial seconds": f"{serial_seconds:.2f}",
         "server seconds": f"{modeled_makespan(navigator_log.simulated_seconds, own_seconds, WORKERS):.2f}",
+        "plain cpu s": f"{plain_cpu:.3f}",
+        "journal cpu s": f"{journal_cpu:.3f}",
+        "journal overhead": f"{overhead:+.1%}",
         # not table columns, but carried into the JSON rows for the gate
         "serial total pages": serial_pages,
         "server total pages": server_pages,
@@ -196,6 +249,18 @@ class TestSharing:
                 row["serial seconds"]
             )
 
+    def test_journaling_overhead_bounded(self, mixes):
+        for row in mixes:
+            plain = float(row["plain cpu s"])
+            journaled = float(row["journal cpu s"])
+            assert journaled <= (
+                plain * JOURNAL_OVERHEAD_BOUND + JOURNAL_NOISE_FLOOR
+            ), (
+                f"{row['site']}: journaling cost {journaled:.3f}s vs "
+                f"{plain:.3f}s plain (bound {JOURNAL_OVERHEAD_BOUND:.0%} "
+                f"+ {JOURNAL_NOISE_FLOOR}s)"
+            )
+
 
 def test_bench_cohort(benchmark):
     env = fuzzed(SITE_SEEDS[0])
@@ -212,10 +277,66 @@ def test_bench_cohort(benchmark):
     assert all(o.ok for o in outcomes)
 
 
+def journaled_run(
+    n_requests: int, journal_path=None, dashboard_path=None
+) -> None:
+    """One fully-journaled cohort on the first site: write the event
+    journal (the flight recorder's input) and/or an SLO dashboard
+    snapshot of the run."""
+    from repro.obs.slo import (
+        SLOMonitor,
+        render_dashboard,
+        render_dashboard_html,
+        server_slos,
+    )
+
+    env = fuzzed(SITE_SEEDS[0])
+    requests = zipfian_mix(env.site.queries(), n_requests, SITE_SEEDS[0])
+    journal = Journal(defaults={"site": f"fuzz:{SITE_SEEDS[0]}"})
+    monitor = SLOMonitor(server_slos(), windows=(60.0, 300.0))
+    monitor.sample(0.0)
+    server = QueryServer(
+        env,
+        ServerConfig(
+            max_workers=WORKERS,
+            max_queue=max(64, n_requests),
+            journal=journal,
+        ),
+    )
+    try:
+        outcomes = server.serve(requests)
+    finally:
+        server.close()
+    assert all(o.ok for o in outcomes)
+    makespan = sum(
+        o.result.log.simulated_seconds for o in outcomes if o.result
+    )
+    monitor.sample(makespan)
+    statuses = monitor.evaluate(makespan)
+    if journal_path is not None:
+        count = journal.write(journal_path)
+        print(f"journal: {journal_path} ({count} events, "
+              f"{len(journal.request_ids())} requests)")
+    if dashboard_path is not None:
+        with open(dashboard_path, "w", encoding="utf-8") as handle:
+            handle.write(render_dashboard_html(statuses, monitor.alerts))
+        print(f"dashboard: {dashboard_path}")
+    print(render_dashboard(statuses, monitor.alerts))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick", action="store_true", help="small mix (CI smoke run)"
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write a fully-journaled cohort's event journal (JSON "
+        "lines; replay with `python -m repro.obs replay`)",
+    )
+    parser.add_argument(
+        "--dashboard", default=None, metavar="PATH",
+        help="write an SLO/burn-rate HTML snapshot of the journaled run",
     )
     args = parser.parse_args(argv)
     n_requests = QUICK_REQUESTS if args.quick else FULL_REQUESTS
@@ -235,6 +356,20 @@ def main(argv=None) -> int:
             f"baseline"
         )
         assert row["prefix hits"] > 0, f"{row['site']}: no shared-prefix hits"
+        plain = float(row["plain cpu s"])
+        journaled = float(row["journal cpu s"])
+        assert journaled <= (
+            plain * JOURNAL_OVERHEAD_BOUND + JOURNAL_NOISE_FLOOR
+        ), (
+            f"{row['site']}: journaling overhead {row['journal overhead']} "
+            f"exceeds the {JOURNAL_OVERHEAD_BOUND - 1:.0%} bound"
+        )
+    if args.journal is not None or args.dashboard is not None:
+        journaled_run(
+            n_requests,
+            journal_path=args.journal,
+            dashboard_path=args.dashboard,
+        )
     print("smoke checks passed")
     return 0
 

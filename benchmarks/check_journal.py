@@ -1,0 +1,150 @@
+"""CI gate: the server's event journal is complete, consistent, replayable.
+
+``bench_server.py --journal`` writes the cohort's structured event
+journal; this gate proves the flight recorder actually recorded flights::
+
+    python bench_server.py --quick --journal results/server-journal.jsonl
+    python check_journal.py results/server-journal.jsonl
+
+Checks, per journaled request:
+
+* **referential integrity** — :meth:`Journal.validate`: every event
+  belongs to a registered request, span ids are unique, parents resolve,
+  flat events point at real spans;
+* **closure** — a ``plan`` event and a terminal ``result`` (or
+  ``error``) event exist;
+* **page attribution** — the span tree reconstructed from the journal
+  alone has per-operator own pages summing exactly to the result event's
+  page count (what EXPLAIN ANALYZE renders must recompose the total);
+* **replay fidelity** (``--replay N`` requests, default all) — the
+  journaled plan is re-found in the site's plan space, re-executed solo
+  with the cache off, and must reproduce the journaled answer digest;
+  own pages + shared hand-offs must recompose the solo footprint
+  (sharing moves downloads, it never drops or invents pages).
+
+Exit status 0 iff every check passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.nested.relation import relation_digest
+from repro.obs.journal import Journal, ReplayResult, replay
+from repro.options import QueryOptions
+
+
+def _terminal(journal: Journal, request_id: str):
+    """(plan_event, result_event, error_event) — any may be None."""
+    plan = result = error = None
+    for event in journal.events_for(request_id):
+        if event.kind == "plan":
+            plan = event
+        elif event.kind == "result":
+            result = event
+        elif event.kind == "error":
+            error = event
+    return plan, result, error
+
+
+def check_journal(path: str, replay_limit: int | None = None) -> list[str]:
+    """Every problem in the journal at ``path`` (empty = gate passes)."""
+    try:
+        journal = Journal.load(path)
+    except Exception as exc:
+        return [f"unreadable journal {path}: {exc}"]
+    problems = list(journal.validate())
+    request_ids = journal.request_ids()
+    if not request_ids:
+        problems.append("journal registers no requests")
+
+    replayable: list[str] = []
+    for request_id in request_ids:
+        plan, result, error = _terminal(journal, request_id)
+        if plan is None:
+            problems.append(f"{request_id}: no plan event")
+        if result is None and error is None:
+            problems.append(f"{request_id}: no result or error event")
+        if result is None or plan is None:
+            continue
+        replayable.append(request_id)
+
+    if replay_limit is not None:
+        replayable = replayable[:replay_limit]
+    envs: dict[str, object] = {}
+    for request_id in replayable:
+        try:
+            outcome = _check_replay(journal, request_id, envs)
+        except Exception as exc:
+            problems.append(f"{request_id}: replay failed: {exc}")
+            continue
+        problems.extend(outcome)
+    return problems
+
+
+def _check_replay(
+    journal: Journal, request_id: str, envs: dict
+) -> list[str]:
+    """Reconstruct one request and re-execute it solo (cache off)."""
+    from repro.qa.cli import build_site
+
+    problems: list[str] = []
+    site = journal.request_attrs(request_id).get("site")
+    if not site:
+        return [f"{request_id}: request records no site; cannot replay"]
+    if site not in envs:
+        envs[site] = build_site(site)[0]
+    env = envs[site]
+
+    result: ReplayResult = replay(journal, request_id, env=env)
+    pages = result.result.get("pages")
+    if pages is None:
+        return [f"{request_id}: result event records no page count"]
+    if result.root is not None and result.page_sum != pages:
+        problems.append(
+            f"{request_id}: reconstructed per-operator pages sum to "
+            f"{result.page_sum}, result event says {pages}"
+        )
+
+    solo = env.execute(result.expr, options=QueryOptions(cache="off"))
+    solo_digest = relation_digest(solo.relation)
+    digest = result.result.get("digest")
+    if digest != solo_digest:
+        problems.append(
+            f"{request_id}: journaled digest {digest} != solo "
+            f"re-execution digest {solo_digest}"
+        )
+    shared = result.result.get("pages_shared", 0) or 0
+    if pages + shared != solo.pages:
+        problems.append(
+            f"{request_id}: own {pages} + shared {shared} pages != "
+            f"solo footprint {solo.pages} (attribution must recompose)"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("journal", help="JSONL journal to gate")
+    parser.add_argument(
+        "--replay", type=int, default=None, metavar="N",
+        help="replay + re-execute at most N requests (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    problems = check_journal(args.journal, replay_limit=args.replay)
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        return 1
+    journal = Journal.load(args.journal)
+    print(
+        f"ok: {args.journal} — {len(journal)} events, "
+        f"{len(journal.request_ids())} requests, all replayable"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ instead of a download, and the per-query log reports the savings.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
@@ -33,8 +34,10 @@ from repro.engine.pipeline import (
 )
 from repro.engine.session import QuerySession
 from repro.errors import OptionsError
-from repro.nested.relation import Relation
-from repro.obs.trace import NULL_TRACER, Span
+from repro.nested.relation import Relation, relation_digest
+from repro.obs.journal import NULL_JOURNAL
+from repro.obs.progress import ProgressBoard, ProgressTracer, operator_estimates
+from repro.obs.trace import NULL_TRACER, RecordingTracer, Span
 from repro.options import QueryOptions, coerce_options
 from repro.web.cache import CachePolicy, PageCache
 from repro.web.client import (
@@ -164,6 +167,8 @@ class RemoteExecutor:
         # cost model; both default to None (pruning + rule-8 still work)
         self.planner = planner
         self.cost_model = cost_model
+        # fallback request ids for progress tracking without a journal
+        self._request_ids = itertools.count(1)
 
     def execute(
         self,
@@ -177,6 +182,8 @@ class RemoteExecutor:
         tracer=None,
         execution: Optional[str] = None,
         pipeline: Optional[PipelineConfig] = None,
+        request_id: Optional[str] = None,
+        board: Optional[ProgressBoard] = None,
     ) -> ExecutionResult:
         """Run one query: fresh session, per-query access accounting.
 
@@ -209,6 +216,16 @@ class RemoteExecutor:
         pages are counted in the log's ``pages_shared`` — they cost this
         query nothing and appear in the *provider's* log, keeping
         ``own pages + pages_shared == solo pages`` for cache-cold runs.
+
+        ``options.journal`` attaches this execution's correlated event
+        block (request / plan / span tree / result) to an event journal;
+        ``board`` publishes live per-operator progress into a
+        :class:`~repro.obs.progress.ProgressBoard` under ``request_id``
+        (allocated when None).  Both are observational: when either is
+        active and no recording tracer was supplied, an internal one is
+        attached — the tracing layer's non-interference guarantee (same
+        digests, page counts, and cache counters) is what makes that
+        safe, and the QA matrix's journal dimension re-proves it.
         """
         opts = coerce_options(
             options,
@@ -239,7 +256,30 @@ class RemoteExecutor:
             retry_policy=opts.retry,
             cache=opts.cache,
         )
+        journal = opts.journal if opts.journal is not None else NULL_JOURNAL
         tracer = opts.tracer if opts.tracer is not None else NULL_TRACER
+        if (journal.enabled or board is not None) and not tracer.enabled:
+            # journaling and progress both read the span tree; recording
+            # is proven non-interfering (tests/test_obs_noninterference,
+            # QA trace dimension), so forcing a private recorder here
+            # cannot change the answer or the page accounting
+            tracer = RecordingTracer()
+        if journal.enabled:
+            request_id = journal.begin_request(request_id)
+            journal.record(
+                "plan",
+                request_id,
+                plan=render_expr(expr),
+                execution=opts.execution,
+            )
+        elif board is not None and request_id is None:
+            request_id = f"q{next(self._request_ids):04d}"
+        if board is not None:
+            if not board.known(request_id):
+                board.begin(
+                    request_id, operator_estimates(expr, self.cost_model)
+                )
+            tracer = ProgressTracer(tracer, board, request_id)
         provider = _SessionProvider(self.scheme, session)
         client = self.client
         log = client.log
@@ -294,6 +334,15 @@ class RemoteExecutor:
                 "execute", kind="query", plan=render_expr(expr)
             ) as span:
                 relation = executor.evaluate(expr)
+        except Exception as err:
+            delta = log.delta(before)
+            if journal.enabled and request_id is not None:
+                journal.record_error(
+                    request_id, err, ts=delta.simulated_seconds
+                )
+            if board is not None and request_id is not None:
+                board.finish(request_id)
+            raise
         finally:
             client.tracer = previous_tracer
         delta = log.delta(before)
@@ -308,5 +357,22 @@ class RemoteExecutor:
                 tuples_out=len(relation.rows),
             )
             trace = span
+        if journal.enabled and request_id is not None:
+            journal.record_execution(
+                request_id,
+                root=trace,
+                ts=delta.simulated_seconds,
+                rows=len(relation.rows),
+                digest=relation_digest(relation),
+                pages=delta.page_downloads,
+                light_connections=delta.light_connections,
+                cache_hits=delta.cache_hits,
+                revalidations=delta.revalidations,
+                pages_shared=delta.pages_shared,
+                bytes=delta.bytes_downloaded,
+                seconds=delta.simulated_seconds,
+            )
+        if board is not None and request_id is not None:
+            board.finish(request_id)
         report = getattr(executor, "report", None)
         return ExecutionResult(relation, delta, trace=trace, adaptive=report)

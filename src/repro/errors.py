@@ -26,6 +26,8 @@ __all__ = [
     "TransientFetchError",
     "RetriesExhaustedError",
     "StatisticsError",
+    "MetricCardinalityError",
+    "JournalError",
     "ExecutionModeError",
     "OptionsError",
     "AdmissionRejected",
@@ -122,6 +124,29 @@ class RetriesExhaustedError(FetchError):
 
 class StatisticsError(ReproError):
     """Site statistics are missing a parameter required by the cost model."""
+
+
+class MetricCardinalityError(ReproError, ValueError):
+    """A metric instrument was asked to create more label series than its
+    configured bound allows.  Unbounded label cardinality (a URL or a
+    request id used as a label) silently turns a fixed-size registry into
+    a memory leak, so the guard fails loudly instead.
+
+    Doubles as a :class:`ValueError` (like :class:`ExecutionModeError`) so
+    generic configuration validators keep working."""
+
+    def __init__(self, name: str, limit: int):
+        super().__init__(
+            f"metric {name!r} exceeded its label-cardinality bound "
+            f"({limit} series); use a lower-cardinality label"
+        )
+        self.metric = name
+        self.limit = limit
+
+
+class JournalError(ReproError):
+    """An event journal is unreadable, fails correlation-id validation,
+    or cannot reconstruct the request a replay asked for."""
 
 
 class ExecutionModeError(ReproError, ValueError):

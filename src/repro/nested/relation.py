@@ -12,12 +12,13 @@ as read-only).  Convenience methods delegate to
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import SchemaError
 from repro.nested.schema import RelationSchema
 
-__all__ = ["Relation", "canonical_value", "canonical_row"]
+__all__ = ["Relation", "canonical_value", "canonical_row", "relation_digest"]
 
 Row = dict
 
@@ -33,6 +34,32 @@ def canonical_value(value: object) -> object:
 def canonical_row(row: Row) -> tuple:
     """Hashable canonical form of a row: sorted (name, canonical) pairs."""
     return tuple(sorted((k, canonical_value(v)) for k, v in row.items()))
+
+
+def _digest_value(value: object) -> tuple:
+    if value is None:
+        return ("null",)
+    if isinstance(value, list):
+        return ("list", tuple(sorted(_digest_row(sub) for sub in value)))
+    return ("atom", str(value))
+
+
+def _digest_row(row: Row) -> tuple:
+    return tuple((key, _digest_value(row[key])) for key in sorted(row))
+
+
+def relation_digest(relation: "Relation") -> str:
+    """Stable hex digest of a relation's canonical content.
+
+    Set semantics (row order and duplicates are irrelevant, as in
+    :meth:`Relation.canonical`), schema-name sensitive, deterministic
+    across processes — so digests from two report or journal files can be
+    compared directly.  This is the digest the QA differential oracle
+    records per cell and the event journal records per request."""
+    names = tuple(sorted(relation.schema.names()))
+    rows = sorted({_digest_row(row) for row in relation.rows})
+    payload = repr((names, rows)).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
 
 
 class Relation:

@@ -1,11 +1,16 @@
-"""Observability: span tracing, metrics, rewrite lineage, EXPLAIN ANALYZE.
+"""Observability: span tracing, metrics, rewrite lineage, EXPLAIN ANALYZE,
+the event journal, live query progress, and SLO monitoring.
 
 Deliberately lightweight at import time — :mod:`repro.web.client` imports
 this package on every use of the library, so only the dependency-free
 substrate (tracing, metrics, rewrite lineage) is pulled in eagerly.  The
 annotated-plan renderer (:mod:`repro.obs.explain`), the Chrome-trace
-exporter (:mod:`repro.obs.export`), and the CLI (``python -m repro.obs``)
-are imported on demand.
+exporter (:mod:`repro.obs.export`), the append-only event journal and
+flight recorder (:mod:`repro.obs.journal`), per-operator progress and
+planner calibration (:mod:`repro.obs.progress`), SLO / burn-rate
+monitoring (:mod:`repro.obs.slo`), and the CLI (``python -m repro.obs``,
+with ``replay`` / ``dashboard`` / ``calibrate`` subcommands) are imported
+on demand.
 """
 
 from repro.obs.metrics import (

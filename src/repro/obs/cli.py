@@ -1,6 +1,7 @@
-"""``python -m repro.obs`` — EXPLAIN / EXPLAIN ANALYZE from the shell.
+"""``python -m repro.obs`` — the observability toolbox.
 
-Examples::
+Default (no subcommand): EXPLAIN / EXPLAIN ANALYZE, unchanged from the
+original flat CLI::
 
     # why did Example 7.1 pick the pointer-join plan?
     python -m repro.obs --site university --query ex71
@@ -12,12 +13,26 @@ Examples::
 
     # ad-hoc SQL plus the metric readings the run produced
     python -m repro.obs --site movies \\
-        --sql "SELECT Title, Year, Genre FROM Movie" --analyze --metrics
+        --sql "SELECT Title, Year, Genre FROM Movie" --analyze --metrics \\
+        --metrics-json metrics.json
+
+Subcommands::
+
+    # flight recorder: reconstruct a past request from its journal alone
+    python -m repro.obs replay req-0003 --journal server-journal.jsonl
+    python -m repro.obs replay --journal server-journal.jsonl --list
+
+    # run a small server mix and render the SLO dashboard
+    python -m repro.obs dashboard --site movies --html dashboard.html
+
+    # planner calibration: which repro.stats estimates drift worst?
+    python -m repro.obs calibrate --out calibration.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -29,13 +44,19 @@ from repro.web.client import FetchConfig
 
 __all__ = ["main"]
 
+#: Subcommands peeked off the front of argv; anything else (flags, or
+#: nothing) falls through to the historical flat EXPLAIN interface, so
+#: every pre-existing invocation keeps working verbatim.
+_SUBCOMMANDS = ("replay", "dashboard", "calibrate")
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+
+def _explain(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Explain (and optionally execute + measure) a query: "
         "plan space, rewrite lineage, annotated operator tree, "
-        "Chrome-trace export.",
+        "Chrome-trace export.  Subcommands: replay (flight recorder), "
+        "dashboard (SLO snapshot), calibrate (planner q-error report).",
     )
     parser.add_argument(
         "--site",
@@ -57,7 +78,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--analyze",
         action="store_true",
         help="EXPLAIN ANALYZE: execute the chosen plan and annotate the "
-        "tree with measured per-operator pages / tuples / seconds",
+        "tree with measured per-operator pages / tuples / seconds / "
+        "q-error",
     )
     parser.add_argument(
         "--workers", type=int, default=None, metavar="K",
@@ -73,8 +95,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(implies --analyze)",
     )
     parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal the run's event block as JSON lines (implies "
+        "--analyze); replayable with `python -m repro.obs replay`",
+    )
+    parser.add_argument(
         "--metrics", action="store_true",
         help="print the process metrics registry after the run",
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the metrics registry snapshot as JSON "
+        "(the exact shape of MetricsRegistry.snapshot(), pinned in "
+        "tests/test_obs_cli.py)",
     )
     args = parser.parse_args(argv)
 
@@ -93,7 +126,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         sql = next(iter(queries.values()))
 
-    analyze = args.analyze or args.export_trace is not None
+    analyze = (
+        args.analyze
+        or args.export_trace is not None
+        or args.journal is not None
+    )
+    journal = None
+    if args.journal is not None:
+        from repro.obs.journal import Journal
+
+        # The executor allocates the request id; defaults ride along on
+        # its begin_request so replay can rebuild the site + query.
+        journal = Journal(defaults={"site": args.site, "query": sql})
     tracer = RecordingTracer()
     fetch_config = (
         FetchConfig(max_workers=args.workers)
@@ -104,7 +148,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sql,
         analyze=analyze,
         options=QueryOptions(
-            cache=args.cache, fetch=fetch_config, tracer=tracer
+            cache=args.cache, fetch=fetch_config, tracer=tracer,
+            journal=journal,
         ),
     )
     print(report)
@@ -115,10 +160,198 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"({len(document['traceEvents'])} events; load in "
             f"https://ui.perfetto.dev or chrome://tracing)"
         )
+    if journal is not None:
+        count = journal.write(args.journal)
+        print(f"journal: {args.journal} ({count} events)")
     if args.metrics:
         print("\nmetrics:")
         print(METRICS.render())
+    if args.metrics_json is not None:
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(METRICS.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics json: {args.metrics_json}")
     return 0
+
+
+def _replay(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs replay",
+        description="Flight recorder: reconstruct a past request — its "
+        "EXPLAIN ANALYZE tree and Perfetto timeline — from the event "
+        "journal alone.",
+    )
+    parser.add_argument(
+        "request_id", nargs="?", default=None,
+        help="the request to reconstruct (omit with --list)",
+    )
+    parser.add_argument(
+        "--journal", required=True, metavar="PATH",
+        help="JSONL journal written by Journal.write / the server / "
+        "bench_server",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the journal's request ids and exit",
+    )
+    parser.add_argument(
+        "--export-trace", default=None, metavar="PATH",
+        help="write the reconstructed spans as Chrome trace events",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.journal import Journal, replay
+
+    journal = Journal.load(args.journal)
+    problems = journal.validate()
+    if problems:
+        for problem in problems:
+            print(f"journal problem: {problem}", file=sys.stderr)
+        return 1
+    if args.list or args.request_id is None:
+        for request_id in journal.request_ids():
+            attrs = journal.request_attrs(request_id)
+            label = attrs.get("query") or attrs.get("cell") or ""
+            print(f"{request_id}  {attrs.get('site', '?')}  {label}")
+        return 0
+    result = replay(journal, args.request_id)
+    attrs = result.request
+    print(f"request {result.request_id}  "
+          f"site={attrs.get('site', '?')} tenant={attrs.get('tenant', '-')}")
+    if attrs.get("query"):
+        print(f"query: {attrs['query']}")
+    print(f"execution: {result.execution}")
+    print()
+    print(result.explain)
+    print()
+    pages = result.result.get("pages", "?")
+    print(f"result: {result.result.get('rows', '?')} rows, "
+          f"digest {result.result.get('digest', '?')}, {pages} pages "
+          f"(per-operator sum {result.page_sum}), "
+          f"{result.result.get('seconds', 0):.2f}s simulated")
+    if args.export_trace is not None:
+        with open(args.export_trace, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"traceEvents": result.trace_events,
+                 "displayTimeUnit": "ms"},
+                handle,
+            )
+        print(f"trace: {args.export_trace} "
+              f"({len(result.trace_events)} events)")
+    return 0
+
+
+def _dashboard(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs dashboard",
+        description="Run a small multi-tenant mix through the query "
+        "server and render the SLO / burn-rate dashboard.",
+    )
+    parser.add_argument(
+        "--site", default="movies",
+        help="university | bibliography | movies | fuzz:<seed> "
+        "(default: movies)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=10, metavar="N",
+        help="mix size (default: 10)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="K",
+        help="server worker pool (default: 4)",
+    )
+    parser.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="also write a standalone HTML snapshot",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.slo import (
+        SLOMonitor,
+        render_dashboard,
+        render_dashboard_html,
+        server_slos,
+    )
+    from repro.options import QueryRequest
+    from repro.qa.cli import build_site
+    from repro.server import QueryServer, ServerConfig
+
+    env, queries = build_site(args.site)
+    suite = sorted(queries.items())
+    requests = [
+        QueryRequest(
+            query=suite[i % len(suite)][1],
+            options=QueryOptions(cache="off"),
+            tenant=f"tenant-{i % 2}",
+        )
+        for i in range(args.requests)
+    ]
+    monitor = SLOMonitor(server_slos(), windows=(60.0, 300.0))
+    monitor.sample(0.0)
+    with QueryServer(env, ServerConfig(max_workers=args.workers)) as server:
+        outcomes = server.serve(requests)
+    makespan = sum(
+        o.result.log.simulated_seconds for o in outcomes if o.result
+    )
+    monitor.sample(makespan)
+    statuses = monitor.evaluate(makespan)
+    print(render_dashboard(statuses, monitor.alerts))
+    if args.html is not None:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_dashboard_html(statuses, monitor.alerts))
+        print(f"\nhtml: {args.html}")
+    return 0
+
+
+def _calibrate(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs calibrate",
+        description="Planner calibration: execute the QA query suites "
+        "with recording tracers and report per-operator q-error — which "
+        "repro.stats estimates drift worst, and where.",
+    )
+    parser.add_argument(
+        "--sites", default=None, metavar="CSV",
+        help="comma-separated site list (default: university, "
+        "bibliography, movies, fuzz:17, fuzz:42)",
+    )
+    parser.add_argument(
+        "--worst", type=int, default=10, metavar="N",
+        help="how many worst estimates to rank (default: 10)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.progress import calibration_report, render_calibration
+
+    sites = (
+        [part.strip() for part in args.sites.split(",") if part.strip()]
+        if args.sites
+        else None
+    )
+    report = calibration_report(sites=sites, worst=args.worst)
+    print(render_calibration(report))
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nreport: {args.out}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        handler = {
+            "replay": _replay,
+            "dashboard": _dashboard,
+            "calibrate": _calibrate,
+        }[argv[0]]
+        return handler(argv[1:])
+    return _explain(argv)
 
 
 if __name__ == "__main__":

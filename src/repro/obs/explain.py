@@ -89,6 +89,18 @@ class NodeReport:
             return None
         return self.span.attrs.get("seconds")
 
+    @property
+    def q_error(self) -> Optional[float]:
+        """Cardinality q-error, ``max(est/actual, actual/est)`` with both
+        sides clamped to >= 1 (None until the node was measured).  The
+        calibration report aggregates exactly this statistic."""
+        tuples = self.measured_tuples
+        if tuples is None:
+            return None
+        from repro.obs.progress import qerror
+
+        return qerror(self.est_card, tuples)
+
 
 def _estimate_label(node: Expr) -> str:
     label = type(node).__name__
@@ -207,7 +219,8 @@ def render_annotated_tree(
             meas = (
                 f"  measured: {r.measured_own:4d} pages, "
                 f"{r.measured_tuples:5d} tuples, "
-                f"{r.measured_seconds:7.2f}s"
+                f"{r.measured_seconds:7.2f}s, "
+                f"q-err {r.q_error:6.2f}"
             )
         elif spans is not None:
             meas = "  measured: (not evaluated)"

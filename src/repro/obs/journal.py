@@ -1,0 +1,572 @@
+"""The append-only event journal: a flight recorder for query requests.
+
+Every request the library executes under a :class:`Journal` leaves a
+correlated block of JSON-lines events behind:
+
+``request``
+    One per ``request_id``: who asked (tenant), what for (the query text
+    and site, when the caller knows them), stamped with the *simulated*
+    clock of the request's own access log — never wall clock, so a
+    journal is deterministic and bit-for-bit reproducible.
+``plan``
+    The plan candidate the executor actually ran (its rendered algebra
+    text plus the execution mode) — the hook replay uses to re-select the
+    same candidate from the deterministic plan space.
+``span``
+    One per recorded span, preorder: ``span_id``/``parent_id`` encode the
+    tree, ``name``/``span_kind``/``attrs``/``events`` its content.  The
+    serialized tree reconstructs the exact :class:`~repro.obs.trace.Span`
+    forest (:func:`reconstruct_trace`), which is why replay can rebuild
+    the EXPLAIN ANALYZE and Perfetto renderings losslessly.
+``fetch`` / ``cache`` / ``prune`` / ``switch``
+    Flat per-occurrence events lifted out of the span tree (each carries
+    the ``span_id`` it happened inside) so an operational log query like
+    "every fetch of request r0003" needs no tree walk.
+``result`` / ``error``
+    The request's outcome: canonical relation digest, row count, and the
+    page/cache counters of its access-log delta — the figures
+    ``benchmarks/check_journal.py`` re-derives and cross-checks.
+
+**Non-interference.**  Journaling observes an execution that already
+happened (the span tree and log delta); it never touches the cache, the
+clock, or the relation.  The QA matrix's ``journal`` dimension proves a
+journaled run leaves every digest, page count, and cache counter
+bit-for-bit unchanged.
+
+**Determinism.**  Events carry a per-request sequence number and
+:meth:`Journal.write` orders blocks canonically by request id, so a
+cohort journal is byte-identical however the server's worker threads
+interleaved — each request's block is internally deterministic because
+per-request accounting is (docs/SERVER.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import JournalError
+from repro.obs.trace import Span, SpanEvent
+
+__all__ = [
+    "JournalEvent",
+    "Journal",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "reconstruct_trace",
+    "replay",
+    "ReplayResult",
+]
+
+#: Span attr / event attr values that survive serialization: everything a
+#: tracer records today is one of these (the plan text is a str).
+_JSON_SAFE = (bool, int, float, str)
+
+#: Span event names lifted into flat journal events, and the journal kind
+#: they surface as.
+_FLAT_EVENTS = {
+    "fetch": "fetch",
+    "adaptive-prune": "prune",
+    "adaptive-switch": "switch",
+}
+
+
+def _safe_attrs(attrs: dict) -> dict:
+    return {
+        key: value
+        for key, value in attrs.items()
+        if value is None or isinstance(value, _JSON_SAFE)
+    }
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One journal line: correlation ids plus a JSON-safe payload."""
+
+    kind: str
+    request_id: str
+    seq: int          #: position within the request's block (0-based)
+    ts: float         #: simulated seconds (request-relative clock)
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "request_id": self.request_id,
+            "seq": self.seq,
+            "ts": self.ts,
+            **self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JournalEvent":
+        try:
+            kind = data["kind"]
+            request_id = data["request_id"]
+            seq = data["seq"]
+            ts = data["ts"]
+        except KeyError as err:
+            raise JournalError(f"journal line lacks {err.args[0]!r}") from None
+        attrs = {
+            key: value
+            for key, value in data.items()
+            if key not in ("kind", "request_id", "seq", "ts")
+        }
+        return cls(kind=kind, request_id=request_id, seq=int(seq),
+                   ts=float(ts), attrs=attrs)
+
+
+class Journal:
+    """Lock-safe, append-only, in-memory event journal (JSONL on disk).
+
+    ``defaults`` are merged into every ``request`` event (the benchmark
+    harness stamps the site name this way); they are mutable so one
+    journal can span several serially run sites."""
+
+    enabled = True
+
+    def __init__(self, defaults: Optional[dict] = None):
+        self.defaults: dict = dict(defaults or {})
+        self._lock = threading.Lock()
+        self._events: list[JournalEvent] = []
+        self._seq: dict[str, itertools.count] = {}
+        self._requests: set[str] = set()
+        self._next_request = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def begin_request(
+        self,
+        request_id: Optional[str] = None,
+        ts: float = 0.0,
+        **attrs,
+    ) -> str:
+        """Open (or annotate) one request block; returns its id.
+
+        With ``request_id=None`` a fresh journal-unique id is allocated.
+        Calling again for a known id merges the new attributes into a
+        follow-up ``request`` event only if they add anything — the
+        executor calls this unconditionally, after the server or the QA
+        oracle may already have registered richer metadata."""
+        with self._lock:
+            if request_id is None:
+                request_id = f"r{next(self._next_request):04d}"
+            known = request_id in self._requests
+            if known and not attrs:
+                return request_id
+            merged = _safe_attrs(
+                {**self.defaults, **attrs} if not known else attrs
+            )
+            if not known:
+                self._requests.add(request_id)
+            self._append_locked("request", request_id, ts, merged)
+            return request_id
+
+    def record(
+        self, kind: str, request_id: str, ts: float = 0.0, **attrs
+    ) -> None:
+        """Append one event to a request's block."""
+        with self._lock:
+            self._append_locked(kind, request_id, ts, _safe_attrs(attrs))
+
+    def record_execution(
+        self,
+        request_id: str,
+        *,
+        root: Optional[Span],
+        ts: float = 0.0,
+        **result_attrs,
+    ) -> None:
+        """Record one finished execution as a single atomic block: the
+        serialized span tree, the flat fetch/cache/prune/switch events
+        lifted out of it, and the ``result`` event with the run's
+        counters.  One lock acquisition, so concurrent server workers
+        never interleave inside a request's block."""
+        with self._lock:
+            if root is not None:
+                self._record_spans_locked(request_id, root)
+            self._append_locked(
+                "result", request_id, ts, _safe_attrs(result_attrs)
+            )
+
+    def record_error(
+        self, request_id: str, error: BaseException, ts: float = 0.0, **attrs
+    ) -> None:
+        with self._lock:
+            self._append_locked(
+                "error",
+                request_id,
+                ts,
+                {"error": type(error).__name__,
+                 "message": str(error), **_safe_attrs(attrs)},
+            )
+
+    def _record_spans_locked(self, request_id: str, root: Span) -> None:
+        span_ids: dict[int, int] = {}
+
+        def go(span: Span, parent_id: Optional[int]) -> None:
+            span_id = len(span_ids)
+            span_ids[id(span)] = span_id
+            ts = float(span.attrs.get("t0") or 0.0)
+            self._append_locked(
+                "span",
+                request_id,
+                ts,
+                {
+                    "span_id": span_id,
+                    "parent_id": parent_id,
+                    "name": span.name,
+                    "span_kind": span.kind,
+                    "attrs": _safe_attrs(span.attrs),
+                    "events": [
+                        {"name": e.name, "attrs": _safe_attrs(e.attrs)}
+                        for e in span.events
+                    ],
+                },
+            )
+            for event in span.events:
+                flat = _FLAT_EVENTS.get(event.name)
+                is_cache = event.name.startswith("cache_")
+                if flat is None and not is_cache:
+                    continue
+                attrs = _safe_attrs(event.attrs)
+                if is_cache:
+                    flat = "cache"
+                    attrs["event"] = event.name[len("cache_"):]
+                self._append_locked(
+                    flat,
+                    request_id,
+                    float(attrs.get("start") or ts),
+                    {"span_id": span_id, **attrs},
+                )
+            for child in span.children:
+                go(child, span_id)
+
+        go(root, None)
+
+    def _append_locked(
+        self, kind: str, request_id: str, ts: float, attrs: dict
+    ) -> None:
+        if not request_id:
+            raise JournalError("journal events need a request id")
+        counter = self._seq.setdefault(request_id, itertools.count())
+        self._events.append(
+            JournalEvent(
+                kind=kind,
+                request_id=request_id,
+                seq=next(counter),
+                ts=ts,
+                attrs=attrs,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def events(self, kind: Optional[str] = None) -> list[JournalEvent]:
+        with self._lock:
+            snapshot = list(self._events)
+        if kind is None:
+            return snapshot
+        return [event for event in snapshot if event.kind == kind]
+
+    def request_ids(self) -> list[str]:
+        """Every request id, in canonical (sorted) order."""
+        seen = {event.request_id for event in self.events("request")}
+        return sorted(seen)
+
+    def events_for(self, request_id: str) -> list[JournalEvent]:
+        """One request's block, in its deterministic seq order."""
+        block = [
+            event
+            for event in self.events()
+            if event.request_id == request_id
+        ]
+        block.sort(key=lambda event: event.seq)
+        return block
+
+    def request_attrs(self, request_id: str) -> dict:
+        """The merged attributes of a request's ``request`` event(s)."""
+        merged: dict = {}
+        for event in self.events_for(request_id):
+            if event.kind == "request":
+                merged.update(event.attrs)
+        if not merged and request_id not in self.request_ids():
+            raise JournalError(f"unknown request id {request_id!r}")
+        return merged
+
+    def validate(self) -> list[str]:
+        """Correlation-id integrity; returns the problems (empty: sound).
+
+        Every event must belong to a request block opened by a
+        ``request`` event; span ids must be unique per request with
+        resolvable parents; every flat fetch/cache/prune/switch event
+        must point at a span of its own request."""
+        problems: list[str] = []
+        events = self.events()
+        requests = {e.request_id for e in events if e.kind == "request"}
+        spans: dict[str, set[int]] = {}
+        for event in sorted(events, key=lambda e: (e.request_id, e.seq)):
+            rid = event.request_id
+            if rid not in requests:
+                problems.append(
+                    f"{event.kind} event references unknown request {rid!r}"
+                )
+                continue
+            if event.kind == "span":
+                span_id = event.attrs.get("span_id")
+                parent_id = event.attrs.get("parent_id")
+                known = spans.setdefault(rid, set())
+                if span_id in known:
+                    problems.append(f"{rid}: duplicate span id {span_id}")
+                if parent_id is not None and parent_id not in known:
+                    problems.append(
+                        f"{rid}: span {span_id} has unresolved parent "
+                        f"{parent_id}"
+                    )
+                known.add(span_id)
+            elif event.kind in ("fetch", "cache", "prune", "switch"):
+                span_id = event.attrs.get("span_id")
+                if span_id not in spans.get(rid, set()):
+                    problems.append(
+                        f"{rid}: {event.kind} event references unknown "
+                        f"span {span_id}"
+                    )
+        return problems
+
+    # ------------------------------------------------------------------ #
+    # JSONL persistence
+    # ------------------------------------------------------------------ #
+
+    def to_lines(self) -> Iterator[str]:
+        """Canonically ordered JSON lines: blocks sorted by request id,
+        events by their in-block sequence — byte-deterministic however
+        worker threads interleaved the appends."""
+        ordered = sorted(
+            self.events(), key=lambda e: (e.request_id, e.seq)
+        )
+        for event in ordered:
+            yield json.dumps(event.to_dict(), sort_keys=True)
+
+    def write(self, path: str, append: bool = False) -> int:
+        """Write the journal as JSON lines; returns the event count."""
+        lines = list(self.to_lines())
+        mode = "a" if append else "w"
+        with open(path, mode, encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
+
+    @classmethod
+    def load(cls, path: str) -> "Journal":
+        """Load a JSONL journal written by :meth:`write`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        return cls.from_lines(lines)
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "Journal":
+        journal = cls()
+        max_rid = 0
+        for number, line in enumerate(lines, 1):
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise JournalError(
+                    f"journal line {number} is not JSON ({err})"
+                ) from None
+            event = JournalEvent.from_dict(data)
+            journal._events.append(event)
+            if event.kind == "request":
+                journal._requests.add(event.request_id)
+                if event.request_id.startswith("r"):
+                    try:
+                        max_rid = max(max_rid, int(event.request_id[1:]))
+                    except ValueError:
+                        pass
+        journal._next_request = itertools.count(max_rid + 1)
+        for event in journal._events:
+            journal._seq.setdefault(event.request_id, itertools.count())
+        return journal
+
+
+class NullJournal(Journal):
+    """The zero-cost default: every recording call is a no-op."""
+
+    enabled = False
+
+    def begin_request(
+        self,
+        request_id: Optional[str] = None,
+        ts: float = 0.0,
+        **attrs,
+    ) -> str:
+        return request_id or ""
+
+    def record(self, kind, request_id, ts=0.0, **attrs) -> None:
+        pass
+
+    def record_execution(self, request_id, *, root, ts=0.0, **attrs) -> None:
+        pass
+
+    def record_error(self, request_id, error, ts=0.0, **attrs) -> None:
+        pass
+
+
+#: Process-shared no-op journal: the default everywhere journaling plugs in.
+NULL_JOURNAL = NullJournal()
+
+
+# ---------------------------------------------------------------------- #
+# reconstruction + replay
+# ---------------------------------------------------------------------- #
+
+
+def reconstruct_trace(journal: Journal, request_id: str) -> Span:
+    """Rebuild the request's exact span tree from its ``span`` events.
+
+    The returned root is interchangeable with the live
+    ``ExecutionResult.trace``: :func:`~repro.obs.trace.spans_by_node`,
+    the EXPLAIN ANALYZE renderer, and the Chrome-trace exporter consume
+    it identically — that is the replay-losslessness guarantee the
+    journal tests pin."""
+    spans: dict[int, Span] = {}
+    root: Optional[Span] = None
+    for event in journal.events_for(request_id):
+        if event.kind != "span":
+            continue
+        span = Span(
+            event.attrs.get("name", ""),
+            kind=event.attrs.get("span_kind", ""),
+            attrs=dict(event.attrs.get("attrs") or {}),
+        )
+        span.events = [
+            SpanEvent(item["name"], dict(item.get("attrs") or {}))
+            for item in event.attrs.get("events") or []
+        ]
+        span_id = event.attrs.get("span_id")
+        parent_id = event.attrs.get("parent_id")
+        spans[span_id] = span
+        if parent_id is None:
+            if root is None:
+                root = span
+        else:
+            parent = spans.get(parent_id)
+            if parent is None:
+                raise JournalError(
+                    f"{request_id}: span {span_id} arrived before its "
+                    f"parent {parent_id}"
+                )
+            parent.children.append(span)
+    if root is None:
+        raise JournalError(f"no spans journaled for request {request_id!r}")
+    return root
+
+
+@dataclass
+class ReplayResult:
+    """Everything replay reconstructed for one past request."""
+
+    request_id: str
+    request: dict            #: merged ``request`` event attributes
+    plan: str                #: the journaled plan's rendered algebra text
+    expr: object             #: the re-found plan candidate (an algebra Expr)
+    execution: str
+    root: Span               #: the reconstructed span tree
+    explain: str             #: EXPLAIN ANALYZE annotated tree (re-rendered)
+    trace_events: list       #: Chrome trace events (Perfetto-loadable)
+    result: dict             #: the journaled ``result`` event attributes
+
+    @property
+    def page_sum(self) -> int:
+        """Per-operator own pages, summed (must equal the result pages)."""
+        total = 0
+        for span in self.root.walk():
+            if span.kind != "operator":
+                continue
+            own = span.attrs.get("pages", 0) - sum(
+                c.attrs.get("pages", 0)
+                for c in span.children
+                if c.kind == "operator"
+            )
+            total += own
+        return total
+
+
+def replay(journal: Journal, request_id: str, env=None) -> ReplayResult:
+    """Reconstruct one past request from the journal alone.
+
+    Rebuilds the span tree, re-selects the *same* plan candidate (the
+    site's plan enumeration is deterministic; the candidate is matched by
+    its rendered algebra text), and re-renders the EXPLAIN ANALYZE tree
+    and the Chrome-trace export from the reconstructed spans.  ``env``
+    may be passed to reuse a built environment; otherwise the journaled
+    ``site`` name is resolved through the QA site builder."""
+    from repro.algebra.printer import render_expr
+    from repro.obs.explain import render_annotated_tree
+    from repro.obs.export import chrome_trace_events
+    from repro.obs.trace import spans_by_node
+
+    request = journal.request_attrs(request_id)
+    plan_events = [
+        e for e in journal.events_for(request_id) if e.kind == "plan"
+    ]
+    if not plan_events:
+        raise JournalError(f"no plan journaled for request {request_id!r}")
+    plan_text = plan_events[-1].attrs.get("plan", "")
+    execution = plan_events[-1].attrs.get("execution", "staged")
+    result_events = [
+        e for e in journal.events_for(request_id) if e.kind == "result"
+    ]
+    result_attrs = result_events[-1].attrs if result_events else {}
+    root = reconstruct_trace(journal, request_id)
+
+    if env is None:
+        site = request.get("site")
+        if not site:
+            raise JournalError(
+                f"request {request_id!r} journaled no site; pass env="
+            )
+        from repro.qa.cli import build_site
+
+        env, _ = build_site(site)
+    query = request.get("query")
+    if not query:
+        raise JournalError(
+            f"request {request_id!r} journaled no query text"
+        )
+    expr = None
+    for candidate in env.enumerate_plans(query):
+        if render_expr(candidate.expr) == plan_text:
+            expr = candidate.expr
+            break
+    if expr is None:
+        raise JournalError(
+            f"request {request_id!r}: journaled plan not found in the "
+            f"site's plan space (site drifted since the recording?)"
+        )
+    spans = spans_by_node(root)
+    explain = render_annotated_tree(
+        expr, env.cost_model, scheme=env.scheme, spans=spans
+    )
+    return ReplayResult(
+        request_id=request_id,
+        request=request,
+        plan=plan_text,
+        expr=expr,
+        execution=execution,
+        root=root,
+        explain=explain,
+        trace_events=chrome_trace_events(root),
+        result=dict(result_attrs),
+    )

@@ -16,8 +16,12 @@ independent of registry state).
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import MetricCardinalityError
 
 __all__ = [
     "Counter",
@@ -25,11 +29,24 @@ __all__ = [
     "MetricsRegistry",
     "METRICS",
     "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_SERIES",
+    "DEFAULT_MAX_SAMPLES",
 ]
 
 #: Histogram bucket upper bounds, in simulated seconds (the only quantity
 #: histogrammed out of the box); the last implicit bucket is +Inf.
 DEFAULT_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+#: Label-cardinality bound per instrument: creating a series beyond it
+#: raises :class:`~repro.errors.MetricCardinalityError` (a URL or request
+#: id leaking into a label must fail loudly, not grow without bound).
+DEFAULT_MAX_SERIES = 512
+
+#: Raw observations each histogram series retains for exact percentiles.
+#: Past the bound the sample set is decimated deterministically (keep
+#: every other, double the recording stride), so percentiles degrade to an
+#: evenly spaced subsample instead of unbounded memory.
+DEFAULT_MAX_SAMPLES = 2048
 
 
 def _label_key(labels: dict) -> tuple:
@@ -44,9 +61,11 @@ class Counter:
         name: str,
         help: str = "",
         lock: Optional[threading.Lock] = None,
+        max_series: int = DEFAULT_MAX_SERIES,
     ):
         self.name = name
         self.help = help
+        self.max_series = max_series
         self._series: dict[tuple, float] = {}
         self._lock = lock or threading.Lock()
 
@@ -55,6 +74,8 @@ class Counter:
             raise ValueError("counters only go up")
         key = _label_key(labels)
         with self._lock:
+            if key not in self._series and len(self._series) >= self.max_series:
+                raise MetricCardinalityError(self.name, self.max_series)
             self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels) -> float:
@@ -77,7 +98,16 @@ class Counter:
 
 
 class Histogram:
-    """Cumulative-bucket histogram per label set (count/sum/min/max kept)."""
+    """Cumulative-bucket histogram per label set (count/sum/min/max kept).
+
+    Beyond the Prometheus-style buckets, every series retains its raw
+    observations (bounded by ``max_samples``) so :meth:`percentile`
+    reports *exact* p50/p95/p99 instead of bucket-boundary interpolation.
+    When a series outgrows the bound its samples are decimated
+    deterministically — keep every other retained sample, then record only
+    every ``stride``-th observation from there on — so long-running series
+    degrade to an evenly spaced subsample, never to unbounded memory (the
+    per-series ``stride`` in snapshots is 1 iff percentiles are exact)."""
 
     def __init__(
         self,
@@ -85,12 +115,18 @@ class Histogram:
         help: str = "",
         buckets: Sequence[float] = DEFAULT_BUCKETS,
         lock: Optional[threading.Lock] = None,
+        max_series: int = DEFAULT_MAX_SERIES,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
     ):
         if list(buckets) != sorted(buckets) or not buckets:
             raise ValueError("buckets must be a non-empty ascending sequence")
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
         self.name = name
         self.help = help
         self.buckets = tuple(float(b) for b in buckets)
+        self.max_series = max_series
+        self.max_samples = max_samples
         self._series: dict[tuple, dict] = {}
         self._lock = lock or threading.Lock()
 
@@ -99,14 +135,23 @@ class Histogram:
         with self._lock:
             series = self._series.get(key)
             if series is None:
+                if len(self._series) >= self.max_series:
+                    raise MetricCardinalityError(self.name, self.max_series)
                 series = {
                     "count": 0,
                     "sum": 0.0,
                     "min": value,
                     "max": value,
                     "bucket_counts": [0] * (len(self.buckets) + 1),
+                    "samples": [],
+                    "stride": 1,
                 }
                 self._series[key] = series
+            if series["count"] % series["stride"] == 0:
+                series["samples"].append(value)
+                if len(series["samples"]) > self.max_samples:
+                    series["samples"] = series["samples"][::2]
+                    series["stride"] *= 2
             series["count"] += 1
             series["sum"] += value
             series["min"] = min(series["min"], value)
@@ -126,13 +171,38 @@ class Histogram:
         series = self._series.get(_label_key(labels))
         return series["sum"] if series else 0.0
 
+    def percentile(self, fraction: float, **labels) -> Optional[float]:
+        """The ``fraction``-quantile of one series' retained samples.
+
+        Exact (nearest-rank over every observation) while the series has
+        seen at most ``max_samples`` values — the stride is still 1;
+        afterwards it is the same statistic over the evenly spaced
+        subsample.  ``None`` for a series never observed."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or not series["samples"]:
+                return None
+            ordered = sorted(series["samples"])
+        rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
+
     def snapshot(self) -> dict:
         return {
             "type": "histogram",
             "help": self.help,
             "buckets": list(self.buckets),
             "series": [
-                {"labels": dict(key), **series}
+                {
+                    "labels": dict(key),
+                    **series,
+                    # copy the mutable parts: snapshots must stay stable
+                    # while the live series keeps observing (the SLO
+                    # window store retains old snapshots)
+                    "bucket_counts": list(series["bucket_counts"]),
+                    "samples": list(series["samples"]),
+                }
                 for key, series in sorted(self._series.items())
             ],
         }
@@ -145,23 +215,42 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._instruments: dict[str, object] = {}
 
-    def counter(self, name: str, help: str = "") -> Counter:
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> Counter:
         with self._lock:
             instrument = self._instruments.get(name)
             if instrument is None:
-                instrument = Counter(name, help, lock=self._lock)
+                instrument = Counter(
+                    name, help, lock=self._lock, max_series=max_series
+                )
                 self._instruments[name] = instrument
             elif not isinstance(instrument, Counter):
                 raise TypeError(f"{name!r} is already a non-counter metric")
             return instrument
 
     def histogram(
-        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        max_series: int = DEFAULT_MAX_SERIES,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
     ) -> Histogram:
         with self._lock:
             instrument = self._instruments.get(name)
             if instrument is None:
-                instrument = Histogram(name, help, buckets, lock=self._lock)
+                instrument = Histogram(
+                    name,
+                    help,
+                    buckets,
+                    lock=self._lock,
+                    max_series=max_series,
+                    max_samples=max_samples,
+                )
                 self._instruments[name] = instrument
             elif not isinstance(instrument, Histogram):
                 raise TypeError(f"{name!r} is already a non-histogram metric")
@@ -169,6 +258,23 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         return sorted(self._instruments)
+
+    @contextmanager
+    def isolated(self) -> Iterator["MetricsRegistry"]:
+        """Swap in an empty instrument table for the ``with`` body and
+        restore the previous one afterwards — the test-isolation fixture
+        (``tests/conftest.py``) wraps every metrics-sensitive test in
+        this so parallel-ordered tests cannot bleed counters into each
+        other's assertions.  The registry object (and the lock shared
+        with every instrument it handed out) stays the same."""
+        with self._lock:
+            saved = self._instruments
+            self._instruments = {}
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._instruments = saved
 
     def snapshot(self) -> dict:
         """JSON-able dump of every instrument and series."""
@@ -197,10 +303,19 @@ class MetricsRegistry:
                 if data["type"] == "counter":
                     lines.append(f"{labelled} {series['value']:g}")
                 else:
+                    quantiles = ""
+                    samples = sorted(series.get("samples", ()))
+                    if samples:
+                        def q(fraction: float) -> float:
+                            rank = max(0, math.ceil(fraction * len(samples)) - 1)
+                            return samples[min(rank, len(samples) - 1)]
+                        quantiles = (
+                            f" p50={q(0.50):g} p95={q(0.95):g} p99={q(0.99):g}"
+                        )
                     lines.append(
                         f"{labelled} count={series['count']} "
                         f"sum={series['sum']:g} min={series['min']:g} "
-                        f"max={series['max']:g}"
+                        f"max={series['max']:g}" + quantiles
                     )
         return "\n".join(lines)
 

@@ -1,0 +1,479 @@
+"""SLOs over the metrics registry: windows, objectives, burn rates.
+
+The :mod:`repro.obs.metrics` registry accumulates counters and histograms
+for the life of the process; operating a server needs *windowed* views
+("what was p99 makespan over the last five minutes?") and alerting on
+them.  This module adds both without touching the instruments:
+
+* :class:`WindowStore` retains timestamped registry snapshots in a
+  bounded ring; :meth:`WindowStore.window` subtracts the snapshot just
+  outside a horizon from the latest one, yielding counter deltas and the
+  histogram samples that arrived inside the window.  Time is whatever
+  clock the caller samples with — the simulated
+  :class:`~repro.clock.Timeline` in tests and benchmarks, so windowing is
+  deterministic.
+* SLO specs are declarative objects: :class:`QuantileSLO` ("p99 of this
+  histogram stays under T seconds") and :class:`RatioSLO` ("the fraction
+  of good-labelled increments stays above O").  Each reports a *burn
+  rate*: how fast the error budget is being consumed (1.0 = exactly at
+  objective; 2.0 = burning budget twice as fast as sustainable).
+* :class:`SLOMonitor` evaluates every spec over a short and a long
+  window and emits a :class:`BurnRateAlert` only when **both** burn — the
+  classic multi-window guard against paging on a blip (short window)
+  or on long-ago history (long window).
+
+``python -m repro.obs dashboard`` renders the monitor's current state as
+text or a standalone HTML snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+
+__all__ = [
+    "Window",
+    "WindowStore",
+    "QuantileSLO",
+    "RatioSLO",
+    "SLOStatus",
+    "BurnRateAlert",
+    "SLOMonitor",
+    "server_slos",
+    "render_dashboard",
+    "render_dashboard_html",
+]
+
+
+def _series_map(metric_snapshot: Optional[dict]) -> dict[tuple, dict]:
+    if not metric_snapshot:
+        return {}
+    result = {}
+    for series in metric_snapshot.get("series", ()):
+        key = tuple(sorted(series["labels"].items()))
+        result[key] = series
+    return result
+
+
+def _labels_match(labels: dict, constraint: dict) -> bool:
+    """Subset match; a constraint value may be a tuple of alternatives
+    (e.g. cache hit = event in ("hit", "revalidated"))."""
+    for name, want in constraint.items():
+        have = labels.get(name)
+        if isinstance(want, (tuple, list, set, frozenset)):
+            if have not in {str(w) for w in want}:
+                return False
+        elif have != str(want):
+            return False
+    return True
+
+
+class Window:
+    """The difference between two registry snapshots: what happened
+    between ``start_ts`` and ``end_ts``."""
+
+    def __init__(
+        self,
+        start: dict,
+        end: dict,
+        start_ts: float,
+        end_ts: float,
+    ):
+        self.start = start
+        self.end = end
+        self.start_ts = start_ts
+        self.end_ts = end_ts
+
+    @property
+    def span_seconds(self) -> float:
+        return self.end_ts - self.start_ts
+
+    def counter_delta(self, metric: str, labels: Optional[dict] = None) -> float:
+        """Sum of increments inside the window over every series whose
+        labels match the (subset) constraint."""
+        constraint = labels or {}
+        end_series = _series_map(self.end.get(metric))
+        start_series = _series_map(self.start.get(metric))
+        total = 0.0
+        for key, series in end_series.items():
+            if not _labels_match(series["labels"], constraint):
+                continue
+            before = start_series.get(key, {}).get("value", 0.0)
+            total += series["value"] - before
+        return total
+
+    def histogram_samples(
+        self, metric: str, labels: Optional[dict] = None
+    ) -> list[float]:
+        """The raw observations that arrived inside the window (matching
+        series' retained samples, minus however many were already there
+        at the window's start).  Exact while the series' stride is 1 —
+        the decimation bound is far above anything a test or benchmark
+        window observes."""
+        constraint = labels or {}
+        end_series = _series_map(self.end.get(metric))
+        start_series = _series_map(self.start.get(metric))
+        samples: list[float] = []
+        for key, series in end_series.items():
+            if not _labels_match(series["labels"], constraint):
+                continue
+            retained = series.get("samples", [])
+            seen = len(start_series.get(key, {}).get("samples", ()))
+            samples.extend(retained[seen:])
+        return samples
+
+    def percentile(
+        self, metric: str, fraction: float, labels: Optional[dict] = None
+    ) -> Optional[float]:
+        """Nearest-rank quantile of the window's observations (None when
+        nothing matching was observed inside the window)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        samples = sorted(self.histogram_samples(metric, labels))
+        if not samples:
+            return None
+        rank = max(0, math.ceil(fraction * len(samples)) - 1)
+        return samples[min(rank, len(samples) - 1)]
+
+
+class WindowStore:
+    """A bounded ring of timestamped registry snapshots.
+
+    :meth:`sample` appends the current snapshot; :meth:`window` pairs the
+    newest snapshot with the most recent one at least ``horizon`` old
+    (falling back to the oldest retained — a cold store reports since
+    process start)."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        capacity: int = 256,
+    ):
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2")
+        self.registry = registry if registry is not None else METRICS
+        self._ring: deque = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def sample(self, now: float) -> None:
+        """Record the registry's current state at simulated time ``now``."""
+        self._ring.append((float(now), self.registry.snapshot()))
+
+    def window(self, horizon: float) -> Optional[Window]:
+        """The window covering (approximately) the last ``horizon``
+        seconds, or None before the first sample."""
+        if not self._ring:
+            return None
+        end_ts, end = self._ring[-1]
+        start_ts, start = self._ring[0]
+        for ts, snapshot in reversed(self._ring):
+            if end_ts - ts >= horizon:
+                start_ts, start = ts, snapshot
+                break
+        return Window(start, end, start_ts, end_ts)
+
+
+# ---------------------------------------------------------------------- #
+# SLO specs
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class QuantileSLO:
+    """"The ``quantile`` of histogram ``metric`` stays <= ``threshold``."
+
+    Burn rate = measured quantile / threshold: 1.0 exactly at the
+    objective, higher when the tail is slower than promised."""
+
+    name: str
+    metric: str
+    quantile: float
+    threshold: float
+    labels: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not 0.0 <= self.quantile <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+    def measure(self, window: Window) -> Optional[float]:
+        return window.percentile(self.metric, self.quantile, self.labels)
+
+    def burn_rate(self, window: Window) -> Optional[float]:
+        measured = self.measure(window)
+        if measured is None:
+            return None
+        return measured / self.threshold
+
+    def describe(self) -> str:
+        return (
+            f"p{self.quantile * 100:g}({self.metric}) "
+            f"<= {self.threshold:g}"
+        )
+
+
+@dataclass(frozen=True)
+class RatioSLO:
+    """"At least ``objective`` of ``metric`` increments are good."
+
+    ``good_labels`` constrains the numerator (values may be tuples of
+    alternatives); the denominator is every series matching
+    ``total_labels`` (default: all).  Burn rate = observed bad fraction
+    over the budgeted bad fraction ``1 - objective``."""
+
+    name: str
+    metric: str
+    good_labels: dict
+    objective: float
+    total_labels: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+
+    def measure(self, window: Window) -> Optional[float]:
+        """The good fraction inside the window (None when idle)."""
+        total = window.counter_delta(self.metric, self.total_labels)
+        if total <= 0:
+            return None
+        good = window.counter_delta(self.metric, self.good_labels)
+        return good / total
+
+    def burn_rate(self, window: Window) -> Optional[float]:
+        measured = self.measure(window)
+        if measured is None:
+            return None
+        budget = 1.0 - self.objective
+        return (1.0 - measured) / budget
+
+    def describe(self) -> str:
+        return f"good({self.metric}) >= {self.objective:.2%}"
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One spec evaluated over the monitor's window pair."""
+
+    name: str
+    objective: str
+    short_measured: Optional[float]
+    long_measured: Optional[float]
+    short_burn: Optional[float]
+    long_burn: Optional[float]
+    burning: bool
+
+
+@dataclass(frozen=True)
+class BurnRateAlert:
+    """Both windows burning past the threshold: page-worthy."""
+
+    slo: str
+    at: float
+    short_window: float
+    long_window: float
+    short_burn: float
+    long_burn: float
+
+    def describe(self) -> str:
+        return (
+            f"[{self.at:g}s] SLO {self.slo!r} burning: "
+            f"{self.short_burn:.2f}x over {self.short_window:g}s, "
+            f"{self.long_burn:.2f}x over {self.long_window:g}s"
+        )
+
+
+class SLOMonitor:
+    """Evaluates SLO specs over a short/long window pair and records
+    multi-window burn-rate alerts.
+
+    Drive it from whatever clock the system runs on: call
+    :meth:`sample` periodically (benchmarks do so after every request
+    batch, stamped with simulated seconds), then :meth:`evaluate`."""
+
+    def __init__(
+        self,
+        specs: Sequence,
+        registry: Optional[MetricsRegistry] = None,
+        windows: tuple[float, float] = (60.0, 300.0),
+        burn_threshold: float = 2.0,
+        capacity: int = 256,
+    ):
+        short, long = windows
+        if short >= long:
+            raise ValueError("windows must be (short, long) with short < long")
+        self.specs = list(specs)
+        self.windows = (float(short), float(long))
+        self.burn_threshold = float(burn_threshold)
+        self.store = WindowStore(registry, capacity=capacity)
+        self.alerts: list[BurnRateAlert] = []
+
+    def sample(self, now: float) -> None:
+        self.store.sample(now)
+
+    def evaluate(self, now: Optional[float] = None) -> list[SLOStatus]:
+        """Evaluate every spec; alerts accumulate on ``self.alerts``."""
+        short_h, long_h = self.windows
+        short_w = self.store.window(short_h)
+        long_w = self.store.window(long_h)
+        statuses: list[SLOStatus] = []
+        if short_w is None or long_w is None:
+            return statuses
+        at = now if now is not None else short_w.end_ts
+        for spec in self.specs:
+            short_burn = spec.burn_rate(short_w)
+            long_burn = spec.burn_rate(long_w)
+            burning = (
+                short_burn is not None
+                and long_burn is not None
+                and short_burn >= self.burn_threshold
+                and long_burn >= self.burn_threshold
+            )
+            statuses.append(
+                SLOStatus(
+                    name=spec.name,
+                    objective=spec.describe(),
+                    short_measured=spec.measure(short_w),
+                    long_measured=spec.measure(long_w),
+                    short_burn=short_burn,
+                    long_burn=long_burn,
+                    burning=burning,
+                )
+            )
+            if burning:
+                self.alerts.append(
+                    BurnRateAlert(
+                        slo=spec.name,
+                        at=at,
+                        short_window=short_h,
+                        long_window=long_h,
+                        short_burn=short_burn,
+                        long_burn=long_burn,
+                    )
+                )
+        return statuses
+
+
+def server_slos(
+    makespan_p99: float = 30.0,
+    error_budget: float = 0.01,
+    hit_objective: float = 0.5,
+) -> list:
+    """The multi-query server's default SLO suite:
+
+    * p99 request makespan (simulated seconds) under ``makespan_p99``;
+    * at least ``1 - error_budget`` of requests finish ``outcome=ok``;
+    * at least ``hit_objective`` of cache lookups are served locally
+      (hit or revalidated — both avoid a heavy page transfer)."""
+    return [
+        QuantileSLO(
+            name="request-makespan-p99",
+            metric="repro_server_request_simulated_seconds",
+            quantile=0.99,
+            threshold=makespan_p99,
+        ),
+        RatioSLO(
+            name="request-success",
+            metric="repro_server_queries_total",
+            good_labels={"outcome": "ok"},
+            objective=1.0 - error_budget,
+        ),
+        RatioSLO(
+            name="cache-hit-rate",
+            metric="repro_cache_events_total",
+            good_labels={"event": ("hit", "revalidated")},
+            objective=hit_objective,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# dashboard rendering
+# ---------------------------------------------------------------------- #
+
+
+def _fmt(value: Optional[float], pattern: str = "{:.3f}") -> str:
+    return pattern.format(value) if value is not None else "-"
+
+
+def render_dashboard(
+    statuses: Iterable[SLOStatus],
+    alerts: Iterable[BurnRateAlert] = (),
+    title: str = "repro SLO dashboard",
+) -> str:
+    """Fixed-width text snapshot of the monitor's current state."""
+    statuses = list(statuses)
+    alerts = list(alerts)
+    header = (
+        f"{'slo':<24} {'objective':<38} {'short':>9} {'long':>9} "
+        f"{'burn s/l':>13} {'state':>8}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for status in statuses:
+        burn = f"{_fmt(status.short_burn, '{:.2f}')}/{_fmt(status.long_burn, '{:.2f}')}"
+        state = "BURNING" if status.burning else "ok"
+        lines.append(
+            f"{status.name:<24} {status.objective:<38} "
+            f"{_fmt(status.short_measured):>9} "
+            f"{_fmt(status.long_measured):>9} {burn:>13} {state:>8}"
+        )
+    if not statuses:
+        lines.append("(no samples yet)")
+    lines.append("")
+    lines.append(f"alerts: {len(alerts)}")
+    for alert in alerts:
+        lines.append(f"  {alert.describe()}")
+    return "\n".join(lines)
+
+
+def render_dashboard_html(
+    statuses: Iterable[SLOStatus],
+    alerts: Iterable[BurnRateAlert] = (),
+    title: str = "repro SLO dashboard",
+) -> str:
+    """A dependency-free standalone HTML snapshot (CI uploads this as an
+    artifact next to the journal)."""
+    from html import escape
+
+    statuses = list(statuses)
+    alerts = list(alerts)
+    rows = []
+    for status in statuses:
+        cls = "burning" if status.burning else "ok"
+        rows.append(
+            f"<tr class={cls!r}><td>{escape(status.name)}</td>"
+            f"<td>{escape(status.objective)}</td>"
+            f"<td>{escape(_fmt(status.short_measured))}</td>"
+            f"<td>{escape(_fmt(status.long_measured))}</td>"
+            f"<td>{escape(_fmt(status.short_burn, '{:.2f}'))}</td>"
+            f"<td>{escape(_fmt(status.long_burn, '{:.2f}'))}</td>"
+            f"<td>{'BURNING' if status.burning else 'ok'}</td></tr>"
+        )
+    alert_items = "".join(
+        f"<li>{escape(alert.describe())}</li>" for alert in alerts
+    )
+    return f"""<!doctype html>
+<html><head><meta charset="utf-8"><title>{escape(title)}</title>
+<style>
+body {{ font-family: monospace; margin: 2em; }}
+table {{ border-collapse: collapse; }}
+td, th {{ border: 1px solid #999; padding: 4px 10px; }}
+tr.burning td {{ background: #fdd; }}
+tr.ok td {{ background: #dfd; }}
+</style></head><body>
+<h1>{escape(title)}</h1>
+<table>
+<tr><th>slo</th><th>objective</th><th>short</th><th>long</th>
+<th>burn (short)</th><th>burn (long)</th><th>state</th></tr>
+{"".join(rows) or '<tr><td colspan="7">no samples yet</td></tr>'}
+</table>
+<h2>alerts ({len(alerts)})</h2>
+<ul>{alert_items or "<li>none</li>"}</ul>
+</body></html>
+"""

@@ -31,6 +31,7 @@ from typing import Any, Mapping, Optional, Union
 from repro.algebra.ast import Expr
 from repro.engine.pipeline import PipelineConfig, coerce_execution
 from repro.errors import OptionsError
+from repro.obs.journal import Journal
 from repro.views.conjunctive import ConjunctiveQuery
 from repro.web.cache import CachePolicy, PageCache
 from repro.web.client import FetchConfig, RetryPolicy
@@ -91,6 +92,11 @@ class QueryOptions:
     ``tracer``
         A :class:`~repro.obs.trace.RecordingTracer` (or the null tracer);
         purely observational.
+    ``journal``
+        A :class:`~repro.obs.journal.Journal` to receive this execution's
+        event block (request / plan / spans / result with correlation
+        ids); purely observational, like the tracer.  None (the default)
+        journals nothing.
 
     Instances are frozen: derive variants with :meth:`with_cache` /
     :func:`dataclasses.replace`.
@@ -102,6 +108,7 @@ class QueryOptions:
     execution: str = "staged"
     pipeline: Optional[PipelineConfig] = None
     tracer: Optional[Any] = None
+    journal: Optional[Journal] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.cache, str):
@@ -156,6 +163,11 @@ class QueryOptions:
                 f"cache must be a PageCache, CachePolicy, policy name, or "
                 f"None, got {self.cache!r}"
             )
+        if self.journal is not None and not isinstance(self.journal, Journal):
+            raise OptionsError(
+                f"journal must be a repro.obs.journal.Journal or None, "
+                f"got {self.journal!r}"
+            )
         return self
 
     # ------------------------------------------------------------------ #
@@ -184,6 +196,11 @@ class QueryOptions:
             )
         if self.tracer is not None:
             raise OptionsError("a tracer is not serializable")
+        if self.journal is not None:
+            raise OptionsError(
+                "a live journal is not serializable; attach journals on "
+                "the serving side (ServerConfig.journal)"
+            )
         return {
             "cache": self.cache.value if isinstance(self.cache, CachePolicy)
             else None,

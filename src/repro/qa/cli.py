@@ -26,6 +26,7 @@ from repro.qa.oracle import (
     CACHE_MODES,
     EXEC_MODES,
     FAULT_MODES,
+    JOURNAL_MODES,
     TRACE_MODES,
     DifferentialOracle,
     MatrixSpec,
@@ -198,6 +199,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "and page counts must be identical in all three modes",
     )
     parser.add_argument(
+        "--journal", default="off", choices=JOURNAL_MODES,
+        help="attach a fresh event journal to every measured run "
+        "(default: off); journaling must be digest- and cost-neutral",
+    )
+    parser.add_argument(
         "--cell", action="append", default=[], metavar="CELL_ID",
         help="run only this cell (repeatable); overrides --shard",
     )
@@ -226,6 +232,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         exec_modes=_parse_csv(args.exec_modes, EXEC_MODES, "exec mode"),
         max_plans=args.max_plans,
         trace=args.trace,
+        journal=args.journal,
     )
     oracle = build_oracle(args.site, seed=args.seed, spec=spec)
 

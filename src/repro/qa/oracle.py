@@ -65,8 +65,9 @@ from typing import Optional, Sequence, Union
 
 from repro.engine.pipeline import EXECUTION_MODES
 from repro.errors import RetriesExhaustedError
-from repro.nested.relation import Relation
+from repro.nested.relation import relation_digest
 from repro.obs import NULL_TRACER, RecordingTracer
+from repro.obs.journal import Journal
 from repro.options import QueryOptions
 from repro.qa.report import CellRecord, ConformanceReport
 from repro.server.prefix import SharedNavigator
@@ -83,6 +84,7 @@ __all__ = [
     "EXEC_MODES",
     "FAULT_MODES",
     "TRACE_MODES",
+    "JOURNAL_MODES",
     "Cell",
     "DifferentialOracle",
     "MatrixSpec",
@@ -124,40 +126,21 @@ EXEC_MODES = EXECUTION_MODES + ("server",)
 #: recording tracer attached and compared bit-for-bit against ``off``.
 TRACE_MODES = ("off", "noop", "recording")
 
-
-# --------------------------------------------------------------------- #
-# canonical relation digests
-# --------------------------------------------------------------------- #
-
-
-def _canon_value(value) -> tuple:
-    if value is None:
-        return ("null",)
-    if isinstance(value, list):
-        return ("list", tuple(sorted(_canon_row(sub) for sub in value)))
-    return ("atom", str(value))
-
-
-def _canon_row(row: dict) -> tuple:
-    return tuple((key, _canon_value(row[key])) for key in sorted(row))
-
-
-def relation_digest(relation: Relation) -> str:
-    """Stable hex digest of a relation's canonical content.
-
-    Set semantics (row order and duplicates are irrelevant, as in
-    :meth:`~repro.nested.relation.Relation.canonical`), schema-name
-    sensitive, deterministic across processes — so digests from two
-    report files can be compared directly."""
-    names = tuple(sorted(relation.schema.names()))
-    rows = sorted({_canon_row(row) for row in relation.rows})
-    payload = repr((names, rows)).encode()
-    return hashlib.sha256(payload).hexdigest()[:16]
+#: Journal configurations: ``on`` attaches a fresh event journal to every
+#: measured run (one request block per cell, keyed by the cell id).  Like
+#: tracing, journaling must be digest- and cost-neutral — the matrix is
+#: re-runnable with journaling on and compared bit-for-bit against
+#: ``off`` (tests/test_obs_journal.py pins this).
+JOURNAL_MODES = ("off", "on")
 
 
 # --------------------------------------------------------------------- #
 # the matrix
 # --------------------------------------------------------------------- #
+
+# relation_digest moved next to Relation itself so the event journal can
+# record per-request digests without importing the QA layer; the import
+# above keeps the oracle's historical public name working.
 
 
 @dataclass(frozen=True)
@@ -190,6 +173,10 @@ class MatrixSpec:
     #: :class:`~repro.obs.RecordingTracer` per cell, whose rendering is
     #: attached to any violation the cell produces)
     trace: str = "off"
+    #: event journal attached to every measured run: ``off`` or ``on`` (a
+    #: fresh :class:`~repro.obs.journal.Journal` per cell, request id =
+    #: cell id) — answers and page counts must be identical in both modes
+    journal: str = "off"
 
     def __post_init__(self) -> None:
         for mode in self.cache_modes:
@@ -207,6 +194,11 @@ class MatrixSpec:
             raise ValueError(
                 f"unknown trace mode {self.trace!r} "
                 f"(choose from {', '.join(TRACE_MODES)})"
+            )
+        if self.journal not in JOURNAL_MODES:
+            raise ValueError(
+                f"unknown journal mode {self.journal!r} "
+                f"(choose from {', '.join(JOURNAL_MODES)})"
             )
 
 
@@ -297,8 +289,15 @@ class DifferentialOracle:
             qid: env.sql(q) if isinstance(q, str) else q
             for qid, q in queries.items()
         }
+        #: raw SQL per query id (journal metadata; replay re-plans from it)
+        self.query_text: dict[str, str] = {
+            qid: q if isinstance(q, str) else str(q)
+            for qid, q in queries.items()
+        }
         self._plans: dict[str, list] = {}
         self._references: dict[tuple, _Reference] = {}
+        #: the journal of the most recent journaled cell (tests inspect it)
+        self.last_journal: Optional[Journal] = None
 
     # ------------------------------------------------------------------ #
     # the plan space
@@ -424,6 +423,7 @@ class DifferentialOracle:
 
         # -- the measured run ------------------------------------------- #
         tracer = self._make_tracer()
+        journal = self._make_journal(cell)
         server.fault_policy = fault
         result = None
         error: Optional[RetriesExhaustedError] = None
@@ -443,10 +443,16 @@ class DifferentialOracle:
                 fetch=FetchConfig(max_workers=cell.workers),
                 retry=self.spec.retry,
                 tracer=tracer,
+                journal=journal,
             )
             try:
                 shared_run = execute_shared(
-                    env, plan.expr, options, navigator=navigator, client=clone
+                    env,
+                    plan.expr,
+                    options,
+                    navigator=navigator,
+                    client=clone,
+                    request_id=cell.cell_id,
                 )
                 result = shared_run.result
                 query_delta = result.log
@@ -467,7 +473,9 @@ class DifferentialOracle:
                         retry=self.spec.retry,
                         tracer=tracer,
                         execution=cell.exec_mode,
+                        journal=journal,
                     ),
+                    request_id=cell.cell_id,
                 )
             except RetriesExhaustedError as err:
                 error = err
@@ -558,6 +566,24 @@ class DifferentialOracle:
         if self.spec.trace == "recording":
             return RecordingTracer()
         return None
+
+    def _make_journal(self, cell: Cell) -> Optional[Journal]:
+        """A fresh per-cell journal (``journal="on"``), its request block
+        opened under the cell id with enough metadata to replay: the site
+        name and the query's SQL text.  Retained on ``last_journal`` so
+        tests can reconstruct the cell they just ran."""
+        if self.spec.journal != "on":
+            return None
+        journal = Journal()
+        journal.begin_request(
+            cell.cell_id,
+            site=self.site_name,
+            query=self.query_text.get(cell.query_id, ""),
+            cell=cell.cell_id,
+            plan_index=cell.plan_index,
+        )
+        self.last_journal = journal
+        return journal
 
     def _make_server(self, env: SiteEnv):
         """A fresh navigator + query-client clone for one ``server`` cell

@@ -25,6 +25,7 @@ from repro.server.service import (
     QueryOutcome,
     QueryServer,
     ServerConfig,
+    ServerStatus,
     SharedExecution,
     Ticket,
     execute_shared,
@@ -37,6 +38,7 @@ __all__ = [
     "QueryOutcome",
     "QueryServer",
     "ServerConfig",
+    "ServerStatus",
     "SharedExecution",
     "Ticket",
     "execute_shared",

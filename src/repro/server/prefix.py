@@ -182,8 +182,12 @@ class SharedNavigator:
         signature: PrefixSignature,
         chain: Expr,
         options: Optional[QueryOptions] = None,
-    ) -> dict[str, Optional[WebResource]]:
-        """The chain's page batch, evaluated at most once per signature.
+    ) -> tuple[dict[str, Optional[WebResource]], float]:
+        """The chain's page batch, evaluated at most once per signature,
+        plus the simulated seconds *this call* spent evaluating it — the
+        lead caller pays the fetch time, hits and single-flight waiters
+        report 0.0 (the server credits the lead's request makespan with
+        it).
 
         Concurrent callers with the same signature single-flight: the
         first evaluates, the rest block and reuse.  ``options`` supplies
@@ -201,14 +205,14 @@ class SharedNavigator:
                 pages = self._resolved.get(signature)
                 if pages is not None:
                     shared_prefix.inc(outcome="hit")
-                    return dict(pages)
+                    return dict(pages), 0.0
                 waiter = self._inflight.get(signature)
                 if waiter is None:
                     self._inflight[signature] = threading.Event()
                     break
             waiter.wait()
         try:
-            pages = self._evaluate(chain, options or DEFAULT_OPTIONS)
+            pages, seconds = self._evaluate(chain, options or DEFAULT_OPTIONS)
         except BaseException:
             shared_prefix.inc(outcome="error")
             raise
@@ -217,7 +221,7 @@ class SharedNavigator:
             with self._lock:
                 self._resolved[signature] = pages
                 self._pool.update(pages)
-            return dict(pages)
+            return dict(pages), seconds
         finally:
             with self._lock:
                 event = self._inflight.pop(signature, None)
@@ -226,7 +230,7 @@ class SharedNavigator:
 
     def _evaluate(
         self, chain: Expr, options: QueryOptions
-    ) -> dict[str, Optional[WebResource]]:
+    ) -> tuple[dict[str, Optional[WebResource]], float]:
         """Fetch the chain's pages on the navigator's client.
 
         Serialized (one chain at a time): the navigator's log mutates on
@@ -237,6 +241,7 @@ class SharedNavigator:
         *new* pages — overlap is never double-fetched or double-counted."""
         cache = options.cache if isinstance(options.cache, PageCache) else None
         with self._eval_lock:
+            before = self.client.log.snapshot()
             if cache is not None:
                 # mirror RemoteExecutor: the navigator's leg of a query
                 # starts the query as far as the page cache is concerned
@@ -258,4 +263,5 @@ class SharedNavigator:
                 self.scheme, _SessionProvider(self.scheme, session)
             )
             executor.evaluate(chain)
-            return session.touched_resources()
+            seconds = self.client.log.delta(before).simulated_seconds
+            return session.touched_resources(), seconds

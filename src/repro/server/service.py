@@ -37,15 +37,18 @@ on this.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from repro.engine.remote import ExecutionResult, RemoteExecutor
 from repro.errors import AdmissionRejected, OptionsError
+from repro.obs.journal import Journal
 from repro.obs.metrics import METRICS
+from repro.obs.progress import ProgressBoard, QueryProgress, operator_estimates
 from repro.obs.trace import NULL_TRACER
 from repro.options import DEFAULT_OPTIONS, QueryOptions, QueryRequest
 from repro.server.prefix import (
@@ -61,6 +64,7 @@ __all__ = [
     "ServerConfig",
     "QueryOutcome",
     "Ticket",
+    "ServerStatus",
     "QueryServer",
     "execute_shared",
     "SharedExecution",
@@ -76,12 +80,17 @@ class ServerConfig:
     beyond it raises :class:`~repro.errors.AdmissionRejected`.
     ``share_plans`` toggles plan-level prefix sharing (off: every query
     fetches for itself — the serial-equivalent baseline).
-    ``default_options`` applies to requests that carry none."""
+    ``default_options`` applies to requests that carry none.
+    ``journal`` attaches a server-wide event journal: every request that
+    does not bring its own journal records its correlated event block
+    (request / plan / spans / result) there, stamped with the request's
+    server-allocated ``request_id``."""
 
     max_workers: int = 4
     max_queue: int = 64
     share_plans: bool = True
     default_options: QueryOptions = DEFAULT_OPTIONS
+    journal: Optional[Journal] = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -94,6 +103,11 @@ class ServerConfig:
             raise OptionsError(
                 f"default_options must be a QueryOptions, "
                 f"got {self.default_options!r}"
+            )
+        if self.journal is not None and not isinstance(self.journal, Journal):
+            raise OptionsError(
+                f"journal must be a repro.obs.journal.Journal or None, "
+                f"got {self.journal!r}"
             )
 
 
@@ -129,9 +143,19 @@ class QueryOutcome:
 
 class Ticket:
     """Claim check for a submitted request; resolves to a
-    :class:`QueryOutcome` when a worker finishes it."""
+    :class:`QueryOutcome` when a worker finishes it.
 
-    def __init__(self) -> None:
+    ``request_id`` is the server-allocated correlation id (also the key
+    of the request's block in the server journal); :meth:`progress` is a
+    live, monotone view of the request's per-operator completion."""
+
+    def __init__(
+        self,
+        request_id: str = "",
+        board: Optional[ProgressBoard] = None,
+    ) -> None:
+        self.request_id = request_id
+        self._board = board
         self._done = threading.Event()
         self._outcome: Optional[QueryOutcome] = None
 
@@ -157,6 +181,27 @@ class Ticket:
         assert outcome.result is not None
         return outcome.result
 
+    def progress(self) -> QueryProgress:
+        """Live completion snapshot for this request.
+
+        The fraction is monotone non-decreasing over the request's
+        lifetime and pins to 1.0 once the ticket resolves (error or not);
+        before the worker picks the request up it reports 0.0."""
+        if self._board is not None:
+            snapshot = self._board.progress(self.request_id)
+            if snapshot.finished or not self.done():
+                return snapshot
+        return QueryProgress(
+            request_id=self.request_id,
+            total_operators=0,
+            started_operators=0,
+            completed_operators=0,
+            est_tuples=0.0,
+            actual_tuples=0.0,
+            actual_pages=0.0,
+            finished=self.done(),
+        )
+
 
 @dataclass
 class _Task:
@@ -165,8 +210,24 @@ class _Task:
     tenant: str
     ticket: Ticket
     enqueued_at: float
+    request_id: str = ""
     expr: object = None  # pre-planned Expr (cohort mode), else None
     sequence: int = -1
+
+
+@dataclass(frozen=True)
+class ServerStatus:
+    """A point-in-time operational snapshot of one :class:`QueryServer`:
+    queue depth and per-tenant pending counts, per-tenant in-flight
+    counts, total completions, and a per-request progress snapshot for
+    everything the progress board currently tracks."""
+
+    open: bool
+    queue_depth: int
+    pending: dict[str, int]
+    in_flight: dict[str, int]
+    completed: int
+    queries: dict[str, QueryProgress]
 
 
 class QueryServer:
@@ -192,6 +253,7 @@ class QueryServer:
         self.env = env
         self.config = config or ServerConfig()
         self.navigator = SharedNavigator(env.scheme, env.client, env.registry)
+        self.progress = ProgressBoard()
         self._plan_lock = threading.Lock()
         self._cond = threading.Condition()
         self._queues: dict[str, deque[_Task]] = {}
@@ -199,6 +261,12 @@ class QueryServer:
         self._cursor = 0
         self._pending = 0
         self._sequence = 0
+        self._request_ids = itertools.count(1)
+        self._in_flight: dict[str, int] = {}
+        self._completed = 0
+        #: simulated seconds of shared-prefix evaluation credited to the
+        #: request that led it (drained into the makespan histogram)
+        self._prefix_seconds: dict[str, float] = {}
         self._workers: list[threading.Thread] = []
         self._open = True
         if start:
@@ -252,10 +320,7 @@ class QueryServer:
             raise OptionsError(
                 f"submit takes a QueryRequest, got {request!r}"
             )
-        options = self._options_for(request)
-        task = _Task(
-            request, options, request.tenant, Ticket(), time.monotonic()
-        )
+        task = self._make_task(request)
         self._admit(task)
         return task.ticket
 
@@ -279,30 +344,60 @@ class QueryServer:
             )
         tasks: list[_Task] = []
         for request in requests:
-            options = self._options_for(request)
-            tasks.append(
-                _Task(
-                    request,
-                    options,
-                    request.tenant,
-                    Ticket(),
-                    time.monotonic(),
-                    expr=self._plan(request, options),
-                )
-            )
+            task = self._make_task(request)
+            task.expr = self._plan(request, task.options)
+            tasks.append(task)
         if self.config.share_plans:
             for task in tasks:
                 for signature, chain in navigation_prefixes(task.expr):
                     try:
-                        self.navigator.resolve(signature, chain, task.options)
+                        _, seconds = self.navigator.resolve(
+                            signature, chain, task.options
+                        )
                     except Exception:
                         # the leading query will retry (and fail) for
                         # itself; pre-resolution is best-effort
                         pass
+                    else:
+                        self._credit_prefix(task.request_id, seconds)
         self.start()
         for task in tasks:
             self._admit(task, bounded=False)
         return [task.ticket.outcome() for task in tasks]
+
+    def status(self) -> ServerStatus:
+        """Operational snapshot: queue depth, per-tenant pending and
+        in-flight counts, completions, and per-request progress.
+
+        Observational and lock-consistent for the queue counters; the
+        per-query progress snapshots are each individually consistent and
+        monotone (see :meth:`Ticket.progress`)."""
+        with self._cond:
+            pending = {
+                tenant: len(queue)
+                for tenant, queue in self._queues.items()
+                if queue
+            }
+            queue_depth = self._pending
+            in_flight = {
+                tenant: count
+                for tenant, count in self._in_flight.items()
+                if count > 0
+            }
+            completed = self._completed
+            is_open = self._open
+        queries = {
+            request_id: self.progress.progress(request_id)
+            for request_id in self.progress.request_ids()
+        }
+        return ServerStatus(
+            open=is_open,
+            queue_depth=queue_depth,
+            pending=pending,
+            in_flight=in_flight,
+            completed=completed,
+            queries=queries,
+        )
 
     def _admit(self, task: _Task, bounded: bool = True) -> None:
         admissions = METRICS.counter(
@@ -335,10 +430,33 @@ class QueryServer:
 
     def _options_for(self, request: QueryRequest) -> QueryOptions:
         options = request.options or self.config.default_options
+        if self.config.journal is not None and options.journal is None:
+            options = replace(options, journal=self.config.journal)
         with self._plan_lock:
             # resolve policy names against the environment cache exactly
             # once, on the submitting thread (enable_cache mutates env)
             return options.with_cache(self.env._resolve_cache(options.cache))
+
+    def _make_task(self, request: QueryRequest) -> _Task:
+        """Resolve options, allocate the correlation id, open the journal
+        block, and hand back the admitted-but-unqueued task."""
+        options = self._options_for(request)
+        request_id = f"req-{next(self._request_ids):04d}"
+        journal = options.journal
+        if journal is not None and journal.enabled:
+            journal.begin_request(
+                request_id,
+                tenant=request.tenant,
+                query=request.query if isinstance(request.query, str) else "",
+            )
+        return _Task(
+            request,
+            options,
+            request.tenant,
+            Ticket(request_id, self.progress),
+            time.monotonic(),
+            request_id=request_id,
+        )
 
     def _plan(self, request: QueryRequest, options: QueryOptions):
         if request.plan is not None:
@@ -378,7 +496,16 @@ class QueryServer:
                     self._cond.wait()
                     task = self._next_task_locked()
                 queued = time.monotonic() - task.enqueued_at
-            task.ticket._resolve(self._run(task, queued))
+                self._in_flight[task.tenant] = (
+                    self._in_flight.get(task.tenant, 0) + 1
+                )
+            try:
+                outcome = self._run(task, queued)
+            finally:
+                with self._cond:
+                    self._in_flight[task.tenant] -= 1
+                    self._completed += 1
+            task.ticket._resolve(outcome)
 
     def _run(self, task: _Task, queued: float) -> QueryOutcome:
         outcome = QueryOutcome(
@@ -395,12 +522,18 @@ class QueryServer:
             expr = task.expr
             if expr is None:
                 expr = self._plan(task.request, task.options)
+            if not self.progress.known(task.request_id):
+                with self._plan_lock:
+                    # the cost model memoizes on shared mutable state,
+                    # like the planner
+                    estimates = operator_estimates(expr, self.env.cost_model)
+                self.progress.begin(task.request_id, estimates)
             shared: dict[str, Optional[WebResource]] = {}
             signatures: list[PrefixSignature] = []
             if self.config.share_plans:
                 for signature, chain in navigation_prefixes(expr):
                     try:
-                        pages = self.navigator.resolve(
+                        pages, seconds = self.navigator.resolve(
                             signature, chain, task.options
                         )
                     except Exception:
@@ -408,6 +541,7 @@ class QueryServer:
                         # back to unshared fetching for this chain — the
                         # query sees the fault itself if it is persistent
                         continue
+                    self._credit_prefix(task.request_id, seconds)
                     signatures.append(signature)
                     shared.update(pages)
             outcome.signatures = tuple(signatures)
@@ -423,20 +557,52 @@ class QueryServer:
                 sequence=task.sequence,
                 prefixes=len(signatures),
             ):
-                outcome.result = self._execute(expr, task.options, shared)
+                outcome.result = self._execute(
+                    expr, task.options, shared, task.request_id
+                )
         except Exception as err:  # surfaced through the ticket
             outcome.error = err
+            journal = task.options.journal
+            if journal is not None and journal.enabled:
+                # the executor journals its own failures; this also
+                # covers planning / prefix-resolution errors that never
+                # reached it
+                journal.record_error(task.request_id, err, source="server")
+        self.progress.finish(task.request_id)
         METRICS.counter(
             "repro_server_queries_total",
             "finished requests by tenant and outcome",
         ).inc(tenant=task.tenant, outcome="ok" if outcome.ok else "error")
+        if outcome.result is not None:
+            with self._cond:
+                credited = self._prefix_seconds.pop(task.request_id, 0.0)
+            METRICS.histogram(
+                "repro_server_request_simulated_seconds",
+                "per-request simulated makespan: own fetches plus any "
+                "shared-prefix evaluation the request led (the SLO "
+                "suite's p99 source)",
+            ).observe(
+                outcome.result.log.simulated_seconds + credited,
+                tenant=task.tenant,
+            )
         return outcome
+
+    def _credit_prefix(self, request_id: str, seconds: float) -> None:
+        """Attribute a lead prefix resolution's simulated seconds to the
+        request that triggered it (hits and waiters credit 0)."""
+        if seconds <= 0.0 or not request_id:
+            return
+        with self._cond:
+            self._prefix_seconds[request_id] = (
+                self._prefix_seconds.get(request_id, 0.0) + seconds
+            )
 
     def _execute(
         self,
         expr: object,
         options: QueryOptions,
         shared: dict[str, Optional[WebResource]],
+        request_id: str,
     ) -> ExecutionResult:
         """One query on a private client clone (exact per-query log)."""
         base = self.env.client
@@ -445,7 +611,11 @@ class QueryServer:
         )
         executor = RemoteExecutor(self.env.scheme, client, self.env.registry)
         return executor.execute(
-            expr, options=options, shared_pages=shared or None
+            expr,
+            options=options,
+            shared_pages=shared or None,
+            request_id=request_id,
+            board=self.progress,
         )
 
 
@@ -482,6 +652,7 @@ def execute_shared(
     options: Optional[QueryOptions] = None,
     navigator: Optional[SharedNavigator] = None,
     client: Optional[WebClient] = None,
+    request_id: Optional[str] = None,
 ) -> SharedExecution:
     """Evaluate one plan with plan-level prefix sharing, single-threaded.
 
@@ -503,7 +674,7 @@ def execute_shared(
     signatures: list[PrefixSignature] = []
     for signature, chain in navigation_prefixes(expr):
         try:
-            pages = nav.resolve(signature, chain, opts)
+            pages, _ = nav.resolve(signature, chain, opts)
         except Exception:
             continue
         signatures.append(signature)
@@ -514,7 +685,12 @@ def execute_shared(
             base.server, base.network, base.retry_policy, base.cache
         )
     executor = RemoteExecutor(env.scheme, client, env.registry)
-    result = executor.execute(expr, options=opts, shared_pages=shared or None)
+    result = executor.execute(
+        expr,
+        options=opts,
+        shared_pages=shared or None,
+        request_id=request_id,
+    )
     return SharedExecution(
         result=result,
         navigator_log=nav.log.delta(before),

@@ -33,6 +33,20 @@ SMALL_BIB_CONFIG = BibliographyConfig(
 )
 
 
+@pytest.fixture()
+def isolated_metrics():
+    """Snapshot-and-restore the process metrics registry around a test.
+
+    Tests that execute queries (directly or through the server) bump the
+    global ``METRICS`` registry; modules that assert on metric readings
+    opt in via ``pytestmark = pytest.mark.usefixtures("isolated_metrics")``
+    so readings never leak between tests or depend on execution order."""
+    from repro.obs.metrics import METRICS
+
+    with METRICS.isolated():
+        yield METRICS
+
+
 @pytest.fixture(scope="session")
 def uni_env():
     """Paper-sized university environment (read-only)."""

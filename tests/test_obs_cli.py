@@ -1,0 +1,148 @@
+"""The ``python -m repro.obs`` toolbox: flat EXPLAIN interface, the
+``--metrics-json`` schema pin, and the replay / dashboard / calibrate
+subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+
+pytestmark = pytest.mark.usefixtures("isolated_metrics")
+
+SQL = "SELECT Title, Year, Genre FROM Movie"
+
+
+class TestFlatInterface:
+    """The historical flag-only invocation keeps working verbatim — CI's
+    Perfetto export step depends on it."""
+
+    def test_explain_returns_zero(self, capsys):
+        assert main(["--site", "movies", "--sql", SQL]) == 0
+        out = capsys.readouterr().out
+        assert "plan" in out.lower()
+
+    def test_analyze_prints_measurements(self, capsys):
+        assert main(["--site", "movies", "--sql", SQL, "--analyze"]) == 0
+        assert "measured:" in capsys.readouterr().out
+
+    def test_export_trace_writes_chrome_events(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.json")
+        code = main(["--site", "movies", "--sql", SQL, "--export-trace", path])
+        assert code == 0
+        document = json.load(open(path))
+        assert document["traceEvents"]
+
+    def test_unknown_query_name_exits(self):
+        with pytest.raises(SystemExit):
+            main(["--site", "movies", "--query", "no-such-query"])
+
+
+class TestMetricsJson:
+    """Satellite: ``--metrics-json PATH`` dumps the registry snapshot —
+    this test pins the file's schema."""
+
+    def test_snapshot_schema(self, tmp_path, capsys):
+        path = str(tmp_path / "metrics.json")
+        code = main(
+            ["--site", "movies", "--sql", SQL, "--analyze", "--metrics-json", path]
+        )
+        assert code == 0
+        snapshot = json.load(open(path))
+        assert isinstance(snapshot, dict) and snapshot
+        saw_histogram = saw_series = False
+        for name, metric in snapshot.items():
+            assert isinstance(name, str)
+            assert metric["type"] in ("counter", "histogram")
+            assert isinstance(metric["help"], str)
+            assert isinstance(metric["series"], list)
+            for series in metric["series"]:
+                saw_series = True
+                assert isinstance(series["labels"], dict)
+                if metric["type"] == "counter":
+                    assert isinstance(series["value"], (int, float))
+                else:
+                    saw_histogram = True
+                    assert series["count"] >= len(series["samples"]) > 0
+                    assert len(series["bucket_counts"]) == (
+                        len(metric["buckets"]) + 1
+                    )
+                    assert series["min"] <= series["max"]
+                    assert series["stride"] >= 1
+        assert saw_series, "an analyzed run produces at least one series"
+        assert saw_histogram, "fetch timings land in a histogram"
+
+    def test_file_is_the_exact_registry_snapshot(self, tmp_path):
+        from repro.obs.metrics import METRICS
+
+        path = str(tmp_path / "metrics.json")
+        main(["--site", "movies", "--sql", SQL, "--analyze", "--metrics-json", path])
+        # nothing ran since the dump: the file equals the live snapshot
+        assert json.load(open(path)) == json.loads(
+            json.dumps(METRICS.snapshot())
+        )
+
+
+class TestSubcommands:
+    def _journal_path(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        assert main(["--site", "movies", "--sql", SQL, "--journal", path]) == 0
+        return path
+
+    def test_replay_list_and_reconstruct(self, tmp_path, capsys):
+        path = self._journal_path(tmp_path)
+        capsys.readouterr()  # drain the journal run's explain output
+        assert main(["replay", "--journal", path, "--list"]) == 0
+        listing = capsys.readouterr().out
+        (line,) = [li for li in listing.splitlines() if li.strip()]
+        request_id = line.split()[0]
+        assert "movies" in line
+
+        trace_path = str(tmp_path / "replayed-trace.json")
+        code = main(
+            ["replay", request_id, "--journal", path, "--export-trace", trace_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured:" in out  # EXPLAIN ANALYZE from the journal alone
+        assert "digest" in out
+        assert json.load(open(trace_path))["traceEvents"]
+
+    def test_replay_rejects_corrupt_journal(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w") as handle:
+            handle.write(
+                '{"kind": "fetch", "request_id": "ghost", "seq": 0, '
+                '"ts": 0.0, "attrs": {}}\n'
+            )
+        assert main(["replay", "--journal", path, "--list"]) == 1
+        assert "journal problem" in capsys.readouterr().err
+
+    def test_dashboard_renders_slos(self, tmp_path, capsys):
+        html_path = str(tmp_path / "dash.html")
+        argv = ["dashboard", "--site", "movies", "--requests", "4"]
+        argv += ["--workers", "2", "--html", html_path]
+        code = main(argv)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "request-makespan-p99" in out
+        assert "request-success" in out
+        assert "cache-hit-rate" in out
+        html = open(html_path).read()
+        assert html.startswith("<!doctype html>")
+        assert "request-makespan-p99" in html
+
+    def test_calibrate_reports_q_error(self, tmp_path, capsys):
+        out_path = str(tmp_path / "calibration.json")
+        code = main(
+            ["calibrate", "--sites", "movies", "--worst", "3", "--out", out_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "q-error" in out
+        report = json.load(open(out_path))
+        assert report["sites"] == ["movies"]
+        assert report["by_operator"]
+        assert len(report["worst"]) <= 3

@@ -12,6 +12,8 @@ from repro.obs import RecordingTracer, spans_by_node
 from repro.obs.explain import plan_report, render_annotated_tree
 from repro.qa.cli import EX71_SQL, EX72_SQL
 
+pytestmark = pytest.mark.usefixtures("isolated_metrics")
+
 
 def _traced_best(uni_env, sql):
     planned = uni_env.planner.plan_query(uni_env.sql(sql), trace=True)

@@ -8,6 +8,8 @@ tasks, the exported complete events on one ``tid`` must be disjoint too.
 
 import json
 
+import pytest
+
 from repro.obs import RecordingTracer
 from repro.obs.export import (
     FETCH_PID,
@@ -17,6 +19,8 @@ from repro.obs.export import (
 )
 from repro.qa.cli import EX72_SQL
 from repro.web.client import FetchConfig
+
+pytestmark = pytest.mark.usefixtures("isolated_metrics")
 
 
 def _traced_run(env, sql, workers):

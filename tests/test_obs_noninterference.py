@@ -15,6 +15,8 @@ from repro.obs import NULL_TRACER, RecordingTracer
 from repro.qa.cli import build_site
 from repro.web.client import FetchConfig
 
+pytestmark = pytest.mark.usefixtures("isolated_metrics")
+
 SITES = ["university", "bibliography", "movies", "fuzz:17", "fuzz:42"]
 
 

@@ -1,0 +1,307 @@
+"""Windowed SLOs and multi-window burn-rate alerting.
+
+Everything here runs on the simulated clock: the window store is fed
+explicit timestamps, so every delta, percentile, and burn rate is exact
+and deterministic — no wall time anywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    BurnRateAlert,
+    QuantileSLO,
+    RatioSLO,
+    SLOMonitor,
+    Window,
+    WindowStore,
+    render_dashboard,
+    render_dashboard_html,
+    server_slos,
+)
+
+pytestmark = pytest.mark.usefixtures("isolated_metrics")
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+def _counter(registry, name, **labels):
+    return registry.counter(name, "test counter")
+
+
+class TestWindow:
+    def test_counter_delta_is_windowed(self, registry):
+        counter = registry.counter("hits_total", "h")
+        counter.inc(kind="a")
+        store = WindowStore(registry)
+        store.sample(0.0)
+        counter.inc(kind="a")
+        counter.inc(kind="a")
+        counter.inc(kind="b")
+        store.sample(10.0)
+        window = store.window(10.0)
+        assert window.counter_delta("hits_total") == 3.0
+        assert window.counter_delta("hits_total", {"kind": "a"}) == 2.0
+        assert window.counter_delta("hits_total", {"kind": "b"}) == 1.0
+        assert window.counter_delta("hits_total", {"kind": "z"}) == 0.0
+
+    def test_label_constraint_accepts_alternatives(self, registry):
+        counter = registry.counter("events_total", "e")
+        store = WindowStore(registry)
+        store.sample(0.0)
+        counter.inc(event="hit")
+        counter.inc(event="revalidated")
+        counter.inc(event="miss")
+        store.sample(1.0)
+        window = store.window(1.0)
+        good = window.counter_delta("events_total", {"event": ("hit", "revalidated")})
+        assert good == 2.0
+
+    def test_histogram_samples_exclude_pre_window_observations(self, registry):
+        histogram = registry.histogram("lat_seconds", "l")
+        histogram.observe(99.0)
+        store = WindowStore(registry)
+        store.sample(0.0)
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        store.sample(5.0)
+        window = store.window(5.0)
+        assert sorted(window.histogram_samples("lat_seconds")) == [1.0, 2.0]
+
+    def test_percentile_is_nearest_rank(self, registry):
+        histogram = registry.histogram("lat_seconds", "l")
+        store = WindowStore(registry)
+        store.sample(0.0)
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        store.sample(1.0)
+        window = store.window(1.0)
+        assert window.percentile("lat_seconds", 0.50) == 50.0
+        assert window.percentile("lat_seconds", 0.99) == 99.0
+        assert window.percentile("lat_seconds", 1.00) == 100.0
+        assert window.percentile("lat_seconds", 0.00) == 1.0
+
+    def test_percentile_none_when_idle(self, registry):
+        store = WindowStore(registry)
+        store.sample(0.0)
+        store.sample(1.0)
+        window = store.window(1.0)
+        assert window.percentile("lat_seconds", 0.99) is None
+
+    def test_percentile_rejects_bad_fraction(self, registry):
+        window = Window({}, {}, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            window.percentile("m", 1.5)
+
+    def test_window_picks_snapshot_outside_horizon(self, registry):
+        counter = _counter(registry, "ticks_total")
+        store = WindowStore(registry)
+        for ts in range(6):  # samples at t=0..5, one inc between each
+            store.sample(float(ts))
+            counter.inc()
+        store.sample(6.0)
+        window = store.window(3.0)
+        assert window.end_ts == 6.0
+        assert window.start_ts == 3.0
+        assert window.counter_delta("ticks_total") == 3.0
+
+    def test_cold_store_falls_back_to_oldest(self, registry):
+        store = WindowStore(registry)
+        store.sample(1.0)
+        window = store.window(300.0)
+        assert window.start_ts == window.end_ts == 1.0
+        assert store.window(0.5).span_seconds == 0.0
+
+    def test_empty_store_has_no_window(self, registry):
+        assert WindowStore(registry).window(60.0) is None
+
+    def test_capacity_validated(self, registry):
+        with pytest.raises(ValueError):
+            WindowStore(registry, capacity=1)
+
+
+class TestSpecs:
+    def _window_with_samples(self, registry, samples):
+        histogram = registry.histogram("lat_seconds", "l")
+        store = WindowStore(registry)
+        store.sample(0.0)
+        for sample in samples:
+            histogram.observe(sample)
+        store.sample(60.0)
+        return store.window(60.0)
+
+    def test_quantile_slo_measure_and_burn(self, registry):
+        # 10 samples: nearest-rank p99 = ceil(9.9)th = the 8.0 tail
+        window = self._window_with_samples(registry, [1.0] * 9 + [8.0])
+        slo = QuantileSLO(
+            name="p99", metric="lat_seconds", quantile=0.99, threshold=4.0
+        )
+        assert slo.measure(window) == 8.0
+        assert slo.burn_rate(window) == 2.0
+        assert "p99" in slo.describe()
+
+    def test_quantile_slo_idle_window_is_none(self, registry):
+        window = self._window_with_samples(registry, [])
+        slo = QuantileSLO(
+            name="p99", metric="lat_seconds", quantile=0.99, threshold=4.0
+        )
+        assert slo.measure(window) is None
+        assert slo.burn_rate(window) is None
+
+    def test_quantile_slo_validates(self):
+        with pytest.raises(ValueError):
+            QuantileSLO(name="x", metric="m", quantile=1.5, threshold=1.0)
+        with pytest.raises(ValueError):
+            QuantileSLO(name="x", metric="m", quantile=0.5, threshold=0.0)
+
+    def test_ratio_slo_measure_and_burn(self, registry):
+        counter = registry.counter("queries_total", "q")
+        store = WindowStore(registry)
+        store.sample(0.0)
+        for _ in range(98):
+            counter.inc(outcome="ok")
+        counter.inc(outcome="error")
+        counter.inc(outcome="error")
+        store.sample(60.0)
+        window = store.window(60.0)
+        slo = RatioSLO(
+            name="success",
+            metric="queries_total",
+            good_labels={"outcome": "ok"},
+            objective=0.99,
+        )
+        assert slo.measure(window) == 0.98
+        # 2% bad against a 1% budget: burning twice as fast as sustainable
+        assert slo.burn_rate(window) == pytest.approx(2.0)
+
+    def test_ratio_slo_idle_window_is_none(self, registry):
+        store = WindowStore(registry)
+        store.sample(0.0)
+        store.sample(1.0)
+        slo = RatioSLO(
+            name="success",
+            metric="queries_total",
+            good_labels={"outcome": "ok"},
+            objective=0.99,
+        )
+        assert slo.measure(store.window(1.0)) is None
+
+    def test_ratio_slo_validates_objective(self):
+        with pytest.raises(ValueError):
+            RatioSLO(name="x", metric="m", good_labels={}, objective=1.0)
+
+
+class TestMonitor:
+    def _monitor(self, registry, threshold=2.0):
+        slo = RatioSLO(
+            name="success",
+            metric="queries_total",
+            good_labels={"outcome": "ok"},
+            objective=0.9,
+        )
+        return (
+            SLOMonitor(
+                [slo],
+                registry=registry,
+                windows=(60.0, 300.0),
+                burn_threshold=threshold,
+            ),
+            registry.counter("queries_total", "q"),
+        )
+
+    def test_alert_requires_both_windows_burning(self, registry):
+        monitor, counter = self._monitor(registry)
+        monitor.sample(0.0)
+        # long window: healthy history (100% ok for 240 simulated seconds)
+        for _ in range(50):
+            counter.inc(outcome="ok")
+        monitor.sample(240.0)
+        # short window: a burst of pure failures
+        for _ in range(10):
+            counter.inc(outcome="error")
+        monitor.sample(300.0)
+        statuses = monitor.evaluate(now=300.0)
+        (status,) = statuses
+        assert status.short_burn is not None and status.short_burn >= 2.0
+        # the long window dilutes the burst below the threshold
+        assert status.long_burn is not None and status.long_burn < 2.0
+        assert not status.burning
+        assert monitor.alerts == []
+
+    def test_alert_fires_when_both_windows_burn(self, registry):
+        monitor, counter = self._monitor(registry)
+        monitor.sample(0.0)
+        for _ in range(10):
+            counter.inc(outcome="error")
+        monitor.sample(240.0)
+        for _ in range(10):
+            counter.inc(outcome="error")
+        monitor.sample(300.0)
+        (status,) = monitor.evaluate(now=300.0)
+        assert status.burning
+        (alert,) = monitor.alerts
+        assert isinstance(alert, BurnRateAlert)
+        assert alert.slo == "success"
+        assert alert.at == 300.0
+        assert "burning" in alert.describe()
+
+    def test_no_statuses_before_first_sample(self, registry):
+        monitor, _ = self._monitor(registry)
+        assert monitor.evaluate() == []
+
+    def test_windows_validated(self, registry):
+        with pytest.raises(ValueError):
+            SLOMonitor([], registry=registry, windows=(300.0, 60.0))
+
+
+class TestServerSuite:
+    def test_server_slos_cover_the_three_objectives(self):
+        specs = server_slos()
+        names = {spec.name for spec in specs}
+        assert names == {"request-makespan-p99", "request-success", "cache-hit-rate"}
+        by_name = {spec.name: spec for spec in specs}
+        p99 = by_name["request-makespan-p99"]
+        assert isinstance(p99, QuantileSLO)
+        assert p99.metric == "repro_server_request_simulated_seconds"
+        assert p99.quantile == 0.99
+        success = by_name["request-success"]
+        assert isinstance(success, RatioSLO)
+        assert success.good_labels == {"outcome": "ok"}
+        hits = by_name["cache-hit-rate"]
+        assert hits.good_labels == {"event": ("hit", "revalidated")}
+
+
+class TestDashboards:
+    def _statuses(self, registry):
+        monitor, counter = TestMonitor()._monitor(registry)
+        monitor.sample(0.0)
+        for _ in range(10):
+            counter.inc(outcome="error")
+        monitor.sample(240.0)
+        for _ in range(10):
+            counter.inc(outcome="error")
+        monitor.sample(300.0)
+        return monitor.evaluate(now=300.0), monitor.alerts
+
+    def test_text_dashboard_renders_state(self, registry):
+        statuses, alerts = self._statuses(registry)
+        text = render_dashboard(statuses, alerts)
+        assert "success" in text
+        assert "BURNING" in text
+        assert "alerts: 1" in text
+
+    def test_text_dashboard_empty(self):
+        assert "(no samples yet)" in render_dashboard([])
+
+    def test_html_dashboard_is_standalone(self, registry):
+        statuses, alerts = self._statuses(registry)
+        html = render_dashboard_html(statuses, alerts, title="t <&>")
+        assert html.startswith("<!doctype html>")
+        assert "t &lt;&amp;&gt;" in html  # escaped title
+        assert 'class="burning"' in html or "class='burning'" in html
+        assert "BURNING" in html

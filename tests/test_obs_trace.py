@@ -11,6 +11,8 @@ from repro.obs import (
     spans_by_node,
 )
 
+pytestmark = pytest.mark.usefixtures("isolated_metrics")
+
 
 class TestNullTracer:
     def test_disabled_and_inert(self):

@@ -24,6 +24,8 @@ from repro.server import (
 )
 from repro.sites import fuzzed
 
+pytestmark = pytest.mark.usefixtures("isolated_metrics")
+
 SQL = "SELECT PName, Rank FROM Professor WHERE Rank = 'Full'"
 
 COLD = QueryOptions(cache="off")
