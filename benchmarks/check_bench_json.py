@@ -44,6 +44,7 @@ BASELINE_PATH = RESULTS_DIR / "baseline.json"
 EXPECTED = {
     "bench_ablation": ["ABLATION", "ABLATION-stats"],
     "bench_adaptive": ["ADAPTIVE"],
+    "bench_advisor": ["ADVISOR", "ADVISOR-SHARD"],
     "bench_cache": ["CACHE", "CACHE-PLAN"],
     "bench_concurrency": ["CONCURRENCY"],
     "bench_crossover": ["X-OVER"],

@@ -88,9 +88,25 @@ from repro.errors import (
     RetriesExhaustedError,
     TransientFetchError,
 )
+from repro.materialized import (
+    AdvisorReport,
+    MaterializedEngine,
+    MaterializedStore,
+    ShardedMaterializedStore,
+    WorkloadQuery,
+    advise,
+    batch_refresh,
+)
 from repro.options import DEFAULT_OPTIONS, QueryOptions, QueryRequest
-from repro.server import QueryServer, ServerConfig, SharedNavigator
+from repro.server import (
+    QueryServer,
+    ServerConfig,
+    SharedNavigator,
+    WarmupReport,
+    warm_cache,
+)
 from repro.web import (
+    ShardedPageCache,
     SimulatedWebServer,
     WebClient,
     AccessLog,
@@ -132,6 +148,10 @@ __all__ = [
     # query options / server
     "QueryOptions", "QueryRequest", "DEFAULT_OPTIONS", "OptionsError",
     "QueryServer", "ServerConfig", "SharedNavigator", "AdmissionRejected",
+    "WarmupReport", "warm_cache",
+    # materialized views
+    "MaterializedStore", "ShardedMaterializedStore", "MaterializedEngine",
+    "batch_refresh", "advise", "WorkloadQuery", "AdvisorReport",
     # views
     "ExternalView", "ExternalRelation", "DefaultNavigation",
     "ConjunctiveQuery", "RelOccurrence", "parse_query", "translate",
@@ -139,7 +159,7 @@ __all__ = [
     "SimulatedWebServer", "WebClient", "AccessLog", "NetworkModel",
     "CostSummary", "FaultPolicy", "FetchConfig", "FetchRecord",
     "RetryPolicy", "FetchError", "TransientFetchError",
-    "RetriesExhaustedError", "PageCache", "CachePolicy",
+    "RetriesExhaustedError", "PageCache", "ShardedPageCache", "CachePolicy",
     # wrappers
     "registry_for_scheme", "WrapperRegistry",
     "__version__",

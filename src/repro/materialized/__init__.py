@@ -12,24 +12,51 @@ chosen plan needs.
 * :mod:`repro.materialized.evaluate` — Algorithm 3 (query evaluation with
   lazy maintenance) via the local executor;
 * :mod:`repro.materialized.maintenance` — deferred ``CheckMissing``
-  processing, full refresh, and consistency reporting.
+  processing, full refresh, batched shard-parallel refresh, and
+  consistency reporting;
+* :mod:`repro.materialized.sharded` — the store partitioned by URL hash
+  across N shards (same contract, per-shard refresh batches);
+* :mod:`repro.materialized.advisor` — workload-driven selection of *which*
+  page-schemes to materialize under a page budget.
 """
 
 from repro.materialized.store import MaterializedStore, StoredPage, Status
+from repro.materialized.sharded import ShardedMaterializedStore
 from repro.materialized.evaluate import MaterializedEngine, MaterializedResult
 from repro.materialized.maintenance import (
     process_check_missing,
     full_refresh,
+    batch_refresh,
     consistency_report,
+    RefreshReport,
+    ShardRefresh,
+)
+from repro.materialized.advisor import (
+    AdvisorReport,
+    ViewCandidate,
+    WorkloadQuery,
+    advise,
+    random_view_set,
+    scheme_download_profile,
 )
 
 __all__ = [
     "MaterializedStore",
+    "ShardedMaterializedStore",
     "StoredPage",
     "Status",
     "MaterializedEngine",
     "MaterializedResult",
     "process_check_missing",
     "full_refresh",
+    "batch_refresh",
     "consistency_report",
+    "RefreshReport",
+    "ShardRefresh",
+    "AdvisorReport",
+    "ViewCandidate",
+    "WorkloadQuery",
+    "advise",
+    "random_view_set",
+    "scheme_download_profile",
 ]

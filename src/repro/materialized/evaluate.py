@@ -151,9 +151,11 @@ class MaterializedEngine:
         """Validate an ``options=`` bundle for the materialized path.
 
         The store evaluates locally through its own client, so only
-        ``tracer`` applies; a bundle carrying network-execution knobs
-        (fetch pool, retry, cache, pipelined mode) is a caller error —
-        rejected loudly rather than silently ignored."""
+        ``QueryOptions.tracer`` applies; every other field set away from
+        its default — the network-execution knobs *and* the event journal
+        — is a caller error, rejected loudly (naming the fields exactly
+        as they appear on :class:`~repro.options.QueryOptions`) rather
+        than silently ignored."""
         if options is None:
             return None
         if not isinstance(options, QueryOptions):
@@ -161,22 +163,23 @@ class MaterializedEngine:
                 f"options must be a QueryOptions, got {options!r}"
             )
         inapplicable = [
-            name
+            f"QueryOptions.{name}"
             for name, value in (
+                ("cache", options.cache),
                 ("fetch", options.fetch),
                 ("retry", options.retry),
-                ("cache", options.cache),
                 ("pipeline", options.pipeline),
+                ("journal", options.journal),
             )
             if value is not None
         ]
         if options.execution != "staged":
-            inapplicable.append("execution")
+            inapplicable.append("QueryOptions.execution")
         if inapplicable:
             raise OptionsError(
-                f"QueryOptions field(s) {sorted(inapplicable)} do not apply "
-                "to materialized evaluation (Algorithm 3 runs locally "
-                "through the store's client; only tracer applies)"
+                f"{sorted(inapplicable)} do not apply to materialized "
+                "evaluation (Algorithm 3 runs locally through the store's "
+                "client; only QueryOptions.tracer applies)"
             )
         return options
 

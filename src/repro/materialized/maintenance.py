@@ -11,6 +11,16 @@ check the whole view and maintain it where necessary":
 entry points to pick up pages no stored link reaches yet.
 :func:`consistency_report` measures how inconsistent a store has become
 (dangling stored links, stale pages) without repairing anything.
+
+:func:`batch_refresh` is the sharded, batched variant of the periodic
+check: it walks the store shard by shard (one "shard" for a plain store),
+revalidates each shard's pages as one k-lane ``head_batch`` and
+re-downloads its stale pages as one k-lane ``get_batch``, so the refresh
+of a large site overlaps on the simulated :class:`~repro.clock.Timeline`
+the way query traffic does.  Its :class:`RefreshReport` carries per-shard
+light-connection and download counts — the freshness laws (warm shard:
+one light per page, zero downloads; stale shard: re-downloads exactly its
+touched pages) are asserted per shard in ``benchmarks/bench_advisor.py``.
 """
 
 from __future__ import annotations
@@ -18,11 +28,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.adm.links import outlink_set
-from repro.materialized.store import MaterializedStore
-from repro.web.cache import Freshness, check_freshness
+from repro.materialized.store import MaterializedStore, Status
+from repro.obs.metrics import METRICS
+from repro.obs.trace import NULL_TRACER
+from repro.web.cache import Freshness, check_freshness, freshness_from_head
+from repro.web.client import FetchConfig
 
-__all__ = ["process_check_missing", "full_refresh", "consistency_report",
-           "ConsistencyReport"]
+__all__ = ["process_check_missing", "full_refresh", "batch_refresh",
+           "consistency_report", "ConsistencyReport", "RefreshReport",
+           "ShardRefresh"]
 
 
 def process_check_missing(store: MaterializedStore) -> dict:
@@ -104,6 +118,231 @@ class ConsistencyReport:
             and not self.dangling_links
             and not self.unstored_link_targets
         )
+
+
+@dataclass
+class ShardRefresh:
+    """Measured refresh outcome of one shard (store index order).
+
+    ``light_connections`` / ``downloads`` / ``seconds`` are exact log
+    deltas of the shard's phase, so the per-shard freshness laws can be
+    asserted directly: a warm shard shows ``light_connections == pages``
+    and ``downloads == 0``; after a mutation touching ``t`` of the
+    shard's pages it shows ``redownloaded == downloads == t``."""
+
+    shard: int
+    pages: int
+    fresh: int
+    redownloaded: int
+    removed: int
+    light_connections: int
+    downloads: int
+    seconds: float
+
+
+@dataclass
+class RefreshReport:
+    """Aggregate of one :func:`batch_refresh` run."""
+
+    shards: list = field(default_factory=list)
+    #: pages discovered through new links and added to the store
+    added: int = 0
+    added_downloads: int = 0
+    #: deferred ``check_missing`` entries confirmed deleted at the end
+    deferred_deleted: int = 0
+
+    @property
+    def checked(self) -> int:
+        return sum(row.pages for row in self.shards)
+
+    @property
+    def redownloaded(self) -> int:
+        return sum(row.redownloaded for row in self.shards)
+
+    @property
+    def removed(self) -> int:
+        return sum(row.removed for row in self.shards) + self.deferred_deleted
+
+    @property
+    def light_connections(self) -> int:
+        return sum(row.light_connections for row in self.shards)
+
+    @property
+    def downloads(self) -> int:
+        return sum(row.downloads for row in self.shards) + self.added_downloads
+
+    @property
+    def seconds(self) -> float:
+        return sum(row.seconds for row in self.shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"RefreshReport({len(self.shards)} shards, {self.checked} checked, "
+            f"{self.redownloaded} re-downloaded, {self.added} added, "
+            f"{self.removed} removed, {self.light_connections} light)"
+        )
+
+
+def _refresh_shard(
+    store: MaterializedStore,
+    shard: MaterializedStore,
+    index: int,
+    workers: int,
+    tracer,
+) -> ShardRefresh:
+    """Revalidate one shard: one HEAD batch, one GET batch for the stale."""
+    client = store.client
+    before = client.log.snapshot()
+    entries = [
+        (page.page_scheme, url, page)
+        for by_url in shard.pages.values()
+        for url, page in list(by_url.items())
+    ]
+    with tracer.span(
+        "refresh_shard", kind="maintenance", shard=index, pages=len(entries)
+    ):
+        heads = client.head_batch(
+            [url for _, url, _ in entries], workers=workers
+        )
+        now = client.server.clock.now()
+        fresh = 0
+        stale: list = []
+        missing: list = []
+        for page_scheme, url, page in entries:
+            outcome = freshness_from_head(heads[url], page.modified)
+            if outcome is Freshness.FRESH:
+                fresh += 1
+                page.access_date = now
+                store.status[url] = Status.CHECKED
+            elif outcome is Freshness.STALE:
+                stale.append((page_scheme, url, page))
+            else:
+                missing.append(url)
+        removed = 0
+        for url in missing:
+            shard._remove(url)
+            removed += 1
+        resources = (
+            client.get_batch(
+                [url for _, url, _ in stale],
+                config=FetchConfig(max_workers=workers),
+            )
+            if stale
+            else {}
+        )
+        redownloaded = 0
+        for page_scheme, url, page in stale:
+            resource = resources.get(url)
+            if resource is None:
+                # vanished between the HEAD and the GET: treat as deleted
+                shard._remove(url)
+                store.check_missing.add(url)
+                removed += 1
+                continue
+            shard._ingest(page_scheme, url, resource, previous=page)
+            store.status[url] = Status.CHECKED
+            redownloaded += 1
+        delta = client.log.delta(before)
+    pages_total = METRICS.counter(
+        "repro_store_refresh_pages_total",
+        "store-refresh page outcomes by shard",
+    )
+    pages_total.inc(fresh, shard=str(index), outcome="fresh")
+    pages_total.inc(redownloaded, shard=str(index), outcome="stale")
+    pages_total.inc(removed, shard=str(index), outcome="removed")
+    METRICS.histogram(
+        "repro_store_refresh_seconds",
+        "simulated seconds per shard-refresh phase",
+    ).observe(delta.simulated_seconds, shard=str(index))
+    return ShardRefresh(
+        shard=index,
+        pages=len(entries),
+        fresh=fresh,
+        redownloaded=redownloaded,
+        removed=removed,
+        light_connections=delta.light_connections,
+        downloads=delta.page_downloads,
+        seconds=delta.simulated_seconds,
+    )
+
+
+def _fetch_new_targets(store: MaterializedStore, workers: int) -> tuple[int, int]:
+    """Download link targets flagged ``new`` by the shard re-downloads.
+
+    Waves of k-lane batches until no retained ``new`` target remains
+    unstored (bounded — each wave either stores or terminally flags every
+    URL it fetches)."""
+    client = store.client
+    before = client.log.snapshot()
+    added = 0
+    while True:
+        wave: dict[str, str] = {}
+        for scheme_name, by_url in store.pages.items():
+            for url, page in by_url.items():
+                for link_url, target in outlink_set(
+                    store.scheme, scheme_name, page.plain
+                ):
+                    if (
+                        store.status_of(link_url) is Status.NEW
+                        and store.stored(link_url) is None
+                        and store._retains(target)
+                    ):
+                        wave.setdefault(link_url, target)
+        if not wave:
+            break
+        resources = client.get_batch(
+            sorted(wave), config=FetchConfig(max_workers=workers)
+        )
+        for url in sorted(wave):
+            resource = resources.get(url)
+            if resource is None:
+                store.status[url] = Status.MISSING
+                store.check_missing.add(url)
+                continue
+            store._ingest(wave[url], url, resource)
+            store.status[url] = Status.CHECKED
+            added += 1
+    delta = client.log.delta(before)
+    return added, delta.page_downloads
+
+
+def batch_refresh(
+    store: MaterializedStore,
+    workers: int = 1,
+    tracer=None,
+) -> RefreshReport:
+    """Refresh the whole store with batched, shard-parallel revalidation.
+
+    For each shard (a plain store is one shard) the stored pages are
+    HEAD-ed as one ``workers``-lane batch and the stale ones re-downloaded
+    as another, so the refresh traffic of a large site overlaps on the
+    simulated :class:`~repro.clock.Timeline` exactly like a query's fetch
+    batches; pages that vanished are dropped.  Link targets that appeared
+    on re-downloaded pages are then fetched in follow-up batches, and the
+    deferred ``check_missing`` queue is drained last (as in
+    :func:`full_refresh`).  With ``workers=1`` the page/light counts *and*
+    the simulated time are bit-for-bit the serial loop's.
+
+    Returns a :class:`RefreshReport` with exact per-shard log deltas."""
+    tracer = tracer if tracer is not None else NULL_TRACER
+    shards = getattr(store, "shards", None) or [store]
+    store.reset_status()
+    report = RefreshReport()
+    with tracer.span(
+        "store_refresh",
+        kind="maintenance",
+        shards=len(shards),
+        workers=workers,
+    ):
+        for index, shard in enumerate(shards):
+            report.shards.append(
+                _refresh_shard(store, shard, index, workers, tracer)
+            )
+        report.added, report.added_downloads = _fetch_new_targets(
+            store, workers
+        )
+        report.deferred_deleted = process_check_missing(store)["deleted"]
+    return report
 
 
 def consistency_report(store: MaterializedStore) -> ConsistencyReport:

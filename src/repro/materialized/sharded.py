@@ -1,0 +1,142 @@
+"""URL-hash sharding of the materialized store (ROADMAP item 5).
+
+A :class:`ShardedMaterializedStore` partitions the stored pages across N
+:class:`~repro.materialized.store.MaterializedStore` shards by
+:func:`~repro.web.cache.shard_of` (CRC32 of the URL — deterministic across
+processes, unlike ``hash()``).  The facade *is* a ``MaterializedStore`` —
+it subclasses it and overrides only the storage primitives (``stored`` /
+``_download`` / ``_remove``), so Function 2 (``URLCheck``), Algorithm 3
+evaluation, ``populate``, and the maintenance routines all run unchanged
+and route each URL to its shard.
+
+What sharding buys is *refresh parallelism*: the batched revalidation in
+:func:`repro.materialized.maintenance.batch_refresh` walks the store shard
+by shard, HEAD-ing each shard's pages as one k-lane
+:class:`~repro.clock.Timeline` batch and re-downloading its stale pages as
+another, so refreshing a large fuzzed site overlaps on the simulated lanes
+the way query fetch batches already do — while the per-shard freshness
+laws (warm shard: one light connection per page, zero downloads; stale
+shard: re-downloads exactly its touched pages) stay independently
+assertable.
+
+Query-visible state is shared, not sharded: the per-query ``status`` flag
+map, the deferred ``check_missing`` queue, and the transient tuples of a
+partial store are single objects aliased into every shard, because a
+re-download in shard A must be able to flag link targets living in shard
+B.  With ``shards=1`` the facade is bit-for-bit the unsharded store: same
+crawl order, same log counters, same answer digests (the conformance tests
+pin this).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import MaterializationError
+from repro.materialized.store import MaterializedStore, Status, StoredPage
+from repro.adm.scheme import WebScheme
+from repro.web.cache import shard_of
+from repro.web.client import WebClient
+from repro.wrapper.wrapper import WrapperRegistry
+
+__all__ = ["ShardedMaterializedStore"]
+
+
+class ShardedMaterializedStore(MaterializedStore):
+    """A :class:`MaterializedStore` partitioned by URL hash across shards."""
+
+    def __init__(
+        self,
+        scheme: WebScheme,
+        client: WebClient,
+        registry: WrapperRegistry,
+        shards: int = 2,
+        retain_schemes: Optional[Iterable[str]] = None,
+    ):
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise MaterializationError(
+                f"shards must be a positive integer, got {shards!r}"
+            )
+        # deliberately not calling super().__init__: the facade keeps no
+        # storage of its own — `pages` is a merged live view (property
+        # below) and every URL-keyed structure lives in (or is aliased
+        # into) the shards
+        self.scheme = scheme
+        self.client = client
+        self.registry = registry
+        self.shards = [
+            MaterializedStore(
+                scheme, client, registry, retain_schemes=retain_schemes
+            )
+            for _ in range(shards)
+        ]
+        self.retain_schemes = self.shards[0].retain_schemes
+        # per-query state is global: a stale page in one shard may flag
+        # link targets stored in another
+        self.status: dict[str, Status] = {}
+        self.check_missing: set[str] = set()
+        self._transient: dict[str, dict] = {}
+        for shard in self.shards:
+            shard.status = self.status
+            shard.check_missing = self.check_missing
+            shard._transient = self._transient
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+
+    def shard_index(self, url: str) -> int:
+        return shard_of(url, len(self.shards))
+
+    def shard_for(self, url: str) -> MaterializedStore:
+        return self.shards[self.shard_index(url)]
+
+    # ------------------------------------------------------------------ #
+    # storage primitives, routed by URL (everything else — populate,
+    # url_check, tuples_of, as_relation, export_flat — is inherited and
+    # works through these plus the merged `pages` view)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pages(self) -> dict[str, dict[str, StoredPage]]:
+        """Merged live view of every shard's pages, per page-scheme.
+
+        Iteration order is shard-index order, insertion order within a
+        shard — for ``shards=1`` exactly the unsharded store's order."""
+        merged: dict[str, dict[str, StoredPage]] = {
+            name: {} for name in self.scheme.page_schemes
+        }
+        for shard in self.shards:
+            for scheme_name, by_url in shard.pages.items():
+                merged[scheme_name].update(by_url)
+        return merged
+
+    def page_count(self) -> int:
+        return sum(shard.page_count() for shard in self.shards)
+
+    def stored(self, url: str) -> Optional[StoredPage]:
+        return self.shard_for(url).stored(url)
+
+    def _download(
+        self,
+        page_scheme: str,
+        url: str,
+        previous: Optional[StoredPage] = None,
+    ) -> Optional[StoredPage]:
+        return self.shard_for(url)._download(page_scheme, url, previous=previous)
+
+    def _ingest(self, page_scheme, url, resource, previous=None):
+        return self.shard_for(url)._ingest(
+            page_scheme, url, resource, previous=previous
+        )
+
+    def _remove(self, url: str) -> None:
+        self.shard_for(url)._remove(url)
+
+    def __repr__(self) -> str:
+        sizes = "/".join(str(shard.page_count()) for shard in self.shards)
+        return (
+            f"ShardedMaterializedStore({self.page_count()} pages over "
+            f"{len(self.shards)} shards [{sizes}], "
+            f"{len(self.check_missing)} pending missing-checks)"
+        )

@@ -24,13 +24,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.adm.links import outlink_set
 from repro.adm.scheme import WebScheme
 from repro.errors import MaterializationError, ResourceNotFound
 from repro.web.cache import Freshness, check_freshness
 from repro.web.client import WebClient
+from repro.web.resources import WebResource
 from repro.wrapper.wrapper import WrapperRegistry
 
 __all__ = ["Status", "StoredPage", "MaterializedStore"]
@@ -57,23 +58,48 @@ class StoredPage:
 
 
 class MaterializedStore:
-    """Locally materialized page-relations over a live site."""
+    """Locally materialized page-relations over a live site.
+
+    ``retain_schemes`` enables *partial* materialization (the advisor's
+    output, :mod:`repro.materialized.advisor`): only pages of the listed
+    page-schemes are kept in the store; pages of other schemes are still
+    downloaded and wrapped when a query navigates through them, but the
+    tuple lives only for the current query (``_transient``, cleared with
+    the status flags) — the store pays nothing to keep them fresh.  None
+    (the default) retains everything, the paper's Section 8 behaviour.
+    """
 
     def __init__(
         self,
         scheme: WebScheme,
         client: WebClient,
         registry: WrapperRegistry,
+        retain_schemes: Optional[Iterable[str]] = None,
     ):
         self.scheme = scheme
         self.client = client
         self.registry = registry
+        if retain_schemes is None:
+            self.retain_schemes: Optional[frozenset[str]] = None
+        else:
+            self.retain_schemes = frozenset(retain_schemes)
+            unknown = self.retain_schemes - set(scheme.page_schemes)
+            if unknown:
+                raise MaterializationError(
+                    f"unknown page-scheme(s) in retain_schemes: "
+                    f"{sorted(unknown)}"
+                )
         self.pages: dict[str, dict[str, StoredPage]] = {
             name: {} for name in scheme.page_schemes
         }
         self.status: dict[str, Status] = {}
         self.check_missing: set[str] = set()
         self._scheme_of_url: dict[str, str] = {}
+        #: per-query tuples of non-retained pages (partial stores only)
+        self._transient: dict[str, dict] = {}
+
+    def _retains(self, page_scheme: str) -> bool:
+        return self.retain_schemes is None or page_scheme in self.retain_schemes
 
     # ------------------------------------------------------------------ #
     # initial materialization
@@ -151,8 +177,10 @@ class MaterializedStore:
         return result
 
     def reset_status(self) -> None:
-        """Start a new query: all flags back to ``none``."""
+        """Start a new query: all flags back to ``none`` (and drop any
+        transient tuples of non-retained pages — they live one query)."""
         self.status.clear()
+        self._transient.clear()
 
     def status_of(self, url: str) -> Status:
         return self.status.get(url, Status.NONE)
@@ -177,7 +205,11 @@ class MaterializedStore:
         status = self.status_of(url)
         if status is Status.CHECKED:
             page = self.stored(url)
-            return page.plain if page is not None else None
+            if page is not None:
+                return page.plain
+            # partial stores: a checked page of a non-retained scheme was
+            # kept for this query only
+            return self._transient.get(url)
 
         page = self.stored(url)
         if (
@@ -231,6 +263,18 @@ class MaterializedStore:
                 self._remove(url)
                 self.check_missing.add(url)
             return None
+        return self._ingest(page_scheme, url, resource, previous=previous)
+
+    def _ingest(
+        self,
+        page_scheme: str,
+        url: str,
+        resource: WebResource,
+        previous: Optional[StoredPage] = None,
+    ) -> StoredPage:
+        """Wrap + store one already-fetched page (the storage half of
+        :meth:`_download`, shared with the batched refresh which fetches
+        a whole shard through ``get_batch`` first)."""
         plain = self.registry.wrap(page_scheme, url, resource.html)
         page = StoredPage(
             page_scheme=page_scheme,
@@ -239,8 +283,11 @@ class MaterializedStore:
             access_date=self.client.server.clock.now(),
             modified=resource.last_modified,
         )
-        self.pages[page_scheme][url] = page
-        self._scheme_of_url[url] = page_scheme
+        if self._retains(page_scheme):
+            self.pages[page_scheme][url] = page
+            self._scheme_of_url[url] = page_scheme
+        else:
+            self._transient[url] = plain
 
         # Function 2 diffs outlinks only when replacing a stale version:
         # links that appeared are flagged new, links that vanished missing.

@@ -30,6 +30,7 @@ from repro.server.service import (
     Ticket,
     execute_shared,
 )
+from repro.server.warmup import WarmupReport, warm_cache
 
 __all__ = [
     "PrefixSignature",
@@ -42,4 +43,6 @@ __all__ = [
     "SharedExecution",
     "Ticket",
     "execute_shared",
+    "WarmupReport",
+    "warm_cache",
 ]

@@ -51,11 +51,13 @@ from repro.obs.metrics import METRICS
 from repro.obs.progress import ProgressBoard, QueryProgress, operator_estimates
 from repro.obs.trace import NULL_TRACER
 from repro.options import DEFAULT_OPTIONS, QueryOptions, QueryRequest
+from repro.materialized.advisor import WorkloadQuery
 from repro.server.prefix import (
     PrefixSignature,
     SharedNavigator,
     navigation_prefixes,
 )
+from repro.server.warmup import WarmupReport, warm_cache
 from repro.sites import SiteEnv
 from repro.web.client import AccessLog, WebClient
 from repro.web.resources import WebResource
@@ -364,6 +366,33 @@ class QueryServer:
         for task in tasks:
             self._admit(task, bounded=False)
         return [task.ticket.outcome() for task in tasks]
+
+    def warm_up(
+        self,
+        workload: Sequence[WorkloadQuery],
+        *,
+        mutation_rate: float,
+        page_budget: Optional[int] = None,
+        light_weight: float = 0.25,
+        workers: int = 4,
+    ) -> WarmupReport:
+        """Advisor-driven warm-up of the environment's cross-query cache.
+
+        Runs the materialization advisor over ``workload`` (requests with
+        per-round frequencies, a sitegen mutation rate, and an optional
+        page budget), then pre-loads the chosen page-schemes in k-lane
+        batches so subsequent queries find them warm — one light
+        connection per page instead of a download (docs/MATERIALIZED.md).
+        Call before :meth:`serve` / :meth:`submit`; purely additive, no
+        effect on answer digests."""
+        return warm_cache(
+            self.env,
+            workload,
+            mutation_rate=mutation_rate,
+            page_budget=page_budget,
+            light_weight=light_weight,
+            workers=workers,
+        )
 
     def status(self) -> ServerStatus:
         """Operational snapshot: queue depth, per-tenant pending and

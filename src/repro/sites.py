@@ -35,7 +35,7 @@ from repro.stats.statistics import SiteStatistics
 from repro.views.conjunctive import ConjunctiveQuery
 from repro.views.external import DefaultNavigation, ExternalRelation, ExternalView
 from repro.views.sql import parse_query
-from repro.web.cache import NO_CACHE, CachePolicy, PageCache
+from repro.web.cache import NO_CACHE, CachePolicy, PageCache, ShardedPageCache
 from repro.web.client import FetchConfig, RetryPolicy, WebClient
 from repro.wrapper.conventions import registry_for_scheme
 from repro.wrapper.wrapper import WrapperRegistry
@@ -80,14 +80,25 @@ class SiteEnv:
         self,
         capacity: int = 256,
         policy: Union[CachePolicy, str] = CachePolicy.CROSS_QUERY,
+        shards: int = 1,
     ) -> PageCache:
         """Attach a page cache to this environment and return it.
 
         Subsequent :meth:`plan` / :meth:`execute` / :meth:`query` calls use
-        it by default; pass ``cache="off"`` per call to bypass it."""
-        self.page_cache = PageCache(
-            capacity=capacity, policy=CachePolicy.coerce(policy)
-        )
+        it by default; pass ``cache="off"`` per call to bypass it.
+        ``shards > 1`` builds a :class:`~repro.web.cache.ShardedPageCache`
+        (URL-hash partitioned LRUs, per-shard locking — the cross-query
+        cache counterpart of the sharded materialized store)."""
+        if shards > 1:
+            self.page_cache = ShardedPageCache(
+                capacity=capacity,
+                policy=CachePolicy.coerce(policy),
+                shards=shards,
+            )
+        else:
+            self.page_cache = PageCache(
+                capacity=capacity, policy=CachePolicy.coerce(policy)
+            )
         return self.page_cache
 
     def _resolve_cache(

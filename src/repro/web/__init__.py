@@ -14,7 +14,8 @@ package provides an in-process web that measures exactly those quantities:
   :class:`FetchConfig`, and transparent :class:`RetryPolicy` retries;
 * :mod:`repro.web.cache` — the cross-query LRU :class:`PageCache` with its
   :class:`CachePolicy` (off / per-query / cross-query light-connection
-  revalidation) and the :class:`SingleFlight` in-flight download dedup.
+  revalidation), the URL-hash-partitioned :class:`ShardedPageCache`, and
+  the :class:`SingleFlight` in-flight download dedup.
 """
 
 from repro.web.resources import HeadResponse, WebResource
@@ -26,8 +27,11 @@ from repro.web.cache import (
     Freshness,
     NO_CACHE,
     PageCache,
+    ShardedPageCache,
     SingleFlight,
     check_freshness,
+    freshness_from_head,
+    shard_of,
 )
 from repro.web.client import (
     AccessLog,
@@ -57,11 +61,14 @@ __all__ = [
     "NetworkModel",
     "MODEM_1998",
     "PageCache",
+    "ShardedPageCache",
     "CachePolicy",
     "CacheEntry",
     "CacheStats",
     "Freshness",
     "SingleFlight",
     "check_freshness",
+    "freshness_from_head",
+    "shard_of",
     "NO_CACHE",
 ]

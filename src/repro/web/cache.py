@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import enum
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional, TypeVar
@@ -45,10 +46,23 @@ __all__ = [
     "CacheStats",
     "Freshness",
     "PageCache",
+    "ShardedPageCache",
     "SingleFlight",
     "check_freshness",
+    "freshness_from_head",
+    "shard_of",
     "NO_CACHE",
 ]
+
+
+def shard_of(url: str, shards: int) -> int:
+    """Deterministic shard index of ``url`` across ``shards`` shards.
+
+    CRC32 rather than ``hash()``: Python string hashing is randomized per
+    process, and shard placement must be reproducible across runs so the
+    per-shard freshness laws (docs/MATERIALIZED.md) can be asserted against
+    committed baselines."""
+    return zlib.crc32(url.encode("utf-8")) % shards
 
 T = TypeVar("T")
 
@@ -279,6 +293,120 @@ class PageCache:
         )
 
 
+class ShardedPageCache(PageCache):
+    """A :class:`PageCache` partitioned by URL hash across N shards.
+
+    Each shard is an independent LRU with its own lock, so concurrent
+    queries (and the sharded store's batched refresh) contend per shard
+    instead of on one global lock, and eviction pressure in one URL region
+    cannot flush the whole cache.  Placement is :func:`shard_of` — pure
+    CRC32, stable across processes.
+
+    The facade keeps the :class:`PageCache` contract exactly: the client
+    calls the same ``lookup`` / ``store`` / ``note_*`` methods (routing by
+    URL is internal), ``isinstance(cache, PageCache)`` checks keep
+    working, and all shards share one :class:`CacheStats` so lifetime
+    observability is unchanged.  Policy semantics live in the facade —
+    shard sub-caches are pure storage — so flipping ``policy`` on the
+    facade (as ``SiteEnv._resolve_cache`` does) affects every shard.
+
+    With ``shards=1`` behaviour is bit-for-bit the unsharded cache: one
+    storage dict, same LRU order, same eviction points (per-shard capacity
+    is ``ceil(capacity / shards)``, which is ``capacity`` exactly).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        policy: CachePolicy | str = CachePolicy.CROSS_QUERY,
+        shards: int = 4,
+    ):
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise WebError(
+                f"ShardedPageCache shards must be a positive integer, "
+                f"got {shards!r}"
+            )
+        super().__init__(capacity=capacity, policy=policy)
+        per_shard = -(-capacity // shards)  # ceil division
+        self._shards = [
+            PageCache(capacity=per_shard, policy=self.policy)
+            for _ in range(shards)
+        ]
+        for shard in self._shards:
+            # one lifetime-stats object across the facade and every shard:
+            # shard-level stores/evictions and facade-level hit/miss notes
+            # accumulate into the same counters
+            shard.stats = self.stats
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def _shard(self, url: str) -> PageCache:
+        return self._shards[shard_of(url, len(self._shards))]
+
+    # -- query lifecycle (policy decisions stay in the facade) ---------- #
+
+    def begin_query(self) -> None:
+        for shard in self._shards:
+            with shard._lock:
+                if self.policy is CachePolicy.PER_QUERY:
+                    shard._entries.clear()
+                shard._validated.clear()
+
+    def mark_validated(self, url: str) -> None:
+        self._shard(url).mark_validated(url)
+
+    def is_validated(self, url: str) -> bool:
+        return self._shard(url).is_validated(url)
+
+    # -- storage (routed by URL) ---------------------------------------- #
+
+    def lookup(self, url: str) -> Optional[CacheEntry]:
+        return self._shard(url).lookup(url)
+
+    def store(self, resource: WebResource) -> CacheEntry:
+        return self._shard(resource.url).store(resource)
+
+    def invalidate(self, url: str) -> None:
+        self._shard(url).invalidate(url)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+
+    # -- observability --------------------------------------------------- #
+
+    def urls(self) -> list[str]:
+        """Cached URLs, LRU order *within* each shard, shards in index
+        order (there is no meaningful global LRU order across shards)."""
+        return [url for shard in self._shards for url in shard.urls()]
+
+    def shard_sizes(self) -> list[int]:
+        """Entries per shard, in shard-index order."""
+        return [len(shard) for shard in self._shards]
+
+    def scheme_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for shard in self._shards:
+            for name, count in shard.scheme_counts().items():
+                counts[name] = counts.get(name, 0) + count
+        return counts
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._shard(url)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedPageCache({len(self)}/{self.capacity} pages, "
+            f"{len(self._shards)} shards, policy={self.policy.value}, "
+            f"{self.stats!r})"
+        )
+
+
 #: An explicitly disabled cache: pass to ``cache=`` parameters to force the
 #: uncached code path even when the client carries a default cache.
 NO_CACHE = PageCache(capacity=1, policy=CachePolicy.OFF)
@@ -351,6 +479,20 @@ class Freshness(enum.Enum):
     MISSING = "missing"  # the page vanished behind our back
 
 
+def freshness_from_head(head: HeadResponse, known_modified: int) -> Freshness:
+    """Classify an already-performed light connection against a stored
+    date — the §8 comparison itself, factored out so batched revalidation
+    (:func:`repro.materialized.maintenance.batch_refresh`, which HEADs a
+    whole shard through :meth:`WebClient.head_batch
+    <repro.web.client.WebClient.head_batch>` first) applies the identical
+    rule to responses it already holds."""
+    if not head.ok:
+        return Freshness.MISSING
+    if known_modified < head.last_modified:
+        return Freshness.STALE
+    return Freshness.FRESH
+
+
 def check_freshness(client, url: str, known_modified: int) -> Freshness:
     """Open one light connection through ``client`` and compare dates.
 
@@ -361,9 +503,4 @@ def check_freshness(client, url: str, known_modified: int) -> Freshness:
     light connection is counted through the one
     :meth:`WebClient.head <repro.web.client.WebClient.head>` code path.
     """
-    head: HeadResponse = client.head(url)
-    if not head.ok:
-        return Freshness.MISSING
-    if known_modified < head.last_modified:
-        return Freshness.STALE
-    return Freshness.FRESH
+    return freshness_from_head(client.head(url), known_modified)

@@ -481,6 +481,51 @@ class WebClient:
         resource = self.server.resource(url)
         return HeadResponse(url=url, ok=True, last_modified=resource.last_modified)
 
+    def head_batch(
+        self, urls: Sequence[str], workers: Optional[int] = None
+    ) -> dict[str, HeadResponse]:
+        """Open many light connections as one ``k``-lane batch.
+
+        Every HEAD still goes through :meth:`head` — the single accounting
+        point — so counts (``light_connections``, ``attempts``) are
+        identical at every pool size.  Only simulated wall time changes:
+        with ``workers > 1`` the serial per-HEAD times are re-placed on a
+        greedy :class:`~repro.clock.Timeline` of ``workers`` lanes and the
+        batch is charged its makespan, exactly like :meth:`get_batch` —
+        this is what lets a sharded-store refresh overlap its revalidation
+        traffic the way query fetch batches already do.  ``workers=None``
+        follows the network model's ``parallel_connections``; duplicates
+        are checked once; with one lane the accounting is bit-for-bit the
+        serial loop.
+        """
+        distinct: list[str] = []
+        seen: set[str] = set()
+        for url in urls:
+            if url not in seen:
+                seen.add(url)
+                distinct.append(url)
+        if not distinct:
+            return {}
+        lanes = max(
+            1,
+            workers if workers is not None else self.network.parallel_connections,
+        )
+        lanes = min(lanes, len(distinct))
+        with self.tracer.span(
+            "head_batch", kind="fetch", urls=len(distinct), workers=lanes
+        ):
+            t0 = self.log.simulated_seconds
+            responses = {url: self.head(url) for url in distinct}
+            if lanes > 1:
+                timeline = Timeline(lanes)
+                for _ in distinct:
+                    timeline.add(self.network.head_seconds())
+                self.log.simulated_seconds = t0 + timeline.makespan
+        METRICS.counter(
+            "repro_head_batches_total", "light-connection batches by pool size"
+        ).inc(workers=lanes)
+        return responses
+
     # ------------------------------------------------------------------ #
     # batch API
     # ------------------------------------------------------------------ #

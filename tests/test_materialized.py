@@ -299,6 +299,68 @@ class TestURLCheckEdgeCases:
         assert course.url in store.check_missing
 
 
+class TestOptionsValidation:
+    """Only ``QueryOptions.tracer`` applies to Algorithm 3; everything
+    else must be rejected naming the actual QueryOptions fields."""
+
+    def plan(self, env):
+        return env.plan(parse_query(CS_QUERY, env.view)).best.expr
+
+    def test_default_options_accepted(self, env, engine):
+        from repro.options import QueryOptions
+
+        result = engine.execute(self.plan(env), options=QueryOptions())
+        assert result.pages == 0
+
+    def test_network_fields_rejected_by_queryoptions_name(self, env, engine):
+        from repro.errors import OptionsError
+        from repro.options import QueryOptions
+
+        with pytest.raises(OptionsError) as excinfo:
+            engine.execute(
+                self.plan(env),
+                options=QueryOptions(cache="off", execution="pipelined"),
+            )
+        message = str(excinfo.value)
+        assert "QueryOptions.cache" in message
+        assert "QueryOptions.execution" in message
+        assert "QueryOptions.tracer" in message  # names the one that applies
+
+    def test_journal_rejected_not_silently_ignored(self, env, engine):
+        from repro.errors import OptionsError
+        from repro.obs.journal import Journal
+        from repro.options import QueryOptions
+
+        with pytest.raises(OptionsError) as excinfo:
+            engine.execute(
+                self.plan(env), options=QueryOptions(journal=Journal())
+            )
+        assert "QueryOptions.journal" in str(excinfo.value)
+
+    def test_message_never_uses_legacy_kwarg_names(self, env, engine):
+        """The pre-QueryOptions kwargs (fetch_config, retry_policy) are
+        deprecated aliases; the rejection must speak the current API."""
+        from repro.errors import OptionsError
+        from repro.options import QueryOptions
+        from repro.web.client import FetchConfig
+
+        with pytest.raises(OptionsError) as excinfo:
+            engine.execute(
+                self.plan(env),
+                options=QueryOptions(fetch=FetchConfig(max_workers=2)),
+            )
+        message = str(excinfo.value)
+        assert "QueryOptions.fetch" in message
+        assert "fetch_config" not in message
+        assert "retry_policy" not in message
+
+    def test_non_queryoptions_rejected(self, env, engine):
+        from repro.errors import OptionsError
+
+        with pytest.raises(OptionsError):
+            engine.execute(self.plan(env), options={"cache": "off"})
+
+
 class TestSingleLightConnectionCodePath:
     def test_every_light_connection_goes_through_the_one_hook(
         self, env, store, engine, mutator
